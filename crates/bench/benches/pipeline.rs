@@ -1,0 +1,81 @@
+//! End-to-end pipeline benchmarks: simulation throughput for each of the
+//! paper's machine configurations (one group per headline experiment).
+//!
+//! These are host-performance benchmarks of the simulator itself; the
+//! *simulated* numbers come from `cargo run --release -p tc-bench --bin
+//! paper`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tc_core::PackingPolicy;
+use tc_sim::{Processor, SimConfig};
+use tc_workloads::Benchmark;
+
+const BUDGET: u64 = 100_000;
+
+fn run(config: SimConfig, bench: Benchmark) -> u64 {
+    let workload = bench.build_scaled(4);
+    let report = Processor::new(config.with_max_insts(BUDGET)).run(&workload);
+    report.cycles
+}
+
+/// Figure 10's five configurations on one benchmark.
+fn bench_fetch_rate_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_configs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BUDGET));
+    let configs = [
+        ("icache", SimConfig::icache()),
+        ("baseline", SimConfig::baseline()),
+        ("packing", SimConfig::packing(PackingPolicy::Unregulated)),
+        ("promotion", SimConfig::promotion(64)),
+        ("promo_pack", SimConfig::headline_fetch()),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| run(black_box(cfg.clone()), Benchmark::Gcc));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11/16's engine modes.
+fn bench_engine_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_fig16_engines");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BUDGET));
+    group.bench_function("realistic", |b| {
+        b.iter(|| run(black_box(SimConfig::headline_perf()), Benchmark::Compress));
+    });
+    group.bench_function("perfect_disambiguation", |b| {
+        b.iter(|| {
+            run(
+                black_box(SimConfig::headline_perf().with_perfect_disambiguation()),
+                Benchmark::Compress,
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Table 4's packing policies.
+fn bench_packing_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_policies");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BUDGET));
+    for (name, policy) in [
+        ("unregulated", PackingPolicy::Unregulated),
+        ("cost_regulated", PackingPolicy::CostRegulated),
+        ("chunk2", PackingPolicy::Chunk(2)),
+        ("chunk4", PackingPolicy::Chunk(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run(black_box(SimConfig::promotion_packing(64, policy)), Benchmark::Tex)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_rate_configs, bench_engine_modes, bench_packing_policies);
+criterion_main!(benches);

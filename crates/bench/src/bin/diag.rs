@@ -1,0 +1,37 @@
+//! Ad-hoc diagnostic binary for investigating per-benchmark anomalies.
+
+use tc_sim::{Processor, SimConfig};
+use tc_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("gnuplot", String::as_str);
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name || b.short_name() == name)
+        .expect("unknown benchmark");
+    let w = bench.build();
+    for (label, config) in [
+        ("baseline", SimConfig::baseline()),
+        ("promo64", SimConfig::promotion(64)),
+        ("promo256", SimConfig::promotion(256)),
+        ("headline", SimConfig::headline_perf()),
+    ] {
+        let r = Processor::new(config.with_max_insts(1_000_000)).run(&w);
+        println!(
+            "{label:9} ipc={:.2} effr={:5.2} condBr={} condMiss={} promExec={} promFault={} \
+             indMiss={} resAvg={:.1} lost={} salv={} promo/demo={:?}",
+            r.ipc(),
+            r.effective_fetch_rate(),
+            r.cond_branches,
+            r.cond_mispredicts,
+            r.promoted_executed,
+            r.promoted_faults,
+            r.indirect_mispredicts,
+            r.avg_resolution_time(),
+            r.mispredict_lost_cycles(),
+            r.salvaged,
+            r.promotions,
+        );
+    }
+}

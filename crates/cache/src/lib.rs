@@ -1,0 +1,38 @@
+//! Set-associative cache models and the memory hierarchy for trace-weave.
+//!
+//! These are *tag-store* models: they track which lines are resident (for
+//! hit/miss accounting and latency) but do not store data — the functional
+//! interpreter in `tc-isa` provides values. This mirrors how
+//! timing-directed simulators such as the paper's SimpleScalar-based model
+//! treat caches.
+//!
+//! The hierarchy matches §3 of the paper:
+//!
+//! * a small supporting instruction cache (4 KB, 4-way) backing the trace
+//!   cache, or a large 128 KB dual-ported instruction cache for the
+//!   icache-only reference front end;
+//! * a 64 KB L1 data cache;
+//! * a unified 1 MB second-level cache with a 6-cycle latency;
+//! * main memory at a minimum of 50 cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut icache = SetAssocCache::new(CacheConfig::paper_support_icache());
+//! let first = icache.access(0x40);
+//! let second = icache.access(0x44); // same 64-byte line
+//! assert!(!first.hit);
+//! assert!(second.hit);
+//! ```
+
+mod config;
+mod hierarchy;
+mod set_assoc;
+mod stats;
+
+pub use config::CacheConfig;
+pub use hierarchy::{AccessLatency, HierarchyConfig, MemoryHierarchy};
+pub use set_assoc::{AccessResult, SetAssocCache};
+pub use stats::CacheStats;

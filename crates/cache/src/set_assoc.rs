@@ -1,0 +1,208 @@
+//! The set-associative tag-store cache.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// On a miss that evicted a valid line, the evicted line's base
+    /// address (useful for inclusive-hierarchy modeling and tests).
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Set {
+    /// Resident line tags, most-recently-used first.
+    tags: Vec<u64>,
+}
+
+/// A set-associative cache with true-LRU replacement, modeling only the
+/// tag store (no data).
+///
+/// # Example
+///
+/// ```
+/// use tc_cache::{CacheConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(2, 2, 64));
+/// assert!(!c.access(0).hit);
+/// assert!(c.access(0).hit);
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        SetAssocCache {
+            config,
+            sets: (0..config.sets).map(|_| Set { tags: Vec::with_capacity(config.ways) }).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without disturbing contents (used to exclude
+    /// warm-up from measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Accesses the line containing `addr`, allocating it on a miss and
+    /// updating LRU state and statistics.
+    pub fn access(&mut self, addr: u64) -> AccessResult {
+        let set_idx = self.config.set_of(addr);
+        let tag = self.config.tag_of(addr);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.tags.iter().position(|&t| t == tag) {
+            set.tags.remove(pos);
+            set.tags.insert(0, tag);
+            self.stats.hits += 1;
+            return AccessResult { hit: true, evicted: None };
+        }
+        self.stats.misses += 1;
+        let evicted = if set.tags.len() == ways {
+            let victim = set.tags.pop().expect("full set has a victim");
+            Some((victim * self.config.sets as u64 + set_idx as u64) * self.config.line_bytes)
+        } else {
+            None
+        };
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        set.tags.insert(0, tag);
+        AccessResult { hit: false, evicted }
+    }
+
+    /// Checks residency without updating LRU state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = &self.sets[self.config.set_of(addr)];
+        let tag = self.config.tag_of(addr);
+        set.tags.contains(&tag)
+    }
+
+    /// Invalidates the line containing `addr` if resident; returns whether
+    /// a line was removed.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set_idx = self.config.set_of(addr);
+        let tag = self.config.tag_of(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.tags.iter().position(|&t| t == tag) {
+            set.tags.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the cache, keeping statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.tags.clear();
+        }
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.tags.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines.
+        SetAssocCache::new(CacheConfig::new(2, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit_same_line() {
+        let mut c = small();
+        assert!(!c.access(0x10).hit);
+        assert!(c.access(0x3f).hit); // same 64B line
+        assert!(!c.access(0x40).hit); // next line
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Set 0 lines: line addresses with set bits = 0: 0x000, 0x080, 0x100 (2 sets * 64B stride).
+        c.access(0x000);
+        c.access(0x080);
+        c.access(0x000); // 0x080 is now LRU
+        let r = c.access(0x100);
+        assert_eq!(r.evicted, Some(0x080));
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn probe_does_not_affect_lru_or_stats() {
+        let mut c = small();
+        c.access(0x000);
+        c.access(0x080);
+        let _ = c.probe(0x000); // no LRU update: 0x000 stays LRU
+        let r = c.access(0x100);
+        assert_eq!(r.evicted, Some(0x000));
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(0x0);
+        assert!(c.invalidate(0x0));
+        assert!(!c.probe(0x0));
+        assert!(!c.invalidate(0x0));
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut c = small();
+        c.access(0x0);
+        c.access(0x40);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn eviction_address_reconstruction() {
+        let cfg = CacheConfig::new(16, 2, 64);
+        let mut c = SetAssocCache::new(cfg);
+        let a = 0x1000;
+        let b = a + cfg.sets as u64 * cfg.line_bytes;
+        let d = b + cfg.sets as u64 * cfg.line_bytes;
+        c.access(a);
+        c.access(b);
+        let r = c.access(d);
+        assert_eq!(r.evicted, Some(a));
+    }
+}

@@ -1,0 +1,78 @@
+//! Cache statistics.
+
+use std::fmt;
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Accesses that found the line resident.
+    pub hits: u64,
+    /// Accesses that allocated the line.
+    pub misses: u64,
+    /// Misses that displaced a valid line.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%)",
+            self.accesses(),
+            self.misses,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats { hits: 1, misses: 2, evictions: 1 };
+        a.merge(&CacheStats { hits: 3, misses: 4, evictions: 0 });
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.accesses(), 10);
+        assert!((a.miss_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        assert!(s.to_string().contains("25.00%"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the set-associative cache model.
+
+use proptest::prelude::*;
+use tc_cache::{CacheConfig, SetAssocCache};
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..6, 0u32..3, 4u32..8).prop_map(|(s, w, l)| CacheConfig::new(1 << s, 1 << w, 1 << l))
+}
+
+proptest! {
+    /// An access immediately repeated always hits.
+    #[test]
+    fn repeat_access_hits(cfg in arb_config(), addrs in proptest::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut c = SetAssocCache::new(cfg);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.access(a).hit, "address {a:#x} missing right after access");
+        }
+    }
+
+    /// Residency never exceeds capacity, and probe agrees with access
+    /// having allocated the line.
+    #[test]
+    fn residency_bounded_by_capacity(cfg in arb_config(), addrs in proptest::collection::vec(0u64..1 << 20, 1..300)) {
+        let mut c = SetAssocCache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a));
+            prop_assert!(c.resident_lines() <= cfg.sets * cfg.ways);
+        }
+    }
+
+    /// A working set that fits in one set's associativity never misses
+    /// after the first touch, regardless of access order (true-LRU has no
+    /// pathological self-eviction for fitting sets).
+    #[test]
+    fn fitting_working_set_never_misses_after_warmup(
+        cfg in arb_config(),
+        order in proptest::collection::vec(0usize..4, 1..100),
+    ) {
+        // Build a working set of `ways` lines that all map to set 0.
+        let stride = cfg.sets as u64 * cfg.line_bytes;
+        let lines: Vec<u64> = (0..cfg.ways.min(4) as u64).map(|i| i * stride).collect();
+        let mut c = SetAssocCache::new(cfg);
+        for &l in &lines {
+            c.access(l);
+        }
+        let warm_misses = c.stats().misses;
+        for &i in &order {
+            c.access(lines[i % lines.len()]);
+        }
+        prop_assert_eq!(c.stats().misses, warm_misses);
+    }
+
+    /// Hits + misses equals accesses; evictions never exceed misses.
+    #[test]
+    fn counter_consistency(cfg in arb_config(), addrs in proptest::collection::vec(0u64..1 << 16, 0..300)) {
+        let mut c = SetAssocCache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.evictions <= s.misses);
+    }
+
+    /// Invalidate makes the next access miss; the line then hits again.
+    #[test]
+    fn invalidate_then_refill(cfg in arb_config(), a in 0u64..1 << 20) {
+        let mut c = SetAssocCache::new(cfg);
+        c.access(a);
+        prop_assert!(c.invalidate(a));
+        prop_assert!(!c.access(a).hit);
+        prop_assert!(c.access(a).hit);
+    }
+}

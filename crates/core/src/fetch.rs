@@ -1,0 +1,993 @@
+//! The front end: trace-cache fetch with partial matching, inactive
+//! issue, promotion-aware prediction, and the supporting i-cache path.
+
+use tc_cache::MemoryHierarchy;
+use tc_isa::{Addr, ControlKind, ExecRecord, Instr, Program};
+use tc_predict::{
+    BiasTable, GlobalHistory, HybridPredictor, HybridPrediction, IndirectPredictor,
+    MultiPredictor, ReturnStack, SplitMultiPredictor,
+};
+
+use crate::config::{FrontEndConfig, PredictorChoice};
+use crate::fill::FillUnit;
+use crate::segment::SegmentInst;
+use crate::stats::{FetchStats, TerminationReason};
+use crate::trace_cache::TraceCache;
+
+/// Where a fetch was serviced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum FetchSource {
+    /// The trace cache supplied a segment.
+    TraceCache,
+    /// The instruction cache supplied one fetch block.
+    ICache,
+}
+
+/// One instruction delivered by a fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedInst {
+    /// Instruction address.
+    pub pc: Addr,
+    /// The instruction.
+    pub instr: Instr,
+    /// For conditional branches, the direction the front end assumes:
+    /// the dynamic prediction or promoted static direction for active
+    /// instructions, the segment's embedded direction for inactive ones.
+    pub pred_taken: Option<bool>,
+    /// Whether this is a promoted branch (static prediction, no
+    /// predictor bandwidth).
+    pub promoted: bool,
+    /// Whether the instruction issued actively (on the predicted path).
+    /// Inactive instructions issue anyway (inactive issue, §3) and are
+    /// salvaged if the prediction proves wrong.
+    pub active: bool,
+}
+
+/// The predicted address of the fetch after this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextPc {
+    /// A concrete predicted address.
+    Known(Addr),
+    /// The fetch ended with a return; the paper models an ideal RAS, so
+    /// the driver substitutes the architectural target. The front end's
+    /// own RAS prediction is included for ablation.
+    Return {
+        /// The RAS's prediction, if the stack was non-empty.
+        predicted: Option<Addr>,
+    },
+    /// The fetch ended with an indirect jump/call.
+    Indirect {
+        /// Address of the indirect branch (for predictor training).
+        pc: Addr,
+        /// The last-target prediction, `None` on a first encounter.
+        predicted: Option<Addr>,
+    },
+}
+
+/// Prediction context captured at fetch, needed to train the predictor
+/// when the branch outcomes are known.
+#[derive(Debug, Clone, Copy)]
+pub struct PredContext {
+    /// Global history at prediction time.
+    pub history: GlobalHistory,
+    /// The fetch address.
+    pub fetch_pc: Addr,
+    /// The tree predictor's entry index.
+    pub mbp_entry: usize,
+    /// For the hybrid predictor: the branch address and component
+    /// breakdown of its single prediction.
+    pub hybrid: Option<(Addr, HybridPrediction)>,
+}
+
+/// The result of one fetch cycle.
+#[derive(Debug, Clone)]
+pub struct FetchBundle {
+    /// The fetch address.
+    pub fetch_pc: Addr,
+    /// Delivered instructions: the active prefix followed by inactive
+    /// issue of the rest of the trace-cache line.
+    pub insts: Vec<FetchedInst>,
+    /// Length of the active prefix.
+    pub active_len: usize,
+    /// Where the fetch was serviced.
+    pub source: FetchSource,
+    /// Termination category before misprediction overrides.
+    pub base_reason: TerminationReason,
+    /// Dynamic predictions consumed.
+    pub predictions_used: usize,
+    /// Extra stall cycles from instruction-cache misses (0 on a hit or a
+    /// trace-cache fetch).
+    pub icache_latency: u32,
+    /// Predicted next fetch address.
+    pub next_pc: NextPc,
+    /// Prediction context for later training.
+    pub pred: PredContext,
+}
+
+impl FetchBundle {
+    /// The active (predicted-path) instructions.
+    #[must_use]
+    pub fn active(&self) -> &[FetchedInst] {
+        &self.insts[..self.active_len]
+    }
+
+    /// The inactive-issue suffix.
+    #[must_use]
+    pub fn inactive(&self) -> &[FetchedInst] {
+        &self.insts[self.active_len..]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Predictor {
+    Multi(MultiPredictor),
+    Split(SplitMultiPredictor),
+    Hybrid(HybridPredictor),
+}
+
+/// The complete fetch mechanism.
+///
+/// Owns the trace cache, fill unit (with optional branch promotion),
+/// branch predictors, return stack, and indirect-target predictor. The
+/// whole-processor driver in `tc-sim` calls:
+///
+/// * [`FrontEnd::fetch`] each fetch cycle (including wrong-path cycles —
+///   cache pollution is modeled),
+/// * [`FrontEnd::train`] when a fetch's branch outcomes are known,
+/// * [`FrontEnd::retire`] for every retired instruction (fill path),
+/// * history / RAS snapshot-and-restore around misprediction recovery.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    config: FrontEndConfig,
+    trace_cache: Option<TraceCache>,
+    fill: Option<FillUnit>,
+    predictor: Predictor,
+    history: GlobalHistory,
+    ras: ReturnStack,
+    indirect: IndirectPredictor,
+    stats: FetchStats,
+}
+
+impl FrontEnd {
+    /// Builds a front end from a configuration.
+    #[must_use]
+    pub fn new(config: FrontEndConfig) -> FrontEnd {
+        let fill = config.trace_cache.map(|_| {
+            let bias = config.promotion.map(|p| BiasTable::new(p.bias));
+            FillUnit::new(config.packing, bias)
+        });
+        FrontEnd::with_fill(config, fill)
+    }
+
+    /// Builds a front end whose fill unit promotes branches *statically*
+    /// from a profile (§4's alternative to the bias table). The
+    /// configuration's dynamic `promotion` field is ignored.
+    #[must_use]
+    pub fn with_static_promotion(
+        config: FrontEndConfig,
+        table: crate::promote::StaticPromotionTable,
+    ) -> FrontEnd {
+        let fill =
+            config.trace_cache.map(|_| FillUnit::new_static(config.packing, table.clone()));
+        FrontEnd::with_fill(config, fill)
+    }
+
+    fn with_fill(config: FrontEndConfig, fill: Option<FillUnit>) -> FrontEnd {
+        let predictor = match config.predictor {
+            PredictorChoice::PaperMulti => Predictor::Multi(MultiPredictor::paper()),
+            PredictorChoice::SplitMulti => Predictor::Split(SplitMultiPredictor::paper()),
+            PredictorChoice::Hybrid => Predictor::Hybrid(HybridPredictor::paper()),
+        };
+        let trace_cache = config.trace_cache.map(TraceCache::new);
+        FrontEnd {
+            config,
+            trace_cache,
+            fill,
+            predictor,
+            history: GlobalHistory::new(),
+            ras: match config.ras_depth {
+                Some(depth) => ReturnStack::with_depth(depth),
+                None => ReturnStack::ideal(),
+            },
+            indirect: IndirectPredictor::new(config.indirect_entries),
+            stats: FetchStats::new(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &FrontEndConfig {
+        &self.config
+    }
+
+    /// Fetch statistics (recorded by the driver).
+    #[must_use]
+    pub fn stats(&self) -> &FetchStats {
+        &self.stats
+    }
+
+    /// Mutable fetch statistics for driver-side recording.
+    pub fn stats_mut(&mut self) -> &mut FetchStats {
+        &mut self.stats
+    }
+
+    /// The trace cache, when configured.
+    #[must_use]
+    pub fn trace_cache(&self) -> Option<&TraceCache> {
+        self.trace_cache.as_ref()
+    }
+
+    /// The fill unit, when configured.
+    #[must_use]
+    pub fn fill_unit(&self) -> Option<&FillUnit> {
+        self.fill.as_ref()
+    }
+
+    /// Snapshot of the global history (for misprediction repair).
+    #[must_use]
+    pub fn history_snapshot(&self) -> u64 {
+        self.history.snapshot()
+    }
+
+    /// Restores a history snapshot.
+    pub fn restore_history(&mut self, snapshot: u64) {
+        self.history.restore(snapshot);
+    }
+
+    /// Pushes one branch outcome into the global history (used by the
+    /// driver to replay actual outcomes during repair).
+    pub fn push_history(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    /// Snapshot of the return stack (cloned; restored on recovery).
+    #[must_use]
+    pub fn ras_snapshot(&self) -> ReturnStack {
+        self.ras.clone()
+    }
+
+    /// Restores a return-stack snapshot.
+    pub fn restore_ras(&mut self, snapshot: ReturnStack) {
+        self.ras = snapshot;
+    }
+
+    /// Trains the indirect-target predictor with a resolved target.
+    pub fn train_indirect(&mut self, pc: Addr, target: Addr) {
+        self.indirect.update(pc.byte_addr(), u64::from(target));
+    }
+
+    /// Feeds a retired (correct-path) instruction to the fill unit and
+    /// drains finalized segments into the trace cache.
+    pub fn retire(&mut self, rec: &ExecRecord) {
+        if let (Some(fill), Some(tc)) = (self.fill.as_mut(), self.trace_cache.as_mut()) {
+            fill.retire(rec);
+            while let Some(seg) = fill.pop_segment() {
+                tc.fill(seg);
+            }
+        }
+    }
+
+    /// Trains the direction predictor with the actual outcomes of the
+    /// fetch's validated *non-promoted* conditional branches, in fetch
+    /// order. Promoted-branch outcomes must be excluded (they bypass the
+    /// pattern history table — that is the point of promotion).
+    pub fn train(&mut self, pred: &PredContext, outcomes: &[bool]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        match &mut self.predictor {
+            Predictor::Multi(p) => p.update(pred.mbp_entry, outcomes),
+            Predictor::Split(p) => p.update(pred.fetch_pc.byte_addr(), pred.history, outcomes),
+            Predictor::Hybrid(p) => {
+                if let Some((pc, hp)) = pred.hybrid {
+                    p.update(pc.byte_addr(), pred.history, hp, outcomes[0]);
+                }
+            }
+        }
+    }
+
+    /// Performs one fetch at `pc`.
+    ///
+    /// Touches the trace cache and instruction cache (so wrong-path
+    /// fetches pollute them, as in the paper's execution-driven model)
+    /// and speculatively updates the global history and return stack for
+    /// the *active* instructions.
+    pub fn fetch(&mut self, pc: Addr, program: &Program, mem: &mut MemoryHierarchy) -> FetchBundle {
+        // Predict up to three directions from the fetch address.
+        let history = self.history;
+        let (dirs, mbp_entry) = match &self.predictor {
+            Predictor::Multi(p) => {
+                let preds = p.predict(pc.byte_addr(), history);
+                (preds.dirs, preds.entry)
+            }
+            Predictor::Split(p) => {
+                let preds = p.predict(pc.byte_addr(), history);
+                (preds.dirs, preds.entry)
+            }
+            // The hybrid predicts per-branch during the walk.
+            Predictor::Hybrid(_) => ([false; 3], 0),
+        };
+        let mut pred_ctx = PredContext { history, fetch_pc: pc, mbp_entry, hybrid: None };
+
+        if let Some(tc) = self.trace_cache.as_mut() {
+            let path_assoc = tc.config().path_assoc;
+            let seg_insts: Option<(Vec<SegmentInst>, crate::segment::SegEndReason)> = {
+                let hit = if path_assoc { tc.lookup_best(pc, &dirs) } else { tc.lookup(pc) };
+                hit.map(|seg| (seg.insts().to_vec(), seg.end_reason()))
+            };
+            if let Some((insts, end_reason)) = seg_insts {
+                return self.fetch_from_segment(pc, &insts, end_reason, &dirs, pred_ctx);
+            }
+        }
+        self.fetch_from_icache(pc, program, mem, &dirs, &mut pred_ctx)
+    }
+
+    /// How many individual branch predictions the configured predictor
+    /// supplies per cycle: three for the multiple-branch predictors, one
+    /// for the hybrid (§4's "aggressive hybrid single branch prediction
+    /// with the trace cache" scenario).
+    fn predictor_bandwidth(&self) -> usize {
+        match self.predictor {
+            Predictor::Hybrid(_) => 1,
+            _ => 3,
+        }
+    }
+
+    fn fetch_from_segment(
+        &mut self,
+        pc: Addr,
+        insts: &[SegmentInst],
+        end_reason: crate::segment::SegEndReason,
+        dirs: &[bool; 3],
+        mut pred_ctx: PredContext,
+    ) -> FetchBundle {
+        // Resolve the predictions available to this fetch: up to
+        // `bandwidth` directions for the line's non-promoted branches.
+        let bandwidth = self.predictor_bandwidth();
+        let mut preds: Vec<bool> = Vec::with_capacity(bandwidth);
+        for si in insts.iter().filter(|si| si.needs_prediction()).take(bandwidth) {
+            let p = match &self.predictor {
+                Predictor::Hybrid(h) => {
+                    let hp = h.predict(si.pc.byte_addr(), pred_ctx.history);
+                    pred_ctx.hybrid = Some((si.pc, hp));
+                    hp.dir
+                }
+                _ => dirs.get(preds.len()).copied().unwrap_or(false),
+            };
+            preds.push(p);
+        }
+
+        // Phase 1: match the embedded path against the predictions. The
+        // active portion ends at the first divergence (partial matching)
+        // or just before a branch with no prediction left (predictor
+        // bandwidth — the paper's "Maximum BRs" limit).
+        let mut active_len = insts.len();
+        let mut used = 0usize;
+        let mut full = true;
+        let mut bandwidth_cut = false;
+        for (i, si) in insts.iter().enumerate() {
+            if si.needs_prediction() {
+                if used == preds.len() {
+                    active_len = i;
+                    full = false;
+                    bandwidth_cut = true;
+                    break;
+                }
+                let p = preds[used];
+                used += 1;
+                if p != si.taken {
+                    active_len = i + 1;
+                    full = false;
+                    break;
+                }
+            }
+        }
+        // Without partial matching, a diverging line supplies only its
+        // first fetch block.
+        if !full && !bandwidth_cut && !self.config.partial_matching {
+            let first_block = insts
+                .iter()
+                .position(SegmentInst::needs_prediction)
+                .map_or(insts.len(), |i| i + 1);
+            if active_len > first_block {
+                active_len = first_block;
+                used = 1;
+            }
+        }
+
+        // Phase 2: emit the active prefix, updating history and RAS.
+        let mut out = Vec::with_capacity(insts.len());
+        let mut pred_i = 0usize;
+        for si in &insts[..active_len] {
+            let assumed = if si.instr.is_cond_branch() {
+                if let Some(dir) = si.promoted {
+                    Some(dir)
+                } else {
+                    let p = preds.get(pred_i).copied().unwrap_or(false);
+                    pred_i += 1;
+                    Some(p)
+                }
+            } else {
+                None
+            };
+            out.push(FetchedInst {
+                pc: si.pc,
+                instr: si.instr,
+                pred_taken: assumed,
+                promoted: si.promoted.is_some(),
+                active: true,
+            });
+            // Speculative history: active conditional branches, promoted
+            // included (§4 keeps their outcomes in the history).
+            if let Some(dir) = assumed {
+                self.history.push(dir);
+            }
+            // RAS maintenance for active calls (returns pop below, when
+            // computing the next fetch address).
+            if matches!(
+                si.instr.control_kind(),
+                ControlKind::Call | ControlKind::IndirectCall
+            ) {
+                self.ras.push(u64::from(si.pc.next()));
+            }
+        }
+        // The inactive suffix (only with inactive issue); its assumed
+        // direction is the segment's embedded path.
+        if self.config.inactive_issue {
+            for si in &insts[active_len..] {
+                out.push(FetchedInst {
+                    pc: si.pc,
+                    instr: si.instr,
+                    pred_taken: si.instr.is_cond_branch().then_some(si.taken),
+                    promoted: si.promoted.is_some(),
+                    active: false,
+                });
+            }
+        }
+
+        let last_active = &insts[active_len - 1];
+        let next_pc = if bandwidth_cut {
+            // Out of predictions: the fetch ends just before the
+            // unpredictable branch; the next fetch starts there.
+            NextPc::Known(last_active.embedded_next())
+        } else if !full {
+            // The active portion ends at a conditional branch (the
+            // divergent one, or the first block's under no partial
+            // matching): follow the *predicted* direction.
+            let pred = out[active_len - 1].pred_taken.expect("cut is at a branch");
+            match last_active.instr {
+                Instr::Branch { target, .. } => {
+                    if pred {
+                        NextPc::Known(target)
+                    } else {
+                        NextPc::Known(last_active.pc.next())
+                    }
+                }
+                _ => unreachable!("a non-full match always ends at a conditional branch"),
+            }
+        } else {
+            match last_active.instr.control_kind() {
+                ControlKind::Return => {
+                    let predicted = self.ras.pop().map(|a| Addr::new(a as u32));
+                    NextPc::Return { predicted }
+                }
+                ControlKind::IndirectJump | ControlKind::IndirectCall => NextPc::Indirect {
+                    pc: last_active.pc,
+                    predicted: self
+                        .indirect
+                        .predict(last_active.pc.byte_addr())
+                        .map(|t| Addr::new(t as u32)),
+                },
+                _ => NextPc::Known(last_active.embedded_next()),
+            }
+        };
+
+        let base_reason = if bandwidth_cut {
+            TerminationReason::MaximumBrs
+        } else if full {
+            TerminationReason::from(end_reason)
+        } else {
+            TerminationReason::PartialMatch
+        };
+        FetchBundle {
+            fetch_pc: pc,
+            insts: out,
+            active_len,
+            source: FetchSource::TraceCache,
+            base_reason,
+            predictions_used: used,
+            icache_latency: 0,
+            next_pc,
+            pred: pred_ctx,
+        }
+    }
+
+    fn fetch_from_icache(
+        &mut self,
+        pc: Addr,
+        program: &Program,
+        mem: &mut MemoryHierarchy,
+        dirs: &[bool; 3],
+        pred_ctx: &mut PredContext,
+    ) -> FetchBundle {
+        let line_bytes = mem.config().icache.line_bytes;
+        let first = mem.instruction_fetch(pc.byte_addr());
+        let latency = first.cycles.saturating_sub(mem.config().l1_latency);
+
+        let mut out: Vec<FetchedInst> = Vec::with_capacity(self.config.fetch_width);
+        let mut cur = pc;
+        let mut used = 0usize;
+        let mut reason = TerminationReason::ICache;
+        let next_pc;
+
+        loop {
+            if out.len() == self.config.fetch_width {
+                reason = TerminationReason::MaxSize;
+                next_pc = NextPc::Known(cur);
+                break;
+            }
+            // Split-line fetching: crossing into a new line requires it
+            // to be resident, otherwise the fetch ends at the boundary.
+            if cur != pc && cur.byte_addr() % line_bytes == 0 {
+                if mem.instruction_resident(cur.byte_addr()) {
+                    mem.instruction_fetch(cur.byte_addr());
+                } else {
+                    next_pc = NextPc::Known(cur);
+                    break;
+                }
+            }
+            let Some(instr) = program.fetch(cur) else {
+                // Off the end of the program (wrong-path overrun).
+                next_pc = NextPc::Known(cur);
+                break;
+            };
+            if matches!(instr, Instr::Halt) {
+                next_pc = NextPc::Known(cur);
+                break;
+            }
+            let kind = instr.control_kind();
+            match kind {
+                ControlKind::None => {
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    cur = cur.next();
+                }
+                ControlKind::CondBranch => {
+                    let pred = match &self.predictor {
+                        Predictor::Hybrid(h) => {
+                            let hp = h.predict(cur.byte_addr(), pred_ctx.history);
+                            pred_ctx.hybrid = Some((cur, hp));
+                            hp.dir
+                        }
+                        _ => dirs[0],
+                    };
+                    used = 1;
+                    self.history.push(pred);
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: Some(pred),
+                        promoted: false,
+                        active: true,
+                    });
+                    let target = instr.direct_target().expect("branches have targets");
+                    next_pc = NextPc::Known(if pred { target } else { cur.next() });
+                    break;
+                }
+                ControlKind::Jump => {
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    next_pc =
+                        NextPc::Known(instr.direct_target().expect("jumps have targets"));
+                    break;
+                }
+                ControlKind::Call => {
+                    self.ras.push(u64::from(cur.next()));
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    next_pc =
+                        NextPc::Known(instr.direct_target().expect("calls have targets"));
+                    break;
+                }
+                ControlKind::Return => {
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    let predicted = self.ras.pop().map(|a| Addr::new(a as u32));
+                    next_pc = NextPc::Return { predicted };
+                    break;
+                }
+                ControlKind::IndirectJump | ControlKind::IndirectCall => {
+                    if kind == ControlKind::IndirectCall {
+                        self.ras.push(u64::from(cur.next()));
+                    }
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    next_pc = NextPc::Indirect {
+                        pc: cur,
+                        predicted: self
+                            .indirect
+                            .predict(cur.byte_addr())
+                            .map(|t| Addr::new(t as u32)),
+                    };
+                    break;
+                }
+                ControlKind::Trap => {
+                    out.push(FetchedInst {
+                        pc: cur,
+                        instr,
+                        pred_taken: None,
+                        promoted: false,
+                        active: true,
+                    });
+                    next_pc = NextPc::Known(cur.next());
+                    break;
+                }
+            }
+        }
+
+        let active_len = out.len();
+        FetchBundle {
+            fetch_pc: pc,
+            insts: out,
+            active_len,
+            source: FetchSource::ICache,
+            base_reason: reason,
+            predictions_used: used,
+            icache_latency: latency,
+            next_pc,
+            pred: *pred_ctx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_cache::HierarchyConfig;
+    use tc_isa::{Cond, ProgramBuilder, Reg};
+
+    fn straight_line_program(n: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..n {
+            b.nop();
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::paper_trace_cache())
+    }
+
+    #[test]
+    fn icache_fetch_stops_at_width() {
+        let program = straight_line_program(64);
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        let bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_eq!(bundle.source, FetchSource::ICache);
+        assert_eq!(bundle.insts.len(), 16);
+        assert_eq!(bundle.base_reason, TerminationReason::MaxSize);
+        assert!(matches!(bundle.next_pc, NextPc::Known(a) if a == Addr::new(16)));
+        assert!(bundle.icache_latency > 0, "cold fetch misses");
+    }
+
+    #[test]
+    fn icache_fetch_ends_at_branch_with_prediction() {
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.nop().nop();
+        b.branch(Cond::Eq, Reg::T0, Reg::T1, t);
+        b.nop();
+        b.bind(t).unwrap();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        let bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_eq!(bundle.insts.len(), 3);
+        assert_eq!(bundle.predictions_used, 1);
+        assert!(bundle.insts[2].pred_taken.is_some());
+        assert_eq!(bundle.base_reason, TerminationReason::ICache);
+    }
+
+    #[test]
+    fn split_line_miss_terminates_fetch() {
+        let program = straight_line_program(64);
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        // Fetch at 8: line 0 (insts 0..16) is fetched; the fetch would
+        // cross into line 1 (inst 16) after 8 instructions, but that
+        // line is cold -> terminate at the boundary.
+        let bundle = fe.fetch(Addr::new(8), &program, &mut m);
+        assert_eq!(bundle.insts.len(), 8);
+        assert!(matches!(bundle.next_pc, NextPc::Known(a) if a == Addr::new(16)));
+        // Next fetch at 16 misses and proceeds.
+        let bundle2 = fe.fetch(Addr::new(16), &program, &mut m);
+        assert!(bundle2.icache_latency > 0);
+        assert_eq!(bundle2.insts.len(), 16);
+    }
+
+    #[test]
+    fn trace_cache_hit_after_retire() {
+        // Retire a block, then fetch it from the trace cache.
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.nop().nop().nop();
+        b.branch(Cond::Eq, Reg::T0, Reg::T1, t);
+        b.nop().nop();
+        b.bind(t).unwrap();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        // Retire the not-taken path: 0,1,2,branch(nt),4,5 then a fake
+        // return to finalize the segment.
+        for pc in 0..4u32 {
+            fe.retire(&ExecRecord {
+                pc: Addr::new(pc),
+                instr: program.fetch(Addr::new(pc)).unwrap(),
+                next_pc: Addr::new(pc + 1),
+                taken: false,
+                mem_addr: None,
+            });
+        }
+        fe.retire(&ExecRecord {
+            pc: Addr::new(4),
+            instr: Instr::Ret,
+            next_pc: Addr::new(0),
+            taken: false,
+            mem_addr: None,
+        });
+        let bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_eq!(bundle.source, FetchSource::TraceCache);
+        assert_eq!(bundle.insts.len(), 5);
+        assert_eq!(bundle.base_reason, TerminationReason::RetIndTrap);
+        assert!(matches!(bundle.next_pc, NextPc::Return { .. }));
+    }
+
+    #[test]
+    fn partial_match_issues_inactive_suffix() {
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        // Build a program with a branch whose trace embeds taken.
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.nop();
+        b.branch(Cond::Eq, Reg::T0, Reg::T1, t);
+        b.nop().nop();
+        b.bind(t).unwrap(); // addr 4
+        b.nop().nop().nop();
+        b.halt();
+        let program = b.build().unwrap();
+        // Retire the taken path 0,1(T),4,5,6 + ret to finalize.
+        let recs = [
+            (0u32, false, 1u32),
+            (1, true, 4),
+            (4, false, 5),
+            (5, false, 6),
+            (6, false, 7),
+        ];
+        for (pc, taken, next) in recs {
+            fe.retire(&ExecRecord {
+                pc: Addr::new(pc),
+                instr: program.fetch(Addr::new(pc)).unwrap(),
+                next_pc: Addr::new(next),
+                taken,
+                mem_addr: None,
+            });
+        }
+        fe.retire(&ExecRecord {
+            pc: Addr::new(7),
+            instr: Instr::Ret,
+            next_pc: Addr::new(0),
+            taken: false,
+            mem_addr: None,
+        });
+        // Fresh predictor predicts not-taken; the segment embeds taken.
+        let bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_eq!(bundle.source, FetchSource::TraceCache);
+        assert_eq!(bundle.base_reason, TerminationReason::PartialMatch);
+        assert_eq!(bundle.active_len, 2, "nop + divergent branch stay active");
+        assert!(!bundle.inactive().is_empty(), "rest of line issues inactively");
+        // Predicted next follows the *prediction* (not taken -> pc 2).
+        assert!(matches!(bundle.next_pc, NextPc::Known(a) if a == Addr::new(2)));
+    }
+
+    #[test]
+    fn icache_only_frontend_never_uses_trace_cache() {
+        let program = straight_line_program(40);
+        let mut fe = FrontEnd::new(FrontEndConfig::icache_only());
+        let mut m = MemoryHierarchy::new(HierarchyConfig::paper_icache_only());
+        // Even after retiring, fetches come from the icache.
+        for pc in 0..8u32 {
+            fe.retire(&ExecRecord {
+                pc: Addr::new(pc),
+                instr: Instr::Nop,
+                next_pc: Addr::new(pc + 1),
+                taken: false,
+                mem_addr: None,
+            });
+        }
+        let bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_eq!(bundle.source, FetchSource::ICache);
+        assert!(fe.trace_cache().is_none());
+    }
+
+    #[test]
+    fn history_advances_on_predicted_branches() {
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.branch(Cond::Eq, Reg::T0, Reg::T1, t);
+        b.nop();
+        b.bind(t).unwrap();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        let h0 = fe.history_snapshot();
+        let _ = fe.fetch(Addr::new(0), &program, &mut m);
+        assert_ne!(fe.history_snapshot(), h0 << 1 | 1, "not necessarily taken");
+        // Exactly one outcome was shifted in.
+        assert!(fe.history_snapshot() >> 1 == h0);
+        fe.restore_history(h0);
+        assert_eq!(fe.history_snapshot(), h0);
+    }
+
+    #[test]
+    fn returns_pop_the_ras_after_calls_push_it() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        b.entry(main);
+        b.bind(f).unwrap();
+        b.ret(); // addr 0
+        b.bind(main).unwrap();
+        b.call(f); // addr 1
+        b.halt();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(FrontEndConfig::baseline());
+        let mut m = mem();
+        let call_bundle = fe.fetch(Addr::new(1), &program, &mut m);
+        assert!(matches!(call_bundle.next_pc, NextPc::Known(a) if a == Addr::new(0)));
+        let ret_bundle = fe.fetch(Addr::new(0), &program, &mut m);
+        match ret_bundle.next_pc {
+            NextPc::Return { predicted } => assert_eq!(predicted, Some(Addr::new(2))),
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod issue_mode_tests {
+    use super::*;
+    use tc_cache::HierarchyConfig;
+    use tc_isa::{Cond, ProgramBuilder, Reg};
+
+    /// Builds a front end holding one trace segment: blk1 (2 insts, br
+    /// taken) -> blk2 (2 insts, br taken) -> 1 inst.
+    fn two_block_frontend(config: FrontEndConfig) -> (FrontEnd, Program, MemoryHierarchy) {
+        let mut b = ProgramBuilder::new();
+        let l1 = b.new_label("l1");
+        let l2 = b.new_label("l2");
+        b.nop(); // 0
+        b.branch(Cond::Eq, Reg::T0, Reg::T0, l1); // 1 (taken)
+        b.nop(); // 2 (fallthrough, off trace)
+        b.bind(l1).unwrap();
+        b.nop(); // 3
+        b.branch(Cond::Eq, Reg::T0, Reg::T0, l2); // 4 (taken)
+        b.nop(); // 5
+        b.bind(l2).unwrap();
+        b.nop(); // 6
+        b.halt();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(config);
+        // Retire the taken path + a return to finalize.
+        for (pc, taken, next) in
+            [(0u32, false, 1u32), (1, true, 3), (3, false, 4), (4, true, 6), (6, false, 7)]
+        {
+            fe.retire(&ExecRecord {
+                pc: Addr::new(pc),
+                instr: program.fetch(Addr::new(pc)).unwrap(),
+                next_pc: Addr::new(next),
+                taken,
+                mem_addr: None,
+            });
+        }
+        fe.retire(&ExecRecord {
+            pc: Addr::new(7),
+            instr: Instr::Ret,
+            next_pc: Addr::new(0),
+            taken: false,
+            mem_addr: None,
+        });
+        let mem = MemoryHierarchy::new(HierarchyConfig::paper_trace_cache());
+        (fe, program, mem)
+    }
+
+    #[test]
+    fn no_partial_matching_supplies_first_block_only() {
+        // The fresh predictor predicts not-taken; the segment embeds
+        // taken at both branches, so the line diverges at branch 1.
+        let config =
+            FrontEndConfig { partial_matching: false, ..FrontEndConfig::baseline() };
+        let (mut fe, program, mut mem) = two_block_frontend(config);
+        let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
+        assert_eq!(bundle.source, FetchSource::TraceCache);
+        assert_eq!(bundle.active_len, 2, "first block only: nop + branch");
+        // Next follows the branch's *prediction* (not taken -> pc 2).
+        assert!(matches!(bundle.next_pc, NextPc::Known(a) if a == Addr::new(2)));
+    }
+
+    #[test]
+    fn partial_matching_supplies_matching_prefix() {
+        let (mut fe, program, mut mem) = two_block_frontend(FrontEndConfig::baseline());
+        let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
+        // Divergence is still at the first branch here (predictor cold),
+        // so the prefix equals the first block; inactive issue supplies
+        // the rest of the line.
+        assert_eq!(bundle.active_len, 2);
+        assert!(!bundle.inactive().is_empty());
+    }
+
+    #[test]
+    fn no_inactive_issue_discards_off_path_suffix() {
+        let config = FrontEndConfig { inactive_issue: false, ..FrontEndConfig::baseline() };
+        let (mut fe, program, mut mem) = two_block_frontend(config);
+        let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
+        assert_eq!(bundle.active_len, bundle.insts.len(), "no inactive instructions issued");
+    }
+
+    #[test]
+    fn finite_ras_drops_deep_returns() {
+        let config = FrontEndConfig { ras_depth: Some(1), ..FrontEndConfig::baseline() };
+        let mut b = ProgramBuilder::new();
+        let f1 = b.new_label("f1");
+        b.call(f1); // 0
+        b.halt();
+        b.bind(f1).unwrap();
+        b.ret();
+        let program = b.build().unwrap();
+        let mut fe = FrontEnd::new(config);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_trace_cache());
+        // Two calls overflow the 1-deep stack.
+        let _ = fe.fetch(Addr::new(0), &program, &mut mem);
+        let _ = fe.fetch(Addr::new(0), &program, &mut mem);
+        let ret_bundle = fe.fetch(Addr::new(2), &program, &mut mem);
+        match ret_bundle.next_pc {
+            NextPc::Return { predicted } => assert_eq!(predicted, Some(Addr::new(1))),
+            other => panic!("expected return, got {other:?}"),
+        }
+        // The second pop hits an empty (overflowed) stack.
+        let ret_bundle = fe.fetch(Addr::new(2), &program, &mut mem);
+        match ret_bundle.next_pc {
+            NextPc::Return { predicted } => assert_eq!(predicted, None),
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The trace cache proper: segment storage.
+
+use tc_isa::Addr;
+
+use crate::segment::TraceSegment;
+
+/// Trace cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct TraceCacheConfig {
+    /// Total entries (lines); the paper uses 2K (~128 KB of instruction
+    /// storage at 16 4-byte instructions per line).
+    pub entries: usize,
+    /// Associativity; the paper uses 4.
+    pub ways: usize,
+    /// Path associativity: allow several segments with the same start
+    /// address but different paths to coexist (`ABC` and `ABD`). The
+    /// paper's machine does *not* use it (§3, citing the companion
+    /// technical report); it is provided for ablation.
+    pub path_assoc: bool,
+}
+
+impl TraceCacheConfig {
+    /// The paper's 2K-entry, 4-way configuration (no path
+    /// associativity).
+    #[must_use]
+    pub fn paper() -> TraceCacheConfig {
+        TraceCacheConfig { entries: 2048, ways: 4, path_assoc: false }
+    }
+
+    /// A scaled configuration with the same associativity (for the size
+    /// ablation; `entries` must be a multiple of `ways` and the set count
+    /// must be a power of two).
+    #[must_use]
+    pub fn with_entries(entries: usize) -> TraceCacheConfig {
+        TraceCacheConfig { entries, ..TraceCacheConfig::paper() }
+    }
+
+    /// Enables path associativity.
+    #[must_use]
+    pub fn with_path_assoc(mut self) -> TraceCacheConfig {
+        self.path_assoc = true;
+        self
+    }
+
+    fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    fn validate(&self) {
+        assert!(self.ways > 0 && self.entries >= self.ways);
+        assert!(self.entries % self.ways == 0, "entries must divide into ways");
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+
+    /// Approximate instruction storage in bytes (16 instructions × 4
+    /// bytes per line).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.entries * crate::segment::MAX_SEGMENT_INSTS * 4
+    }
+}
+
+/// Hit/miss counters for the trace cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct TraceCacheStats {
+    /// Lookups that found a segment starting at the fetch address.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Segments written by the fill unit.
+    pub fills: u64,
+    /// Fills that displaced a valid segment.
+    pub evictions: u64,
+    /// Fills dropped because an identical segment was already resident.
+    pub duplicate_fills: u64,
+}
+
+impl TraceCacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    segment: TraceSegment,
+}
+
+/// The trace cache: set-associative storage of [`TraceSegment`]s indexed
+/// by start address.
+///
+/// Per the paper (§3) the cache has **no path associativity**: at most
+/// one segment starting at a given address is resident at a time (`ABC`
+/// and `ABD` cannot coexist). Fills that duplicate a resident segment
+/// refresh its recency instead of writing a copy.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    config: TraceCacheConfig,
+    /// Sets of ways, most-recently-used first.
+    sets: Vec<Vec<Way>>,
+    stats: TraceCacheStats,
+}
+
+impl TraceCache {
+    /// Creates an empty trace cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`TraceCacheConfig`]).
+    #[must_use]
+    pub fn new(config: TraceCacheConfig) -> TraceCache {
+        config.validate();
+        TraceCache {
+            config,
+            sets: (0..config.sets()).map(|_| Vec::with_capacity(config.ways)).collect(),
+            stats: TraceCacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &TraceCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TraceCacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up), keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = TraceCacheStats::default();
+    }
+
+    fn set_index(&self, start: Addr) -> usize {
+        start.index() & (self.config.sets() - 1)
+    }
+
+    /// Looks up a segment starting at `start`, updating LRU and stats.
+    /// Without path associativity at most one candidate exists; with it,
+    /// the most recently used matching segment is returned (prefer
+    /// [`TraceCache::lookup_best`] when predictions are available).
+    pub fn lookup(&mut self, start: Addr) -> Option<&TraceSegment> {
+        let si = self.set_index(start);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|w| w.segment.start() == start) {
+            let way = set.remove(pos);
+            set.insert(0, way);
+            self.stats.hits += 1;
+            Some(&set[0].segment)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Looks up the segment starting at `start` whose embedded path best
+    /// matches the supplied predictions (the selection logic of a
+    /// path-associative trace cache). Ties go to the longer active
+    /// match; LRU and stats update as in [`TraceCache::lookup`].
+    pub fn lookup_best(&mut self, start: Addr, preds: &[bool]) -> Option<&TraceSegment> {
+        let si = self.set_index(start);
+        let set = &mut self.sets[si];
+        let best = set
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.segment.start() == start)
+            .max_by_key(|(_, w)| {
+                let (active, _, full) = w.segment.match_predictions(preds);
+                (usize::from(full), active)
+            })
+            .map(|(i, _)| i);
+        if let Some(pos) = best {
+            let way = set.remove(pos);
+            set.insert(0, way);
+            self.stats.hits += 1;
+            Some(&set[0].segment)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Checks for a resident segment without LRU or stats effects.
+    #[must_use]
+    pub fn probe(&self, start: Addr) -> Option<&TraceSegment> {
+        let set = &self.sets[self.set_index(start)];
+        set.iter().find(|w| w.segment.start() == start).map(|w| &w.segment)
+    }
+
+    /// Writes a segment built by the fill unit.
+    ///
+    /// Without path associativity, any resident segment with the same
+    /// start address is replaced (at most one path per start address);
+    /// with it, distinct paths from the same start coexist. An
+    /// *identical* resident segment is refreshed rather than rewritten
+    /// in both modes.
+    pub fn fill(&mut self, segment: TraceSegment) {
+        let si = self.set_index(segment.start());
+        let ways = self.config.ways;
+        let path_assoc = self.config.path_assoc;
+        let set = &mut self.sets[si];
+        let same_start = set.iter().position(|w| w.segment.start() == segment.start());
+        if let Some(pos) = same_start {
+            if set[pos].segment == segment {
+                let way = set.remove(pos);
+                set.insert(0, way);
+                self.stats.duplicate_fills += 1;
+                return;
+            }
+            if path_assoc {
+                // A different path: check the whole set for an identical
+                // segment before writing a new way.
+                if let Some(dup) =
+                    set.iter().position(|w| w.segment == segment)
+                {
+                    let way = set.remove(dup);
+                    set.insert(0, way);
+                    self.stats.duplicate_fills += 1;
+                    return;
+                }
+            } else {
+                set.remove(pos);
+                set.insert(0, Way { segment });
+                self.stats.fills += 1;
+                return;
+            }
+        }
+        if set.len() == ways {
+            set.pop();
+            self.stats.evictions += 1;
+        }
+        set.insert(0, Way { segment });
+        self.stats.fills += 1;
+    }
+
+    /// Number of resident segments.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total instructions stored across resident segments — with the
+    /// capacity, a measure of fragmentation (packing raises this).
+    #[must_use]
+    pub fn stored_instructions(&self) -> usize {
+        self.sets.iter().flat_map(|s| s.iter().map(|w| w.segment.len())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{SegEndReason, SegmentInst};
+    use tc_isa::Instr;
+
+    fn seg(start: u32, len: usize) -> TraceSegment {
+        let insts = (0..len)
+            .map(|i| SegmentInst {
+                pc: Addr::new(start + i as u32),
+                instr: Instr::Nop,
+                taken: false,
+                promoted: None,
+            })
+            .collect();
+        TraceSegment::new(insts, SegEndReason::AtomicBlock)
+    }
+
+    fn small_cache() -> TraceCache {
+        TraceCache::new(TraceCacheConfig { entries: 8, ways: 2, path_assoc: false })
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let c = TraceCacheConfig::paper();
+        assert_eq!(c.entries, 2048);
+        assert_eq!(c.storage_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut tc = small_cache();
+        tc.fill(seg(0x40, 5));
+        assert!(tc.lookup(Addr::new(0x40)).is_some());
+        assert!(tc.lookup(Addr::new(0x44)).is_none());
+        assert_eq!(tc.stats().hits, 1);
+        assert_eq!(tc.stats().misses, 1);
+    }
+
+    #[test]
+    fn no_path_associativity() {
+        let mut tc = small_cache();
+        tc.fill(seg(0x10, 4));
+        tc.fill(seg(0x10, 7)); // different path from the same start
+        assert_eq!(tc.resident(), 1, "one segment per start address");
+        assert_eq!(tc.probe(Addr::new(0x10)).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn duplicate_fill_refreshes_instead_of_writing() {
+        let mut tc = small_cache();
+        tc.fill(seg(0x10, 4));
+        tc.fill(seg(0x10, 4));
+        assert_eq!(tc.stats().fills, 1);
+        assert_eq!(tc.stats().duplicate_fills, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut tc = small_cache(); // 4 sets, 2 ways
+        // Three segments mapping to set 0 (addresses multiple of 4).
+        tc.fill(seg(0, 3));
+        tc.fill(seg(4, 3));
+        tc.lookup(Addr::new(0)); // refresh 0
+        tc.fill(seg(8, 3)); // evicts 4
+        assert!(tc.probe(Addr::new(0)).is_some());
+        assert!(tc.probe(Addr::new(4)).is_none());
+        assert!(tc.probe(Addr::new(8)).is_some());
+        assert_eq!(tc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stored_instructions_tracks_fragmentation() {
+        let mut tc = small_cache();
+        tc.fill(seg(0, 16));
+        tc.fill(seg(1, 8));
+        assert_eq!(tc.stored_instructions(), 24);
+    }
+}
+
+#[cfg(test)]
+mod path_assoc_tests {
+    use super::*;
+    use crate::segment::{SegEndReason, SegmentInst};
+    use tc_isa::{Cond, Instr, Reg};
+
+    /// A 3-instruction segment starting at `start` whose branch at
+    /// `start+1` embeds direction `taken`.
+    fn seg_with_branch(start: u32, taken: bool) -> TraceSegment {
+        let insts = vec![
+            SegmentInst { pc: Addr::new(start), instr: Instr::Nop, taken: false, promoted: None },
+            SegmentInst {
+                pc: Addr::new(start + 1),
+                instr: Instr::Branch {
+                    cond: Cond::Eq,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                    target: Addr::new(start + 10),
+                },
+                taken,
+                promoted: None,
+            },
+            SegmentInst {
+                pc: Addr::new(if taken { start + 10 } else { start + 2 }),
+                instr: Instr::Nop,
+                taken: false,
+                promoted: None,
+            },
+        ];
+        TraceSegment::new(insts, SegEndReason::MaxBranches)
+    }
+
+    #[test]
+    fn path_associativity_keeps_both_paths() {
+        let cfg = TraceCacheConfig { entries: 8, ways: 4, path_assoc: true };
+        let mut tc = TraceCache::new(cfg);
+        tc.fill(seg_with_branch(0x10, true));
+        tc.fill(seg_with_branch(0x10, false));
+        assert_eq!(tc.resident(), 2, "both paths coexist");
+        // lookup_best selects by prediction.
+        let taken_hit = tc.lookup_best(Addr::new(0x10), &[true]).expect("hit");
+        assert!(taken_hit.insts()[1].taken);
+        let nt_hit = tc.lookup_best(Addr::new(0x10), &[false]).expect("hit");
+        assert!(!nt_hit.insts()[1].taken);
+    }
+
+    #[test]
+    fn without_path_assoc_second_path_replaces_first() {
+        let mut tc = TraceCache::new(TraceCacheConfig { entries: 8, ways: 4, path_assoc: false });
+        tc.fill(seg_with_branch(0x10, true));
+        tc.fill(seg_with_branch(0x10, false));
+        assert_eq!(tc.resident(), 1);
+        assert!(!tc.probe(Addr::new(0x10)).unwrap().insts()[1].taken);
+    }
+
+    #[test]
+    fn path_assoc_duplicate_fill_refreshes() {
+        let cfg = TraceCacheConfig { entries: 8, ways: 4, path_assoc: true };
+        let mut tc = TraceCache::new(cfg);
+        tc.fill(seg_with_branch(0x10, true));
+        tc.fill(seg_with_branch(0x10, false));
+        tc.fill(seg_with_branch(0x10, true)); // identical to the first
+        assert_eq!(tc.resident(), 2);
+        assert_eq!(tc.stats().duplicate_fills, 1);
+    }
+}

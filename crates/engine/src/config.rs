@@ -1,0 +1,58 @@
+//! Execution-engine configuration.
+
+/// Parameters of the execution core (paper §3 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct EngineConfig {
+    /// Universal functional units (16).
+    pub fus: usize,
+    /// Total instruction-window capacity: 16 FUs × 64-entry node tables.
+    pub window: usize,
+    /// In-order retirement width per cycle.
+    pub retire_width: usize,
+    /// Cycles between fetch and earliest schedule (fetch + issue stages).
+    pub frontend_stages: u32,
+    /// Perfect memory disambiguation (the §6 "ideal, aggressive" core)
+    /// instead of the conservative no-bypass-unknown-store scheduler.
+    pub perfect_disambiguation: bool,
+}
+
+impl EngineConfig {
+    /// The paper's realistic core: conservative memory scheduling.
+    #[must_use]
+    pub fn paper_realistic() -> EngineConfig {
+        EngineConfig {
+            fus: 16,
+            window: 16 * 64,
+            retire_width: 16,
+            frontend_stages: 2,
+            perfect_disambiguation: false,
+        }
+    }
+
+    /// The paper's §6 core with perfect memory disambiguation.
+    #[must_use]
+    pub fn paper_perfect() -> EngineConfig {
+        EngineConfig { perfect_disambiguation: true, ..EngineConfig::paper_realistic() }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::paper_realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let c = EngineConfig::paper_realistic();
+        assert_eq!(c.fus, 16);
+        assert_eq!(c.window, 1024);
+        assert_eq!(c.retire_width, 16);
+        assert!(!c.perfect_disambiguation);
+        assert!(EngineConfig::paper_perfect().perfect_disambiguation);
+    }
+}

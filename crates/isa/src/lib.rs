@@ -1,0 +1,55 @@
+//! A small RISC-style instruction set used as the simulation substrate for
+//! the trace-weave project.
+//!
+//! The ISCA '98 paper this repository reproduces ("Improving Trace Cache
+//! Effectiveness with Branch Promotion and Trace Packing", Patel, Evers &
+//! Patt) drove its experiments with SimpleScalar binaries of SPECint95. This
+//! crate provides the from-scratch equivalent substrate: a fixed-width
+//! RISC-like ISA, a [`Program`] container, an assembler-style
+//! [`ProgramBuilder`] with labels, and a functional [`Interpreter`] that
+//! executes programs to produce the *dynamic instruction stream* consumed by
+//! the timing simulator.
+//!
+//! Instructions are 4 bytes wide and addressed by instruction index; the
+//! byte address of instruction `i` is `4 * i` (see [`Addr`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tc_isa::{ProgramBuilder, Interpreter, Reg, Cond};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! let loop_top = b.new_label("loop");
+//! let done = b.new_label("done");
+//! let (i, n, acc) = (Reg::T0, Reg::T1, Reg::T2);
+//! b.li(i, 0).li(n, 10).li(acc, 0);
+//! b.bind(loop_top)?;
+//! b.branch(Cond::Ge, i, n, done);
+//! b.add(acc, acc, i);
+//! b.addi(i, i, 1);
+//! b.jump(loop_top);
+//! b.bind(done)?;
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut interp = Interpreter::new(&program, 1 << 16);
+//! let _trace: Vec<_> = interp.by_ref().collect();
+//! assert_eq!(interp.machine().reg(acc), 45);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod instr;
+mod interp;
+mod program;
+mod reg;
+mod stream;
+
+pub use asm::{AsmError, Label, ProgramBuilder};
+pub use instr::{AluOp, Cond, ControlKind, Instr};
+pub use interp::{ExecError, Interpreter, Machine, StepOutcome};
+pub use program::{Addr, Program, ProgramError};
+pub use reg::Reg;
+pub use stream::{ExecRecord, StreamStats};

@@ -1,0 +1,166 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// One of the 32 architectural general-purpose registers.
+///
+/// Register 0 ([`Reg::ZERO`]) is hardwired to zero, as in MIPS/RISC-V.
+/// The remaining names are software conventions used by the workload
+/// builders in `tc-workloads`:
+///
+/// * [`Reg::RA`] — return address (link register written by calls)
+/// * [`Reg::SP`] — stack pointer
+/// * [`Reg::GP`] — global data pointer
+/// * `A0..A5`    — arguments / return values
+/// * `S0..S9`    — callee-saved
+/// * `T0..T11`   — temporaries
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address (link) register.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global data pointer.
+    pub const GP: Reg = Reg(3);
+
+    /// Argument register 0.
+    pub const A0: Reg = Reg(4);
+    /// Argument register 1.
+    pub const A1: Reg = Reg(5);
+    /// Argument register 2.
+    pub const A2: Reg = Reg(6);
+    /// Argument register 3.
+    pub const A3: Reg = Reg(7);
+    /// Argument register 4.
+    pub const A4: Reg = Reg(8);
+    /// Argument register 5.
+    pub const A5: Reg = Reg(9);
+
+    /// Callee-saved register 0.
+    pub const S0: Reg = Reg(10);
+    /// Callee-saved register 1.
+    pub const S1: Reg = Reg(11);
+    /// Callee-saved register 2.
+    pub const S2: Reg = Reg(12);
+    /// Callee-saved register 3.
+    pub const S3: Reg = Reg(13);
+    /// Callee-saved register 4.
+    pub const S4: Reg = Reg(14);
+    /// Callee-saved register 5.
+    pub const S5: Reg = Reg(15);
+    /// Callee-saved register 6.
+    pub const S6: Reg = Reg(16);
+    /// Callee-saved register 7.
+    pub const S7: Reg = Reg(17);
+    /// Callee-saved register 8.
+    pub const S8: Reg = Reg(18);
+    /// Callee-saved register 9.
+    pub const S9: Reg = Reg(19);
+
+    /// Temporary register 0.
+    pub const T0: Reg = Reg(20);
+    /// Temporary register 1.
+    pub const T1: Reg = Reg(21);
+    /// Temporary register 2.
+    pub const T2: Reg = Reg(22);
+    /// Temporary register 3.
+    pub const T3: Reg = Reg(23);
+    /// Temporary register 4.
+    pub const T4: Reg = Reg(24);
+    /// Temporary register 5.
+    pub const T5: Reg = Reg(25);
+    /// Temporary register 6.
+    pub const T6: Reg = Reg(26);
+    /// Temporary register 7.
+    pub const T7: Reg = Reg(27);
+    /// Temporary register 8.
+    pub const T8: Reg = Reg(28);
+    /// Temporary register 9.
+    pub const T9: Reg = Reg(29);
+    /// Temporary register 10.
+    pub const T10: Reg = Reg(30);
+    /// Temporary register 11.
+    pub const T11: Reg = Reg(31);
+
+    /// Total number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "zero"),
+            1 => write!(f, "ra"),
+            2 => write!(f, "sp"),
+            3 => write!(f, "gp"),
+            4..=9 => write!(f, "a{}", self.0 - 4),
+            10..=19 => write!(f, "s{}", self.0 - 10),
+            _ => write!(f, "t{}", self.0 - 20),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_registers_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::S0.index(), 10);
+        assert_eq!(Reg::T0.index(), 20);
+        assert_eq!(Reg::T11.index(), 31);
+    }
+
+    #[test]
+    fn display_names_are_conventional() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::A3.to_string(), "a3");
+        assert_eq!(Reg::S9.to_string(), "s9");
+        assert_eq!(Reg::T11.to_string(), "t11");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn only_register_zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        for i in 1..32 {
+            assert!(!Reg::new(i).is_zero());
+        }
+    }
+}

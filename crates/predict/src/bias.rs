@@ -1,0 +1,287 @@
+//! The branch bias table (Figure 5) driving branch promotion.
+
+/// Configuration of the [`BiasTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct BiasConfig {
+    /// Number of (direct-mapped) entries; 8K in the paper.
+    pub entries: usize,
+    /// Consecutive identical outcomes required to promote; the paper
+    /// sweeps {8, 16, 32, 64, 128, 256} and settles on 64.
+    pub threshold: u32,
+    /// Width of the consecutive-occurrence saturating counter.
+    pub counter_bits: u32,
+    /// Whether entries are tagged (the paper models a tagged table; an
+    /// untagged table aliases, which the ablation harness explores).
+    pub tagged: bool,
+}
+
+impl BiasConfig {
+    /// The paper's configuration at a given promotion threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` doesn't fit the counter, or if `entries` is
+    /// not a power of two.
+    #[must_use]
+    pub fn paper(threshold: u32) -> BiasConfig {
+        let cfg = BiasConfig { entries: 8 * 1024, threshold, counter_bits: 10, tagged: true };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.entries.is_power_of_two(), "bias table entries must be a power of two");
+        assert!(self.counter_bits >= 1 && self.counter_bits <= 16);
+        assert!(
+            self.threshold <= self.counter_max(),
+            "threshold {} exceeds {}-bit counter",
+            self.threshold,
+            self.counter_bits
+        );
+    }
+
+    fn counter_max(&self) -> u32 {
+        (1u32 << self.counter_bits) - 1
+    }
+}
+
+/// The promotion decision for a retiring conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasDecision {
+    /// Build the branch as a normal, dynamically-predicted branch.
+    Normal,
+    /// Build the branch as a *promoted* branch with the given static
+    /// direction (`true` = taken).
+    Promote(bool),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BiasEntry {
+    tag: u64,
+    /// Most recent outcome.
+    dir: bool,
+    /// Consecutive occurrences of `dir`, saturating.
+    count: u32,
+    /// The promoted direction, if this branch is currently promoted.
+    promoted: Option<bool>,
+}
+
+/// The branch bias table: indexed by branch address, holding the previous
+/// outcome and the number of consecutive identical outcomes (Figure 5).
+///
+/// Updated at retire for every conditional branch. Promotion and demotion
+/// follow §4 of the paper:
+///
+/// * promote when the consecutive-outcome count reaches the threshold;
+/// * demote a promoted branch after **two or more** consecutive outcomes
+///   opposite the promoted direction, or on a bias-table miss — a single
+///   opposite outcome (the final iteration of a loop) does *not* demote.
+///
+/// # Example
+///
+/// ```
+/// use tc_predict::{BiasConfig, BiasDecision, BiasTable};
+///
+/// let mut bias = BiasTable::new(BiasConfig { entries: 16, threshold: 4, counter_bits: 8, tagged: true });
+/// for _ in 0..4 {
+///     bias.update(0x40, true);
+/// }
+/// assert_eq!(bias.decision(0x40), BiasDecision::Promote(true));
+/// bias.update(0x40, false); // loop exit: still promoted
+/// assert_eq!(bias.decision(0x40), BiasDecision::Promote(true));
+/// bias.update(0x40, false); // second opposite outcome: demoted
+/// assert_eq!(bias.decision(0x40), BiasDecision::Normal);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiasTable {
+    entries: Vec<Option<BiasEntry>>,
+    config: BiasConfig,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl BiasTable {
+    /// Creates an empty bias table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`BiasConfig::paper`]).
+    #[must_use]
+    pub fn new(config: BiasConfig) -> BiasTable {
+        config.validate();
+        BiasTable { entries: vec![None; config.entries], config, promotions: 0, demotions: 0 }
+    }
+
+    /// The table configuration.
+    #[must_use]
+    pub fn config(&self) -> &BiasConfig {
+        &self.config
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.config.entries - 1)
+    }
+
+    fn tag(&self, pc: u64) -> u64 {
+        if self.config.tagged {
+            pc / self.config.entries as u64
+        } else {
+            0
+        }
+    }
+
+    /// Records the retirement of the conditional branch at `pc` with
+    /// outcome `taken`, applying promotion/demotion rules.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        let counter_max = self.config.counter_max();
+        let threshold = self.config.threshold;
+        let slot = &mut self.entries[idx];
+        let entry = match slot {
+            Some(e) if e.tag == tag => e,
+            _ => {
+                // Miss: (re)allocate. The displaced branch loses any
+                // promoted status with its entry.
+                *slot = Some(BiasEntry { tag, dir: taken, count: 1, promoted: None });
+                return;
+            }
+        };
+        if entry.dir == taken {
+            entry.count = (entry.count + 1).min(counter_max);
+        } else {
+            entry.dir = taken;
+            entry.count = 1;
+        }
+        if let Some(p) = entry.promoted {
+            // Two or more consecutive outcomes against the promoted
+            // direction demote the branch.
+            if entry.dir != p && entry.count >= 2 {
+                entry.promoted = None;
+                self.demotions += 1;
+            }
+        }
+        if entry.promoted.is_none() && entry.count >= threshold {
+            entry.promoted = Some(entry.dir);
+            self.promotions += 1;
+        }
+    }
+
+    /// The fill unit's query when adding the conditional branch at `pc` to
+    /// a pending trace segment: promoted, and in which direction?
+    ///
+    /// A miss in the table means [`BiasDecision::Normal`] (the paper
+    /// demotes on a miss).
+    #[must_use]
+    pub fn decision(&self, pc: u64) -> BiasDecision {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        match &self.entries[idx] {
+            Some(e) if e.tag == tag => match e.promoted {
+                Some(dir) => BiasDecision::Promote(dir),
+                None => BiasDecision::Normal,
+            },
+            _ => BiasDecision::Normal,
+        }
+    }
+
+    /// Total promotions performed.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Total demotions performed.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(threshold: u32) -> BiasTable {
+        BiasTable::new(BiasConfig { entries: 64, threshold, counter_bits: 10, tagged: true })
+    }
+
+    #[test]
+    fn promotes_at_threshold() {
+        let mut t = table(4);
+        for i in 0..4 {
+            assert_eq!(t.decision(0x10), BiasDecision::Normal, "iteration {i}");
+            t.update(0x10, false);
+        }
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(false));
+        assert_eq!(t.promotions(), 1);
+    }
+
+    #[test]
+    fn single_opposite_outcome_does_not_demote() {
+        let mut t = table(4);
+        for _ in 0..8 {
+            t.update(0x10, true);
+        }
+        t.update(0x10, false); // loop exit
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+        t.update(0x10, true); // loop re-entered
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+    }
+
+    #[test]
+    fn two_opposite_outcomes_demote() {
+        let mut t = table(4);
+        for _ in 0..8 {
+            t.update(0x10, true);
+        }
+        t.update(0x10, false);
+        t.update(0x10, false);
+        assert_eq!(t.decision(0x10), BiasDecision::Normal);
+        assert_eq!(t.demotions(), 1);
+    }
+
+    #[test]
+    fn tag_conflict_evicts_and_demotes() {
+        let mut t = table(2);
+        t.update(0x10, true);
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+        // Same index (entries=64), different tag.
+        t.update(0x10 + 64, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Normal, "miss in the bias table demotes");
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut t = BiasTable::new(BiasConfig { entries: 8, threshold: 3, counter_bits: 2, tagged: true });
+        for _ in 0..100 {
+            t.update(0x1, true);
+        }
+        assert_eq!(t.decision(0x1), BiasDecision::Promote(true));
+    }
+
+    #[test]
+    fn repromotion_after_demotion_requires_full_threshold() {
+        let mut t = table(4);
+        for _ in 0..4 {
+            t.update(0x10, true);
+        }
+        t.update(0x10, false);
+        t.update(0x10, false);
+        assert_eq!(t.decision(0x10), BiasDecision::Normal);
+        t.update(0x10, true);
+        t.update(0x10, true);
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Normal);
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn threshold_must_fit_counter() {
+        let _ = BiasTable::new(BiasConfig { entries: 8, threshold: 300, counter_bits: 8, tagged: true });
+    }
+}

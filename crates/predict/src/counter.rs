@@ -1,0 +1,98 @@
+//! Two-bit saturating counters.
+
+/// A 2-bit saturating up/down counter, the basic element of every pattern
+/// history table in the paper.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. New counters start in
+/// `1` (weakly not-taken), matching common simulator practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Creates a counter in the weakly-not-taken state.
+    #[must_use]
+    pub fn new() -> Counter2 {
+        Counter2(1)
+    }
+
+    /// Creates a counter in a specific state `0..=3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > 3`.
+    #[must_use]
+    pub fn with_state(state: u8) -> Counter2 {
+        assert!(state <= 3, "2-bit counter state must be 0..=3, got {state}");
+        Counter2(state)
+    }
+
+    /// The predicted direction: taken when the counter is in the upper
+    /// half.
+    #[must_use]
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter toward `taken`.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// The raw state `0..=3`.
+    #[must_use]
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Counter2 {
+        Counter2::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_weakly_not_taken() {
+        let c = Counter2::new();
+        assert!(!c.predict());
+        assert_eq!(c.state(), 1);
+    }
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = Counter2::new();
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.state(), 3);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert_eq!(c.state(), 0);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = Counter2::with_state(3);
+        c.update(false);
+        assert!(c.predict(), "one opposite outcome should not flip a strong counter");
+        c.update(false);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=3")]
+    fn with_state_validates() {
+        let _ = Counter2::with_state(4);
+    }
+}

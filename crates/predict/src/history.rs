@@ -1,0 +1,83 @@
+//! The global branch history register.
+
+/// A global branch-outcome history register of up to 64 bits.
+///
+/// The fetch engine owns one of these, shifts predicted outcomes in
+/// *speculatively* at fetch, and repairs it when a misprediction resolves
+/// by restoring a checkpoint and shifting in the actual outcome. Promoted
+/// branches also shift their outcomes in — the paper keeps their outcomes
+/// in the history "to maintain the integrity of the predictor's
+/// information" (§4) — they just never touch the pattern history table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GlobalHistory {
+    bits: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero (all not-taken) history.
+    #[must_use]
+    pub fn new() -> GlobalHistory {
+        GlobalHistory::default()
+    }
+
+    /// Shifts one outcome into the least-significant end.
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | u64::from(taken);
+    }
+
+    /// The low `n` bits of history (`n <= 64`).
+    #[must_use]
+    pub fn low_bits(self, n: u32) -> u64 {
+        if n >= 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Snapshot for checkpoint/repair.
+    #[must_use]
+    pub fn snapshot(self) -> u64 {
+        self.bits
+    }
+
+    /// Restores a snapshot taken with [`GlobalHistory::snapshot`].
+    pub fn restore(&mut self, snapshot: u64) {
+        self.bits = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_outcomes() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.low_bits(3), 0b101);
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let mut h = GlobalHistory::new();
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.low_bits(4), 0b1111);
+        assert_eq!(h.low_bits(64), h.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        let snap = h.snapshot();
+        h.push(false);
+        h.push(false);
+        h.restore(snap);
+        assert_eq!(h.low_bits(1), 1);
+    }
+}

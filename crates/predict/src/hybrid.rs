@@ -1,0 +1,129 @@
+//! The hybrid gshare/PAs predictor of the icache-only front end.
+
+use crate::counter::Counter2;
+use crate::gshare::Gshare;
+use crate::history::GlobalHistory;
+use crate::pas::PasPredictor;
+
+/// The aggressive hybrid single-branch predictor used by the reference
+/// icache front end (paper §3): a gshare component with 15 bits of global
+/// history, a PAs component with 15 bits of local history and a 4K-entry
+/// branch history table, and a 2-bit-counter chooser indexed with the
+/// same 15-bit gshare index (~32 KB total).
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    gshare: Gshare,
+    pas: PasPredictor,
+    chooser: Vec<Counter2>,
+    history_bits: u32,
+}
+
+/// What the hybrid predicted, with the component breakdown retained so the
+/// chooser can be trained at resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridPrediction {
+    /// The final (selected) direction.
+    pub dir: bool,
+    /// The gshare component's direction.
+    pub gshare_dir: bool,
+    /// The PAs component's direction.
+    pub pas_dir: bool,
+}
+
+impl HybridPredictor {
+    /// Creates the paper's configuration.
+    #[must_use]
+    pub fn paper() -> HybridPredictor {
+        HybridPredictor::new(15, 15)
+    }
+
+    /// Creates a hybrid with `2^index_bits` gshare/chooser entries and the
+    /// same number of history bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 26.
+    #[must_use]
+    pub fn new(index_bits: u32, history_bits: u32) -> HybridPredictor {
+        HybridPredictor {
+            gshare: Gshare::new(index_bits, history_bits),
+            pas: PasPredictor::new(12, 15),
+            chooser: vec![Counter2::new(); 1 << index_bits],
+            history_bits,
+        }
+    }
+
+    fn chooser_index(&self, pc: u64, history: GlobalHistory) -> usize {
+        // The paper: "the selector is accessed using the same 15-bit index
+        // as the gshare component".
+        let mask = self.chooser.len() as u64 - 1;
+        ((pc ^ history.low_bits(self.history_bits)) & mask) as usize
+    }
+
+    /// Predicts the branch at `pc`. A chooser state in the taken half
+    /// selects gshare, otherwise PAs.
+    #[must_use]
+    pub fn predict(&self, pc: u64, history: GlobalHistory) -> HybridPrediction {
+        let g = self.gshare.predict(pc, history);
+        let p = self.pas.predict(pc);
+        let use_gshare = self.chooser[self.chooser_index(pc, history)].predict();
+        HybridPrediction { dir: if use_gshare { g } else { p }, gshare_dir: g, pas_dir: p }
+    }
+
+    /// Trains both components and the chooser with the actual outcome.
+    /// `history` must be the global history *at prediction time*.
+    pub fn update(&mut self, pc: u64, history: GlobalHistory, pred: HybridPrediction, taken: bool) {
+        self.gshare.update(pc, history, taken);
+        self.pas.update(pc, taken);
+        let g_ok = pred.gshare_dir == taken;
+        let p_ok = pred.pas_dir == taken;
+        if g_ok != p_ok {
+            let i = self.chooser_index(pc, history);
+            self.chooser[i].update(g_ok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_learns_which_component_is_right() {
+        let mut h = HybridPredictor::new(10, 8);
+        let hist = GlobalHistory::new();
+        let pc = 0x500;
+        // An alternating branch: PAs learns it, gshare (with constant
+        // history here) cannot. The chooser should migrate to PAs.
+        let mut outcome = false;
+        for _ in 0..200 {
+            let pred = h.predict(pc, hist);
+            h.update(pc, hist, pred, outcome);
+            outcome = !outcome;
+        }
+        let mut correct = 0;
+        for _ in 0..20 {
+            let pred = h.predict(pc, hist);
+            if pred.dir == outcome {
+                correct += 1;
+            }
+            h.update(pc, hist, pred, outcome);
+            outcome = !outcome;
+        }
+        assert!(correct >= 18, "hybrid should track PAs on an alternating branch, got {correct}");
+    }
+
+    #[test]
+    fn biased_branch_predicted_by_both() {
+        let mut h = HybridPredictor::paper();
+        let hist = GlobalHistory::new();
+        // PAs has 15 bits of local history: it needs 15 updates before its
+        // history saturates and the same PHT entry is trained repeatedly.
+        for _ in 0..40 {
+            let pred = h.predict(0x40, hist);
+            h.update(0x40, hist, pred, true);
+        }
+        let pred = h.predict(0x40, hist);
+        assert!(pred.dir && pred.gshare_dir && pred.pas_dir);
+    }
+}

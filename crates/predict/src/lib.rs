@@ -1,0 +1,49 @@
+//! Branch predictors and the branch bias table for trace-weave.
+//!
+//! Implements every prediction structure the paper's §3–§4 describe:
+//!
+//! * [`MultiPredictor`] — the gshare-style *multiple branch predictor* of
+//!   Figure 3: a 16K-entry pattern history table whose entries hold seven
+//!   2-bit counters arranged as a tree, producing up to three conditional
+//!   branch predictions per cycle (32 KB of state).
+//! * [`SplitMultiPredictor`] — the restructured predictor of §4 used with
+//!   branch promotion: three separate tables of 64K / 16K / 8K 2-bit
+//!   counters (24 KB), one per prediction slot.
+//! * [`HybridPredictor`] — the aggressive single-branch predictor of the
+//!   icache-only reference front end: gshare (15-bit global history) +
+//!   PAs (15-bit local history, 4K-entry branch history table) with a
+//!   chooser (~32 KB).
+//! * [`BiasTable`] — the 8K-entry tagged *branch bias table* of Figure 5
+//!   that drives branch promotion and demotion.
+//! * [`ReturnStack`] — a return address stack (the paper models an ideal
+//!   RAS; the simulator uses [`ReturnStack`] in ideal mode by default).
+//! * [`IndirectPredictor`] — a tagged last-target predictor for indirect
+//!   jumps and calls (the paper reports indirect mispredictions in
+//!   Figure 14).
+//!
+//! Predictors are passive tables: the *global history register*
+//! ([`GlobalHistory`]) is owned by the fetch engine, which updates it
+//! speculatively and repairs it on mispredictions, passing the current
+//! value into `predict` calls.
+
+mod bias;
+mod counter;
+mod gshare;
+mod history;
+mod hybrid;
+mod indirect;
+mod multi;
+mod pas;
+mod ras;
+mod split;
+
+pub use bias::{BiasConfig, BiasDecision, BiasTable};
+pub use counter::Counter2;
+pub use gshare::Gshare;
+pub use history::GlobalHistory;
+pub use hybrid::{HybridPrediction, HybridPredictor};
+pub use indirect::IndirectPredictor;
+pub use multi::{MultiPredictions, MultiPredictor, MAX_PREDICTIONS};
+pub use pas::PasPredictor;
+pub use ras::ReturnStack;
+pub use split::SplitMultiPredictor;

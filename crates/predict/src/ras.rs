@@ -1,0 +1,96 @@
+//! Return address stack.
+
+/// A return address stack. The paper models an *ideal* RAS
+/// ([`ReturnStack::ideal`], unbounded and never corrupted); a finite depth
+/// is available for ablation.
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    stack: Vec<u64>,
+    max_depth: Option<usize>,
+    overflows: u64,
+}
+
+impl ReturnStack {
+    /// Creates an unbounded (ideal) return stack.
+    #[must_use]
+    pub fn ideal() -> ReturnStack {
+        ReturnStack { stack: Vec::new(), max_depth: None, overflows: 0 }
+    }
+
+    /// Creates a finite return stack that drops the oldest entry on
+    /// overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn with_depth(depth: usize) -> ReturnStack {
+        assert!(depth > 0, "return stack depth must be positive");
+        ReturnStack { stack: Vec::with_capacity(depth), max_depth: Some(depth), overflows: 0 }
+    }
+
+    /// Pushes a return address at a call.
+    pub fn push(&mut self, return_addr: u64) {
+        if let Some(d) = self.max_depth {
+            if self.stack.len() == d {
+                self.stack.remove(0);
+                self.overflows += 1;
+            }
+        }
+        self.stack.push(return_addr);
+    }
+
+    /// Pops the predicted return address at a return; `None` on underflow.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of pushed entries lost to overflow.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnStack::ideal();
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn finite_stack_drops_oldest() {
+        let mut r = ReturnStack::with_depth(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.overflows(), 1);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ideal_stack_never_overflows() {
+        let mut r = ReturnStack::ideal();
+        for i in 0..10_000 {
+            r.push(i);
+        }
+        assert_eq!(r.overflows(), 0);
+        assert_eq!(r.depth(), 10_000);
+    }
+}

@@ -1,0 +1,242 @@
+//! Simulation configuration presets for every machine the paper
+//! evaluates.
+
+use tc_cache::HierarchyConfig;
+use tc_core::{FrontEndConfig, PackingPolicy, StaticPromotionTable};
+use tc_engine::EngineConfig;
+
+/// Complete machine + run configuration.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimConfig {
+    /// Front-end structure.
+    pub front_end: FrontEndConfig,
+    /// Execution-core parameters.
+    pub engine: EngineConfig,
+    /// Memory hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Dynamic-instruction budget (the paper ran 41M–500M; scaled runs
+    /// default to 2M).
+    pub max_insts: u64,
+    /// Model wrong-path fetches during misprediction shadows (cache and
+    /// LRU pollution).
+    pub model_wrong_path: bool,
+    /// Static (profile-guided) promotion table; replaces the dynamic
+    /// bias table when set (§4's static-promotion alternative).
+    pub static_promotion: Option<StaticPromotionTable>,
+    /// Treat return targets as ideally predicted (the paper's model).
+    /// Disabled, returns predict through the finite/ideal RAS and can
+    /// mispredict.
+    pub ideal_returns: bool,
+}
+
+/// Default dynamic-instruction budget.
+pub const DEFAULT_MAX_INSTS: u64 = 2_000_000;
+
+impl SimConfig {
+    fn with_front_end(front_end: FrontEndConfig, hierarchy: HierarchyConfig) -> SimConfig {
+        SimConfig {
+            front_end,
+            engine: EngineConfig::paper_realistic(),
+            hierarchy,
+            max_insts: DEFAULT_MAX_INSTS,
+            model_wrong_path: true,
+            static_promotion: None,
+            ideal_returns: true,
+        }
+    }
+
+    /// The icache-only reference machine (128 KB i-cache, hybrid
+    /// predictor, one fetch block per cycle).
+    #[must_use]
+    pub fn icache() -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::icache_only(),
+            HierarchyConfig::paper_icache_only(),
+        )
+    }
+
+    /// The baseline trace-cache machine (§3).
+    #[must_use]
+    pub fn baseline() -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::baseline(),
+            HierarchyConfig::paper_trace_cache(),
+        )
+    }
+
+    /// Baseline + branch promotion at `threshold` (§4).
+    #[must_use]
+    pub fn promotion(threshold: u32) -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::promotion(threshold),
+            HierarchyConfig::paper_trace_cache(),
+        )
+    }
+
+    /// Promotion with a single-prediction hybrid predictor driving the
+    /// trace cache (§4's suggestion for near-term designs).
+    #[must_use]
+    pub fn promotion_hybrid(threshold: u32) -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::promotion_hybrid(threshold),
+            HierarchyConfig::paper_trace_cache(),
+        )
+    }
+
+    /// Baseline + trace packing under `policy` (§5).
+    #[must_use]
+    pub fn packing(policy: PackingPolicy) -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::packing(policy),
+            HierarchyConfig::paper_trace_cache(),
+        )
+    }
+
+    /// Promotion + packing combined.
+    #[must_use]
+    pub fn promotion_packing(threshold: u32, policy: PackingPolicy) -> SimConfig {
+        SimConfig::with_front_end(
+            FrontEndConfig::promotion_packing(threshold, policy),
+            HierarchyConfig::paper_trace_cache(),
+        )
+    }
+
+    /// The paper's headline fetch-rate configuration: promotion at 64
+    /// with unregulated packing.
+    #[must_use]
+    pub fn headline_fetch() -> SimConfig {
+        SimConfig::promotion_packing(64, PackingPolicy::Unregulated)
+    }
+
+    /// The paper's headline performance configuration: promotion at 64
+    /// with cost-regulated packing (Figure 11).
+    #[must_use]
+    pub fn headline_perf() -> SimConfig {
+        SimConfig::promotion_packing(64, PackingPolicy::CostRegulated)
+    }
+
+    /// Switches to the perfect-memory-disambiguation core (§6).
+    #[must_use]
+    pub fn with_perfect_disambiguation(mut self) -> SimConfig {
+        self.engine = EngineConfig::paper_perfect();
+        self
+    }
+
+    /// Overrides the dynamic-instruction budget.
+    #[must_use]
+    pub fn with_max_insts(mut self, max_insts: u64) -> SimConfig {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Disables wrong-path modeling (faster, slightly optimistic).
+    #[must_use]
+    pub fn without_wrong_path(mut self) -> SimConfig {
+        self.model_wrong_path = false;
+        self
+    }
+
+    /// Replaces dynamic promotion with a static (profile-guided) table.
+    #[must_use]
+    pub fn with_static_promotion(mut self, table: StaticPromotionTable) -> SimConfig {
+        self.front_end.promotion = None;
+        self.static_promotion = Some(table);
+        self
+    }
+
+    /// Uses a finite return-address stack and real return prediction
+    /// instead of the paper's ideal RAS.
+    #[must_use]
+    pub fn with_finite_ras(mut self, depth: usize) -> SimConfig {
+        self.front_end.ras_depth = Some(depth);
+        self.ideal_returns = false;
+        self
+    }
+
+    /// Disables partial matching (a diverging trace line supplies only
+    /// its first fetch block).
+    #[must_use]
+    pub fn without_partial_matching(mut self) -> SimConfig {
+        self.front_end.partial_matching = false;
+        self
+    }
+
+    /// Disables inactive issue (off-path blocks are discarded instead of
+    /// issued and salvaged).
+    #[must_use]
+    pub fn without_inactive_issue(mut self) -> SimConfig {
+        self.front_end.inactive_issue = false;
+        self
+    }
+
+    /// Enables trace-cache path associativity.
+    #[must_use]
+    pub fn with_path_associativity(mut self) -> SimConfig {
+        if let Some(tc) = &mut self.front_end.trace_cache {
+            *tc = tc.with_path_assoc();
+        }
+        self
+    }
+
+    /// A short label for tables ("icache", "tc", "tc+promo64+unreg", …).
+    ///
+    /// The label uniquely identifies the configuration (non-default
+    /// geometries are spelled out) — experiment runners key result
+    /// caches on it.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut label = self.front_end.label();
+        if let Some(tc) = &self.front_end.trace_cache {
+            if tc.entries != 2048 {
+                label.push_str(&format!("+tc{}", tc.entries));
+            }
+        }
+        if let Some(p) = &self.front_end.promotion {
+            if p.bias.entries != 8192 || !p.bias.tagged {
+                label.push_str(&format!(
+                    "+bias{}{}",
+                    p.bias.entries,
+                    if p.bias.tagged { "" } else { "u" }
+                ));
+            }
+        }
+        if self.static_promotion.is_some() {
+            label.push_str("+static");
+        }
+        if !self.front_end.partial_matching {
+            label.push_str("+nopm");
+        }
+        if !self.front_end.inactive_issue {
+            label.push_str("+noii");
+        }
+        if self.front_end.trace_cache.is_some_and(|tc| tc.path_assoc) {
+            label.push_str("+passoc");
+        }
+        if let Some(d) = self.front_end.ras_depth {
+            label.push_str(&format!("+ras{d}"));
+        }
+        if self.engine.perfect_disambiguation {
+            label.push_str("+perfmem");
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_select_consistent_hierarchies() {
+        assert_eq!(SimConfig::icache().hierarchy.icache.capacity_bytes(), 128 * 1024);
+        assert_eq!(SimConfig::baseline().hierarchy.icache.capacity_bytes(), 4 * 1024);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::headline_perf().with_perfect_disambiguation().with_max_insts(5);
+        assert!(c.engine.perfect_disambiguation);
+        assert_eq!(c.max_insts, 5);
+        assert!(c.label().contains("perfmem"));
+    }
+}

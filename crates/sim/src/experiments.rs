@@ -1,0 +1,67 @@
+//! Batch experiment helpers: run benchmark × configuration matrices.
+
+use tc_workloads::Benchmark;
+
+use crate::config::SimConfig;
+use crate::processor::Processor;
+use crate::report::SimReport;
+
+/// Runs one benchmark under one configuration.
+#[must_use]
+pub fn run_one(bench: Benchmark, config: &SimConfig) -> SimReport {
+    let workload = bench.build();
+    Processor::new(config.clone()).run(&workload)
+}
+
+/// Runs every benchmark in the suite under one configuration.
+#[must_use]
+pub fn run_suite(config: &SimConfig) -> Vec<SimReport> {
+    Benchmark::ALL.iter().map(|&b| run_one(b, config)).collect()
+}
+
+/// Runs a benchmark under several configurations.
+#[must_use]
+pub fn run_configs(bench: Benchmark, configs: &[SimConfig]) -> Vec<SimReport> {
+    configs.iter().map(|c| run_one(bench, c)).collect()
+}
+
+/// The arithmetic mean of a per-report metric over a suite.
+#[must_use]
+pub fn mean(reports: &[SimReport], metric: impl Fn(&SimReport) -> f64) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(&metric).sum::<f64>() / reports.len() as f64
+}
+
+/// Percent change from `from` to `to`.
+#[must_use]
+pub fn percent_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_change_math() {
+        assert!((percent_change(10.0, 11.0) - 10.0).abs() < 1e-12);
+        assert!((percent_change(10.0, 9.0) + 10.0).abs() < 1e-12);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn run_configs_produces_one_report_each() {
+        let configs =
+            [SimConfig::baseline().with_max_insts(5_000), SimConfig::icache().with_max_insts(5_000)];
+        let reports = run_configs(Benchmark::SimOutorder, &configs);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].config, "tc");
+        assert_eq!(reports[1].config, "icache");
+    }
+}

@@ -1,0 +1,568 @@
+//! The whole-processor simulation loop.
+
+use std::collections::VecDeque;
+
+use tc_cache::MemoryHierarchy;
+use tc_core::{FetchBundle, FetchSource, FrontEnd, NextPc, TerminationReason};
+use tc_engine::{ExecutionEngine, IssueTimes};
+use tc_isa::{Addr, ControlKind, ExecRecord, Interpreter, Program};
+use tc_predict::ReturnStack;
+use tc_workloads::Workload;
+
+use crate::config::SimConfig;
+use crate::report::{CycleAccounting, SimReport};
+
+/// Bubble charged when an indirect branch has no predicted target (the
+/// address is produced at decode rather than fetch).
+const MISFETCH_PENALTY: u64 = 2;
+
+/// Cap on wrong-path fetches simulated per misprediction shadow (the
+/// shadow itself can be long on a memory miss; fetch stops meaningfully
+/// polluting after the machine would have filled its window).
+const MAX_WRONG_PATH_FETCHES: u32 = 64;
+
+#[derive(Debug)]
+struct Counters {
+    issued: u64,
+    cond_branches: u64,
+    cond_mispredicts: u64,
+    promoted_faults: u64,
+    promoted_executed: u64,
+    indirect_mispredicts: u64,
+    indirect_executed: u64,
+    return_mispredicts: u64,
+    resolution_cycles: u64,
+    resolution_events: u64,
+    salvaged: u64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            issued: 0,
+            cond_branches: 0,
+            cond_mispredicts: 0,
+            promoted_faults: 0,
+            promoted_executed: 0,
+            indirect_mispredicts: 0,
+            indirect_executed: 0,
+            return_mispredicts: 0,
+            resolution_cycles: 0,
+            resolution_events: 0,
+            salvaged: 0,
+        }
+    }
+}
+
+/// What went wrong with a fetch, if anything.
+#[derive(Debug, Clone, Copy)]
+enum FetchUpshot {
+    /// Everything on the predicted path.
+    Clean,
+    /// A conditional branch (or promoted fault, or indirect target)
+    /// was mispredicted; resolution completes at `done`.
+    Mispredict { done: u64 },
+    /// An indirect branch had no prediction: short bubble.
+    Misfetch,
+}
+
+/// The simulated processor: front end + engine + memory, driven by a
+/// workload's oracle instruction stream.
+#[derive(Debug)]
+pub struct Processor {
+    config: SimConfig,
+    front_end: FrontEnd,
+    engine: ExecutionEngine,
+    mem: MemoryHierarchy,
+}
+
+impl Processor {
+    /// Builds a processor from a configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Processor {
+        let front_end = match &config.static_promotion {
+            Some(table) => FrontEnd::with_static_promotion(config.front_end, table.clone()),
+            None => FrontEnd::new(config.front_end),
+        };
+        Processor {
+            front_end,
+            engine: ExecutionEngine::new(config.engine),
+            mem: MemoryHierarchy::new(config.hierarchy),
+            config,
+        }
+    }
+
+    /// Runs the workload to its dynamic-instruction budget (or
+    /// completion) and reports.
+    pub fn run(&mut self, workload: &Workload) -> SimReport {
+        let program = workload.program();
+        let mut interp = workload.interpreter();
+        let mut oracle: VecDeque<ExecRecord> = VecDeque::with_capacity(128);
+        let mut c = Counters::new();
+        let mut acct = CycleAccounting::default();
+        let mut retire_q: VecDeque<(u64, ExecRecord)> = VecDeque::new();
+        // Committed return-stack mirror for recovery — same geometry as
+        // the front end's speculative RAS.
+        let mut ras_mirror = match self.config.front_end.ras_depth {
+            Some(depth) => ReturnStack::with_depth(depth),
+            None => ReturnStack::ideal(),
+        };
+
+        let mut cycle: u64 = 0;
+        let mut last_retire: u64 = 0;
+
+        refill(&mut oracle, &mut interp);
+        let Some(first) = oracle.front() else {
+            return self.report(workload, &c, acct, 0);
+        };
+        let mut pc = first.pc;
+
+        while c.issued < self.config.max_insts {
+            refill(&mut oracle, &mut interp);
+            if oracle.is_empty() {
+                break;
+            }
+            // Retire-side work reaching the current cycle.
+            while retire_q.front().is_some_and(|(t, _)| *t <= cycle) {
+                let (_, rec) = retire_q.pop_front().expect("checked");
+                self.front_end.retire(&rec);
+            }
+            self.engine.drain_retired(cycle);
+            if !self.engine.has_room() {
+                let t = self.engine.earliest_retire().expect("full window is non-empty");
+                let wait = t.saturating_sub(cycle).max(1);
+                acct.full_window += wait;
+                cycle += wait;
+                continue;
+            }
+
+            // --- Fetch ---
+            let bundle = self.front_end.fetch(pc, program, &mut self.mem);
+            if bundle.icache_latency > 0 {
+                acct.cache_misses += u64::from(bundle.icache_latency);
+                cycle += u64::from(bundle.icache_latency);
+            }
+            let fetch_cycle = cycle;
+
+            // --- Validate the active portion against the oracle ---
+            let mut outcomes: Vec<bool> = Vec::new();
+            let mut history_replay: Vec<bool> = Vec::new();
+            let mut upshot = FetchUpshot::Clean;
+            let mut validated = 0usize;
+            let mut promoted_in_fetch = 0u64;
+            let mut last_times: Option<IssueTimes> = None;
+            let mut trap_fetched = false;
+
+            for fi in bundle.active() {
+                let Some(front) = oracle.front() else { break };
+                if front.pc != fi.pc {
+                    // The predicted path silently left the correct path —
+                    // cannot happen with consistent segments; resync
+                    // defensively as a misfetch.
+                    debug_assert!(false, "active path diverged without a branch mispredict");
+                    upshot = FetchUpshot::Misfetch;
+                    break;
+                }
+                let rec = oracle.pop_front().expect("checked");
+                let times = self.engine.issue(&rec, fetch_cycle, &mut self.mem);
+                retire_q.push_back((times.retire, rec));
+                last_retire = last_retire.max(times.retire);
+                last_times = Some(times);
+                c.issued += 1;
+                validated += 1;
+                match rec.control_kind() {
+                    ControlKind::Call | ControlKind::IndirectCall => {
+                        ras_mirror.push(u64::from(rec.pc.next()));
+                    }
+                    ControlKind::Return => {
+                        let _ = ras_mirror.pop();
+                    }
+                    ControlKind::Trap => trap_fetched = true,
+                    _ => {}
+                }
+                if rec.is_cond_branch() {
+                    history_replay.push(rec.taken);
+                    let predicted = fi.pred_taken.expect("cond branches carry a direction");
+                    if fi.promoted {
+                        promoted_in_fetch += 1;
+                        if predicted == rec.taken {
+                            c.promoted_executed += 1;
+                        } else {
+                            c.promoted_faults += 1;
+                            upshot = FetchUpshot::Mispredict { done: times.done };
+                            break;
+                        }
+                    } else {
+                        c.cond_branches += 1;
+                        outcomes.push(rec.taken);
+                        if predicted != rec.taken {
+                            c.cond_mispredicts += 1;
+                            upshot = FetchUpshot::Mispredict { done: times.done };
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // --- Next-PC resolution (when the path was clean) ---
+            let mut resolved_next: Option<Addr> = None;
+            if matches!(upshot, FetchUpshot::Clean) {
+                match bundle.next_pc {
+                    NextPc::Known(a) => resolved_next = Some(a),
+                    NextPc::Return { predicted } => {
+                        let actual = oracle.front().map(|r| r.pc);
+                        if self.config.ideal_returns {
+                            // Ideal RAS: the architectural target.
+                            resolved_next = actual;
+                        } else if let Some(actual) = actual {
+                            resolved_next = Some(actual);
+                            match predicted {
+                                Some(p) if p == actual => {}
+                                Some(_) => {
+                                    c.return_mispredicts += 1;
+                                    let done = last_times.map_or(fetch_cycle + 1, |t| t.done);
+                                    upshot = FetchUpshot::Mispredict { done };
+                                }
+                                None => upshot = FetchUpshot::Misfetch,
+                            }
+                        }
+                    }
+                    NextPc::Indirect { pc: ind_pc, predicted } => {
+                        c.indirect_executed += 1;
+                        let actual = oracle.front().map(|r| r.pc);
+                        if let Some(actual) = actual {
+                            self.front_end.train_indirect(ind_pc, actual);
+                            match predicted {
+                                Some(p) if p == actual => resolved_next = Some(actual),
+                                Some(_) => {
+                                    c.indirect_mispredicts += 1;
+                                    let done = last_times.map_or(fetch_cycle + 1, |t| t.done);
+                                    upshot = FetchUpshot::Mispredict { done };
+                                    resolved_next = Some(actual);
+                                }
+                                None => {
+                                    upshot = FetchUpshot::Misfetch;
+                                    resolved_next = Some(actual);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Salvage inactive issue on a misprediction ---
+            let mut salvaged = 0usize;
+            if matches!(upshot, FetchUpshot::Mispredict { .. }) {
+                for fi in bundle.inactive() {
+                    let Some(front) = oracle.front() else { break };
+                    if front.pc != fi.pc {
+                        break;
+                    }
+                    if let Some(dir) = fi.pred_taken {
+                        if dir != front.taken {
+                            break;
+                        }
+                    }
+                    let rec = oracle.pop_front().expect("checked");
+                    let times = self.engine.issue(&rec, fetch_cycle, &mut self.mem);
+                    retire_q.push_back((times.retire, rec));
+                    last_retire = last_retire.max(times.retire);
+                    c.issued += 1;
+                    salvaged += 1;
+                    match rec.control_kind() {
+                        ControlKind::Call | ControlKind::IndirectCall => {
+                            ras_mirror.push(u64::from(rec.pc.next()));
+                        }
+                        ControlKind::Return => {
+                            let _ = ras_mirror.pop();
+                        }
+                        _ => {}
+                    }
+                    if rec.is_cond_branch() {
+                        history_replay.push(rec.taken);
+                        if fi.promoted {
+                            promoted_in_fetch += 1;
+                            c.promoted_executed += 1;
+                        } else {
+                            c.cond_branches += 1;
+                            outcomes.push(rec.taken);
+                        }
+                    }
+                }
+                c.salvaged += salvaged as u64;
+            }
+
+            // --- Stats + training ---
+            let reason = if matches!(upshot, FetchUpshot::Mispredict { .. }) {
+                TerminationReason::MispredBr
+            } else {
+                bundle.base_reason
+            };
+            let size = validated + salvaged;
+            {
+                let stats = self.front_end.stats_mut();
+                stats.record_fetch(reason, size, bundle.predictions_used);
+                match bundle.source {
+                    FetchSource::TraceCache => stats.tc_fetches += 1,
+                    FetchSource::ICache => stats.icache_fetches += 1,
+                }
+                stats.promoted_fetched += promoted_in_fetch;
+            }
+            self.front_end.train(&bundle.pred, &outcomes);
+
+            // --- Advance ---
+            match upshot {
+                FetchUpshot::Clean => {
+                    acct.useful_fetch += 1;
+                    cycle += 1;
+                    if trap_fetched {
+                        // Serializing: fetch stalls until the trap
+                        // retires.
+                        let trap_retire = last_times.map_or(cycle, |t| t.retire);
+                        if trap_retire > cycle {
+                            acct.traps += trap_retire - cycle;
+                            cycle = trap_retire;
+                        }
+                    }
+                    match resolved_next {
+                        Some(next) => pc = next,
+                        None => break,
+                    }
+                }
+                FetchUpshot::Misfetch => {
+                    acct.useful_fetch += 1;
+                    acct.misfetches += MISFETCH_PENALTY;
+                    cycle += 1 + MISFETCH_PENALTY;
+                    match resolved_next.or_else(|| oracle.front().map(|r| r.pc)) {
+                        Some(next) => pc = next,
+                        None => break,
+                    }
+                }
+                FetchUpshot::Mispredict { done } => {
+                    acct.useful_fetch += 1;
+                    let redirect = done + 1;
+                    c.resolution_cycles += done.saturating_sub(fetch_cycle);
+                    c.resolution_events += 1;
+                    let lost = redirect.saturating_sub(fetch_cycle + 1);
+                    acct.branch_misses += lost;
+
+                    // Wrong-path fetching during the shadow: pollutes the
+                    // caches and LRU state, then all speculative
+                    // predictor state is repaired.
+                    if self.config.model_wrong_path && lost > 0 {
+                        self.run_wrong_path(&bundle, program, fetch_cycle, redirect);
+                    }
+                    // Repair: history snapshot + replay of actual
+                    // outcomes; RAS from the committed mirror.
+                    self.front_end.restore_history(bundle.pred.history.snapshot());
+                    for &t in &history_replay {
+                        self.front_end.push_history(t);
+                    }
+                    self.front_end.restore_ras(ras_mirror.clone());
+
+                    cycle = redirect.max(fetch_cycle + 1);
+                    match oracle.front().map(|r| r.pc) {
+                        Some(next) => pc = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // Let the machine drain.
+        let total_cycles = cycle.max(last_retire);
+        while let Some((_, rec)) = retire_q.pop_front() {
+            self.front_end.retire(&rec);
+        }
+        self.engine.drain_retired(u64::MAX);
+
+        assert!(interp.error().is_none(), "workload faulted: {:?}", interp.error());
+        self.report(workload, &c, acct, total_cycles)
+    }
+
+    /// Simulates wrong-path fetching between a misprediction and its
+    /// resolution: cache and LRU pollution only (no issue, no training).
+    fn run_wrong_path(
+        &mut self,
+        bundle: &FetchBundle,
+        program: &Program,
+        fetch_cycle: u64,
+        redirect: u64,
+    ) {
+        let mut wp_pc = match bundle.next_pc {
+            NextPc::Known(a) => a,
+            NextPc::Return { predicted } | NextPc::Indirect { predicted, .. } => {
+                match predicted {
+                    Some(a) => a,
+                    None => return,
+                }
+            }
+        };
+        let mut wp_cycle = fetch_cycle + 1;
+        let mut fetches = 0u32;
+        while wp_cycle < redirect && fetches < MAX_WRONG_PATH_FETCHES {
+            let wp = self.front_end.fetch(wp_pc, program, &mut self.mem);
+            fetches += 1;
+            wp_cycle += 1 + u64::from(wp.icache_latency);
+            wp_pc = match wp.next_pc {
+                NextPc::Known(a) => a,
+                NextPc::Return { predicted } | NextPc::Indirect { predicted, .. } => {
+                    match predicted {
+                        Some(a) => a,
+                        None => break,
+                    }
+                }
+            };
+        }
+    }
+
+    fn report(
+        &self,
+        workload: &Workload,
+        c: &Counters,
+        acct: CycleAccounting,
+        cycles: u64,
+    ) -> SimReport {
+        SimReport {
+            benchmark: workload.name().to_owned(),
+            config: self.config.label(),
+            instructions: c.issued,
+            cycles,
+            accounting: acct,
+            fetch: self.front_end.stats().clone(),
+            cond_branches: c.cond_branches,
+            cond_mispredicts: c.cond_mispredicts,
+            promoted_faults: c.promoted_faults,
+            promoted_executed: c.promoted_executed,
+            indirect_mispredicts: c.indirect_mispredicts,
+            indirect_executed: c.indirect_executed,
+            return_mispredicts: c.return_mispredicts,
+            resolution_cycles: c.resolution_cycles,
+            resolution_events: c.resolution_events,
+            trace_cache: self.front_end.trace_cache().map(|tc| *tc.stats()),
+            promotions: self
+                .front_end
+                .fill_unit()
+                .and_then(|f| f.bias_table())
+                .map(|b| (b.promotions(), b.demotions())),
+            icache: *self.mem.icache_stats(),
+            dcache: *self.mem.dcache_stats(),
+            l2: *self.mem.l2_stats(),
+            engine: *self.engine.stats(),
+            salvaged: c.salvaged,
+        }
+    }
+}
+
+fn refill(oracle: &mut VecDeque<ExecRecord>, interp: &mut Interpreter<'_>) {
+    while oracle.len() < 64 {
+        match interp.next() {
+            Some(rec) => oracle.push_back(rec),
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_workloads::Benchmark;
+
+    fn quick(config: SimConfig, bench: Benchmark) -> SimReport {
+        let workload = bench.build_scaled(2);
+        Processor::new(config.with_max_insts(60_000)).run(&workload)
+    }
+
+    #[test]
+    fn baseline_simulation_is_sane() {
+        let r = quick(SimConfig::baseline(), Benchmark::Compress);
+        assert!(r.instructions >= 50_000, "ran {} instructions", r.instructions);
+        assert!(r.cycles > 0);
+        let ipc = r.ipc();
+        assert!(ipc > 0.3 && ipc < 16.0, "IPC {ipc} out of range");
+        let effr = r.effective_fetch_rate();
+        assert!(effr > 2.0 && effr <= 16.0, "effective fetch rate {effr}");
+        assert!(r.fetch.tc_fetches > 0, "trace cache never hit");
+    }
+
+    #[test]
+    fn icache_frontend_fetches_single_blocks() {
+        let r = quick(SimConfig::icache(), Benchmark::Compress);
+        let effr = r.effective_fetch_rate();
+        assert!(effr > 1.0 && effr < 12.0, "icache fetch rate {effr}");
+        assert_eq!(r.fetch.tc_fetches, 0);
+        assert!(r.trace_cache.is_none());
+    }
+
+    #[test]
+    fn trace_cache_beats_icache_on_fetch_rate() {
+        let tc = quick(SimConfig::baseline(), Benchmark::Ijpeg);
+        let ic = quick(SimConfig::icache(), Benchmark::Ijpeg);
+        assert!(
+            tc.effective_fetch_rate() > ic.effective_fetch_rate(),
+            "tc {} <= icache {}",
+            tc.effective_fetch_rate(),
+            ic.effective_fetch_rate()
+        );
+    }
+
+    #[test]
+    fn promotion_reduces_prediction_demand() {
+        let base = quick(SimConfig::baseline(), Benchmark::Ijpeg);
+        let promo = quick(SimConfig::promotion(16), Benchmark::Ijpeg);
+        let (b01, _, _) = base.fetch.prediction_demand();
+        let (p01, _, _) = promo.fetch.prediction_demand();
+        assert!(
+            p01 > b01,
+            "promotion should raise the 0-or-1-prediction fraction: {b01} -> {p01}"
+        );
+        assert!(promo.fetch.promoted_fetched > 0);
+        let (promotions, _) = promo.promotions.unwrap();
+        assert!(promotions > 0, "no branches were promoted");
+    }
+
+    #[test]
+    fn accounting_covers_most_cycles() {
+        let r = quick(SimConfig::baseline(), Benchmark::Go);
+        let covered = r.accounting.total();
+        assert!(
+            covered <= r.cycles + 1,
+            "accounting {covered} exceeds cycles {}",
+            r.cycles
+        );
+        assert!(
+            covered * 10 >= r.cycles * 8,
+            "accounting {covered} covers too little of {}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn mispredictions_are_detected_and_resolved() {
+        let r = quick(SimConfig::baseline(), Benchmark::Go);
+        assert!(r.cond_mispredicts > 0, "go must mispredict sometimes");
+        assert!(r.resolution_events >= r.cond_mispredicts);
+        assert!(r.avg_resolution_time() >= 3.0, "resolution {}", r.avg_resolution_time());
+    }
+
+    #[test]
+    fn perfect_disambiguation_does_not_hurt() {
+        let real = quick(SimConfig::baseline(), Benchmark::Vortex);
+        let perfect =
+            quick(SimConfig::baseline().with_perfect_disambiguation(), Benchmark::Vortex);
+        assert!(
+            perfect.ipc() >= real.ipc() * 0.98,
+            "perfect {} << realistic {}",
+            perfect.ipc(),
+            real.ipc()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(SimConfig::baseline(), Benchmark::Perl);
+        let b = quick(SimConfig::baseline(), Benchmark::Perl);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cond_mispredicts, b.cond_mispredicts);
+    }
+}

@@ -1,0 +1,223 @@
+//! `gnuchess`: game-tree search with alpha-beta pruning.
+//!
+//! Mirrors gnuchess's search core: recursive negamax with alpha-beta
+//! cutoffs. The pruning branches depend on move values flowing back up
+//! the tree — the classic hard-to-predict branch pattern of game
+//! programs — while move-loop and depth-check branches are biased.
+//!
+//! The game is a deterministic "take-away" variant whose evaluation mixes
+//! the position hash, so scores (and therefore cutoffs) look irregular
+//! without any randomness at runtime.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, repeat_and_halt};
+use crate::workload::Workload;
+
+const DEPTH: i64 = 7;
+const NSTARTS: usize = 24;
+
+const STARTS: i32 = 0x100;
+const OUT_CHECK: i32 = STARTS + (NSTARTS * 2) as i32;
+const OUT_NODES: i32 = OUT_CHECK + 1;
+
+/// The evaluation function both implementations share.
+fn eval(pile: i64, hash: i64) -> i64 {
+    let mixed = (hash.wrapping_mul(2_654_435_761)) >> 13;
+    (mixed & 63) - 32 + pile
+}
+
+/// Reference negamax; returns (score, nodes visited).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference_search(pile: i64, hash: i64) -> (i64, u64) {
+    fn nega(pile: i64, hash: i64, depth: i64, mut alpha: i64, beta: i64, nodes: &mut u64) -> i64 {
+        *nodes += 1;
+        if depth == 0 || pile == 0 {
+            return eval(pile, hash);
+        }
+        let mut best = -1_000_000;
+        let max_take = pile.min(3);
+        for m in 1..=max_take {
+            let child = -nega(
+                pile - m,
+                hash.wrapping_mul(31).wrapping_add(m),
+                depth - 1,
+                -beta,
+                -alpha,
+                nodes,
+            );
+            if child > best {
+                best = child;
+            }
+            if best > alpha {
+                alpha = best;
+            }
+            if alpha >= beta {
+                break;
+            }
+        }
+        best
+    }
+    let mut nodes = 0;
+    let score = nega(pile, hash, DEPTH, -1_000_000, 1_000_000, &mut nodes);
+    (score, nodes)
+}
+
+pub(crate) fn start_states() -> Vec<u64> {
+    let piles = data::uniform_words(0xC4E5, NSTARTS, 12);
+    let hashes = data::uniform_words(0x51AB, NSTARTS, 1 << 24);
+    let mut out = Vec::with_capacity(NSTARTS * 2);
+    for i in 0..NSTARTS {
+        out.push(piles[i] + 14); // piles 14..26
+        out.push(hashes[i]);
+    }
+    out
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let starts = start_states();
+
+    let mut b = ProgramBuilder::new();
+    // Global registers: S7 = node counter, A5 = eval multiplier constant.
+    b.li(Reg::A5, 0x9e37_79b1_u32 as i32); // 2654435761 sign-extended
+
+    let nega = b.new_label("nega");
+    let start = b.new_label("start");
+    b.jump(start);
+
+    // --- fn nega(A0=pile, A1=hash, A2=depth, A3=alpha, A4=beta) -> A0 ---
+    b.bind(nega).unwrap();
+    b.addi(Reg::S7, Reg::S7, 1); // nodes += 1
+    // Leaf?
+    {
+        let not_leaf = b.new_label("not_leaf");
+        let leaf = b.new_label("leaf");
+        b.beqz(Reg::A2, leaf);
+        b.bnez(Reg::A0, not_leaf);
+        b.bind(leaf).unwrap();
+        // eval: ((hash * C) >> 13) & 63 - 32 + pile. The multiply must
+        // match the reference's i64 wrapping semantics (it does: both
+        // are 64-bit wrapping products of the same bit patterns).
+        b.mul(Reg::T0, Reg::A1, Reg::A5);
+        b.alui(tc_isa::AluOp::Sra, Reg::T0, Reg::T0, 13);
+        b.andi(Reg::T0, Reg::T0, 63);
+        b.addi(Reg::T0, Reg::T0, -32);
+        b.add(Reg::A0, Reg::T0, Reg::A0);
+        b.ret();
+        b.bind(not_leaf).unwrap();
+    }
+    // Save state. S0=pile, S1=hash, S2=depth, S3=alpha, S4=beta,
+    // S5=best, S6=m.
+    b.push_regs(&[Reg::RA, Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6]);
+    b.mv(Reg::S0, Reg::A0);
+    b.mv(Reg::S1, Reg::A1);
+    b.mv(Reg::S2, Reg::A2);
+    b.mv(Reg::S3, Reg::A3);
+    b.mv(Reg::S4, Reg::A4);
+    b.li(Reg::S5, -1_000_000);
+    // Move loop: m (S6) from 1 while m <= min(pile, 3); the bound is
+    // checked per-iteration because T-registers don't survive recursion.
+    b.li(Reg::S6, 1);
+    {
+        let loop_done = b.new_label("moves_done");
+        let loop_top = b.here("moves_top");
+        // m <= pile? m <= 3?
+        b.branch(Cond::Lt, Reg::S0, Reg::S6, loop_done); // pile < m
+        b.li(Reg::T1, 3);
+        b.branch(Cond::Lt, Reg::T1, Reg::S6, loop_done); // 3 < m
+        // child = -nega(pile-m, hash*31+m, depth-1, -beta, -alpha)
+        b.sub(Reg::A0, Reg::S0, Reg::S6);
+        b.muli(Reg::A1, Reg::S1, 31);
+        b.add(Reg::A1, Reg::A1, Reg::S6);
+        b.addi(Reg::A2, Reg::S2, -1);
+        b.sub(Reg::A3, Reg::ZERO, Reg::S4);
+        b.sub(Reg::A4, Reg::ZERO, Reg::S3);
+        b.call(nega);
+        b.sub(Reg::T0, Reg::ZERO, Reg::A0); // child
+        // best = max(best, child)
+        {
+            let no = b.new_label("no_best");
+            b.branch(Cond::Ge, Reg::S5, Reg::T0, no);
+            b.mv(Reg::S5, Reg::T0);
+            b.bind(no).unwrap();
+        }
+        // alpha = max(alpha, best)
+        {
+            let no = b.new_label("no_alpha");
+            b.branch(Cond::Ge, Reg::S3, Reg::S5, no);
+            b.mv(Reg::S3, Reg::S5);
+            b.bind(no).unwrap();
+        }
+        // if alpha >= beta: prune (the hard-to-predict branch).
+        b.branch(Cond::Ge, Reg::S3, Reg::S4, loop_done);
+        b.addi(Reg::S6, Reg::S6, 1);
+        b.jump(loop_top);
+        b.bind(loop_done).unwrap();
+    }
+    b.mv(Reg::A0, Reg::S5);
+    b.pop_regs(&[Reg::RA, Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6]);
+    b.ret();
+
+    // --- Driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        b.li(Reg::S7, 0); // nodes
+        b.li(Reg::S8, 0); // checksum
+        b.li(Reg::S9, 0); // state index
+        let lim = Reg::T11;
+        b.li(lim, NSTARTS as i32);
+        for_lt(b, Reg::S9, lim, |b| {
+            b.shli(Reg::T0, Reg::S9, 1);
+            b.addi(Reg::T0, Reg::T0, STARTS);
+            b.load(Reg::A0, Reg::T0, 0); // pile
+            b.load(Reg::A1, Reg::T0, 1); // hash
+            b.li(Reg::A2, DEPTH as i32);
+            b.li(Reg::A3, -1_000_000);
+            b.li(Reg::A4, 1_000_000);
+            b.call(nega);
+            // checksum = checksum*1000003 + score (two's complement)
+            b.muli(Reg::S8, Reg::S8, 1_000_003);
+            b.add(Reg::S8, Reg::S8, Reg::A0);
+        });
+        b.li(Reg::T0, OUT_CHECK);
+        b.store(Reg::S8, Reg::T0, 0);
+        b.li(Reg::T0, OUT_NODES);
+        b.store(Reg::S7, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("chess assembles");
+    Workload::new("gnuchess", program, 1 << 14, vec![(STARTS as u64, starts)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "chess faulted: {:?}", interp.error());
+        let starts = start_states();
+        let mut checksum = 0u64;
+        let mut nodes = 0u64;
+        for pair in starts.chunks_exact(2) {
+            let (score, n) = reference_search(pair[0] as i64, pair[1] as i64);
+            checksum = checksum.wrapping_mul(1_000_003).wrapping_add(score as u64);
+            nodes += n;
+        }
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), checksum);
+        assert_eq!(interp.machine().mem(OUT_NODES as u64), nodes);
+        assert!(nodes > 1_000, "search too small: {nodes} nodes");
+    }
+
+    #[test]
+    fn pruning_actually_happens() {
+        // Without pruning a depth-7 ternary tree from pile 20+ would visit
+        // far more nodes than alpha-beta does.
+        let (_, nodes) = reference_search(20, 12345);
+        assert!(nodes < 2_200, "no pruning evident: {nodes} nodes");
+    }
+}

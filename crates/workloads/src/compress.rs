@@ -1,0 +1,168 @@
+//! `compress`: an LZW-style dictionary compressor.
+//!
+//! Mirrors SPECint95 `129.compress`'s character: a tight loop over input
+//! symbols, a hash-probe with chained collisions (hit/miss branches), and
+//! dictionary growth. Input is skewed "text" so probe hit rates — and
+//! therefore branch biases — resemble compressing real data.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_else, repeat_and_halt, while_cond};
+use crate::workload::Workload;
+
+/// Input length in symbols.
+const INPUT_LEN: usize = 16 * 1024;
+/// Input alphabet (symbol values `0..ALPHA`).
+const ALPHA: u64 = 64;
+/// Hash table size (power of two); sized for a worst-case load factor
+/// well below 1 so linear probing always terminates.
+const HASH_SIZE: i32 = 32 * 1024;
+
+/// Word addresses of the data structures.
+const INPUT: i32 = 0x100;
+const HKEY: i32 = INPUT + INPUT_LEN as i32;
+const HVAL: i32 = HKEY + HASH_SIZE;
+/// Result cell: number of codes emitted (checked by tests).
+const OUT_COUNT: i32 = HVAL + HASH_SIZE;
+
+/// Reference implementation used by tests to validate the assembly.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference_emitted(input: &[u64]) -> u64 {
+    let mut hkey = vec![0u64; HASH_SIZE as usize];
+    let mut hval = vec![0u64; HASH_SIZE as usize];
+    let mask = (HASH_SIZE - 1) as u64;
+    let mut code = input[0];
+    let mut next_code = ALPHA;
+    let mut emitted = 0u64;
+    for &sym in &input[1..] {
+        let key = code * 256 + sym + 1;
+        let mut h = (key.wrapping_mul(2_654_435_761)) & mask;
+        while hkey[h as usize] != 0 && hkey[h as usize] != key {
+            h = (h + 1) & mask;
+        }
+        if hkey[h as usize] == key {
+            code = hval[h as usize];
+        } else {
+            emitted += 1;
+            hkey[h as usize] = key;
+            hval[h as usize] = next_code;
+            next_code += 1;
+            code = sym;
+        }
+    }
+    emitted + 1
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let input = data::skewed_symbols(0xC0_4D, INPUT_LEN, ALPHA);
+
+    let mut b = ProgramBuilder::new();
+    // S0=input base, S1=input len, S2=hkey base, S3=hval base, S4=mask,
+    // S5=code, S6=next_code, S7=emitted, T9/T10 outer loop.
+    b.li(Reg::S0, INPUT).li(Reg::S1, INPUT_LEN as i32);
+    b.li(Reg::S2, HKEY).li(Reg::S3, HVAL).li(Reg::S4, HASH_SIZE - 1);
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear the dictionary (biased store loop).
+        b.li(Reg::T0, 0).li(Reg::T1, HASH_SIZE);
+        for_lt(b, Reg::T0, Reg::T1, |b| {
+            b.add(Reg::T2, Reg::S2, Reg::T0);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        // code = input[0]; next_code = ALPHA; emitted = 0.
+        b.load(Reg::S5, Reg::S0, 0);
+        b.li(Reg::S6, ALPHA as i32);
+        b.li(Reg::S7, 0);
+
+        // for i in 1..len
+        b.li(Reg::T0, 1);
+        for_lt(b, Reg::T0, Reg::S1, |b| {
+            // sym = input[i]
+            b.add(Reg::T1, Reg::S0, Reg::T0);
+            b.load(Reg::T1, Reg::T1, 0);
+            // key = code*256 + sym + 1
+            b.shli(Reg::T2, Reg::S5, 8);
+            b.add(Reg::T2, Reg::T2, Reg::T1);
+            b.addi(Reg::T2, Reg::T2, 1);
+            // h = (key * 2654435761) & mask
+            // 2654435761 (Fibonacci hashing constant). `li` sign-extends,
+            // but the product's low 32 bits — all the mask keeps — are
+            // unaffected by the sign extension.
+            b.li(Reg::T3, 0x9e37_79b1_u32 as i32);
+            b.mul(Reg::T3, Reg::T2, Reg::T3);
+            b.and(Reg::T3, Reg::T3, Reg::S4);
+            // Linear probe: while hkey[h] != 0 && hkey[h] != key: h = (h+1) & mask
+            let probe_done = b.new_label("probe_done");
+            let probe_top = b.here("probe_top");
+            b.add(Reg::T4, Reg::S2, Reg::T3);
+            b.load(Reg::T5, Reg::T4, 0); // T5 = hkey[h]
+            b.beqz(Reg::T5, probe_done);
+            b.beq(Reg::T5, Reg::T2, probe_done);
+            b.addi(Reg::T3, Reg::T3, 1);
+            b.and(Reg::T3, Reg::T3, Reg::S4);
+            b.jump(probe_top);
+            b.bind(probe_done).unwrap();
+            // if hkey[h] == key { code = hval[h] } else { insert }
+            if_else(
+                b,
+                Cond::Eq,
+                Reg::T5,
+                Reg::T2,
+                |b| {
+                    b.add(Reg::T6, Reg::S3, Reg::T3);
+                    b.load(Reg::S5, Reg::T6, 0);
+                },
+                |b| {
+                    b.addi(Reg::S7, Reg::S7, 1); // emitted += 1
+                    b.add(Reg::T6, Reg::S2, Reg::T3);
+                    b.store(Reg::T2, Reg::T6, 0); // hkey[h] = key
+                    b.add(Reg::T6, Reg::S3, Reg::T3);
+                    b.store(Reg::S6, Reg::T6, 0); // hval[h] = next_code
+                    b.addi(Reg::S6, Reg::S6, 1);
+                    b.mv(Reg::S5, Reg::T1); // code = sym
+                },
+            );
+        });
+        // emitted += 1 (flush final code) and publish.
+        b.addi(Reg::S7, Reg::S7, 1);
+        b.li(Reg::T1, OUT_COUNT);
+        b.store(Reg::S7, Reg::T1, 0);
+
+        // Dummy use of while_cond to keep hot loop shapes varied: decay
+        // next_code back toward ALPHA (biased loop, models table reset
+        // bookkeeping in the original).
+        b.li(Reg::T2, ALPHA as i32 + 32);
+        while_cond(b, Cond::Geu, Reg::S6, Reg::T2, |b| {
+            b.shri(Reg::S6, Reg::S6, 1);
+        });
+    });
+
+    let program = b.build().expect("compress assembles");
+    Workload::new("compress", program, 1 << 17, vec![(INPUT as u64, input)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "compress faulted: {:?}", interp.error());
+        let input = data::skewed_symbols(0xC0_4D, INPUT_LEN, ALPHA);
+        let expected = reference_emitted(&input);
+        assert_eq!(interp.machine().mem(OUT_COUNT as u64), expected);
+        // A skewed input must actually compress: far fewer codes than symbols.
+        assert!(expected < INPUT_LEN as u64 / 2, "no compression: {expected}");
+    }
+
+    #[test]
+    fn has_realistic_branch_mix() {
+        let stats = build(2).stream_stats(500_000);
+        let ratio = stats.cond_branch_ratio();
+        assert!((0.10..0.40).contains(&ratio), "branch ratio {ratio}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic synthetic input data for the benchmarks.
+//!
+//! Every generator takes an explicit seed so workloads are reproducible
+//! bit-for-bit across runs and platforms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for input synthesis.
+#[must_use]
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Skewed "text" symbols in `0..alphabet`: a Zipf-ish distribution where
+/// low symbols dominate, mimicking natural-language letter frequencies
+/// (drives compress/perl/tex input).
+#[must_use]
+pub fn skewed_symbols(seed: u64, len: usize, alphabet: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..len)
+        .map(|_| {
+            // Fourth-power transform of a uniform: heavily favors small
+            // values (P(x = 0) ≈ 35% for a 64-symbol alphabet), like
+            // letter frequencies in natural text.
+            let u: f64 = r.gen_range(0.0f64..1.0);
+            ((alphabet as f64) * u * u * u * u) as u64
+        })
+        .collect()
+}
+
+/// Uniform random words below `bound`.
+#[must_use]
+pub fn uniform_words(seed: u64, len: usize, bound: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// A random Go-like board: `size*size` words, each 0 (empty), 1 (black),
+/// or 2 (white), with `fill_pct` percent of points occupied.
+#[must_use]
+pub fn board(seed: u64, size: usize, fill_pct: u32) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..size * size)
+        .map(|_| {
+            if r.gen_range(0..100) < fill_pct {
+                1 + u64::from(r.gen_bool(0.5))
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Grayscale "image" samples in `0..256` with smooth spatial structure
+/// (sum of a ramp and noise), for the DCT benchmark.
+#[must_use]
+pub fn image(seed: u64, width: usize, height: usize) -> Vec<u64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let ramp = ((x * 31 + y * 17) / 4) % 192;
+            let noise = r.gen_range(0..64);
+            out.push((ramp + noise) as u64);
+        }
+    }
+    out
+}
+
+/// "Natural" text as words: a sequence of word ids with Zipf-like reuse
+/// (high-frequency function words plus a long tail), for perl/tex.
+#[must_use]
+pub fn zipf_words(seed: u64, len: usize, vocab: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..len)
+        .map(|_| {
+            let u: f64 = r.gen_range(0.0f64..1.0).max(1e-9);
+            // Inverse-power transform: rank ~ u^(-1/s) with s≈1.
+            let rank = (1.0 / u).min(vocab as f64) as u64;
+            rank - 1
+        })
+        .collect()
+}
+
+/// Random line segments `(x0, y0, x1, y1)` within a `bound`-sized canvas,
+/// flattened, for the rasterizer.
+#[must_use]
+pub fn segments(seed: u64, count: usize, bound: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(count * 4);
+    for _ in 0..count {
+        out.push(r.gen_range(0..bound));
+        out.push(r.gen_range(0..bound));
+        out.push(r.gen_range(0..bound));
+        out.push(r.gen_range(0..bound));
+    }
+    out
+}
+
+/// Pseudo-random odd multi-word big numbers for pgp: `words` 32-bit limbs
+/// stored one per word.
+#[must_use]
+pub fn bignum(seed: u64, words: usize) -> Vec<u64> {
+    let mut r = rng(seed);
+    let mut out: Vec<u64> = (0..words).map(|_| u64::from(r.gen::<u32>())).collect();
+    out[0] |= 1; // odd
+    out[words - 1] |= 0x8000_0000; // full width
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(skewed_symbols(7, 100, 32), skewed_symbols(7, 100, 32));
+        assert_eq!(uniform_words(3, 50, 1000), uniform_words(3, 50, 1000));
+        assert_ne!(uniform_words(3, 50, 1000), uniform_words(4, 50, 1000));
+    }
+
+    #[test]
+    fn skewed_symbols_favor_small_values() {
+        let v = skewed_symbols(1, 10_000, 64);
+        let small = v.iter().filter(|&&x| x < 16).count();
+        assert!(small > 6_000, "expected skew toward small symbols, got {small}/10000");
+        assert!(v.iter().all(|&x| x < 64));
+    }
+
+    #[test]
+    fn board_fill_ratio_is_respected() {
+        let b = board(2, 19, 40);
+        let filled = b.iter().filter(|&&x| x != 0).count();
+        let pct = filled * 100 / b.len();
+        assert!((30..=50).contains(&pct), "fill {pct}% out of range");
+        assert!(b.iter().all(|&x| x <= 2));
+    }
+
+    #[test]
+    fn image_values_are_bytes() {
+        let img = image(5, 64, 64);
+        assert_eq!(img.len(), 64 * 64);
+        assert!(img.iter().all(|&p| p < 256));
+    }
+
+    #[test]
+    fn zipf_words_reuse_head_of_vocabulary() {
+        let w = zipf_words(9, 10_000, 5_000);
+        let head = w.iter().filter(|&&x| x < 10).count();
+        assert!(head > 3_000, "Zipf head underrepresented: {head}/10000");
+        assert!(w.iter().all(|&x| x < 5_000));
+    }
+
+    #[test]
+    fn bignum_is_odd_and_full_width() {
+        let n = bignum(11, 8);
+        assert_eq!(n.len(), 8);
+        assert_eq!(n[0] & 1, 1);
+        assert!(n[7] >= 0x8000_0000);
+        assert!(n.iter().all(|&l| l <= u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn segments_within_bounds() {
+        let s = segments(13, 100, 512);
+        assert_eq!(s.len(), 400);
+        assert!(s.iter().all(|&c| c < 512));
+    }
+}

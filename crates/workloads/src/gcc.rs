@@ -1,0 +1,348 @@
+//! `gcc`: a table-driven lexer, a parser state machine, and a large set
+//! of generated semantic-action routines.
+//!
+//! Mirrors SPECint95 `126.gcc`'s defining property: a *large active code
+//! footprint* (64 distinct action routines, invoked data-dependently via
+//! indirect calls) with branchy scanning code of mixed bias.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::genfuncs::{family, GenFunc};
+use crate::kernels::{for_lt, if_else, jump_table, repeat_and_halt};
+use crate::workload::Workload;
+
+const TEXT_LEN: usize = 8 * 1024;
+const ALPHA: u64 = 96;
+const NSTATES: u64 = 16;
+const NCLASSES: u64 = 5; // char classes: letter, digit, space, punct, other
+const NTOKENS: u64 = 8; // token classes fed to the FSM
+const NFUNCS: usize = 128;
+
+const TEXT: i32 = 0x100;
+const CLS: i32 = TEXT + TEXT_LEN as i32;
+const FSM: i32 = CLS + ALPHA as i32;
+const FUNCS: i32 = FSM + (NSTATES * NTOKENS) as i32;
+const CLS_DISPATCH: i32 = FUNCS + NFUNCS as i32;
+const OUT_TOKENS: i32 = CLS_DISPATCH + 8;
+const OUT_CHECK: i32 = OUT_TOKENS + 1;
+
+/// Synthetic "source code": identifiers, numbers, punctuation and other
+/// tokens separated by whitespace, with source-like proportions.
+fn source_text(seed: u64, len: usize) -> Vec<u64> {
+    use rand::Rng;
+    let mut r = data::rng(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        match r.gen_range(0..10u32) {
+            0..=4 => {
+                // identifier: 1-8 letters
+                for _ in 0..r.gen_range(1..9) {
+                    out.push(r.gen_range(0..56u64));
+                }
+            }
+            5..=6 => {
+                // number: 1-5 digits
+                for _ in 0..r.gen_range(1..6) {
+                    out.push(r.gen_range(56..71u64));
+                }
+            }
+            7 | 8 => out.push(r.gen_range(83..93u64)), // punct
+            _ => out.push(r.gen_range(93..96u64)),     // other
+        }
+        out.push(r.gen_range(71..83u64)); // whitespace separator
+    }
+    out.truncate(len);
+    out
+}
+
+/// Character class table: maps symbols to classes with realistic
+/// proportions (letters dominate).
+fn class_table() -> Vec<u64> {
+    (0..ALPHA)
+        .map(|c| match c {
+            0..=55 => 0,  // letter
+            56..=70 => 1, // digit
+            71..=82 => 2, // space
+            83..=92 => 3, // punct
+            _ => 4,       // other
+        })
+        .collect()
+}
+
+/// The parser transition table: `next = fsm[state * NTOKENS + token]`.
+fn fsm_table() -> Vec<u64> {
+    data::uniform_words(0x6CC0, (NSTATES * NTOKENS) as usize, NSTATES)
+}
+
+fn functions() -> Vec<GenFunc> {
+    family(0x6CC1, NFUNCS)
+}
+
+/// Reference lexer+parser; returns (tokens, checksum).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(text: &[u64]) -> (u64, u64) {
+    let cls = class_table();
+    let fsm = fsm_table();
+    let funcs = functions();
+    let mut state = 0u64;
+    let mut check = 0u64;
+    let mut tokens = 0u64;
+    let mut i = 0usize;
+    while i < text.len() {
+        let c = text[i] as usize;
+        let class = cls[c];
+        // Lex one token.
+        let (tok_class, tok_value) = match class {
+            0 => {
+                // identifier: consume letters/digits, hash them.
+                let mut h = 0u64;
+                while i < text.len() && cls[text[i] as usize] <= 1 {
+                    h = h.wrapping_mul(31).wrapping_add(text[i]);
+                    i += 1;
+                }
+                (0u64, h)
+            }
+            1 => {
+                // number: consume digits, build value.
+                let mut v = 0u64;
+                while i < text.len() && cls[text[i] as usize] == 1 {
+                    v = v.wrapping_mul(10).wrapping_add(text[i] - 56);
+                    i += 1;
+                }
+                (1, v)
+            }
+            2 => {
+                i += 1;
+                continue; // whitespace: no token
+            }
+            3 => {
+                i += 1;
+                (2 + (c as u64 & 3), c as u64)
+            }
+            _ => {
+                i += 1;
+                (6 + (c as u64 & 1), c as u64)
+            }
+        };
+        tokens += 1;
+        // FSM step.
+        state = fsm[(state * NTOKENS + tok_class) as usize];
+        // Semantic action: indirect call.
+        let fidx = ((state * NTOKENS + tok_class) as usize) & (NFUNCS - 1);
+        let out = funcs[fidx].eval(check ^ tok_value, state);
+        check = out;
+    }
+    (tokens, check)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let text = source_text(0x6CC2, TEXT_LEN);
+    let cls = class_table();
+    let fsm = fsm_table();
+    let funcs = functions();
+
+    let mut b = ProgramBuilder::new();
+    // A4 = TEXT, A5 = len, S2 = CLS, S3 = FSM base, S4 = FUNCS table.
+    b.li(Reg::A4, TEXT).li(Reg::A5, TEXT_LEN as i32);
+    b.li(Reg::S2, CLS).li(Reg::S3, FSM).li(Reg::S4, FUNCS);
+
+    // Emit the 64 action routines after a jump; record labels, fill the
+    // function-pointer table at startup.
+    let flabels: Vec<_> = (0..NFUNCS).map(|i| b.new_label(format!("act{i}"))).collect();
+    // Class-dispatch handler labels for the lexer.
+    let hlabels: Vec<_> = (0..NCLASSES).map(|i| b.new_label(format!("cls{i}"))).collect();
+    let start = b.new_label("start");
+    for (i, &l) in flabels.iter().enumerate() {
+        b.la(Reg::T0, l);
+        b.li(Reg::T1, FUNCS + i as i32);
+        b.store(Reg::T0, Reg::T1, 0);
+    }
+    for (i, &l) in hlabels.iter().enumerate() {
+        b.la(Reg::T0, l);
+        b.li(Reg::T1, CLS_DISPATCH + i as i32);
+        b.store(Reg::T0, Reg::T1, 0);
+    }
+    b.jump(start);
+    for (f, &l) in funcs.iter().zip(&flabels) {
+        f.emit(&mut b, l);
+    }
+
+    // --- Lexer/parser loop (registers) ---
+    // S0 = i, S1 = state, S5 = check, S6 = tokens, S7 = tok_class,
+    // S8 = tok_value, S9 = scratch (current char).
+    let scan_top = b.new_label("scan_top");
+    let scan_done = b.new_label("scan_done");
+    let token_ready = b.new_label("token_ready");
+
+    b.bind(scan_top).unwrap();
+    b.branch(Cond::Geu, Reg::S0, Reg::A5, scan_done);
+    // c = text[i]; class = cls[c]
+    b.add(Reg::T0, Reg::A4, Reg::S0);
+    b.load(Reg::S9, Reg::T0, 0);
+    b.add(Reg::T1, Reg::S2, Reg::S9);
+    b.load(Reg::T2, Reg::T1, 0);
+    // Dispatch on class via jump table (indirect, like gcc's switch).
+    b.li(Reg::T3, CLS_DISPATCH);
+    jump_table(&mut b, Reg::T3, Reg::T2, Reg::T4);
+
+    // class 0: identifier.
+    b.bind(hlabels[0]).unwrap();
+    b.li(Reg::S8, 0);
+    {
+        let done = b.new_label("ident_done");
+        let top = b.here("ident_top");
+        b.branch(Cond::Geu, Reg::S0, Reg::A5, done);
+        b.add(Reg::T0, Reg::A4, Reg::S0);
+        b.load(Reg::T1, Reg::T0, 0);
+        b.add(Reg::T2, Reg::S2, Reg::T1);
+        b.load(Reg::T2, Reg::T2, 0);
+        b.li(Reg::T3, 1);
+        b.branch(Cond::Ltu, Reg::T3, Reg::T2, done); // class > 1
+        b.muli(Reg::S8, Reg::S8, 31);
+        b.add(Reg::S8, Reg::S8, Reg::T1);
+        b.addi(Reg::S0, Reg::S0, 1);
+        b.jump(top);
+        b.bind(done).unwrap();
+    }
+    b.li(Reg::S7, 0);
+    b.jump(token_ready);
+
+    // class 1: number.
+    b.bind(hlabels[1]).unwrap();
+    b.li(Reg::S8, 0);
+    {
+        let done = b.new_label("num_done");
+        let top = b.here("num_top");
+        b.branch(Cond::Geu, Reg::S0, Reg::A5, done);
+        b.add(Reg::T0, Reg::A4, Reg::S0);
+        b.load(Reg::T1, Reg::T0, 0);
+        b.add(Reg::T2, Reg::S2, Reg::T1);
+        b.load(Reg::T2, Reg::T2, 0);
+        b.li(Reg::T3, 1);
+        b.bne(Reg::T2, Reg::T3, done);
+        b.muli(Reg::S8, Reg::S8, 10);
+        b.add(Reg::S8, Reg::S8, Reg::T1);
+        b.addi(Reg::S8, Reg::S8, -56);
+        b.addi(Reg::S0, Reg::S0, 1);
+        b.jump(top);
+        b.bind(done).unwrap();
+    }
+    b.li(Reg::S7, 1);
+    b.jump(token_ready);
+
+    // class 2: whitespace — skip.
+    b.bind(hlabels[2]).unwrap();
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.jump(scan_top);
+
+    // class 3: punct — token class 2 + (c & 3).
+    b.bind(hlabels[3]).unwrap();
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.andi(Reg::S7, Reg::S9, 3);
+    b.addi(Reg::S7, Reg::S7, 2);
+    b.mv(Reg::S8, Reg::S9);
+    b.jump(token_ready);
+
+    // class 4: other — token class 6 + (c & 1).
+    b.bind(hlabels[4]).unwrap();
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.andi(Reg::S7, Reg::S9, 1);
+    b.addi(Reg::S7, Reg::S7, 6);
+    b.mv(Reg::S8, Reg::S9);
+    b.jump(token_ready);
+
+    // token_ready: FSM step + action call.
+    b.bind(token_ready).unwrap();
+    b.addi(Reg::S6, Reg::S6, 1);
+    // state = fsm[state * NTOKENS + tok_class]
+    b.muli(Reg::T0, Reg::S1, NTOKENS as i32);
+    b.add(Reg::T0, Reg::T0, Reg::S7);
+    b.add(Reg::T1, Reg::T0, Reg::S3);
+    b.load(Reg::S1, Reg::T1, 0);
+    // fidx = (state * NTOKENS + tok_class) & 63 — note: *new* state.
+    b.muli(Reg::T0, Reg::S1, NTOKENS as i32);
+    b.add(Reg::T0, Reg::T0, Reg::S7);
+    b.andi(Reg::T0, Reg::T0, (NFUNCS - 1) as i32);
+    // A0 = check ^ tok_value, A1 = state.
+    b.xor(Reg::A0, Reg::S5, Reg::S8);
+    b.mv(Reg::A1, Reg::S1);
+    b.add(Reg::T1, Reg::S4, Reg::T0);
+    b.load(Reg::T1, Reg::T1, 0);
+    b.callr(Reg::T1);
+    b.mv(Reg::S5, Reg::A0);
+    b.jump(scan_top);
+
+    b.bind(scan_done).unwrap();
+    // Publish and return to driver (via S11? — use a return-address reg).
+    b.li(Reg::T0, OUT_TOKENS);
+    b.store(Reg::S6, Reg::T0, 0);
+    b.li(Reg::T0, OUT_CHECK);
+    b.store(Reg::S5, Reg::T0, 0);
+    b.jr(Reg::T11); // resume address placed by the driver
+
+    // --- Driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        b.li(Reg::S0, 0).li(Reg::S1, 0).li(Reg::S5, 0).li(Reg::S6, 0);
+        let resume = b.new_label("resume");
+        b.la(Reg::T11, resume);
+        b.jump(scan_top);
+        b.bind(resume).unwrap();
+        // Minor bookkeeping between reps to vary shapes.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, 4);
+        for_lt(b, Reg::T0, lim, |b| {
+            b.nop();
+        });
+        if_else(
+            b,
+            Cond::Ltu,
+            Reg::S5,
+            Reg::S6,
+            |b| {
+                b.addi(Reg::T2, Reg::S5, 1);
+            },
+            |b| {
+                b.addi(Reg::T2, Reg::S6, 1);
+            },
+        );
+    });
+
+    let program = b.build().expect("gcc assembles");
+    Workload::new(
+        "gcc",
+        program,
+        1 << 15,
+        vec![(TEXT as u64, text), (CLS as u64, cls), (FSM as u64, fsm)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "gcc faulted: {:?}", interp.error());
+        let text = source_text(0x6CC2, TEXT_LEN);
+        let (tokens, check) = reference(&text);
+        assert_eq!(interp.machine().mem(OUT_TOKENS as u64), tokens);
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), check);
+        assert!(tokens > 1000, "too few tokens: {tokens}");
+    }
+
+    #[test]
+    fn static_footprint_is_large() {
+        let w = build(1);
+        assert!(
+            w.program().len() > 2000,
+            "gcc should have a large code footprint, got {} instructions",
+            w.program().len()
+        );
+    }
+}

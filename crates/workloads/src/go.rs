@@ -1,0 +1,268 @@
+//! `go`: influence mapping and capture search on a 19×19 board.
+//!
+//! Mirrors SPECint95 `099.go`: scans with neighbor bounds checks,
+//! data-dependent branching on board contents, and a flood-fill group
+//! search driven by an explicit work stack — branchy, hard-to-predict
+//! code.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_cond, repeat_and_halt};
+use crate::workload::Workload;
+
+const SIZE: i64 = 19;
+const POINTS: i64 = SIZE * SIZE;
+
+const BOARD: i32 = 0x100;
+const INF: i32 = BOARD + POINTS as i32;
+const VISITED: i32 = INF + POINTS as i32;
+const STACK: i32 = VISITED + POINTS as i32;
+/// Results: influence checksum, group count, liberty total.
+const OUT_INF: i32 = STACK + 512;
+const OUT_GROUPS: i32 = OUT_INF + 1;
+const OUT_LIBS: i32 = OUT_GROUPS + 1;
+
+/// Reference implementation: returns (influence checksum, groups, libs).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(board: &[u64]) -> (u64, u64, u64) {
+    let size = SIZE as usize;
+    let mut inf = vec![0i64; size * size];
+    for p in 0..size * size {
+        let stone = board[p];
+        if stone == 0 {
+            continue;
+        }
+        let w: i64 = if stone == 1 { 4 } else { -4 };
+        let (x, y) = (p % size, p / size);
+        inf[p] += w * 2;
+        if x > 0 {
+            inf[p - 1] += w;
+        }
+        if x + 1 < size {
+            inf[p + 1] += w;
+        }
+        if y > 0 {
+            inf[p - size] += w;
+        }
+        if y + 1 < size {
+            inf[p + size] += w;
+        }
+    }
+    let checksum = inf.iter().fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v as u64));
+
+    // Flood fill groups, counting liberties.
+    let mut visited = vec![false; size * size];
+    let mut groups = 0u64;
+    let mut libs = 0u64;
+    for start in 0..size * size {
+        if board[start] == 0 || visited[start] {
+            continue;
+        }
+        groups += 1;
+        let color = board[start];
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(p) = stack.pop() {
+            let (x, y) = (p % size, p / size);
+            let neighbors = [
+                (x > 0, p.wrapping_sub(1)),
+                (x + 1 < size, p + 1),
+                (y > 0, p.wrapping_sub(size)),
+                (y + 1 < size, p + size),
+            ];
+            for (ok, q) in neighbors {
+                if !ok {
+                    continue;
+                }
+                if board[q] == 0 {
+                    libs += 1; // counted with multiplicity, as the asm does
+                } else if board[q] == color && !visited[q] {
+                    visited[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+    }
+    (checksum, groups, libs)
+}
+
+/// Emits neighbor processing for the influence pass. `p`=point, `x`/`y`
+/// precomputed, `w`=weight; clobbers T4..T6.
+fn influence_neighbor(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    lhs: Reg,
+    rhs: Reg,
+    p: Reg,
+    delta: i32,
+    w: Reg,
+) {
+    if_cond(b, cond, lhs, rhs, |b| {
+        b.addi(Reg::T4, p, delta);
+        b.addi(Reg::T4, Reg::T4, INF);
+        b.load(Reg::T5, Reg::T4, 0);
+        b.add(Reg::T5, Reg::T5, w);
+        b.store(Reg::T5, Reg::T4, 0);
+    });
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let board = data::board(0x60BA, SIZE as usize, 35);
+
+    let mut b = ProgramBuilder::new();
+    // S0..: S0=p loop var, S1=POINTS, S2=x, S3=y, S4=w, S5=inf checksum,
+    // S6=groups, S7=libs, S8=stack ptr, S9=color. A3=SIZE, A4=SIZE-1.
+    b.li(Reg::A3, SIZE as i32).li(Reg::A4, (SIZE - 1) as i32);
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear influence + visited.
+        b.li(Reg::T0, 0).li(Reg::T1, POINTS as i32);
+        for_lt(b, Reg::T0, Reg::T1, |b| {
+            b.addi(Reg::T2, Reg::T0, INF);
+            b.store(Reg::ZERO, Reg::T2, 0);
+            b.addi(Reg::T2, Reg::T0, VISITED);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+
+        // --- Influence pass ---
+        b.li(Reg::S0, 0).li(Reg::S1, POINTS as i32);
+        for_lt(b, Reg::S0, Reg::S1, |b| {
+            b.addi(Reg::T0, Reg::S0, BOARD);
+            b.load(Reg::T0, Reg::T0, 0); // stone
+            if_cond(b, Cond::Ne, Reg::T0, Reg::ZERO, |b| {
+                // w = stone == 1 ? 4 : -4
+                b.li(Reg::S4, 4);
+                let skip = b.new_label("w_neg");
+                b.li(Reg::T1, 1);
+                b.beq(Reg::T0, Reg::T1, skip);
+                b.li(Reg::S4, -4);
+                b.bind(skip).unwrap();
+                // x = p % 19, y = p / 19
+                b.li(Reg::T1, SIZE as i32);
+                b.rem(Reg::S2, Reg::S0, Reg::T1);
+                b.div(Reg::S3, Reg::S0, Reg::T1);
+                // inf[p] += 2w
+                b.addi(Reg::T2, Reg::S0, INF);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.add(Reg::T3, Reg::T3, Reg::S4);
+                b.add(Reg::T3, Reg::T3, Reg::S4);
+                b.store(Reg::T3, Reg::T2, 0);
+                // Neighbors with bounds checks (biased branches: interior
+                // points dominate).
+                influence_neighbor(b, Cond::Ne, Reg::S2, Reg::ZERO, Reg::S0, -1, Reg::S4);
+                influence_neighbor(b, Cond::Lt, Reg::S2, Reg::A4, Reg::S0, 1, Reg::S4);
+                influence_neighbor(b, Cond::Ne, Reg::S3, Reg::ZERO, Reg::S0, -(SIZE as i32), Reg::S4);
+                influence_neighbor(b, Cond::Lt, Reg::S3, Reg::A4, Reg::S0, SIZE as i32, Reg::S4);
+            });
+        });
+
+        // Influence checksum.
+        b.li(Reg::S5, 0);
+        b.li(Reg::T0, 0).li(Reg::T1, POINTS as i32);
+        for_lt(b, Reg::T0, Reg::T1, |b| {
+            b.addi(Reg::T2, Reg::T0, INF);
+            b.load(Reg::T2, Reg::T2, 0);
+            b.muli(Reg::S5, Reg::S5, 31);
+            b.add(Reg::S5, Reg::S5, Reg::T2);
+        });
+        b.li(Reg::T0, OUT_INF);
+        b.store(Reg::S5, Reg::T0, 0);
+
+        // --- Flood-fill group search ---
+        b.li(Reg::S6, 0).li(Reg::S7, 0);
+        b.li(Reg::S0, 0);
+        for_lt(b, Reg::S0, Reg::S1, |b| {
+            b.addi(Reg::T0, Reg::S0, BOARD);
+            b.load(Reg::S9, Reg::T0, 0); // color
+            b.addi(Reg::T0, Reg::S0, VISITED);
+            b.load(Reg::T1, Reg::T0, 0);
+            let skip_seed = b.new_label("skip_seed");
+            b.beqz(Reg::S9, skip_seed);
+            b.bnez(Reg::T1, skip_seed);
+            {
+                b.addi(Reg::S6, Reg::S6, 1); // groups += 1
+                // visited[start] = 1; push start.
+                b.li(Reg::T2, 1);
+                b.store(Reg::T2, Reg::T0, 0);
+                b.li(Reg::S8, STACK);
+                b.store(Reg::S0, Reg::S8, 0);
+                b.addi(Reg::S8, Reg::S8, 1);
+                // while stack nonempty
+                let pop_done = b.new_label("pop_done");
+                let pop_top = b.here("pop_top");
+                b.li(Reg::T2, STACK);
+                b.branch(Cond::Geu, Reg::T2, Reg::S8, pop_done);
+                b.addi(Reg::S8, Reg::S8, -1);
+                b.load(Reg::A0, Reg::S8, 0); // p
+                // x, y
+                b.rem(Reg::A1, Reg::A0, Reg::A3);
+                b.div(Reg::A2, Reg::A0, Reg::A3);
+                // Four neighbors: (cond, delta) pairs.
+                for (cond, lhs, delta) in [
+                    (Cond::Ne, Reg::A1, -1i32),
+                    (Cond::Lt, Reg::A1, 1),
+                    (Cond::Ne, Reg::A2, -(SIZE as i32)),
+                    (Cond::Lt, Reg::A2, SIZE as i32),
+                ] {
+                    let rhs = if matches!(cond, Cond::Ne) { Reg::ZERO } else { Reg::A4 };
+                    if_cond(b, cond, lhs, rhs, |b| {
+                        b.addi(Reg::T3, Reg::A0, delta); // q
+                        b.addi(Reg::T4, Reg::T3, BOARD);
+                        b.load(Reg::T5, Reg::T4, 0); // board[q]
+                        let after = b.new_label("after_nb");
+                        let not_empty = b.new_label("not_empty");
+                        b.bnez(Reg::T5, not_empty);
+                        b.addi(Reg::S7, Reg::S7, 1); // liberty
+                        b.jump(after);
+                        b.bind(not_empty).unwrap();
+                        b.bne(Reg::T5, Reg::S9, after); // other color
+                        b.addi(Reg::T6, Reg::T3, VISITED);
+                        b.load(Reg::T7, Reg::T6, 0);
+                        b.bnez(Reg::T7, after); // already seen
+                        b.li(Reg::T7, 1);
+                        b.store(Reg::T7, Reg::T6, 0);
+                        b.store(Reg::T3, Reg::S8, 0); // push q
+                        b.addi(Reg::S8, Reg::S8, 1);
+                        b.bind(after).unwrap();
+                    });
+                }
+                b.jump(pop_top);
+                b.bind(pop_done).unwrap();
+            }
+            b.bind(skip_seed).unwrap();
+        });
+        b.li(Reg::T0, OUT_GROUPS);
+        b.store(Reg::S6, Reg::T0, 0);
+        b.li(Reg::T0, OUT_LIBS);
+        b.store(Reg::S7, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("go assembles");
+    Workload::new("go", program, 1 << 14, vec![(BOARD as u64, board)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "go faulted: {:?}", interp.error());
+        let board = data::board(0x60BA, SIZE as usize, 35);
+        let (inf, groups, libs) = reference(&board);
+        assert_eq!(interp.machine().mem(OUT_INF as u64), inf);
+        assert_eq!(interp.machine().mem(OUT_GROUPS as u64), groups);
+        assert_eq!(interp.machine().mem(OUT_LIBS as u64), libs);
+        assert!(groups > 10, "board too sparse: {groups} groups");
+    }
+
+    #[test]
+    fn branch_heavy_profile() {
+        let stats = build(2).stream_stats(400_000);
+        assert!(stats.cond_branch_ratio() > 0.12, "go should be branchy");
+    }
+}

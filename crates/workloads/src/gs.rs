@@ -1,0 +1,232 @@
+//! `ghostscript`: line rasterization and span filling.
+//!
+//! Mirrors ghostscript's rendering loops: Bresenham line stepping with a
+//! data-dependent error-term branch, octant setup branches, and biased
+//! span-fill loops over the canvas.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_cond, if_else, repeat_and_halt};
+use crate::workload::Workload;
+
+const CANVAS: i64 = 128;
+const NSEGS: usize = 96;
+
+const SEGS: i32 = 0x100;
+const PIX: i32 = SEGS + (NSEGS * 4) as i32;
+const OUT_PLOTTED: i32 = PIX + (CANVAS * CANVAS) as i32;
+const OUT_FILLED: i32 = OUT_PLOTTED + 1;
+
+/// Reference rasterizer: returns (pixels plotted, cells span-filled).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(segs: &[u64]) -> (u64, u64) {
+    let n = CANVAS as i64;
+    let mut pix = vec![0u64; (n * n) as usize];
+    let mut plotted = 0u64;
+    for s in segs.chunks_exact(4) {
+        let (mut x0, mut y0, x1, y1) = (s[0] as i64, s[1] as i64, s[2] as i64, s[3] as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            pix[(y0 * n + x0) as usize] = 1;
+            plotted += 1;
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+    // Span fill: for each row, fill between first and last set pixel.
+    let mut filled = 0u64;
+    for y in 0..n {
+        let row = &mut pix[(y * n) as usize..((y + 1) * n) as usize];
+        let first = row.iter().position(|&p| p != 0);
+        let last = row.iter().rposition(|&p| p != 0);
+        if let (Some(f), Some(l)) = (first, last) {
+            for p in &mut row[f..=l] {
+                if *p == 0 {
+                    *p = 2;
+                    filled += 1;
+                }
+            }
+        }
+    }
+    (plotted, filled)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let segs = data::segments(0x95C7, NSEGS, CANVAS as u64);
+
+    let mut b = ProgramBuilder::new();
+    // A5 = canvas size.
+    b.li(Reg::A5, CANVAS as i32);
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear canvas.
+        b.li(Reg::T0, 0).li(Reg::T1, (CANVAS * CANVAS) as i32);
+        for_lt(b, Reg::T0, Reg::T1, |b| {
+            b.addi(Reg::T2, Reg::T0, PIX);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S8, 0); // plotted
+        b.li(Reg::S9, 0); // filled
+
+        // --- Bresenham over all segments ---
+        // Loop var T11 over segments.
+        b.li(Reg::T11, 0).li(Reg::T8, NSEGS as i32);
+        for_lt(b, Reg::T11, Reg::T8, |b| {
+            // Load x0 y0 x1 y1 into S0..S3.
+            b.muli(Reg::T0, Reg::T11, 4);
+            b.addi(Reg::T0, Reg::T0, SEGS);
+            b.load(Reg::S0, Reg::T0, 0);
+            b.load(Reg::S1, Reg::T0, 1);
+            b.load(Reg::S2, Reg::T0, 2);
+            b.load(Reg::S3, Reg::T0, 3);
+            // dx = |x1-x0| (S4), dy = -|y1-y0| (S5), sx (S6), sy (S7).
+            b.sub(Reg::S4, Reg::S2, Reg::S0);
+            if_else(
+                b,
+                Cond::Lt,
+                Reg::S4,
+                Reg::ZERO,
+                |b| {
+                    b.sub(Reg::S4, Reg::ZERO, Reg::S4);
+                    b.li(Reg::S6, -1);
+                },
+                |b| {
+                    b.li(Reg::S6, 1);
+                },
+            );
+            b.sub(Reg::S5, Reg::S3, Reg::S1);
+            if_else(
+                b,
+                Cond::Lt,
+                Reg::S5,
+                Reg::ZERO,
+                |b| {
+                    b.li(Reg::S7, -1);
+                },
+                |b| {
+                    b.sub(Reg::S5, Reg::ZERO, Reg::S5);
+                    b.li(Reg::S7, 1);
+                },
+            );
+            // err (A0) = dx + dy.
+            b.add(Reg::A0, Reg::S4, Reg::S5);
+            // Stepping loop.
+            let step_done = b.new_label("step_done");
+            let step_top = b.here("step_top");
+            // pix[y0*n + x0] = 1; plotted += 1.
+            b.mul(Reg::T1, Reg::S1, Reg::A5);
+            b.add(Reg::T1, Reg::T1, Reg::S0);
+            b.addi(Reg::T1, Reg::T1, PIX);
+            b.li(Reg::T2, 1);
+            b.store(Reg::T2, Reg::T1, 0);
+            b.addi(Reg::S8, Reg::S8, 1);
+            // if x0 == x1 && y0 == y1 break.
+            let not_done = b.new_label("not_done");
+            b.bne(Reg::S0, Reg::S2, not_done);
+            b.beq(Reg::S1, Reg::S3, step_done);
+            b.bind(not_done).unwrap();
+            // e2 = 2*err.
+            b.add(Reg::A1, Reg::A0, Reg::A0);
+            // if e2 >= dy { err += dy; x0 += sx }
+            if_cond(b, Cond::Ge, Reg::A1, Reg::S5, |b| {
+                b.add(Reg::A0, Reg::A0, Reg::S5);
+                b.add(Reg::S0, Reg::S0, Reg::S6);
+            });
+            // if e2 <= dx { err += dx; y0 += sy }
+            if_cond(b, Cond::Ge, Reg::S4, Reg::A1, |b| {
+                b.add(Reg::A0, Reg::A0, Reg::S4);
+                b.add(Reg::S1, Reg::S1, Reg::S7);
+            });
+            b.jump(step_top);
+            b.bind(step_done).unwrap();
+        });
+
+        // --- Span fill per row ---
+        b.li(Reg::S0, 0); // y
+        for_lt(b, Reg::S0, Reg::A5, |b| {
+            // Row base in S1.
+            b.mul(Reg::S1, Reg::S0, Reg::A5);
+            b.addi(Reg::S1, Reg::S1, PIX);
+            // first (S2): scan forward; CANVAS if none.
+            b.li(Reg::S2, 0);
+            let ff_done = b.new_label("ff_done");
+            let ff_top = b.here("ff_top");
+            b.branch(Cond::Ge, Reg::S2, Reg::A5, ff_done);
+            b.add(Reg::T0, Reg::S1, Reg::S2);
+            b.load(Reg::T0, Reg::T0, 0);
+            b.bnez(Reg::T0, ff_done);
+            b.addi(Reg::S2, Reg::S2, 1);
+            b.jump(ff_top);
+            b.bind(ff_done).unwrap();
+            // If none found skip row.
+            if_cond(b, Cond::Lt, Reg::S2, Reg::A5, |b| {
+                // last (S3): scan backward.
+                b.addi(Reg::S3, Reg::A5, -1);
+                let fl_done = b.new_label("fl_done");
+                let fl_top = b.here("fl_top");
+                b.add(Reg::T0, Reg::S1, Reg::S3);
+                b.load(Reg::T0, Reg::T0, 0);
+                b.bnez(Reg::T0, fl_done);
+                b.addi(Reg::S3, Reg::S3, -1);
+                b.jump(fl_top);
+                b.bind(fl_done).unwrap();
+                // Fill between.
+                b.mv(Reg::T1, Reg::S2);
+                let fill_done = b.new_label("fill_done");
+                let fill_top = b.here("fill_top");
+                b.branch(Cond::Ge, Reg::T1, Reg::S3, fill_done);
+                b.add(Reg::T2, Reg::S1, Reg::T1);
+                b.load(Reg::T3, Reg::T2, 0);
+                if_cond(b, Cond::Eq, Reg::T3, Reg::ZERO, |b| {
+                    b.li(Reg::T4, 2);
+                    b.store(Reg::T4, Reg::T2, 0);
+                    b.addi(Reg::S9, Reg::S9, 1);
+                });
+                b.addi(Reg::T1, Reg::T1, 1);
+                b.jump(fill_top);
+                b.bind(fill_done).unwrap();
+            });
+        });
+        b.li(Reg::T0, OUT_PLOTTED);
+        b.store(Reg::S8, Reg::T0, 0);
+        b.li(Reg::T0, OUT_FILLED);
+        b.store(Reg::S9, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("gs assembles");
+    Workload::new("gs", program, 1 << 16, vec![(SEGS as u64, segs)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "gs faulted: {:?}", interp.error());
+        let segs = data::segments(0x95C7, NSEGS, CANVAS as u64);
+        let (plotted, filled) = reference(&segs);
+        assert_eq!(interp.machine().mem(OUT_PLOTTED as u64), plotted);
+        assert_eq!(interp.machine().mem(OUT_FILLED as u64), filled);
+        assert!(plotted > 1000, "lines too short: {plotted}");
+        assert!(filled > 1000, "spans too small: {filled}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared assembly idioms used by the benchmark builders.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+/// Emits `for (; i < n; i += 1) { body }`. `i` and `n` are live registers;
+/// the body must preserve them.
+pub(crate) fn for_lt(
+    b: &mut ProgramBuilder,
+    i: Reg,
+    n: Reg,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    let top = b.new_label("for_top");
+    let done = b.new_label("for_done");
+    b.bind(top).expect("fresh label");
+    b.branch(Cond::Ge, i, n, done);
+    body(b);
+    b.addi(i, i, 1);
+    b.jump(top);
+    b.bind(done).expect("fresh label");
+}
+
+/// Emits `while (cond(a, b)) { body }` where the body must make progress.
+pub(crate) fn while_cond(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    a: Reg,
+    rb: Reg,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    let top = b.new_label("while_top");
+    let done = b.new_label("while_done");
+    b.bind(top).expect("fresh label");
+    b.branch(cond.negate(), a, rb, done);
+    body(b);
+    b.jump(top);
+    b.bind(done).expect("fresh label");
+}
+
+/// Emits `if cond(a, rb) { then }` (no else).
+pub(crate) fn if_cond(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    a: Reg,
+    rb: Reg,
+    then: impl FnOnce(&mut ProgramBuilder),
+) {
+    let skip = b.new_label("if_skip");
+    b.branch(cond.negate(), a, rb, skip);
+    then(b);
+    b.bind(skip).expect("fresh label");
+}
+
+/// Emits `if cond(a, rb) { then } else { otherwise }`.
+pub(crate) fn if_else(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    a: Reg,
+    rb: Reg,
+    then: impl FnOnce(&mut ProgramBuilder),
+    otherwise: impl FnOnce(&mut ProgramBuilder),
+) {
+    let else_l = b.new_label("else");
+    let end = b.new_label("endif");
+    b.branch(cond.negate(), a, rb, else_l);
+    then(b);
+    b.jump(end);
+    b.bind(else_l).expect("fresh label");
+    otherwise(b);
+    b.bind(end).expect("fresh label");
+}
+
+/// Emits an outer "repeat `reps` times" loop around `body` and halts
+/// afterwards; this is how every benchmark extends its dynamic length.
+/// Uses `ctr` and `lim` as scratch registers, which the body must not
+/// clobber.
+pub(crate) fn repeat_and_halt(
+    b: &mut ProgramBuilder,
+    ctr: Reg,
+    lim: Reg,
+    reps: i32,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    b.li(ctr, 0).li(lim, reps);
+    for_lt(b, ctr, lim, body);
+    b.halt();
+}
+
+/// Emits a jump-table dispatch: `goto table[idx]` where the table of code
+/// addresses lives at `table_base` (a register holding a data address).
+/// Clobbers `scratch`.
+pub(crate) fn jump_table(b: &mut ProgramBuilder, table_base: Reg, idx: Reg, scratch: Reg) {
+    b.add(scratch, table_base, idx);
+    b.load(scratch, scratch, 0);
+    b.jr(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_isa::Interpreter;
+
+    #[test]
+    fn for_lt_runs_expected_iterations() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 0).li(Reg::T1, 5).li(Reg::T2, 0);
+        for_lt(&mut b, Reg::T0, Reg::T1, |b| {
+            b.addi(Reg::T2, Reg::T2, 2);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, 64);
+        i.by_ref().for_each(drop);
+        assert_eq!(i.machine().reg(Reg::T2), 10);
+    }
+
+    #[test]
+    fn if_else_takes_correct_arm() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 3).li(Reg::T1, 5);
+        if_else(
+            &mut b,
+            Cond::Lt,
+            Reg::T0,
+            Reg::T1,
+            |b| {
+                b.li(Reg::T2, 111);
+            },
+            |b| {
+                b.li(Reg::T2, 222);
+            },
+        );
+        b.halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, 64);
+        i.by_ref().for_each(drop);
+        assert_eq!(i.machine().reg(Reg::T2), 111);
+    }
+
+    #[test]
+    fn while_cond_terminates() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 0).li(Reg::T1, 8);
+        while_cond(&mut b, Cond::Lt, Reg::T0, Reg::T1, |b| {
+            b.addi(Reg::T0, Reg::T0, 3);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, 64);
+        i.by_ref().for_each(drop);
+        assert_eq!(i.machine().reg(Reg::T0), 9);
+    }
+
+    #[test]
+    fn jump_table_dispatches() {
+        let mut b = ProgramBuilder::new();
+        let case0 = b.new_label("case0");
+        let case1 = b.new_label("case1");
+        // Build the table in memory at address 100: [case0, case1].
+        b.la(Reg::T5, case0).li(Reg::T6, 100).store(Reg::T5, Reg::T6, 0);
+        b.la(Reg::T5, case1).store(Reg::T5, Reg::T6, 1);
+        b.li(Reg::T0, 1); // select case1
+        jump_table(&mut b, Reg::T6, Reg::T0, Reg::T7);
+        b.bind(case0).unwrap();
+        b.li(Reg::T1, 10).halt();
+        b.bind(case1).unwrap();
+        b.li(Reg::T1, 20).halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, 256);
+        i.by_ref().for_each(drop);
+        assert_eq!(i.machine().reg(Reg::T1), 20);
+    }
+}

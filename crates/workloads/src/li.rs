@@ -1,0 +1,208 @@
+//! `li`: a cons-cell list kernel with deep recursion.
+//!
+//! Mirrors SPECint95 `130.li` (xlisp): heap-allocated cons cells, tag
+//! checks on every access, and recursive list walks — call/return-heavy
+//! code with pointer chasing.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_else, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Number of lists and elements per list.
+const NLISTS: usize = 24;
+const LIST_LEN: usize = 48;
+
+/// Heap layout: cell i has CAR[i], CDR[i], TAG[i] (0 = int payload in
+/// CAR, 1 = pointer payload in CAR). CDR of 0 = nil (cell 0 reserved).
+const NCELLS: usize = 4096;
+const CAR: i32 = 0x400;
+const CDR: i32 = CAR + NCELLS as i32;
+const TAG: i32 = CDR + NCELLS as i32;
+const HEADS: i32 = TAG + NCELLS as i32;
+const OUT_SUM: i32 = HEADS + NLISTS as i32;
+const OUT_DEPTH: i32 = OUT_SUM + 1;
+
+/// Builds the heap image: NLISTS lists of LIST_LEN ints; every fourth
+/// element is a nested single-element list (tagged pointer) to force tag
+/// dispatch during walks.
+pub(crate) fn heap_image() -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+    let values = data::uniform_words(0x11AA, NLISTS * LIST_LEN, 1 << 20);
+    let mut car = vec![0u64; NCELLS];
+    let mut cdr = vec![0u64; NCELLS];
+    let mut tag = vec![0u64; NCELLS];
+    let mut heads = Vec::with_capacity(NLISTS);
+    let mut next = 1usize; // cell 0 = nil
+    for l in 0..NLISTS {
+        let mut head = 0usize;
+        // Build back to front.
+        for e in (0..LIST_LEN).rev() {
+            let v = values[l * LIST_LEN + e];
+            let cell = next;
+            next += 1;
+            if e % 4 == 3 {
+                // Nested single-element list.
+                let inner = next;
+                next += 1;
+                car[inner] = v;
+                cdr[inner] = 0;
+                tag[inner] = 0;
+                car[cell] = inner as u64;
+                tag[cell] = 1;
+            } else {
+                car[cell] = v;
+                tag[cell] = 0;
+            }
+            cdr[cell] = head as u64;
+            head = cell;
+        }
+        heads.push(head as u64);
+    }
+    assert!(next < NCELLS);
+    (car, cdr, tag, heads)
+}
+
+/// Reference walk: recursive sum with tag dispatch; returns (sum, max
+/// recursion depth).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference() -> (u64, u64) {
+    let (car, cdr, tag, heads) = heap_image();
+    fn sum(cell: usize, car: &[u64], cdr: &[u64], tag: &[u64], depth: u64, maxd: &mut u64) -> u64 {
+        *maxd = (*maxd).max(depth);
+        if cell == 0 {
+            return 0;
+        }
+        let head = if tag[cell] == 1 {
+            sum(car[cell] as usize, car, cdr, tag, depth + 1, maxd)
+        } else {
+            car[cell]
+        };
+        head.wrapping_add(sum(cdr[cell] as usize, car, cdr, tag, depth + 1, maxd))
+    }
+    let mut total = 0u64;
+    let mut maxd = 0u64;
+    for &h in &heads {
+        total = total.wrapping_add(sum(h as usize, &car, &cdr, &tag, 1, &mut maxd));
+    }
+    (total, maxd)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let (car, cdr, tag, heads) = heap_image();
+
+    let mut b = ProgramBuilder::new();
+    // S2=CAR, S3=CDR, S4=TAG, S5=depth counter, S6=max depth.
+    b.li(Reg::S2, CAR).li(Reg::S3, CDR).li(Reg::S4, TAG);
+
+    let sum_fn = b.new_label("sum");
+    let start = b.new_label("start");
+    b.jump(start);
+
+    // --- fn sum(A0: cell) -> A0: sum; uses stack for ra + locals ---
+    b.bind(sum_fn).unwrap();
+    // depth tracking (branchy bookkeeping).
+    b.addi(Reg::S5, Reg::S5, 1);
+    {
+        let no_max = b.new_label("no_max");
+        b.branch(Cond::Ge, Reg::S6, Reg::S5, no_max);
+        b.mv(Reg::S6, Reg::S5);
+        b.bind(no_max).unwrap();
+    }
+    {
+        let not_nil = b.new_label("not_nil");
+        b.bnez(Reg::A0, not_nil);
+        b.li(Reg::A0, 0);
+        b.addi(Reg::S5, Reg::S5, -1);
+        b.ret();
+        b.bind(not_nil).unwrap();
+    }
+    b.push_regs(&[Reg::RA, Reg::S0, Reg::S1]);
+    b.mv(Reg::S0, Reg::A0); // S0 = cell
+    // head value: tag dispatch.
+    b.add(Reg::T0, Reg::S4, Reg::S0);
+    b.load(Reg::T0, Reg::T0, 0);
+    if_else(
+        &mut b,
+        Cond::Eq,
+        Reg::T0,
+        Reg::ZERO,
+        |b| {
+            // int: head = car[cell]
+            b.add(Reg::T1, Reg::S2, Reg::S0);
+            b.load(Reg::S1, Reg::T1, 0);
+        },
+        |b| {
+            // pointer: head = sum(car[cell])
+            b.add(Reg::T1, Reg::S2, Reg::S0);
+            b.load(Reg::A0, Reg::T1, 0);
+            b.call(sum_fn);
+            b.mv(Reg::S1, Reg::A0);
+        },
+    );
+    // tail = sum(cdr[cell])
+    b.add(Reg::T1, Reg::S3, Reg::S0);
+    b.load(Reg::A0, Reg::T1, 0);
+    b.call(sum_fn);
+    b.add(Reg::A0, Reg::A0, Reg::S1);
+    b.pop_regs(&[Reg::RA, Reg::S0, Reg::S1]);
+    b.addi(Reg::S5, Reg::S5, -1);
+    b.ret();
+
+    // --- Driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        b.li(Reg::S7, 0); // total
+        b.li(Reg::S5, 0).li(Reg::S6, 0);
+        b.li(Reg::S8, 0); // list index
+        let lim = Reg::S9;
+        b.li(lim, NLISTS as i32);
+        for_lt(b, Reg::S8, lim, |b| {
+            b.addi(Reg::T0, Reg::S8, HEADS);
+            b.load(Reg::A0, Reg::T0, 0);
+            b.call(sum_fn);
+            b.add(Reg::S7, Reg::S7, Reg::A0);
+        });
+        b.li(Reg::T0, OUT_SUM);
+        b.store(Reg::S7, Reg::T0, 0);
+        b.li(Reg::T0, OUT_DEPTH);
+        b.store(Reg::S6, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("li assembles");
+    Workload::new(
+        "li",
+        program,
+        1 << 15,
+        vec![
+            (CAR as u64, car),
+            (CDR as u64, cdr),
+            (TAG as u64, tag),
+            (HEADS as u64, heads),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "li faulted: {:?}", interp.error());
+        let (sum, depth) = reference();
+        assert_eq!(interp.machine().mem(OUT_SUM as u64), sum);
+        assert_eq!(interp.machine().mem(OUT_DEPTH as u64), depth);
+        assert!(depth >= LIST_LEN as u64, "recursion too shallow: {depth}");
+    }
+
+    #[test]
+    fn call_return_heavy() {
+        let stats = build(1).stream_stats(300_000);
+        let call_per_kilo = (stats.calls + stats.returns) * 1000 / stats.instructions.max(1);
+        assert!(call_per_kilo > 50, "li should be call-heavy, got {call_per_kilo}/1000");
+    }
+}

@@ -1,0 +1,65 @@
+//! The benchmark suite: synthetic equivalents of the paper's Table 1.
+//!
+//! The paper evaluated on SPECint95 plus common UNIX applications
+//! (gnuchess, ghostscript, pgp, python, gnuplot, sim-outorder, tex). Those
+//! binaries and inputs are not available here, so — per the substitution
+//! policy in `DESIGN.md` — each benchmark is a from-scratch mini-program
+//! written in the `tc-isa` instruction set that performs a *real*
+//! computation of the same character as the original:
+//!
+//! | Benchmark | Kernel implemented here | Control-flow character |
+//! |---|---|---|
+//! | `compress` | LZW-style hash-chained dictionary compressor | biased probe loops, hash hit/miss branches |
+//! | `gcc` | table-driven lexer + state-machine parser over synthetic source, many handler routines | large code footprint, branchy, mixed bias |
+//! | `go` | influence map + flood-fill capture search on a 19×19 board | data-dependent branches, neighbor bounds checks |
+//! | `ijpeg` | integer 8×8 DCT + quantization over an image | dense biased loops, large basic blocks |
+//! | `li` | cons-cell list interpreter: recursive map/sum/reverse | deep call/return, tag-dispatch branches |
+//! | `m88ksim` | fetch/decode/dispatch interpreter of a guest RISC program | jump-table dispatch, periodic patterns |
+//! | `perl` | Boyer-Moore-Horspool text search + word hashing | skip-table loops, early-exit compares |
+//! | `vortex` | B-tree object store: insert/lookup transactions | binary-search compares, pointer chasing, call-heavy |
+//! | `gnuchess` | negamax game-tree search with alpha-beta pruning | recursion, unpredictable pruning branches |
+//! | `ghostscript` | Bresenham rasterizer + span fill over random paths | error-term branches, biased fill loops |
+//! | `pgp` | multi-word modular exponentiation (square-and-multiply) | carry-chain branches, key-bit branches |
+//! | `python` | stack-based bytecode VM with indirect dispatch | indirect jumps, short handler blocks |
+//! | `gnuplot` | fixed-point polynomial evaluation + clipping | run-structured branches that flip between segments (promotion-fault prone) |
+//! | `sim-outorder` | discrete-event queue simulator with hashing | mixed bias, queue bounds checks |
+//! | `tex` | trie hyphenation + greedy paragraph line breaking, many small routines | large footprint, varied trace paths |
+//!
+//! Inputs are generated with seeded RNGs ([`mod@data`]) so every run is
+//! deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use tc_workloads::Benchmark;
+//!
+//! let w = Benchmark::Compress.build();
+//! let stats = w.stream_stats(100_000);
+//! assert!(stats.instructions > 0);
+//! assert!(stats.cond_branch_ratio() > 0.05);
+//! ```
+
+pub mod data;
+mod genfuncs;
+mod kernels;
+mod suite;
+mod workload;
+
+mod chess;
+mod compress;
+mod gcc;
+mod go;
+mod gs;
+mod ijpeg;
+mod li;
+mod m88ksim;
+mod perl;
+mod pgp;
+mod plot;
+mod python;
+mod ss;
+mod tex;
+mod vortex;
+
+pub use suite::Benchmark;
+pub use workload::Workload;

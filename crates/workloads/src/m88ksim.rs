@@ -1,0 +1,290 @@
+//! `m88ksim`: an instruction-set interpreter interpreting a guest RISC
+//! program.
+//!
+//! Mirrors SPECint95 `124.m88ksim` (a Motorola 88100 simulator): a
+//! fetch/decode/dispatch loop over guest instructions, guest register
+//! file and memory updates, and a guest branch handler. Dispatch-target
+//! patterns are periodic (the guest runs loops), exactly the behavior
+//! that makes simulator workloads distinctive.
+
+use tc_isa::{ProgramBuilder, Reg};
+
+use crate::kernels::{for_lt, jump_table, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Guest instruction encoding: `op << 24 | rd << 20 | rs1 << 16 | rs2 << 12 | imm`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GOp {
+    /// rd = rs1 + rs2
+    Add(u8, u8, u8),
+    /// rd = rs1 - rs2
+    Sub(u8, u8, u8),
+    /// rd = rs1 * rs2
+    Mul(u8, u8, u8),
+    /// rd = imm
+    Li(u8, u16),
+    /// rd = gmem[rs1 + imm]
+    Ld(u8, u8, u16),
+    /// gmem[rs1 + imm] = rd
+    St(u8, u8, u16),
+    /// if rs1 != rs2 goto imm
+    Bne(u8, u8, u16),
+    /// if rs1 < rs2 (signed) goto imm
+    Blt(u8, u8, u16),
+    /// stop
+    Stop,
+}
+
+impl GOp {
+    fn encode(self) -> u64 {
+        let (op, rd, rs1, rs2, imm) = match self {
+            GOp::Add(d, a, b) => (0u64, d, a, b, 0u16),
+            GOp::Sub(d, a, b) => (1, d, a, b, 0),
+            GOp::Mul(d, a, b) => (2, d, a, b, 0),
+            GOp::Li(d, i) => (3, d, 0, 0, i),
+            GOp::Ld(d, a, i) => (4, d, a, 0, i),
+            GOp::St(d, a, i) => (5, d, a, 0, i),
+            GOp::Bne(a, b, t) => (6, 0, a, b, t),
+            GOp::Blt(a, b, t) => (7, 0, a, b, t),
+            GOp::Stop => (8, 0, 0, 0, 0),
+        };
+        (op << 24) | (u64::from(rd) << 20) | (u64::from(rs1) << 16) | (u64::from(rs2) << 12) | u64::from(imm)
+    }
+}
+
+/// The guest program: initializes a table, then runs a checksum loop over
+/// it with an inner multiply chain — a typical embedded-style kernel.
+pub(crate) fn guest_program() -> Vec<GOp> {
+    use GOp::*;
+    let mut p = Vec::new();
+    // r1 = i, r2 = N, r3 = scratch, r4 = checksum, r5 = one
+    p.push(Li(1, 0)); // i = 0
+    p.push(Li(2, 48)); // N
+    p.push(Li(5, 1));
+    // init loop: gmem[i] = i*i + 3
+    let init_top = p.len() as u16; // 3
+    p.push(Mul(3, 1, 1));
+    p.push(Li(6, 3));
+    p.push(Add(3, 3, 6));
+    p.push(St(3, 1, 0));
+    p.push(Add(1, 1, 5));
+    p.push(Blt(1, 2, init_top));
+    // checksum loop: r4 = r4*7 + gmem[i] - i
+    p.push(Li(1, 0));
+    p.push(Li(4, 0));
+    let sum_top = p.len() as u16;
+    p.push(Ld(3, 1, 0));
+    p.push(Li(6, 7));
+    p.push(Mul(4, 4, 6));
+    p.push(Add(4, 4, 3));
+    p.push(Sub(4, 4, 1));
+    p.push(Add(1, 1, 5));
+    p.push(Blt(1, 2, sum_top));
+    // Countdown drain loop exercising the BNE handler (r0 stays 0).
+    p.push(Li(7, 5));
+    let dec_top = p.len() as u16;
+    p.push(Sub(7, 7, 5));
+    p.push(Bne(7, 0, dec_top));
+    // store checksum to gmem[63]
+    p.push(St(4, 0, 63));
+    p.push(Stop);
+    p
+}
+
+/// Reference interpreter: returns final guest checksum (gmem[63]).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(prog: &[GOp]) -> u64 {
+    let mut regs = [0u64; 16];
+    let mut gmem = [0u64; 64];
+    let mut pc = 0usize;
+    loop {
+        let op = prog[pc];
+        pc += 1;
+        match op {
+            GOp::Add(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_add(regs[b as usize]),
+            GOp::Sub(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_sub(regs[b as usize]),
+            GOp::Mul(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize]),
+            GOp::Li(d, i) => regs[d as usize] = u64::from(i),
+            GOp::Ld(d, a, i) => regs[d as usize] = gmem[(regs[a as usize] as usize + i as usize) & 63],
+            GOp::St(d, a, i) => gmem[(regs[a as usize] as usize + i as usize) & 63] = regs[d as usize],
+            GOp::Bne(a, b, t) => {
+                if regs[a as usize] != regs[b as usize] {
+                    pc = t as usize;
+                }
+            }
+            GOp::Blt(a, b, t) => {
+                if (regs[a as usize] as i64) < (regs[b as usize] as i64) {
+                    pc = t as usize;
+                }
+            }
+            GOp::Stop => break,
+        }
+    }
+    gmem[63]
+}
+
+const GPROG: i32 = 0x100;
+const GREGS: i32 = 0x200;
+const GMEM: i32 = GREGS + 16;
+const DISPATCH_TABLE: i32 = GMEM + 64;
+const OUT_CHECK: i32 = DISPATCH_TABLE + 16;
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let guest: Vec<u64> = guest_program().iter().map(|o| o.encode()).collect();
+
+    let mut b = ProgramBuilder::new();
+    // S0 = guest pc, S2 = GPROG, S3 = GREGS, S4 = table, S5..: decoded
+    // fields rd/rs1/rs2/imm in S5,S6,S7,A0. A5 = GMEM.
+    b.li(Reg::S2, GPROG).li(Reg::S3, GREGS).li(Reg::S4, DISPATCH_TABLE).li(Reg::A5, GMEM);
+
+    let handlers: Vec<_> = (0..9).map(|i| b.new_label(format!("g{i}"))).collect();
+    let dispatch = b.new_label("dispatch");
+    let vm_done = b.new_label("vm_done");
+    let start = b.new_label("start");
+
+    for (i, &h) in handlers.iter().enumerate() {
+        b.la(Reg::T0, h);
+        b.li(Reg::T1, DISPATCH_TABLE + i as i32);
+        b.store(Reg::T0, Reg::T1, 0);
+    }
+    b.jump(start);
+
+    // --- Fetch/decode/dispatch ---
+    b.bind(dispatch).unwrap();
+    b.add(Reg::T0, Reg::S2, Reg::S0);
+    b.load(Reg::T1, Reg::T0, 0);
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.shri(Reg::T2, Reg::T1, 24); // op
+    b.shri(Reg::S5, Reg::T1, 20);
+    b.andi(Reg::S5, Reg::S5, 15); // rd
+    b.shri(Reg::S6, Reg::T1, 16);
+    b.andi(Reg::S6, Reg::S6, 15); // rs1
+    b.shri(Reg::S7, Reg::T1, 12);
+    b.andi(Reg::S7, Reg::S7, 15); // rs2
+    b.li(Reg::T3, 0xFFF);
+    b.and(Reg::A0, Reg::T1, Reg::T3); // imm (12 bits used)
+    jump_table(&mut b, Reg::S4, Reg::T2, Reg::T4);
+
+    // Helper closure-style emission for the three ALU handlers.
+    // reg read: T0 = gregs[S6], T1 = gregs[S7]; write: gregs[S5] = T0.
+    for (i, kind) in [(0usize, 0u8), (1, 1), (2, 2)] {
+        b.bind(handlers[i]).unwrap();
+        b.add(Reg::T0, Reg::S3, Reg::S6);
+        b.load(Reg::T0, Reg::T0, 0);
+        b.add(Reg::T1, Reg::S3, Reg::S7);
+        b.load(Reg::T1, Reg::T1, 0);
+        match kind {
+            0 => {
+                b.add(Reg::T0, Reg::T0, Reg::T1);
+            }
+            1 => {
+                b.sub(Reg::T0, Reg::T0, Reg::T1);
+            }
+            _ => {
+                b.mul(Reg::T0, Reg::T0, Reg::T1);
+            }
+        }
+        b.add(Reg::T1, Reg::S3, Reg::S5);
+        b.store(Reg::T0, Reg::T1, 0);
+        b.jump(dispatch);
+    }
+    // 3: LI
+    b.bind(handlers[3]).unwrap();
+    b.add(Reg::T0, Reg::S3, Reg::S5);
+    b.store(Reg::A0, Reg::T0, 0);
+    b.jump(dispatch);
+    // 4: LD rd, [rs1 + imm]
+    b.bind(handlers[4]).unwrap();
+    b.add(Reg::T0, Reg::S3, Reg::S6);
+    b.load(Reg::T0, Reg::T0, 0);
+    b.add(Reg::T0, Reg::T0, Reg::A0);
+    b.andi(Reg::T0, Reg::T0, 63);
+    b.add(Reg::T0, Reg::T0, Reg::A5);
+    b.load(Reg::T0, Reg::T0, 0);
+    b.add(Reg::T1, Reg::S3, Reg::S5);
+    b.store(Reg::T0, Reg::T1, 0);
+    b.jump(dispatch);
+    // 5: ST rd, [rs1 + imm]
+    b.bind(handlers[5]).unwrap();
+    b.add(Reg::T0, Reg::S3, Reg::S6);
+    b.load(Reg::T0, Reg::T0, 0);
+    b.add(Reg::T0, Reg::T0, Reg::A0);
+    b.andi(Reg::T0, Reg::T0, 63);
+    b.add(Reg::T0, Reg::T0, Reg::A5);
+    b.add(Reg::T1, Reg::S3, Reg::S5);
+    b.load(Reg::T1, Reg::T1, 0);
+    b.store(Reg::T1, Reg::T0, 0);
+    b.jump(dispatch);
+    // 6: BNE, 7: BLT
+    for (i, is_blt) in [(6usize, false), (7, true)] {
+        b.bind(handlers[i]).unwrap();
+        b.add(Reg::T0, Reg::S3, Reg::S6);
+        b.load(Reg::T0, Reg::T0, 0);
+        b.add(Reg::T1, Reg::S3, Reg::S7);
+        b.load(Reg::T1, Reg::T1, 0);
+        let no = b.new_label("gb_no");
+        if is_blt {
+            b.branch(tc_isa::Cond::Ge, Reg::T0, Reg::T1, no);
+        } else {
+            b.beq(Reg::T0, Reg::T1, no);
+        }
+        b.mv(Reg::S0, Reg::A0);
+        b.bind(no).unwrap();
+        b.jump(dispatch);
+    }
+    // 8: STOP
+    b.bind(handlers[8]).unwrap();
+    b.jump(vm_done);
+
+    // --- Driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear guest regs and memory.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, 16 + 64);
+        for_lt(b, Reg::T0, lim, |b| {
+            b.add(Reg::T2, Reg::S3, Reg::T0);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S0, 0);
+        let resume = b.new_label("resume");
+        b.la(Reg::S8, resume);
+        b.jump(dispatch);
+        b.bind(vm_done).unwrap();
+        b.jr(Reg::S8);
+        b.bind(resume).unwrap();
+        // Publish gmem[63].
+        b.load(Reg::T0, Reg::A5, 63);
+        b.li(Reg::T1, OUT_CHECK);
+        b.store(Reg::T0, Reg::T1, 0);
+    });
+
+    let program = b.build().expect("m88ksim assembles");
+    Workload::new("m88ksim", program, 1 << 13, vec![(GPROG as u64, guest)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "m88ksim faulted: {:?}", interp.error());
+        let expected = reference(&guest_program());
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), expected);
+        assert_ne!(expected, 0);
+    }
+
+    #[test]
+    fn guest_loops_make_periodic_dispatch() {
+        let stats = build(4).stream_stats(300_000);
+        // An interpreter's signature: indirect dispatch dominates control
+        // flow (conditional branches are rare in the handlers).
+        let per_kilo = stats.indirect * 1000 / stats.instructions.max(1);
+        assert!(per_kilo > 25, "expected heavy indirect dispatch, got {per_kilo}/1000");
+    }
+}

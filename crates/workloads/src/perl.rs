@@ -1,0 +1,238 @@
+//! `perl`: text scanning — Boyer-Moore-Horspool search plus word
+//! frequency hashing.
+//!
+//! Mirrors SPECint95 `134.perl` running a text-processing script:
+//! skip-table pattern search with data-dependent early exits, and an
+//! associative-array update loop.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_cond, repeat_and_halt};
+use crate::workload::Workload;
+
+const TEXT_LEN: usize = 12 * 1024;
+const ALPHA: u64 = 32;
+const NPATS: usize = 4;
+const PAT_LEN: usize = 5;
+/// Sized so the distinct-word count stays well under the table size
+/// (linear probing must terminate).
+const HASH_SIZE: i32 = 8192;
+
+const TEXT: i32 = 0x100;
+const PATS: i32 = TEXT + TEXT_LEN as i32;
+const SKIP: i32 = PATS + (NPATS * PAT_LEN) as i32;
+const HKEY: i32 = SKIP + (NPATS as i32) * ALPHA as i32;
+const HCNT: i32 = HKEY + HASH_SIZE;
+const OUT_MATCHES: i32 = HCNT + HASH_SIZE;
+const OUT_WORDS: i32 = OUT_MATCHES + 1;
+
+fn patterns(text: &[u64]) -> Vec<u64> {
+    // Take real substrings of the text so matches occur.
+    let mut out = Vec::with_capacity(NPATS * PAT_LEN);
+    for p in 0..NPATS {
+        let start = 1000 + p * 2500;
+        out.extend_from_slice(&text[start..start + PAT_LEN]);
+    }
+    out
+}
+
+fn skip_tables(pats: &[u64]) -> Vec<u64> {
+    let mut out = vec![PAT_LEN as u64; NPATS * ALPHA as usize];
+    for p in 0..NPATS {
+        for j in 0..PAT_LEN - 1 {
+            let c = pats[p * PAT_LEN + j] as usize;
+            out[p * ALPHA as usize + c] = (PAT_LEN - 1 - j) as u64;
+        }
+    }
+    out
+}
+
+/// Reference: returns (total matches over patterns, distinct words).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(text: &[u64]) -> (u64, u64) {
+    let pats = patterns(text);
+    let skip = skip_tables(&pats);
+    let mut matches = 0u64;
+    for p in 0..NPATS {
+        let pat = &pats[p * PAT_LEN..(p + 1) * PAT_LEN];
+        let mut i = PAT_LEN - 1;
+        while i < text.len() {
+            let mut j = 0;
+            while j < PAT_LEN && text[i - j] == pat[PAT_LEN - 1 - j] {
+                j += 1;
+            }
+            if j == PAT_LEN {
+                matches += 1;
+                i += 1;
+            } else {
+                i += skip[p * ALPHA as usize + text[i] as usize] as usize;
+            }
+        }
+    }
+    // Word hashing: separator symbol = 0.
+    let mut hkey = vec![0u64; HASH_SIZE as usize];
+    let mut distinct = 0u64;
+    let mask = (HASH_SIZE - 1) as u64;
+    let mut word = 0u64;
+    for &c in text {
+        if c == 0 {
+            if word != 0 {
+                let mut h = word.wrapping_mul(0x9E37_79B1) & mask;
+                while hkey[h as usize] != 0 && hkey[h as usize] != word {
+                    h = (h + 1) & mask;
+                }
+                if hkey[h as usize] == 0 {
+                    hkey[h as usize] = word;
+                    distinct += 1;
+                }
+                word = 0;
+            }
+        } else {
+            word = word.wrapping_mul(37).wrapping_add(c);
+        }
+    }
+    (matches, distinct)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let text = data::skewed_symbols(0x9E51, TEXT_LEN, ALPHA);
+    let pats = patterns(&text);
+    let skip = skip_tables(&pats);
+
+    let mut b = ProgramBuilder::new();
+    // A4 = text base, A5 = text len.
+    b.li(Reg::A4, TEXT).li(Reg::A5, TEXT_LEN as i32);
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        b.li(Reg::S8, 0); // matches
+        // --- BMH per pattern ---
+        b.li(Reg::S0, 0); // pattern index
+        let pat_lim = Reg::T11;
+        b.li(pat_lim, NPATS as i32);
+        for_lt(b, Reg::S0, pat_lim, |b| {
+            // S1 = &pat[p*PAT_LEN], S2 = &skip[p*ALPHA]
+            b.muli(Reg::S1, Reg::S0, PAT_LEN as i32);
+            b.addi(Reg::S1, Reg::S1, PATS);
+            b.muli(Reg::S2, Reg::S0, ALPHA as i32);
+            b.addi(Reg::S2, Reg::S2, SKIP);
+            // i = PAT_LEN - 1
+            b.li(Reg::S3, (PAT_LEN - 1) as i32);
+            let scan_done = b.new_label("scan_done");
+            let scan_top = b.here("scan_top");
+            b.branch(Cond::Geu, Reg::S3, Reg::A5, scan_done);
+            // Backward compare: j in 0..PAT_LEN.
+            b.li(Reg::S4, 0); // j
+            let cmp_fail = b.new_label("cmp_fail");
+            let cmp_done = b.new_label("cmp_done");
+            let cmp_top = b.here("cmp_top");
+            b.li(Reg::T0, PAT_LEN as i32);
+            b.branch(Cond::Geu, Reg::S4, Reg::T0, cmp_done);
+            // text[i-j] vs pat[PAT_LEN-1-j]
+            b.sub(Reg::T1, Reg::S3, Reg::S4);
+            b.add(Reg::T1, Reg::T1, Reg::A4);
+            b.load(Reg::T1, Reg::T1, 0);
+            b.li(Reg::T2, (PAT_LEN - 1) as i32);
+            b.sub(Reg::T2, Reg::T2, Reg::S4);
+            b.add(Reg::T2, Reg::T2, Reg::S1);
+            b.load(Reg::T2, Reg::T2, 0);
+            b.bne(Reg::T1, Reg::T2, cmp_fail);
+            b.addi(Reg::S4, Reg::S4, 1);
+            b.jump(cmp_top);
+            b.bind(cmp_done).unwrap();
+            // Full match.
+            b.addi(Reg::S8, Reg::S8, 1);
+            b.addi(Reg::S3, Reg::S3, 1);
+            b.jump(scan_top);
+            b.bind(cmp_fail).unwrap();
+            // i += skip[text[i]]
+            b.add(Reg::T3, Reg::S3, Reg::A4);
+            b.load(Reg::T3, Reg::T3, 0);
+            b.add(Reg::T3, Reg::T3, Reg::S2);
+            b.load(Reg::T3, Reg::T3, 0);
+            b.add(Reg::S3, Reg::S3, Reg::T3);
+            b.jump(scan_top);
+            b.bind(scan_done).unwrap();
+        });
+        b.li(Reg::T0, OUT_MATCHES);
+        b.store(Reg::S8, Reg::T0, 0);
+
+        // --- Word hashing ---
+        // Clear table.
+        b.li(Reg::T0, 0);
+        let clear_lim = Reg::T1;
+        b.li(clear_lim, HASH_SIZE);
+        for_lt(b, Reg::T0, clear_lim, |b| {
+            b.addi(Reg::T2, Reg::T0, HKEY);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S5, 0); // word
+        b.li(Reg::S6, 0); // distinct
+        b.li(Reg::S7, HASH_SIZE - 1); // mask
+        b.li(Reg::S0, 0); // i
+        for_lt(b, Reg::S0, Reg::A5, |b| {
+            b.add(Reg::T0, Reg::A4, Reg::S0);
+            b.load(Reg::T0, Reg::T0, 0); // c
+            let is_sep = b.new_label("is_sep");
+            let next = b.new_label("next_char");
+            b.beqz(Reg::T0, is_sep);
+            // word = word*37 + c
+            b.muli(Reg::S5, Reg::S5, 37);
+            b.add(Reg::S5, Reg::S5, Reg::T0);
+            b.jump(next);
+            b.bind(is_sep).unwrap();
+            if_cond(b, Cond::Ne, Reg::S5, Reg::ZERO, |b| {
+                // h = word * 0x9E3779B1 & mask (low bits unaffected by
+                // the sign-extended immediate).
+                b.li(Reg::T1, 0x9e37_79b1_u32 as i32);
+                b.mul(Reg::T1, Reg::S5, Reg::T1);
+                b.and(Reg::T1, Reg::T1, Reg::S7);
+                let probe_done = b.new_label("probe_done");
+                let probe_top = b.here("probe_top");
+                b.addi(Reg::T2, Reg::T1, HKEY);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.beqz(Reg::T3, probe_done);
+                b.beq(Reg::T3, Reg::S5, probe_done);
+                b.addi(Reg::T1, Reg::T1, 1);
+                b.and(Reg::T1, Reg::T1, Reg::S7);
+                b.jump(probe_top);
+                b.bind(probe_done).unwrap();
+                if_cond(b, Cond::Eq, Reg::T3, Reg::ZERO, |b| {
+                    b.store(Reg::S5, Reg::T2, 0);
+                    b.addi(Reg::S6, Reg::S6, 1);
+                });
+                b.li(Reg::S5, 0);
+            });
+            b.bind(next).unwrap();
+        });
+        b.li(Reg::T0, OUT_WORDS);
+        b.store(Reg::S6, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("perl assembles");
+    Workload::new(
+        "perl",
+        program,
+        1 << 16,
+        vec![(TEXT as u64, text), (PATS as u64, pats), (SKIP as u64, skip)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "perl faulted: {:?}", interp.error());
+        let text = data::skewed_symbols(0x9E51, TEXT_LEN, ALPHA);
+        let (matches, distinct) = reference(&text);
+        assert_eq!(interp.machine().mem(OUT_MATCHES as u64), matches);
+        assert_eq!(interp.machine().mem(OUT_WORDS as u64), distinct);
+        assert!(matches >= NPATS as u64, "planted patterns must be found: {matches}");
+        assert!(distinct > 50, "too few words: {distinct}");
+    }
+}

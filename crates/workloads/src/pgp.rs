@@ -1,0 +1,396 @@
+//! `pgp`: multi-limb modular exponentiation.
+//!
+//! Mirrors PGP's RSA kernel: square-and-multiply modular exponentiation
+//! over multi-word integers, built from binary modular multiplication
+//! (shift, conditional-subtract). Branch profile: compare/borrow chains
+//! with early exits, ~50/50 key-bit branches, and biased limb loops.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Limbs per big number (32-bit limbs stored one per 64-bit word).
+const LIMBS: i32 = 4;
+
+const MOD: i32 = 0x100; // modulus m
+const BASE: i32 = MOD + LIMBS; // base g
+const EXP: i32 = BASE + LIMBS; // exponent e
+const RESULT: i32 = EXP + LIMBS; // result accumulator
+const SQ: i32 = RESULT + LIMBS; // running square
+const MULR: i32 = SQ + LIMBS; // mulmod scratch result
+const MULA: i32 = MULR + LIMBS; // mulmod operand copy
+const OUT_CHECK: i32 = MULA + LIMBS;
+
+type Big = Vec<u64>;
+
+/// Reference modexp over LIMB 32-bit limbs (little-endian), computing
+/// `g^e mod m` exactly as the assembly does (binary mulmod).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference_modexp(g: &Big, e: &Big, m: &Big) -> Big {
+    fn to_u128(x: &[u64]) -> u128 {
+        x.iter().rev().fold(0u128, |a, &l| (a << 32) | u128::from(l))
+    }
+    fn from_u128(mut v: u128, limbs: usize) -> Big {
+        let mut out = vec![0u64; limbs];
+        for l in out.iter_mut() {
+            *l = (v & 0xFFFF_FFFF) as u64;
+            v >>= 32;
+        }
+        out
+    }
+    let (g, e, m) = (to_u128(g), to_u128(e), to_u128(m));
+    let mut result = 1u128;
+    let mut sq = g % m;
+    let mut exp = e;
+    while exp != 0 {
+        if exp & 1 == 1 {
+            result = mulmod(result, sq, m);
+        }
+        sq = mulmod(sq, sq, m);
+        exp >>= 1;
+    }
+    fn mulmod(a: u128, b: u128, m: u128) -> u128 {
+        // Same binary algorithm as the assembly (values < 2^128 won't
+        // overflow u128 math here because m < 2^128 and we reduce every
+        // step — use checked doubling identical to the asm).
+        let mut r = 0u128;
+        let a = a % m;
+        let mut bits = 128 - b.leading_zeros();
+        while bits > 0 {
+            bits -= 1;
+            // r = 2r mod m
+            r <<= 1;
+            if r >= m {
+                r -= m;
+            }
+            if (b >> bits) & 1 == 1 {
+                r += a;
+                if r >= m {
+                    r -= m;
+                }
+            }
+        }
+        r
+    }
+    from_u128(result, LIMBS as usize)
+}
+
+/// Emits `if big(at A0) >= big(at A1): big(A0) -= big(A1)` over LIMBS
+/// 32-bit limbs. Clobbers T0..T7.
+fn cond_sub(b: &mut ProgramBuilder) {
+    let no_sub = b.new_label("no_sub");
+    let do_sub = b.new_label("do_sub");
+    // Compare from most-significant limb down, early exit (unpredictable).
+    b.li(Reg::T0, LIMBS - 1);
+    let cmp_top = b.here("cmp_top");
+    b.add(Reg::T1, Reg::A0, Reg::T0);
+    b.load(Reg::T2, Reg::T1, 0);
+    b.add(Reg::T1, Reg::A1, Reg::T0);
+    b.load(Reg::T3, Reg::T1, 0);
+    b.branch(Cond::Ltu, Reg::T2, Reg::T3, no_sub);
+    b.branch(Cond::Ltu, Reg::T3, Reg::T2, do_sub);
+    b.addi(Reg::T0, Reg::T0, -1);
+    b.branch(Cond::Ge, Reg::T0, Reg::ZERO, cmp_top);
+    // Equal: subtract.
+    b.bind(do_sub).unwrap();
+    // Subtract with borrow, lsb first.
+    b.li(Reg::T0, 0);
+    b.li(Reg::T4, 0); // borrow
+    let sub_lim = Reg::T7;
+    b.li(sub_lim, LIMBS);
+    for_lt(b, Reg::T0, sub_lim, |b| {
+        b.add(Reg::T1, Reg::A0, Reg::T0);
+        b.load(Reg::T2, Reg::T1, 0);
+        b.add(Reg::T3, Reg::A1, Reg::T0);
+        b.load(Reg::T3, Reg::T3, 0);
+        b.add(Reg::T3, Reg::T3, Reg::T4); // b + borrow
+        b.sub(Reg::T2, Reg::T2, Reg::T3);
+        // borrow = (result < 0) via sign bit of 64-bit subtraction.
+        b.li(Reg::T4, 0);
+        let no_borrow = b.new_label("no_borrow");
+        b.branch(Cond::Ge, Reg::T2, Reg::ZERO, no_borrow);
+        b.li(Reg::T4, 1);
+        b.bind(no_borrow).unwrap();
+        // Mask to 32 bits (adds 2^32 when borrowed).
+        b.li(Reg::T5, -1);
+        b.shri(Reg::T5, Reg::T5, 32); // T5 = 0xFFFF_FFFF
+        b.and(Reg::T2, Reg::T2, Reg::T5);
+        b.store(Reg::T2, Reg::T1, 0);
+    });
+    b.bind(no_sub).unwrap();
+}
+
+/// Emits `shift_left_one(big at A0)` over 32-bit limbs (no overflow out of
+/// the top limb by construction: a conditional subtract precedes growth
+/// past the modulus). Clobbers T0..T5.
+fn shl1(b: &mut ProgramBuilder) {
+    b.li(Reg::T0, 0);
+    b.li(Reg::T4, 0); // carry
+    let lim = Reg::T5;
+    b.li(lim, LIMBS);
+    for_lt(b, Reg::T0, lim, |b| {
+        b.add(Reg::T1, Reg::A0, Reg::T0);
+        b.load(Reg::T2, Reg::T1, 0);
+        b.shli(Reg::T2, Reg::T2, 1);
+        b.add(Reg::T2, Reg::T2, Reg::T4);
+        b.shri(Reg::T4, Reg::T2, 32); // next carry
+        b.li(Reg::T3, -1);
+        b.shri(Reg::T3, Reg::T3, 32);
+        b.and(Reg::T2, Reg::T2, Reg::T3);
+        b.store(Reg::T2, Reg::T1, 0);
+    });
+}
+
+/// Emits `add(big at A0) += big(at A1)` with 32-bit limb carries.
+/// Clobbers T0..T5.
+fn add_big(b: &mut ProgramBuilder) {
+    b.li(Reg::T0, 0);
+    b.li(Reg::T4, 0); // carry
+    let lim = Reg::T5;
+    b.li(lim, LIMBS);
+    for_lt(b, Reg::T0, lim, |b| {
+        b.add(Reg::T1, Reg::A0, Reg::T0);
+        b.load(Reg::T2, Reg::T1, 0);
+        b.add(Reg::T3, Reg::A1, Reg::T0);
+        b.load(Reg::T3, Reg::T3, 0);
+        b.add(Reg::T2, Reg::T2, Reg::T3);
+        b.add(Reg::T2, Reg::T2, Reg::T4);
+        b.shri(Reg::T4, Reg::T2, 32);
+        b.li(Reg::T3, -1);
+        b.shri(Reg::T3, Reg::T3, 32);
+        b.and(Reg::T2, Reg::T2, Reg::T3);
+        b.store(Reg::T2, Reg::T1, 0);
+    });
+}
+
+/// The benchmark's inputs: the modulus is kept below 2^127 so the binary
+/// mulmod's doubling step (`r <<= 1` with `r < m`) never overflows the
+/// four 32-bit limbs, and the base is pre-reduced below the modulus.
+pub(crate) fn inputs() -> (Big, Big, Big) {
+    fn to_u128(x: &[u64]) -> u128 {
+        x.iter().rev().fold(0u128, |a, &l| (a << 32) | u128::from(l))
+    }
+    fn from_u128(mut v: u128, limbs: usize) -> Big {
+        let mut out = vec![0u64; limbs];
+        for l in out.iter_mut() {
+            *l = (v & 0xFFFF_FFFF) as u64;
+            v >>= 32;
+        }
+        out
+    }
+    let mut m = data::bignum(0x9657, LIMBS as usize);
+    let top = LIMBS as usize - 1;
+    m[top] = (m[top] & 0x3FFF_FFFF) | 0x4000_0000; // m in [2^126, 2^127)
+    let g_raw = data::uniform_words(0x2323, LIMBS as usize, 1 << 32);
+    let g = from_u128(to_u128(&g_raw) % to_u128(&m), LIMBS as usize);
+    let e = data::uniform_words(0x7171, LIMBS as usize, 1 << 32);
+    (g, e, m)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let (g, e, m) = inputs();
+
+    let mut b = ProgramBuilder::new();
+    // The modexp subroutine layout is inlined; registers:
+    // S0 = exponent bit index, S1 = total bits, S2 = &result, S3 = &sq,
+    // S4 = &modulus, S5 = bit value, S8 = mulmod bit counter.
+    b.li(Reg::S4, MOD);
+
+    // --- mulmod subroutine: MULR = (MULR_init=0; fold MULA by bits of
+    // arg at A2) — computes (x * y) mod m where x at MULA, y at A2-ptr.
+    // Inputs: MULA holds x (already < m), A2 = address of y.
+    // Output: MULR. Uses A0/A1 for cond_sub/shl1/add_big operands.
+    let mulmod = {
+        let mulmod = b.new_label("mulmod");
+        let main = b.new_label("main");
+        b.jump(main);
+        b.bind(mulmod).unwrap();
+        // Clear MULR.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, LIMBS);
+        for_lt(&mut b, Reg::T0, lim, |b| {
+            b.li(Reg::T2, MULR);
+            b.add(Reg::T2, Reg::T2, Reg::T0);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        // For bit in (32*LIMBS-1)..=0 of y.
+        b.li(Reg::S8, 32 * LIMBS - 1);
+        let bit_done = b.new_label("bit_done");
+        let bit_top = b.here("bit_top");
+        b.branch(Cond::Lt, Reg::S8, Reg::ZERO, bit_done);
+        // r <<= 1; if r >= m: r -= m.
+        b.li(Reg::A0, MULR);
+        shl1(&mut b);
+        b.li(Reg::A0, MULR);
+        b.mv(Reg::A1, Reg::S4);
+        cond_sub(&mut b);
+        // if bit set: r += x; if r >= m: r -= m.
+        // bit = (y[bit/32] >> (bit%32)) & 1.
+        b.shri(Reg::T6, Reg::S8, 5); // limb index
+        b.add(Reg::T6, Reg::T6, Reg::A2);
+        b.load(Reg::T6, Reg::T6, 0);
+        b.andi(Reg::T0, Reg::S8, 31);
+        b.alu(tc_isa::AluOp::Shr, Reg::T6, Reg::T6, Reg::T0);
+        b.andi(Reg::T6, Reg::T6, 1);
+        let bit_clear = b.new_label("bit_clear");
+        b.beqz(Reg::T6, bit_clear);
+        b.li(Reg::A0, MULR);
+        b.li(Reg::A1, MULA);
+        add_big(&mut b);
+        b.li(Reg::A0, MULR);
+        b.mv(Reg::A1, Reg::S4);
+        cond_sub(&mut b);
+        b.bind(bit_clear).unwrap();
+        b.addi(Reg::S8, Reg::S8, -1);
+        b.jump(bit_top);
+        b.bind(bit_done).unwrap();
+        b.ret();
+        b.bind(main).unwrap();
+        mulmod
+    };
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // result = 1; sq = g (g < m by construction of data); copy loop.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, LIMBS);
+        for_lt(b, Reg::T0, lim, |b| {
+            b.li(Reg::T2, BASE);
+            b.add(Reg::T2, Reg::T2, Reg::T0);
+            b.load(Reg::T3, Reg::T2, 0);
+            b.li(Reg::T2, SQ);
+            b.add(Reg::T2, Reg::T2, Reg::T0);
+            b.store(Reg::T3, Reg::T2, 0);
+            b.li(Reg::T2, RESULT);
+            b.add(Reg::T2, Reg::T2, Reg::T0);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::T2, RESULT);
+        b.li(Reg::T3, 1);
+        b.store(Reg::T3, Reg::T2, 0);
+        // (g is pre-reduced below m by `inputs`.)
+
+        // For each exponent bit, lsb first: S0 = bit index.
+        b.li(Reg::S0, 0).li(Reg::S1, 32 * LIMBS);
+        for_lt(b, Reg::S0, Reg::S1, |b| {
+            // bit = (e[idx/32] >> (idx%32)) & 1
+            b.shri(Reg::T6, Reg::S0, 5);
+            b.addi(Reg::T6, Reg::T6, EXP);
+            b.load(Reg::T6, Reg::T6, 0);
+            b.andi(Reg::T0, Reg::S0, 31);
+            b.alu(tc_isa::AluOp::Shr, Reg::T6, Reg::T6, Reg::T0);
+            b.andi(Reg::S5, Reg::T6, 1);
+            let skip_mul = b.new_label("skip_mul");
+            b.beqz(Reg::S5, skip_mul);
+            // result = mulmod(result, sq): MULA <- result, y = sq.
+            b.li(Reg::T0, 0);
+            let lim2 = Reg::T1;
+            b.li(lim2, LIMBS);
+            for_lt(b, Reg::T0, lim2, |b| {
+                b.li(Reg::T2, RESULT);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.li(Reg::T2, MULA);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.store(Reg::T3, Reg::T2, 0);
+            });
+            b.li(Reg::A2, SQ);
+            b.call(mulmod);
+            // result <- MULR.
+            b.li(Reg::T0, 0);
+            let lim3 = Reg::T1;
+            b.li(lim3, LIMBS);
+            for_lt(b, Reg::T0, lim3, |b| {
+                b.li(Reg::T2, MULR);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.li(Reg::T2, RESULT);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.store(Reg::T3, Reg::T2, 0);
+            });
+            b.bind(skip_mul).unwrap();
+            // sq = mulmod(sq, sq).
+            b.li(Reg::T0, 0);
+            let lim4 = Reg::T1;
+            b.li(lim4, LIMBS);
+            for_lt(b, Reg::T0, lim4, |b| {
+                b.li(Reg::T2, SQ);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.li(Reg::T2, MULA);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.store(Reg::T3, Reg::T2, 0);
+            });
+            b.li(Reg::A2, SQ);
+            b.call(mulmod);
+            b.li(Reg::T0, 0);
+            let lim5 = Reg::T1;
+            b.li(lim5, LIMBS);
+            for_lt(b, Reg::T0, lim5, |b| {
+                b.li(Reg::T2, MULR);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.load(Reg::T3, Reg::T2, 0);
+                b.li(Reg::T2, SQ);
+                b.add(Reg::T2, Reg::T2, Reg::T0);
+                b.store(Reg::T3, Reg::T2, 0);
+            });
+        });
+        // Publish a checksum of the result.
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 0);
+        let lim6 = Reg::T2;
+        b.li(lim6, LIMBS);
+        for_lt(b, Reg::T0, lim6, |b| {
+            b.li(Reg::T3, RESULT);
+            b.add(Reg::T3, Reg::T3, Reg::T0);
+            b.load(Reg::T3, Reg::T3, 0);
+            b.muli(Reg::T1, Reg::T1, 1_000_003);
+            b.add(Reg::T1, Reg::T1, Reg::T3);
+        });
+        b.li(Reg::T3, OUT_CHECK);
+        b.store(Reg::T1, Reg::T3, 0);
+    });
+
+    let program = b.build().expect("pgp assembles");
+    Workload::new(
+        "pgp",
+        program,
+        1 << 14,
+        vec![(MOD as u64, m), (BASE as u64, g), (EXP as u64, e)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "pgp faulted: {:?}", interp.error());
+        let (g, e, m) = inputs();
+        let expected = reference_modexp(&g, &e, &m);
+        let checksum =
+            expected.iter().rev().fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
+        // The asm folds lsb-first: recompute in that order.
+        let checksum_lsb_first =
+            expected.iter().fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
+        let got = interp.machine().mem(OUT_CHECK as u64);
+        assert!(
+            got == checksum || got == checksum_lsb_first,
+            "modexp mismatch: got {got:#x}, expected {checksum:#x} or {checksum_lsb_first:#x}"
+        );
+        assert_ne!(got, 0);
+    }
+
+    #[test]
+    fn dynamic_length_is_substantial() {
+        let stats = build(1).stream_stats(5_000_000);
+        assert!(stats.instructions > 200_000, "modexp too short: {}", stats.instructions);
+    }
+}

@@ -1,0 +1,240 @@
+//! `gnuplot`: fixed-point curve evaluation, clipping, and histogramming.
+//!
+//! Mirrors gnuplot's plotting loops. The distinctive property (the paper
+//! singles `plot` out for frequent *promotion faults*) is run-structured
+//! branches: within one curve a clipping branch is near-perfectly biased,
+//! but the bias *direction flips between curves* — so a branch promoted
+//! during one curve faults at the start of the next.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_cond, if_else, repeat_and_halt};
+use crate::workload::Workload;
+
+const NCURVES: usize = 24;
+/// Points evaluated per curve — long enough for a threshold-64 promotion
+/// to trigger mid-curve.
+const NPOINTS: i64 = 400;
+const NBUCKETS: i64 = 8;
+
+const COEFFS: i32 = 0x100; // per curve: a, b, c, offset
+const HIST: i32 = COEFFS + (NCURVES * 4) as i32;
+const OUT_CLIPPED: i32 = HIST + NBUCKETS as i32;
+const OUT_CHECK: i32 = OUT_CLIPPED + 1;
+
+/// Curve coefficients: alternate curves sit mostly above / mostly below
+/// the clip line, flipping the clip-branch bias per curve.
+pub(crate) fn coeff_image() -> Vec<u64> {
+    let raw = data::uniform_words(0x1907, NCURVES * 3, 12);
+    let mut out = Vec::with_capacity(NCURVES * 4);
+    for c in 0..NCURVES {
+        let a = raw[c * 3] + 1; // 1..12
+        let b = raw[c * 3 + 1];
+        let q = raw[c * 3 + 2];
+        // Offset: the raw value before the offset lands in [0, 50000).
+        // Odd curves sit mostly below the clip line, even curves mostly
+        // above, with ~2% of points crossing it — a strongly biased
+        // branch whose direction flips between curves (and occasionally
+        // mid-curve), the promotion-fault-prone pattern the paper
+        // observes in `plot`.
+        let offset: i64 = if c % 2 == 0 { -500 } else { -49_500 };
+        out.push(a);
+        out.push(b);
+        out.push(q);
+        out.push(offset as u64);
+    }
+    out
+}
+
+/// Reference: returns (clipped count, histogram checksum).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(coeffs: &[u64]) -> (u64, u64) {
+    let mut hist = [0u64; NBUCKETS as usize];
+    let mut clipped = 0u64;
+    for c in 0..NCURVES {
+        let a = coeffs[c * 4] as i64;
+        let b = coeffs[c * 4 + 1] as i64;
+        let q = coeffs[c * 4 + 2] as i64;
+        let offset = coeffs[c * 4 + 3] as i64;
+        for x in 0..NPOINTS {
+            // y = ((a*x + b)*x + q)*x/64 + offset  (fixed-point-ish)
+            let y = (a * x + b) * x + q;
+            let y = (y * x >> 6) % 50_000 + offset;
+            // Clip at zero: biased within a curve, flips across curves.
+            let y = if y < 0 {
+                clipped += 1;
+                0
+            } else {
+                y
+            };
+            // Bucket by magnitude: an if-ladder in the assembly.
+            let bucket = match y {
+                0 => 0,
+                1..=999 => 1,
+                1_000..=9_999 => 2,
+                10_000..=29_999 => 3,
+                30_000..=59_999 => 4,
+                60_000..=89_999 => 5,
+                90_000..=119_999 => 6,
+                _ => 7,
+            };
+            hist[bucket] += 1;
+        }
+    }
+    let check = hist.iter().fold(0u64, |acc, &h| acc.wrapping_mul(131).wrapping_add(h));
+    (clipped, check)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let coeffs = coeff_image();
+
+    let mut b = ProgramBuilder::new();
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear histogram; reset counters.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, NBUCKETS as i32);
+        for_lt(b, Reg::T0, lim, |b| {
+            b.addi(Reg::T2, Reg::T0, HIST);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S8, 0); // clipped
+
+        b.li(Reg::S0, 0); // curve index
+        let curve_lim = Reg::T11;
+        b.li(curve_lim, NCURVES as i32);
+        for_lt(b, Reg::S0, curve_lim, |b| {
+            // Load a, b, q, offset into S1..S4.
+            b.shli(Reg::T0, Reg::S0, 2);
+            b.addi(Reg::T0, Reg::T0, COEFFS);
+            b.load(Reg::S1, Reg::T0, 0);
+            b.load(Reg::S2, Reg::T0, 1);
+            b.load(Reg::S3, Reg::T0, 2);
+            b.load(Reg::S4, Reg::T0, 3);
+            // Point loop: x in S5.
+            b.li(Reg::S5, 0);
+            let pt_lim = Reg::S6;
+            b.li(pt_lim, NPOINTS as i32);
+            for_lt(b, Reg::S5, pt_lim, |b| {
+                // y = (a*x + b)*x + q
+                b.mul(Reg::T0, Reg::S1, Reg::S5);
+                b.add(Reg::T0, Reg::T0, Reg::S2);
+                b.mul(Reg::T0, Reg::T0, Reg::S5);
+                b.add(Reg::T0, Reg::T0, Reg::S3);
+                // y = (y*x >> 6) % 50000 + offset
+                b.mul(Reg::T0, Reg::T0, Reg::S5);
+                b.alui(tc_isa::AluOp::Sra, Reg::T0, Reg::T0, 6);
+                b.li(Reg::T1, 50_000);
+                b.rem(Reg::T0, Reg::T0, Reg::T1);
+                b.add(Reg::T0, Reg::T0, Reg::S4);
+                // Clip at zero (the run-structured branch).
+                if_cond(b, Cond::Lt, Reg::T0, Reg::ZERO, |b| {
+                    b.addi(Reg::S8, Reg::S8, 1);
+                    b.li(Reg::T0, 0);
+                });
+                // Bucket if-ladder.
+                let bucket = Reg::T2;
+                let done = b.new_label("bucket_done");
+                let thresholds: [(i32, i32); 7] = [
+                    (1, 0),
+                    (1_000, 1),
+                    (10_000, 2),
+                    (30_000, 3),
+                    (60_000, 4),
+                    (90_000, 5),
+                    (120_000, 6),
+                ];
+                for (limit, idx) in thresholds {
+                    b.li(Reg::T3, limit);
+                    let next = b.new_label("bucket_next");
+                    b.branch(Cond::Ge, Reg::T0, Reg::T3, next);
+                    b.li(bucket, idx);
+                    b.jump(done);
+                    b.bind(next).unwrap();
+                }
+                b.li(bucket, 7);
+                b.bind(done).unwrap();
+                // hist[bucket] += 1
+                b.addi(Reg::T3, bucket, HIST);
+                b.load(Reg::T4, Reg::T3, 0);
+                b.addi(Reg::T4, Reg::T4, 1);
+                b.store(Reg::T4, Reg::T3, 0);
+            });
+        });
+        // Checksum.
+        b.li(Reg::S7, 0);
+        b.li(Reg::T0, 0);
+        let lim2 = Reg::T1;
+        b.li(lim2, NBUCKETS as i32);
+        for_lt(b, Reg::T0, lim2, |b| {
+            b.addi(Reg::T2, Reg::T0, HIST);
+            b.load(Reg::T2, Reg::T2, 0);
+            b.muli(Reg::S7, Reg::S7, 131);
+            b.add(Reg::S7, Reg::S7, Reg::T2);
+        });
+        b.li(Reg::T0, OUT_CLIPPED);
+        b.store(Reg::S8, Reg::T0, 0);
+        b.li(Reg::T0, OUT_CHECK);
+        b.store(Reg::S7, Reg::T0, 0);
+
+        // Keep if_else linked in for shape variety: final sanity fold.
+        if_else(
+            b,
+            Cond::Ltu,
+            Reg::S7,
+            Reg::S8,
+            |b| {
+                b.addi(Reg::S7, Reg::S7, 1);
+            },
+            |b| {
+                b.addi(Reg::S8, Reg::S8, 1);
+            },
+        );
+    });
+
+    let program = b.build().expect("plot assembles");
+    Workload::new("gnuplot", program, 1 << 13, vec![(COEFFS as u64, coeffs)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "plot faulted: {:?}", interp.error());
+        let (clipped, check) = reference(&coeff_image());
+        assert_eq!(interp.machine().mem(OUT_CLIPPED as u64), clipped);
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), check);
+    }
+
+    #[test]
+    fn clip_branch_flips_bias_between_curves() {
+        // Negative-offset curves should clip almost everything; positive
+        // ones almost nothing. Count clip per curve in the reference.
+        let coeffs = coeff_image();
+        let mut per_curve = Vec::new();
+        for c in 0..NCURVES {
+            let mut one = coeffs.clone();
+            // Zero all other curves' point counts by evaluating alone.
+            one.rotate_left(c * 4);
+            let solo: Vec<u64> = one[..4].to_vec();
+            let mut padded = solo.clone();
+            padded.extend(vec![0u64; (NCURVES - 1) * 4]);
+            // Count clips for just this curve: offset decides everything.
+            let (clipped, _) = reference(&padded);
+            // Remove the contribution of the zeroed curves: their y =
+            // (0*x+0)*x+0 -> 0 % 50000 + 0 = 0, never negative.
+            per_curve.push(clipped);
+        }
+        let heavy = per_curve.iter().filter(|&&c| c > (NPOINTS as u64 * 8) / 10).count();
+        let light = per_curve.iter().filter(|&&c| c < (NPOINTS as u64 * 2) / 10).count();
+        assert!(heavy >= NCURVES / 3, "no heavily-clipped curves: {per_curve:?}");
+        assert!(light >= NCURVES / 3, "no lightly-clipped curves");
+    }
+}

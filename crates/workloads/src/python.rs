@@ -1,0 +1,329 @@
+//! `python`: a stack-based bytecode virtual machine.
+//!
+//! Mirrors the CPython interpreter's defining behavior: a fetch/decode
+//! loop whose *indirect dispatch jump* has many targets and follows the
+//! guest bytecode's structure, with short, branchy handler blocks.
+
+use tc_isa::{ProgramBuilder, Reg};
+
+use crate::kernels::{jump_table, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Bytecode opcodes (encoded `op << 16 | arg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    Push(u16),
+    Load(u16),
+    Store(u16),
+    Add,
+    Sub,
+    Mul,
+    Lt,
+    Jz(u16),
+    Jmp(u16),
+    Halt,
+}
+
+impl Op {
+    fn encode(self) -> u64 {
+        let (op, arg) = match self {
+            Op::Push(a) => (0, a),
+            Op::Load(a) => (1, a),
+            Op::Store(a) => (2, a),
+            Op::Add => (3, 0),
+            Op::Sub => (4, 0),
+            Op::Mul => (5, 0),
+            Op::Lt => (6, 0),
+            Op::Jz(a) => (7, a),
+            Op::Jmp(a) => (8, a),
+            Op::Halt => (9, 0),
+        };
+        (op << 16) | u64::from(arg)
+    }
+}
+
+/// The guest program: three small scripts run back to back.
+///
+/// Script 1: `sum = Σ i*i for i in 0..40`
+/// Script 2: iterative Fibonacci(30) into var 3
+/// Script 3: nested loop computing a polynomial table checksum
+pub(crate) fn guest_program() -> Vec<Op> {
+    use Op::*;
+    let mut p = Vec::new();
+    // --- Script 1: vars: 0=i, 1=sum ---
+    p.extend([Push(0), Store(0), Push(0), Store(1)]);
+    let loop1 = p.len() as u16; // 4
+    p.extend([Load(0), Push(40), Lt]);
+    let jz1_at = p.len();
+    p.push(Jz(0)); // patched
+    p.extend([Load(1), Load(0), Load(0), Mul, Add, Store(1)]);
+    p.extend([Load(0), Push(1), Add, Store(0), Jmp(loop1)]);
+    let after1 = p.len() as u16;
+    p[jz1_at] = Jz(after1);
+
+    // --- Script 2: vars: 2=a, 3=b, 4=k ---
+    p.extend([Push(0), Store(2), Push(1), Store(3), Push(0), Store(4)]);
+    let loop2 = p.len() as u16;
+    p.extend([Load(4), Push(30), Lt]);
+    let jz2_at = p.len();
+    p.push(Jz(0));
+    // t = a + b; a = b; b = t  (t lives on the stack)
+    p.extend([Load(2), Load(3), Add, Load(3), Store(2), Store(3)]);
+    p.extend([Load(4), Push(1), Add, Store(4), Jmp(loop2)]);
+    let after2 = p.len() as u16;
+    p[jz2_at] = Jz(after2);
+
+    // --- Script 3: vars: 5=x, 6=y, 7=acc ---
+    p.extend([Push(0), Store(5), Push(0), Store(7)]);
+    let loop3x = p.len() as u16;
+    p.extend([Load(5), Push(16), Lt]);
+    let jz3_at = p.len();
+    p.push(Jz(0));
+    p.extend([Push(0), Store(6)]);
+    let loop3y = p.len() as u16;
+    p.extend([Load(6), Push(12), Lt]);
+    let jz4_at = p.len();
+    p.push(Jz(0));
+    // acc = acc*3 + x*y - y
+    p.extend([
+        Load(7),
+        Push(3),
+        Mul,
+        Load(5),
+        Load(6),
+        Mul,
+        Add,
+        Load(6),
+        Sub,
+        Store(7),
+    ]);
+    p.extend([Load(6), Push(1), Add, Store(6), Jmp(loop3y)]);
+    let after3y = p.len() as u16;
+    p[jz4_at] = Jz(after3y);
+    p.extend([Load(5), Push(1), Add, Store(5), Jmp(loop3x)]);
+    let after3x = p.len() as u16;
+    p[jz3_at] = Jz(after3x);
+
+    p.push(Halt);
+    p
+}
+
+/// Reference interpreter; returns the vars checksum the assembly produces.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(prog: &[Op]) -> u64 {
+    let mut vars = [0u64; 16];
+    let mut stack: Vec<u64> = Vec::new();
+    let mut pc = 0usize;
+    loop {
+        let op = prog[pc];
+        pc += 1;
+        match op {
+            Op::Push(a) => stack.push(u64::from(a)),
+            Op::Load(v) => stack.push(vars[v as usize]),
+            Op::Store(v) => vars[v as usize] = stack.pop().unwrap(),
+            Op::Add => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_add(b));
+            }
+            Op::Sub => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_sub(b));
+            }
+            Op::Mul => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(a.wrapping_mul(b));
+            }
+            Op::Lt => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(u64::from((a as i64) < (b as i64)));
+            }
+            Op::Jz(t) => {
+                if stack.pop().unwrap() == 0 {
+                    pc = t as usize;
+                }
+            }
+            Op::Jmp(t) => pc = t as usize,
+            Op::Halt => break,
+        }
+    }
+    vars.iter().fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v))
+}
+
+const BC: i32 = 0x100;
+const VARS: i32 = 0x600;
+const VSTACK: i32 = VARS + 16;
+const DISPATCH_TABLE: i32 = VSTACK + 128;
+const OUT_CHECK: i32 = DISPATCH_TABLE + 16;
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let guest: Vec<u64> = guest_program().iter().map(|o| o.encode()).collect();
+    assert!(guest.len() < 0x500 - 0x100, "guest program too large");
+
+    let mut b = ProgramBuilder::new();
+    // Registers: S0 = guest pc, S1 = vm stack pointer (word addr),
+    // S2 = BC base, S3 = VARS base, S4 = dispatch table base,
+    // S5 = current arg, T0.. scratch.
+    b.li(Reg::S2, BC).li(Reg::S3, VARS).li(Reg::S4, DISPATCH_TABLE);
+
+    // Handler labels.
+    let handlers: Vec<_> = (0..10).map(|i| b.new_label(format!("op{i}"))).collect();
+    let dispatch = b.new_label("dispatch");
+    let vm_done = b.new_label("vm_done");
+    let start = b.new_label("start");
+
+    // Build dispatch table in memory at startup.
+    for (i, &h) in handlers.iter().enumerate() {
+        b.la(Reg::T0, h);
+        b.li(Reg::T1, DISPATCH_TABLE + i as i32);
+        b.store(Reg::T0, Reg::T1, 0);
+    }
+    b.jump(start);
+
+    // --- Dispatch ---
+    b.bind(dispatch).unwrap();
+    b.add(Reg::T0, Reg::S2, Reg::S0); // &bc[pc]
+    b.load(Reg::T1, Reg::T0, 0); // word
+    b.addi(Reg::S0, Reg::S0, 1); // pc += 1
+    b.shri(Reg::T2, Reg::T1, 16); // op
+    b.li(Reg::T3, 0xFFFF);
+    b.and(Reg::S5, Reg::T1, Reg::T3); // arg
+    jump_table(&mut b, Reg::S4, Reg::T2, Reg::T4);
+
+    // --- Handlers ---
+    // 0: PUSH arg
+    b.bind(handlers[0]).unwrap();
+    b.store(Reg::S5, Reg::S1, 0);
+    b.addi(Reg::S1, Reg::S1, 1);
+    b.jump(dispatch);
+    // 1: LOAD var
+    b.bind(handlers[1]).unwrap();
+    b.add(Reg::T0, Reg::S3, Reg::S5);
+    b.load(Reg::T1, Reg::T0, 0);
+    b.store(Reg::T1, Reg::S1, 0);
+    b.addi(Reg::S1, Reg::S1, 1);
+    b.jump(dispatch);
+    // 2: STORE var
+    b.bind(handlers[2]).unwrap();
+    b.addi(Reg::S1, Reg::S1, -1);
+    b.load(Reg::T1, Reg::S1, 0);
+    b.add(Reg::T0, Reg::S3, Reg::S5);
+    b.store(Reg::T1, Reg::T0, 0);
+    b.jump(dispatch);
+    // 3/4/5/6: binary ops
+    for (i, emit) in [
+        (3usize, 0u8), // add
+        (4, 1),        // sub
+        (5, 2),        // mul
+        (6, 3),        // lt
+    ] {
+        b.bind(handlers[i]).unwrap();
+        b.addi(Reg::S1, Reg::S1, -1);
+        b.load(Reg::T1, Reg::S1, 0); // b
+        b.addi(Reg::S1, Reg::S1, -1);
+        b.load(Reg::T0, Reg::S1, 0); // a
+        match emit {
+            0 => {
+                b.add(Reg::T0, Reg::T0, Reg::T1);
+            }
+            1 => {
+                b.sub(Reg::T0, Reg::T0, Reg::T1);
+            }
+            2 => {
+                b.mul(Reg::T0, Reg::T0, Reg::T1);
+            }
+            _ => {
+                b.alu(tc_isa::AluOp::Slt, Reg::T0, Reg::T0, Reg::T1);
+            }
+        }
+        b.store(Reg::T0, Reg::S1, 0);
+        b.addi(Reg::S1, Reg::S1, 1);
+        b.jump(dispatch);
+    }
+    // 7: JZ target
+    b.bind(handlers[7]).unwrap();
+    b.addi(Reg::S1, Reg::S1, -1);
+    b.load(Reg::T0, Reg::S1, 0);
+    {
+        let no_jump = b.new_label("jz_no");
+        b.bnez(Reg::T0, no_jump);
+        b.mv(Reg::S0, Reg::S5);
+        b.bind(no_jump).unwrap();
+    }
+    b.jump(dispatch);
+    // 8: JMP target
+    b.bind(handlers[8]).unwrap();
+    b.mv(Reg::S0, Reg::S5);
+    b.jump(dispatch);
+    // 9: HALT
+    b.bind(handlers[9]).unwrap();
+    b.jump(vm_done);
+
+    // --- Outer driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear vars, reset pc/stack, run the VM.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, 16);
+        crate::kernels::for_lt(b, Reg::T0, lim, |b| {
+            b.add(Reg::T2, Reg::S3, Reg::T0);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S0, 0);
+        b.li(Reg::S1, VSTACK);
+        // Jump into the VM; HALT handler jumps to vm_done below.
+        let resume = b.new_label("resume");
+        b.la(Reg::S6, resume);
+        b.jump(dispatch);
+        // vm_done: return to the driver via S6 (indirect, like a
+        // computed return — bound once, outside the rep loop? No: bind
+        // here, each rep overwrites S6 first).
+        b.bind(vm_done).unwrap();
+        b.jr(Reg::S6);
+        b.bind(resume).unwrap();
+        // Publish vars checksum.
+        b.li(Reg::T0, 0).li(Reg::T2, 0);
+        let lim2 = Reg::T1;
+        b.li(lim2, 16);
+        crate::kernels::for_lt(b, Reg::T0, lim2, |b| {
+            b.add(Reg::T3, Reg::S3, Reg::T0);
+            b.load(Reg::T3, Reg::T3, 0);
+            b.muli(Reg::T2, Reg::T2, 31);
+            b.add(Reg::T2, Reg::T2, Reg::T3);
+        });
+        b.li(Reg::T3, OUT_CHECK);
+        b.store(Reg::T2, Reg::T3, 0);
+    });
+
+    let program = b.build().expect("python assembles");
+    Workload::new("python", program, 1 << 14, vec![(BC as u64, guest)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "python faulted: {:?}", interp.error());
+        let expected = reference(&guest_program());
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), expected);
+        assert_ne!(expected, 0);
+    }
+
+    #[test]
+    fn dispatch_dominates_control_flow() {
+        let stats = build(2).stream_stats(200_000);
+        // The VM's indirect dispatch should produce a high indirect-jump
+        // rate relative to other benchmarks.
+        let per_kilo = stats.indirect * 1000 / stats.instructions.max(1);
+        assert!(per_kilo > 30, "expected heavy indirect dispatch, got {per_kilo}/1000");
+    }
+}

@@ -1,0 +1,305 @@
+//! `sim-outorder` (`ss`): a discrete-event simulation kernel.
+//!
+//! Mirrors the SimpleScalar simulator the paper itself was built on: an
+//! event loop popping from a queue, dispatching on event type, scheduling
+//! follow-up events, and updating hashed statistics — a mix of biased
+//! queue checks and data-dependent dispatch.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::kernels::{for_lt, if_cond, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Event types.
+const NTYPES: u64 = 5;
+/// Ring capacity (power of two).
+const QCAP: i64 = 1024;
+/// Events processed per rep.
+const BUDGET: i64 = 6000;
+
+const QUEUE: i32 = 0x100; // ring of (type, payload) pairs -> 2 words each
+const STATS: i32 = QUEUE + (QCAP * 2) as i32;
+const OUT_PROCESSED: i32 = STATS + 64;
+const OUT_CHECK: i32 = OUT_PROCESSED + 1;
+
+/// The shared LCG both implementations use for event payloads.
+fn lcg(state: u64) -> u64 {
+    state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407)
+}
+
+/// Reference simulator: returns (processed, stats checksum).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference() -> (u64, u64) {
+    let mut queue = std::collections::VecDeque::new();
+    let mut stats = [0u64; 64];
+    let mut rng: u64 = 0xDEAD_BEEF;
+    queue.push_back((0u64, 1u64));
+    queue.push_back((1, 2));
+    let mut processed = 0u64;
+    while processed < BUDGET as u64 {
+        let Some((ty, payload)) = queue.pop_front() else { break };
+        processed += 1;
+        stats[(payload % 64) as usize] = stats[(payload % 64) as usize]
+            .wrapping_mul(3)
+            .wrapping_add(ty + 1);
+        rng = lcg(rng ^ payload);
+        // Handlers: each type schedules differently (bounded by capacity).
+        let room = QCAP as usize - 2 - queue.len();
+        match ty {
+            0 => {
+                // Fork: two children.
+                if room >= 2 {
+                    queue.push_back((1, rng >> 5));
+                    queue.push_back((2, rng >> 9));
+                }
+            }
+            1 => {
+                if room >= 1 {
+                    queue.push_back(((rng >> 3) % NTYPES, payload.wrapping_add(rng & 0xFF)));
+                }
+            }
+            2 => {
+                // Conditional reschedule: data-dependent.
+                if payload & 1 == 1 && room >= 1 {
+                    queue.push_back((3, payload >> 1));
+                }
+            }
+            3 => {
+                if room >= 1 {
+                    queue.push_back((4, payload.wrapping_mul(3)));
+                }
+            }
+            _ => {
+                // Sink: occasionally restart the cascade.
+                if queue.is_empty() {
+                    queue.push_back((0, rng & 0xFFFF));
+                }
+            }
+        }
+        if queue.is_empty() {
+            queue.push_back((0, rng & 0xFFFF));
+        }
+    }
+    let check = stats.iter().fold(0u64, |a, &s| a.wrapping_mul(31).wrapping_add(s));
+    (processed, check)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let mut b = ProgramBuilder::new();
+    // S0 = head, S1 = tail (indices, masked), S2 = processed,
+    // S3 = rng, A5 = QCAP-1 mask, S4/S5 = current (type, payload).
+    b.li(Reg::A5, (QCAP - 1) as i32);
+
+    // Helper: enqueue (T5=type, T6=payload) at tail.
+    // Inlined at each site via closure.
+    let enqueue = |b: &mut ProgramBuilder| {
+        b.and(Reg::T7, Reg::S1, Reg::A5);
+        b.shli(Reg::T7, Reg::T7, 1);
+        b.addi(Reg::T7, Reg::T7, QUEUE);
+        b.store(Reg::T5, Reg::T7, 0);
+        b.store(Reg::T6, Reg::T7, 1);
+        b.addi(Reg::S1, Reg::S1, 1);
+    };
+    // Helper: rng = lcg(rng ^ payload) — uses the same constants.
+    let advance_rng = |b: &mut ProgramBuilder| {
+        b.xor(Reg::S3, Reg::S3, Reg::S5);
+        // 64-bit constants via li+shifts: C1 = 6364136223846793005.
+        // Materialize from four 16-bit chunks.
+        let c1: u64 = 6_364_136_223_846_793_005;
+        let c2: u64 = 1_442_695_040_888_963_407;
+        for (reg, c) in [(Reg::T5, c1), (Reg::T6, c2)] {
+            b.li(reg, ((c >> 48) & 0xFFFF) as i32);
+            for shift in [32, 16, 0] {
+                b.shli(reg, reg, 16);
+                b.li(Reg::T7, ((c >> shift) & 0xFFFF) as i32);
+                b.or(reg, reg, Reg::T7);
+            }
+        }
+        b.mul(Reg::S3, Reg::S3, Reg::T5);
+        b.add(Reg::S3, Reg::S3, Reg::T6);
+    };
+
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // Clear stats; seed queue and rng.
+        b.li(Reg::T0, 0);
+        let lim = Reg::T1;
+        b.li(lim, 64);
+        for_lt(b, Reg::T0, lim, |b| {
+            b.addi(Reg::T2, Reg::T0, STATS);
+            b.store(Reg::ZERO, Reg::T2, 0);
+        });
+        b.li(Reg::S0, 0).li(Reg::S1, 0).li(Reg::S2, 0);
+        b.li(Reg::S3, 0xDEAD_BEEF_u32 as i32);
+        // Mask the seed to the positive 32-bit value (li sign-extends).
+        b.li(Reg::T0, -1);
+        b.shri(Reg::T0, Reg::T0, 32);
+        b.and(Reg::S3, Reg::S3, Reg::T0);
+        // push (0,1), (1,2)
+        b.li(Reg::T5, 0).li(Reg::T6, 1);
+        enqueue(b);
+        b.li(Reg::T5, 1).li(Reg::T6, 2);
+        enqueue(b);
+
+        // Event loop.
+        let loop_done = b.new_label("ev_done");
+        let loop_top = b.here("ev_top");
+        b.li(Reg::T0, BUDGET as i32);
+        b.branch(Cond::Geu, Reg::S2, Reg::T0, loop_done);
+        b.beq(Reg::S0, Reg::S1, loop_done); // queue empty (defensive)
+        // pop front.
+        b.and(Reg::T0, Reg::S0, Reg::A5);
+        b.shli(Reg::T0, Reg::T0, 1);
+        b.addi(Reg::T0, Reg::T0, QUEUE);
+        b.load(Reg::S4, Reg::T0, 0); // type
+        b.load(Reg::S5, Reg::T0, 1); // payload
+        b.addi(Reg::S0, Reg::S0, 1);
+        b.addi(Reg::S2, Reg::S2, 1);
+        // stats[payload % 64] = stats[..]*3 + ty + 1
+        b.andi(Reg::T1, Reg::S5, 63);
+        b.addi(Reg::T1, Reg::T1, STATS);
+        b.load(Reg::T2, Reg::T1, 0);
+        b.muli(Reg::T2, Reg::T2, 3);
+        b.add(Reg::T2, Reg::T2, Reg::S4);
+        b.addi(Reg::T2, Reg::T2, 1);
+        b.store(Reg::T2, Reg::T1, 0);
+        advance_rng(b);
+        // room = QCAP - 2 - (tail - head)
+        b.sub(Reg::S6, Reg::S1, Reg::S0);
+        b.li(Reg::T0, (QCAP - 2) as i32);
+        b.sub(Reg::S6, Reg::T0, Reg::S6); // S6 = room
+        // Dispatch on type via compare chain (5 types).
+        let after = b.new_label("after_dispatch");
+        let mut arms = Vec::new();
+        for t in 0..NTYPES {
+            arms.push(b.new_label(format!("ty{t}")));
+        }
+        for (t, &arm) in arms.iter().enumerate() {
+            b.li(Reg::T0, t as i32);
+            b.beq(Reg::S4, Reg::T0, arm);
+        }
+        b.jump(after);
+        // Type 0: fork two children if room >= 2.
+        b.bind(arms[0]).unwrap();
+        b.li(Reg::T0, 2);
+        {
+            let no = b.new_label("no_fork");
+            b.branch(Cond::Lt, Reg::S6, Reg::T0, no);
+            b.li(Reg::T5, 1);
+            b.shri(Reg::T6, Reg::S3, 5);
+            enqueue(b);
+            b.li(Reg::T5, 2);
+            b.shri(Reg::T6, Reg::S3, 9);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.jump(after);
+        // Type 1: reschedule with random type.
+        b.bind(arms[1]).unwrap();
+        {
+            let no = b.new_label("no_r1");
+            b.branch(Cond::Lt, Reg::S6, Reg::ZERO, no); // room >= 1? S6 < 1
+            b.li(Reg::T0, 1);
+            b.branch(Cond::Lt, Reg::S6, Reg::T0, no);
+            b.shri(Reg::T5, Reg::S3, 3);
+            b.li(Reg::T0, NTYPES as i32);
+            b.alu(tc_isa::AluOp::Rem, Reg::T5, Reg::T5, Reg::T0);
+            b.andi(Reg::T6, Reg::S3, 0xFF);
+            b.add(Reg::T6, Reg::S5, Reg::T6);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.jump(after);
+        // Type 2: conditional on payload parity.
+        b.bind(arms[2]).unwrap();
+        {
+            let no = b.new_label("no_r2");
+            b.andi(Reg::T0, Reg::S5, 1);
+            b.beqz(Reg::T0, no);
+            b.li(Reg::T0, 1);
+            b.branch(Cond::Lt, Reg::S6, Reg::T0, no);
+            b.li(Reg::T5, 3);
+            b.shri(Reg::T6, Reg::S5, 1);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.jump(after);
+        // Type 3: multiply payload.
+        b.bind(arms[3]).unwrap();
+        {
+            let no = b.new_label("no_r3");
+            b.li(Reg::T0, 1);
+            b.branch(Cond::Lt, Reg::S6, Reg::T0, no);
+            b.li(Reg::T5, 4);
+            b.muli(Reg::T6, Reg::S5, 3);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.jump(after);
+        // Type 4: sink; restart only if queue is empty.
+        b.bind(arms[4]).unwrap();
+        {
+            let no = b.new_label("no_r4");
+            b.bne(Reg::S0, Reg::S1, no);
+            b.li(Reg::T5, 0);
+            b.li(Reg::T0, -1);
+            b.shri(Reg::T0, Reg::T0, 48); // 0xFFFF
+            b.and(Reg::T6, Reg::S3, Reg::T0);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.bind(after).unwrap();
+        // Global guard: never leave the queue empty.
+        {
+            let no = b.new_label("no_guard");
+            b.bne(Reg::S0, Reg::S1, no);
+            b.li(Reg::T5, 0);
+            b.li(Reg::T0, -1);
+            b.shri(Reg::T0, Reg::T0, 48);
+            b.and(Reg::T6, Reg::S3, Reg::T0);
+            enqueue(b);
+            b.bind(no).unwrap();
+        }
+        b.jump(loop_top);
+        b.bind(loop_done).unwrap();
+
+        // Publish.
+        b.li(Reg::T0, OUT_PROCESSED);
+        b.store(Reg::S2, Reg::T0, 0);
+        b.li(Reg::S7, 0);
+        b.li(Reg::T0, 0);
+        let lim2 = Reg::T1;
+        b.li(lim2, 64);
+        for_lt(b, Reg::T0, lim2, |b| {
+            b.addi(Reg::T2, Reg::T0, STATS);
+            b.load(Reg::T2, Reg::T2, 0);
+            b.muli(Reg::S7, Reg::S7, 31);
+            b.add(Reg::S7, Reg::S7, Reg::T2);
+        });
+        b.li(Reg::T0, OUT_CHECK);
+        b.store(Reg::S7, Reg::T0, 0);
+        // Shape variety: a no-op if to exercise if_cond.
+        if_cond(b, Cond::Eq, Reg::S7, Reg::S7, |b| {
+            b.nop();
+        });
+    });
+
+    let program = b.build().expect("ss assembles");
+    Workload::new("sim-outorder", program, 1 << 13, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "ss faulted: {:?}", interp.error());
+        let (processed, check) = reference();
+        assert_eq!(interp.machine().mem(OUT_PROCESSED as u64), processed);
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), check);
+        assert_eq!(processed, BUDGET as u64, "event cascade died early");
+    }
+}

@@ -1,0 +1,183 @@
+//! The benchmark suite enumeration (the paper's Table 1).
+
+use std::fmt;
+
+use crate::workload::Workload;
+
+/// One of the fifteen benchmarks of the paper's Table 1.
+///
+/// Eight SPECint95 programs plus seven common UNIX applications. Each
+/// builds into a [`Workload`] — see the crate docs for what each
+/// synthetic equivalent computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// LZW-style compressor (SPECint95 `129.compress`).
+    Compress,
+    /// Lexer + parser FSM with many action routines (`126.gcc`).
+    Gcc,
+    /// Board influence and group search (`099.go`).
+    Go,
+    /// Integer DCT image coder (`132.ijpeg`).
+    Ijpeg,
+    /// Cons-cell list interpreter (`130.li`).
+    Li,
+    /// Guest-ISA interpreter (`124.m88ksim`).
+    M88ksim,
+    /// Text search and word hashing (`134.perl`).
+    Perl,
+    /// Indexed object store (`147.vortex`).
+    Vortex,
+    /// Alpha-beta game-tree search (gnuchess).
+    Gnuchess,
+    /// Rasterizer and span fill (ghostscript).
+    Ghostscript,
+    /// Modular exponentiation (pgp).
+    Pgp,
+    /// Stack bytecode VM (python).
+    Python,
+    /// Curve evaluation and clipping (gnuplot).
+    Gnuplot,
+    /// Discrete-event simulator (sim-outorder / `ss`).
+    SimOutorder,
+    /// Hyphenation and line breaking (tex).
+    Tex,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 15] = [
+        Benchmark::Compress,
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Ijpeg,
+        Benchmark::Li,
+        Benchmark::M88ksim,
+        Benchmark::Perl,
+        Benchmark::Vortex,
+        Benchmark::Gnuchess,
+        Benchmark::Ghostscript,
+        Benchmark::Pgp,
+        Benchmark::Python,
+        Benchmark::Gnuplot,
+        Benchmark::SimOutorder,
+        Benchmark::Tex,
+    ];
+
+    /// The benchmark's name as the paper prints it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Go => "go",
+            Benchmark::Ijpeg => "ijpeg",
+            Benchmark::Li => "li",
+            Benchmark::M88ksim => "m88ksim",
+            Benchmark::Perl => "perl",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Gnuchess => "gnuchess",
+            Benchmark::Ghostscript => "gs",
+            Benchmark::Pgp => "pgp",
+            Benchmark::Python => "python",
+            Benchmark::Gnuplot => "gnuplot",
+            Benchmark::SimOutorder => "ss",
+            Benchmark::Tex => "tex",
+        }
+    }
+
+    /// The short column label used in the paper's figures.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "comp",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Go => "go",
+            Benchmark::Ijpeg => "ijpeg",
+            Benchmark::Li => "li",
+            Benchmark::M88ksim => "m88k",
+            Benchmark::Perl => "perl",
+            Benchmark::Vortex => "vor",
+            Benchmark::Gnuchess => "ch",
+            Benchmark::Ghostscript => "gs",
+            Benchmark::Pgp => "pgp",
+            Benchmark::Python => "py",
+            Benchmark::Gnuplot => "plot",
+            Benchmark::SimOutorder => "ss",
+            Benchmark::Tex => "tex",
+        }
+    }
+
+    /// Builds the workload at the default scale (enough dynamic
+    /// instructions for multi-million-instruction simulations).
+    #[must_use]
+    pub fn build(self) -> Workload {
+        self.build_scaled(self.default_scale())
+    }
+
+    /// Builds the workload with an explicit outer-repetition scale.
+    #[must_use]
+    pub fn build_scaled(self, scale: u32) -> Workload {
+        match self {
+            Benchmark::Compress => crate::compress::build(scale),
+            Benchmark::Gcc => crate::gcc::build(scale),
+            Benchmark::Go => crate::go::build(scale),
+            Benchmark::Ijpeg => crate::ijpeg::build(scale),
+            Benchmark::Li => crate::li::build(scale),
+            Benchmark::M88ksim => crate::m88ksim::build(scale),
+            Benchmark::Perl => crate::perl::build(scale),
+            Benchmark::Vortex => crate::vortex::build(scale),
+            Benchmark::Gnuchess => crate::chess::build(scale),
+            Benchmark::Ghostscript => crate::gs::build(scale),
+            Benchmark::Pgp => crate::pgp::build(scale),
+            Benchmark::Python => crate::python::build(scale),
+            Benchmark::Gnuplot => crate::plot::build(scale),
+            Benchmark::SimOutorder => crate::ss::build(scale),
+            Benchmark::Tex => crate::tex::build(scale),
+        }
+    }
+
+    /// Repetitions chosen so one build comfortably exceeds ~10M dynamic
+    /// instructions (per-rep costs differ by benchmark).
+    fn default_scale(self) -> u32 {
+        match self {
+            Benchmark::Compress => 24,
+            Benchmark::Gcc => 32,
+            Benchmark::Go => 64,
+            Benchmark::Ijpeg => 16,
+            Benchmark::Li => 64,
+            Benchmark::M88ksim => 512,
+            Benchmark::Perl => 24,
+            Benchmark::Vortex => 48,
+            Benchmark::Gnuchess => 24,
+            Benchmark::Ghostscript => 48,
+            Benchmark::Pgp => 12,
+            Benchmark::Python => 256,
+            Benchmark::Gnuplot => 48,
+            Benchmark::SimOutorder => 24,
+            Benchmark::Tex => 24,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_fifteen_distinct_benchmarks() {
+        let names: std::collections::HashSet<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::SimOutorder.to_string(), "ss");
+        assert_eq!(Benchmark::Ghostscript.to_string(), "gs");
+    }
+}

@@ -1,0 +1,185 @@
+//! `tex`: hyphenation-pattern probing and greedy paragraph breaking.
+//!
+//! Mirrors TeX's text-processing core: per-word pattern-table probes with
+//! data-dependent early exit (hyphenation), width accumulation with a
+//! line-overflow branch, and a wide family of formatting routines — the
+//! large, varied trace footprint behind `tex`'s standout sensitivity to
+//! trace packing in the paper's Table 4.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::genfuncs::{family, GenFunc};
+use crate::kernels::{for_lt, if_cond, repeat_and_halt};
+use crate::workload::Workload;
+
+const NWORDS: usize = 6 * 1024;
+const VOCAB: u64 = 4096;
+const NFUNCS: usize = 96;
+const LINE_WIDTH: i64 = 60;
+
+const WORDS: i32 = 0x100;
+const WIDTHS: i32 = WORDS + NWORDS as i32;
+const PATTERNS: i32 = WIDTHS + 64;
+const FUNCS: i32 = PATTERNS + 256;
+const OUT_LINES: i32 = FUNCS + NFUNCS as i32;
+const OUT_CHECK: i32 = OUT_LINES + 1;
+
+fn width_table() -> Vec<u64> {
+    data::uniform_words(0x7E40, 64, 11).iter().map(|w| w + 1).collect()
+}
+
+fn pattern_table() -> Vec<u64> {
+    data::uniform_words(0x7E41, 256, 1 << 16)
+}
+
+fn functions() -> Vec<GenFunc> {
+    family(0x7E42, NFUNCS)
+}
+
+/// Reference; returns (lines, checksum).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(words: &[u64]) -> (u64, u64) {
+    let widths = width_table();
+    let patterns = pattern_table();
+    let funcs = functions();
+    let mut lines = 0u64;
+    let mut check = 0u64;
+    let mut line_fill = 0i64;
+    for (wi, &word) in words.iter().enumerate() {
+        let width = widths[(word & 63) as usize] as i64;
+        // Hyphenation probe: up to 3 rounds with early exit.
+        let mut h = word;
+        for _ in 0..3 {
+            h = patterns[(h & 255) as usize] ^ (h >> 3);
+            if h & 7 == 0 {
+                break;
+            }
+        }
+        // Formatting routine.
+        let fidx = ((word ^ wi as u64) as usize) % NFUNCS;
+        check = funcs[fidx].eval(check ^ h, width as u64);
+        // Greedy line breaking.
+        line_fill += width + 1;
+        if line_fill > LINE_WIDTH {
+            lines += 1;
+            let overflow = (line_fill - LINE_WIDTH) as u64;
+            check = check.wrapping_add(overflow.wrapping_mul(overflow));
+            line_fill = width;
+        }
+    }
+    (lines, check)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let words = data::zipf_words(0x7E43, NWORDS, VOCAB);
+    let funcs = functions();
+
+    let mut b = ProgramBuilder::new();
+    // A4 = WORDS, A5 = count, S2 = WIDTHS, S3 = PATTERNS, S4 = FUNCS.
+    b.li(Reg::A4, WORDS).li(Reg::A5, NWORDS as i32);
+    b.li(Reg::S2, WIDTHS).li(Reg::S3, PATTERNS).li(Reg::S4, FUNCS);
+
+    let flabels: Vec<_> = (0..NFUNCS).map(|i| b.new_label(format!("fmt{i}"))).collect();
+    let start = b.new_label("start");
+    for (i, &l) in flabels.iter().enumerate() {
+        b.la(Reg::T0, l);
+        b.li(Reg::T1, FUNCS + i as i32);
+        b.store(Reg::T0, Reg::T1, 0);
+    }
+    b.jump(start);
+    for (f, &l) in funcs.iter().zip(&flabels) {
+        f.emit(&mut b, l);
+    }
+
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        // S0 = wi, S5 = check, S6 = lines, S7 = line_fill, S8 = word,
+        // S9 = width, S1 = h.
+        b.li(Reg::S5, 0).li(Reg::S6, 0).li(Reg::S7, 0);
+        b.li(Reg::S0, 0);
+        for_lt(b, Reg::S0, Reg::A5, |b| {
+            b.add(Reg::T0, Reg::A4, Reg::S0);
+            b.load(Reg::S8, Reg::T0, 0);
+            // width = widths[word & 63]
+            b.andi(Reg::T1, Reg::S8, 63);
+            b.add(Reg::T1, Reg::T1, Reg::S2);
+            b.load(Reg::S9, Reg::T1, 0);
+            // Hyphenation probe: 3 rounds, early exit.
+            b.mv(Reg::S1, Reg::S8);
+            let probe_done = b.new_label("hyph_done");
+            for _ in 0..3 {
+                b.andi(Reg::T2, Reg::S1, 255);
+                b.add(Reg::T2, Reg::T2, Reg::S3);
+                b.load(Reg::T2, Reg::T2, 0);
+                b.shri(Reg::T3, Reg::S1, 3);
+                b.xor(Reg::S1, Reg::T2, Reg::T3);
+                b.andi(Reg::T4, Reg::S1, 7);
+                b.beqz(Reg::T4, probe_done);
+            }
+            b.bind(probe_done).unwrap();
+            // Formatting call: fidx = (word ^ wi) % NFUNCS.
+            b.xor(Reg::T0, Reg::S8, Reg::S0);
+            b.li(Reg::T1, NFUNCS as i32);
+            b.alu(tc_isa::AluOp::Rem, Reg::T0, Reg::T0, Reg::T1);
+            b.xor(Reg::A0, Reg::S5, Reg::S1);
+            b.mv(Reg::A1, Reg::S9);
+            b.add(Reg::T1, Reg::S4, Reg::T0);
+            b.load(Reg::T1, Reg::T1, 0);
+            b.callr(Reg::T1);
+            b.mv(Reg::S5, Reg::A0);
+            // line_fill += width + 1; overflow branch.
+            b.add(Reg::S7, Reg::S7, Reg::S9);
+            b.addi(Reg::S7, Reg::S7, 1);
+            b.li(Reg::T2, LINE_WIDTH as i32);
+            if_cond(b, Cond::Lt, Reg::T2, Reg::S7, |b| {
+                b.addi(Reg::S6, Reg::S6, 1);
+                b.li(Reg::T3, LINE_WIDTH as i32);
+                b.sub(Reg::T3, Reg::S7, Reg::T3);
+                b.mul(Reg::T4, Reg::T3, Reg::T3);
+                b.add(Reg::S5, Reg::S5, Reg::T4);
+                b.mv(Reg::S7, Reg::S9);
+            });
+        });
+        b.li(Reg::T0, OUT_LINES);
+        b.store(Reg::S6, Reg::T0, 0);
+        b.li(Reg::T0, OUT_CHECK);
+        b.store(Reg::S5, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("tex assembles");
+    Workload::new(
+        "tex",
+        program,
+        1 << 14,
+        vec![
+            (WORDS as u64, words),
+            (WIDTHS as u64, width_table()),
+            (PATTERNS as u64, pattern_table()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "tex faulted: {:?}", interp.error());
+        let words = data::zipf_words(0x7E43, NWORDS, VOCAB);
+        let (lines, check) = reference(&words);
+        assert_eq!(interp.machine().mem(OUT_LINES as u64), lines);
+        assert_eq!(interp.machine().mem(OUT_CHECK as u64), check);
+        assert!(lines > 300, "too few lines: {lines}");
+    }
+
+    #[test]
+    fn footprint_is_large_and_paths_varied() {
+        let w = build(1);
+        assert!(w.program().len() > 1500, "tex footprint: {}", w.program().len());
+    }
+}

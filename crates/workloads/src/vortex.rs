@@ -1,0 +1,248 @@
+//! `vortex`: an object-store with B-tree-style indexed transactions.
+//!
+//! Mirrors SPECint95 `147.vortex` (an OO database): a three-level index
+//! of sorted nodes searched by binary search (hard-to-predict compares),
+//! record updates, and a call-per-transaction structure.
+
+use tc_isa::{Cond, ProgramBuilder, Reg};
+
+use crate::data;
+use crate::kernels::{for_lt, if_else, repeat_and_halt};
+use crate::workload::Workload;
+
+/// Index geometry: root node of FANOUT keys, FANOUT mid nodes, FANOUT²
+/// leaf nodes of LEAF_KEYS records each.
+const FANOUT: usize = 16;
+const LEAF_KEYS: usize = 16;
+const NKEYS: usize = FANOUT * FANOUT * LEAF_KEYS; // 4096 records
+const NQUERIES: usize = 2048;
+
+const ROOT: i32 = 0x100;
+const MID: i32 = ROOT + FANOUT as i32;
+const LEAVES: i32 = MID + (FANOUT * FANOUT) as i32;
+const VALUES: i32 = LEAVES + NKEYS as i32;
+const QUERIES: i32 = VALUES + NKEYS as i32;
+const OUT_FOUND: i32 = QUERIES + NQUERIES as i32;
+const OUT_SUM: i32 = OUT_FOUND + 1;
+
+/// Key space: keys are `i * 7 + 3` so queries mix hits and misses.
+fn key_of(i: usize) -> u64 {
+    (i as u64) * 7 + 3
+}
+
+/// Builds (root, mid, leaves, values): a static sorted index.
+fn index_image() -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+    let leaves: Vec<u64> = (0..NKEYS).map(key_of).collect();
+    let values: Vec<u64> = (0..NKEYS).map(|i| (i as u64).wrapping_mul(0xABCD) & 0xFFFF).collect();
+    // mid[m] = first key of leaf block m; root[r] = first key of mid block r.
+    let mid: Vec<u64> = (0..FANOUT * FANOUT).map(|m| leaves[m * LEAF_KEYS]).collect();
+    let root: Vec<u64> = (0..FANOUT).map(|r| mid[r * FANOUT]).collect();
+    (root, mid, leaves, values)
+}
+
+/// Reference: returns (hits, value sum of hits).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn reference(queries: &[u64]) -> (u64, u64) {
+    let (root, mid, leaves, values) = index_image();
+    let mut found = 0u64;
+    let mut sum = 0u64;
+    for &q in queries {
+        // Descend: pick last root slot with key <= q (linear scan, as the
+        // asm does for the small root), then binary search.
+        let mut r = 0usize;
+        while r + 1 < FANOUT && root[r + 1] <= q {
+            r += 1;
+        }
+        let mid_base = r * FANOUT;
+        let mut m = mid_base;
+        while m + 1 < mid_base + FANOUT && mid[m + 1] <= q {
+            m += 1;
+        }
+        // Binary search within the leaf block.
+        let leaf_base = m * LEAF_KEYS;
+        let (mut lo, mut hi) = (leaf_base, leaf_base + LEAF_KEYS);
+        while lo < hi {
+            let mididx = (lo + hi) / 2;
+            if leaves[mididx] < q {
+                lo = mididx + 1;
+            } else {
+                hi = mididx;
+            }
+        }
+        if lo < leaf_base + LEAF_KEYS && leaves[lo] == q {
+            found += 1;
+            sum = sum.wrapping_add(values[lo]);
+        }
+    }
+    (found, sum)
+}
+
+pub(crate) fn build(scale: u32) -> Workload {
+    let (root, mid, leaves, values) = index_image();
+    // Queries: half are present keys, half are uniform misses.
+    let mut queries = Vec::with_capacity(NQUERIES);
+    let present = data::uniform_words(0x0BEE, NQUERIES / 2, NKEYS as u64);
+    let misses = data::uniform_words(0x0FAD, NQUERIES / 2, key_of(NKEYS) + 100);
+    for i in 0..NQUERIES / 2 {
+        queries.push(key_of(present[i] as usize));
+        queries.push(misses[i]);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let lookup = b.new_label("lookup");
+    let start = b.new_label("start");
+    b.jump(start);
+
+    // --- fn lookup(A0: key) -> A0: value+1, or 0 if absent ---
+    b.bind(lookup).unwrap();
+    // Root scan: r (T0) = last slot with root[r+1] <= key.
+    b.li(Reg::T0, 0);
+    {
+        let done = b.new_label("root_done");
+        let top = b.here("root_top");
+        b.addi(Reg::T1, Reg::T0, 1);
+        b.li(Reg::T2, FANOUT as i32);
+        b.branch(Cond::Geu, Reg::T1, Reg::T2, done);
+        b.addi(Reg::T3, Reg::T1, ROOT);
+        b.load(Reg::T3, Reg::T3, 0);
+        b.branch(Cond::Ltu, Reg::A0, Reg::T3, done);
+        b.mv(Reg::T0, Reg::T1);
+        b.jump(top);
+        b.bind(done).unwrap();
+    }
+    // Mid scan over mid[r*F .. r*F+F].
+    b.muli(Reg::T4, Reg::T0, FANOUT as i32); // mid_base
+    b.mv(Reg::T5, Reg::T4); // m
+    {
+        let done = b.new_label("mid_done");
+        let top = b.here("mid_top");
+        b.addi(Reg::T1, Reg::T5, 1);
+        b.addi(Reg::T2, Reg::T4, FANOUT as i32);
+        b.branch(Cond::Geu, Reg::T1, Reg::T2, done);
+        b.addi(Reg::T3, Reg::T1, MID);
+        b.load(Reg::T3, Reg::T3, 0);
+        b.branch(Cond::Ltu, Reg::A0, Reg::T3, done);
+        b.mv(Reg::T5, Reg::T1);
+        b.jump(top);
+        b.bind(done).unwrap();
+    }
+    // Binary search leaves[m*L .. m*L+L): lo (T6), hi (T7).
+    b.muli(Reg::T6, Reg::T5, LEAF_KEYS as i32);
+    b.addi(Reg::T7, Reg::T6, LEAF_KEYS as i32);
+    b.mv(Reg::A1, Reg::T7); // leaf limit for the final check
+    {
+        let done = b.new_label("bs_done");
+        let top = b.here("bs_top");
+        b.branch(Cond::Geu, Reg::T6, Reg::T7, done);
+        b.add(Reg::T1, Reg::T6, Reg::T7);
+        b.shri(Reg::T1, Reg::T1, 1); // mid index
+        b.addi(Reg::T2, Reg::T1, LEAVES);
+        b.load(Reg::T2, Reg::T2, 0);
+        if_else(
+            &mut b,
+            Cond::Ltu,
+            Reg::T2,
+            Reg::A0,
+            |b| {
+                b.addi(Reg::T6, Reg::T1, 1);
+            },
+            |b| {
+                b.mv(Reg::T7, Reg::T1);
+            },
+        );
+        b.jump(top);
+        b.bind(done).unwrap();
+    }
+    // if lo < limit && leaves[lo] == key: return values[lo]+1 else 0.
+    {
+        let miss = b.new_label("miss");
+        let out = b.new_label("out");
+        b.branch(Cond::Geu, Reg::T6, Reg::A1, miss);
+        b.addi(Reg::T1, Reg::T6, LEAVES);
+        b.load(Reg::T1, Reg::T1, 0);
+        b.bne(Reg::T1, Reg::A0, miss);
+        b.addi(Reg::T1, Reg::T6, VALUES);
+        b.load(Reg::A0, Reg::T1, 0);
+        b.addi(Reg::A0, Reg::A0, 1);
+        b.jump(out);
+        b.bind(miss).unwrap();
+        b.li(Reg::A0, 0);
+        b.bind(out).unwrap();
+    }
+    b.ret();
+
+    // --- Driver ---
+    b.bind(start).unwrap();
+    repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
+        b.li(Reg::S5, 0); // found
+        b.li(Reg::S6, 0); // sum
+        b.li(Reg::S0, 0);
+        let lim = Reg::S1;
+        b.li(lim, NQUERIES as i32);
+        for_lt(b, Reg::S0, lim, |b| {
+            b.addi(Reg::T0, Reg::S0, QUERIES);
+            b.load(Reg::A0, Reg::T0, 0);
+            b.call(lookup);
+            let absent = b.new_label("absent");
+            b.beqz(Reg::A0, absent);
+            b.addi(Reg::S5, Reg::S5, 1);
+            b.addi(Reg::A0, Reg::A0, -1);
+            b.add(Reg::S6, Reg::S6, Reg::A0);
+            b.bind(absent).unwrap();
+        });
+        b.li(Reg::T0, OUT_FOUND);
+        b.store(Reg::S5, Reg::T0, 0);
+        b.li(Reg::T0, OUT_SUM);
+        b.store(Reg::S6, Reg::T0, 0);
+    });
+
+    let program = b.build().expect("vortex assembles");
+    Workload::new(
+        "vortex",
+        program,
+        1 << 15,
+        vec![
+            (ROOT as u64, root),
+            (MID as u64, mid),
+            (LEAVES as u64, leaves),
+            (VALUES as u64, values),
+            (QUERIES as u64, queries),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built_queries() -> Vec<u64> {
+        let mut queries = Vec::with_capacity(NQUERIES);
+        let present = data::uniform_words(0x0BEE, NQUERIES / 2, NKEYS as u64);
+        let misses = data::uniform_words(0x0FAD, NQUERIES / 2, key_of(NKEYS) + 100);
+        for i in 0..NQUERIES / 2 {
+            queries.push(key_of(present[i] as usize));
+            queries.push(misses[i]);
+        }
+        queries
+    }
+
+    #[test]
+    fn assembly_matches_reference() {
+        let w = build(1);
+        let mut interp = w.interpreter();
+        interp.by_ref().for_each(drop);
+        assert!(interp.error().is_none(), "vortex faulted: {:?}", interp.error());
+        let (found, sum) = reference(&built_queries());
+        assert_eq!(interp.machine().mem(OUT_FOUND as u64), found);
+        assert_eq!(interp.machine().mem(OUT_SUM as u64), sum);
+        // Half the queries are planted hits; misses can accidentally hit.
+        assert!(found >= (NQUERIES / 2) as u64, "lookups broken: {found}");
+    }
+
+    #[test]
+    fn value_plus_one_cannot_collide_with_miss() {
+        // The lookup returns value+1 for hits; ensure no value is u64::MAX.
+        let (_, _, _, values) = index_image();
+        assert!(values.iter().all(|&v| v < u64::MAX));
+    }
+}

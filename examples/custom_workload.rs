@@ -1,0 +1,91 @@
+//! Build your own workload and run it through the simulated machines.
+//!
+//! Writes a small matrix-multiply kernel with the `tc-isa` program
+//! builder, wraps it in a [`Workload`], and compares front ends on it.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use trace_weave::isa::{Cond, ProgramBuilder, Reg};
+use trace_weave::sim::{Processor, SimConfig};
+use trace_weave::workloads::Workload;
+
+const N: i32 = 24; // matrix dimension
+const A: i32 = 0x100;
+const B: i32 = A + N * N;
+const C: i32 = B + N * N;
+
+/// Emits `for (i = 0; i < n; i++) body` using `i`/`n` registers.
+fn emit_loop(
+    b: &mut ProgramBuilder,
+    i: Reg,
+    n: Reg,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    let top = b.new_label("loop");
+    let done = b.new_label("done");
+    b.li(i, 0);
+    b.bind(top).expect("fresh");
+    b.branch(Cond::Ge, i, n, done);
+    body(b);
+    b.addi(i, i, 1);
+    b.jump(top);
+    b.bind(done).expect("fresh");
+}
+
+fn main() {
+    // C = A * B over N x N matrices, repeated forever (the simulator
+    // stops at its instruction budget).
+    let mut asm = ProgramBuilder::new();
+    let forever = asm.here("forever");
+    asm.li(Reg::S0, N);
+    emit_loop(&mut asm, Reg::S1, Reg::S0, |b| {
+        // row i
+        emit_loop(b, Reg::S2, Reg::S0, |b| {
+            // col j: acc (T0) = sum_k A[i][k] * B[k][j]
+            b.li(Reg::T0, 0);
+            emit_loop(b, Reg::S3, Reg::S0, |b| {
+                b.mul(Reg::T1, Reg::S1, Reg::S0);
+                b.add(Reg::T1, Reg::T1, Reg::S3);
+                b.addi(Reg::T1, Reg::T1, A);
+                b.load(Reg::T1, Reg::T1, 0);
+                b.mul(Reg::T2, Reg::S3, Reg::S0);
+                b.add(Reg::T2, Reg::T2, Reg::S2);
+                b.addi(Reg::T2, Reg::T2, B);
+                b.load(Reg::T2, Reg::T2, 0);
+                b.mul(Reg::T1, Reg::T1, Reg::T2);
+                b.add(Reg::T0, Reg::T0, Reg::T1);
+            });
+            b.mul(Reg::T1, Reg::S1, Reg::S0);
+            b.add(Reg::T1, Reg::T1, Reg::S2);
+            b.addi(Reg::T1, Reg::T1, C);
+            b.store(Reg::T0, Reg::T1, 0);
+        });
+    });
+    asm.jump(forever);
+    let program = asm.build().expect("kernel assembles");
+
+    // Deterministic input matrices.
+    let a: Vec<u64> = (0..(N * N) as u64).map(|i| i * 7 % 100).collect();
+    let b: Vec<u64> = (0..(N * N) as u64).map(|i| i * 13 % 100).collect();
+    let workload = Workload::new("matmul", program, 1 << 13, vec![(A as u64, a), (B as u64, b)]);
+
+    println!("custom workload `matmul` ({} static instructions)\n", workload.program().len());
+    for (name, config) in [
+        ("icache", SimConfig::icache()),
+        ("baseline tc", SimConfig::baseline()),
+        ("promo+pack", SimConfig::headline_fetch()),
+    ] {
+        let r = Processor::new(config.with_max_insts(500_000)).run(&workload);
+        println!(
+            "{:12} eff fetch {:5.2}  IPC {:4.2}  mispredict rate {:4.2}%",
+            name,
+            r.effective_fetch_rate(),
+            r.ipc(),
+            r.cond_mispredict_rate() * 100.0
+        );
+    }
+    println!("\nA loop nest with highly biased branches is exactly where promotion");
+    println!("and packing shine: nearly every line is a full 16 instructions.");
+}

@@ -1,0 +1,65 @@
+//! Sweep the branch-promotion threshold (the paper's Table 2) on a
+//! configurable benchmark.
+//!
+//! ```text
+//! cargo run --release --example fetch_rate_sweep [benchmark]
+//! ```
+
+use trace_weave::sim::{Processor, SimConfig};
+use trace_weave::workloads::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_owned());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name || b.short_name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{name}`; one of:");
+            for b in Benchmark::ALL {
+                eprintln!("  {b}");
+            }
+            std::process::exit(2);
+        });
+    let workload = bench.build();
+    println!("promotion-threshold sweep on `{bench}` (1M instructions per point)\n");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>12}",
+        "threshold", "eff fetch", "promoted%", "faults", "0/1-pred %"
+    );
+
+    let baseline = Processor::new(SimConfig::baseline().with_max_insts(1_000_000)).run(&workload);
+    let (p01, _, _) = baseline.fetch.prediction_demand();
+    println!(
+        "{:>12} {:>10.2} {:>9.1}% {:>10} {:>11.0}%",
+        "none",
+        baseline.effective_fetch_rate(),
+        0.0,
+        0,
+        p01 * 100.0
+    );
+
+    for threshold in [8u32, 16, 32, 64, 128, 256] {
+        let config = SimConfig::promotion(threshold).with_max_insts(1_000_000);
+        let report = Processor::new(config).run(&workload);
+        let total_branches =
+            report.cond_branches + report.promoted_executed + report.promoted_faults;
+        let promoted_pct = if total_branches == 0 {
+            0.0
+        } else {
+            (report.promoted_executed + report.promoted_faults) as f64 / total_branches as f64
+                * 100.0
+        };
+        let (p01, _, _) = report.fetch.prediction_demand();
+        println!(
+            "{:>12} {:>10.2} {:>9.1}% {:>10} {:>11.0}%",
+            threshold,
+            report.effective_fetch_rate(),
+            promoted_pct,
+            report.promoted_faults,
+            p01 * 100.0
+        );
+    }
+
+    println!("\nLow thresholds promote aggressively (more bandwidth, more faults);");
+    println!("high thresholds promote almost nothing. The paper settles on 64.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: simulate one benchmark under the paper's machines and
+//! print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trace_weave::core::PackingPolicy;
+use trace_weave::sim::{Processor, SimConfig};
+use trace_weave::workloads::Benchmark;
+
+fn main() {
+    // Pick a benchmark from the paper's Table 1 and build its workload
+    // (a synthetic program plus input data; see tc-workloads).
+    let workload = Benchmark::Gcc.build();
+    println!(
+        "benchmark: {} ({} static instructions)",
+        workload.name(),
+        workload.program().len()
+    );
+
+    // The three headline machines: the icache-only reference front end,
+    // the baseline trace cache, and the trace cache with branch
+    // promotion (threshold 64) + trace packing.
+    let machines = [
+        ("icache-only reference", SimConfig::icache()),
+        ("baseline trace cache", SimConfig::baseline()),
+        (
+            "promotion + packing",
+            SimConfig::promotion_packing(64, PackingPolicy::Unregulated),
+        ),
+    ];
+
+    println!(
+        "\n{:24} {:>10} {:>8} {:>10} {:>12}",
+        "machine", "eff fetch", "IPC", "mispred%", "resolution"
+    );
+    for (name, config) in machines {
+        let report = Processor::new(config.with_max_insts(1_000_000)).run(&workload);
+        println!(
+            "{:24} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c",
+            name,
+            report.effective_fetch_rate(),
+            report.ipc(),
+            report.cond_mispredict_rate() * 100.0,
+            report.avg_resolution_time(),
+        );
+    }
+
+    println!("\nThe trace cache fetches multiple basic blocks per cycle; branch");
+    println!("promotion frees predictor bandwidth and trace packing fills every");
+    println!("line — together they lift the effective fetch rate well beyond");
+    println!("what either achieves alone (the paper's Figure 10).");
+}

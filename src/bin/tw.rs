@@ -1,0 +1,157 @@
+//! `tw`: the trace-weave command-line simulator.
+//!
+//! ```text
+//! tw list
+//! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json]
+//! tw compare --bench gcc [--insts N]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use trace_weave::core::PackingPolicy;
+use trace_weave::sim::{Processor, SimConfig, SimReport};
+use trace_weave::workloads::Benchmark;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  tw list
+      list benchmarks and configurations
+  tw sim --bench <name> --config <name> [--insts N] [--perfect-mem]
+      simulate one benchmark under one configuration
+  tw compare --bench <name> [--insts N]
+      compare all standard configurations on one benchmark
+
+configurations: icache, baseline, packing, promotion, promo-pack, headline"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_config(name: &str) -> Option<SimConfig> {
+    Some(match name {
+        "icache" => SimConfig::icache(),
+        "baseline" => SimConfig::baseline(),
+        "packing" => SimConfig::packing(PackingPolicy::Unregulated),
+        "promotion" => SimConfig::promotion(64),
+        "promo-pack" => SimConfig::promotion_packing(64, PackingPolicy::Unregulated),
+        "headline" => SimConfig::headline_perf(),
+        _ => return None,
+    })
+}
+
+fn parse_bench(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == name || b.short_name() == name)
+}
+
+fn print_report(r: &SimReport) {
+    println!("benchmark          {}", r.benchmark);
+    println!("configuration      {}", r.config);
+    println!("instructions       {}", r.instructions);
+    println!("cycles             {}", r.cycles);
+    println!("IPC                {:.3}", r.ipc());
+    println!("eff fetch rate     {:.2}", r.effective_fetch_rate());
+    println!("cond mispredict    {:.2}%", r.cond_mispredict_rate() * 100.0);
+    println!("promoted executed  {}", r.promoted_executed);
+    println!("promoted faults    {}", r.promoted_faults);
+    println!("avg resolution     {:.1} cycles", r.avg_resolution_time());
+    if let Some(tc) = &r.trace_cache {
+        println!("trace cache        {:.1}% miss", tc.miss_ratio() * 100.0);
+    }
+    println!("cycle accounting:");
+    for (label, cycles) in r.accounting.categories() {
+        println!("  {label:14} {:5.1}%", cycles as f64 / r.cycles.max(1) as f64 * 100.0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+
+    let mut bench = None;
+    let mut config_name = None;
+    let mut insts: u64 = 2_000_000;
+    let mut perfect = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                bench = args.get(i).cloned();
+            }
+            "--config" => {
+                i += 1;
+                config_name = args.get(i).cloned();
+            }
+            "--insts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => insts = n,
+                    None => return usage(),
+                }
+            }
+            "--perfect-mem" => perfect = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    match cmd.as_str() {
+        "list" => {
+            println!("benchmarks (the paper's Table 1):");
+            for b in Benchmark::ALL {
+                println!("  {:10} ({})", b.name(), b.short_name());
+            }
+            println!("\nconfigurations:");
+            for c in ["icache", "baseline", "packing", "promotion", "promo-pack", "headline"] {
+                println!("  {c}");
+            }
+            ExitCode::SUCCESS
+        }
+        "sim" => {
+            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
+                eprintln!("missing or unknown --bench");
+                return usage();
+            };
+            let Some(mut config) = config_name.as_deref().and_then(parse_config) else {
+                eprintln!("missing or unknown --config");
+                return usage();
+            };
+            if perfect {
+                config = config.with_perfect_disambiguation();
+            }
+            let workload = bench.build();
+            let report = Processor::new(config.with_max_insts(insts)).run(&workload);
+            print_report(&report);
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
+                eprintln!("missing or unknown --bench");
+                return usage();
+            };
+            let workload = bench.build();
+            println!(
+                "{:12} {:>10} {:>8} {:>10} {:>12}",
+                "config", "eff fetch", "IPC", "mispred%", "resolution"
+            );
+            for name in ["icache", "baseline", "packing", "promotion", "promo-pack"] {
+                let mut config = parse_config(name).expect("known");
+                if perfect {
+                    config = config.with_perfect_disambiguation();
+                }
+                let r = Processor::new(config.with_max_insts(insts)).run(&workload);
+                println!(
+                    "{:12} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c",
+                    name,
+                    r.effective_fetch_rate(),
+                    r.ipc(),
+                    r.cond_mispredict_rate() * 100.0,
+                    r.avg_resolution_time()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests on the fill unit: for any retired instruction stream
+//! and any packing policy, the finalized segments must exactly partition
+//! the stream — no instruction lost, duplicated, or reordered — and obey
+//! every structural limit.
+
+use proptest::prelude::*;
+use trace_weave::core::{FillUnit, PackingPolicy};
+use trace_weave::isa::{Addr, Cond, ExecRecord, Instr, Reg};
+use trace_weave::predict::{BiasConfig, BiasTable};
+
+/// Builds a well-formed retire stream from block descriptors: each block
+/// is `size` straight-line instructions ending with a terminator chosen
+/// by `kind`. Addresses are contiguous (branches jump forward past a
+/// gap, mimicking taken branches).
+fn stream_from_blocks(blocks: &[(u8, u8)]) -> Vec<ExecRecord> {
+    let mut out = Vec::new();
+    let mut pc = 0u32;
+    for &(size, kind) in blocks {
+        let size = usize::from(size % 14) + 1;
+        for i in 0..size {
+            let last = i == size - 1;
+            let (instr, taken, next) = if !last {
+                (Instr::Nop, false, pc + 1)
+            } else {
+                match kind % 5 {
+                    // Taken conditional branch jumping forward.
+                    0 => (
+                        Instr::Branch {
+                            cond: Cond::Eq,
+                            rs1: Reg::T0,
+                            rs2: Reg::T1,
+                            target: Addr::new(pc + 7),
+                        },
+                        true,
+                        pc + 7,
+                    ),
+                    // Not-taken conditional branch.
+                    1 => (
+                        Instr::Branch {
+                            cond: Cond::Ne,
+                            rs1: Reg::T0,
+                            rs2: Reg::T1,
+                            target: Addr::new(pc + 9),
+                        },
+                        false,
+                        pc + 1,
+                    ),
+                    // Return (segment-ending).
+                    2 => (Instr::Ret, false, pc + 3),
+                    // Trap (segment-ending).
+                    3 => (Instr::Trap { code: 1 }, false, pc + 1),
+                    // Call (does NOT end a block; pad with a branch after).
+                    _ => (
+                        Instr::Branch {
+                            cond: Cond::Lt,
+                            rs1: Reg::T0,
+                            rs2: Reg::T1,
+                            target: Addr::new(pc + 5),
+                        },
+                        true,
+                        pc + 5,
+                    ),
+                }
+            };
+            out.push(ExecRecord {
+                pc: Addr::new(pc),
+                instr,
+                next_pc: Addr::new(next),
+                taken,
+                mem_addr: None,
+            });
+            pc = next;
+        }
+    }
+    out
+}
+
+fn policies() -> [PackingPolicy; 5] {
+    [
+        PackingPolicy::Atomic,
+        PackingPolicy::Unregulated,
+        PackingPolicy::Chunk(2),
+        PackingPolicy::Chunk(4),
+        PackingPolicy::CostRegulated,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Segments partition the retired stream exactly (up to the pending
+    /// tail the fill unit is still accumulating), for every policy, with
+    /// and without promotion.
+    #[test]
+    fn segments_partition_the_retire_stream(
+        blocks in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        promote in any::<bool>(),
+    ) {
+        let stream = stream_from_blocks(&blocks);
+        for policy in policies() {
+            let bias = promote.then(|| {
+                BiasTable::new(BiasConfig { entries: 256, threshold: 4, counter_bits: 8, tagged: true })
+            });
+            let mut fill = FillUnit::new(policy, bias);
+            let mut rebuilt: Vec<(u32, bool)> = Vec::new();
+            for rec in &stream {
+                fill.retire(rec);
+                while let Some(seg) = fill.pop_segment() {
+                    // Structural limits.
+                    prop_assert!(seg.len() >= 1 && seg.len() <= 16);
+                    prop_assert!(seg.dynamic_branch_count() <= 3);
+                    for si in seg.insts() {
+                        rebuilt.push((si.pc.raw(), si.taken));
+                    }
+                }
+            }
+            let expected: Vec<(u32, bool)> =
+                stream.iter().map(|r| (r.pc.raw(), r.taken)).collect();
+            prop_assert!(
+                rebuilt.len() <= expected.len(),
+                "{policy}: more instructions out than in"
+            );
+            prop_assert_eq!(
+                &rebuilt[..],
+                &expected[..rebuilt.len()],
+                "{} reordered or corrupted the stream", policy
+            );
+            // The un-finalized tail is bounded by one pending segment +
+            // one open block.
+            prop_assert!(expected.len() - rebuilt.len() <= 32);
+        }
+    }
+
+    /// Embedded paths are internally consistent: within a segment, each
+    /// instruction's `embedded_next` equals the next instruction's pc.
+    #[test]
+    fn segments_are_logically_contiguous(
+        blocks in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
+    ) {
+        let stream = stream_from_blocks(&blocks);
+        let mut fill = FillUnit::new(PackingPolicy::Unregulated, None);
+        for rec in &stream {
+            fill.retire(rec);
+            while let Some(seg) = fill.pop_segment() {
+                for pair in seg.insts().windows(2) {
+                    prop_assert_eq!(
+                        pair[0].embedded_next(),
+                        pair[1].pc,
+                        "segment path broken"
+                    );
+                }
+            }
+        }
+    }
+}
