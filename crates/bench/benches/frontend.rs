@@ -1,17 +1,17 @@
-//! Criterion benchmarks for the front-end structures: trace-cache
+//! Microbenchmarks for the front-end structures: trace-cache
 //! lookup/fill, fill-unit throughput under each packing policy, and the
 //! full fetch engine. These measure *simulator* performance (host time),
 //! complementing the `paper` binary which measures *simulated* metrics.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tc_bench::micro::{black_box, Group};
 use tc_cache::{HierarchyConfig, MemoryHierarchy};
 use tc_core::{FillUnit, FrontEnd, FrontEndConfig, PackingPolicy, TraceCache, TraceCacheConfig};
 use tc_isa::Addr;
 use tc_predict::{BiasConfig, BiasTable};
 use tc_workloads::Benchmark;
 
-fn bench_trace_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_cache");
+fn bench_trace_cache() {
+    let group = Group::new("trace_cache");
     // Pre-build segments by retiring a real instruction stream.
     let workload = Benchmark::Gcc.build_scaled(1);
     let mut fill = FillUnit::new(PackingPolicy::Unregulated, None);
@@ -23,36 +23,31 @@ fn bench_trace_cache(c: &mut Criterion) {
         }
     }
     assert!(segments.len() > 100);
-    group.bench_function("fill", |b| {
-        b.iter(|| {
-            let mut tc = TraceCache::new(TraceCacheConfig::paper());
-            for seg in &segments {
-                tc.fill(black_box(seg.clone()));
-            }
-            tc.resident()
-        });
-    });
-    group.bench_function("lookup", |b| {
+    group.bench("fill", || {
         let mut tc = TraceCache::new(TraceCacheConfig::paper());
         for seg in &segments {
-            tc.fill(seg.clone());
+            tc.fill(black_box(seg.clone()));
         }
-        let starts: Vec<Addr> = segments.iter().map(|s| s.start()).collect();
-        b.iter(|| {
-            let mut hits = 0u64;
-            for &s in &starts {
-                if tc.lookup(black_box(s)).is_some() {
-                    hits += 1;
-                }
-            }
-            hits
-        });
+        tc.resident()
     });
-    group.finish();
+    let mut tc = TraceCache::new(TraceCacheConfig::paper());
+    for seg in &segments {
+        tc.fill(seg.clone());
+    }
+    let starts: Vec<Addr> = segments.iter().map(|s| s.start()).collect();
+    group.bench("lookup", || {
+        let mut hits = 0u64;
+        for &s in &starts {
+            if tc.lookup(black_box(s)).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
 }
 
-fn bench_fill_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fill_unit");
+fn bench_fill_policies() {
+    let group = Group::new("fill_unit");
     let workload = Benchmark::Compress.build_scaled(1);
     let stream: Vec<_> = workload.interpreter().take(100_000).collect();
     for (name, policy) in [
@@ -60,55 +55,57 @@ fn bench_fill_policies(c: &mut Criterion) {
         ("unregulated", PackingPolicy::Unregulated),
         ("cost_regulated", PackingPolicy::CostRegulated),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let bias =
-                    BiasTable::new(BiasConfig { entries: 8192, threshold: 64, counter_bits: 10, tagged: true });
-                let mut fill = FillUnit::new(policy, Some(bias));
-                let mut segs = 0u64;
-                for rec in &stream {
-                    fill.retire(black_box(rec));
-                    while fill.pop_segment().is_some() {
-                        segs += 1;
-                    }
-                }
-                segs
+        group.bench(name, || {
+            let bias = BiasTable::new(BiasConfig {
+                entries: 8192,
+                threshold: 64,
+                counter_bits: 10,
+                tagged: true,
             });
+            let mut fill = FillUnit::new(policy, Some(bias));
+            let mut segs = 0u64;
+            for rec in &stream {
+                fill.retire(black_box(rec));
+                while fill.pop_segment().is_some() {
+                    segs += 1;
+                }
+            }
+            segs
         });
     }
-    group.finish();
 }
 
-fn bench_fetch_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fetch_engine");
-    group.sample_size(20);
+fn bench_fetch_engine() {
+    let group = Group::new("fetch_engine");
     let workload = Benchmark::Perl.build_scaled(1);
     let program = workload.program().clone();
-    // Warm a front end with retired stream, then measure fetch loops.
+    // Warm a front end with the retired stream, then measure fetch loops.
     for (name, config) in [
         ("baseline", FrontEndConfig::baseline()),
-        ("promo_pack", FrontEndConfig::promotion_packing(64, PackingPolicy::Unregulated)),
+        (
+            "promo_pack",
+            FrontEndConfig::promotion_packing(64, PackingPolicy::Unregulated),
+        ),
     ] {
-        group.bench_function(name, |b| {
-            let mut fe = FrontEnd::new(config);
-            for rec in workload.interpreter().take(100_000) {
-                fe.retire(&rec);
+        let mut fe = FrontEnd::new(config);
+        for rec in workload.interpreter().take(100_000) {
+            fe.retire(&rec);
+        }
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_trace_cache());
+        let pcs: Vec<Addr> = workload.interpreter().take(2_000).map(|r| r.pc).collect();
+        group.bench(name, || {
+            let mut insts = 0usize;
+            for &pc in &pcs {
+                let bundle = fe.fetch(black_box(pc), &program, &mut mem);
+                insts += bundle.insts.len();
             }
-            let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_trace_cache());
-            let pcs: Vec<Addr> =
-                workload.interpreter().take(2_000).map(|r| r.pc).collect();
-            b.iter(|| {
-                let mut insts = 0usize;
-                for &pc in &pcs {
-                    let bundle = fe.fetch(black_box(pc), &program, &mut mem);
-                    insts += bundle.insts.len();
-                }
-                insts
-            });
+            insts
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_trace_cache, bench_fill_policies, bench_fetch_engine);
-criterion_main!(benches);
+fn main() {
+    bench_trace_cache();
+    bench_fill_policies();
+    bench_fetch_engine();
+}

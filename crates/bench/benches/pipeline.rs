@@ -5,7 +5,7 @@
 //! *simulated* numbers come from `cargo run --release -p tc-bench --bin
 //! paper`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tc_bench::micro::{black_box, Group};
 use tc_core::PackingPolicy;
 use tc_sim::{Processor, SimConfig};
 use tc_workloads::Benchmark;
@@ -19,10 +19,8 @@ fn run(config: SimConfig, bench: Benchmark) -> u64 {
 }
 
 /// Figure 10's five configurations on one benchmark.
-fn bench_fetch_rate_configs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_configs");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(BUDGET));
+fn bench_fetch_rate_configs() {
+    let group = Group::new("fig10_configs");
     let configs = [
         ("icache", SimConfig::icache()),
         ("baseline", SimConfig::baseline()),
@@ -31,51 +29,44 @@ fn bench_fetch_rate_configs(c: &mut Criterion) {
         ("promo_pack", SimConfig::headline_fetch()),
     ];
     for (name, config) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
-            b.iter(|| run(black_box(cfg.clone()), Benchmark::Gcc));
-        });
+        group.bench(name, || run(black_box(config.clone()), Benchmark::Gcc));
     }
-    group.finish();
 }
 
 /// Figure 11/16's engine modes.
-fn bench_engine_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_fig16_engines");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(BUDGET));
-    group.bench_function("realistic", |b| {
-        b.iter(|| run(black_box(SimConfig::headline_perf()), Benchmark::Compress));
+fn bench_engine_modes() {
+    let group = Group::new("fig11_fig16_engines");
+    group.bench("realistic", || {
+        run(black_box(SimConfig::headline_perf()), Benchmark::Compress)
     });
-    group.bench_function("perfect_disambiguation", |b| {
-        b.iter(|| {
-            run(
-                black_box(SimConfig::headline_perf().with_perfect_disambiguation()),
-                Benchmark::Compress,
-            )
-        });
+    group.bench("perfect_disambiguation", || {
+        run(
+            black_box(SimConfig::headline_perf().with_perfect_disambiguation()),
+            Benchmark::Compress,
+        )
     });
-    group.finish();
 }
 
 /// Table 4's packing policies.
-fn bench_packing_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_policies");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(BUDGET));
+fn bench_packing_policies() {
+    let group = Group::new("table4_policies");
     for (name, policy) in [
         ("unregulated", PackingPolicy::Unregulated),
         ("cost_regulated", PackingPolicy::CostRegulated),
         ("chunk2", PackingPolicy::Chunk(2)),
         ("chunk4", PackingPolicy::Chunk(4)),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                run(black_box(SimConfig::promotion_packing(64, policy)), Benchmark::Tex)
-            });
+        group.bench(name, || {
+            run(
+                black_box(SimConfig::promotion_packing(64, policy)),
+                Benchmark::Tex,
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fetch_rate_configs, bench_engine_modes, bench_packing_policies);
-criterion_main!(benches);
+fn main() {
+    bench_fetch_rate_configs();
+    bench_engine_modes();
+    bench_packing_policies();
+}

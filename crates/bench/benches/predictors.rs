@@ -1,11 +1,11 @@
-//! Criterion benchmarks for the branch predictors and bias table.
+//! Microbenchmarks for the branch predictors and bias table.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::Rng;
+use tc_bench::micro::{black_box, Group};
 use tc_predict::{
     BiasConfig, BiasTable, GlobalHistory, HybridPredictor, MultiPredictor, SplitMultiPredictor,
 };
 use tc_workloads::data;
+use tc_workloads::rng::Rng;
 
 /// A synthetic branch trace: (pc, outcome) pairs with mixed bias.
 fn branch_trace(n: usize) -> Vec<(u64, bool)> {
@@ -23,68 +23,56 @@ fn branch_trace(n: usize) -> Vec<(u64, bool)> {
         .collect()
 }
 
-fn bench_multi(c: &mut Criterion) {
+fn main() {
     let trace = branch_trace(50_000);
-    let mut group = c.benchmark_group("predictors");
-    group.bench_function("multi_tree_16k", |b| {
-        b.iter(|| {
-            let mut p = MultiPredictor::paper();
-            let mut h = GlobalHistory::new();
-            let mut correct = 0u64;
-            for &(pc, taken) in &trace {
-                let preds = p.predict(black_box(pc), h);
-                if preds.dirs[0] == taken {
-                    correct += 1;
-                }
-                p.update(preds.entry, &[taken]);
-                h.push(taken);
+    let group = Group::new("predictors");
+    group.bench("multi_tree_16k", || {
+        let mut p = MultiPredictor::paper();
+        let mut h = GlobalHistory::new();
+        let mut correct = 0u64;
+        for &(pc, taken) in &trace {
+            let preds = p.predict(black_box(pc), h);
+            if preds.dirs[0] == taken {
+                correct += 1;
             }
-            correct
-        });
+            p.update(preds.entry, &[taken]);
+            h.push(taken);
+        }
+        correct
     });
-    group.bench_function("split_64k_16k_8k", |b| {
-        b.iter(|| {
-            let mut p = SplitMultiPredictor::paper();
-            let mut h = GlobalHistory::new();
-            let mut correct = 0u64;
-            for &(pc, taken) in &trace {
-                let preds = p.predict(black_box(pc), h);
-                if preds.dirs[0] == taken {
-                    correct += 1;
-                }
-                p.update(pc, h, &[taken]);
-                h.push(taken);
+    group.bench("split_64k_16k_8k", || {
+        let mut p = SplitMultiPredictor::paper();
+        let mut h = GlobalHistory::new();
+        let mut correct = 0u64;
+        for &(pc, taken) in &trace {
+            let preds = p.predict(black_box(pc), h);
+            if preds.dirs[0] == taken {
+                correct += 1;
             }
-            correct
-        });
+            p.update(pc, h, &[taken]);
+            h.push(taken);
+        }
+        correct
     });
-    group.bench_function("hybrid_gshare_pas", |b| {
-        b.iter(|| {
-            let mut p = HybridPredictor::paper();
-            let mut h = GlobalHistory::new();
-            let mut correct = 0u64;
-            for &(pc, taken) in &trace {
-                let pred = p.predict(black_box(pc), h);
-                if pred.dir == taken {
-                    correct += 1;
-                }
-                p.update(pc, h, pred, taken);
-                h.push(taken);
+    group.bench("hybrid_gshare_pas", || {
+        let mut p = HybridPredictor::paper();
+        let mut h = GlobalHistory::new();
+        let mut correct = 0u64;
+        for &(pc, taken) in &trace {
+            let pred = p.predict(black_box(pc), h);
+            if pred.dir == taken {
+                correct += 1;
             }
-            correct
-        });
+            p.update(pc, h, pred, taken);
+            h.push(taken);
+        }
+        correct
     });
-    group.bench_function("bias_table_8k", |b| {
-        b.iter(|| {
-            let mut t = BiasTable::new(BiasConfig::paper(64));
-            for &(pc, taken) in &trace {
-                t.update(black_box(pc), taken);
-            }
-            t.promotions()
-        });
+    group.bench("bias_table_8k", || {
+        let mut t = BiasTable::new(BiasConfig::paper(64));
+        for &(pc, taken) in &trace {
+            t.update(black_box(pc), taken);
+        }
+        t.promotions()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_multi);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! paper <experiment> [--insts N] [--quick] [--verbose]
+//! paper <experiment> [--insts N] [--quick] [--jobs N] [--verbose]
 //!
 //! experiments:
 //!   fig4 table2 fig6 fig7 table3 fig9 fig10 table4
@@ -11,11 +11,17 @@
 //!   ablation-grid ablation-tcsize ablation-bias
 //!   all        — everything above, in paper order
 //! ```
+//!
+//! Independent `(benchmark, configuration)` cells run in parallel;
+//! `--jobs N` (or the `TW_JOBS` environment variable) caps the worker
+//! threads. Configurations come from the experiment harness's registry
+//! (`tc_sim::harness`), the same names `tw` accepts.
 
 use std::env;
 
 use tc_bench::{f2, mean, pct, percent_change, Runner, Table};
 use tc_core::PackingPolicy;
+use tc_sim::harness::standard_five;
 use tc_sim::{SimConfig, SimReport};
 use tc_workloads::Benchmark;
 
@@ -24,6 +30,7 @@ fn main() {
     let mut experiment = String::from("all");
     let mut insts: u64 = 2_000_000;
     let mut verbose = false;
+    let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +40,13 @@ fn main() {
                     eprintln!("--insts requires a number");
                     std::process::exit(2);
                 });
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs requires a number >= 1");
+                    std::process::exit(2);
+                }));
             }
             "--quick" => insts = 500_000,
             "--verbose" | "-v" => verbose = true,
@@ -46,9 +60,12 @@ fn main() {
     }
 
     let mut runner = Runner::new(insts, verbose);
+    if let Some(jobs) = jobs {
+        runner = runner.with_jobs(jobs);
+    }
     let all = [
-        "fig4", "table2", "fig6", "fig7", "table3", "fig9", "fig10", "table4", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig4", "table2", "fig6", "fig7", "table3", "fig9", "fig10", "table4", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16",
     ];
     match experiment.as_str() {
         "all" => {
@@ -106,24 +123,27 @@ fn run_experiment(name: &str, r: &mut Runner) {
     }
 }
 
-/// The five standard front ends of Figure 10.
-fn configs5() -> [(&'static str, SimConfig); 5] {
-    [
-        ("icache", SimConfig::icache()),
-        ("baseline", SimConfig::baseline()),
-        ("packing", SimConfig::packing(PackingPolicy::Unregulated)),
-        ("promotion", SimConfig::promotion(64)),
-        ("promo+pack", SimConfig::promotion_packing(64, PackingPolicy::Unregulated)),
-    ]
+/// Every benchmark crossed with each of `configs`, for prefetching.
+fn cross(configs: &[SimConfig]) -> Vec<(Benchmark, SimConfig)> {
+    Benchmark::ALL
+        .iter()
+        .flat_map(|&bench| configs.iter().map(move |c| (bench, c.clone())))
+        .collect()
 }
 
 // --- Figures 4 and 6: fetch-size histograms for gcc -------------------
 
 fn fig4_6(r: &mut Runner, promoted: bool) {
     let (fig, config) = if promoted {
-        ("Figure 6: fetch-size breakdown, gcc, 128KB trace cache + promotion (t=64)", SimConfig::promotion(64))
+        (
+            "Figure 6: fetch-size breakdown, gcc, 128KB trace cache + promotion (t=64)",
+            SimConfig::promotion(64),
+        )
     } else {
-        ("Figure 4: fetch-size breakdown, gcc, baseline 128KB trace cache", SimConfig::baseline())
+        (
+            "Figure 4: fetch-size breakdown, gcc, baseline 128KB trace cache",
+            SimConfig::baseline(),
+        )
     };
     println!("{fig}\n(columns: fraction of all fetches ending for each reason)\n");
     let rep = r.run(Benchmark::Gcc, &config).clone();
@@ -180,12 +200,21 @@ fn table2(r: &mut Runner) {
         ("threshold=256", 11.33),
     ];
     let mut t = Table::new(&["configuration", "eff fetch rate", "paper"]);
-    let configs: Vec<(String, SimConfig)> = std::iter::once(("icache".to_owned(), SimConfig::icache()))
-        .chain(std::iter::once(("baseline".to_owned(), SimConfig::baseline())))
-        .chain([8u32, 16, 32, 64, 128, 256]
-            .into_iter()
-            .map(|th| (format!("threshold={th}"), SimConfig::promotion(th))))
-        .collect();
+    let configs: Vec<(String, SimConfig)> =
+        std::iter::once(("icache".to_owned(), SimConfig::icache()))
+            .chain(std::iter::once((
+                "baseline".to_owned(),
+                SimConfig::baseline(),
+            )))
+            .chain(
+                [8u32, 16, 32, 64, 128, 256]
+                    .into_iter()
+                    .map(|th| (format!("threshold={th}"), SimConfig::promotion(th))),
+            )
+            .collect();
+    r.prefetch(&cross(
+        &configs.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+    ));
     for ((label, config), (_, paper_v)) in configs.iter().zip(paper) {
         let reports = r.run_suite(config);
         let avg = mean(reports.iter().map(SimReport::effective_fetch_rate));
@@ -199,6 +228,12 @@ fn table2(r: &mut Runner) {
 fn fig7(r: &mut Runner) {
     println!("Figure 7: % change vs baseline in mispredicted conditional branches");
     println!("(promotion thresholds 64 / 128 / 256; negative = fewer mispredicts)\n");
+    r.prefetch(&cross(&[
+        SimConfig::baseline(),
+        SimConfig::promotion(64),
+        SimConfig::promotion(128),
+        SimConfig::promotion(256),
+    ]));
     let base = r.run_suite(&SimConfig::baseline());
     let mut t = Table::new(&["bench", "t=64", "t=128", "t=256"]);
     let mut sums = [0.0f64; 3];
@@ -239,8 +274,10 @@ fn table3(r: &mut Runner) {
         ("threshold=64", SimConfig::promotion(64), "85% / 12% / 3%"),
     ] {
         let reports = r.run_suite(&config);
-        let demand: Vec<(f64, f64, f64)> =
-            reports.iter().map(|rep| rep.fetch.prediction_demand()).collect();
+        let demand: Vec<(f64, f64, f64)> = reports
+            .iter()
+            .map(|rep| rep.fetch.prediction_demand())
+            .collect();
         let a = mean(demand.iter().map(|d| d.0)) * 100.0;
         let b = mean(demand.iter().map(|d| d.1)) * 100.0;
         let c = mean(demand.iter().map(|d| d.2)) * 100.0;
@@ -259,6 +296,10 @@ fn table3(r: &mut Runner) {
 
 fn fig9(r: &mut Runner) {
     println!("Figure 9: effective fetch rates with and without trace packing\n");
+    r.prefetch(&cross(&[
+        SimConfig::baseline(),
+        SimConfig::packing(PackingPolicy::Unregulated),
+    ]));
     let mut t = Table::new(&["bench", "baseline", "packing", "change"]);
     let mut base_sum = 0.0;
     let mut pack_sum = 0.0;
@@ -269,7 +310,12 @@ fn fig9(r: &mut Runner) {
             .effective_fetch_rate();
         base_sum += b;
         pack_sum += p;
-        t.row(vec![bench.short_name().into(), f2(b), f2(p), pct(percent_change(b, p))]);
+        t.row(vec![
+            bench.short_name().into(),
+            f2(b),
+            f2(p),
+            pct(percent_change(b, p)),
+        ]);
     }
     t.row(vec![
         "AVG".into(),
@@ -285,16 +331,15 @@ fn fig9(r: &mut Runner) {
 
 fn fig10(r: &mut Runner) {
     println!("Figure 10: effective fetch rates for all techniques\n");
-    let configs = configs5();
-    let mut t = Table::new(&[
-        "bench",
-        "icache",
-        "baseline",
-        "packing",
-        "promotion",
-        "promo+pack",
-        "both vs base",
-    ]);
+    // The five standard front ends, straight from the harness registry.
+    let configs = standard_five();
+    r.prefetch(&cross(
+        &configs.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+    ));
+    let mut headers: Vec<&str> = vec!["bench"];
+    headers.extend(configs.iter().map(|(name, _)| *name));
+    headers.push("both vs base");
+    let mut t = Table::new(&headers);
     let mut sums = [0.0f64; 5];
     for &bench in &Benchmark::ALL {
         let mut cells = vec![bench.short_name().to_owned()];
@@ -314,7 +359,9 @@ fn fig10(r: &mut Runner) {
     avg.push(pct(percent_change(sums[1], sums[4])));
     t.row(avg);
     println!("{}", t.render());
-    println!("[paper: promotion+packing raises the average effective fetch rate 17% over baseline]");
+    println!(
+        "[paper: promotion+packing raises the average effective fetch rate 17% over baseline]"
+    );
 }
 
 // --- Table 4: packing's cache-miss cost --------------------------------
@@ -344,13 +391,30 @@ fn table4(r: &mut Runner) {
         ("n=2", PackingPolicy::Chunk(2)),
         ("n=4", PackingPolicy::Chunk(4)),
     ];
-    let mut t = Table::new(&["bench", "unreg", "cost-reg", "n=2", "n=4", "paper(unreg/cost/n2/n4)"]);
+    r.prefetch(&cross(
+        &std::iter::once(SimConfig::promotion(64))
+            .chain(
+                schemes
+                    .iter()
+                    .map(|(_, p)| SimConfig::promotion_packing(64, *p)),
+            )
+            .collect::<Vec<_>>(),
+    ));
+    let mut t = Table::new(&[
+        "bench",
+        "unreg",
+        "cost-reg",
+        "n=2",
+        "n=4",
+        "paper(unreg/cost/n2/n4)",
+    ]);
     for (&bench, (pname, pvals)) in six.iter().zip(paper_rows) {
         let promo_miss = r.run(bench, &SimConfig::promotion(64)).cache_miss_cycles() as f64;
         let mut cells = vec![bench.short_name().to_owned()];
         for (_, policy) in schemes {
-            let miss =
-                r.run(bench, &SimConfig::promotion_packing(64, policy)).cache_miss_cycles() as f64;
+            let miss = r
+                .run(bench, &SimConfig::promotion_packing(64, policy))
+                .cache_miss_cycles() as f64;
             cells.push(pct(percent_change(promo_miss, miss)));
         }
         cells.push(format!(
@@ -362,7 +426,12 @@ fn table4(r: &mut Runner) {
     println!("{}", t.render());
     // The average effective fetch rate row, over the whole suite.
     let mut t2 = Table::new(&["scheme", "avg eff fetch rate", "paper"]);
-    let paper_effr = [("unreg", 12.47), ("cost-reg", 12.23), ("n=2", 12.42), ("n=4", 12.18)];
+    let paper_effr = [
+        ("unreg", 12.47),
+        ("cost-reg", 12.23),
+        ("n=2", 12.42),
+        ("n=4", 12.18),
+    ];
     for ((label, policy), (_, pv)) in schemes.iter().zip(paper_effr) {
         let reports = r.run_suite(&SimConfig::promotion_packing(64, *policy));
         let avg = mean(reports.iter().map(SimReport::effective_fetch_rate));
@@ -390,6 +459,14 @@ fn table4(r: &mut Runner) {
         config.front_end.trace_cache = Some(tc_core::TraceCacheConfig::with_entries(256));
         config
     };
+    let small_cells: Vec<(Benchmark, SimConfig)> = six
+        .iter()
+        .flat_map(|&bench| {
+            std::iter::once((bench, small(None)))
+                .chain(schemes.iter().map(move |(_, p)| (bench, small(Some(*p)))))
+        })
+        .collect();
+    r.prefetch(&small_cells);
     let tc_misses = |rep: &SimReport| rep.trace_cache.map_or(0, |tc| tc.misses) as f64;
     let mut t3 = Table::new(&["bench", "unreg", "cost-reg", "n=2", "n=4"]);
     for &bench in &six {
@@ -421,13 +498,29 @@ fn fig11_16(r: &mut Runner, perfect: bool) {
         )
     };
     println!("{fig}\n");
-    let mk = |c: SimConfig| if perfect { c.with_perfect_disambiguation() } else { c };
+    let mk = |c: SimConfig| {
+        if perfect {
+            c.with_perfect_disambiguation()
+        } else {
+            c
+        }
+    };
     let configs = [
         ("icache", mk(SimConfig::icache())),
         ("baseline", mk(SimConfig::baseline())),
         ("promo+pack", mk(SimConfig::headline_perf())),
     ];
-    let mut t = Table::new(&["bench", "icache", "baseline", "promo+pack", "vs base", "vs icache"]);
+    r.prefetch(&cross(
+        &configs.iter().map(|(_, c)| c.clone()).collect::<Vec<_>>(),
+    ));
+    let mut t = Table::new(&[
+        "bench",
+        "icache",
+        "baseline",
+        "promo+pack",
+        "vs base",
+        "vs icache",
+    ]);
     let mut sums = [0.0f64; 3];
     for &bench in &Benchmark::ALL {
         let mut vals = [0.0f64; 3];
@@ -458,6 +551,7 @@ fn fig11_16(r: &mut Runner, perfect: bool) {
 fn fig12(r: &mut Runner) {
     println!("Figure 12: accounting of all fetch cycles, promotion + cost-regulated packing");
     println!("(percent of total cycles)\n");
+    r.prefetch(&cross(&[SimConfig::headline_perf()]));
     let mut t = Table::new(&[
         "bench",
         "Useful Fetch",
@@ -481,7 +575,10 @@ fn fig12(r: &mut Runner) {
             format!("{:.1}%", a.full_window as f64 / total * 100.0),
             format!("{:.1}%", a.traps as f64 / total * 100.0),
             format!("{:.1}%", a.misfetches as f64 / total * 100.0),
-            format!("{:.1}%", (rep.cycles.saturating_sub(accounted)) as f64 / total * 100.0),
+            format!(
+                "{:.1}%",
+                (rep.cycles.saturating_sub(accounted)) as f64 / total * 100.0
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -490,13 +587,9 @@ fn fig12(r: &mut Runner) {
 
 // --- Figures 13-15: misprediction analyses -------------------------------
 
-fn change_table(
-    r: &mut Runner,
-    title: &str,
-    note: &str,
-    metric: impl Fn(&SimReport) -> f64,
-) {
+fn change_table(r: &mut Runner, title: &str, note: &str, metric: impl Fn(&SimReport) -> f64) {
     println!("{title}\n");
+    r.prefetch(&cross(&[SimConfig::baseline(), SimConfig::headline_perf()]));
     let mut t = Table::new(&["bench", "baseline", "promo+pack", "change"]);
     let mut sum = 0.0;
     for &bench in &Benchmark::ALL {
@@ -506,7 +599,12 @@ fn change_table(
         sum += change;
         t.row(vec![bench.short_name().into(), f2(b), f2(p), pct(change)]);
     }
-    t.row(vec!["AVG".into(), String::new(), String::new(), pct(sum / 15.0)]);
+    t.row(vec![
+        "AVG".into(),
+        String::new(),
+        String::new(),
+        pct(sum / 15.0),
+    ]);
     println!("{}", t.render());
     println!("{note}");
 }
@@ -551,8 +649,11 @@ fn ablation_grid(r: &mut Runner) {
     ];
     let mut t = Table::new(&["threshold", "atomic", "unreg", "n=2", "n=4", "cost-reg"]);
     for th in [0u32, 16, 64, 256] {
-        let mut cells =
-            vec![if th == 0 { "none".to_owned() } else { th.to_string() }];
+        let mut cells = vec![if th == 0 {
+            "none".to_owned()
+        } else {
+            th.to_string()
+        }];
         for (_, policy) in policies {
             let config = if th == 0 {
                 SimConfig::packing(policy)
@@ -560,7 +661,9 @@ fn ablation_grid(r: &mut Runner) {
                 SimConfig::promotion_packing(th, policy)
             };
             let reports = r.run_suite(&config);
-            cells.push(f2(mean(reports.iter().map(SimReport::effective_fetch_rate))));
+            cells.push(f2(mean(
+                reports.iter().map(SimReport::effective_fetch_rate),
+            )));
         }
         t.row(cells);
     }
@@ -570,19 +673,29 @@ fn ablation_grid(r: &mut Runner) {
 fn ablation_tcsize(r: &mut Runner) {
     println!("Ablation: trace-cache size vs packing (avg effective fetch rate; §5 predicts");
     println!("regulation matters more below 128KB)\n");
-    let mut t = Table::new(&["entries (KB)", "promo only", "promo+unreg", "promo+cost-reg"]);
+    let mut t = Table::new(&[
+        "entries (KB)",
+        "promo only",
+        "promo+unreg",
+        "promo+cost-reg",
+    ]);
     for entries in [64usize, 128, 256, 512, 1024, 2048] {
         let kb = entries * 16 * 4 / 1024;
         let mut cells = vec![format!("{entries} ({kb}KB)")];
-        for policy in [None, Some(PackingPolicy::Unregulated), Some(PackingPolicy::CostRegulated)] {
+        for policy in [
+            None,
+            Some(PackingPolicy::Unregulated),
+            Some(PackingPolicy::CostRegulated),
+        ] {
             let mut config = match policy {
                 None => SimConfig::promotion(64),
                 Some(p) => SimConfig::promotion_packing(64, p),
             };
-            config.front_end.trace_cache =
-                Some(tc_core::TraceCacheConfig::with_entries(entries));
+            config.front_end.trace_cache = Some(tc_core::TraceCacheConfig::with_entries(entries));
             let reports = r.run_suite(&config);
-            cells.push(f2(mean(reports.iter().map(SimReport::effective_fetch_rate))));
+            cells.push(f2(mean(
+                reports.iter().map(SimReport::effective_fetch_rate),
+            )));
         }
         t.row(cells);
     }
@@ -643,16 +756,20 @@ fn ablation_issue(r: &mut Runner) {
 fn ablation_static(r: &mut Runner) {
     println!("Ablation: static (profile-guided) vs dynamic promotion (t=64)");
     println!("(profile: first 500K instructions, min bias 95%, min 32 executions)\n");
-    let mut t = Table::new(&["bench", "dynamic effr", "static effr", "dyn faults", "static faults"]);
+    r.prefetch(&cross(&[SimConfig::promotion(64)]));
+    let mut t = Table::new(&[
+        "bench",
+        "dynamic effr",
+        "static effr",
+        "dyn faults",
+        "static faults",
+    ]);
     for &bench in &Benchmark::ALL {
         let dynamic = r.run(bench, &SimConfig::promotion(64)).clone();
         // Profile the training prefix and build the static table.
         let workload = bench.build();
-        let table = tc_core::StaticPromotionTable::profile(
-            workload.interpreter().take(500_000),
-            32,
-            0.95,
-        );
+        let table =
+            tc_core::StaticPromotionTable::profile(workload.interpreter().take(500_000), 32, 0.95);
         let config = SimConfig::promotion(64).with_static_promotion(table);
         let static_rep = r.run(bench, &config).clone();
         t.row(vec![
@@ -676,7 +793,11 @@ fn ablation_passoc(r: &mut Runner) {
             ("baseline", SimConfig::baseline()),
             ("promo+pack", SimConfig::headline_fetch()),
         ] {
-            let config = if passoc { config.with_path_associativity() } else { config };
+            let config = if passoc {
+                config.with_path_associativity()
+            } else {
+                config
+            };
             let reports = r.run_suite(&config);
             let effr = mean(reports.iter().map(SimReport::effective_fetch_rate));
             let miss = mean(
@@ -684,7 +805,11 @@ fn ablation_passoc(r: &mut Runner) {
                     .iter()
                     .map(|rep| rep.trace_cache.map_or(0.0, |tc| tc.miss_ratio())),
             );
-            t.row(vec![format!("{plabel} / {label}"), f2(effr), format!("{:.3}", miss)]);
+            t.row(vec![
+                format!("{plabel} / {label}"),
+                f2(effr),
+                format!("{:.3}", miss),
+            ]);
         }
     }
     println!("{}", t.render());
@@ -693,8 +818,19 @@ fn ablation_passoc(r: &mut Runner) {
 fn ablation_ras(r: &mut Runner) {
     println!("Ablation: return-address stack depth (suite averages; the paper");
     println!("models an ideal RAS)\n");
-    let mut t = Table::new(&["RAS", "eff fetch rate", "IPC", "ret mispredicts", "misfetch cycles"]);
-    for (label, depth) in [("ideal", None), ("32-deep", Some(32)), ("8-deep", Some(8)), ("2-deep", Some(2))] {
+    let mut t = Table::new(&[
+        "RAS",
+        "eff fetch rate",
+        "IPC",
+        "ret mispredicts",
+        "misfetch cycles",
+    ]);
+    for (label, depth) in [
+        ("ideal", None),
+        ("32-deep", Some(32)),
+        ("8-deep", Some(8)),
+        ("2-deep", Some(2)),
+    ] {
         let config = match depth {
             None => SimConfig::baseline(),
             Some(d) => SimConfig::baseline().with_finite_ras(d),

@@ -1,175 +1,20 @@
-//! Support library for the `paper` harness: memoized simulation runs and
-//! plain-text table rendering.
+//! Support library for the `paper` harness.
+//!
+//! The experiment machinery (memoizing parallel runner, table renderer,
+//! statistics helpers) lives in `tc_sim::harness`; this crate re-exports
+//! it under the historical names so the `paper` binary and external
+//! scripts keep working, and adds [`micro`], a dependency-free
+//! microbenchmark harness for the `benches/` targets (the workspace
+//! builds offline, so Criterion is not available).
 //!
 //! The binary `paper` (see `src/bin/paper.rs`) regenerates every table
 //! and figure of the paper's evaluation:
 //!
 //! ```text
 //! cargo run --release -p tc-bench --bin paper -- all
-//! cargo run --release -p tc-bench --bin paper -- fig10 --insts 2000000
+//! cargo run --release -p tc-bench --bin paper -- fig10 --insts 2000000 --jobs 8
 //! ```
 
-use std::collections::HashMap;
+pub use tc_sim::harness::{f2, mean, pct, percent_change, MatrixRunner as Runner, Table};
 
-use tc_sim::{Processor, SimConfig, SimReport};
-use tc_workloads::{Benchmark, Workload};
-
-/// Memoizing simulation runner: many figures share configurations, so
-/// each `(benchmark, config, budget)` runs once per process.
-pub struct Runner {
-    insts: u64,
-    workloads: HashMap<&'static str, Workload>,
-    cache: HashMap<(&'static str, String), SimReport>,
-    verbose: bool,
-}
-
-impl Runner {
-    /// Creates a runner with a per-run dynamic instruction budget.
-    #[must_use]
-    pub fn new(insts: u64, verbose: bool) -> Runner {
-        Runner { insts, workloads: HashMap::new(), cache: HashMap::new(), verbose }
-    }
-
-    /// The instruction budget per simulation.
-    #[must_use]
-    pub fn insts(&self) -> u64 {
-        self.insts
-    }
-
-    /// Runs (or recalls) one simulation.
-    pub fn run(&mut self, bench: Benchmark, config: &SimConfig) -> &SimReport {
-        let key = (bench.name(), config.label());
-        if !self.cache.contains_key(&key) {
-            let workload =
-                self.workloads.entry(bench.name()).or_insert_with(|| bench.build());
-            if self.verbose {
-                eprintln!("  running {} under {} ...", bench.name(), config.label());
-            }
-            let report =
-                Processor::new(config.clone().with_max_insts(self.insts)).run(workload);
-            self.cache.insert(key.clone(), report);
-        }
-        &self.cache[&key]
-    }
-
-    /// Runs the whole suite under one configuration, returning cloned
-    /// reports in suite order.
-    pub fn run_suite(&mut self, config: &SimConfig) -> Vec<SimReport> {
-        Benchmark::ALL.iter().map(|&b| self.run(b, config).clone()).collect()
-    }
-}
-
-/// A plain-text table printer with right-aligned numeric columns.
-#[derive(Debug, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    #[must_use]
-    pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
-    }
-
-    /// Appends a row (must match the header length).
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
-        self
-    }
-
-    /// Renders the table.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| {
-            let mut line = String::new();
-            for i in 0..cols {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                if i == 0 {
-                    line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
-                } else {
-                    line.push_str(&format!("{:>w$}", cells[i], w = widths[i]));
-                }
-            }
-            line
-        };
-        out.push_str(&fmt_row(&self.header, &widths));
-        out.push('\n');
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Formats a float to 2 decimal places.
-#[must_use]
-pub fn f2(x: f64) -> String {
-    format!("{x:.2}")
-}
-
-/// Formats a percentage with sign to one decimal place.
-#[must_use]
-pub fn pct(x: f64) -> String {
-    format!("{x:+.1}%")
-}
-
-/// Percent change from `from` to `to`.
-#[must_use]
-pub fn percent_change(from: f64, to: f64) -> f64 {
-    if from == 0.0 {
-        0.0
-    } else {
-        (to - from) / from * 100.0
-    }
-}
-
-/// Geometric-mean-free arithmetic average.
-#[must_use]
-pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = xs.into_iter().collect();
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(&["name", "value"]);
-        t.row(vec!["a".into(), "1.00".into()]);
-        t.row(vec!["long-name".into(), "123.45".into()]);
-        let s = t.render();
-        assert!(s.contains("long-name"));
-        assert!(s.lines().count() == 4);
-    }
-
-    #[test]
-    fn helpers() {
-        assert_eq!(f2(1.234), "1.23");
-        assert_eq!(pct(10.0), "+10.0%");
-        assert!((percent_change(10.0, 12.0) - 20.0).abs() < 1e-12);
-        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
-    }
-}
+pub mod micro;

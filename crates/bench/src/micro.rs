@@ -1,0 +1,88 @@
+//! A tiny, dependency-free microbenchmark harness.
+//!
+//! Replaces Criterion for the `benches/` targets so the workspace
+//! builds offline. Each benchmark runs a warm-up, then a fixed number
+//! of timed samples of an adaptively chosen batch size, and reports
+//! min/median/mean time per iteration. Use [`std::hint::black_box`] in
+//! benchmark bodies exactly as with Criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(50);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 12;
+
+/// A named group of benchmarks, printed as a section.
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    /// Starts a group (prints its header).
+    #[must_use]
+    pub fn new(name: &'static str) -> Group {
+        println!("\n{name}");
+        println!("{}", "-".repeat(name.len().max(24)));
+        Group { name }
+    }
+
+    /// Runs one benchmark: `f` is a single iteration whose result is
+    /// consumed. Prints `group/name  min / median / mean` per-iteration
+    /// times.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm up and size the batch so one sample lasts ~SAMPLE_TARGET.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}   ({batch} iters/sample)",
+            format!("{}/{name}", self.name),
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.300 us");
+        assert_eq!(fmt_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(fmt_ns(2_000_000_000.0), "2.000 s");
+    }
+}

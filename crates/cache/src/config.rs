@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// All three dimensions must be powers of two; [`CacheConfig::new`]
 /// validates this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Number of sets.
     pub sets: usize,
@@ -24,13 +24,23 @@ impl CacheConfig {
     /// Panics if any dimension is zero or not a power of two.
     #[must_use]
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> CacheConfig {
-        assert!(sets.is_power_of_two(), "sets must be a power of two, got {sets}");
-        assert!(ways.is_power_of_two(), "ways must be a power of two, got {ways}");
+        assert!(
+            sets.is_power_of_two(),
+            "sets must be a power of two, got {sets}"
+        );
+        assert!(
+            ways.is_power_of_two(),
+            "ways must be a power of two, got {ways}"
+        );
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two, got {line_bytes}"
         );
-        CacheConfig { sets, ways, line_bytes }
+        CacheConfig {
+            sets,
+            ways,
+            line_bytes,
+        }
     }
 
     /// Derives a configuration from a total capacity in bytes.
@@ -120,7 +130,10 @@ mod tests {
 
     #[test]
     fn paper_geometries() {
-        assert_eq!(CacheConfig::paper_support_icache().capacity_bytes(), 4 * 1024);
+        assert_eq!(
+            CacheConfig::paper_support_icache().capacity_bytes(),
+            4 * 1024
+        );
         assert_eq!(CacheConfig::paper_big_icache().capacity_bytes(), 128 * 1024);
         assert_eq!(CacheConfig::paper_dcache().capacity_bytes(), 64 * 1024);
         assert_eq!(CacheConfig::paper_l2().capacity_bytes(), 1024 * 1024);
@@ -149,6 +162,9 @@ mod tests {
 
     #[test]
     fn display_shows_geometry() {
-        assert_eq!(CacheConfig::paper_dcache().to_string(), "64KB 4-way 64B-line");
+        assert_eq!(
+            CacheConfig::paper_dcache().to_string(),
+            "64KB 4-way 64B-line"
+        );
     }
 }

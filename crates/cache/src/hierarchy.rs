@@ -5,7 +5,7 @@ use crate::set_assoc::SetAssocCache;
 use crate::stats::CacheStats;
 
 /// Latency parameters and geometries for the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Instruction cache geometry.
     pub icache: CacheConfig,
@@ -42,7 +42,10 @@ impl HierarchyConfig {
     /// (for the icache-only reference front end).
     #[must_use]
     pub fn paper_icache_only() -> HierarchyConfig {
-        HierarchyConfig { icache: CacheConfig::paper_big_icache(), ..Self::paper_trace_cache() }
+        HierarchyConfig {
+            icache: CacheConfig::paper_big_icache(),
+            ..Self::paper_trace_cache()
+        }
     }
 }
 
@@ -104,9 +107,17 @@ impl MemoryHierarchy {
     }
 
     fn access_through(&mut self, l1_is_icache: bool, addr: u64) -> AccessLatency {
-        let l1 = if l1_is_icache { &mut self.icache } else { &mut self.dcache };
+        let l1 = if l1_is_icache {
+            &mut self.icache
+        } else {
+            &mut self.dcache
+        };
         if l1.access(addr).hit {
-            return AccessLatency { cycles: self.config.l1_latency, l1_hit: true, l2_hit: false };
+            return AccessLatency {
+                cycles: self.config.l1_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
         }
         let l2_hit = self.l2.access(addr).hit;
         let cycles = if l2_hit {
@@ -114,7 +125,11 @@ impl MemoryHierarchy {
         } else {
             self.config.l1_latency + self.config.l2_latency + self.config.memory_latency
         };
-        AccessLatency { cycles, l1_hit: false, l2_hit }
+        AccessLatency {
+            cycles,
+            l1_hit: false,
+            l2_hit,
+        }
     }
 
     /// Fetches the instruction line containing byte address `addr`.

@@ -45,7 +45,11 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> SetAssocCache {
         SetAssocCache {
             config,
-            sets: (0..config.sets).map(|_| Set { tags: Vec::with_capacity(config.ways) }).collect(),
+            sets: (0..config.sets)
+                .map(|_| Set {
+                    tags: Vec::with_capacity(config.ways),
+                })
+                .collect(),
             stats: CacheStats::default(),
         }
     }
@@ -79,7 +83,10 @@ impl SetAssocCache {
             set.tags.remove(pos);
             set.tags.insert(0, tag);
             self.stats.hits += 1;
-            return AccessResult { hit: true, evicted: None };
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
         }
         self.stats.misses += 1;
         let evicted = if set.tags.len() == ways {
@@ -92,7 +99,10 @@ impl SetAssocCache {
             self.stats.evictions += 1;
         }
         set.tags.insert(0, tag);
-        AccessResult { hit: false, evicted }
+        AccessResult {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Checks residency without updating LRU state or statistics.

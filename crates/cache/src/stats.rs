@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Hit/miss/eviction counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that found the line resident.
     pub hits: u64,
@@ -62,8 +62,16 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = CacheStats { hits: 1, misses: 2, evictions: 1 };
-        a.merge(&CacheStats { hits: 3, misses: 4, evictions: 0 });
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 1,
+        };
+        a.merge(&CacheStats {
+            hits: 3,
+            misses: 4,
+            evictions: 0,
+        });
         assert_eq!(a.hits, 4);
         assert_eq!(a.misses, 6);
         assert_eq!(a.accesses(), 10);
@@ -72,7 +80,11 @@ mod tests {
 
     #[test]
     fn display_reports_percentages() {
-        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!(s.to_string().contains("25.00%"));
     }
 }

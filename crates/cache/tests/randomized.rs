@@ -1,0 +1,116 @@
+//! Randomized tests for the set-associative cache model, driven by the
+//! vendored seeded generator (`tc_workloads::rng`) so every run explores
+//! the same cases.
+
+use tc_cache::{CacheConfig, SetAssocCache};
+use tc_workloads::rng::{Rng, Xoshiro256PlusPlus};
+
+fn arb_config(r: &mut Xoshiro256PlusPlus) -> CacheConfig {
+    let s = r.gen_range(0u32..6);
+    let w = r.gen_range(0u32..3);
+    let l = r.gen_range(4u32..8);
+    CacheConfig::new(1 << s, 1 << w, 1 << l)
+}
+
+fn arb_addrs(r: &mut Xoshiro256PlusPlus, max_len: usize, bound: u64) -> Vec<u64> {
+    let n = r.gen_range(1..max_len);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// An access immediately repeated always hits.
+#[test]
+fn repeat_access_hits() {
+    for case in 0u64..256 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xCAC4_0000 + case);
+        let cfg = arb_config(&mut r);
+        let addrs = arb_addrs(&mut r, 200, 1 << 20);
+        let mut c = SetAssocCache::new(cfg);
+        for a in addrs {
+            c.access(a);
+            assert!(
+                c.access(a).hit,
+                "case {case}: address {a:#x} missing right after access"
+            );
+        }
+    }
+}
+
+/// Residency never exceeds capacity, and probe agrees with access
+/// having allocated the line.
+#[test]
+fn residency_bounded_by_capacity() {
+    for case in 0u64..256 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xCAC4_1000 + case);
+        let cfg = arb_config(&mut r);
+        let addrs = arb_addrs(&mut r, 300, 1 << 20);
+        let mut c = SetAssocCache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+            assert!(c.probe(a), "case {case}");
+            assert!(c.resident_lines() <= cfg.sets * cfg.ways, "case {case}");
+        }
+    }
+}
+
+/// A working set that fits in one set's associativity never misses
+/// after the first touch, regardless of access order (true-LRU has no
+/// pathological self-eviction for fitting sets).
+#[test]
+fn fitting_working_set_never_misses_after_warmup() {
+    for case in 0u64..256 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xCAC4_2000 + case);
+        let cfg = arb_config(&mut r);
+        let order: Vec<usize> = {
+            let n = r.gen_range(1usize..100);
+            (0..n).map(|_| r.gen_range(0usize..4)).collect()
+        };
+        // Build a working set of `ways` lines that all map to set 0.
+        let stride = cfg.sets as u64 * cfg.line_bytes;
+        let lines: Vec<u64> = (0..cfg.ways.min(4) as u64).map(|i| i * stride).collect();
+        let mut c = SetAssocCache::new(cfg);
+        for &l in &lines {
+            c.access(l);
+        }
+        let warm_misses = c.stats().misses;
+        for &i in &order {
+            c.access(lines[i % lines.len()]);
+        }
+        assert_eq!(c.stats().misses, warm_misses, "case {case}");
+    }
+}
+
+/// Hits + misses equals accesses; evictions never exceed misses.
+#[test]
+fn counter_consistency() {
+    for case in 0u64..256 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xCAC4_3000 + case);
+        let cfg = arb_config(&mut r);
+        let addrs = if case % 8 == 0 {
+            Vec::new()
+        } else {
+            arb_addrs(&mut r, 300, 1 << 16)
+        };
+        let mut c = SetAssocCache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), addrs.len() as u64, "case {case}");
+        assert!(s.evictions <= s.misses, "case {case}");
+    }
+}
+
+/// Invalidate makes the next access miss; the line then hits again.
+#[test]
+fn invalidate_then_refill() {
+    for case in 0u64..256 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xCAC4_4000 + case);
+        let cfg = arb_config(&mut r);
+        let a = r.gen_range(0u64..1 << 20);
+        let mut c = SetAssocCache::new(cfg);
+        c.access(a);
+        assert!(c.invalidate(a), "case {case}");
+        assert!(!c.access(a).hit, "case {case}");
+        assert!(c.access(a).hit, "case {case}");
+    }
+}

@@ -6,7 +6,7 @@ use crate::fill::PackingPolicy;
 use crate::trace_cache::TraceCacheConfig;
 
 /// Which branch predictor drives the front end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorChoice {
     /// The baseline multiple-branch gshare: 16K entries × 7 2-bit
     /// counters (Figure 3).
@@ -20,7 +20,7 @@ pub enum PredictorChoice {
 }
 
 /// Branch-promotion parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PromotionConfig {
     /// Consecutive-outcome threshold (the paper sweeps 8–256, settles on
     /// 64).
@@ -33,12 +33,15 @@ impl PromotionConfig {
     /// The paper's 8K-entry tagged bias table at `threshold`.
     #[must_use]
     pub fn paper(threshold: u32) -> PromotionConfig {
-        PromotionConfig { threshold, bias: BiasConfig::paper(threshold) }
+        PromotionConfig {
+            threshold,
+            bias: BiasConfig::paper(threshold),
+        }
     }
 }
 
 /// Complete front-end configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontEndConfig {
     /// Trace cache geometry; `None` selects the icache-only reference
     /// front end.
@@ -123,7 +126,10 @@ impl FrontEndConfig {
     /// promotion.
     #[must_use]
     pub fn packing(policy: PackingPolicy) -> FrontEndConfig {
-        FrontEndConfig { packing: policy, ..FrontEndConfig::baseline() }
+        FrontEndConfig {
+            packing: policy,
+            ..FrontEndConfig::baseline()
+        }
     }
 
     /// Promotion and packing combined — the paper's headline
@@ -131,7 +137,10 @@ impl FrontEndConfig {
     /// performance results; unregulated for the fetch-rate studies).
     #[must_use]
     pub fn promotion_packing(threshold: u32, policy: PackingPolicy) -> FrontEndConfig {
-        FrontEndConfig { packing: policy, ..FrontEndConfig::promotion(threshold) }
+        FrontEndConfig {
+            packing: policy,
+            ..FrontEndConfig::promotion(threshold)
+        }
     }
 
     /// Whether this configuration uses a trace cache.

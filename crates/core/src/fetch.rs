@@ -4,8 +4,8 @@
 use tc_cache::MemoryHierarchy;
 use tc_isa::{Addr, ControlKind, ExecRecord, Instr, Program};
 use tc_predict::{
-    BiasTable, GlobalHistory, HybridPredictor, HybridPrediction, IndirectPredictor,
-    MultiPredictor, ReturnStack, SplitMultiPredictor,
+    BiasTable, GlobalHistory, HybridPrediction, HybridPredictor, IndirectPredictor, MultiPredictor,
+    ReturnStack, SplitMultiPredictor,
 };
 
 use crate::config::{FrontEndConfig, PredictorChoice};
@@ -15,7 +15,7 @@ use crate::stats::{FetchStats, TerminationReason};
 use crate::trace_cache::TraceCache;
 
 /// Where a fetch was serviced from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchSource {
     /// The trace cache supplied a segment.
     TraceCache,
@@ -167,8 +167,9 @@ impl FrontEnd {
         config: FrontEndConfig,
         table: crate::promote::StaticPromotionTable,
     ) -> FrontEnd {
-        let fill =
-            config.trace_cache.map(|_| FillUnit::new_static(config.packing, table.clone()));
+        let fill = config
+            .trace_cache
+            .map(|_| FillUnit::new_static(config.packing, table.clone()));
         FrontEnd::with_fill(config, fill)
     }
 
@@ -307,12 +308,21 @@ impl FrontEnd {
             // The hybrid predicts per-branch during the walk.
             Predictor::Hybrid(_) => ([false; 3], 0),
         };
-        let mut pred_ctx = PredContext { history, fetch_pc: pc, mbp_entry, hybrid: None };
+        let mut pred_ctx = PredContext {
+            history,
+            fetch_pc: pc,
+            mbp_entry,
+            hybrid: None,
+        };
 
         if let Some(tc) = self.trace_cache.as_mut() {
             let path_assoc = tc.config().path_assoc;
             let seg_insts: Option<(Vec<SegmentInst>, crate::segment::SegEndReason)> = {
-                let hit = if path_assoc { tc.lookup_best(pc, &dirs) } else { tc.lookup(pc) };
+                let hit = if path_assoc {
+                    tc.lookup_best(pc, &dirs)
+                } else {
+                    tc.lookup(pc)
+                };
                 hit.map(|seg| (seg.insts().to_vec(), seg.end_reason()))
             };
             if let Some((insts, end_reason)) = seg_insts {
@@ -345,7 +355,11 @@ impl FrontEnd {
         // `bandwidth` directions for the line's non-promoted branches.
         let bandwidth = self.predictor_bandwidth();
         let mut preds: Vec<bool> = Vec::with_capacity(bandwidth);
-        for si in insts.iter().filter(|si| si.needs_prediction()).take(bandwidth) {
+        for si in insts
+            .iter()
+            .filter(|si| si.needs_prediction())
+            .take(bandwidth)
+        {
             let p = match &self.predictor {
                 Predictor::Hybrid(h) => {
                     let hp = h.predict(si.pc.byte_addr(), pred_ctx.history);
@@ -587,8 +601,7 @@ impl FrontEnd {
                         promoted: false,
                         active: true,
                     });
-                    next_pc =
-                        NextPc::Known(instr.direct_target().expect("jumps have targets"));
+                    next_pc = NextPc::Known(instr.direct_target().expect("jumps have targets"));
                     break;
                 }
                 ControlKind::Call => {
@@ -600,8 +613,7 @@ impl FrontEnd {
                         promoted: false,
                         active: true,
                     });
-                    next_pc =
-                        NextPc::Known(instr.direct_target().expect("calls have targets"));
+                    next_pc = NextPc::Known(instr.direct_target().expect("calls have targets"));
                     break;
                 }
                 ControlKind::Return => {
@@ -814,7 +826,10 @@ mod tests {
         assert_eq!(bundle.source, FetchSource::TraceCache);
         assert_eq!(bundle.base_reason, TerminationReason::PartialMatch);
         assert_eq!(bundle.active_len, 2, "nop + divergent branch stay active");
-        assert!(!bundle.inactive().is_empty(), "rest of line issues inactively");
+        assert!(
+            !bundle.inactive().is_empty(),
+            "rest of line issues inactively"
+        );
         // Predicted next follows the *prediction* (not taken -> pc 2).
         assert!(matches!(bundle.next_pc, NextPc::Known(a) if a == Addr::new(2)));
     }
@@ -908,9 +923,13 @@ mod issue_mode_tests {
         let program = b.build().unwrap();
         let mut fe = FrontEnd::new(config);
         // Retire the taken path + a return to finalize.
-        for (pc, taken, next) in
-            [(0u32, false, 1u32), (1, true, 3), (3, false, 4), (4, true, 6), (6, false, 7)]
-        {
+        for (pc, taken, next) in [
+            (0u32, false, 1u32),
+            (1, true, 3),
+            (3, false, 4),
+            (4, true, 6),
+            (6, false, 7),
+        ] {
             fe.retire(&ExecRecord {
                 pc: Addr::new(pc),
                 instr: program.fetch(Addr::new(pc)).unwrap(),
@@ -934,8 +953,10 @@ mod issue_mode_tests {
     fn no_partial_matching_supplies_first_block_only() {
         // The fresh predictor predicts not-taken; the segment embeds
         // taken at both branches, so the line diverges at branch 1.
-        let config =
-            FrontEndConfig { partial_matching: false, ..FrontEndConfig::baseline() };
+        let config = FrontEndConfig {
+            partial_matching: false,
+            ..FrontEndConfig::baseline()
+        };
         let (mut fe, program, mut mem) = two_block_frontend(config);
         let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
         assert_eq!(bundle.source, FetchSource::TraceCache);
@@ -957,15 +978,25 @@ mod issue_mode_tests {
 
     #[test]
     fn no_inactive_issue_discards_off_path_suffix() {
-        let config = FrontEndConfig { inactive_issue: false, ..FrontEndConfig::baseline() };
+        let config = FrontEndConfig {
+            inactive_issue: false,
+            ..FrontEndConfig::baseline()
+        };
         let (mut fe, program, mut mem) = two_block_frontend(config);
         let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
-        assert_eq!(bundle.active_len, bundle.insts.len(), "no inactive instructions issued");
+        assert_eq!(
+            bundle.active_len,
+            bundle.insts.len(),
+            "no inactive instructions issued"
+        );
     }
 
     #[test]
     fn finite_ras_drops_deep_returns() {
-        let config = FrontEndConfig { ras_depth: Some(1), ..FrontEndConfig::baseline() };
+        let config = FrontEndConfig {
+            ras_depth: Some(1),
+            ..FrontEndConfig::baseline()
+        };
         let mut b = ProgramBuilder::new();
         let f1 = b.new_label("f1");
         b.call(f1); // 0

@@ -7,11 +7,13 @@ use tc_isa::{ControlKind, ExecRecord};
 use tc_predict::{BiasDecision, BiasTable};
 
 use crate::promote::StaticPromotionTable;
-use crate::segment::{SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS};
+use crate::segment::{
+    SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS,
+};
 
 /// How the fill unit treats a retired block that does not fit in the
 /// pending segment (§5 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackingPolicy {
     /// Fetch blocks are atomic: the pending segment is finalized and the
     /// block starts the next segment (the paper's baseline).
@@ -48,7 +50,7 @@ impl std::fmt::Display for PackingPolicy {
 }
 
 /// Fill-unit statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FillStats {
     /// Segments finalized.
     pub segments: u64,
@@ -130,7 +132,10 @@ impl FillUnit {
     /// Creates a fill unit with static (profile-guided) promotion.
     #[must_use]
     pub fn new_static(policy: PackingPolicy, table: StaticPromotionTable) -> FillUnit {
-        FillUnit { promoter: Promoter::Static(table), ..FillUnit::new(policy, None) }
+        FillUnit {
+            promoter: Promoter::Static(table),
+            ..FillUnit::new(policy, None)
+        }
     }
 
     /// The packing policy in force.
@@ -225,7 +230,8 @@ impl FillUnit {
         let insts = std::mem::take(&mut self.pending);
         self.stats.segments += 1;
         self.stats.segment_insts += insts.len() as u64;
-        self.stats.promoted_embedded += insts.iter().filter(|i| i.promoted.is_some()).count() as u64;
+        self.stats.promoted_embedded +=
+            insts.iter().filter(|i| i.promoted.is_some()).count() as u64;
         self.stats.dynamic_embedded += insts.iter().filter(|i| i.needs_prediction()).count() as u64;
         self.finalized.push_back(TraceSegment::new(insts, reason));
     }
@@ -300,7 +306,12 @@ mod tests {
         for i in 0..n {
             let is_last = i == n - 1;
             let instr = if is_last {
-                Instr::Branch { cond: Cond::Eq, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(*pc + 100) }
+                Instr::Branch {
+                    cond: Cond::Eq,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                    target: Addr::new(*pc + 100),
+                }
             } else {
                 Instr::Nop
             };
@@ -419,7 +430,12 @@ mod tests {
         for i in 0..12u32 {
             let is_last = i == 11;
             let instr = if is_last {
-                Instr::Branch { cond: Cond::Ne, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(0) }
+                Instr::Branch {
+                    cond: Cond::Ne,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                    target: Addr::new(0),
+                }
             } else {
                 Instr::Nop
             };
@@ -463,7 +479,12 @@ mod tests {
         });
         fill.retire(&ExecRecord {
             pc: Addr::new(1),
-            instr: Instr::Branch { cond: Cond::Ne, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(0) },
+            instr: Instr::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                target: Addr::new(0),
+            },
             next_pc: Addr::new(0),
             taken: true,
             mem_addr: None,
@@ -472,7 +493,12 @@ mod tests {
 
     #[test]
     fn promotion_embeds_static_branches_and_lifts_branch_limit() {
-        let bias = BiasTable::new(BiasConfig { entries: 64, threshold: 4, counter_bits: 8, tagged: true });
+        let bias = BiasTable::new(BiasConfig {
+            entries: 64,
+            threshold: 4,
+            counter_bits: 8,
+            tagged: true,
+        });
         let mut f = FillUnit::new(PackingPolicy::Atomic, Some(bias));
         // Warm the bias table on the loop's back-edge branch.
         for _ in 0..8 {
@@ -484,7 +510,9 @@ mod tests {
         for _ in 0..8 {
             feed_loop_iteration(&mut f);
         }
-        let seg = f.pop_segment().expect("promoted loop packs into one segment");
+        let seg = f
+            .pop_segment()
+            .expect("promoted loop packs into one segment");
         assert_eq!(seg.len(), 16);
         assert_eq!(seg.dynamic_branch_count(), 0);
         assert_eq!(seg.promoted_count(), 8);

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use tc_isa::{Addr, ExecRecord};
 
 /// Profile-derived set of statically promoted branches.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StaticPromotionTable {
     /// Branch address (instruction index) → promoted direction.
     promoted: HashMap<u32, bool>,
@@ -43,7 +43,10 @@ impl StaticPromotionTable {
         min_executions: u64,
         min_bias: f64,
     ) -> StaticPromotionTable {
-        assert!(min_bias > 0.5 && min_bias <= 1.0, "min_bias must be in (0.5, 1.0]");
+        assert!(
+            min_bias > 0.5 && min_bias <= 1.0,
+            "min_bias must be in (0.5, 1.0]"
+        );
         let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
         for rec in stream {
             if rec.is_cond_branch() {

@@ -9,7 +9,7 @@ pub const MAX_SEGMENT_BRANCHES: usize = 3;
 
 /// Why the fill unit finalized a segment. Feeds the fetch-termination
 /// histogram of the paper's Figures 4 and 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegEndReason {
     /// Reached 16 instructions exactly.
     MaxSize,
@@ -100,7 +100,10 @@ impl TraceSegment {
     #[must_use]
     pub fn new(insts: Vec<SegmentInst>, end_reason: SegEndReason) -> TraceSegment {
         assert!(!insts.is_empty(), "trace segment cannot be empty");
-        assert!(insts.len() <= MAX_SEGMENT_INSTS, "trace segment over 16 instructions");
+        assert!(
+            insts.len() <= MAX_SEGMENT_INSTS,
+            "trace segment over 16 instructions"
+        );
         let branches = insts.iter().filter(|i| i.needs_prediction()).count();
         assert!(
             branches <= MAX_SEGMENT_BRANCHES,
@@ -227,7 +230,12 @@ mod tests {
     use tc_isa::{Cond, Reg};
 
     fn nop(pc: u32) -> SegmentInst {
-        SegmentInst { pc: Addr::new(pc), instr: Instr::Nop, taken: false, promoted: None }
+        SegmentInst {
+            pc: Addr::new(pc),
+            instr: Instr::Nop,
+            taken: false,
+            promoted: None,
+        }
     }
 
     fn branch(pc: u32, target: u32, taken: bool, promoted: Option<bool>) -> SegmentInst {
@@ -247,7 +255,13 @@ mod tests {
     #[test]
     fn full_match_consumes_predictions() {
         let seg = TraceSegment::new(
-            vec![nop(0), branch(1, 10, true, None), nop(10), branch(11, 0, false, None), nop(12)],
+            vec![
+                nop(0),
+                branch(1, 10, true, None),
+                nop(10),
+                branch(11, 0, false, None),
+                nop(12),
+            ],
             SegEndReason::AtomicBlock,
         );
         let (active, used, full) = seg.match_predictions(&[true, false, true]);
@@ -331,7 +345,12 @@ mod tests {
         let ret = TraceSegment::new(
             vec![
                 nop(0),
-                SegmentInst { pc: Addr::new(1), instr: Instr::Ret, taken: false, promoted: None },
+                SegmentInst {
+                    pc: Addr::new(1),
+                    instr: Instr::Ret,
+                    taken: false,
+                    promoted: None,
+                },
             ],
             SegEndReason::RetIndTrap,
         );

@@ -4,7 +4,7 @@ use crate::segment::SegEndReason;
 
 /// Why a fetch delivered no more instructions than it did — the seven
 /// categories of the paper's Figures 4 and 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TerminationReason {
     /// The predicted path diverged from the trace segment; only the
     /// matching prefix issued actively.
@@ -53,7 +53,10 @@ impl TerminationReason {
     }
 
     fn index(self) -> usize {
-        TerminationReason::ALL.iter().position(|&r| r == self).expect("reason in ALL")
+        TerminationReason::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("reason in ALL")
     }
 }
 
@@ -72,7 +75,7 @@ impl From<SegEndReason> for TerminationReason {
 pub const MAX_FETCH: usize = 16;
 
 /// Per-front-end fetch statistics.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct FetchStats {
     /// `histogram[reason][size]`: count of fetches of each size (0..=16
     /// correct-path instructions) by termination reason.
@@ -207,7 +210,10 @@ mod tests {
 
     #[test]
     fn seg_end_reason_maps_onto_categories() {
-        assert_eq!(TerminationReason::from(SegEndReason::MaxSize), TerminationReason::MaxSize);
+        assert_eq!(
+            TerminationReason::from(SegEndReason::MaxSize),
+            TerminationReason::MaxSize
+        );
         assert_eq!(
             TerminationReason::from(SegEndReason::MaxBranches),
             TerminationReason::MaximumBrs

@@ -5,7 +5,7 @@ use tc_isa::Addr;
 use crate::segment::TraceSegment;
 
 /// Trace cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceCacheConfig {
     /// Total entries (lines); the paper uses 2K (~128 KB of instruction
     /// storage at 16 4-byte instructions per line).
@@ -24,7 +24,11 @@ impl TraceCacheConfig {
     /// associativity).
     #[must_use]
     pub fn paper() -> TraceCacheConfig {
-        TraceCacheConfig { entries: 2048, ways: 4, path_assoc: false }
+        TraceCacheConfig {
+            entries: 2048,
+            ways: 4,
+            path_assoc: false,
+        }
     }
 
     /// A scaled configuration with the same associativity (for the size
@@ -32,7 +36,10 @@ impl TraceCacheConfig {
     /// must be a power of two).
     #[must_use]
     pub fn with_entries(entries: usize) -> TraceCacheConfig {
-        TraceCacheConfig { entries, ..TraceCacheConfig::paper() }
+        TraceCacheConfig {
+            entries,
+            ..TraceCacheConfig::paper()
+        }
     }
 
     /// Enables path associativity.
@@ -48,8 +55,14 @@ impl TraceCacheConfig {
 
     fn validate(&self) {
         assert!(self.ways > 0 && self.entries >= self.ways);
-        assert!(self.entries % self.ways == 0, "entries must divide into ways");
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.entries % self.ways == 0,
+            "entries must divide into ways"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 
     /// Approximate instruction storage in bytes (16 instructions × 4
@@ -61,7 +74,7 @@ impl TraceCacheConfig {
 }
 
 /// Hit/miss counters for the trace cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceCacheStats {
     /// Lookups that found a segment starting at the fetch address.
     pub hits: u64,
@@ -124,7 +137,9 @@ impl TraceCache {
         config.validate();
         TraceCache {
             config,
-            sets: (0..config.sets()).map(|_| Vec::with_capacity(config.ways)).collect(),
+            sets: (0..config.sets())
+                .map(|_| Vec::with_capacity(config.ways))
+                .collect(),
             stats: TraceCacheStats::default(),
         }
     }
@@ -199,7 +214,9 @@ impl TraceCache {
     #[must_use]
     pub fn probe(&self, start: Addr) -> Option<&TraceSegment> {
         let set = &self.sets[self.set_index(start)];
-        set.iter().find(|w| w.segment.start() == start).map(|w| &w.segment)
+        set.iter()
+            .find(|w| w.segment.start() == start)
+            .map(|w| &w.segment)
     }
 
     /// Writes a segment built by the fill unit.
@@ -214,7 +231,9 @@ impl TraceCache {
         let ways = self.config.ways;
         let path_assoc = self.config.path_assoc;
         let set = &mut self.sets[si];
-        let same_start = set.iter().position(|w| w.segment.start() == segment.start());
+        let same_start = set
+            .iter()
+            .position(|w| w.segment.start() == segment.start());
         if let Some(pos) = same_start {
             if set[pos].segment == segment {
                 let way = set.remove(pos);
@@ -225,9 +244,7 @@ impl TraceCache {
             if path_assoc {
                 // A different path: check the whole set for an identical
                 // segment before writing a new way.
-                if let Some(dup) =
-                    set.iter().position(|w| w.segment == segment)
-                {
+                if let Some(dup) = set.iter().position(|w| w.segment == segment) {
                     let way = set.remove(dup);
                     set.insert(0, way);
                     self.stats.duplicate_fills += 1;
@@ -258,7 +275,10 @@ impl TraceCache {
     /// capacity, a measure of fragmentation (packing raises this).
     #[must_use]
     pub fn stored_instructions(&self) -> usize {
-        self.sets.iter().flat_map(|s| s.iter().map(|w| w.segment.len())).sum()
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| w.segment.len()))
+            .sum()
     }
 }
 
@@ -281,7 +301,11 @@ mod tests {
     }
 
     fn small_cache() -> TraceCache {
-        TraceCache::new(TraceCacheConfig { entries: 8, ways: 2, path_assoc: false })
+        TraceCache::new(TraceCacheConfig {
+            entries: 8,
+            ways: 2,
+            path_assoc: false,
+        })
     }
 
     #[test]
@@ -322,7 +346,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut tc = small_cache(); // 4 sets, 2 ways
-        // Three segments mapping to set 0 (addresses multiple of 4).
+                                    // Three segments mapping to set 0 (addresses multiple of 4).
         tc.fill(seg(0, 3));
         tc.fill(seg(4, 3));
         tc.lookup(Addr::new(0)); // refresh 0
@@ -352,7 +376,12 @@ mod path_assoc_tests {
     /// `start+1` embeds direction `taken`.
     fn seg_with_branch(start: u32, taken: bool) -> TraceSegment {
         let insts = vec![
-            SegmentInst { pc: Addr::new(start), instr: Instr::Nop, taken: false, promoted: None },
+            SegmentInst {
+                pc: Addr::new(start),
+                instr: Instr::Nop,
+                taken: false,
+                promoted: None,
+            },
             SegmentInst {
                 pc: Addr::new(start + 1),
                 instr: Instr::Branch {
@@ -376,7 +405,11 @@ mod path_assoc_tests {
 
     #[test]
     fn path_associativity_keeps_both_paths() {
-        let cfg = TraceCacheConfig { entries: 8, ways: 4, path_assoc: true };
+        let cfg = TraceCacheConfig {
+            entries: 8,
+            ways: 4,
+            path_assoc: true,
+        };
         let mut tc = TraceCache::new(cfg);
         tc.fill(seg_with_branch(0x10, true));
         tc.fill(seg_with_branch(0x10, false));
@@ -390,7 +423,11 @@ mod path_assoc_tests {
 
     #[test]
     fn without_path_assoc_second_path_replaces_first() {
-        let mut tc = TraceCache::new(TraceCacheConfig { entries: 8, ways: 4, path_assoc: false });
+        let mut tc = TraceCache::new(TraceCacheConfig {
+            entries: 8,
+            ways: 4,
+            path_assoc: false,
+        });
         tc.fill(seg_with_branch(0x10, true));
         tc.fill(seg_with_branch(0x10, false));
         assert_eq!(tc.resident(), 1);
@@ -399,7 +436,11 @@ mod path_assoc_tests {
 
     #[test]
     fn path_assoc_duplicate_fill_refreshes() {
-        let cfg = TraceCacheConfig { entries: 8, ways: 4, path_assoc: true };
+        let cfg = TraceCacheConfig {
+            entries: 8,
+            ways: 4,
+            path_assoc: true,
+        };
         let mut tc = TraceCache::new(cfg);
         tc.fill(seg_with_branch(0x10, true));
         tc.fill(seg_with_branch(0x10, false));

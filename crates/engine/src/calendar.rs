@@ -23,7 +23,11 @@ impl FuCalendar {
     #[must_use]
     pub fn new(slots_per_cycle: u32) -> FuCalendar {
         assert!(slots_per_cycle > 0, "at least one functional unit required");
-        FuCalendar { slots_per_cycle, base: 0, used: VecDeque::new() }
+        FuCalendar {
+            slots_per_cycle,
+            base: 0,
+            used: VecDeque::new(),
+        }
     }
 
     /// Allocates one slot at the earliest cycle `>= earliest` with
@@ -64,7 +68,10 @@ impl FuCalendar {
         if cycle < self.base {
             return 0;
         }
-        self.used.get((cycle - self.base) as usize).copied().unwrap_or(0)
+        self.used
+            .get((cycle - self.base) as usize)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -77,7 +84,11 @@ mod tests {
         let mut c = FuCalendar::new(2);
         assert_eq!(c.allocate(5), 5);
         assert_eq!(c.allocate(5), 5);
-        assert_eq!(c.allocate(5), 6, "third allocation spills to the next cycle");
+        assert_eq!(
+            c.allocate(5),
+            6,
+            "third allocation spills to the next cycle"
+        );
         assert_eq!(c.used_at(5), 2);
         assert_eq!(c.used_at(6), 1);
     }

@@ -1,7 +1,7 @@
 //! Execution-engine configuration.
 
 /// Parameters of the execution core (paper §3 defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Universal functional units (16).
     pub fus: usize,
@@ -32,7 +32,10 @@ impl EngineConfig {
     /// The paper's §6 core with perfect memory disambiguation.
     #[must_use]
     pub fn paper_perfect() -> EngineConfig {
-        EngineConfig { perfect_disambiguation: true, ..EngineConfig::paper_realistic() }
+        EngineConfig {
+            perfect_disambiguation: true,
+            ..EngineConfig::paper_realistic()
+        }
     }
 }
 

@@ -22,7 +22,7 @@ pub struct IssueTimes {
 }
 
 /// Aggregate engine statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Instructions issued into the window.
     pub issued: u64,
@@ -164,7 +164,9 @@ impl ExecutionEngine {
         // Memory ordering for loads.
         if rec.instr.is_load() {
             let addr = rec.mem_addr.expect("loads carry addresses");
-            ready = self.memdep.load_start(addr, ready, self.config.perfect_disambiguation);
+            ready = self
+                .memdep
+                .load_start(addr, ready, self.config.perfect_disambiguation);
             self.stats.loads += 1;
         }
         // Functional-unit allocation.
@@ -191,8 +193,7 @@ impl ExecutionEngine {
         }
         // In-order retirement, `retire_width` per cycle.
         let mut retire = done.max(self.last_retire_cycle);
-        if retire == self.last_retire_cycle && self.retired_this_cycle >= self.config.retire_width
-        {
+        if retire == self.last_retire_cycle && self.retired_this_cycle >= self.config.retire_width {
             retire += 1;
         }
         if retire > self.last_retire_cycle {
@@ -202,7 +203,11 @@ impl ExecutionEngine {
             self.retired_this_cycle += 1;
         }
         self.in_flight.push_back(retire);
-        IssueTimes { exec_start, done, retire }
+        IssueTimes {
+            exec_start,
+            done,
+            retire,
+        }
     }
 }
 
@@ -219,7 +224,12 @@ mod tests {
     fn alu(rd: Reg, rs1: Reg, rs2: Reg) -> ExecRecord {
         ExecRecord {
             pc: Addr::new(0),
-            instr: Instr::Alu { op: AluOp::Add, rd, rs1, rs2 },
+            instr: Instr::Alu {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                rs2,
+            },
             next_pc: Addr::new(1),
             taken: false,
             mem_addr: None,
@@ -229,7 +239,11 @@ mod tests {
     fn load(rd: Reg, addr: u64) -> ExecRecord {
         ExecRecord {
             pc: Addr::new(0),
-            instr: Instr::Load { rd, base: Reg::SP, offset: 0 },
+            instr: Instr::Load {
+                rd,
+                base: Reg::SP,
+                offset: 0,
+            },
             next_pc: Addr::new(1),
             taken: false,
             mem_addr: Some(addr),
@@ -239,7 +253,11 @@ mod tests {
     fn store(src: Reg, addr: u64) -> ExecRecord {
         ExecRecord {
             pc: Addr::new(0),
-            instr: Instr::Store { src, base: Reg::SP, offset: 0 },
+            instr: Instr::Store {
+                src,
+                base: Reg::SP,
+                offset: 0,
+            },
             next_pc: Addr::new(1),
             taken: false,
             mem_addr: Some(addr),
@@ -270,14 +288,21 @@ mod tests {
         let mut m = mem();
         let mut starts = Vec::new();
         for _ in 0..20 {
-            starts.push(e.issue(&alu(Reg::T0, Reg::T1, Reg::T2), 0, &mut m).exec_start);
+            starts.push(
+                e.issue(&alu(Reg::T0, Reg::T1, Reg::T2), 0, &mut m)
+                    .exec_start,
+            );
         }
         // Wait: T0 dest makes them dependent — use distinct dests? All
         // write T0 but read T1/T2 (independent reads). Writes serialize
         // only through readers; our model tracks last-writer time, so
         // each write just overwrites reg_ready — execution can overlap.
         let first = starts[0];
-        assert_eq!(starts.iter().filter(|&&s| s == first).count(), 16, "16 FUs fill one cycle");
+        assert_eq!(
+            starts.iter().filter(|&&s| s == first).count(),
+            16,
+            "16 FUs fill one cycle"
+        );
         assert!(starts[16] > first);
     }
 
@@ -337,7 +362,10 @@ mod tests {
 
     #[test]
     fn window_fills_and_drains() {
-        let cfg = EngineConfig { window: 4, ..EngineConfig::paper_realistic() };
+        let cfg = EngineConfig {
+            window: 4,
+            ..EngineConfig::paper_realistic()
+        };
         let mut e = ExecutionEngine::new(cfg);
         let mut m = mem();
         for _ in 0..4 {
@@ -355,7 +383,10 @@ mod tests {
         let mut e = ExecutionEngine::new(EngineConfig::paper_realistic());
         let mut m = mem();
         let cold = e.issue(&load(Reg::T0, 0x999), 0, &mut m);
-        assert!(cold.done - cold.exec_start >= 57, "cold load pays the memory latency");
+        assert!(
+            cold.done - cold.exec_start >= 57,
+            "cold load pays the memory latency"
+        );
         let mut e2 = ExecutionEngine::new(EngineConfig::paper_realistic());
         let warm = {
             m.data_access(0x999 * 8);

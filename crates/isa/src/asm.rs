@@ -32,7 +32,9 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::DuplicateBind { name } => write!(f, "label `{name}` bound twice"),
-            AsmError::UnboundLabel { name } => write!(f, "label `{name}` referenced but never bound"),
+            AsmError::UnboundLabel { name } => {
+                write!(f, "label `{name}` referenced but never bound")
+            }
             AsmError::Invalid(e) => write!(f, "invalid program: {e}"),
         }
     }
@@ -99,7 +101,10 @@ impl ProgramBuilder {
 
     /// Creates a fresh label with a diagnostic `name`.
     pub fn new_label(&mut self, name: impl Into<String>) -> Label {
-        self.labels.push(LabelInfo { name: name.into(), addr: None });
+        self.labels.push(LabelInfo {
+            name: name.into(),
+            addr: None,
+        });
         Label(self.labels.len() - 1)
     }
 
@@ -111,7 +116,9 @@ impl ProgramBuilder {
     pub fn bind(&mut self, label: Label) -> Result<&mut Self, AsmError> {
         let info = &mut self.labels[label.0];
         if info.addr.is_some() {
-            return Err(AsmError::DuplicateBind { name: info.name.clone() });
+            return Err(AsmError::DuplicateBind {
+                name: info.name.clone(),
+            });
         }
         info.addr = Some(Addr::new(self.instrs.len() as u32));
         Ok(self)
@@ -269,7 +276,12 @@ impl ProgramBuilder {
     /// Conditional branch to `target`.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instr::Branch { cond, rs1, rs2, target: Addr::new(u32::MAX) })
+        self.push(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: Addr::new(u32::MAX),
+        })
     }
 
     /// `beq rs1, rs2, target`
@@ -305,13 +317,17 @@ impl ProgramBuilder {
     /// Unconditional jump to `target`.
     pub fn jump(&mut self, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instr::Jump { target: Addr::new(u32::MAX) })
+        self.push(Instr::Jump {
+            target: Addr::new(u32::MAX),
+        })
     }
 
     /// Direct call to `target` (`ra = return address`).
     pub fn call(&mut self, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instr::Call { target: Addr::new(u32::MAX) })
+        self.push(Instr::Call {
+            target: Addr::new(u32::MAX),
+        })
     }
 
     /// Return through the link register.
@@ -383,7 +399,9 @@ impl ProgramBuilder {
         let mut entry = self.entry;
         for &(at, label) in &self.fixups {
             let info = &self.labels[label.0];
-            let addr = info.addr.ok_or_else(|| AsmError::UnboundLabel { name: info.name.clone() })?;
+            let addr = info.addr.ok_or_else(|| AsmError::UnboundLabel {
+                name: info.name.clone(),
+            })?;
             if at == usize::MAX {
                 entry = addr;
                 continue;
@@ -414,7 +432,12 @@ mod tests {
         b.bind(fwd).unwrap();
         b.halt();
         let p = b.build().unwrap();
-        assert_eq!(p.fetch(Addr::new(0)), Some(Instr::Jump { target: Addr::new(2) }));
+        assert_eq!(
+            p.fetch(Addr::new(0)),
+            Some(Instr::Jump {
+                target: Addr::new(2)
+            })
+        );
     }
 
     #[test]
@@ -441,7 +464,13 @@ mod tests {
         b.bind(t).unwrap();
         b.halt();
         let p = b.build().unwrap();
-        assert_eq!(p.fetch(Addr::new(0)), Some(Instr::Li { rd: Reg::T0, imm: 3 }));
+        assert_eq!(
+            p.fetch(Addr::new(0)),
+            Some(Instr::Li {
+                rd: Reg::T0,
+                imm: 3
+            })
+        );
     }
 
     #[test]

@@ -428,7 +428,12 @@ impl fmt::Display for Instr {
             Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
             Instr::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Instr::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{cond} {rs1}, {rs2}, {target}")
             }
             Instr::Jump { target } => write!(f, "j {target}"),
@@ -483,11 +488,21 @@ mod tests {
     fn control_kinds_classify_per_paper() {
         assert!(!Instr::Nop.control_kind().is_control());
         assert!(Instr::Ret.control_kind().ends_segment());
-        assert!(Instr::JumpInd { base: Reg::T0 }.control_kind().ends_segment());
+        assert!(Instr::JumpInd { base: Reg::T0 }
+            .control_kind()
+            .ends_segment());
         assert!(Instr::Trap { code: 0 }.control_kind().ends_segment());
         // Jumps and calls do not end segments (paper §3).
-        assert!(!Instr::Jump { target: Addr::new(0) }.control_kind().ends_segment());
-        assert!(!Instr::Call { target: Addr::new(0) }.control_kind().ends_segment());
+        assert!(!Instr::Jump {
+            target: Addr::new(0)
+        }
+        .control_kind()
+        .ends_segment());
+        assert!(!Instr::Call {
+            target: Addr::new(0)
+        }
+        .control_kind()
+        .ends_segment());
         assert!(!Instr::Branch {
             cond: Cond::Eq,
             rs1: Reg::T0,
@@ -500,21 +515,37 @@ mod tests {
 
     #[test]
     fn dest_and_sources_ignore_zero_register() {
-        let i = Instr::Alu { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::T1 };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::T1,
+        };
         assert_eq!(i.dest(), None);
         assert_eq!(i.sources(), [None, Some(Reg::T1)]);
     }
 
     #[test]
     fn calls_write_the_link_register() {
-        assert_eq!(Instr::Call { target: Addr::new(5) }.dest(), Some(Reg::RA));
+        assert_eq!(
+            Instr::Call {
+                target: Addr::new(5)
+            }
+            .dest(),
+            Some(Reg::RA)
+        );
         assert_eq!(Instr::CallInd { base: Reg::T0 }.dest(), Some(Reg::RA));
         assert_eq!(Instr::Ret.sources(), [Some(Reg::RA), None]);
     }
 
     #[test]
     fn latency_uses_alu_op_latency() {
-        let mul = Instr::Alu { op: AluOp::Mul, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 };
+        let mul = Instr::Alu {
+            op: AluOp::Mul,
+            rd: Reg::T0,
+            rs1: Reg::T1,
+            rs2: Reg::T2,
+        };
         assert_eq!(mul.latency(), 3);
         assert_eq!(Instr::Nop.latency(), 1);
     }
@@ -522,14 +553,44 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let instrs = [
-            Instr::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T1, rs2: Reg::T2 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T1, imm: -3 },
-            Instr::Li { rd: Reg::T0, imm: 9 },
-            Instr::Load { rd: Reg::T0, base: Reg::SP, offset: 1 },
-            Instr::Store { src: Reg::T0, base: Reg::SP, offset: -1 },
-            Instr::Branch { cond: Cond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, target: Addr::new(3) },
-            Instr::Jump { target: Addr::new(4) },
-            Instr::Call { target: Addr::new(8) },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                imm: -3,
+            },
+            Instr::Li {
+                rd: Reg::T0,
+                imm: 9,
+            },
+            Instr::Load {
+                rd: Reg::T0,
+                base: Reg::SP,
+                offset: 1,
+            },
+            Instr::Store {
+                src: Reg::T0,
+                base: Reg::SP,
+                offset: -1,
+            },
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                target: Addr::new(3),
+            },
+            Instr::Jump {
+                target: Addr::new(4),
+            },
+            Instr::Call {
+                target: Addr::new(8),
+            },
             Instr::Ret,
             Instr::JumpInd { base: Reg::T3 },
             Instr::CallInd { base: Reg::T3 },

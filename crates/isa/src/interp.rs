@@ -33,7 +33,11 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
-            ExecError::MemOutOfBounds { pc, addr, mem_words } => write!(
+            ExecError::MemOutOfBounds {
+                pc,
+                addr,
+                mem_words,
+            } => write!(
                 f,
                 "memory access at {pc} touches word {addr:#x} outside {mem_words:#x}-word memory"
             ),
@@ -151,7 +155,11 @@ impl Machine {
         if (addr as usize) < self.mem.len() {
             Ok(addr)
         } else {
-            Err(ExecError::MemOutOfBounds { pc, addr, mem_words: self.mem.len() as u64 })
+            Err(ExecError::MemOutOfBounds {
+                pc,
+                addr,
+                mem_words: self.mem.len() as u64,
+            })
         }
     }
 
@@ -193,7 +201,12 @@ impl Machine {
                 mem_addr = Some(addr);
                 self.mem[addr as usize] = self.reg(src);
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 taken = cond.eval(self.reg(rs1), self.reg(rs2));
                 if taken {
                     next_pc = target;
@@ -224,7 +237,13 @@ impl Machine {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(StepOutcome::Executed(ExecRecord { pc, instr, next_pc, taken, mem_addr }))
+        Ok(StepOutcome::Executed(ExecRecord {
+            pc,
+            instr,
+            next_pc,
+            taken,
+            mem_addr,
+        }))
     }
 }
 
@@ -245,14 +264,22 @@ impl<'p> Interpreter<'p> {
     /// data memory.
     #[must_use]
     pub fn new(program: &'p Program, mem_words: usize) -> Interpreter<'p> {
-        Interpreter { program, machine: Machine::new(program.entry(), mem_words), error: None }
+        Interpreter {
+            program,
+            machine: Machine::new(program.entry(), mem_words),
+            error: None,
+        }
     }
 
     /// Creates an interpreter from a pre-initialized machine (e.g. with a
     /// loaded data image).
     #[must_use]
     pub fn with_machine(program: &'p Program, machine: Machine) -> Interpreter<'p> {
-        Interpreter { program, machine, error: None }
+        Interpreter {
+            program,
+            machine,
+            error: None,
+        }
     }
 
     /// The underlying machine state.
@@ -359,7 +386,11 @@ mod tests {
     #[test]
     fn memory_roundtrip_and_stack_convention() {
         let mut b = ProgramBuilder::new();
-        b.li(Reg::T0, 99).push_regs(&[Reg::T0]).li(Reg::T0, 0).pop_regs(&[Reg::T0]).halt();
+        b.li(Reg::T0, 99)
+            .push_regs(&[Reg::T0])
+            .li(Reg::T0, 0)
+            .pop_regs(&[Reg::T0])
+            .halt();
         let p = b.build().unwrap();
         let mut i = Interpreter::new(&p, 128);
         let sp0 = i.machine().reg(Reg::SP);

@@ -95,7 +95,10 @@ impl fmt::Display for ProgramError {
         match self {
             ProgramError::Empty => write!(f, "program contains no instructions"),
             ProgramError::TargetOutOfRange { at, target } => {
-                write!(f, "instruction at {at} targets out-of-range address {target}")
+                write!(
+                    f,
+                    "instruction at {at} targets out-of-range address {target}"
+                )
             }
             ProgramError::EntryOutOfRange { entry } => {
                 write!(f, "entry point {entry} is out of range")
@@ -135,7 +138,10 @@ impl Program {
         for (i, instr) in instrs.iter().enumerate() {
             if let Some(target) = instr.direct_target() {
                 if target.index() >= instrs.len() {
-                    return Err(ProgramError::TargetOutOfRange { at: Addr::new(i as u32), target });
+                    return Err(ProgramError::TargetOutOfRange {
+                        at: Addr::new(i as u32),
+                        target,
+                    });
                 }
             }
         }
@@ -210,7 +216,12 @@ mod tests {
     #[test]
     fn out_of_range_target_rejected() {
         let instrs = vec![
-            Instr::Branch { cond: Cond::Eq, rs1: Reg::T0, rs2: Reg::T0, target: Addr::new(9) },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T0,
+                target: Addr::new(9),
+            },
             Instr::Halt,
         ];
         let err = Program::new(instrs, Addr::new(0)).unwrap_err();
@@ -229,7 +240,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ProgramError::TargetOutOfRange { at: Addr::new(1), target: Addr::new(7) };
+        let e = ProgramError::TargetOutOfRange {
+            at: Addr::new(1),
+            target: Addr::new(7),
+        };
         let s = e.to_string();
         assert!(s.contains("out-of-range"));
     }

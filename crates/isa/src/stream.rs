@@ -148,7 +148,13 @@ mod tests {
     use crate::reg::Reg;
 
     fn rec(instr: Instr, taken: bool) -> ExecRecord {
-        ExecRecord { pc: Addr::new(0), instr, next_pc: Addr::new(1), taken, mem_addr: None }
+        ExecRecord {
+            pc: Addr::new(0),
+            instr,
+            next_pc: Addr::new(1),
+            taken,
+            mem_addr: None,
+        }
     }
 
     #[test]
@@ -156,13 +162,30 @@ mod tests {
         let mut s = StreamStats::new();
         s.record(&rec(Instr::Nop, false));
         s.record(&rec(
-            Instr::Branch { cond: Cond::Eq, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(0) },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                target: Addr::new(0),
+            },
             true,
         ));
         s.record(&rec(Instr::Ret, false));
         s.record(&rec(Instr::JumpInd { base: Reg::T0 }, false));
-        s.record(&rec(Instr::Call { target: Addr::new(0) }, false));
-        s.record(&rec(Instr::Load { rd: Reg::T0, base: Reg::SP, offset: 0 }, false));
+        s.record(&rec(
+            Instr::Call {
+                target: Addr::new(0),
+            },
+            false,
+        ));
+        s.record(&rec(
+            Instr::Load {
+                rd: Reg::T0,
+                base: Reg::SP,
+                offset: 0,
+            },
+            false,
+        ));
         assert_eq!(s.instructions, 6);
         assert_eq!(s.cond_branches, 1);
         assert_eq!(s.taken_branches, 1);
@@ -179,7 +202,12 @@ mod tests {
             s.record(&rec(Instr::Nop, false));
         }
         s.record(&rec(
-            Instr::Branch { cond: Cond::Eq, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(0) },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                target: Addr::new(0),
+            },
             false,
         ));
         assert_eq!(s.avg_block_size(), Some(10.0));
@@ -189,14 +217,24 @@ mod tests {
     fn avg_block_size_none_without_terminators() {
         let mut s = StreamStats::new();
         s.record(&rec(Instr::Nop, false));
-        s.record(&rec(Instr::Jump { target: Addr::new(0) }, false));
+        s.record(&rec(
+            Instr::Jump {
+                target: Addr::new(0),
+            },
+            false,
+        ));
         assert_eq!(s.avg_block_size(), None);
     }
 
     #[test]
     fn display_marks_branch_outcome() {
         let r = rec(
-            Instr::Branch { cond: Cond::Eq, rs1: Reg::T0, rs2: Reg::T1, target: Addr::new(0) },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                target: Addr::new(0),
+            },
             true,
         );
         assert!(r.to_string().contains("[T]"));

@@ -1,7 +1,7 @@
 //! The branch bias table (Figure 5) driving branch promotion.
 
 /// Configuration of the [`BiasTable`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BiasConfig {
     /// Number of (direct-mapped) entries; 8K in the paper.
     pub entries: usize,
@@ -24,13 +24,21 @@ impl BiasConfig {
     /// not a power of two.
     #[must_use]
     pub fn paper(threshold: u32) -> BiasConfig {
-        let cfg = BiasConfig { entries: 8 * 1024, threshold, counter_bits: 10, tagged: true };
+        let cfg = BiasConfig {
+            entries: 8 * 1024,
+            threshold,
+            counter_bits: 10,
+            tagged: true,
+        };
         cfg.validate();
         cfg
     }
 
     fn validate(&self) {
-        assert!(self.entries.is_power_of_two(), "bias table entries must be a power of two");
+        assert!(
+            self.entries.is_power_of_two(),
+            "bias table entries must be a power of two"
+        );
         assert!(self.counter_bits >= 1 && self.counter_bits <= 16);
         assert!(
             self.threshold <= self.counter_max(),
@@ -110,7 +118,12 @@ impl BiasTable {
     #[must_use]
     pub fn new(config: BiasConfig) -> BiasTable {
         config.validate();
-        BiasTable { entries: vec![None; config.entries], config, promotions: 0, demotions: 0 }
+        BiasTable {
+            entries: vec![None; config.entries],
+            config,
+            promotions: 0,
+            demotions: 0,
+        }
     }
 
     /// The table configuration.
@@ -144,7 +157,12 @@ impl BiasTable {
             _ => {
                 // Miss: (re)allocate. The displaced branch loses any
                 // promoted status with its entry.
-                *slot = Some(BiasEntry { tag, dir: taken, count: 1, promoted: None });
+                *slot = Some(BiasEntry {
+                    tag,
+                    dir: taken,
+                    count: 1,
+                    promoted: None,
+                });
                 return;
             }
         };
@@ -204,7 +222,12 @@ mod tests {
     use super::*;
 
     fn table(threshold: u32) -> BiasTable {
-        BiasTable::new(BiasConfig { entries: 64, threshold, counter_bits: 10, tagged: true })
+        BiasTable::new(BiasConfig {
+            entries: 64,
+            threshold,
+            counter_bits: 10,
+            tagged: true,
+        })
     }
 
     #[test]
@@ -250,12 +273,21 @@ mod tests {
         assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
         // Same index (entries=64), different tag.
         t.update(0x10 + 64, true);
-        assert_eq!(t.decision(0x10), BiasDecision::Normal, "miss in the bias table demotes");
+        assert_eq!(
+            t.decision(0x10),
+            BiasDecision::Normal,
+            "miss in the bias table demotes"
+        );
     }
 
     #[test]
     fn counter_saturates() {
-        let mut t = BiasTable::new(BiasConfig { entries: 8, threshold: 3, counter_bits: 2, tagged: true });
+        let mut t = BiasTable::new(BiasConfig {
+            entries: 8,
+            threshold: 3,
+            counter_bits: 2,
+            tagged: true,
+        });
         for _ in 0..100 {
             t.update(0x1, true);
         }
@@ -282,6 +314,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds")]
     fn threshold_must_fit_counter() {
-        let _ = BiasTable::new(BiasConfig { entries: 8, threshold: 300, counter_bits: 8, tagged: true });
+        let _ = BiasTable::new(BiasConfig {
+            entries: 8,
+            threshold: 300,
+            counter_bits: 8,
+            tagged: true,
+        });
     }
 }

@@ -85,7 +85,10 @@ mod tests {
     fn hysteresis_requires_two_flips() {
         let mut c = Counter2::with_state(3);
         c.update(false);
-        assert!(c.predict(), "one opposite outcome should not flip a strong counter");
+        assert!(
+            c.predict(),
+            "one opposite outcome should not flip a strong counter"
+        );
         c.update(false);
         assert!(!c.predict());
     }

@@ -23,8 +23,14 @@ impl Gshare {
     /// Panics if `index_bits` is 0 or greater than 30.
     #[must_use]
     pub fn new(index_bits: u32, history_bits: u32) -> Gshare {
-        assert!(index_bits > 0 && index_bits <= 30, "index_bits must be 1..=30");
-        Gshare { table: vec![Counter2::new(); 1 << index_bits], history_bits }
+        assert!(
+            index_bits > 0 && index_bits <= 30,
+            "index_bits must be 1..=30"
+        );
+        Gshare {
+            table: vec![Counter2::new(); 1 << index_bits],
+            history_bits,
+        }
     }
 
     /// The table index for a branch at instruction address `pc` under

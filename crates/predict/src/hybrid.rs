@@ -67,7 +67,11 @@ impl HybridPredictor {
         let g = self.gshare.predict(pc, history);
         let p = self.pas.predict(pc);
         let use_gshare = self.chooser[self.chooser_index(pc, history)].predict();
-        HybridPrediction { dir: if use_gshare { g } else { p }, gshare_dir: g, pas_dir: p }
+        HybridPrediction {
+            dir: if use_gshare { g } else { p },
+            gshare_dir: g,
+            pas_dir: p,
+        }
     }
 
     /// Trains both components and the chooser with the actual outcome.
@@ -110,7 +114,10 @@ mod tests {
             h.update(pc, hist, pred, outcome);
             outcome = !outcome;
         }
-        assert!(correct >= 18, "hybrid should track PAs on an alternating branch, got {correct}");
+        assert!(
+            correct >= 18,
+            "hybrid should track PAs on an alternating branch, got {correct}"
+        );
     }
 
     #[test]

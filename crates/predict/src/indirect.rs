@@ -25,8 +25,13 @@ impl IndirectPredictor {
     /// Panics if `entries` is not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> IndirectPredictor {
-        assert!(entries.is_power_of_two(), "indirect predictor size must be a power of two");
-        IndirectPredictor { entries: vec![None; entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "indirect predictor size must be a power of two"
+        );
+        IndirectPredictor {
+            entries: vec![None; entries],
+        }
     }
 
     /// A reasonable default size (1K entries).
@@ -78,7 +83,11 @@ mod tests {
     fn tags_disambiguate_aliases() {
         let mut p = IndirectPredictor::new(16);
         p.update(0x1, 50);
-        assert_eq!(p.predict(0x1 + 16), None, "aliased slot must not match a different tag");
+        assert_eq!(
+            p.predict(0x1 + 16),
+            None,
+            "aliased slot must not match a different tag"
+        );
         p.update(0x1 + 16, 60);
         assert_eq!(p.predict(0x1 + 16), Some(60));
         assert_eq!(p.predict(0x1), None, "eviction removes the old branch");

@@ -47,9 +47,16 @@ impl MultiPredictor {
     /// Panics if `index_bits` is 0 or greater than 26.
     #[must_use]
     pub fn new(index_bits: u32, history_bits: u32) -> MultiPredictor {
-        assert!(index_bits > 0 && index_bits <= 26, "index_bits must be 1..=26");
+        assert!(
+            index_bits > 0 && index_bits <= 26,
+            "index_bits must be 1..=26"
+        );
         let entries = 1usize << index_bits;
-        MultiPredictor { counters: vec![Counter2::new(); entries * 7], entries, history_bits }
+        MultiPredictor {
+            counters: vec![Counter2::new(); entries * 7],
+            entries,
+            history_bits,
+        }
     }
 
     /// The paper's configuration: 16K entries × 7 counters, 14 bits of
@@ -84,7 +91,10 @@ impl MultiPredictor {
         let p0 = self.counters[base].predict();
         let p1 = self.counters[base + Self::tree_offset(1, &[p0])].predict();
         let p2 = self.counters[base + Self::tree_offset(2, &[p0, p1])].predict();
-        MultiPredictions { dirs: [p0, p1, p2], entry }
+        MultiPredictions {
+            dirs: [p0, p1, p2],
+            entry,
+        }
     }
 
     /// Trains the entry with the *actual* outcomes of the (up to three)

@@ -105,7 +105,10 @@ mod tests {
             p.update(pc, outcome);
             outcome = !outcome;
         }
-        assert!(correct >= 18, "PAs should nail an alternating branch, got {correct}/20");
+        assert!(
+            correct >= 18,
+            "PAs should nail an alternating branch, got {correct}/20"
+        );
     }
 
     #[test]

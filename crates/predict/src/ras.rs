@@ -14,7 +14,11 @@ impl ReturnStack {
     /// Creates an unbounded (ideal) return stack.
     #[must_use]
     pub fn ideal() -> ReturnStack {
-        ReturnStack { stack: Vec::new(), max_depth: None, overflows: 0 }
+        ReturnStack {
+            stack: Vec::new(),
+            max_depth: None,
+            overflows: 0,
+        }
     }
 
     /// Creates a finite return stack that drops the oldest entry on
@@ -26,7 +30,11 @@ impl ReturnStack {
     #[must_use]
     pub fn with_depth(depth: usize) -> ReturnStack {
         assert!(depth > 0, "return stack depth must be positive");
-        ReturnStack { stack: Vec::with_capacity(depth), max_depth: Some(depth), overflows: 0 }
+        ReturnStack {
+            stack: Vec::with_capacity(depth),
+            max_depth: Some(depth),
+            overflows: 0,
+        }
     }
 
     /// Pushes a return address at a call.

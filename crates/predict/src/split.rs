@@ -61,7 +61,10 @@ impl SplitMultiPredictor {
             self.tables[1][self.index(1, fetch_pc, history)].predict(),
             self.tables[2][self.index(2, fetch_pc, history)].predict(),
         ];
-        MultiPredictions { dirs, entry: self.index(0, fetch_pc, history) }
+        MultiPredictions {
+            dirs,
+            entry: self.index(0, fetch_pc, history),
+        }
     }
 
     /// Trains the slots used by a fetch with actual outcomes, given the

@@ -6,7 +6,7 @@ use tc_core::{FrontEndConfig, PackingPolicy, StaticPromotionTable};
 use tc_engine::EngineConfig;
 
 /// Complete machine + run configuration.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Front-end structure.
     pub front_end: FrontEndConfig,
@@ -228,13 +228,21 @@ mod tests {
 
     #[test]
     fn presets_select_consistent_hierarchies() {
-        assert_eq!(SimConfig::icache().hierarchy.icache.capacity_bytes(), 128 * 1024);
-        assert_eq!(SimConfig::baseline().hierarchy.icache.capacity_bytes(), 4 * 1024);
+        assert_eq!(
+            SimConfig::icache().hierarchy.icache.capacity_bytes(),
+            128 * 1024
+        );
+        assert_eq!(
+            SimConfig::baseline().hierarchy.icache.capacity_bytes(),
+            4 * 1024
+        );
     }
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::headline_perf().with_perfect_disambiguation().with_max_insts(5);
+        let c = SimConfig::headline_perf()
+            .with_perfect_disambiguation()
+            .with_max_insts(5);
         assert!(c.engine.perfect_disambiguation);
         assert_eq!(c.max_insts, 5);
         assert!(c.label().contains("perfmem"));

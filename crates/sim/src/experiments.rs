@@ -1,10 +1,20 @@
 //! Batch experiment helpers: run benchmark × configuration matrices.
+//!
+//! Thin convenience wrappers over the [`crate::harness`] layer — suites
+//! and configuration sweeps execute their cells in parallel (see
+//! [`harness::default_jobs`]) with deterministic, caller-ordered
+//! results.
+//!
+//! [`harness::default_jobs`]: crate::harness::default_jobs
 
 use tc_workloads::Benchmark;
 
 use crate::config::SimConfig;
+use crate::harness::{default_jobs, run_matrix};
 use crate::processor::Processor;
 use crate::report::SimReport;
+
+pub use crate::harness::percent_change;
 
 /// Runs one benchmark under one configuration.
 #[must_use]
@@ -13,35 +23,29 @@ pub fn run_one(bench: Benchmark, config: &SimConfig) -> SimReport {
     Processor::new(config.clone()).run(&workload)
 }
 
-/// Runs every benchmark in the suite under one configuration.
+/// Runs every benchmark in the suite under one configuration, in
+/// parallel, returning reports in suite order.
 #[must_use]
 pub fn run_suite(config: &SimConfig) -> Vec<SimReport> {
-    Benchmark::ALL.iter().map(|&b| run_one(b, config)).collect()
+    let cells: Vec<(Benchmark, SimConfig)> = Benchmark::ALL
+        .iter()
+        .map(|&b| (b, config.clone()))
+        .collect();
+    run_matrix(&cells, default_jobs())
 }
 
-/// Runs a benchmark under several configurations.
+/// Runs a benchmark under several configurations, in parallel,
+/// returning reports in configuration order.
 #[must_use]
 pub fn run_configs(bench: Benchmark, configs: &[SimConfig]) -> Vec<SimReport> {
-    configs.iter().map(|c| run_one(bench, c)).collect()
+    let cells: Vec<(Benchmark, SimConfig)> = configs.iter().map(|c| (bench, c.clone())).collect();
+    run_matrix(&cells, default_jobs())
 }
 
 /// The arithmetic mean of a per-report metric over a suite.
 #[must_use]
 pub fn mean(reports: &[SimReport], metric: impl Fn(&SimReport) -> f64) -> f64 {
-    if reports.is_empty() {
-        return 0.0;
-    }
-    reports.iter().map(&metric).sum::<f64>() / reports.len() as f64
-}
-
-/// Percent change from `from` to `to`.
-#[must_use]
-pub fn percent_change(from: f64, to: f64) -> f64 {
-    if from == 0.0 {
-        0.0
-    } else {
-        (to - from) / from * 100.0
-    }
+    crate::harness::mean(reports.iter().map(metric))
 }
 
 #[cfg(test)]
@@ -57,8 +61,10 @@ mod tests {
 
     #[test]
     fn run_configs_produces_one_report_each() {
-        let configs =
-            [SimConfig::baseline().with_max_insts(5_000), SimConfig::icache().with_max_insts(5_000)];
+        let configs = [
+            SimConfig::baseline().with_max_insts(5_000),
+            SimConfig::icache().with_max_insts(5_000),
+        ];
         let reports = run_configs(Benchmark::SimOutorder, &configs);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].config, "tc");

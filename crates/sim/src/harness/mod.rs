@@ -1,0 +1,37 @@
+//! The experiment harness: one layer every driver builds on.
+//!
+//! The paper's evaluation is a benchmark × configuration matrix, and the
+//! repo has three front doors into it — the `tw` CLI, the `paper`
+//! figure/table regenerator, and the `experiments` helper API. All of
+//! them share this layer:
+//!
+//! * [`registry`] — the single source of truth for named configuration
+//!   presets (`icache`, `baseline`, `packing`, `promotion`,
+//!   `promo-pack`, `headline`, …). CLI parsing and `list` output are
+//!   generated from it, so a preset added here appears everywhere.
+//! * [`runner`] — the parallel matrix runner: executes independent
+//!   `(benchmark, configuration)` cells on scoped worker threads with
+//!   deterministic, caller-ordered result collection, plus the memoizing
+//!   [`MatrixRunner`] that the figure regenerator drives. Worker count
+//!   comes from `--jobs` flags or the `TW_JOBS` environment variable
+//!   (see [`default_jobs`]).
+//! * [`json`] — a hand-rolled JSON report emitter (the workspace builds
+//!   offline with no external crates) for [`SimReport`] and friends.
+//! * [`table`] — the plain-text table renderer and the small statistics
+//!   helpers (`mean`, `percent_change`) every experiment shares.
+//!
+//! The simulator itself is deterministic, so parallel execution is
+//! required to be *observationally identical* to serial execution —
+//! `harness` tests assert bit-identical reports between the two paths.
+//!
+//! [`SimReport`]: crate::SimReport
+
+mod json;
+mod registry;
+mod runner;
+mod table;
+
+pub use json::{report_to_json, reports_to_json, Json};
+pub use registry::{lookup, preset, presets, standard_five, ConfigPreset, STANDARD_FIVE};
+pub use runner::{default_jobs, run_matrix, MatrixRunner};
+pub use table::{f2, mean, pct, percent_change, Table};

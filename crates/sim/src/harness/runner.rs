@@ -1,0 +1,190 @@
+//! The parallel matrix runner.
+//!
+//! Every multi-cell experiment is a set of independent `(benchmark,
+//! configuration)` cells; the simulator is single-threaded and
+//! deterministic, so the cells can run on worker threads with results
+//! collected back into caller order — parallel output is bit-identical
+//! to serial output (asserted by the `harness` integration tests).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tc_workloads::{Benchmark, Workload};
+
+use crate::config::SimConfig;
+use crate::processor::Processor;
+use crate::report::SimReport;
+
+/// The worker-thread count: an explicit request, else the `TW_JOBS`
+/// environment variable, else the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Some(n) = std::env::var("TW_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs every cell on up to `jobs` worker threads and returns the
+/// reports in the order the cells were given.
+///
+/// Each distinct benchmark's workload is built once and shared
+/// (read-only) across threads. `jobs == 1` degenerates to a serial loop
+/// over the same code path.
+#[must_use]
+pub fn run_matrix(cells: &[(Benchmark, SimConfig)], jobs: usize) -> Vec<SimReport> {
+    let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
+    for (bench, _) in cells {
+        workloads
+            .entry(bench.name())
+            .or_insert_with(|| bench.build());
+    }
+    run_matrix_shared(cells, &workloads, jobs, false)
+}
+
+/// [`run_matrix`] against pre-built workloads (every cell's benchmark
+/// must be present in `workloads`).
+fn run_matrix_shared(
+    cells: &[(Benchmark, SimConfig)],
+    workloads: &HashMap<&'static str, Workload>,
+    jobs: usize,
+    verbose: bool,
+) -> Vec<SimReport> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((bench, config)) = cells.get(i) else {
+                    break;
+                };
+                if verbose {
+                    eprintln!("  running {} under {} ...", bench.name(), config.label());
+                }
+                let workload = &workloads[bench.name()];
+                let report = Processor::new(config.clone()).run(workload);
+                *slots[i].lock().expect("result slot") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("cell completed")
+        })
+        .collect()
+}
+
+/// The memoizing experiment runner: many figures share configurations,
+/// so each `(benchmark, configuration, budget)` cell simulates once per
+/// process; cache misses within one request execute in parallel.
+///
+/// This is the engine behind the `paper` binary and `tw compare`. The
+/// per-runner instruction budget is applied to every cell, and results
+/// are keyed by `(benchmark, SimConfig::label())` — the label uniquely
+/// identifies a configuration.
+pub struct MatrixRunner {
+    insts: u64,
+    jobs: usize,
+    verbose: bool,
+    workloads: HashMap<&'static str, Workload>,
+    cache: HashMap<(&'static str, String), SimReport>,
+}
+
+impl MatrixRunner {
+    /// Creates a runner with a per-cell dynamic instruction budget and
+    /// the default worker count ([`default_jobs`]).
+    #[must_use]
+    pub fn new(insts: u64, verbose: bool) -> MatrixRunner {
+        MatrixRunner {
+            insts,
+            jobs: default_jobs(),
+            verbose,
+            workloads: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> MatrixRunner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The instruction budget per simulation.
+    #[must_use]
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Ensures every cell is simulated, running the misses in parallel.
+    pub fn prefetch(&mut self, cells: &[(Benchmark, SimConfig)]) {
+        let mut missing: Vec<(Benchmark, SimConfig)> = Vec::new();
+        let mut queued: std::collections::HashSet<(&'static str, String)> =
+            std::collections::HashSet::new();
+        for (bench, config) in cells {
+            let key = (bench.name(), config.label());
+            if !self.cache.contains_key(&key) && queued.insert(key) {
+                missing.push((*bench, config.clone().with_max_insts(self.insts)));
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        for (bench, _) in &missing {
+            self.workloads
+                .entry(bench.name())
+                .or_insert_with(|| bench.build());
+        }
+        let reports = run_matrix_shared(&missing, &self.workloads, self.jobs, self.verbose);
+        for ((bench, config), report) in missing.into_iter().zip(reports) {
+            self.cache.insert((bench.name(), config.label()), report);
+        }
+    }
+
+    /// Runs (or recalls) one cell.
+    pub fn run(&mut self, bench: Benchmark, config: &SimConfig) -> &SimReport {
+        let key = (bench.name(), config.label());
+        if !self.cache.contains_key(&key) {
+            self.prefetch(std::slice::from_ref(&(bench, config.clone())));
+        }
+        &self.cache[&key]
+    }
+
+    /// Runs the given cells (in parallel where uncached) and returns
+    /// cloned reports in the given order.
+    pub fn run_cells(&mut self, cells: &[(Benchmark, SimConfig)]) -> Vec<SimReport> {
+        self.prefetch(cells);
+        cells
+            .iter()
+            .map(|(bench, config)| self.cache[&(bench.name(), config.label())].clone())
+            .collect()
+    }
+
+    /// Runs the whole suite under one configuration, returning cloned
+    /// reports in suite order.
+    pub fn run_suite(&mut self, config: &SimConfig) -> Vec<SimReport> {
+        let cells: Vec<(Benchmark, SimConfig)> = Benchmark::ALL
+            .iter()
+            .map(|&b| (b, config.clone()))
+            .collect();
+        self.run_cells(&cells)
+    }
+}

@@ -37,8 +37,10 @@ mod processor;
 mod report;
 
 pub mod experiments;
+pub mod harness;
 
 pub use config::SimConfig;
+pub use harness::MatrixRunner;
 pub use processor::Processor;
 pub use report::{CycleAccounting, SimReport};
 

@@ -129,7 +129,10 @@ impl Processor {
             }
             self.engine.drain_retired(cycle);
             if !self.engine.has_room() {
-                let t = self.engine.earliest_retire().expect("full window is non-empty");
+                let t = self
+                    .engine
+                    .earliest_retire()
+                    .expect("full window is non-empty");
                 let wait = t.saturating_sub(cycle).max(1);
                 acct.full_window += wait;
                 cycle += wait;
@@ -227,7 +230,10 @@ impl Processor {
                             }
                         }
                     }
-                    NextPc::Indirect { pc: ind_pc, predicted } => {
+                    NextPc::Indirect {
+                        pc: ind_pc,
+                        predicted,
+                    } => {
                         c.indirect_executed += 1;
                         let actual = oracle.front().map(|r| r.pc);
                         if let Some(actual) = actual {
@@ -354,7 +360,8 @@ impl Processor {
                     }
                     // Repair: history snapshot + replay of actual
                     // outcomes; RAS from the committed mirror.
-                    self.front_end.restore_history(bundle.pred.history.snapshot());
+                    self.front_end
+                        .restore_history(bundle.pred.history.snapshot());
                     for &t in &history_replay {
                         self.front_end.push_history(t);
                     }
@@ -376,7 +383,11 @@ impl Processor {
         }
         self.engine.drain_retired(u64::MAX);
 
-        assert!(interp.error().is_none(), "workload faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "workload faulted: {:?}",
+            interp.error()
+        );
         self.report(workload, &c, acct, total_cycles)
     }
 
@@ -391,12 +402,10 @@ impl Processor {
     ) {
         let mut wp_pc = match bundle.next_pc {
             NextPc::Known(a) => a,
-            NextPc::Return { predicted } | NextPc::Indirect { predicted, .. } => {
-                match predicted {
-                    Some(a) => a,
-                    None => return,
-                }
-            }
+            NextPc::Return { predicted } | NextPc::Indirect { predicted, .. } => match predicted {
+                Some(a) => a,
+                None => return,
+            },
         };
         let mut wp_cycle = fetch_cycle + 1;
         let mut fetches = 0u32;
@@ -476,7 +485,11 @@ mod tests {
     #[test]
     fn baseline_simulation_is_sane() {
         let r = quick(SimConfig::baseline(), Benchmark::Compress);
-        assert!(r.instructions >= 50_000, "ran {} instructions", r.instructions);
+        assert!(
+            r.instructions >= 50_000,
+            "ran {} instructions",
+            r.instructions
+        );
         assert!(r.cycles > 0);
         let ipc = r.ipc();
         assert!(ipc > 0.3 && ipc < 16.0, "IPC {ipc} out of range");
@@ -542,14 +555,20 @@ mod tests {
         let r = quick(SimConfig::baseline(), Benchmark::Go);
         assert!(r.cond_mispredicts > 0, "go must mispredict sometimes");
         assert!(r.resolution_events >= r.cond_mispredicts);
-        assert!(r.avg_resolution_time() >= 3.0, "resolution {}", r.avg_resolution_time());
+        assert!(
+            r.avg_resolution_time() >= 3.0,
+            "resolution {}",
+            r.avg_resolution_time()
+        );
     }
 
     #[test]
     fn perfect_disambiguation_does_not_hurt() {
         let real = quick(SimConfig::baseline(), Benchmark::Vortex);
-        let perfect =
-            quick(SimConfig::baseline().with_perfect_disambiguation(), Benchmark::Vortex);
+        let perfect = quick(
+            SimConfig::baseline().with_perfect_disambiguation(),
+            Benchmark::Vortex,
+        );
         assert!(
             perfect.ipc() >= real.ipc() * 0.98,
             "perfect {} << realistic {}",

@@ -6,7 +6,7 @@ use tc_engine::EngineStats;
 
 /// Where every fetch cycle went — the six categories of the paper's
 /// Figure 12.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleAccounting {
     /// Cycles whose fetch returned correct-path instructions.
     pub useful_fetch: u64,
@@ -51,7 +51,7 @@ impl CycleAccounting {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Workload name.
     pub benchmark: String,

@@ -1,0 +1,264 @@
+//! Integration tests for the experiment-harness layer: registry
+//! round-trips, parallel-vs-serial determinism of the matrix runner, and
+//! the JSON report schema.
+
+use tc_sim::harness::{
+    lookup, preset, presets, report_to_json, run_matrix, standard_five, Json, MatrixRunner,
+    STANDARD_FIVE,
+};
+use tc_sim::{simulate, SimConfig};
+use tc_workloads::Benchmark;
+
+// --- registry ---------------------------------------------------------
+
+#[test]
+fn every_registry_name_round_trips() {
+    for p in presets() {
+        let by_name = lookup(p.name).expect("name resolves");
+        assert_eq!(by_name.label(), p.build().label(), "{}", p.name);
+        for alias in p.aliases {
+            let by_alias = lookup(alias).expect("alias resolves");
+            assert_eq!(by_alias.label(), by_name.label(), "{alias} != {}", p.name);
+        }
+    }
+    assert!(lookup("no-such-config").is_none());
+    assert!(preset("no-such-config").is_none());
+}
+
+#[test]
+fn registry_labels_are_unique() {
+    let mut labels: Vec<String> = presets().iter().map(|p| p.build().label()).collect();
+    labels.sort();
+    let before = labels.len();
+    labels.dedup();
+    assert_eq!(
+        labels.len(),
+        before,
+        "two presets build the same configuration"
+    );
+}
+
+#[test]
+fn standard_five_covers_figure_10() {
+    let five = standard_five();
+    assert_eq!(five.len(), STANDARD_FIVE.len());
+    for ((name, config), expected) in five.iter().zip(STANDARD_FIVE) {
+        assert_eq!(*name, expected);
+        assert_eq!(
+            config.label(),
+            lookup(expected).expect("registered").label()
+        );
+    }
+}
+
+// --- matrix runner ----------------------------------------------------
+
+/// Two small benchmarks under the five standard configurations: the
+/// parallel run must be bit-identical to the serial run, in the same
+/// order. Reports are compared through their full JSON rendering, which
+/// covers every exported counter.
+#[test]
+fn parallel_matrix_is_bit_identical_to_serial() {
+    let cells: Vec<(Benchmark, SimConfig)> = [Benchmark::Compress, Benchmark::Li]
+        .into_iter()
+        .flat_map(|bench| {
+            standard_five()
+                .into_iter()
+                .map(move |(_, config)| (bench, config.with_max_insts(30_000)))
+        })
+        .collect();
+    let serial = run_matrix(&cells, 1);
+    let parallel = run_matrix(&cells, 4);
+    assert_eq!(serial.len(), cells.len());
+    assert_eq!(parallel.len(), cells.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            report_to_json(s).render(),
+            report_to_json(p).render(),
+            "cell {i} ({} / {}) differs between serial and parallel runs",
+            cells[i].0.name(),
+            cells[i].1.label()
+        );
+    }
+}
+
+/// The matrix runner's worker threads really run the cells (results are
+/// collected in caller order regardless of completion order).
+#[test]
+fn run_matrix_preserves_caller_order() {
+    let cells = vec![
+        (Benchmark::Li, SimConfig::baseline().with_max_insts(20_000)),
+        (
+            Benchmark::Compress,
+            SimConfig::icache().with_max_insts(20_000),
+        ),
+        (Benchmark::Li, SimConfig::icache().with_max_insts(20_000)),
+    ];
+    let reports = run_matrix(&cells, 3);
+    assert_eq!(reports[0].benchmark, "li");
+    assert_eq!(reports[0].config, "tc");
+    assert_eq!(reports[1].benchmark, "compress");
+    assert_eq!(reports[2].benchmark, "li");
+    assert_eq!(reports[2].config, "icache");
+}
+
+/// The memoizing runner returns the same report for repeated cells and
+/// agrees with a direct simulation at the same budget.
+#[test]
+fn matrix_runner_memoizes() {
+    let mut runner = MatrixRunner::new(20_000, false).with_jobs(2);
+    let config = SimConfig::baseline();
+    let first = runner.run(Benchmark::Compress, &config).clone();
+    let again = runner.run(Benchmark::Compress, &config).clone();
+    assert_eq!(
+        report_to_json(&first).render(),
+        report_to_json(&again).render()
+    );
+    let direct = simulate(Benchmark::Compress, &config.with_max_insts(20_000));
+    assert_eq!(first.cycles, direct.cycles);
+    assert_eq!(first.instructions, direct.instructions);
+}
+
+// --- JSON report schema ----------------------------------------------
+
+fn keys(v: &Json) -> Vec<&'static str> {
+    match v {
+        Json::Object(fields) => fields.iter().map(|(k, _)| *k).collect(),
+        _ => panic!("expected object"),
+    }
+}
+
+/// Golden test: the top-level key set of a report is stable, contains
+/// the headline metrics and the six cycle-accounting categories, and
+/// every numeric leaf is finite.
+#[test]
+fn json_report_schema_is_stable() {
+    let report = simulate(
+        Benchmark::Compress,
+        &SimConfig::baseline().with_max_insts(30_000),
+    );
+    let json = report_to_json(&report);
+
+    assert_eq!(
+        keys(&json),
+        [
+            "benchmark",
+            "config",
+            "instructions",
+            "cycles",
+            "ipc",
+            "effective_fetch_rate",
+            "cond_mispredict_rate",
+            "avg_resolution_time",
+            "cond_branches",
+            "cond_mispredicts",
+            "promoted_executed",
+            "promoted_faults",
+            "indirect_executed",
+            "indirect_mispredicts",
+            "return_mispredicts",
+            "salvaged",
+            "accounting",
+            "fetch",
+            "trace_cache",
+            "promotions",
+            "caches",
+            "engine",
+        ]
+    );
+    assert_eq!(
+        keys(json.get("accounting").expect("accounting object")),
+        [
+            "useful_fetch",
+            "branch_misses",
+            "cache_misses",
+            "full_window",
+            "traps",
+            "misfetches",
+            "unaccounted",
+        ]
+    );
+
+    fn assert_finite(v: &Json, path: &str) {
+        match v {
+            Json::Float(f) => assert!(f.is_finite(), "non-finite float at {path}"),
+            Json::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    assert_finite(item, &format!("{path}[{i}]"));
+                }
+            }
+            Json::Object(fields) => {
+                for (k, item) in fields {
+                    assert_finite(item, &format!("{path}.{k}"));
+                }
+            }
+            Json::Null | Json::Bool(_) | Json::UInt(_) | Json::Str(_) => {}
+        }
+    }
+    assert_finite(&json, "report");
+
+    // The rendering is valid JSON as far as a round-trip of the raw
+    // text's bracket/quote structure is concerned: it parses under a
+    // minimal well-formedness scan (no trailing commas, balanced
+    // braces outside strings).
+    let text = json.render();
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for ch in text.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if ch == '\\' {
+                esc = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced brackets");
+    }
+    assert_eq!(depth, 0, "unbalanced brackets");
+    assert!(!in_str, "unterminated string");
+    assert!(
+        !text.contains(",}") && !text.contains(",]"),
+        "trailing comma"
+    );
+
+    // Headline metrics agree with the report's accessors.
+    match json.get("ipc") {
+        Some(Json::Float(v)) => assert!((v - report.ipc()).abs() < 1e-12),
+        other => panic!("ipc not a float: {other:?}"),
+    }
+    match json.get("effective_fetch_rate") {
+        Some(Json::Float(v)) => {
+            assert!((v - report.effective_fetch_rate()).abs() < 1e-12);
+        }
+        other => panic!("effective_fetch_rate not a float: {other:?}"),
+    }
+}
+
+/// `trace_cache` and `promotions` are null exactly when the front end
+/// has no such structure.
+#[test]
+fn json_optional_sections_track_config() {
+    let icache = simulate(
+        Benchmark::Compress,
+        &SimConfig::icache().with_max_insts(20_000),
+    );
+    let json = report_to_json(&icache);
+    assert!(matches!(json.get("trace_cache"), Some(Json::Null)));
+    assert!(matches!(json.get("promotions"), Some(Json::Null)));
+
+    let promo = simulate(
+        Benchmark::Compress,
+        &SimConfig::promotion(64).with_max_insts(20_000),
+    );
+    let json = report_to_json(&promo);
+    assert!(matches!(json.get("trace_cache"), Some(Json::Object(_))));
+    assert!(matches!(json.get("promotions"), Some(Json::Object(_))));
+}

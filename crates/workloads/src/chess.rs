@@ -89,7 +89,7 @@ pub(crate) fn build(scale: u32) -> Workload {
     // --- fn nega(A0=pile, A1=hash, A2=depth, A3=alpha, A4=beta) -> A0 ---
     b.bind(nega).unwrap();
     b.addi(Reg::S7, Reg::S7, 1); // nodes += 1
-    // Leaf?
+                                 // Leaf?
     {
         let not_leaf = b.new_label("not_leaf");
         let leaf = b.new_label("leaf");
@@ -109,7 +109,16 @@ pub(crate) fn build(scale: u32) -> Workload {
     }
     // Save state. S0=pile, S1=hash, S2=depth, S3=alpha, S4=beta,
     // S5=best, S6=m.
-    b.push_regs(&[Reg::RA, Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6]);
+    b.push_regs(&[
+        Reg::RA,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+    ]);
     b.mv(Reg::S0, Reg::A0);
     b.mv(Reg::S1, Reg::A1);
     b.mv(Reg::S2, Reg::A2);
@@ -126,7 +135,7 @@ pub(crate) fn build(scale: u32) -> Workload {
         b.branch(Cond::Lt, Reg::S0, Reg::S6, loop_done); // pile < m
         b.li(Reg::T1, 3);
         b.branch(Cond::Lt, Reg::T1, Reg::S6, loop_done); // 3 < m
-        // child = -nega(pile-m, hash*31+m, depth-1, -beta, -alpha)
+                                                         // child = -nega(pile-m, hash*31+m, depth-1, -beta, -alpha)
         b.sub(Reg::A0, Reg::S0, Reg::S6);
         b.muli(Reg::A1, Reg::S1, 31);
         b.add(Reg::A1, Reg::A1, Reg::S6);
@@ -135,7 +144,7 @@ pub(crate) fn build(scale: u32) -> Workload {
         b.sub(Reg::A4, Reg::ZERO, Reg::S3);
         b.call(nega);
         b.sub(Reg::T0, Reg::ZERO, Reg::A0); // child
-        // best = max(best, child)
+                                            // best = max(best, child)
         {
             let no = b.new_label("no_best");
             b.branch(Cond::Ge, Reg::S5, Reg::T0, no);
@@ -156,7 +165,16 @@ pub(crate) fn build(scale: u32) -> Workload {
         b.bind(loop_done).unwrap();
     }
     b.mv(Reg::A0, Reg::S5);
-    b.pop_regs(&[Reg::RA, Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6]);
+    b.pop_regs(&[
+        Reg::RA,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+    ]);
     b.ret();
 
     // --- Driver ---
@@ -199,7 +217,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "chess faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "chess faulted: {:?}",
+            interp.error()
+        );
         let starts = start_states();
         let mut checksum = 0u64;
         let mut nodes = 0u64;

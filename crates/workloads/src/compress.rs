@@ -61,7 +61,9 @@ pub(crate) fn build(scale: u32) -> Workload {
     // S0=input base, S1=input len, S2=hkey base, S3=hval base, S4=mask,
     // S5=code, S6=next_code, S7=emitted, T9/T10 outer loop.
     b.li(Reg::S0, INPUT).li(Reg::S1, INPUT_LEN as i32);
-    b.li(Reg::S2, HKEY).li(Reg::S3, HVAL).li(Reg::S4, HASH_SIZE - 1);
+    b.li(Reg::S2, HKEY)
+        .li(Reg::S3, HVAL)
+        .li(Reg::S4, HASH_SIZE - 1);
 
     repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
         // Clear the dictionary (biased store loop).
@@ -151,12 +153,19 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "compress faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "compress faulted: {:?}",
+            interp.error()
+        );
         let input = data::skewed_symbols(0xC0_4D, INPUT_LEN, ALPHA);
         let expected = reference_emitted(&input);
         assert_eq!(interp.machine().mem(OUT_COUNT as u64), expected);
         // A skewed input must actually compress: far fewer codes than symbols.
-        assert!(expected < INPUT_LEN as u64 / 2, "no compression: {expected}");
+        assert!(
+            expected < INPUT_LEN as u64 / 2,
+            "no compression: {expected}"
+        );
     }
 
     #[test]

@@ -3,13 +3,12 @@
 //! Every generator takes an explicit seed so workloads are reproducible
 //! bit-for-bit across runs and platforms.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, Xoshiro256PlusPlus};
 
 /// A seeded RNG for input synthesis.
 #[must_use]
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::seed_from_u64(seed)
 }
 
 /// Skewed "text" symbols in `0..alphabet`: a Zipf-ish distribution where
@@ -103,7 +102,7 @@ pub fn segments(seed: u64, count: usize, bound: u64) -> Vec<u64> {
 #[must_use]
 pub fn bignum(seed: u64, words: usize) -> Vec<u64> {
     let mut r = rng(seed);
-    let mut out: Vec<u64> = (0..words).map(|_| u64::from(r.gen::<u32>())).collect();
+    let mut out: Vec<u64> = (0..words).map(|_| u64::from(r.next_u32())).collect();
     out[0] |= 1; // odd
     out[words - 1] |= 0x8000_0000; // full width
     out
@@ -124,7 +123,10 @@ mod tests {
     fn skewed_symbols_favor_small_values() {
         let v = skewed_symbols(1, 10_000, 64);
         let small = v.iter().filter(|&&x| x < 16).count();
-        assert!(small > 6_000, "expected skew toward small symbols, got {small}/10000");
+        assert!(
+            small > 6_000,
+            "expected skew toward small symbols, got {small}/10000"
+        );
         assert!(v.iter().all(|&x| x < 64));
     }
 

@@ -30,7 +30,7 @@ const OUT_CHECK: i32 = OUT_TOKENS + 1;
 /// Synthetic "source code": identifiers, numbers, punctuation and other
 /// tokens separated by whitespace, with source-like proportions.
 fn source_text(seed: u64, len: usize) -> Vec<u64> {
-    use rand::Rng;
+    use crate::rng::Rng;
     let mut r = data::rng(seed);
     let mut out = Vec::with_capacity(len + 16);
     while out.len() < len {
@@ -149,9 +149,13 @@ pub(crate) fn build(scale: u32) -> Workload {
 
     // Emit the 64 action routines after a jump; record labels, fill the
     // function-pointer table at startup.
-    let flabels: Vec<_> = (0..NFUNCS).map(|i| b.new_label(format!("act{i}"))).collect();
+    let flabels: Vec<_> = (0..NFUNCS)
+        .map(|i| b.new_label(format!("act{i}")))
+        .collect();
     // Class-dispatch handler labels for the lexer.
-    let hlabels: Vec<_> = (0..NCLASSES).map(|i| b.new_label(format!("cls{i}"))).collect();
+    let hlabels: Vec<_> = (0..NCLASSES)
+        .map(|i| b.new_label(format!("cls{i}")))
+        .collect();
     let start = b.new_label("start");
     for (i, &l) in flabels.iter().enumerate() {
         b.la(Reg::T0, l);
@@ -284,7 +288,10 @@ pub(crate) fn build(scale: u32) -> Workload {
     // --- Driver ---
     b.bind(start).unwrap();
     repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
-        b.li(Reg::S0, 0).li(Reg::S1, 0).li(Reg::S5, 0).li(Reg::S6, 0);
+        b.li(Reg::S0, 0)
+            .li(Reg::S1, 0)
+            .li(Reg::S5, 0)
+            .li(Reg::S6, 0);
         let resume = b.new_label("resume");
         b.la(Reg::T11, resume);
         b.jump(scan_top);
@@ -328,7 +335,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "gcc faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "gcc faulted: {:?}",
+            interp.error()
+        );
         let text = source_text(0x6CC2, TEXT_LEN);
         let (tokens, check) = reference(&text);
         assert_eq!(interp.machine().mem(OUT_TOKENS as u64), tokens);

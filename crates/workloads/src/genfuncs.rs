@@ -8,7 +8,7 @@
 //! description drives both the emitted assembly and a Rust evaluator, so
 //! benchmark outputs remain checkable.
 
-use rand::Rng;
+use crate::rng::Rng;
 use tc_isa::{Cond, Label, ProgramBuilder, Reg};
 
 use crate::data;
@@ -55,7 +55,11 @@ impl GenFunc {
                     }
                 }
                 Step::CondSwap => {
-                    acc = if acc < arg { arg.wrapping_sub(acc) } else { acc.wrapping_sub(arg) };
+                    acc = if acc < arg {
+                        arg.wrapping_sub(acc)
+                    } else {
+                        acc.wrapping_sub(arg)
+                    };
                 }
                 Step::Loop(n) => {
                     for i in 0..u64::from(n) {
@@ -169,7 +173,11 @@ mod tests {
             let mut i = Interpreter::new(&p, 256);
             i.by_ref().for_each(drop);
             assert!(i.error().is_none(), "func {fi} faulted");
-            assert_eq!(i.machine().reg(Reg::S0), f.eval(0x1234, 0x77), "func {fi} first call");
+            assert_eq!(
+                i.machine().reg(Reg::S0),
+                f.eval(0x1234, 0x77),
+                "func {fi} first call"
+            );
             assert_eq!(
                 i.machine().reg(Reg::A0),
                 f.eval((-5i64) as u64, 3),
@@ -187,6 +195,10 @@ mod tests {
         }
         // Diversity: most functions should map the same input differently.
         let outs: std::collections::HashSet<u64> = a.iter().map(|f| f.eval(99, 3)).collect();
-        assert!(outs.len() > 24, "generated functions too similar: {} distinct", outs.len());
+        assert!(
+            outs.len() > 24,
+            "generated functions too similar: {} distinct",
+            outs.len()
+        );
     }
 }

@@ -49,7 +49,9 @@ pub(crate) fn reference(board: &[u64]) -> (u64, u64, u64) {
             inf[p + size] += w;
         }
     }
-    let checksum = inf.iter().fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v as u64));
+    let checksum = inf
+        .iter()
+        .fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v as u64));
 
     // Flood fill groups, counting liberties.
     let mut visited = vec![false; size * size];
@@ -152,7 +154,15 @@ pub(crate) fn build(scale: u32) -> Workload {
                 // points dominate).
                 influence_neighbor(b, Cond::Ne, Reg::S2, Reg::ZERO, Reg::S0, -1, Reg::S4);
                 influence_neighbor(b, Cond::Lt, Reg::S2, Reg::A4, Reg::S0, 1, Reg::S4);
-                influence_neighbor(b, Cond::Ne, Reg::S3, Reg::ZERO, Reg::S0, -(SIZE as i32), Reg::S4);
+                influence_neighbor(
+                    b,
+                    Cond::Ne,
+                    Reg::S3,
+                    Reg::ZERO,
+                    Reg::S0,
+                    -(SIZE as i32),
+                    Reg::S4,
+                );
                 influence_neighbor(b, Cond::Lt, Reg::S3, Reg::A4, Reg::S0, SIZE as i32, Reg::S4);
             });
         });
@@ -182,7 +192,7 @@ pub(crate) fn build(scale: u32) -> Workload {
             b.bnez(Reg::T1, skip_seed);
             {
                 b.addi(Reg::S6, Reg::S6, 1); // groups += 1
-                // visited[start] = 1; push start.
+                                             // visited[start] = 1; push start.
                 b.li(Reg::T2, 1);
                 b.store(Reg::T2, Reg::T0, 0);
                 b.li(Reg::S8, STACK);
@@ -195,7 +205,7 @@ pub(crate) fn build(scale: u32) -> Workload {
                 b.branch(Cond::Geu, Reg::T2, Reg::S8, pop_done);
                 b.addi(Reg::S8, Reg::S8, -1);
                 b.load(Reg::A0, Reg::S8, 0); // p
-                // x, y
+                                             // x, y
                 b.rem(Reg::A1, Reg::A0, Reg::A3);
                 b.div(Reg::A2, Reg::A0, Reg::A3);
                 // Four neighbors: (cond, delta) pairs.
@@ -205,7 +215,11 @@ pub(crate) fn build(scale: u32) -> Workload {
                     (Cond::Ne, Reg::A2, -(SIZE as i32)),
                     (Cond::Lt, Reg::A2, SIZE as i32),
                 ] {
-                    let rhs = if matches!(cond, Cond::Ne) { Reg::ZERO } else { Reg::A4 };
+                    let rhs = if matches!(cond, Cond::Ne) {
+                        Reg::ZERO
+                    } else {
+                        Reg::A4
+                    };
                     if_cond(b, cond, lhs, rhs, |b| {
                         b.addi(Reg::T3, Reg::A0, delta); // q
                         b.addi(Reg::T4, Reg::T3, BOARD);

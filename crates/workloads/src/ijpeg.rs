@@ -118,7 +118,10 @@ pub(crate) fn build(scale: u32) -> Workload {
     let mut b = ProgramBuilder::new();
     // S0=IMG, S1=DCTM, S2=TMP, S3=COEF, S4=QTAB, S5=nonzero, S6=sum,
     // S7=block base, S8/S9 block loop counters.
-    b.li(Reg::S1, DCTM).li(Reg::S2, TMP).li(Reg::S3, COEF).li(Reg::S4, QTAB);
+    b.li(Reg::S1, DCTM)
+        .li(Reg::S2, TMP)
+        .li(Reg::S3, COEF)
+        .li(Reg::S4, QTAB);
 
     repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
         b.li(Reg::S5, 0).li(Reg::S6, 0);
@@ -238,7 +241,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "ijpeg faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "ijpeg faulted: {:?}",
+            interp.error()
+        );
         let img = data::image(0x1A6E, WIDTH, HEIGHT);
         let (nonzero, sum) = reference(&img);
         assert_eq!(interp.machine().mem(OUT_NONZERO as u64), nonzero);

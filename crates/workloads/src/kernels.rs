@@ -157,7 +157,9 @@ mod tests {
         let case0 = b.new_label("case0");
         let case1 = b.new_label("case1");
         // Build the table in memory at address 100: [case0, case1].
-        b.la(Reg::T5, case0).li(Reg::T6, 100).store(Reg::T5, Reg::T6, 0);
+        b.la(Reg::T5, case0)
+            .li(Reg::T6, 100)
+            .store(Reg::T5, Reg::T6, 0);
         b.la(Reg::T5, case1).store(Reg::T5, Reg::T6, 1);
         b.li(Reg::T0, 1); // select case1
         jump_table(&mut b, Reg::T6, Reg::T0, Reg::T7);

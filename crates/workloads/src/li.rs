@@ -119,7 +119,7 @@ pub(crate) fn build(scale: u32) -> Workload {
     }
     b.push_regs(&[Reg::RA, Reg::S0, Reg::S1]);
     b.mv(Reg::S0, Reg::A0); // S0 = cell
-    // head value: tag dispatch.
+                            // head value: tag dispatch.
     b.add(Reg::T0, Reg::S4, Reg::S0);
     b.load(Reg::T0, Reg::T0, 0);
     if_else(
@@ -203,6 +203,9 @@ mod tests {
     fn call_return_heavy() {
         let stats = build(1).stream_stats(300_000);
         let call_per_kilo = (stats.calls + stats.returns) * 1000 / stats.instructions.max(1);
-        assert!(call_per_kilo > 50, "li should be call-heavy, got {call_per_kilo}/1000");
+        assert!(
+            call_per_kilo > 50,
+            "li should be call-heavy, got {call_per_kilo}/1000"
+        );
     }
 }

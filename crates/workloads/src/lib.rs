@@ -40,6 +40,8 @@
 //! ```
 
 pub mod data;
+pub mod rng;
+
 mod genfuncs;
 mod kernels;
 mod suite;

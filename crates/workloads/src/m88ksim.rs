@@ -48,7 +48,11 @@ impl GOp {
             GOp::Blt(a, b, t) => (7, 0, a, b, t),
             GOp::Stop => (8, 0, 0, 0, 0),
         };
-        (op << 24) | (u64::from(rd) << 20) | (u64::from(rs1) << 16) | (u64::from(rs2) << 12) | u64::from(imm)
+        (op << 24)
+            | (u64::from(rd) << 20)
+            | (u64::from(rs1) << 16)
+            | (u64::from(rs2) << 12)
+            | u64::from(imm)
     }
 }
 
@@ -105,8 +109,12 @@ pub(crate) fn reference(prog: &[GOp]) -> u64 {
             GOp::Sub(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_sub(regs[b as usize]),
             GOp::Mul(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize]),
             GOp::Li(d, i) => regs[d as usize] = u64::from(i),
-            GOp::Ld(d, a, i) => regs[d as usize] = gmem[(regs[a as usize] as usize + i as usize) & 63],
-            GOp::St(d, a, i) => gmem[(regs[a as usize] as usize + i as usize) & 63] = regs[d as usize],
+            GOp::Ld(d, a, i) => {
+                regs[d as usize] = gmem[(regs[a as usize] as usize + i as usize) & 63]
+            }
+            GOp::St(d, a, i) => {
+                gmem[(regs[a as usize] as usize + i as usize) & 63] = regs[d as usize]
+            }
             GOp::Bne(a, b, t) => {
                 if regs[a as usize] != regs[b as usize] {
                     pc = t as usize;
@@ -135,7 +143,10 @@ pub(crate) fn build(scale: u32) -> Workload {
     let mut b = ProgramBuilder::new();
     // S0 = guest pc, S2 = GPROG, S3 = GREGS, S4 = table, S5..: decoded
     // fields rd/rs1/rs2/imm in S5,S6,S7,A0. A5 = GMEM.
-    b.li(Reg::S2, GPROG).li(Reg::S3, GREGS).li(Reg::S4, DISPATCH_TABLE).li(Reg::A5, GMEM);
+    b.li(Reg::S2, GPROG)
+        .li(Reg::S3, GREGS)
+        .li(Reg::S4, DISPATCH_TABLE)
+        .li(Reg::A5, GMEM);
 
     let handlers: Vec<_> = (0..9).map(|i| b.new_label(format!("g{i}"))).collect();
     let dispatch = b.new_label("dispatch");
@@ -273,7 +284,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "m88ksim faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "m88ksim faulted: {:?}",
+            interp.error()
+        );
         let expected = reference(&guest_program());
         assert_eq!(interp.machine().mem(OUT_CHECK as u64), expected);
         assert_ne!(expected, 0);
@@ -285,6 +300,9 @@ mod tests {
         // An interpreter's signature: indirect dispatch dominates control
         // flow (conditional branches are rare in the handlers).
         let per_kilo = stats.indirect * 1000 / stats.instructions.max(1);
-        assert!(per_kilo > 25, "expected heavy indirect dispatch, got {per_kilo}/1000");
+        assert!(
+            per_kilo > 25,
+            "expected heavy indirect dispatch, got {per_kilo}/1000"
+        );
     }
 }

@@ -106,7 +106,7 @@ pub(crate) fn build(scale: u32) -> Workload {
 
     repeat_and_halt(&mut b, Reg::T9, Reg::T10, scale as i32, |b| {
         b.li(Reg::S8, 0); // matches
-        // --- BMH per pattern ---
+                          // --- BMH per pattern ---
         b.li(Reg::S0, 0); // pattern index
         let pat_lim = Reg::T11;
         b.li(pat_lim, NPATS as i32);
@@ -214,7 +214,11 @@ pub(crate) fn build(scale: u32) -> Workload {
         "perl",
         program,
         1 << 16,
-        vec![(TEXT as u64, text), (PATS as u64, pats), (SKIP as u64, skip)],
+        vec![
+            (TEXT as u64, text),
+            (PATS as u64, pats),
+            (SKIP as u64, skip),
+        ],
     )
 }
 
@@ -227,12 +231,19 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "perl faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "perl faulted: {:?}",
+            interp.error()
+        );
         let text = data::skewed_symbols(0x9E51, TEXT_LEN, ALPHA);
         let (matches, distinct) = reference(&text);
         assert_eq!(interp.machine().mem(OUT_MATCHES as u64), matches);
         assert_eq!(interp.machine().mem(OUT_WORDS as u64), distinct);
-        assert!(matches >= NPATS as u64, "planted patterns must be found: {matches}");
+        assert!(
+            matches >= NPATS as u64,
+            "planted patterns must be found: {matches}"
+        );
         assert!(distinct > 50, "too few words: {distinct}");
     }
 }

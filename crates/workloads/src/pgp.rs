@@ -30,7 +30,9 @@ type Big = Vec<u64>;
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn reference_modexp(g: &Big, e: &Big, m: &Big) -> Big {
     fn to_u128(x: &[u64]) -> u128 {
-        x.iter().rev().fold(0u128, |a, &l| (a << 32) | u128::from(l))
+        x.iter()
+            .rev()
+            .fold(0u128, |a, &l| (a << 32) | u128::from(l))
     }
     fn from_u128(mut v: u128, limbs: usize) -> Big {
         let mut out = vec![0u64; limbs];
@@ -170,7 +172,9 @@ fn add_big(b: &mut ProgramBuilder) {
 /// four 32-bit limbs, and the base is pre-reduced below the modulus.
 pub(crate) fn inputs() -> (Big, Big, Big) {
     fn to_u128(x: &[u64]) -> u128 {
-        x.iter().rev().fold(0u128, |a, &l| (a << 32) | u128::from(l))
+        x.iter()
+            .rev()
+            .fold(0u128, |a, &l| (a << 32) | u128::from(l))
     }
     fn from_u128(mut v: u128, limbs: usize) -> Big {
         let mut out = vec![0u64; limbs];
@@ -372,14 +376,21 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "pgp faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "pgp faulted: {:?}",
+            interp.error()
+        );
         let (g, e, m) = inputs();
         let expected = reference_modexp(&g, &e, &m);
-        let checksum =
-            expected.iter().rev().fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
+        let checksum = expected
+            .iter()
+            .rev()
+            .fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
         // The asm folds lsb-first: recompute in that order.
-        let checksum_lsb_first =
-            expected.iter().fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
+        let checksum_lsb_first = expected
+            .iter()
+            .fold(0u64, |a, &l| a.wrapping_mul(1_000_003).wrapping_add(l));
         let got = interp.machine().mem(OUT_CHECK as u64);
         assert!(
             got == checksum || got == checksum_lsb_first,
@@ -391,6 +402,10 @@ mod tests {
     #[test]
     fn dynamic_length_is_substantial() {
         let stats = build(1).stream_stats(5_000_000);
-        assert!(stats.instructions > 200_000, "modexp too short: {}", stats.instructions);
+        assert!(
+            stats.instructions > 200_000,
+            "modexp too short: {}",
+            stats.instructions
+        );
     }
 }

@@ -82,7 +82,9 @@ pub(crate) fn reference(coeffs: &[u64]) -> (u64, u64) {
             hist[bucket] += 1;
         }
     }
-    let check = hist.iter().fold(0u64, |acc, &h| acc.wrapping_mul(131).wrapping_add(h));
+    let check = hist
+        .iter()
+        .fold(0u64, |acc, &h| acc.wrapping_mul(131).wrapping_add(h));
     (clipped, check)
 }
 
@@ -207,7 +209,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "plot faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "plot faulted: {:?}",
+            interp.error()
+        );
         let (clipped, check) = reference(&coeff_image());
         assert_eq!(interp.machine().mem(OUT_CLIPPED as u64), clipped);
         assert_eq!(interp.machine().mem(OUT_CHECK as u64), check);
@@ -232,9 +238,18 @@ mod tests {
             // (0*x+0)*x+0 -> 0 % 50000 + 0 = 0, never negative.
             per_curve.push(clipped);
         }
-        let heavy = per_curve.iter().filter(|&&c| c > (NPOINTS as u64 * 8) / 10).count();
-        let light = per_curve.iter().filter(|&&c| c < (NPOINTS as u64 * 2) / 10).count();
-        assert!(heavy >= NCURVES / 3, "no heavily-clipped curves: {per_curve:?}");
+        let heavy = per_curve
+            .iter()
+            .filter(|&&c| c > (NPOINTS as u64 * 8) / 10)
+            .count();
+        let light = per_curve
+            .iter()
+            .filter(|&&c| c < (NPOINTS as u64 * 2) / 10)
+            .count();
+        assert!(
+            heavy >= NCURVES / 3,
+            "no heavily-clipped curves: {per_curve:?}"
+        );
         assert!(light >= NCURVES / 3, "no lightly-clipped curves");
     }
 }

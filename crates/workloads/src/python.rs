@@ -150,7 +150,8 @@ pub(crate) fn reference(prog: &[Op]) -> u64 {
             Op::Halt => break,
         }
     }
-    vars.iter().fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v))
+    vars.iter()
+        .fold(0u64, |a, &v| a.wrapping_mul(31).wrapping_add(v))
 }
 
 const BC: i32 = 0x100;
@@ -167,7 +168,9 @@ pub(crate) fn build(scale: u32) -> Workload {
     // Registers: S0 = guest pc, S1 = vm stack pointer (word addr),
     // S2 = BC base, S3 = VARS base, S4 = dispatch table base,
     // S5 = current arg, T0.. scratch.
-    b.li(Reg::S2, BC).li(Reg::S3, VARS).li(Reg::S4, DISPATCH_TABLE);
+    b.li(Reg::S2, BC)
+        .li(Reg::S3, VARS)
+        .li(Reg::S4, DISPATCH_TABLE);
 
     // Handler labels.
     let handlers: Vec<_> = (0..10).map(|i| b.new_label(format!("op{i}"))).collect();
@@ -312,7 +315,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "python faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "python faulted: {:?}",
+            interp.error()
+        );
         let expected = reference(&guest_program());
         assert_eq!(interp.machine().mem(OUT_CHECK as u64), expected);
         assert_ne!(expected, 0);
@@ -324,6 +331,9 @@ mod tests {
         // The VM's indirect dispatch should produce a high indirect-jump
         // rate relative to other benchmarks.
         let per_kilo = stats.indirect * 1000 / stats.instructions.max(1);
-        assert!(per_kilo > 30, "expected heavy indirect dispatch, got {per_kilo}/1000");
+        assert!(
+            per_kilo > 30,
+            "expected heavy indirect dispatch, got {per_kilo}/1000"
+        );
     }
 }

@@ -24,7 +24,9 @@ const OUT_CHECK: i32 = OUT_PROCESSED + 1;
 
 /// The shared LCG both implementations use for event payloads.
 fn lcg(state: u64) -> u64 {
-    state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407)
+    state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407)
 }
 
 /// Reference simulator: returns (processed, stats checksum).
@@ -37,7 +39,9 @@ pub(crate) fn reference() -> (u64, u64) {
     queue.push_back((1, 2));
     let mut processed = 0u64;
     while processed < BUDGET as u64 {
-        let Some((ty, payload)) = queue.pop_front() else { break };
+        let Some((ty, payload)) = queue.pop_front() else {
+            break;
+        };
         processed += 1;
         stats[(payload % 64) as usize] = stats[(payload % 64) as usize]
             .wrapping_mul(3)
@@ -80,7 +84,9 @@ pub(crate) fn reference() -> (u64, u64) {
             queue.push_back((0, rng & 0xFFFF));
         }
     }
-    let check = stats.iter().fold(0u64, |a, &s| a.wrapping_mul(31).wrapping_add(s));
+    let check = stats
+        .iter()
+        .fold(0u64, |a, &s| a.wrapping_mul(31).wrapping_add(s));
     (processed, check)
 }
 
@@ -146,7 +152,7 @@ pub(crate) fn build(scale: u32) -> Workload {
         b.li(Reg::T0, BUDGET as i32);
         b.branch(Cond::Geu, Reg::S2, Reg::T0, loop_done);
         b.beq(Reg::S0, Reg::S1, loop_done); // queue empty (defensive)
-        // pop front.
+                                            // pop front.
         b.and(Reg::T0, Reg::S0, Reg::A5);
         b.shli(Reg::T0, Reg::T0, 1);
         b.addi(Reg::T0, Reg::T0, QUEUE);
@@ -167,7 +173,7 @@ pub(crate) fn build(scale: u32) -> Workload {
         b.sub(Reg::S6, Reg::S1, Reg::S0);
         b.li(Reg::T0, (QCAP - 2) as i32);
         b.sub(Reg::S6, Reg::T0, Reg::S6); // S6 = room
-        // Dispatch on type via compare chain (5 types).
+                                          // Dispatch on type via compare chain (5 types).
         let after = b.new_label("after_dispatch");
         let mut arms = Vec::new();
         for t in 0..NTYPES {

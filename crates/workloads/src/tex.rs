@@ -26,7 +26,10 @@ const OUT_LINES: i32 = FUNCS + NFUNCS as i32;
 const OUT_CHECK: i32 = OUT_LINES + 1;
 
 fn width_table() -> Vec<u64> {
-    data::uniform_words(0x7E40, 64, 11).iter().map(|w| w + 1).collect()
+    data::uniform_words(0x7E40, 64, 11)
+        .iter()
+        .map(|w| w + 1)
+        .collect()
 }
 
 fn pattern_table() -> Vec<u64> {
@@ -78,9 +81,13 @@ pub(crate) fn build(scale: u32) -> Workload {
     let mut b = ProgramBuilder::new();
     // A4 = WORDS, A5 = count, S2 = WIDTHS, S3 = PATTERNS, S4 = FUNCS.
     b.li(Reg::A4, WORDS).li(Reg::A5, NWORDS as i32);
-    b.li(Reg::S2, WIDTHS).li(Reg::S3, PATTERNS).li(Reg::S4, FUNCS);
+    b.li(Reg::S2, WIDTHS)
+        .li(Reg::S3, PATTERNS)
+        .li(Reg::S4, FUNCS);
 
-    let flabels: Vec<_> = (0..NFUNCS).map(|i| b.new_label(format!("fmt{i}"))).collect();
+    let flabels: Vec<_> = (0..NFUNCS)
+        .map(|i| b.new_label(format!("fmt{i}")))
+        .collect();
     let start = b.new_label("start");
     for (i, &l) in flabels.iter().enumerate() {
         b.la(Reg::T0, l);
@@ -169,7 +176,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "tex faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "tex faulted: {:?}",
+            interp.error()
+        );
         let words = data::zipf_words(0x7E43, NWORDS, VOCAB);
         let (lines, check) = reference(&words);
         assert_eq!(interp.machine().mem(OUT_LINES as u64), lines);
@@ -180,6 +191,10 @@ mod tests {
     #[test]
     fn footprint_is_large_and_paths_varied() {
         let w = build(1);
-        assert!(w.program().len() > 1500, "tex footprint: {}", w.program().len());
+        assert!(
+            w.program().len() > 1500,
+            "tex footprint: {}",
+            w.program().len()
+        );
     }
 }

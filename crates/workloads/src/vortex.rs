@@ -33,9 +33,13 @@ fn key_of(i: usize) -> u64 {
 /// Builds (root, mid, leaves, values): a static sorted index.
 fn index_image() -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
     let leaves: Vec<u64> = (0..NKEYS).map(key_of).collect();
-    let values: Vec<u64> = (0..NKEYS).map(|i| (i as u64).wrapping_mul(0xABCD) & 0xFFFF).collect();
+    let values: Vec<u64> = (0..NKEYS)
+        .map(|i| (i as u64).wrapping_mul(0xABCD) & 0xFFFF)
+        .collect();
     // mid[m] = first key of leaf block m; root[r] = first key of mid block r.
-    let mid: Vec<u64> = (0..FANOUT * FANOUT).map(|m| leaves[m * LEAF_KEYS]).collect();
+    let mid: Vec<u64> = (0..FANOUT * FANOUT)
+        .map(|m| leaves[m * LEAF_KEYS])
+        .collect();
     let root: Vec<u64> = (0..FANOUT).map(|r| mid[r * FANOUT]).collect();
     (root, mid, leaves, values)
 }
@@ -231,7 +235,11 @@ mod tests {
         let w = build(1);
         let mut interp = w.interpreter();
         interp.by_ref().for_each(drop);
-        assert!(interp.error().is_none(), "vortex faulted: {:?}", interp.error());
+        assert!(
+            interp.error().is_none(),
+            "vortex faulted: {:?}",
+            interp.error()
+        );
         let (found, sum) = reference(&built_queries());
         assert_eq!(interp.machine().mem(OUT_FOUND as u64), found);
         assert_eq!(interp.machine().mem(OUT_SUM as u64), sum);

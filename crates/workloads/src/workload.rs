@@ -32,7 +32,12 @@ impl Workload {
                 words.len()
             );
         }
-        Workload { name, program, mem_words, image }
+        Workload {
+            name,
+            program,
+            mem_words,
+            image,
+        }
     }
 
     /// The benchmark's name (matches the paper's Table 1).

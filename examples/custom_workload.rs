@@ -17,12 +17,7 @@ const B: i32 = A + N * N;
 const C: i32 = B + N * N;
 
 /// Emits `for (i = 0; i < n; i++) body` using `i`/`n` registers.
-fn emit_loop(
-    b: &mut ProgramBuilder,
-    i: Reg,
-    n: Reg,
-    body: impl FnOnce(&mut ProgramBuilder),
-) {
+fn emit_loop(b: &mut ProgramBuilder, i: Reg, n: Reg, body: impl FnOnce(&mut ProgramBuilder)) {
     let top = b.new_label("loop");
     let done = b.new_label("done");
     b.li(i, 0);
@@ -69,9 +64,17 @@ fn main() {
     // Deterministic input matrices.
     let a: Vec<u64> = (0..(N * N) as u64).map(|i| i * 7 % 100).collect();
     let b: Vec<u64> = (0..(N * N) as u64).map(|i| i * 13 % 100).collect();
-    let workload = Workload::new("matmul", program, 1 << 13, vec![(A as u64, a), (B as u64, b)]);
+    let workload = Workload::new(
+        "matmul",
+        program,
+        1 << 13,
+        vec![(A as u64, a), (B as u64, b)],
+    );
 
-    println!("custom workload `matmul` ({} static instructions)\n", workload.program().len());
+    println!(
+        "custom workload `matmul` ({} static instructions)\n",
+        workload.program().len()
+    );
     for (name, config) in [
         ("icache", SimConfig::icache()),
         ("baseline tc", SimConfig::baseline()),

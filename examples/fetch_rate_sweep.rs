@@ -5,11 +5,16 @@
 //! cargo run --release --example fetch_rate_sweep [benchmark]
 //! ```
 
-use trace_weave::sim::{Processor, SimConfig};
+use trace_weave::sim::harness::{default_jobs, run_matrix};
+use trace_weave::sim::SimConfig;
 use trace_weave::workloads::Benchmark;
 
+const THRESHOLDS: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_owned());
     let bench = Benchmark::ALL
         .into_iter()
         .find(|b| b.name() == name || b.short_name() == name)
@@ -20,14 +25,20 @@ fn main() {
             }
             std::process::exit(2);
         });
-    let workload = bench.build();
     println!("promotion-threshold sweep on `{bench}` (1M instructions per point)\n");
     println!(
         "{:>12} {:>10} {:>10} {:>10} {:>12}",
         "threshold", "eff fetch", "promoted%", "faults", "0/1-pred %"
     );
 
-    let baseline = Processor::new(SimConfig::baseline().with_max_insts(1_000_000)).run(&workload);
+    // All sweep points are independent cells — run them in parallel.
+    let cells: Vec<(Benchmark, SimConfig)> = std::iter::once(SimConfig::baseline())
+        .chain(THRESHOLDS.iter().map(|&t| SimConfig::promotion(t)))
+        .map(|c| (bench, c.with_max_insts(1_000_000)))
+        .collect();
+    let reports = run_matrix(&cells, default_jobs());
+
+    let baseline = &reports[0];
     let (p01, _, _) = baseline.fetch.prediction_demand();
     println!(
         "{:>12} {:>10.2} {:>9.1}% {:>10} {:>11.0}%",
@@ -38,9 +49,7 @@ fn main() {
         p01 * 100.0
     );
 
-    for threshold in [8u32, 16, 32, 64, 128, 256] {
-        let config = SimConfig::promotion(threshold).with_max_insts(1_000_000);
-        let report = Processor::new(config).run(&workload);
+    for (threshold, report) in THRESHOLDS.iter().zip(&reports[1..]) {
         let total_branches =
             report.cond_branches + report.promoted_executed + report.promoted_faults;
         let promoted_pct = if total_branches == 0 {

@@ -29,9 +29,17 @@ fn main() {
     b.halt();
     let program = b.build().expect("assembles");
 
-    for (name, promotion) in [("without promotion", false), ("with promotion (t=16)", true)] {
+    for (name, promotion) in [
+        ("without promotion", false),
+        ("with promotion (t=16)", true),
+    ] {
         let bias = promotion.then(|| {
-            BiasTable::new(BiasConfig { entries: 64, threshold: 16, counter_bits: 8, tagged: true })
+            BiasTable::new(BiasConfig {
+                entries: 64,
+                threshold: 16,
+                counter_bits: 8,
+                tagged: true,
+            })
         });
         let mut fill = FillUnit::new(PackingPolicy::Unregulated, bias);
         let mut seg_lens = Vec::new();

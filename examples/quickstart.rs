@@ -5,41 +5,46 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use trace_weave::core::PackingPolicy;
-use trace_weave::sim::{Processor, SimConfig};
+use trace_weave::sim::harness::{default_jobs, preset, run_matrix};
+use trace_weave::sim::SimConfig;
 use trace_weave::workloads::Benchmark;
 
 fn main() {
     // Pick a benchmark from the paper's Table 1 and build its workload
     // (a synthetic program plus input data; see tc-workloads).
-    let workload = Benchmark::Gcc.build();
+    let bench = Benchmark::Gcc;
+    let workload = bench.build();
     println!(
         "benchmark: {} ({} static instructions)",
         workload.name(),
         workload.program().len()
     );
 
-    // The three headline machines: the icache-only reference front end,
-    // the baseline trace cache, and the trace cache with branch
-    // promotion (threshold 64) + trace packing.
-    let machines = [
-        ("icache-only reference", SimConfig::icache()),
-        ("baseline trace cache", SimConfig::baseline()),
-        (
-            "promotion + packing",
-            SimConfig::promotion_packing(64, PackingPolicy::Unregulated),
-        ),
-    ];
+    // The three headline machines, by their registry names (the same
+    // names `tw sim --config <name>` accepts): the icache-only reference
+    // front end, the baseline trace cache, and the trace cache with
+    // branch promotion (threshold 64) + trace packing.
+    let machines = ["icache", "baseline", "promo-pack"];
+    let cells: Vec<(Benchmark, SimConfig)> = machines
+        .iter()
+        .map(|name| {
+            let p = preset(name).expect("registry preset");
+            (bench, p.build().with_max_insts(1_000_000))
+        })
+        .collect();
+
+    // One simulation per machine, run in parallel with deterministic,
+    // caller-ordered results.
+    let reports = run_matrix(&cells, default_jobs());
 
     println!(
         "\n{:24} {:>10} {:>8} {:>10} {:>12}",
         "machine", "eff fetch", "IPC", "mispred%", "resolution"
     );
-    for (name, config) in machines {
-        let report = Processor::new(config.with_max_insts(1_000_000)).run(&workload);
+    for (name, report) in machines.iter().zip(&reports) {
         println!(
             "{:24} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c",
-            name,
+            *name,
             report.effective_fetch_rate(),
             report.ipc(),
             report.cond_mispredict_rate() * 100.0,

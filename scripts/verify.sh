@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI runs and what every change must keep green.
+#
+#   scripts/verify.sh
+#
+# Builds offline (the workspace has no external dependencies), runs the
+# full test suite, and checks formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "OK: build + tests + formatting all clean"

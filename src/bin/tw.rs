@@ -3,14 +3,21 @@
 //! ```text
 //! tw list
 //! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json]
-//! tw compare --bench gcc [--insts N]
+//! tw compare --bench gcc [--insts N] [--jobs N] [--json]
 //! ```
+//!
+//! Configuration names come from the experiment harness's registry
+//! (`tc_sim::harness`); `tw list` prints it. `compare` runs Figure 10's
+//! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
+//! environment variable, caps the worker threads).
 
 use std::env;
 use std::process::ExitCode;
 
-use trace_weave::core::PackingPolicy;
-use trace_weave::sim::{Processor, SimConfig, SimReport};
+use trace_weave::sim::harness::{
+    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix,
+};
+use trace_weave::sim::{SimConfig, SimReport};
 use trace_weave::workloads::Benchmark;
 
 fn usage() -> ExitCode {
@@ -18,30 +25,21 @@ fn usage() -> ExitCode {
         "usage:
   tw list
       list benchmarks and configurations
-  tw sim --bench <name> --config <name> [--insts N] [--perfect-mem]
+  tw sim --bench <name> --config <name> [--insts N] [--perfect-mem] [--json]
       simulate one benchmark under one configuration
-  tw compare --bench <name> [--insts N]
-      compare all standard configurations on one benchmark
+  tw compare --bench <name> [--insts N] [--jobs N] [--json]
+      compare the five standard configurations on one benchmark
 
-configurations: icache, baseline, packing, promotion, promo-pack, headline"
+configurations: {}",
+        harness::STANDARD_FIVE.join(", ")
     );
     ExitCode::from(2)
 }
 
-fn parse_config(name: &str) -> Option<SimConfig> {
-    Some(match name {
-        "icache" => SimConfig::icache(),
-        "baseline" => SimConfig::baseline(),
-        "packing" => SimConfig::packing(PackingPolicy::Unregulated),
-        "promotion" => SimConfig::promotion(64),
-        "promo-pack" => SimConfig::promotion_packing(64, PackingPolicy::Unregulated),
-        "headline" => SimConfig::headline_perf(),
-        _ => return None,
-    })
-}
-
 fn parse_bench(name: &str) -> Option<Benchmark> {
-    Benchmark::ALL.into_iter().find(|b| b.name() == name || b.short_name() == name)
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name || b.short_name() == name)
 }
 
 fn print_report(r: &SimReport) {
@@ -51,7 +49,10 @@ fn print_report(r: &SimReport) {
     println!("cycles             {}", r.cycles);
     println!("IPC                {:.3}", r.ipc());
     println!("eff fetch rate     {:.2}", r.effective_fetch_rate());
-    println!("cond mispredict    {:.2}%", r.cond_mispredict_rate() * 100.0);
+    println!(
+        "cond mispredict    {:.2}%",
+        r.cond_mispredict_rate() * 100.0
+    );
     println!("promoted executed  {}", r.promoted_executed);
     println!("promoted faults    {}", r.promoted_faults);
     println!("avg resolution     {:.1} cycles", r.avg_resolution_time());
@@ -60,18 +61,25 @@ fn print_report(r: &SimReport) {
     }
     println!("cycle accounting:");
     for (label, cycles) in r.accounting.categories() {
-        println!("  {label:14} {:5.1}%", cycles as f64 / r.cycles.max(1) as f64 * 100.0);
+        println!(
+            "  {label:14} {:5.1}%",
+            cycles as f64 / r.cycles.max(1) as f64 * 100.0
+        );
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
 
     let mut bench = None;
     let mut config_name = None;
     let mut insts: u64 = 2_000_000;
     let mut perfect = false;
+    let mut json = false;
+    let mut jobs = default_jobs();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,7 +98,15 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => jobs = n,
+                    _ => return usage(),
+                }
+            }
             "--perfect-mem" => perfect = true,
+            "--json" => json = true,
             _ => return usage(),
         }
         i += 1;
@@ -103,8 +119,13 @@ fn main() -> ExitCode {
                 println!("  {:10} ({})", b.name(), b.short_name());
             }
             println!("\nconfigurations:");
-            for c in ["icache", "baseline", "packing", "promotion", "promo-pack", "headline"] {
-                println!("  {c}");
+            for p in presets() {
+                let aliases = if p.aliases.is_empty() {
+                    String::new()
+                } else {
+                    format!("  (aliases: {})", p.aliases.join(", "))
+                };
+                println!("  {:12} {}{aliases}", p.name, p.summary);
             }
             ExitCode::SUCCESS
         }
@@ -113,7 +134,7 @@ fn main() -> ExitCode {
                 eprintln!("missing or unknown --bench");
                 return usage();
             };
-            let Some(mut config) = config_name.as_deref().and_then(parse_config) else {
+            let Some(mut config) = config_name.as_deref().and_then(harness::lookup) else {
                 eprintln!("missing or unknown --config");
                 return usage();
             };
@@ -121,8 +142,13 @@ fn main() -> ExitCode {
                 config = config.with_perfect_disambiguation();
             }
             let workload = bench.build();
-            let report = Processor::new(config.with_max_insts(insts)).run(&workload);
-            print_report(&report);
+            let report =
+                trace_weave::sim::Processor::new(config.with_max_insts(insts)).run(&workload);
+            if json {
+                println!("{}", report_to_json(&report).pretty());
+            } else {
+                print_report(&report);
+            }
             ExitCode::SUCCESS
         }
         "compare" => {
@@ -130,17 +156,27 @@ fn main() -> ExitCode {
                 eprintln!("missing or unknown --bench");
                 return usage();
             };
-            let workload = bench.build();
+            let cells: Vec<(Benchmark, SimConfig)> = harness::standard_five()
+                .into_iter()
+                .map(|(_, config)| {
+                    let config = if perfect {
+                        config.with_perfect_disambiguation()
+                    } else {
+                        config
+                    };
+                    (bench, config.with_max_insts(insts))
+                })
+                .collect();
+            let reports = run_matrix(&cells, jobs);
+            if json {
+                println!("{}", reports_to_json(&reports).pretty());
+                return ExitCode::SUCCESS;
+            }
             println!(
                 "{:12} {:>10} {:>8} {:>10} {:>12}",
                 "config", "eff fetch", "IPC", "mispred%", "resolution"
             );
-            for name in ["icache", "baseline", "packing", "promotion", "promo-pack"] {
-                let mut config = parse_config(name).expect("known");
-                if perfect {
-                    config = config.with_perfect_disambiguation();
-                }
-                let r = Processor::new(config.with_max_insts(insts)).run(&workload);
+            for (name, r) in harness::STANDARD_FIVE.iter().zip(&reports) {
                 println!(
                     "{:12} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c",
                     name,

@@ -30,10 +30,16 @@ fn promotion_and_packing_beat_baseline_fetch_rate() {
         &SimConfig::packing(PackingPolicy::Unregulated),
         SimReport::effective_fetch_rate,
     );
-    let both = suite_mean(&SimConfig::headline_fetch(), SimReport::effective_fetch_rate);
+    let both = suite_mean(
+        &SimConfig::headline_fetch(),
+        SimReport::effective_fetch_rate,
+    );
     assert!(promo > base, "promotion {promo:.2} <= baseline {base:.2}");
     assert!(pack > base, "packing {pack:.2} <= baseline {base:.2}");
-    assert!(both > promo && both > pack, "combined {both:.2} not best (p={promo:.2}, k={pack:.2})");
+    assert!(
+        both > promo && both > pack,
+        "combined {both:.2} not best (p={promo:.2}, k={pack:.2})"
+    );
     let gain = (both - base) / base;
     assert!(
         gain > 0.08,
@@ -60,7 +66,10 @@ fn trace_cache_doubles_icache_fetch_rate() {
 fn promotion_cuts_prediction_demand() {
     let d0 = suite_mean(&SimConfig::baseline(), |r| r.fetch.prediction_demand().0);
     let d1 = suite_mean(&SimConfig::promotion(64), |r| r.fetch.prediction_demand().0);
-    assert!(d1 > d0 + 0.1, "0/1-prediction fraction {d0:.2} -> {d1:.2} insufficient");
+    assert!(
+        d1 > d0 + 0.1,
+        "0/1-prediction fraction {d0:.2} -> {d1:.2} insufficient"
+    );
 }
 
 /// Paper Fig 16 vs Fig 11: perfect memory disambiguation unlocks more of
@@ -72,7 +81,10 @@ fn perfect_disambiguation_raises_ipc() {
         &SimConfig::headline_perf().with_perfect_disambiguation(),
         SimReport::ipc,
     );
-    assert!(perfect > real, "perfect {perfect:.2} <= realistic {real:.2}");
+    assert!(
+        perfect > real,
+        "perfect {perfect:.2} <= realistic {real:.2}"
+    );
 }
 
 /// Resolution time grows when the front end runs further ahead (paper
@@ -112,7 +124,10 @@ fn promotion_mechanics_are_wired() {
 fn reports_are_consistent() {
     let rep = run(Benchmark::Perl, SimConfig::headline_fetch());
     assert!(rep.instructions >= BUDGET);
-    assert!(rep.cycles >= rep.instructions / 16, "IPC above the machine width");
+    assert!(
+        rep.cycles >= rep.instructions / 16,
+        "IPC above the machine width"
+    );
     assert!(rep.accounting.total() <= rep.cycles + 1);
     assert!(rep.effective_fetch_rate() <= 16.0);
 }
@@ -138,8 +153,14 @@ fn determinism_across_identical_runs() {
 fn cost_regulation_trades_sanely() {
     let mut worse = 0;
     for bench in [Benchmark::Gcc, Benchmark::Tex, Benchmark::Go] {
-        let unreg = run(bench, SimConfig::promotion_packing(64, PackingPolicy::Unregulated));
-        let cost = run(bench, SimConfig::promotion_packing(64, PackingPolicy::CostRegulated));
+        let unreg = run(
+            bench,
+            SimConfig::promotion_packing(64, PackingPolicy::Unregulated),
+        );
+        let cost = run(
+            bench,
+            SimConfig::promotion_packing(64, PackingPolicy::CostRegulated),
+        );
         if cost.cache_miss_cycles() > unreg.cache_miss_cycles() {
             worse += 1;
         }
@@ -148,5 +169,8 @@ fn cost_regulation_trades_sanely() {
             "{bench}: cost-regulation gave up too much fetch rate"
         );
     }
-    assert!(worse <= 1, "cost regulation raised miss cycles on {worse}/3 benchmarks");
+    assert!(
+        worse <= 1,
+        "cost regulation raised miss cycles on {worse}/3 benchmarks"
+    );
 }

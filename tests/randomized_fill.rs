@@ -1,12 +1,16 @@
-//! Property tests on the fill unit: for any retired instruction stream
+//! Randomized tests on the fill unit: for any retired instruction stream
 //! and any packing policy, the finalized segments must exactly partition
 //! the stream — no instruction lost, duplicated, or reordered — and obey
 //! every structural limit.
+//!
+//! Inputs come from the vendored seeded generator
+//! (`trace_weave::workloads::rng`), so every run explores the same cases
+//! and failures are reproducible from the reported seed.
 
-use proptest::prelude::*;
 use trace_weave::core::{FillUnit, PackingPolicy};
 use trace_weave::isa::{Addr, Cond, ExecRecord, Instr, Reg};
 use trace_weave::predict::{BiasConfig, BiasTable};
+use trace_weave::workloads::rng::{Rng, Xoshiro256PlusPlus};
 
 /// Builds a well-formed retire stream from block descriptors: each block
 /// is `size` straight-line instructions ending with a terminator chosen
@@ -75,6 +79,13 @@ fn stream_from_blocks(blocks: &[(u8, u8)]) -> Vec<ExecRecord> {
     out
 }
 
+fn arb_blocks(r: &mut Xoshiro256PlusPlus, max_blocks: usize) -> Vec<(u8, u8)> {
+    let n = r.gen_range(1..max_blocks);
+    (0..n)
+        .map(|_| (r.next_u32() as u8, (r.next_u32() >> 8) as u8))
+        .collect()
+}
+
 fn policies() -> [PackingPolicy; 5] {
     [
         PackingPolicy::Atomic,
@@ -85,21 +96,24 @@ fn policies() -> [PackingPolicy; 5] {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Segments partition the retired stream exactly (up to the pending
-    /// tail the fill unit is still accumulating), for every policy, with
-    /// and without promotion.
-    #[test]
-    fn segments_partition_the_retire_stream(
-        blocks in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
-        promote in any::<bool>(),
-    ) {
+/// Segments partition the retired stream exactly (up to the pending
+/// tail the fill unit is still accumulating), for every policy, with
+/// and without promotion.
+#[test]
+fn segments_partition_the_retire_stream() {
+    for case in 0u64..64 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xF111_0000 + case);
+        let blocks = arb_blocks(&mut r, 80);
+        let promote = r.gen_bool(0.5);
         let stream = stream_from_blocks(&blocks);
         for policy in policies() {
             let bias = promote.then(|| {
-                BiasTable::new(BiasConfig { entries: 256, threshold: 4, counter_bits: 8, tagged: true })
+                BiasTable::new(BiasConfig {
+                    entries: 256,
+                    threshold: 4,
+                    counter_bits: 8,
+                    tagged: true,
+                })
             });
             let mut fill = FillUnit::new(policy, bias);
             let mut rebuilt: Vec<(u32, bool)> = Vec::new();
@@ -107,46 +121,48 @@ proptest! {
                 fill.retire(rec);
                 while let Some(seg) = fill.pop_segment() {
                     // Structural limits.
-                    prop_assert!(seg.len() >= 1 && seg.len() <= 16);
-                    prop_assert!(seg.dynamic_branch_count() <= 3);
+                    assert!(seg.len() >= 1 && seg.len() <= 16, "case {case}");
+                    assert!(seg.dynamic_branch_count() <= 3, "case {case}");
                     for si in seg.insts() {
                         rebuilt.push((si.pc.raw(), si.taken));
                     }
                 }
             }
             let expected: Vec<(u32, bool)> =
-                stream.iter().map(|r| (r.pc.raw(), r.taken)).collect();
-            prop_assert!(
+                stream.iter().map(|rec| (rec.pc.raw(), rec.taken)).collect();
+            assert!(
                 rebuilt.len() <= expected.len(),
-                "{policy}: more instructions out than in"
+                "case {case}, {policy}: more instructions out than in"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 &rebuilt[..],
                 &expected[..rebuilt.len()],
-                "{} reordered or corrupted the stream", policy
+                "case {case}: {policy} reordered or corrupted the stream"
             );
             // The un-finalized tail is bounded by one pending segment +
             // one open block.
-            prop_assert!(expected.len() - rebuilt.len() <= 32);
+            assert!(expected.len() - rebuilt.len() <= 32, "case {case}");
         }
     }
+}
 
-    /// Embedded paths are internally consistent: within a segment, each
-    /// instruction's `embedded_next` equals the next instruction's pc.
-    #[test]
-    fn segments_are_logically_contiguous(
-        blocks in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
-    ) {
+/// Embedded paths are internally consistent: within a segment, each
+/// instruction's `embedded_next` equals the next instruction's pc.
+#[test]
+fn segments_are_logically_contiguous() {
+    for case in 0u64..64 {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0xF111_1000 + case);
+        let blocks = arb_blocks(&mut r, 60);
         let stream = stream_from_blocks(&blocks);
         let mut fill = FillUnit::new(PackingPolicy::Unregulated, None);
         for rec in &stream {
             fill.retire(rec);
             while let Some(seg) = fill.pop_segment() {
                 for pair in seg.insts().windows(2) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         pair[0].embedded_next(),
                         pair[1].pc,
-                        "segment path broken"
+                        "case {case}: segment path broken"
                     );
                 }
             }
