@@ -1,0 +1,379 @@
+//! Basic-block control-flow graph construction.
+//!
+//! Leaders are the entry point, every direct branch/jump/call target,
+//! every instruction after a control transfer (or `Halt`), and every
+//! address-taken label (the possible targets of indirect transfers).
+//! `Trap` is architecturally a serializing no-op that falls through, so
+//! it does not end a block.
+
+use tc_isa::{Addr, ControlKind, Instr};
+
+use crate::AnalysisInput;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Execution continues into the following block.
+    Fallthrough,
+    /// Conditional branch: taken edge to `target`, else fall through.
+    CondBranch {
+        /// The taken target.
+        target: Addr,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// The target.
+        target: Addr,
+    },
+    /// Direct call; if the callee returns, execution resumes after it.
+    Call {
+        /// The callee entry.
+        target: Addr,
+    },
+    /// Return through the link register.
+    Return,
+    /// Indirect jump; possible targets are the address-taken set.
+    IndirectJump,
+    /// Indirect call; possible callees are the address-taken set.
+    IndirectCall,
+    /// `Halt`: execution stops.
+    Halt,
+    /// The program's last instruction is not a control transfer:
+    /// execution would fall off the end.
+    OffEnd,
+}
+
+/// A maximal straight-line run of instructions with one entry point.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// How the block ends.
+    pub terminator: Terminator,
+    /// Successor block ids (callees and post-call return sites included).
+    pub succs: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Address of the block's first instruction.
+    #[must_use]
+    pub fn start_addr(&self) -> Addr {
+        Addr::new(self.start as u32)
+    }
+
+    /// Address of the block's last instruction.
+    #[must_use]
+    pub fn last_addr(&self) -> Addr {
+        Addr::new((self.end - 1) as u32)
+    }
+
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Always `false`: blocks hold at least one instruction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Instruction index → owning block id.
+    block_of: Vec<usize>,
+    entry_block: usize,
+    address_taken_blocks: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG. Out-of-range targets contribute no edges (the
+    /// well-formedness pass reports them); an out-of-range entry point
+    /// falls back to block 0.
+    #[must_use]
+    pub fn build(input: &AnalysisInput<'_>) -> Cfg {
+        let n = input.instrs.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                entry_block: 0,
+                address_taken_blocks: Vec::new(),
+            };
+        }
+        let in_range = |a: Addr| a.index() < n;
+
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if in_range(input.entry) {
+            leader[input.entry.index()] = true;
+        }
+        for &a in input.address_taken {
+            if in_range(a) {
+                leader[a.index()] = true;
+            }
+        }
+        for (i, instr) in input.instrs.iter().enumerate() {
+            if let Some(t) = instr.direct_target() {
+                if in_range(t) {
+                    leader[t.index()] = true;
+                }
+            }
+            if ends_block(instr) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; n];
+        for (bi, &s) in starts.iter().enumerate() {
+            let e = starts.get(bi + 1).copied().unwrap_or(n);
+            for slot in &mut block_of[s..e] {
+                *slot = bi;
+            }
+            blocks.push(BasicBlock {
+                start: s,
+                end: e,
+                terminator: terminator_of(&input.instrs[e - 1], e == n),
+                succs: Vec::new(),
+            });
+        }
+
+        let mut address_taken_blocks: Vec<usize> = input
+            .address_taken
+            .iter()
+            .filter(|a| in_range(**a))
+            .map(|a| block_of[a.index()])
+            .collect();
+        address_taken_blocks.sort_unstable();
+        address_taken_blocks.dedup();
+
+        for bi in 0..blocks.len() {
+            let next_block = (blocks[bi].end < n).then(|| block_of[blocks[bi].end]);
+            let mut succs = Vec::new();
+            match blocks[bi].terminator {
+                Terminator::Fallthrough => succs.extend(next_block),
+                Terminator::CondBranch { target } => {
+                    if in_range(target) {
+                        succs.push(block_of[target.index()]);
+                    }
+                    succs.extend(next_block);
+                }
+                Terminator::Jump { target } => {
+                    if in_range(target) {
+                        succs.push(block_of[target.index()]);
+                    }
+                }
+                Terminator::Call { target } => {
+                    if in_range(target) {
+                        succs.push(block_of[target.index()]);
+                    }
+                    succs.extend(next_block);
+                }
+                Terminator::IndirectJump => succs.extend(address_taken_blocks.iter().copied()),
+                Terminator::IndirectCall => {
+                    succs.extend(address_taken_blocks.iter().copied());
+                    succs.extend(next_block);
+                }
+                Terminator::Return | Terminator::Halt | Terminator::OffEnd => {}
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[bi].succs = succs;
+        }
+
+        let entry_block = if in_range(input.entry) {
+            block_of[input.entry.index()]
+        } else {
+            0
+        };
+        Cfg {
+            blocks,
+            block_of,
+            entry_block,
+            address_taken_blocks,
+        }
+    }
+
+    /// All basic blocks, in address order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing the entry point.
+    #[must_use]
+    pub fn entry_block(&self) -> usize {
+        self.entry_block
+    }
+
+    /// The block containing the instruction at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn block_at(&self, addr: Addr) -> usize {
+        self.block_of[addr.index()]
+    }
+
+    /// Blocks whose first instruction is an address-taken label: the
+    /// possible targets of indirect jumps and calls.
+    #[must_use]
+    pub fn address_taken_blocks(&self) -> &[usize] {
+        &self.address_taken_blocks
+    }
+
+    /// Which blocks are reachable from the entry block following every
+    /// edge (including call and post-call edges).
+    #[must_use]
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut work = vec![self.entry_block];
+        seen[self.entry_block] = true;
+        while let Some(b) = work.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+fn ends_block(instr: &Instr) -> bool {
+    if matches!(instr, Instr::Halt) {
+        return true;
+    }
+    matches!(
+        instr.control_kind(),
+        ControlKind::CondBranch
+            | ControlKind::Jump
+            | ControlKind::Call
+            | ControlKind::Return
+            | ControlKind::IndirectJump
+            | ControlKind::IndirectCall
+    )
+}
+
+fn terminator_of(last: &Instr, at_end: bool) -> Terminator {
+    match *last {
+        Instr::Branch { target, .. } => Terminator::CondBranch { target },
+        Instr::Jump { target } => Terminator::Jump { target },
+        Instr::Call { target } => Terminator::Call { target },
+        Instr::Ret => Terminator::Return,
+        Instr::JumpInd { .. } => Terminator::IndirectJump,
+        Instr::CallInd { .. } => Terminator::IndirectCall,
+        Instr::Halt => Terminator::Halt,
+        _ if at_end => Terminator::OffEnd,
+        _ => Terminator::Fallthrough,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_isa::{ProgramBuilder, Reg};
+
+    fn cfg_of(p: &tc_isa::Program) -> Cfg {
+        Cfg::build(&AnalysisInput::from(p))
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 1).addi(Reg::T0, Reg::T0, 1).halt();
+        let cfg = cfg_of(&b.build().unwrap());
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].terminator, Terminator::Halt);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_adds_both_edges() {
+        let mut b = ProgramBuilder::new();
+        let done = b.new_label("done");
+        b.li(Reg::T0, 1);
+        b.beqz(Reg::T0, done);
+        b.nop();
+        b.bind(done).unwrap();
+        b.halt();
+        let cfg = cfg_of(&b.build().unwrap());
+        // [li, beqz] [nop] [halt]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks()[1].succs, vec![2]);
+        assert!(matches!(
+            cfg.blocks()[0].terminator,
+            Terminator::CondBranch { .. }
+        ));
+    }
+
+    #[test]
+    fn call_has_callee_and_return_site_edges() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        b.bind(f).unwrap();
+        b.ret();
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.call(f);
+        b.halt();
+        let cfg = cfg_of(&b.build().unwrap());
+        // [ret] [call] [halt]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.entry_block(), 1);
+        assert_eq!(cfg.blocks()[1].succs, vec![0, 2]);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn indirect_jump_targets_address_taken_blocks() {
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.la(Reg::T0, t).jr(Reg::T0);
+        b.nop(); // unreachable
+        b.bind(t).unwrap();
+        b.halt();
+        let cfg = cfg_of(&b.build().unwrap());
+        // [la, jr] [nop] [halt]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.address_taken_blocks(), &[2]);
+        assert_eq!(cfg.blocks()[0].succs, vec![2]);
+        let reach = cfg.reachable();
+        assert_eq!(reach, vec![true, false, true]);
+    }
+
+    #[test]
+    fn trap_does_not_end_a_block() {
+        let mut b = ProgramBuilder::new();
+        b.trap(1).nop().halt();
+        let cfg = cfg_of(&b.build().unwrap());
+        assert_eq!(cfg.blocks().len(), 1);
+    }
+
+    #[test]
+    fn off_end_terminator_when_last_instruction_falls_through() {
+        let input = AnalysisInput {
+            instrs: &[Instr::Nop, Instr::Nop],
+            entry: Addr::new(0),
+            address_taken: &[],
+        };
+        let cfg = Cfg::build(&input);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].terminator, Terminator::OffEnd);
+    }
+}

@@ -1,0 +1,237 @@
+//! Finding and report types shared by the analysis passes.
+
+use std::fmt;
+
+use tc_isa::{Addr, ControlKind};
+
+/// How serious a finding is. Error-severity findings indicate a program
+/// the simulator cannot be trusted to run; warnings flag suspicious but
+/// executable constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is malformed; simulation results are meaningless.
+    Error,
+    /// Suspicious but executable (registers reset to zero, so e.g. a
+    /// read-before-write still has a defined value).
+    Warning,
+    /// Informational only.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// Which pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// Targets in bounds, no fall-through off the end, `Halt` reachable.
+    WellFormed,
+    /// Dead-code detection.
+    Reachability,
+    /// Forward def-use dataflow (read-before-write).
+    DefUse,
+    /// Call/return balance.
+    CallReturn,
+    /// Static branch taxonomy.
+    Taxonomy,
+}
+
+impl PassKind {
+    /// Stable pass name used in reports and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::WellFormed => "well-formed",
+            PassKind::Reachability => "reachability",
+            PassKind::DefUse => "def-use",
+            PassKind::CallReturn => "call-return",
+            PassKind::Taxonomy => "taxonomy",
+        }
+    }
+}
+
+impl fmt::Display for PassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Names of the five passes, in pipeline order.
+pub const PASS_NAMES: [&str; 5] = [
+    "well-formed",
+    "reachability",
+    "def-use",
+    "call-return",
+    "taxonomy",
+];
+
+/// One diagnostic produced by a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The producing pass.
+    pub pass: PassKind,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The instruction the finding anchors to, if any.
+    pub at: Option<Addr>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "{}[{}] {at}: {}", self.severity, self.pass, self.message),
+            None => write!(f, "{}[{}]: {}", self.severity, self.pass, self.message),
+        }
+    }
+}
+
+/// Classification of one static control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// The instruction's address.
+    pub pc: Addr,
+    /// Its control kind.
+    pub kind: ControlKind,
+    /// Signed displacement in instructions to a direct target
+    /// (`pc - target` positive means backward), `None` for indirect
+    /// transfers and returns.
+    pub displacement: Option<i64>,
+    /// Whether the transfer targets a strictly earlier address.
+    pub backward: bool,
+    /// Backward with displacement ≤ 32 instructions: the trigger of the
+    /// paper's cost-regulated packing heuristic (a tight loop whose
+    /// segments are worth completing greedily).
+    pub short_backward: bool,
+    /// A conditional branch closing a loop: the prime candidate for
+    /// branch promotion (loop latches are overwhelmingly biased taken).
+    pub promotion_candidate: bool,
+    /// Whether the instruction is reachable from the entry point.
+    pub reachable: bool,
+}
+
+/// The static branch taxonomy: every control instruction, classified.
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    /// One record per static control instruction, in address order.
+    pub branches: Vec<BranchInfo>,
+}
+
+impl Taxonomy {
+    fn count(&self, pred: impl Fn(&BranchInfo) -> bool) -> usize {
+        self.branches.iter().filter(|b| pred(b)).count()
+    }
+
+    /// Static conditional branches.
+    #[must_use]
+    pub fn cond_branches(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::CondBranch)
+    }
+
+    /// Conditional branches targeting an earlier address.
+    #[must_use]
+    pub fn cond_backward(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::CondBranch && b.backward)
+    }
+
+    /// Backward conditional branches with displacement ≤ 32 instructions
+    /// (the cost-regulated packing trigger).
+    #[must_use]
+    pub fn cond_short_backward(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::CondBranch && b.short_backward)
+    }
+
+    /// Promotion-eligible conditional branches.
+    #[must_use]
+    pub fn promotion_candidates(&self) -> usize {
+        self.count(|b| b.promotion_candidate)
+    }
+
+    /// Unconditional direct jumps.
+    #[must_use]
+    pub fn jumps(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::Jump)
+    }
+
+    /// Direct calls.
+    #[must_use]
+    pub fn calls(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::Call)
+    }
+
+    /// Returns.
+    #[must_use]
+    pub fn returns(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::Return)
+    }
+
+    /// Indirect jumps.
+    #[must_use]
+    pub fn indirect_jumps(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::IndirectJump)
+    }
+
+    /// Indirect calls.
+    #[must_use]
+    pub fn indirect_calls(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::IndirectCall)
+    }
+
+    /// Serializing traps.
+    #[must_use]
+    pub fn traps(&self) -> usize {
+        self.count(|b| b.kind == ControlKind::Trap)
+    }
+}
+
+/// The result of running the full pass pipeline over one program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Static instruction count.
+    pub instructions: usize,
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Blocks reachable from the entry point.
+    pub reachable_blocks: usize,
+    /// All findings, in pass-pipeline order.
+    pub findings: Vec<Finding>,
+    /// The static branch taxonomy.
+    pub taxonomy: Taxonomy,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.at_severity(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.at_severity(Severity::Warning)
+    }
+
+    /// Number of findings at exactly `severity`.
+    #[must_use]
+    pub fn at_severity(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the program has no error-severity findings.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}

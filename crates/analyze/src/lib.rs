@@ -1,0 +1,276 @@
+//! Static verification of `tc-isa` programs.
+//!
+//! Builds a basic-block control-flow graph over any [`tc_isa::Program`]
+//! and runs a five-pass pipeline:
+//!
+//! 1. **well-formed** — branch/jump/call targets in bounds, no
+//!    fall-through off the end, a reachable `Halt`;
+//! 2. **reachability** — dead-code detection (indirect transfers are
+//!    resolved through the program's address-taken label set);
+//! 3. **def-use** — interprocedural forward dataflow flagging registers
+//!    readable before they are written along some path;
+//! 4. **call-return** — `Ret` reachable with an empty call stack;
+//! 5. **taxonomy** — classifies every control instruction, marking
+//!    backward branches with displacement ≤ 32 instructions (the
+//!    paper's cost-regulated packing trigger) and promotion-eligible
+//!    conditionals.
+//!
+//! The trace-cache fill unit assumes the workloads it consumes are
+//! well-formed; this crate is the static half of that contract (the
+//! runtime half is `tc-core`'s segment sanitizer). Surfaced on the
+//! command line as `tw lint`.
+
+mod cfg;
+mod findings;
+mod passes;
+
+pub use cfg::{BasicBlock, Cfg, Terminator};
+pub use findings::{AnalysisReport, BranchInfo, Finding, PassKind, Severity, Taxonomy, PASS_NAMES};
+pub use passes::SHORT_BACKWARD_DISP;
+
+use tc_isa::{Addr, Instr, Program};
+
+/// Raw analysis input: lets tests feed instruction streams that
+/// [`Program::new`] would reject (e.g. out-of-range targets).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisInput<'a> {
+    /// The instruction stream.
+    pub instrs: &'a [Instr],
+    /// The entry point.
+    pub entry: Addr,
+    /// Address-taken labels: possible indirect-transfer targets.
+    pub address_taken: &'a [Addr],
+}
+
+impl<'a> From<&'a Program> for AnalysisInput<'a> {
+    fn from(p: &'a Program) -> AnalysisInput<'a> {
+        AnalysisInput {
+            instrs: p.instrs(),
+            entry: p.entry(),
+            address_taken: p.address_taken(),
+        }
+    }
+}
+
+/// Runs the full pass pipeline over a validated program.
+#[must_use]
+pub fn analyze(program: &Program) -> AnalysisReport {
+    analyze_input(&AnalysisInput::from(program))
+}
+
+/// Runs the full pass pipeline over raw input.
+#[must_use]
+pub fn analyze_input(input: &AnalysisInput<'_>) -> AnalysisReport {
+    let cfg = Cfg::build(input);
+    let reach = cfg.reachable();
+    let mut findings = passes::well_formed(input, &cfg, &reach);
+    findings.extend(passes::dead_code(&cfg, &reach));
+    findings.extend(passes::def_use(input, &cfg));
+    findings.extend(passes::call_balance(input, &cfg));
+    let taxonomy = passes::taxonomy(input, &cfg, &reach);
+    AnalysisReport {
+        instructions: input.instrs.len(),
+        blocks: cfg.blocks().len(),
+        reachable_blocks: reach.iter().filter(|r| **r).count(),
+        findings,
+        taxonomy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_isa::{Cond, ProgramBuilder, Reg};
+
+    fn analyze_raw(instrs: &[Instr], entry: u32) -> AnalysisReport {
+        analyze_input(&AnalysisInput {
+            instrs,
+            entry: Addr::new(entry),
+            address_taken: &[],
+        })
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 4);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r.is_clean());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.taxonomy.cond_branches(), 1);
+        assert_eq!(r.taxonomy.cond_short_backward(), 1);
+        assert_eq!(r.taxonomy.promotion_candidates(), 1);
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_error() {
+        let instrs = [
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                target: Addr::new(40),
+            },
+            Instr::Halt,
+        ];
+        let r = analyze_raw(&instrs, 0);
+        assert_eq!(r.errors(), 1);
+        let f = &r.findings[0];
+        assert_eq!(f.pass, PassKind::WellFormed);
+        assert!(f.message.contains("out-of-range"), "{}", f.message);
+    }
+
+    #[test]
+    fn fall_off_the_end_is_an_error() {
+        let instrs = [Instr::Nop, Instr::Nop];
+        let r = analyze_raw(&instrs, 0);
+        // Both "falls through the end" and "no reachable Halt".
+        assert_eq!(r.errors(), 2);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.message.contains("falls through")));
+        assert!(r.findings.iter().any(|f| f.message.contains("no Halt")));
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label("end");
+        b.jump(end);
+        b.nop().nop(); // dead
+        b.bind(end).unwrap();
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r.is_clean());
+        assert_eq!(r.warnings(), 1);
+        let f = &r.findings[0];
+        assert_eq!(f.pass, PassKind::Reachability);
+        assert!(f.message.contains("2 instructions"), "{}", f.message);
+        assert_eq!(r.reachable_blocks, r.blocks - 1);
+    }
+
+    #[test]
+    fn read_before_write_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::T1, Reg::T0, 1); // T0 never written
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r.is_clean());
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.pass == PassKind::DefUse)
+            .expect("def-use finding");
+        assert!(f.message.contains("t0"), "{}", f.message);
+        assert_eq!(f.at, Some(Addr::new(0)));
+    }
+
+    #[test]
+    fn write_on_only_one_path_is_still_flagged() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label("skip");
+        b.li(Reg::T1, 1);
+        b.beqz(Reg::T1, skip);
+        b.li(Reg::T0, 7);
+        b.bind(skip).unwrap();
+        b.addi(Reg::T2, Reg::T0, 1); // T0 unwritten on the taken path
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.pass == PassKind::DefUse && f.message.contains("t0")));
+    }
+
+    #[test]
+    fn argument_passed_through_call_is_not_flagged() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        b.bind(f).unwrap();
+        b.addi(Reg::A0, Reg::A0, 1);
+        b.ret();
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.li(Reg::A0, 5);
+        b.call(f);
+        b.addi(Reg::T0, Reg::A0, 0);
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(
+            !r.findings.iter().any(|f| f.pass == PassKind::DefUse),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn unbalanced_return_is_flagged() {
+        let instrs = [Instr::Ret, Instr::Halt];
+        let r = analyze_raw(&instrs, 0);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.pass == PassKind::CallReturn)
+            .expect("call-return finding");
+        assert!(f.message.contains("empty call stack"), "{}", f.message);
+    }
+
+    #[test]
+    fn balanced_call_return_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        b.bind(f).unwrap();
+        b.ret();
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.call(f);
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(!r.findings.iter().any(|f| f.pass == PassKind::CallReturn));
+    }
+
+    #[test]
+    fn taxonomy_classifies_every_control_kind() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        let top = b.new_label("top");
+        let out = b.new_label("out");
+        b.bind(f).unwrap();
+        b.ret();
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.li(Reg::T0, 2);
+        b.bind(top).unwrap();
+        b.call(f);
+        b.la(Reg::T1, f);
+        b.callr(Reg::T1);
+        b.trap(0);
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.la(Reg::T2, out);
+        b.jr(Reg::T2);
+        b.bind(out).unwrap();
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        let t = &r.taxonomy;
+        assert_eq!(t.cond_branches(), 1);
+        assert_eq!(t.calls(), 1);
+        assert_eq!(t.indirect_calls(), 1);
+        assert_eq!(t.indirect_jumps(), 1);
+        assert_eq!(t.returns(), 1);
+        assert_eq!(t.traps(), 1);
+        assert_eq!(t.cond_backward(), 1);
+        assert_eq!(t.promotion_candidates(), 1);
+        assert!(t.branches.iter().all(|bi| bi.reachable));
+    }
+}

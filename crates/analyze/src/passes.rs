@@ -1,0 +1,435 @@
+//! The five analysis passes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tc_isa::{Addr, ControlKind, Instr, Reg};
+
+use crate::cfg::{Cfg, Terminator};
+use crate::findings::{BranchInfo, Finding, PassKind, Severity, Taxonomy};
+use crate::AnalysisInput;
+
+/// Displacement bound (in instructions) under which a backward branch
+/// makes cost-regulated packing complete the pending segment greedily
+/// (paper §4.3).
+pub const SHORT_BACKWARD_DISP: i64 = 32;
+
+fn finding(pass: PassKind, severity: Severity, at: Option<Addr>, message: String) -> Finding {
+    Finding {
+        pass,
+        severity,
+        at,
+        message,
+    }
+}
+
+// --- pass 1: well-formedness -----------------------------------------
+
+/// Targets in bounds, no fall-through off the end of the program, and a
+/// reachable `Halt`.
+pub fn well_formed(input: &AnalysisInput<'_>, cfg: &Cfg, reach: &[bool]) -> Vec<Finding> {
+    let n = input.instrs.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        out.push(finding(
+            PassKind::WellFormed,
+            Severity::Error,
+            None,
+            "program contains no instructions".to_owned(),
+        ));
+        return out;
+    }
+    if input.entry.index() >= n {
+        out.push(finding(
+            PassKind::WellFormed,
+            Severity::Error,
+            None,
+            format!("entry point {} is out of range", input.entry),
+        ));
+    }
+    for (i, instr) in input.instrs.iter().enumerate() {
+        if let Some(target) = instr.direct_target() {
+            if target.index() >= n {
+                out.push(finding(
+                    PassKind::WellFormed,
+                    Severity::Error,
+                    Some(Addr::new(i as u32)),
+                    format!("`{instr}` targets out-of-range address {target}"),
+                ));
+            }
+        }
+    }
+    for &a in input.address_taken {
+        if a.index() >= n {
+            out.push(finding(
+                PassKind::WellFormed,
+                Severity::Error,
+                None,
+                format!("address-taken label {a} is out of range"),
+            ));
+        }
+    }
+    let mut halt_reachable = false;
+    for (bi, block) in cfg.blocks().iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        match block.terminator {
+            Terminator::Halt => halt_reachable = true,
+            Terminator::OffEnd => out.push(finding(
+                PassKind::WellFormed,
+                Severity::Error,
+                Some(block.last_addr()),
+                "control falls through the end of the program".to_owned(),
+            )),
+            Terminator::CondBranch { .. } if block.end == n => out.push(finding(
+                PassKind::WellFormed,
+                Severity::Error,
+                Some(block.last_addr()),
+                "conditional branch at the last instruction can fall off the end".to_owned(),
+            )),
+            Terminator::Call { .. } | Terminator::IndirectCall if block.end == n => {
+                out.push(finding(
+                    PassKind::WellFormed,
+                    Severity::Warning,
+                    Some(block.last_addr()),
+                    "call at the last instruction has no return site".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if !halt_reachable && !cfg.blocks().is_empty() {
+        out.push(finding(
+            PassKind::WellFormed,
+            Severity::Error,
+            None,
+            "no Halt instruction is reachable from the entry point".to_owned(),
+        ));
+    }
+    out
+}
+
+// --- pass 2: reachability / dead code --------------------------------
+
+/// Flags maximal runs of unreachable instructions.
+pub fn dead_code(cfg: &Cfg, reach: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let blocks = cfg.blocks();
+    let mut bi = 0;
+    while bi < blocks.len() {
+        if reach[bi] {
+            bi += 1;
+            continue;
+        }
+        let start = blocks[bi].start;
+        let mut end = blocks[bi].end;
+        while bi + 1 < blocks.len() && !reach[bi + 1] {
+            bi += 1;
+            end = blocks[bi].end;
+        }
+        let count = end - start;
+        out.push(finding(
+            PassKind::Reachability,
+            Severity::Warning,
+            Some(Addr::new(start as u32)),
+            format!(
+                "unreachable code: {count} instruction{} at {}..{}",
+                if count == 1 { "" } else { "s" },
+                Addr::new(start as u32),
+                Addr::new((end - 1) as u32),
+            ),
+        ));
+        bi += 1;
+    }
+    out
+}
+
+// --- pass 3: forward def-use dataflow --------------------------------
+
+type RegSet = u32;
+const FULL: RegSet = u32::MAX;
+
+fn bit(r: Reg) -> RegSet {
+    1u32 << r.index()
+}
+
+/// Interprocedural must-write analysis. Each analysis entry (the
+/// program entry point, every direct call target, and every
+/// address-taken block) gets a summary of the registers a call to it
+/// definitely writes, and an entry set of registers definitely written
+/// before control reaches it; both start at "all registers" and shrink
+/// monotonically to a fixpoint. Indirect jumps are treated as tail
+/// transfers: they narrow the target's entry set rather than flowing
+/// the current context into its body, which keeps one function's
+/// register state out of another's. A register read while outside the
+/// must-written set on some path is flagged. Registers architecturally
+/// reset to zero, so these are warnings (a defined but likely
+/// unintended value), not errors.
+pub fn def_use(input: &AnalysisInput<'_>, cfg: &Cfg) -> Vec<Finding> {
+    let blocks = cfg.blocks();
+    if blocks.is_empty() {
+        return Vec::new();
+    }
+    let n = input.instrs.len();
+
+    // Function entries: block ids.
+    let mut fn_entries = vec![cfg.entry_block()];
+    for block in blocks {
+        if let Terminator::Call { target } = block.terminator {
+            if target.index() < n {
+                fn_entries.push(cfg.block_at(target));
+            }
+        }
+    }
+    fn_entries.extend_from_slice(cfg.address_taken_blocks());
+    fn_entries.sort_unstable();
+    fn_entries.dedup();
+    let func_of = |entry_block: usize| fn_entries.binary_search(&entry_block).ok();
+
+    let nf = fn_entries.len();
+    let mut summary = vec![FULL; nf];
+    let mut entry_in = vec![FULL; nf];
+    let entry_func = func_of(cfg.entry_block()).expect("entry is a function");
+    // At program start nothing has been written yet.
+    entry_in[entry_func] = 0;
+
+    // One intraprocedural must-write sweep over function `f`, against
+    // the current summaries. Returns the per-block in-sets, updates the
+    // function's return summary, and shrinks callee entry sets.
+    let sweep = |f: usize,
+                 summary: &mut Vec<RegSet>,
+                 entry_in: &mut Vec<RegSet>,
+                 changed: &mut bool|
+     -> BTreeMap<usize, RegSet> {
+        let mut in_sets: BTreeMap<usize, RegSet> = BTreeMap::new();
+        in_sets.insert(fn_entries[f], entry_in[f]);
+        let mut work = vec![fn_entries[f]];
+        let mut ret_set = FULL;
+        let mut returns_seen = false;
+        while let Some(b) = work.pop() {
+            let mut s = in_sets[&b];
+            let block = &blocks[b];
+            for i in block.start..block.end {
+                let instr = &input.instrs[i];
+                match instr {
+                    Instr::Call { target } if target.index() < n => {
+                        let callee = func_of(cfg.block_at(*target));
+                        if let Some(callee) = callee {
+                            // The call itself writes RA before the
+                            // callee starts executing.
+                            let at_callee = s | bit(Reg::RA);
+                            let narrowed = entry_in[callee] & at_callee;
+                            if narrowed != entry_in[callee] {
+                                entry_in[callee] = narrowed;
+                                *changed = true;
+                            }
+                            s |= summary[callee];
+                        }
+                    }
+                    Instr::CallInd { .. } => {
+                        for &atb in cfg.address_taken_blocks() {
+                            if let Some(callee) = func_of(atb) {
+                                let at_callee = s | bit(Reg::RA);
+                                let narrowed = entry_in[callee] & at_callee;
+                                if narrowed != entry_in[callee] {
+                                    entry_in[callee] = narrowed;
+                                    *changed = true;
+                                }
+                            }
+                        }
+                        // Unknown callee: assume it writes only RA.
+                    }
+                    _ => {}
+                }
+                if let Some(d) = instr.dest() {
+                    s |= bit(d);
+                }
+            }
+            // Flow edges within the function: calls flow to the return
+            // site only (callees are modeled by their summaries).
+            let mut flow: Vec<usize> = Vec::new();
+            match block.terminator {
+                Terminator::Fallthrough | Terminator::CondBranch { .. } => {
+                    flow.extend(block.succs.iter().copied());
+                }
+                Terminator::Jump { target } => {
+                    if target.index() < n {
+                        flow.push(cfg.block_at(target));
+                    }
+                }
+                Terminator::Call { .. } | Terminator::IndirectCall => {
+                    if block.end < n {
+                        flow.push(cfg.block_at(Addr::new(block.end as u32)));
+                    }
+                }
+                // An indirect jump could target any address-taken
+                // label; flowing (or narrowing) this context into all
+                // of them drowns the pass in cross-function false
+                // positives, so the transfer is treated as opaque.
+                // Address-taken targets are still analyzed as entries
+                // of their own, with contexts narrowed by call sites.
+                Terminator::IndirectJump => {}
+                Terminator::Return => {
+                    ret_set &= s;
+                    returns_seen = true;
+                }
+                Terminator::Halt | Terminator::OffEnd => {}
+            }
+            for succ in flow {
+                let old = in_sets.get(&succ).copied().unwrap_or(FULL);
+                let new = old & s;
+                if new != old || !in_sets.contains_key(&succ) {
+                    in_sets.insert(succ, new);
+                    work.push(succ);
+                }
+            }
+        }
+        if returns_seen && ret_set != summary[f] {
+            summary[f] = ret_set;
+            *changed = true;
+        }
+        in_sets
+    };
+
+    // Outer fixpoint over summaries and entry sets (all shrink
+    // monotonically, so this terminates; the cap is defensive).
+    for _ in 0..64 {
+        let mut changed = false;
+        for f in 0..nf {
+            let _ = sweep(f, &mut summary, &mut entry_in, &mut changed);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting sweep at the fixpoint: replay each function's transfer
+    // and collect reads of registers outside the must-written set.
+    let mut flagged: BTreeSet<(usize, Reg)> = BTreeSet::new();
+    for f in 0..nf {
+        let mut ignore = false;
+        let in_sets = sweep(f, &mut summary, &mut entry_in, &mut ignore);
+        for (&b, &in_set) in &in_sets {
+            let mut s = in_set;
+            let block = &blocks[b];
+            for i in block.start..block.end {
+                let instr = &input.instrs[i];
+                for src in instr.sources().into_iter().flatten() {
+                    if s & bit(src) == 0 {
+                        flagged.insert((i, src));
+                    }
+                }
+                match instr {
+                    Instr::Call { target } if target.index() < n => {
+                        if let Some(callee) = func_of(cfg.block_at(*target)) {
+                            s |= summary[callee];
+                        }
+                    }
+                    Instr::CallInd { .. } => {}
+                    _ => {}
+                }
+                if let Some(d) = instr.dest() {
+                    s |= bit(d);
+                }
+            }
+        }
+    }
+
+    flagged
+        .into_iter()
+        .map(|(i, r)| {
+            finding(
+                PassKind::DefUse,
+                Severity::Warning,
+                Some(Addr::new(i as u32)),
+                format!(
+                    "`{}` reads {r} before it is written on some path",
+                    input.instrs[i]
+                ),
+            )
+        })
+        .collect()
+}
+
+// --- pass 4: call/return balance -------------------------------------
+
+/// Walks the entry function's intraprocedural CFG (calls step to their
+/// return site; indirect jumps are not followed — they stay within a
+/// function by convention and are covered by reachability) and flags
+/// any `Ret` reachable with an empty call stack.
+pub fn call_balance(input: &AnalysisInput<'_>, cfg: &Cfg) -> Vec<Finding> {
+    let blocks = cfg.blocks();
+    if blocks.is_empty() {
+        return Vec::new();
+    }
+    let n = input.instrs.len();
+    let mut seen = vec![false; blocks.len()];
+    let mut work = vec![cfg.entry_block()];
+    seen[cfg.entry_block()] = true;
+    let mut out = Vec::new();
+    while let Some(b) = work.pop() {
+        let block = &blocks[b];
+        let mut flow: Vec<usize> = Vec::new();
+        match block.terminator {
+            Terminator::Fallthrough | Terminator::CondBranch { .. } => {
+                flow.extend(block.succs.iter().copied());
+            }
+            Terminator::Jump { target } => {
+                if target.index() < n {
+                    flow.push(cfg.block_at(target));
+                }
+            }
+            Terminator::Call { .. } | Terminator::IndirectCall => {
+                if block.end < n {
+                    flow.push(cfg.block_at(Addr::new(block.end as u32)));
+                }
+            }
+            Terminator::Return => {
+                out.push(finding(
+                    PassKind::CallReturn,
+                    Severity::Warning,
+                    Some(block.last_addr()),
+                    "return is reachable from the entry point with an empty call stack".to_owned(),
+                ));
+            }
+            Terminator::IndirectJump | Terminator::Halt | Terminator::OffEnd => {}
+        }
+        for s in flow {
+            if !seen[s] {
+                seen[s] = true;
+                work.push(s);
+            }
+        }
+    }
+    out
+}
+
+// --- pass 5: static branch taxonomy ----------------------------------
+
+/// Classifies every static control instruction, marking backward
+/// branches with displacement ≤ 32 (the cost-regulated packing trigger)
+/// and promotion-eligible conditionals (loop latches).
+#[must_use]
+pub fn taxonomy(input: &AnalysisInput<'_>, cfg: &Cfg, reach: &[bool]) -> Taxonomy {
+    let mut branches = Vec::new();
+    for (i, instr) in input.instrs.iter().enumerate() {
+        let kind = instr.control_kind();
+        if !kind.is_control() {
+            continue;
+        }
+        let pc = Addr::new(i as u32);
+        let displacement = instr.direct_target().map(|t| pc.distance_from(t));
+        let backward = displacement.is_some_and(|d| d > 0);
+        let short_backward = displacement.is_some_and(|d| d > 0 && d <= SHORT_BACKWARD_DISP);
+        branches.push(BranchInfo {
+            pc,
+            kind,
+            displacement,
+            backward,
+            short_backward,
+            promotion_candidate: kind == ControlKind::CondBranch && backward,
+            reachable: reach[cfg.block_at(pc)],
+        });
+    }
+    Taxonomy { branches }
+}

@@ -67,6 +67,11 @@ pub struct FrontEndConfig {
     pub inactive_issue: bool,
     /// Return-address-stack depth; `None` models the paper's ideal RAS.
     pub ras_depth: Option<usize>,
+    /// Runtime invariant sanitizer ([`crate::Sanitizer`]): validates
+    /// segment structure at fill time and on trace-cache hits, emitting
+    /// structured [`crate::Violation`] records. Defaults to on in
+    /// debug/test builds, off in release builds.
+    pub sanitize: bool,
 }
 
 impl FrontEndConfig {
@@ -84,6 +89,7 @@ impl FrontEndConfig {
             partial_matching: true,
             inactive_issue: true,
             ras_depth: None,
+            sanitize: cfg!(debug_assertions),
         }
     }
 

@@ -10,6 +10,7 @@ use tc_predict::{
 
 use crate::config::{FrontEndConfig, PredictorChoice};
 use crate::fill::FillUnit;
+use crate::sanitize::{CheckSite, Sanitizer};
 use crate::segment::SegmentInst;
 use crate::stats::{FetchStats, TerminationReason};
 use crate::trace_cache::TraceCache;
@@ -146,6 +147,7 @@ pub struct FrontEnd {
     ras: ReturnStack,
     indirect: IndirectPredictor,
     stats: FetchStats,
+    sanitizer: Sanitizer,
 }
 
 impl FrontEnd {
@@ -192,6 +194,7 @@ impl FrontEnd {
             },
             indirect: IndirectPredictor::new(config.indirect_entries),
             stats: FetchStats::new(),
+            sanitizer: Sanitizer::new(config.sanitize),
         }
     }
 
@@ -222,6 +225,27 @@ impl FrontEnd {
     #[must_use]
     pub fn fill_unit(&self) -> Option<&FillUnit> {
         self.fill.as_ref()
+    }
+
+    /// The invariant sanitizer (inert unless
+    /// [`FrontEndConfig::sanitize`] is set).
+    #[must_use]
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Advances the sanitizer's cycle clock so violations carry the
+    /// cycle they were observed at.
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.sanitizer.set_now(cycle);
+    }
+
+    /// Audits every segment resident in the trace cache against the
+    /// structural invariants (typically once, at the end of a run).
+    pub fn audit(&mut self) {
+        if let Some(tc) = self.trace_cache.as_ref() {
+            tc.audit(&mut self.sanitizer);
+        }
     }
 
     /// Snapshot of the global history (for misprediction repair).
@@ -262,7 +286,11 @@ impl FrontEnd {
     pub fn retire(&mut self, rec: &ExecRecord) {
         if let (Some(fill), Some(tc)) = (self.fill.as_mut(), self.trace_cache.as_mut()) {
             fill.retire(rec);
+            for kind in fill.take_violations() {
+                self.sanitizer.record(CheckSite::Fill, None, kind);
+            }
             while let Some(seg) = fill.pop_segment() {
+                self.sanitizer.check_fill(&seg, fill.bias_table());
                 tc.fill(seg);
             }
         }
@@ -326,6 +354,7 @@ impl FrontEnd {
                 hit.map(|seg| (seg.insts().to_vec(), seg.end_reason()))
             };
             if let Some((insts, end_reason)) = seg_insts {
+                self.sanitizer.check_hit(&insts);
                 return self.fetch_from_segment(pc, &insts, end_reason, &dirs, pred_ctx);
             }
         }
@@ -542,7 +571,7 @@ impl FrontEnd {
             }
             // Split-line fetching: crossing into a new line requires it
             // to be resident, otherwise the fetch ends at the boundary.
-            if cur != pc && cur.byte_addr() % line_bytes == 0 {
+            if cur != pc && cur.byte_addr().is_multiple_of(line_bytes) {
                 if mem.instruction_resident(cur.byte_addr()) {
                     mem.instruction_fetch(cur.byte_addr());
                 } else {

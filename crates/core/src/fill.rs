@@ -7,6 +7,7 @@ use tc_isa::{ControlKind, ExecRecord};
 use tc_predict::{BiasDecision, BiasTable};
 
 use crate::promote::StaticPromotionTable;
+use crate::sanitize::ViolationKind;
 use crate::segment::{
     SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS,
 };
@@ -109,6 +110,7 @@ pub struct FillUnit {
     current_block: Vec<SegmentInst>,
     finalized: VecDeque<TraceSegment>,
     stats: FillStats,
+    violations: Vec<ViolationKind>,
 }
 
 impl FillUnit {
@@ -126,6 +128,7 @@ impl FillUnit {
             current_block: Vec::with_capacity(MAX_SEGMENT_INSTS),
             finalized: VecDeque::new(),
             stats: FillStats::default(),
+            violations: Vec::new(),
         }
     }
 
@@ -168,6 +171,14 @@ impl FillUnit {
     /// Takes the next finalized segment, in retirement order.
     pub fn pop_segment(&mut self) -> Option<TraceSegment> {
         self.finalized.pop_front()
+    }
+
+    /// Drains invariant violations observed while merging blocks, for
+    /// the front end's [`crate::Sanitizer`] to record with cycle
+    /// context. Violations accumulate whether or not a sanitizer is
+    /// attached; in a healthy fill unit the list is always empty.
+    pub fn take_violations(&mut self) -> Vec<ViolationKind> {
+        std::mem::take(&mut self.violations)
     }
 
     /// Feeds one retired instruction (correct path, program order).
@@ -237,8 +248,16 @@ impl FillUnit {
     }
 
     /// Appends a whole block that fits, applying the finalize rules.
-    fn append_fitting(&mut self, block: Vec<SegmentInst>, ends_segment: bool) {
-        debug_assert!(self.pending.len() + block.len() <= MAX_SEGMENT_INSTS);
+    fn append_fitting(&mut self, mut block: Vec<SegmentInst>, ends_segment: bool) {
+        if self.pending.len() + block.len() > MAX_SEGMENT_INSTS {
+            // A broken merge decision. Record the violation for the
+            // sanitizer and clamp so the segment stays well-formed.
+            self.violations.push(ViolationKind::PendingOverflow {
+                pending: self.pending.len(),
+                block: block.len(),
+            });
+            block.truncate(MAX_SEGMENT_INSTS - self.pending.len());
+        }
         self.pending.extend(block);
         if ends_segment {
             self.finalize(SegEndReason::RetIndTrap);
@@ -271,6 +290,14 @@ impl FillUnit {
                 }
             }
         };
+        if let PackingPolicy::Chunk(n) = self.policy {
+            if take % n != 0 {
+                self.violations.push(ViolationKind::SplitGranularity {
+                    chunk: n,
+                    head: take,
+                });
+            }
+        }
         if take == 0 {
             // Atomic treatment: finalize pending; the block starts fresh.
             self.stats.splits_refused += 1;

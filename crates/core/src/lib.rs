@@ -17,6 +17,9 @@
 //!   [`tc_predict::BiasTable`]; strongly biased branches are stored with a
 //!   built-in static prediction and stop consuming branch-predictor
 //!   bandwidth.
+//! * [`Sanitizer`] — a runtime invariant checker validating segment
+//!   structure at fill time and on trace-cache hits, emitting structured
+//!   [`Violation`] records (on by default in debug/test builds).
 //! * [`FrontEnd`] — the complete fetch engine: multiple-branch predictor,
 //!   trace-cache lookup with partial matching and inactive issue,
 //!   supporting i-cache path with split-line fetching, and the
@@ -30,6 +33,7 @@ mod config;
 mod fetch;
 mod fill;
 mod promote;
+mod sanitize;
 mod segment;
 mod stats;
 mod trace_cache;
@@ -38,6 +42,10 @@ pub use config::{FrontEndConfig, PredictorChoice, PromotionConfig};
 pub use fetch::{FetchBundle, FetchSource, FetchedInst, FrontEnd, NextPc};
 pub use fill::{FillUnit, PackingPolicy};
 pub use promote::StaticPromotionTable;
+pub use sanitize::{
+    CheckSite, Sanitizer, SanitizerStats, Violation, ViolationKind, ViolationSeverity,
+    MAX_RECORDED_VIOLATIONS,
+};
 pub use segment::{SegEndReason, SegmentInst, TraceSegment};
 pub use stats::{FetchStats, TerminationReason};
 pub use trace_cache::{TraceCache, TraceCacheConfig, TraceCacheStats};

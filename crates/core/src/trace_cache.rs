@@ -2,6 +2,7 @@
 
 use tc_isa::Addr;
 
+use crate::sanitize::{CheckSite, Sanitizer, ViolationKind};
 use crate::segment::TraceSegment;
 
 /// Trace cache geometry.
@@ -56,7 +57,7 @@ impl TraceCacheConfig {
     fn validate(&self) {
         assert!(self.ways > 0 && self.entries >= self.ways);
         assert!(
-            self.entries % self.ways == 0,
+            self.entries.is_multiple_of(self.ways),
             "entries must divide into ways"
         );
         assert!(
@@ -263,6 +264,34 @@ impl TraceCache {
         }
         set.insert(0, Way { segment });
         self.stats.fills += 1;
+    }
+
+    /// Audits every resident segment against the structural invariants,
+    /// recording violations into `sanitizer`. Without path
+    /// associativity, also verifies that no two segments in a set share
+    /// a start address (the storage invariant [`TraceCache::fill`]
+    /// maintains).
+    pub fn audit(&self, sanitizer: &mut Sanitizer) {
+        if !sanitizer.enabled() {
+            return;
+        }
+        for set in &self.sets {
+            if !self.config.path_assoc {
+                for (i, w) in set.iter().enumerate() {
+                    let start = w.segment.start();
+                    if set[..i].iter().any(|x| x.segment.start() == start) {
+                        sanitizer.record(
+                            CheckSite::Audit,
+                            Some(start),
+                            ViolationKind::DuplicateStartAddress { start },
+                        );
+                    }
+                }
+            }
+            for w in set {
+                sanitizer.check_resident(&w.segment);
+            }
+        }
     }
 
     /// Number of resident segments.

@@ -397,6 +397,7 @@ impl ProgramBuilder {
     pub fn build(&self) -> Result<Program, AsmError> {
         let mut instrs = self.instrs.clone();
         let mut entry = self.entry;
+        let mut address_taken = Vec::new();
         for &(at, label) in &self.fixups {
             let info = &self.labels[label.0];
             let addr = info.addr.ok_or_else(|| AsmError::UnboundLabel {
@@ -411,12 +412,15 @@ impl ProgramBuilder {
                     *target = addr;
                 }
                 Instr::Li { imm, .. } => {
+                    // An `la`: the label's address escapes into a register,
+                    // making it a candidate indirect-transfer target.
                     *imm = addr.raw() as i32;
+                    address_taken.push(addr);
                 }
                 other => unreachable!("fixup against non-relocatable instruction {other}"),
             }
         }
-        Ok(Program::new(instrs, entry)?)
+        Ok(Program::with_address_taken(instrs, entry, address_taken)?)
     }
 }
 
@@ -471,6 +475,25 @@ mod tests {
                 imm: 3
             })
         );
+    }
+
+    #[test]
+    fn la_records_address_taken() {
+        let mut b = ProgramBuilder::new();
+        let t = b.new_label("t");
+        b.la(Reg::T0, t).la(Reg::T1, t).jr(Reg::T0);
+        b.bind(t).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.address_taken(), &[Addr::new(3)]);
+    }
+
+    #[test]
+    fn plain_li_is_not_address_taken() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 2).halt();
+        let p = b.build().unwrap();
+        assert!(p.address_taken().is_empty());
     }
 
     #[test]

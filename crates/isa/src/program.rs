@@ -118,17 +118,41 @@ impl std::error::Error for ProgramError {}
 pub struct Program {
     instrs: Vec<Instr>,
     entry: Addr,
+    /// Code addresses whose value escapes into a register (`la`): the
+    /// possible targets of indirect jumps and calls.
+    address_taken: Vec<Addr>,
 }
 
 impl Program {
     /// Creates a program from raw instructions, validating all direct
-    /// targets and the entry point.
+    /// targets and the entry point. The program carries no address-taken
+    /// metadata; use [`Program::with_address_taken`] to record the
+    /// possible targets of indirect control transfers.
     ///
     /// # Errors
     ///
     /// Returns [`ProgramError`] if the program is empty, the entry point is
     /// out of range, or any direct control-transfer target is out of range.
     pub fn new(instrs: Vec<Instr>, entry: Addr) -> Result<Program, ProgramError> {
+        Program::with_address_taken(instrs, entry, vec![])
+    }
+
+    /// Creates a program that additionally records which code addresses
+    /// have been taken as values (loaded into registers by `la`). Static
+    /// analysis uses these as the possible targets of indirect jumps and
+    /// calls. The list is sorted, deduplicated, and validated in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] under the same conditions as
+    /// [`Program::new`], plus [`ProgramError::TargetOutOfRange`] (with
+    /// `at` equal to the offending address) for any out-of-range
+    /// address-taken entry.
+    pub fn with_address_taken(
+        instrs: Vec<Instr>,
+        entry: Addr,
+        mut address_taken: Vec<Addr>,
+    ) -> Result<Program, ProgramError> {
         if instrs.is_empty() {
             return Err(ProgramError::Empty);
         }
@@ -145,7 +169,21 @@ impl Program {
                 }
             }
         }
-        Ok(Program { instrs, entry })
+        address_taken.sort_unstable();
+        address_taken.dedup();
+        for &addr in &address_taken {
+            if addr.index() >= instrs.len() {
+                return Err(ProgramError::TargetOutOfRange {
+                    at: addr,
+                    target: addr,
+                });
+            }
+        }
+        Ok(Program {
+            instrs,
+            entry,
+            address_taken,
+        })
     }
 
     /// The program's entry point.
@@ -177,6 +215,14 @@ impl Program {
     #[must_use]
     pub fn instrs(&self) -> &[Instr] {
         &self.instrs
+    }
+
+    /// Code addresses taken as values (sorted, deduplicated): the set of
+    /// possible targets of indirect jumps and calls. Empty when the
+    /// program was built without address-taken metadata.
+    #[must_use]
+    pub fn address_taken(&self) -> &[Addr] {
+        &self.address_taken
     }
 
     /// Counts static instructions matching a predicate; handy for workload

@@ -265,6 +265,16 @@ pub fn report_to_json(r: &SimReport) -> Json {
                 ("wait_cycles", Json::UInt(r.engine.wait_cycles)),
             ]),
         ),
+        (
+            "sanitizer",
+            Json::Object(vec![
+                ("enabled", Json::Bool(r.sanitizer.enabled)),
+                ("checked_fills", Json::UInt(r.sanitizer.checked_fills)),
+                ("checked_hits", Json::UInt(r.sanitizer.checked_hits)),
+                ("errors", Json::UInt(r.sanitizer.errors)),
+                ("warnings", Json::UInt(r.sanitizer.warnings)),
+            ]),
+        ),
     ])
 }
 

@@ -1,0 +1,155 @@
+//! Static lint runs over the workload suite (`tw lint`).
+//!
+//! Thin glue between `tc-analyze` and the harness's report machinery:
+//! runs the five-pass pipeline over registered benchmarks and renders
+//! the results through [`Table`] and [`Json`] like every other driver.
+
+use tc_analyze::{analyze, AnalysisReport, Severity, PASS_NAMES};
+use tc_workloads::Benchmark;
+
+use crate::harness::json::Json;
+use crate::harness::table::Table;
+
+/// One benchmark's lint result.
+#[derive(Debug, Clone)]
+pub struct LintEntry {
+    /// The benchmark's name.
+    pub benchmark: &'static str,
+    /// The analysis report.
+    pub report: AnalysisReport,
+}
+
+/// Lints one benchmark at its default scale.
+#[must_use]
+pub fn lint_benchmark(bench: Benchmark) -> LintEntry {
+    let workload = bench.build();
+    LintEntry {
+        benchmark: bench.name(),
+        report: analyze(workload.program()),
+    }
+}
+
+/// Lints the whole suite, in `Benchmark::ALL` order.
+#[must_use]
+pub fn lint_all() -> Vec<LintEntry> {
+    Benchmark::ALL.into_iter().map(lint_benchmark).collect()
+}
+
+/// Total error-severity findings across entries.
+#[must_use]
+pub fn lint_errors(entries: &[LintEntry]) -> usize {
+    entries.iter().map(|e| e.report.errors()).sum()
+}
+
+/// The structured form of one lint entry. Like `report_to_json`, the
+/// key set is pinned by a golden test; extend it additively.
+#[must_use]
+pub fn lint_entry_to_json(entry: &LintEntry) -> Json {
+    let r = &entry.report;
+    let t = &r.taxonomy;
+    let findings = r
+        .findings
+        .iter()
+        .map(|f| {
+            Json::Object(vec![
+                ("pass", Json::Str(f.pass.name().to_owned())),
+                ("severity", Json::Str(f.severity.to_string())),
+                ("at", f.at.map_or(Json::Null, |a| Json::UInt(a.byte_addr()))),
+                ("message", Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("benchmark", Json::Str(entry.benchmark.to_owned())),
+        (
+            "passes",
+            Json::Array(
+                PASS_NAMES
+                    .iter()
+                    .map(|p| Json::Str((*p).to_owned()))
+                    .collect(),
+            ),
+        ),
+        ("instructions", Json::UInt(r.instructions as u64)),
+        ("blocks", Json::UInt(r.blocks as u64)),
+        ("reachable_blocks", Json::UInt(r.reachable_blocks as u64)),
+        ("errors", Json::UInt(r.errors() as u64)),
+        ("warnings", Json::UInt(r.warnings() as u64)),
+        ("infos", Json::UInt(r.at_severity(Severity::Info) as u64)),
+        (
+            "taxonomy",
+            Json::Object(vec![
+                ("cond_branches", Json::UInt(t.cond_branches() as u64)),
+                ("cond_backward", Json::UInt(t.cond_backward() as u64)),
+                (
+                    "cond_short_backward",
+                    Json::UInt(t.cond_short_backward() as u64),
+                ),
+                (
+                    "promotion_candidates",
+                    Json::UInt(t.promotion_candidates() as u64),
+                ),
+                ("jumps", Json::UInt(t.jumps() as u64)),
+                ("calls", Json::UInt(t.calls() as u64)),
+                ("returns", Json::UInt(t.returns() as u64)),
+                ("indirect_jumps", Json::UInt(t.indirect_jumps() as u64)),
+                ("indirect_calls", Json::UInt(t.indirect_calls() as u64)),
+                ("traps", Json::UInt(t.traps() as u64)),
+            ]),
+        ),
+        ("findings", Json::Array(findings)),
+    ])
+}
+
+/// A JSON array of lint entries, in the given order.
+#[must_use]
+pub fn lint_to_json(entries: &[LintEntry]) -> Json {
+    Json::Array(entries.iter().map(lint_entry_to_json).collect())
+}
+
+/// A summary table of lint results, one row per benchmark.
+#[must_use]
+pub fn lint_table(entries: &[LintEntry]) -> String {
+    let mut table = Table::new(&[
+        "benchmark",
+        "insts",
+        "blocks",
+        "dead",
+        "cond",
+        "back<=32",
+        "promo",
+        "errors",
+        "warns",
+    ]);
+    for e in entries {
+        let r = &e.report;
+        table.row(vec![
+            e.benchmark.to_owned(),
+            r.instructions.to_string(),
+            r.blocks.to_string(),
+            (r.blocks - r.reachable_blocks).to_string(),
+            r.taxonomy.cond_branches().to_string(),
+            r.taxonomy.cond_short_backward().to_string(),
+            r.taxonomy.promotion_candidates().to_string(),
+            r.errors().to_string(),
+            r.warnings().to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_table_has_one_row_per_entry() {
+        let entries = vec![
+            lint_benchmark(Benchmark::Compress),
+            lint_benchmark(Benchmark::Li),
+        ];
+        let text = lint_table(&entries);
+        assert_eq!(text.lines().count(), 2 + entries.len());
+        assert!(text.contains("compress"));
+    }
+}

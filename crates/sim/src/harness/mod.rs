@@ -19,6 +19,10 @@
 //!   offline with no external crates) for [`SimReport`] and friends.
 //! * [`table`] — the plain-text table renderer and the small statistics
 //!   helpers (`mean`, `percent_change`) every experiment shares.
+//! * `lint` — static verification of workload programs (`tw lint`):
+//!   runs `tc-analyze`'s five-pass pipeline over the registered
+//!   benchmarks and renders results through the same table/JSON
+//!   machinery.
 //!
 //! The simulator itself is deterministic, so parallel execution is
 //! required to be *observationally identical* to serial execution —
@@ -27,11 +31,15 @@
 //! [`SimReport`]: crate::SimReport
 
 mod json;
+mod lint;
 mod registry;
 mod runner;
 mod table;
 
 pub use json::{report_to_json, reports_to_json, Json};
+pub use lint::{
+    lint_all, lint_benchmark, lint_entry_to_json, lint_errors, lint_table, lint_to_json, LintEntry,
+};
 pub use registry::{lookup, preset, presets, standard_five, ConfigPreset, STANDARD_FIVE};
 pub use runner::{default_jobs, run_matrix, MatrixRunner};
 pub use table::{f2, mean, pct, percent_change, Table};

@@ -122,6 +122,7 @@ impl Processor {
             if oracle.is_empty() {
                 break;
             }
+            self.front_end.set_cycle(cycle);
             // Retire-side work reaching the current cycle.
             while retire_q.front().is_some_and(|(t, _)| *t <= cycle) {
                 let (_, rec) = retire_q.pop_front().expect("checked");
@@ -378,10 +379,13 @@ impl Processor {
 
         // Let the machine drain.
         let total_cycles = cycle.max(last_retire);
+        self.front_end.set_cycle(total_cycles);
         while let Some((_, rec)) = retire_q.pop_front() {
             self.front_end.retire(&rec);
         }
         self.engine.drain_retired(u64::MAX);
+        // Final sweep: audit every segment still resident in the cache.
+        self.front_end.audit();
 
         assert!(
             interp.error().is_none(),
@@ -459,6 +463,7 @@ impl Processor {
             l2: *self.mem.l2_stats(),
             engine: *self.engine.stats(),
             salvaged: c.salvaged,
+            sanitizer: self.front_end.sanitizer().stats(),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Simulation results.
 
 use tc_cache::CacheStats;
-use tc_core::{FetchStats, TraceCacheStats};
+use tc_core::{FetchStats, SanitizerStats, TraceCacheStats};
 use tc_engine::EngineStats;
 
 /// Where every fetch cycle went — the six categories of the paper's
@@ -99,6 +99,9 @@ pub struct SimReport {
     pub engine: EngineStats,
     /// Salvaged (inactive-issue) instructions that became useful.
     pub salvaged: u64,
+    /// Runtime invariant-sanitizer activity (all-zero counters when the
+    /// sanitizer is disabled).
+    pub sanitizer: SanitizerStats,
 }
 
 impl SimReport {
@@ -202,6 +205,7 @@ mod tests {
             l2: CacheStats::default(),
             engine: EngineStats::default(),
             salvaged: 0,
+            sanitizer: SanitizerStats::default(),
         }
     }
 

@@ -164,6 +164,17 @@ fn json_report_schema_is_stable() {
             "promotions",
             "caches",
             "engine",
+            "sanitizer",
+        ]
+    );
+    assert_eq!(
+        keys(json.get("sanitizer").expect("sanitizer object")),
+        [
+            "enabled",
+            "checked_fills",
+            "checked_hits",
+            "errors",
+            "warnings"
         ]
     );
     assert_eq!(
@@ -261,4 +272,45 @@ fn json_optional_sections_track_config() {
     let json = report_to_json(&promo);
     assert!(matches!(json.get("trace_cache"), Some(Json::Object(_))));
     assert!(matches!(json.get("promotions"), Some(Json::Object(_))));
+}
+
+// --- invariant sanitizer ----------------------------------------------
+
+/// In test builds the sanitizer defaults to on; a healthy simulation
+/// validates every fill and trace-cache hit without a single violation.
+#[test]
+fn sanitizer_runs_clean_on_a_real_workload() {
+    let report = simulate(
+        Benchmark::Compress,
+        &SimConfig::baseline().with_max_insts(30_000),
+    );
+    assert!(report.sanitizer.enabled, "sanitizer is on in debug builds");
+    assert!(report.sanitizer.checked_fills > 0, "fills were validated");
+    assert!(report.sanitizer.checked_hits > 0, "hits were validated");
+    assert_eq!(report.sanitizer.errors, 0);
+    assert_eq!(report.sanitizer.warnings, 0);
+}
+
+/// Promotion configurations also run violation-free (stale-bias
+/// warnings would show up here).
+#[test]
+fn sanitizer_runs_clean_with_promotion_and_packing() {
+    let report = simulate(
+        Benchmark::Li,
+        &SimConfig::headline_perf().with_max_insts(30_000),
+    );
+    assert!(report.sanitizer.checked_fills > 0);
+    assert_eq!(report.sanitizer.errors, 0);
+}
+
+/// Explicitly disabled, the sanitizer is inert and reports all-zero
+/// counters.
+#[test]
+fn sanitizer_can_be_disabled() {
+    let mut config = SimConfig::baseline().with_max_insts(20_000);
+    config.front_end.sanitize = false;
+    let report = simulate(Benchmark::Compress, &config);
+    assert!(!report.sanitizer.enabled);
+    assert_eq!(report.sanitizer.checked_fills, 0);
+    assert_eq!(report.sanitizer.checked_hits, 0);
 }

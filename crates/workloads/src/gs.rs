@@ -21,7 +21,7 @@ const OUT_FILLED: i32 = OUT_PLOTTED + 1;
 /// Reference rasterizer: returns (pixels plotted, cells span-filled).
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn reference(segs: &[u64]) -> (u64, u64) {
-    let n = CANVAS as i64;
+    let n = CANVAS;
     let mut pix = vec![0u64; (n * n) as usize];
     let mut plotted = 0u64;
     for s in segs.chunks_exact(4) {

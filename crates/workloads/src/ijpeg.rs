@@ -33,7 +33,7 @@ fn dct_matrix() -> Vec<u64> {
             let val = match phase {
                 0..=3 => 60 - phase * 8,
                 4..=11 => 28 - (phase - 4) * 8,
-                12..=19 => -36 + (phase - 12) * 0,
+                12..=19 => -36, // flat trough of the approximation
                 _ => -36 + (phase - 20) * 8,
             };
             m.push(val as u64); // two's complement via u64

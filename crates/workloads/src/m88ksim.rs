@@ -110,10 +110,10 @@ pub(crate) fn reference(prog: &[GOp]) -> u64 {
             GOp::Mul(d, a, b) => regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize]),
             GOp::Li(d, i) => regs[d as usize] = u64::from(i),
             GOp::Ld(d, a, i) => {
-                regs[d as usize] = gmem[(regs[a as usize] as usize + i as usize) & 63]
+                regs[d as usize] = gmem[(regs[a as usize] as usize + i as usize) & 63];
             }
             GOp::St(d, a, i) => {
-                gmem[(regs[a as usize] as usize + i as usize) & 63] = regs[d as usize]
+                gmem[(regs[a as usize] as usize + i as usize) & 63] = regs[d as usize];
             }
             GOp::Bne(a, b, t) => {
                 if regs[a as usize] != regs[b as usize] {

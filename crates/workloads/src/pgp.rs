@@ -36,7 +36,7 @@ pub(crate) fn reference_modexp(g: &Big, e: &Big, m: &Big) -> Big {
     }
     fn from_u128(mut v: u128, limbs: usize) -> Big {
         let mut out = vec![0u64; limbs];
-        for l in out.iter_mut() {
+        for l in &mut out {
             *l = (v & 0xFFFF_FFFF) as u64;
             v >>= 32;
         }
@@ -178,7 +178,7 @@ pub(crate) fn inputs() -> (Big, Big, Big) {
     }
     fn from_u128(mut v: u128, limbs: usize) -> Big {
         let mut out = vec![0u64; limbs];
-        for l in out.iter_mut() {
+        for l in &mut out {
             *l = (v & 0xFFFF_FFFF) as u64;
             v >>= 32;
         }

@@ -60,7 +60,7 @@ pub(crate) fn reference(coeffs: &[u64]) -> (u64, u64) {
         for x in 0..NPOINTS {
             // y = ((a*x + b)*x + q)*x/64 + offset  (fixed-point-ish)
             let y = (a * x + b) * x + q;
-            let y = (y * x >> 6) % 50_000 + offset;
+            let y = ((y * x) >> 6) % 50_000 + offset;
             // Clip at zero: biased within a curve, flips across curves.
             let y = if y < 0 {
                 clipped += 1;

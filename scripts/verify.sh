@@ -4,17 +4,23 @@
 #   scripts/verify.sh
 #
 # Builds offline (the workspace has no external dependencies), runs the
-# full test suite, and checks formatting.
+# full test suite, lints the workload programs, and checks formatting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
 cargo build --release --offline
 
+echo "==> cargo build --release --examples"
+cargo build --release --offline --examples
+
 echo "==> cargo test -q"
 cargo test -q --offline
+
+echo "==> tw lint --all"
+target/release/tw lint --all
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + formatting all clean"
+echo "OK: build + tests + lint + formatting all clean"

@@ -4,12 +4,15 @@
 //! tw list
 //! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json]
 //! tw compare --bench gcc [--insts N] [--jobs N] [--json]
+//! tw lint [--bench gcc] [--json]
 //! ```
 //!
 //! Configuration names come from the experiment harness's registry
 //! (`tc_sim::harness`); `tw list` prints it. `compare` runs Figure 10's
 //! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
-//! environment variable, caps the worker threads).
+//! environment variable, caps the worker threads). `lint` runs
+//! `tc-analyze`'s five-pass static verifier over the workload programs
+//! and exits non-zero on any error-severity finding.
 
 use std::env;
 use std::process::ExitCode;
@@ -29,6 +32,9 @@ fn usage() -> ExitCode {
       simulate one benchmark under one configuration
   tw compare --bench <name> [--insts N] [--jobs N] [--json]
       compare the five standard configurations on one benchmark
+  tw lint [--workload <name> | --all] [--json]
+      statically verify workload programs (all benchmarks by default);
+      exits 1 on error-severity findings
 
 configurations: {}",
         harness::STANDARD_FIVE.join(", ")
@@ -79,11 +85,12 @@ fn main() -> ExitCode {
     let mut insts: u64 = 2_000_000;
     let mut perfect = false;
     let mut json = false;
+    let mut all = false;
     let mut jobs = default_jobs();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--bench" => {
+            "--bench" | "--workload" => {
                 i += 1;
                 bench = args.get(i).cloned();
             }
@@ -107,6 +114,7 @@ fn main() -> ExitCode {
             }
             "--perfect-mem" => perfect = true,
             "--json" => json = true,
+            "--all" => all = true,
             _ => return usage(),
         }
         i += 1;
@@ -187,6 +195,43 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        "lint" => {
+            if all && bench.is_some() {
+                eprintln!("--all and --workload are mutually exclusive");
+                return usage();
+            }
+            let entries = match bench.as_deref() {
+                Some(name) => {
+                    let Some(bench) = parse_bench(name) else {
+                        eprintln!("unknown workload {name:?}");
+                        return usage();
+                    };
+                    vec![harness::lint_benchmark(bench)]
+                }
+                None => harness::lint_all(),
+            };
+            let errors = harness::lint_errors(&entries);
+            if json {
+                println!("{}", harness::lint_to_json(&entries).pretty());
+            } else {
+                print!("{}", harness::lint_table(&entries));
+                for entry in &entries {
+                    for finding in &entry.report.findings {
+                        println!("{}: {finding}", entry.benchmark);
+                    }
+                }
+                println!(
+                    "{} workload(s), {errors} error(s), {} warning(s)",
+                    entries.len(),
+                    entries.iter().map(|e| e.report.warnings()).sum::<usize>()
+                );
+            }
+            if errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         _ => usage(),
     }

@@ -4,6 +4,7 @@
 //! single dependency. See the individual crates for full documentation:
 //!
 //! * [`isa`] — the RISC-like ISA, assembler, and functional interpreter
+//! * [`analyze`] — CFG-based static verification passes (`tw lint`)
 //! * [`workloads`] — the 15 synthetic Table-1 benchmarks
 //! * [`cache`] — set-associative caches and the memory hierarchy
 //! * [`predict`] — branch predictors and the branch bias table
@@ -11,6 +12,7 @@
 //! * [`engine`] — the out-of-order execution engine model
 //! * [`sim`] — whole-processor simulation driver and reports
 
+pub use tc_analyze as analyze;
 pub use tc_cache as cache;
 pub use tc_core as core;
 pub use tc_engine as engine;

@@ -121,7 +121,7 @@ fn segments_partition_the_retire_stream() {
                 fill.retire(rec);
                 while let Some(seg) = fill.pop_segment() {
                     // Structural limits.
-                    assert!(seg.len() >= 1 && seg.len() <= 16, "case {case}");
+                    assert!(!seg.is_empty() && seg.len() <= 16, "case {case}");
                     assert!(seg.dynamic_branch_count() <= 3, "case {case}");
                     for si in seg.insts() {
                         rebuilt.push((si.pc.raw(), si.taken));
