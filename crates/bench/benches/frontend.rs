@@ -5,7 +5,9 @@
 
 use tc_bench::micro::{black_box, Group};
 use tc_cache::{HierarchyConfig, MemoryHierarchy};
-use tc_core::{FillUnit, FrontEnd, FrontEndConfig, PackingPolicy, TraceCache, TraceCacheConfig};
+use tc_core::{
+    FillUnit, FrontEnd, FrontEndConfig, PackingPolicy, TraceCache, TraceCacheConfig, TraceSegment,
+};
 use tc_isa::Addr;
 use tc_predict::{BiasConfig, BiasTable};
 use tc_workloads::Benchmark;
@@ -34,7 +36,7 @@ fn bench_trace_cache() {
     for seg in &segments {
         tc.fill(seg.clone());
     }
-    let starts: Vec<Addr> = segments.iter().map(|s| s.start()).collect();
+    let starts: Vec<Addr> = segments.iter().map(TraceSegment::start).collect();
     group.bench("lookup", || {
         let mut hits = 0u64;
         for &s in &starts {

@@ -20,7 +20,7 @@
 use std::env;
 
 use tc_bench::{f2, mean, pct, percent_change, Runner, Table};
-use tc_core::PackingPolicy;
+use tc_core::{PackingPolicy, TerminationReason};
 use tc_sim::harness::standard_five;
 use tc_sim::{SimConfig, SimReport};
 use tc_workloads::Benchmark;
@@ -149,22 +149,15 @@ fn fig4_6(r: &mut Runner, promoted: bool) {
     let rep = r.run(Benchmark::Gcc, &config).clone();
     let hist = &rep.fetch.histogram;
     let total: u64 = hist.iter().flatten().sum();
-    let mut t = Table::new(&[
-        "size",
-        "PartialMatch",
-        "AtomicBlocks",
-        "Icache",
-        "MispredBR",
-        "MaxSize",
-        "Ret/Ind/Trap",
-        "MaximumBRs",
-        "all",
-    ]);
+    let mut header = vec!["size"];
+    header.extend(TerminationReason::ALL.iter().map(|r| r.label()));
+    header.push("all");
+    let mut t = Table::new(&header);
     for size in 0..=16usize {
         let mut cells = vec![size.to_string()];
         let mut row_total = 0u64;
-        for reason_idx in 0..7 {
-            let c = hist[reason_idx][size];
+        for reason_hist in hist {
+            let c = reason_hist[size];
             row_total += c;
             cells.push(format!("{:.3}", c as f64 / total.max(1) as f64));
         }

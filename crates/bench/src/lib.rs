@@ -3,9 +3,10 @@
 //! The experiment machinery (memoizing parallel runner, table renderer,
 //! statistics helpers) lives in `tc_sim::harness`; this crate re-exports
 //! it under the historical names so the `paper` binary and external
-//! scripts keep working, and adds [`micro`], a dependency-free
-//! microbenchmark harness for the `benches/` targets (the workspace
-//! builds offline, so Criterion is not available).
+//! scripts keep working, and adds two dependency-free timing harnesses
+//! (the workspace builds offline, so Criterion is not available):
+//! [`micro`], which backs the `benches/` targets, and [`suite`], the
+//! benchmark × configuration wall-clock matrix behind `tw bench`.
 //!
 //! The binary `paper` (see `src/bin/paper.rs`) regenerates every table
 //! and figure of the paper's evaluation:
@@ -18,3 +19,4 @@
 pub use tc_sim::harness::{f2, mean, pct, percent_change, MatrixRunner as Runner, Table};
 
 pub mod micro;
+pub mod suite;

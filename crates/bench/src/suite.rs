@@ -1,0 +1,224 @@
+//! The `tw bench` wall-clock suite.
+//!
+//! Times whole-processor simulation (`Processor::run`) for every cell of
+//! a benchmark × configuration matrix and reports simulator throughput:
+//! nanoseconds of host time per simulated cycle and simulated
+//! instructions per second. Configurations come from the harness preset
+//! registry, so the suite automatically tracks new presets.
+//!
+//! Each cell builds its workload once, then runs `samples` timed
+//! repetitions and keeps the fastest (the simulator is deterministic, so
+//! repetitions differ only in host noise; the minimum is the standard
+//! low-noise estimator). Results serialize to the `tw-bench/v1` JSON
+//! schema consumed by `tw bench --check` and `scripts/verify.sh`.
+
+use std::time::Instant;
+
+use tc_sim::harness::{presets, Json};
+use tc_sim::{Processor, SimConfig};
+use tc_workloads::Benchmark;
+
+/// Schema identifier stamped into every emitted suite artifact.
+pub const SCHEMA: &str = "tw-bench/v1";
+
+/// One timed benchmark × configuration cell.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Benchmark name (registry canonical).
+    pub benchmark: &'static str,
+    /// Configuration preset name.
+    pub config: &'static str,
+    /// Instructions actually retired by the simulation.
+    pub instructions: u64,
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// Fastest sample's wall-clock time, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl BenchCell {
+    /// Host nanoseconds per simulated cycle (lower is faster).
+    #[must_use]
+    pub fn ns_per_cycle(&self) -> f64 {
+        self.wall_ns as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Simulated instructions retired per host second.
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.instructions as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// A completed suite run.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Instruction budget given to every cell.
+    pub insts_per_cell: u64,
+    /// Timed repetitions per cell (fastest kept).
+    pub samples: u32,
+    /// All cells, in benchmark-major order.
+    pub cells: Vec<BenchCell>,
+}
+
+/// The full matrix: every registry benchmark × every registry preset.
+#[must_use]
+pub fn full_matrix() -> Vec<(Benchmark, &'static str)> {
+    Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| presets().iter().map(move |p| (b, p.name)))
+        .collect()
+}
+
+/// The smoke matrix: one small benchmark under the instruction-cache
+/// baseline and the headline trace-cache front end. Exercises both fetch
+/// paths in seconds; used by `tw bench --smoke` and CI.
+#[must_use]
+pub fn smoke_matrix() -> Vec<(Benchmark, &'static str)> {
+    vec![
+        (Benchmark::Compress, "icache"),
+        (Benchmark::Compress, "headline"),
+    ]
+}
+
+/// Runs one timed cell.
+///
+/// # Panics
+///
+/// Panics if `config_name` is not in the preset registry or `samples`
+/// is zero.
+#[must_use]
+pub fn run_cell(
+    benchmark: Benchmark,
+    config_name: &'static str,
+    insts: u64,
+    samples: u32,
+) -> BenchCell {
+    assert!(samples > 0, "at least one timed sample is required");
+    let config: SimConfig = tc_sim::harness::lookup(config_name)
+        .unwrap_or_else(|| panic!("unknown configuration preset {config_name:?}"))
+        .with_max_insts(insts);
+    let workload = benchmark.build();
+    let mut best_ns = u64::MAX;
+    let mut report = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let r = Processor::new(config.clone()).run(&workload);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        best_ns = best_ns.min(elapsed.max(1));
+        report = Some(r);
+    }
+    let report = report.expect("samples > 0");
+    BenchCell {
+        benchmark: benchmark.name(),
+        config: config_name,
+        instructions: report.instructions,
+        cycles: report.cycles,
+        wall_ns: best_ns,
+    }
+}
+
+/// Runs a whole matrix, invoking `progress` after each finished cell.
+pub fn run_suite(
+    matrix: &[(Benchmark, &'static str)],
+    insts: u64,
+    samples: u32,
+    mut progress: impl FnMut(&BenchCell, usize, usize),
+) -> BenchSuite {
+    let mut cells = Vec::with_capacity(matrix.len());
+    for (i, &(benchmark, config_name)) in matrix.iter().enumerate() {
+        let cell = run_cell(benchmark, config_name, insts, samples);
+        progress(&cell, i + 1, matrix.len());
+        cells.push(cell);
+    }
+    BenchSuite {
+        insts_per_cell: insts,
+        samples,
+        cells,
+    }
+}
+
+/// Serializes a suite to the `tw-bench/v1` schema.
+#[must_use]
+pub fn suite_to_json(suite: &BenchSuite) -> Json {
+    Json::Object(vec![
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("insts_per_cell", Json::UInt(suite.insts_per_cell)),
+        ("samples", Json::UInt(u64::from(suite.samples))),
+        (
+            "cells",
+            Json::Array(
+                suite
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::Object(vec![
+                            ("benchmark", Json::Str(c.benchmark.to_string())),
+                            ("config", Json::Str(c.config.to_string())),
+                            ("instructions", Json::UInt(c.instructions)),
+                            ("cycles", Json::UInt(c.cycles)),
+                            ("wall_ns", Json::UInt(c.wall_ns)),
+                            ("ns_per_cycle", Json::Float(c.ns_per_cycle())),
+                            ("instrs_per_sec", Json::Float(c.instrs_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Checks that `text` is a structurally well-formed `tw-bench/v1`
+/// artifact with at least one populated cell.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn check_artifact(text: &str) -> Result<(), String> {
+    tc_sim::harness::check_well_formed(text)?;
+    let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.contains(&format!("\"schema\":\"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA:?}"));
+    }
+    if !compact.contains("\"benchmark\":") || !compact.contains("\"ns_per_cycle\":") {
+        return Err("no populated cells found".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_produces_populated_well_formed_artifact() {
+        let suite = run_suite(&smoke_matrix(), 5_000, 1, |_, _, _| {});
+        assert_eq!(suite.cells.len(), 2);
+        for cell in &suite.cells {
+            assert!(cell.instructions > 0);
+            assert!(cell.cycles > 0);
+            assert!(cell.wall_ns > 0);
+            assert!(cell.ns_per_cycle() > 0.0);
+            assert!(cell.instrs_per_sec() > 0.0);
+        }
+        let text = suite_to_json(&suite).pretty();
+        check_artifact(&text).expect("smoke artifact is valid");
+    }
+
+    #[test]
+    fn full_matrix_covers_every_benchmark_and_preset() {
+        let matrix = full_matrix();
+        assert_eq!(
+            matrix.len(),
+            Benchmark::ALL.len() * tc_sim::harness::presets().len()
+        );
+    }
+
+    #[test]
+    fn check_artifact_rejects_foreign_or_empty_json() {
+        assert!(check_artifact("{\"schema\":\"other/v9\"}").is_err());
+        let empty = format!("{{\"schema\":\"{SCHEMA}\",\"cells\":[]}}");
+        assert!(check_artifact(&empty).is_err(), "no cells");
+        assert!(check_artifact("{\"cells\":[").is_err(), "malformed");
+    }
+}

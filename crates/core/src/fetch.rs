@@ -10,9 +10,10 @@ use tc_predict::{
 
 use crate::config::{FrontEndConfig, PredictorChoice};
 use crate::fill::FillUnit;
+use crate::inline_vec::InlineVec;
 use crate::sanitize::{CheckSite, Sanitizer};
-use crate::segment::SegmentInst;
-use crate::stats::{FetchStats, TerminationReason};
+use crate::segment::{SegmentInst, MAX_SEGMENT_BRANCHES};
+use crate::stats::{FetchStats, TerminationReason, MAX_FETCH};
 use crate::trace_cache::TraceCache;
 
 /// Where a fetch was serviced from.
@@ -42,6 +43,20 @@ pub struct FetchedInst {
     /// Inactive instructions issue anyway (inactive issue, §3) and are
     /// salvaged if the prediction proves wrong.
     pub active: bool,
+}
+
+impl Default for FetchedInst {
+    /// A placeholder `Nop`, used only to initialize [`InlineVec`]
+    /// backing storage; never observed through the slice API.
+    fn default() -> FetchedInst {
+        FetchedInst {
+            pc: Addr::new(0),
+            instr: Instr::Nop,
+            pred_taken: None,
+            promoted: false,
+            active: true,
+        }
+    }
 }
 
 /// The predicted address of the fetch after this one.
@@ -86,8 +101,10 @@ pub struct FetchBundle {
     /// The fetch address.
     pub fetch_pc: Addr,
     /// Delivered instructions: the active prefix followed by inactive
-    /// issue of the rest of the trace-cache line.
-    pub insts: Vec<FetchedInst>,
+    /// issue of the rest of the trace-cache line. Stored inline — a
+    /// fetch delivers at most [`MAX_FETCH`] instructions, so bundles
+    /// never heap-allocate.
+    pub insts: InlineVec<FetchedInst, MAX_FETCH>,
     /// Length of the active prefix.
     pub active_len: usize,
     /// Where the fetch was serviced.
@@ -176,6 +193,10 @@ impl FrontEnd {
     }
 
     fn with_fill(config: FrontEndConfig, fill: Option<FillUnit>) -> FrontEnd {
+        assert!(
+            config.fetch_width <= MAX_FETCH,
+            "fetch_width exceeds the bundle's inline capacity"
+        );
         let predictor = match config.predictor {
             PredictorChoice::PaperMulti => Predictor::Multi(MultiPredictor::paper()),
             PredictorChoice::SplitMulti => Predictor::Split(SplitMultiPredictor::paper()),
@@ -271,9 +292,12 @@ impl FrontEnd {
         self.ras.clone()
     }
 
-    /// Restores a return-stack snapshot.
-    pub fn restore_ras(&mut self, snapshot: ReturnStack) {
-        self.ras = snapshot;
+    /// Restores a return-stack snapshot by copying its contents into
+    /// the live stack's existing buffer — no allocation once the buffer
+    /// has grown to the program's call depth, so per-misprediction
+    /// recovery stays off the heap.
+    pub fn restore_ras(&mut self, snapshot: &ReturnStack) {
+        self.ras.copy_from(snapshot);
     }
 
     /// Trains the indirect-target predictor with a resolved target.
@@ -343,19 +367,42 @@ impl FrontEnd {
             hybrid: None,
         };
 
-        if let Some(tc) = self.trace_cache.as_mut() {
+        // The trace cache is moved out of `self` for the duration of the
+        // lookup so the bundle can be built directly from the resident
+        // segment's slice (no per-hit copy of the line) while `self`
+        // updates history and RAS.
+        if let Some(mut tc) = self.trace_cache.take() {
             let path_assoc = tc.config().path_assoc;
-            let seg_insts: Option<(Vec<SegmentInst>, crate::segment::SegEndReason)> = {
-                let hit = if path_assoc {
-                    tc.lookup_best(pc, &dirs)
-                } else {
-                    tc.lookup(pc)
-                };
-                hit.map(|seg| (seg.insts().to_vec(), seg.end_reason()))
+            let hit = if !path_assoc {
+                tc.lookup(pc)
+            } else if let Predictor::Hybrid(h) = &self.predictor {
+                // Path selection must rate each candidate with the
+                // hybrid's per-branch predictions; the placeholder
+                // `dirs` would pin every score to not-taken×3.
+                tc.lookup_best_by(pc, |seg| {
+                    let mut preds: InlineVec<bool, MAX_SEGMENT_BRANCHES> = InlineVec::new();
+                    // The hybrid supplies one prediction per cycle.
+                    for si in seg
+                        .insts()
+                        .iter()
+                        .filter(|si| si.needs_prediction())
+                        .take(1)
+                    {
+                        preds.push(h.predict(si.pc.byte_addr(), history).dir);
+                    }
+                    let (active, _, full) = seg.match_predictions(&preds);
+                    (full, active)
+                })
+            } else {
+                tc.lookup_best(pc, &dirs)
             };
-            if let Some((insts, end_reason)) = seg_insts {
-                self.sanitizer.check_hit(&insts);
-                return self.fetch_from_segment(pc, &insts, end_reason, &dirs, pred_ctx);
+            let bundle = hit.map(|seg| {
+                self.sanitizer.check_hit(seg.insts());
+                self.fetch_from_segment(pc, seg.insts(), seg.end_reason(), &dirs, pred_ctx)
+            });
+            self.trace_cache = Some(tc);
+            if let Some(bundle) = bundle {
+                return bundle;
             }
         }
         self.fetch_from_icache(pc, program, mem, &dirs, &mut pred_ctx)
@@ -383,7 +430,7 @@ impl FrontEnd {
         // Resolve the predictions available to this fetch: up to
         // `bandwidth` directions for the line's non-promoted branches.
         let bandwidth = self.predictor_bandwidth();
-        let mut preds: Vec<bool> = Vec::with_capacity(bandwidth);
+        let mut preds: InlineVec<bool, MAX_SEGMENT_BRANCHES> = InlineVec::new();
         for si in insts
             .iter()
             .filter(|si| si.needs_prediction())
@@ -439,7 +486,7 @@ impl FrontEnd {
         }
 
         // Phase 2: emit the active prefix, updating history and RAS.
-        let mut out = Vec::with_capacity(insts.len());
+        let mut out: InlineVec<FetchedInst, MAX_FETCH> = InlineVec::new();
         let mut pred_i = 0usize;
         for si in &insts[..active_len] {
             let assumed = if si.instr.is_cond_branch() {
@@ -557,7 +604,7 @@ impl FrontEnd {
         let first = mem.instruction_fetch(pc.byte_addr());
         let latency = first.cycles.saturating_sub(mem.config().l1_latency);
 
-        let mut out: Vec<FetchedInst> = Vec::with_capacity(self.config.fetch_width);
+        let mut out: InlineVec<FetchedInst, MAX_FETCH> = InlineVec::new();
         let mut cur = pc;
         let mut used = 0usize;
         let mut reason = TerminationReason::ICache;
@@ -924,6 +971,102 @@ mod tests {
             NextPc::Return { predicted } => assert_eq!(predicted, Some(Addr::new(2))),
             other => panic!("expected return, got {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod path_assoc_hybrid_tests {
+    use super::*;
+    use crate::trace_cache::TraceCacheConfig;
+    use tc_cache::HierarchyConfig;
+    use tc_isa::{Cond, ProgramBuilder, Reg};
+
+    /// Program with both paths of one branch finalizable as segments:
+    /// `0 nop, 1 br->4, 2 nop, 3 ret` (not-taken) and `4 nop, 5 ret`
+    /// (taken target).
+    fn diamond_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label("l");
+        b.nop(); // 0
+        b.branch(Cond::Eq, Reg::T0, Reg::T0, l); // 1
+        b.nop(); // 2
+        b.ret(); // 3
+        b.bind(l).unwrap();
+        b.nop(); // 4
+        b.ret(); // 5
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn retire_path(fe: &mut FrontEnd, program: &Program, path: &[(u32, bool, u32)]) {
+        for &(pc, taken, next) in path {
+            fe.retire(&ExecRecord {
+                pc: Addr::new(pc),
+                instr: program.fetch(Addr::new(pc)).unwrap(),
+                next_pc: Addr::new(next),
+                taken,
+                mem_addr: None,
+            });
+        }
+    }
+
+    /// Regression test for path selection under path associativity with
+    /// the hybrid (single-branch) predictor. Selection must rate each
+    /// candidate segment against the hybrid's *per-branch* prediction;
+    /// the old code passed a placeholder not-taken×3 vector, so a
+    /// resident not-taken path always out-scored the predicted path.
+    #[test]
+    fn hybrid_path_selection_follows_the_hybrid_prediction() {
+        let program = diamond_program();
+        let config = FrontEndConfig {
+            trace_cache: Some(TraceCacheConfig::paper().with_path_assoc()),
+            predictor: PredictorChoice::Hybrid,
+            ..FrontEndConfig::baseline()
+        };
+        let mut fe = FrontEnd::new(config);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_trace_cache());
+
+        // Train the hybrid to predict *taken* at the branch (pc 1): the
+        // i-cache fetch walks nop + branch and captures the hybrid's
+        // prediction context; history is restored so every training
+        // iteration predicts in the same context as the final fetch.
+        let h0 = fe.history_snapshot();
+        for _ in 0..32 {
+            let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
+            fe.train(&bundle.pred, &[true]);
+            fe.restore_history(h0);
+        }
+
+        // Fill both paths; the not-taken path last, so it is both the
+        // MRU way and the full match for a not-taken placeholder.
+        retire_path(
+            &mut fe,
+            &program,
+            &[(0, false, 1), (1, true, 4), (4, false, 5), (5, false, 0)],
+        );
+        retire_path(
+            &mut fe,
+            &program,
+            &[(0, false, 1), (1, false, 2), (2, false, 3), (3, false, 0)],
+        );
+
+        let bundle = fe.fetch(Addr::new(0), &program, &mut mem);
+        assert_eq!(bundle.source, FetchSource::TraceCache);
+        assert_eq!(
+            bundle.insts[1].pred_taken,
+            Some(true),
+            "the hybrid predicts taken"
+        );
+        assert_eq!(
+            bundle.active_len, 4,
+            "the predicted (taken) path matches in full"
+        );
+        assert_eq!(
+            bundle.insts[2].pc,
+            Addr::new(4),
+            "fetch continues at the taken target, not the not-taken path"
+        );
+        assert!(matches!(bundle.next_pc, NextPc::Return { .. }));
     }
 }
 

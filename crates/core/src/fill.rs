@@ -6,11 +6,18 @@ use std::collections::VecDeque;
 use tc_isa::{ControlKind, ExecRecord};
 use tc_predict::{BiasDecision, BiasTable};
 
+use crate::inline_vec::InlineVec;
 use crate::promote::StaticPromotionTable;
 use crate::sanitize::ViolationKind;
 use crate::segment::{
-    SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS,
+    has_short_backward_branch, SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES,
+    MAX_SEGMENT_INSTS,
 };
+
+/// Inline scratch buffer for a pending segment or fetch block — both are
+/// bounded by the line size, so the fill unit never heap-allocates in
+/// steady state.
+type InstBuf = InlineVec<SegmentInst, MAX_SEGMENT_INSTS>;
 
 /// How the fill unit treats a retired block that does not fit in the
 /// pending segment (§5 of the paper).
@@ -106,8 +113,8 @@ enum Promoter {
 pub struct FillUnit {
     policy: PackingPolicy,
     promoter: Promoter,
-    pending: Vec<SegmentInst>,
-    current_block: Vec<SegmentInst>,
+    pending: InstBuf,
+    current_block: InstBuf,
     finalized: VecDeque<TraceSegment>,
     stats: FillStats,
     violations: Vec<ViolationKind>,
@@ -124,8 +131,8 @@ impl FillUnit {
                 Some(b) => Promoter::Dynamic(b),
                 None => Promoter::None,
             },
-            pending: Vec::with_capacity(MAX_SEGMENT_INSTS),
-            current_block: Vec::with_capacity(MAX_SEGMENT_INSTS),
+            pending: InstBuf::new(),
+            current_block: InstBuf::new(),
             finalized: VecDeque::new(),
             stats: FillStats::default(),
             violations: Vec::new(),
@@ -219,8 +226,10 @@ impl FillUnit {
         let forced = self.current_block.len() == MAX_SEGMENT_INSTS;
 
         if ends_block || forced {
+            // Move the block out by (inline) copy so `merge_block` can
+            // borrow it alongside `&mut self` — no heap traffic.
             let block = std::mem::take(&mut self.current_block);
-            self.merge_block(block, ends_segment);
+            self.merge_block(&block, ends_segment);
         }
     }
 
@@ -238,17 +247,19 @@ impl FillUnit {
         if self.pending.is_empty() {
             return;
         }
-        let insts = std::mem::take(&mut self.pending);
+        let insts = self.pending.as_slice();
         self.stats.segments += 1;
         self.stats.segment_insts += insts.len() as u64;
         self.stats.promoted_embedded +=
             insts.iter().filter(|i| i.promoted.is_some()).count() as u64;
         self.stats.dynamic_embedded += insts.iter().filter(|i| i.needs_prediction()).count() as u64;
-        self.finalized.push_back(TraceSegment::new(insts, reason));
+        let segment = TraceSegment::new(insts, reason);
+        self.pending.clear();
+        self.finalized.push_back(segment);
     }
 
     /// Appends a whole block that fits, applying the finalize rules.
-    fn append_fitting(&mut self, mut block: Vec<SegmentInst>, ends_segment: bool) {
+    fn append_fitting(&mut self, mut block: &[SegmentInst], ends_segment: bool) {
         if self.pending.len() + block.len() > MAX_SEGMENT_INSTS {
             // A broken merge decision. Record the violation for the
             // sanitizer and clamp so the segment stays well-formed.
@@ -256,9 +267,9 @@ impl FillUnit {
                 pending: self.pending.len(),
                 block: block.len(),
             });
-            block.truncate(MAX_SEGMENT_INSTS - self.pending.len());
+            block = &block[..MAX_SEGMENT_INSTS - self.pending.len()];
         }
-        self.pending.extend(block);
+        self.pending.extend_from_slice(block);
         if ends_segment {
             self.finalize(SegEndReason::RetIndTrap);
         } else if self.pending.len() == MAX_SEGMENT_INSTS {
@@ -268,7 +279,7 @@ impl FillUnit {
         }
     }
 
-    fn merge_block(&mut self, block: Vec<SegmentInst>, ends_segment: bool) {
+    fn merge_block(&mut self, block: &[SegmentInst], ends_segment: bool) {
         let space = MAX_SEGMENT_INSTS - self.pending.len();
         if block.len() <= space {
             self.append_fitting(block, ends_segment);
@@ -280,10 +291,8 @@ impl FillUnit {
             PackingPolicy::Unregulated => space,
             PackingPolicy::Chunk(n) => (space / n) * n,
             PackingPolicy::CostRegulated => {
-                let pending_segment =
-                    TraceSegment::new(self.pending.clone(), SegEndReason::AtomicBlock);
                 let unused_ge_half = 2 * space >= self.pending.len();
-                if unused_ge_half || pending_segment.has_short_backward_branch(32) {
+                if unused_ge_half || has_short_backward_branch(&self.pending, 32) {
                     space
                 } else {
                     0
@@ -308,13 +317,15 @@ impl FillUnit {
         // Packing: head finishes the pending segment, tail starts the
         // next one.
         self.stats.blocks_split += 1;
-        let mut head = block;
-        let tail = head.split_off(take);
-        self.pending.extend(head);
+        let (head, tail) = block.split_at(take);
+        self.pending.extend_from_slice(head);
+        // A performed split that still leaves the line non-full (chunk
+        // granularity) is `Packed`, not `AtomicBlock`: the histograms
+        // must keep performed and refused splits apart.
         let reason = if self.pending.len() == MAX_SEGMENT_INSTS {
             SegEndReason::MaxSize
         } else {
-            SegEndReason::AtomicBlock
+            SegEndReason::Packed
         };
         self.finalize(reason);
         self.append_fitting(tail, ends_segment);
@@ -421,6 +432,22 @@ mod tests {
         assert_eq!(f.stats().blocks_split, 1);
     }
 
+    /// A *performed* split that leaves the line non-full reports
+    /// `Packed`, not `AtomicBlock` — the latter is reserved for refused
+    /// splits, so the two stay distinct in the termination histograms.
+    #[test]
+    fn performed_nonfull_split_finalizes_as_packed() {
+        let mut f = FillUnit::new(PackingPolicy::Chunk(4), None);
+        let mut pc = 0;
+        feed_block(&mut f, &mut pc, 10, false); // 6 slots left
+        feed_block(&mut f, &mut pc, 9, false); // take 4: line closes at 14
+        let seg = f.pop_segment().unwrap();
+        assert_eq!(seg.len(), 14, "split performed at chunk granularity");
+        assert_eq!(seg.end_reason(), SegEndReason::Packed);
+        assert_eq!(f.stats().blocks_split, 1);
+        assert_eq!(f.stats().splits_refused, 0);
+    }
+
     #[test]
     fn chunked_packing_refuses_tiny_splits() {
         let mut f = FillUnit::new(PackingPolicy::Chunk(4), None);
@@ -429,6 +456,11 @@ mod tests {
         feed_block(&mut f, &mut pc, 9, false);
         let seg = f.pop_segment().unwrap();
         assert_eq!(seg.len(), 14, "no split when space < n");
+        assert_eq!(
+            seg.end_reason(),
+            SegEndReason::AtomicBlock,
+            "a refused split keeps the atomic-block reason"
+        );
         assert_eq!(f.stats().splits_refused, 1);
     }
 

@@ -32,6 +32,7 @@
 mod config;
 mod fetch;
 mod fill;
+mod inline_vec;
 mod promote;
 mod sanitize;
 mod segment;
@@ -41,11 +42,14 @@ mod trace_cache;
 pub use config::{FrontEndConfig, PredictorChoice, PromotionConfig};
 pub use fetch::{FetchBundle, FetchSource, FetchedInst, FrontEnd, NextPc};
 pub use fill::{FillUnit, PackingPolicy};
+pub use inline_vec::InlineVec;
 pub use promote::StaticPromotionTable;
 pub use sanitize::{
     CheckSite, Sanitizer, SanitizerStats, Violation, ViolationKind, ViolationSeverity,
     MAX_RECORDED_VIOLATIONS,
 };
-pub use segment::{SegEndReason, SegmentInst, TraceSegment};
+pub use segment::{
+    SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS,
+};
 pub use stats::{FetchStats, TerminationReason};
 pub use trace_cache::{TraceCache, TraceCacheConfig, TraceCacheStats};

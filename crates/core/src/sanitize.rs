@@ -420,7 +420,7 @@ mod tests {
     #[test]
     fn clean_segment_passes_every_check() {
         let mut s = Sanitizer::new(true);
-        let seg = TraceSegment::new(vec![nop(0), nop(1), nop(2)], SegEndReason::AtomicBlock);
+        let seg = TraceSegment::new(&[nop(0), nop(1), nop(2)], SegEndReason::AtomicBlock);
         s.check_fill(&seg, None);
         s.check_hit(seg.insts());
         s.check_resident(&seg);

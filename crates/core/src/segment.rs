@@ -2,6 +2,8 @@
 
 use tc_isa::{Addr, ControlKind, Instr};
 
+use crate::inline_vec::InlineVec;
+
 /// Maximum instructions in one trace segment (one trace-cache line).
 pub const MAX_SEGMENT_INSTS: usize = 16;
 /// Maximum *non-promoted* conditional branches per segment.
@@ -18,6 +20,9 @@ pub enum SegEndReason {
     /// The next retired block did not fit and the policy kept blocks
     /// atomic (no packing, or regulation refused the split).
     AtomicBlock,
+    /// A performed packing split closed the segment without filling the
+    /// line (chunk-granularity packing can leave a non-full line).
+    Packed,
     /// A return, indirect jump/call, or serializing trap forced the
     /// segment to end.
     RetIndTrap,
@@ -37,6 +42,20 @@ pub struct SegmentInst {
     /// fill unit: it carries a built-in static prediction and consumes no
     /// dynamic-predictor bandwidth.
     pub promoted: Option<bool>,
+}
+
+impl Default for SegmentInst {
+    /// A placeholder `Nop` at address zero, used only to initialize
+    /// [`InlineVec`] backing storage; never observed through the slice
+    /// API.
+    fn default() -> SegmentInst {
+        SegmentInst {
+            pc: Addr::new(0),
+            instr: Instr::Nop,
+            taken: false,
+            promoted: None,
+        }
+    }
 }
 
 impl SegmentInst {
@@ -69,36 +88,40 @@ impl SegmentInst {
 /// A finalized trace segment: logically contiguous instructions placed in
 /// physically contiguous storage.
 ///
+/// The instructions live **inline** in the segment (a line is at most
+/// [`MAX_SEGMENT_INSTS`] instructions), so constructing, copying into the
+/// trace cache, and dropping a segment never touches the heap.
+///
 /// # Example
 ///
 /// ```
 /// use tc_core::{TraceSegment, SegmentInst, SegEndReason};
 /// use tc_isa::{Addr, Instr, Reg};
 ///
-/// let insts = vec![
+/// let insts = [
 ///     SegmentInst { pc: Addr::new(0), instr: Instr::Nop, taken: false, promoted: None },
 ///     SegmentInst { pc: Addr::new(1), instr: Instr::Nop, taken: false, promoted: None },
 /// ];
-/// let seg = TraceSegment::new(insts, SegEndReason::AtomicBlock);
+/// let seg = TraceSegment::new(&insts, SegEndReason::AtomicBlock);
 /// assert_eq!(seg.start(), Addr::new(0));
 /// assert_eq!(seg.len(), 2);
 /// assert_eq!(seg.dynamic_branch_count(), 0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSegment {
-    insts: Vec<SegmentInst>,
+    insts: InlineVec<SegmentInst, MAX_SEGMENT_INSTS>,
     end_reason: SegEndReason,
 }
 
 impl TraceSegment {
-    /// Creates a segment from its instructions.
+    /// Creates a segment by copying its instructions into inline storage.
     ///
     /// # Panics
     ///
     /// Panics if empty, longer than 16 instructions, or carrying more
     /// than three non-promoted conditional branches.
     #[must_use]
-    pub fn new(insts: Vec<SegmentInst>, end_reason: SegEndReason) -> TraceSegment {
+    pub fn new(insts: &[SegmentInst], end_reason: SegEndReason) -> TraceSegment {
         assert!(!insts.is_empty(), "trace segment cannot be empty");
         assert!(
             insts.len() <= MAX_SEGMENT_INSTS,
@@ -109,7 +132,10 @@ impl TraceSegment {
             branches <= MAX_SEGMENT_BRANCHES,
             "trace segment has {branches} non-promoted branches"
         );
-        TraceSegment { insts, end_reason }
+        TraceSegment {
+            insts: InlineVec::from_slice(insts),
+            end_reason,
+        }
     }
 
     /// The segment's start address (its trace-cache tag).
@@ -133,7 +159,7 @@ impl TraceSegment {
     /// The instructions in order.
     #[must_use]
     pub fn insts(&self) -> &[SegmentInst] {
-        &self.insts
+        self.insts.as_slice()
     }
 
     /// Why the fill unit finalized this segment.
@@ -193,14 +219,7 @@ impl TraceSegment {
     /// loop" trigger of cost-regulated packing (§5).
     #[must_use]
     pub fn has_short_backward_branch(&self, max_disp: i64) -> bool {
-        self.insts.iter().any(|si| {
-            if let Instr::Branch { target, .. } = si.instr {
-                let disp = si.pc.distance_from(target);
-                disp > 0 && disp <= max_disp
-            } else {
-                false
-            }
-        })
+        has_short_backward_branch(self.insts(), max_disp)
     }
 
     /// The last instruction of the segment.
@@ -222,6 +241,21 @@ impl TraceSegment {
     pub fn ends_trap(&self) -> bool {
         self.last().instr.control_kind() == ControlKind::Trap
     }
+}
+
+/// Slice-level form of [`TraceSegment::has_short_backward_branch`], so
+/// the fill unit's cost-regulation probe can test its pending
+/// instructions directly instead of constructing a throwaway segment.
+#[must_use]
+pub fn has_short_backward_branch(insts: &[SegmentInst], max_disp: i64) -> bool {
+    insts.iter().any(|si| {
+        if let Instr::Branch { target, .. } = si.instr {
+            let disp = si.pc.distance_from(target);
+            disp > 0 && disp <= max_disp
+        } else {
+            false
+        }
+    })
 }
 
 #[cfg(test)]
@@ -255,7 +289,7 @@ mod tests {
     #[test]
     fn full_match_consumes_predictions() {
         let seg = TraceSegment::new(
-            vec![
+            &[
                 nop(0),
                 branch(1, 10, true, None),
                 nop(10),
@@ -273,7 +307,7 @@ mod tests {
     #[test]
     fn partial_match_stops_after_divergent_branch() {
         let seg = TraceSegment::new(
-            vec![nop(0), branch(1, 10, true, None), nop(10), nop(11)],
+            &[nop(0), branch(1, 10, true, None), nop(10), nop(11)],
             SegEndReason::MaxSize,
         );
         let (active, used, full) = seg.match_predictions(&[false]);
@@ -285,7 +319,7 @@ mod tests {
     #[test]
     fn promoted_branches_consume_no_predictions() {
         let seg = TraceSegment::new(
-            vec![
+            &[
                 nop(0),
                 branch(1, 10, true, Some(true)),
                 nop(10),
@@ -314,13 +348,13 @@ mod tests {
     #[test]
     fn short_backward_branch_detection() {
         let loop_seg = TraceSegment::new(
-            vec![nop(100), branch(101, 96, true, None)],
+            &[nop(100), branch(101, 96, true, None)],
             SegEndReason::MaxBranches,
         );
         assert!(loop_seg.has_short_backward_branch(32));
         assert!(!loop_seg.has_short_backward_branch(4));
         let fwd = TraceSegment::new(
-            vec![branch(0, 50, true, None), nop(50)],
+            &[branch(0, 50, true, None), nop(50)],
             SegEndReason::AtomicBlock,
         );
         assert!(!fwd.has_short_backward_branch(32));
@@ -330,7 +364,7 @@ mod tests {
     #[should_panic(expected = "non-promoted branches")]
     fn too_many_branches_rejected() {
         let _ = TraceSegment::new(
-            vec![
+            &[
                 branch(0, 8, false, None),
                 branch(1, 8, false, None),
                 branch(2, 8, false, None),
@@ -343,7 +377,7 @@ mod tests {
     #[test]
     fn ends_indirect_and_trap() {
         let ret = TraceSegment::new(
-            vec![
+            &[
                 nop(0),
                 SegmentInst {
                     pc: Addr::new(1),
@@ -357,7 +391,7 @@ mod tests {
         assert!(ret.ends_indirect());
         assert!(!ret.ends_trap());
         let trap = TraceSegment::new(
-            vec![SegmentInst {
+            &[SegmentInst {
                 pc: Addr::new(0),
                 instr: Instr::Trap { code: 1 },
                 taken: false,

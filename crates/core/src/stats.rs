@@ -3,7 +3,10 @@
 use crate::segment::SegEndReason;
 
 /// Why a fetch delivered no more instructions than it did — the seven
-/// categories of the paper's Figures 4 and 6.
+/// categories of the paper's Figures 4 and 6, plus `Packed` for
+/// segments a performed packing split closed before the line filled
+/// (the paper folds these into AtomicBlocks; we keep them distinct so
+/// performed and refused splits stay separable in the histograms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TerminationReason {
     /// The predicted path diverged from the trace segment; only the
@@ -24,11 +27,18 @@ pub enum TerminationReason {
     RetIndTrap,
     /// The segment carried the maximum three conditional branches.
     MaximumBrs,
+    /// A performed packing split closed the segment without filling the
+    /// line (chunk-granularity packing).
+    Packed,
 }
 
 impl TerminationReason {
-    /// All categories, in the paper's legend order.
-    pub const ALL: [TerminationReason; 7] = [
+    /// Number of termination categories.
+    pub const COUNT: usize = 8;
+
+    /// All categories, in the paper's legend order (with the `Packed`
+    /// extension appended).
+    pub const ALL: [TerminationReason; TerminationReason::COUNT] = [
         TerminationReason::PartialMatch,
         TerminationReason::AtomicBlocks,
         TerminationReason::ICache,
@@ -36,6 +46,7 @@ impl TerminationReason {
         TerminationReason::MaxSize,
         TerminationReason::RetIndTrap,
         TerminationReason::MaximumBrs,
+        TerminationReason::Packed,
     ];
 
     /// The paper's legend label.
@@ -49,6 +60,7 @@ impl TerminationReason {
             TerminationReason::MaxSize => "MaxSize",
             TerminationReason::RetIndTrap => "Ret, Indir, Trap",
             TerminationReason::MaximumBrs => "MaximumBRs",
+            TerminationReason::Packed => "Packed",
         }
     }
 
@@ -66,6 +78,7 @@ impl From<SegEndReason> for TerminationReason {
             SegEndReason::MaxSize => TerminationReason::MaxSize,
             SegEndReason::MaxBranches => TerminationReason::MaximumBrs,
             SegEndReason::AtomicBlock => TerminationReason::AtomicBlocks,
+            SegEndReason::Packed => TerminationReason::Packed,
             SegEndReason::RetIndTrap => TerminationReason::RetIndTrap,
         }
     }
@@ -79,7 +92,7 @@ pub const MAX_FETCH: usize = 16;
 pub struct FetchStats {
     /// `histogram[reason][size]`: count of fetches of each size (0..=16
     /// correct-path instructions) by termination reason.
-    pub histogram: [[u64; MAX_FETCH + 1]; 7],
+    pub histogram: [[u64; MAX_FETCH + 1]; TerminationReason::COUNT],
     /// Fetches that returned at least one correct-path instruction.
     pub productive_fetches: u64,
     /// Correct-path instructions those fetches returned.
@@ -98,7 +111,7 @@ pub struct FetchStats {
 impl Default for FetchStats {
     fn default() -> FetchStats {
         FetchStats {
-            histogram: [[0; MAX_FETCH + 1]; 7],
+            histogram: [[0; MAX_FETCH + 1]; TerminationReason::COUNT],
             productive_fetches: 0,
             correct_instructions: 0,
             predictions_used: [0; 4],
@@ -157,8 +170,8 @@ impl FetchStats {
 
     /// Counts of fetches per termination reason (summed over sizes).
     #[must_use]
-    pub fn reason_counts(&self) -> [(TerminationReason, u64); 7] {
-        let mut out = [(TerminationReason::PartialMatch, 0); 7];
+    pub fn reason_counts(&self) -> [(TerminationReason, u64); TerminationReason::COUNT] {
+        let mut out = [(TerminationReason::PartialMatch, 0); TerminationReason::COUNT];
         for (i, &reason) in TerminationReason::ALL.iter().enumerate() {
             out[i] = (reason, self.histogram[i].iter().sum());
         }
@@ -221,6 +234,10 @@ mod tests {
         assert_eq!(
             TerminationReason::from(SegEndReason::AtomicBlock),
             TerminationReason::AtomicBlocks
+        );
+        assert_eq!(
+            TerminationReason::from(SegEndReason::Packed),
+            TerminationReason::Packed
         );
         assert_eq!(
             TerminationReason::from(SegEndReason::RetIndTrap),

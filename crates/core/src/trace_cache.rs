@@ -166,48 +166,91 @@ impl TraceCache {
         start.index() & (self.config.sets() - 1)
     }
 
+    /// MRU-first position of the resident segment starting at `start`
+    /// within its set, with no LRU or stats effects.
+    fn position(&self, start: Addr) -> Option<usize> {
+        self.sets[self.set_index(start)]
+            .iter()
+            .position(|w| w.segment.start() == start)
+    }
+
+    /// MRU-first position of the best-scoring segment starting at
+    /// `start`. Only a *strictly* greater score displaces the running
+    /// best, so ties keep the first — most recently used — candidate.
+    fn best_position_by<F>(&self, start: Addr, mut score: F) -> Option<usize>
+    where
+        F: FnMut(&TraceSegment) -> (bool, usize),
+    {
+        let set = &self.sets[self.set_index(start)];
+        let mut best: Option<(usize, (bool, usize))> = None;
+        for (i, w) in set.iter().enumerate() {
+            if w.segment.start() != start {
+                continue;
+            }
+            let s = score(&w.segment);
+            match best {
+                Some((_, b)) if s <= b => {}
+                _ => best = Some((i, s)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Promotes the way at `pos` (from [`TraceCache::position`] or
+    /// [`TraceCache::best_position_by`]) to most recently used, counts
+    /// the hit, and returns the segment by reference — the second half
+    /// of the find-index / LRU-touch pair the front end borrows its
+    /// fetch slice from.
+    fn touch(&mut self, start: Addr, pos: usize) -> &TraceSegment {
+        let si = self.set_index(start);
+        let set = &mut self.sets[si];
+        let way = set.remove(pos);
+        set.insert(0, way);
+        self.stats.hits += 1;
+        &set[0].segment
+    }
+
     /// Looks up a segment starting at `start`, updating LRU and stats.
     /// Without path associativity at most one candidate exists; with it,
     /// the most recently used matching segment is returned (prefer
     /// [`TraceCache::lookup_best`] when predictions are available).
     pub fn lookup(&mut self, start: Addr) -> Option<&TraceSegment> {
-        let si = self.set_index(start);
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|w| w.segment.start() == start) {
-            let way = set.remove(pos);
-            set.insert(0, way);
-            self.stats.hits += 1;
-            Some(&set[0].segment)
-        } else {
-            self.stats.misses += 1;
-            None
+        match self.position(start) {
+            Some(pos) => Some(self.touch(start, pos)),
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
     /// Looks up the segment starting at `start` whose embedded path best
     /// matches the supplied predictions (the selection logic of a
     /// path-associative trace cache). Ties go to the longer active
-    /// match; LRU and stats update as in [`TraceCache::lookup`].
+    /// match, then to the most recently used segment; LRU and stats
+    /// update as in [`TraceCache::lookup`].
     pub fn lookup_best(&mut self, start: Addr, preds: &[bool]) -> Option<&TraceSegment> {
-        let si = self.set_index(start);
-        let set = &mut self.sets[si];
-        let best = set
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| w.segment.start() == start)
-            .max_by_key(|(_, w)| {
-                let (active, _, full) = w.segment.match_predictions(preds);
-                (usize::from(full), active)
-            })
-            .map(|(i, _)| i);
-        if let Some(pos) = best {
-            let way = set.remove(pos);
-            set.insert(0, way);
-            self.stats.hits += 1;
-            Some(&set[0].segment)
-        } else {
-            self.stats.misses += 1;
-            None
+        self.lookup_best_by(start, |seg| {
+            let (active, _, full) = seg.match_predictions(preds);
+            (full, active)
+        })
+    }
+
+    /// Like [`TraceCache::lookup_best`], but with a caller-supplied
+    /// score (`(full_match, active_len)`, larger is better). Lets the
+    /// front end rate each candidate path with predictor state it can
+    /// only evaluate per-segment (e.g. the hybrid predictor's
+    /// per-branch predictions), without materializing the candidates.
+    pub fn lookup_best_by<F>(&mut self, start: Addr, score: F) -> Option<&TraceSegment>
+    where
+        F: FnMut(&TraceSegment) -> (bool, usize),
+    {
+        match self.best_position_by(start, score) {
+            Some(pos) => Some(self.touch(start, pos)),
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
@@ -318,7 +361,7 @@ mod tests {
     use tc_isa::Instr;
 
     fn seg(start: u32, len: usize) -> TraceSegment {
-        let insts = (0..len)
+        let insts: Vec<SegmentInst> = (0..len)
             .map(|i| SegmentInst {
                 pc: Addr::new(start + i as u32),
                 instr: Instr::Nop,
@@ -326,7 +369,7 @@ mod tests {
                 promoted: None,
             })
             .collect();
-        TraceSegment::new(insts, SegEndReason::AtomicBlock)
+        TraceSegment::new(&insts, SegEndReason::AtomicBlock)
     }
 
     fn small_cache() -> TraceCache {
@@ -404,7 +447,13 @@ mod path_assoc_tests {
     /// A 3-instruction segment starting at `start` whose branch at
     /// `start+1` embeds direction `taken`.
     fn seg_with_branch(start: u32, taken: bool) -> TraceSegment {
-        let insts = vec![
+        seg_with_branch_promoted(start, taken, None)
+    }
+
+    /// Like [`seg_with_branch`], with control over the branch's
+    /// promotion bit.
+    fn seg_with_branch_promoted(start: u32, taken: bool, promoted: Option<bool>) -> TraceSegment {
+        let insts = [
             SegmentInst {
                 pc: Addr::new(start),
                 instr: Instr::Nop,
@@ -420,7 +469,7 @@ mod path_assoc_tests {
                     target: Addr::new(start + 10),
                 },
                 taken,
-                promoted: None,
+                promoted,
             },
             SegmentInst {
                 pc: Addr::new(if taken { start + 10 } else { start + 2 }),
@@ -429,7 +478,7 @@ mod path_assoc_tests {
                 promoted: None,
             },
         ];
-        TraceSegment::new(insts, SegEndReason::MaxBranches)
+        TraceSegment::new(&insts, SegEndReason::MaxBranches)
     }
 
     #[test]
@@ -461,6 +510,30 @@ mod path_assoc_tests {
         tc.fill(seg_with_branch(0x10, false));
         assert_eq!(tc.resident(), 1);
         assert!(!tc.probe(Addr::new(0x10)).unwrap().insts()[1].taken);
+    }
+
+    /// When two resident paths score identically, `lookup_best` must
+    /// return the most recently used one (as its doc promises) — the
+    /// first maximum in MRU-first order, not the last.
+    #[test]
+    fn lookup_best_breaks_score_ties_toward_mru() {
+        let cfg = TraceCacheConfig {
+            entries: 8,
+            ways: 4,
+            path_assoc: true,
+        };
+        let mut tc = TraceCache::new(cfg);
+        // Both branches promoted: match_predictions consumes nothing, so
+        // both candidates score (full=true, active=3) for any preds.
+        tc.fill(seg_with_branch_promoted(0x10, true, Some(true)));
+        tc.fill(seg_with_branch_promoted(0x10, false, Some(false)));
+        assert_eq!(tc.resident(), 2, "distinct paths coexist");
+        // The second fill is the more recently used.
+        let hit = tc.lookup_best(Addr::new(0x10), &[true]).expect("hit");
+        assert!(
+            !hit.insts()[1].taken,
+            "tie must resolve to the MRU segment (the second fill)"
+        );
     }
 
     #[test]

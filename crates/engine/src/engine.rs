@@ -318,9 +318,9 @@ mod tests {
                 EngineConfig::paper_realistic()
             });
             // Make the store's address depend on a slow chain.
-            let mut last = e.issue(&alu(Reg::T0, Reg::T1, Reg::T2), 0, &mut m);
+            e.issue(&alu(Reg::T0, Reg::T1, Reg::T2), 0, &mut m);
             for _ in 0..5 {
-                last = e.issue(&alu(Reg::T0, Reg::T0, Reg::T0), 0, &mut m);
+                e.issue(&alu(Reg::T0, Reg::T0, Reg::T0), 0, &mut m);
             }
             e.issue(&store(Reg::T0, 0x100), 0, &mut m);
             e.issue(&load(Reg::T4, 0x200), 0, &mut m).exec_start

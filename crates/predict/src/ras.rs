@@ -53,6 +53,18 @@ impl ReturnStack {
         self.stack.pop()
     }
 
+    /// Makes this stack an exact copy of `other`, reusing the existing
+    /// buffer. Misprediction recovery restores RAS snapshots on every
+    /// recovered branch; copying into place keeps that path free of
+    /// heap allocation once the buffer has reached the program's
+    /// maximum call depth.
+    pub fn copy_from(&mut self, other: &ReturnStack) {
+        self.stack.clear();
+        self.stack.extend_from_slice(&other.stack);
+        self.max_depth = other.max_depth;
+        self.overflows = other.overflows;
+    }
+
     /// Current depth.
     #[must_use]
     pub fn depth(&self) -> usize {
@@ -90,6 +102,23 @@ mod tests {
         assert_eq!(r.pop(), Some(3));
         assert_eq!(r.pop(), Some(2));
         assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn copy_from_restores_contents_without_reallocating() {
+        let mut snapshot = ReturnStack::ideal();
+        snapshot.push(11);
+        snapshot.push(22);
+        let mut live = ReturnStack::ideal();
+        for i in 0..8 {
+            live.push(i);
+        }
+        live.copy_from(&snapshot);
+        assert_eq!(live.depth(), 2);
+        assert_eq!(live.pop(), Some(22));
+        assert_eq!(live.pop(), Some(11));
+        assert_eq!(live.pop(), None);
+        assert_eq!(live.overflows(), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod registry;
 mod runner;
 mod table;
 
-pub use json::{report_to_json, reports_to_json, Json};
+pub use json::{check_well_formed, report_to_json, reports_to_json, Json};
 pub use lint::{
     lint_all, lint_benchmark, lint_entry_to_json, lint_errors, lint_table, lint_to_json, LintEntry,
 };

@@ -3,7 +3,10 @@
 use std::collections::VecDeque;
 
 use tc_cache::MemoryHierarchy;
-use tc_core::{FetchBundle, FetchSource, FrontEnd, NextPc, TerminationReason};
+use tc_core::{
+    FetchBundle, FetchSource, FrontEnd, InlineVec, NextPc, TerminationReason, MAX_SEGMENT_BRANCHES,
+    MAX_SEGMENT_INSTS,
+};
 use tc_engine::{ExecutionEngine, IssueTimes};
 use tc_isa::{Addr, ControlKind, ExecRecord, Interpreter, Program};
 use tc_predict::ReturnStack;
@@ -149,8 +152,11 @@ impl Processor {
             let fetch_cycle = cycle;
 
             // --- Validate the active portion against the oracle ---
-            let mut outcomes: Vec<bool> = Vec::new();
-            let mut history_replay: Vec<bool> = Vec::new();
+            // A fetch carries at most three non-promoted conditional
+            // branches and sixteen instructions, so both scratch lists
+            // live on the stack.
+            let mut outcomes: InlineVec<bool, MAX_SEGMENT_BRANCHES> = InlineVec::new();
+            let mut history_replay: InlineVec<bool, MAX_SEGMENT_INSTS> = InlineVec::new();
             let mut upshot = FetchUpshot::Clean;
             let mut validated = 0usize;
             let mut promoted_in_fetch = 0u64;
@@ -366,7 +372,7 @@ impl Processor {
                     for &t in &history_replay {
                         self.front_end.push_history(t);
                     }
-                    self.front_end.restore_ras(ras_mirror.clone());
+                    self.front_end.restore_ras(&ras_mirror);
 
                     cycle = redirect.max(fetch_cycle + 1);
                     match oracle.front().map(|r| r.pc) {

@@ -1,0 +1,100 @@
+//! Golden determinism test: the allocation-free fetch/fill hot path is
+//! a pure restructuring, so every simulation result must be
+//! bit-identical to the pre-change simulator.
+//!
+//! The fixtures under `tests/golden/` were captured from the simulator
+//! *before* the hot path was restructured, via
+//!
+//! ```text
+//! tw sim --bench <name> --config <baseline|headline> --insts 25000 --json
+//! ```
+//!
+//! and are compared against the current code's full pretty-printed JSON
+//! report, which covers every exported counter and derived metric. Do
+//! not regenerate these fixtures from the current code — refreshing them
+//! from the simulator under test would turn the determinism gate into a
+//! tautology. Regenerate only when a change *intends* to alter
+//! simulation results, and say so in the commit.
+
+use tc_sim::harness::report_to_json;
+use tc_sim::{simulate, SimConfig};
+use tc_workloads::Benchmark;
+
+/// Instruction budget the fixtures were captured at.
+const INSTS: u64 = 25_000;
+
+/// Builds the capture configuration: the fixtures were emitted by the
+/// release `tw` binary, where the invariant sanitizer defaults off, so
+/// it is disabled explicitly here (tests compile with
+/// `debug_assertions`, which would otherwise flip the default and the
+/// `sanitizer.enabled` field).
+fn capture_config(base: SimConfig) -> SimConfig {
+    let mut config = base.with_max_insts(INSTS);
+    config.front_end.sanitize = false;
+    config
+}
+
+fn check(bench: Benchmark, config_name: &str, base: SimConfig, fixture: &str) {
+    let report = simulate(bench, &capture_config(base));
+    let rendered = format!("{}\n", report_to_json(&report).pretty());
+    assert_eq!(
+        rendered,
+        fixture,
+        "{} / {config_name}: report differs from the pre-change capture",
+        bench.name()
+    );
+}
+
+macro_rules! golden {
+    ($($name:ident, $bench:ident, $file:literal;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let (config_name, config) = if $file.ends_with("-baseline.json") {
+                    ("baseline", SimConfig::baseline())
+                } else {
+                    ("headline", SimConfig::headline_perf())
+                };
+                check(
+                    Benchmark::$bench,
+                    config_name,
+                    config,
+                    include_str!(concat!("golden/", $file)),
+                );
+            }
+        )*
+    };
+}
+
+golden! {
+    compress_baseline, Compress, "compress-baseline.json";
+    compress_headline, Compress, "compress-headline.json";
+    gcc_baseline, Gcc, "gcc-baseline.json";
+    gcc_headline, Gcc, "gcc-headline.json";
+    go_baseline, Go, "go-baseline.json";
+    go_headline, Go, "go-headline.json";
+    ijpeg_baseline, Ijpeg, "ijpeg-baseline.json";
+    ijpeg_headline, Ijpeg, "ijpeg-headline.json";
+    li_baseline, Li, "li-baseline.json";
+    li_headline, Li, "li-headline.json";
+    m88ksim_baseline, M88ksim, "m88ksim-baseline.json";
+    m88ksim_headline, M88ksim, "m88ksim-headline.json";
+    perl_baseline, Perl, "perl-baseline.json";
+    perl_headline, Perl, "perl-headline.json";
+    vortex_baseline, Vortex, "vortex-baseline.json";
+    vortex_headline, Vortex, "vortex-headline.json";
+    gnuchess_baseline, Gnuchess, "gnuchess-baseline.json";
+    gnuchess_headline, Gnuchess, "gnuchess-headline.json";
+    gs_baseline, Ghostscript, "gs-baseline.json";
+    gs_headline, Ghostscript, "gs-headline.json";
+    pgp_baseline, Pgp, "pgp-baseline.json";
+    pgp_headline, Pgp, "pgp-headline.json";
+    python_baseline, Python, "python-baseline.json";
+    python_headline, Python, "python-headline.json";
+    gnuplot_baseline, Gnuplot, "gnuplot-baseline.json";
+    gnuplot_headline, Gnuplot, "gnuplot-headline.json";
+    ss_baseline, SimOutorder, "ss-baseline.json";
+    ss_headline, SimOutorder, "ss-headline.json";
+    tex_baseline, Tex, "tex-baseline.json";
+    tex_headline, Tex, "tex-headline.json";
+}

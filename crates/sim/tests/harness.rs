@@ -3,8 +3,8 @@
 //! the JSON report schema.
 
 use tc_sim::harness::{
-    lookup, preset, presets, report_to_json, run_matrix, standard_five, Json, MatrixRunner,
-    STANDARD_FIVE,
+    check_well_formed, lookup, preset, presets, report_to_json, run_matrix, standard_five, Json,
+    MatrixRunner, STANDARD_FIVE,
 };
 use tc_sim::{simulate, SimConfig};
 use tc_workloads::Benchmark;
@@ -208,37 +208,12 @@ fn json_report_schema_is_stable() {
     }
     assert_finite(&json, "report");
 
-    // The rendering is valid JSON as far as a round-trip of the raw
-    // text's bracket/quote structure is concerned: it parses under a
-    // minimal well-formedness scan (no trailing commas, balanced
-    // braces outside strings).
-    let text = json.render();
-    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
-    for ch in text.chars() {
-        if in_str {
-            if esc {
-                esc = false;
-            } else if ch == '\\' {
-                esc = true;
-            } else if ch == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match ch {
-            '"' => in_str = true,
-            '{' | '[' => depth += 1,
-            '}' | ']' => depth -= 1,
-            _ => {}
-        }
-        assert!(depth >= 0, "unbalanced brackets");
-    }
-    assert_eq!(depth, 0, "unbalanced brackets");
-    assert!(!in_str, "unterminated string");
-    assert!(
-        !text.contains(",}") && !text.contains(",]"),
-        "trailing comma"
-    );
+    // The rendering passes the harness's structural well-formedness
+    // scan (the same gate `tw bench --check` applies to emitted
+    // artifacts): balanced braces outside strings, terminated strings,
+    // no trailing commas.
+    check_well_formed(&json.render()).expect("compact render is well-formed");
+    check_well_formed(&json.pretty()).expect("pretty render is well-formed");
 
     // Headline metrics agree with the report's accessors.
     match json.get("ipc") {
@@ -301,6 +276,43 @@ fn sanitizer_runs_clean_with_promotion_and_packing() {
     );
     assert!(report.sanitizer.checked_fills > 0);
     assert_eq!(report.sanitizer.errors, 0);
+}
+
+/// The sanitizer is a pure observer: toggling it must leave every other
+/// field of the report bit-identical. Compared through the full JSON
+/// rendering with the `sanitizer` section (the only legitimate
+/// difference) removed.
+#[test]
+fn sanitizer_toggle_leaves_simulation_results_bit_identical() {
+    fn strip_sanitizer(json: Json) -> Json {
+        match json {
+            Json::Object(fields) => Json::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| *k != "sanitizer")
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
+    for (bench, config) in [
+        (Benchmark::Compress, SimConfig::baseline()),
+        (Benchmark::Li, SimConfig::headline_perf()),
+    ] {
+        let mut on = config.clone().with_max_insts(25_000);
+        on.front_end.sanitize = true;
+        let mut off = on.clone();
+        off.front_end.sanitize = false;
+        let with_sanitizer = strip_sanitizer(report_to_json(&simulate(bench, &on)));
+        let without_sanitizer = strip_sanitizer(report_to_json(&simulate(bench, &off)));
+        assert_eq!(
+            with_sanitizer.render(),
+            without_sanitizer.render(),
+            "{} / {}: the sanitizer perturbed simulation results",
+            bench.name(),
+            config.label()
+        );
+    }
 }
 
 /// Explicitly disabled, the sanitizer is inert and reports all-zero

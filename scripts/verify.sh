@@ -15,12 +15,18 @@ echo "==> cargo build --release --examples"
 cargo build --release --offline --examples
 
 echo "==> cargo test -q"
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "==> tw lint --all"
 target/release/tw lint --all
 
+echo "==> tw bench --smoke"
+bench_artifact="$(mktemp -t tw-bench-smoke.XXXXXX.json)"
+trap 'rm -f "$bench_artifact"' EXIT
+target/release/tw bench --smoke --out "$bench_artifact"
+target/release/tw bench --check "$bench_artifact"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + formatting all clean"

@@ -5,6 +5,8 @@
 //! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json]
 //! tw compare --bench gcc [--insts N] [--jobs N] [--json]
 //! tw lint [--bench gcc] [--json]
+//! tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
+//! tw bench --check FILE
 //! ```
 //!
 //! Configuration names come from the experiment harness's registry
@@ -12,11 +14,16 @@
 //! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
 //! environment variable, caps the worker threads). `lint` runs
 //! `tc-analyze`'s five-pass static verifier over the workload programs
-//! and exits non-zero on any error-severity finding.
+//! and exits non-zero on any error-severity finding. `bench` times the
+//! simulator itself over the benchmark × preset matrix and writes the
+//! `tw-bench/v1` JSON artifact (`BENCH_frontend.json` by default);
+//! `--smoke` runs a two-cell subset for CI, and `--check` validates a
+//! previously emitted artifact without running anything.
 
 use std::env;
 use std::process::ExitCode;
 
+use trace_weave::bench::suite;
 use trace_weave::sim::harness::{
     self, default_jobs, presets, report_to_json, reports_to_json, run_matrix,
 };
@@ -35,6 +42,11 @@ fn usage() -> ExitCode {
   tw lint [--workload <name> | --all] [--json]
       statically verify workload programs (all benchmarks by default);
       exits 1 on error-severity findings
+  tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
+      time the simulator over the benchmark x configuration matrix and
+      write a tw-bench/v1 JSON artifact (default BENCH_frontend.json)
+  tw bench --check FILE
+      validate a previously emitted tw-bench artifact
 
 configurations: {}",
         harness::STANDARD_FIVE.join(", ")
@@ -83,9 +95,14 @@ fn main() -> ExitCode {
     let mut bench = None;
     let mut config_name = None;
     let mut insts: u64 = 2_000_000;
+    let mut insts_set = false;
     let mut perfect = false;
     let mut json = false;
     let mut all = false;
+    let mut smoke = false;
+    let mut samples: u32 = 3;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
     let mut jobs = default_jobs();
     let mut i = 1;
     while i < args.len() {
@@ -101,7 +118,10 @@ fn main() -> ExitCode {
             "--insts" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) => insts = n,
+                    Some(n) => {
+                        insts = n;
+                        insts_set = true;
+                    }
                     None => return usage(),
                 }
             }
@@ -112,9 +132,31 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--samples" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => samples = n,
+                    _ => return usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => check = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
             "--perfect-mem" => perfect = true,
             "--json" => json = true,
             "--all" => all = true,
+            "--smoke" => smoke = true,
             _ => return usage(),
         }
         i += 1;
@@ -232,6 +274,66 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::SUCCESS
             }
+        }
+        "bench" => {
+            if let Some(path) = check {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                return match suite::check_artifact(&text) {
+                    Ok(()) => {
+                        println!("{path}: valid {} artifact", suite::SCHEMA);
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            let matrix = if smoke {
+                suite::smoke_matrix()
+            } else {
+                suite::full_matrix()
+            };
+            if !insts_set {
+                insts = if smoke { 20_000 } else { 200_000 };
+            }
+            if !json {
+                println!(
+                    "{:12} {:12} {:>12} {:>12} {:>14}",
+                    "benchmark", "config", "wall", "ns/cycle", "instrs/sec"
+                );
+            }
+            let suite = suite::run_suite(&matrix, insts, samples, |cell, done, total| {
+                if !json {
+                    println!(
+                        "{:12} {:12} {:>10.1}ms {:>12.1} {:>14.0}   [{done}/{total}]",
+                        cell.benchmark,
+                        cell.config,
+                        cell.wall_ns as f64 / 1e6,
+                        cell.ns_per_cycle(),
+                        cell.instrs_per_sec(),
+                    );
+                }
+            });
+            let artifact = suite::suite_to_json(&suite).pretty();
+            if json {
+                println!("{artifact}");
+            }
+            let out = out.unwrap_or_else(|| "BENCH_frontend.json".to_string());
+            if let Err(e) = std::fs::write(&out, format!("{artifact}\n")) {
+                eprintln!("{out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !json {
+                println!("wrote {out}");
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }
