@@ -1,0 +1,277 @@
+//! `tw bench --compare`: diff two `tw-bench/v1` artifacts.
+//!
+//! Matches cells by `(benchmark, config)` and compares `ns_per_cycle`
+//! (host nanoseconds per simulated cycle — the suite's primary
+//! throughput metric, lower is better). A cell whose new value exceeds
+//! the old by more than the tolerance is a **regression**; `tw` exits
+//! non-zero when any exist, which is how `scripts/verify.sh` and CI
+//! gate simulator performance. Cells present in only one artifact are
+//! reported but never fail the comparison — matrices legitimately grow
+//! when presets are added.
+
+use tc_sim::harness::{parse_json, Value};
+
+use crate::suite::SCHEMA;
+
+/// One matched cell's old-vs-new throughput.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration preset name.
+    pub config: String,
+    /// Old artifact's ns/cycle.
+    pub old_ns_per_cycle: f64,
+    /// New artifact's ns/cycle.
+    pub new_ns_per_cycle: f64,
+}
+
+impl CellDelta {
+    /// Percent change, positive = slower (a potential regression).
+    #[must_use]
+    pub fn delta_pct(&self) -> f64 {
+        if self.old_ns_per_cycle == 0.0 {
+            0.0
+        } else {
+            (self.new_ns_per_cycle - self.old_ns_per_cycle) / self.old_ns_per_cycle * 100.0
+        }
+    }
+}
+
+/// A completed artifact comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Regression threshold, in percent slower.
+    pub tolerance_pct: f64,
+    /// Matched cells, in the old artifact's order.
+    pub deltas: Vec<CellDelta>,
+    /// `benchmark/config` labels present only in the old artifact.
+    pub only_old: Vec<String>,
+    /// `benchmark/config` labels present only in the new artifact.
+    pub only_new: Vec<String>,
+}
+
+impl Comparison {
+    /// The cells slower than the tolerance allows.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&CellDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.delta_pct() > self.tolerance_pct)
+            .collect()
+    }
+}
+
+/// One artifact's cells as `(benchmark, config, ns_per_cycle)` rows.
+fn artifact_cells(label: &str, text: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let doc = parse_json(text).map_err(|e| format!("{label}: {e}"))?;
+    let schema = doc.get("schema").and_then(Value::as_str);
+    if schema != Some(SCHEMA) {
+        return Err(format!(
+            "{label}: not a {SCHEMA} artifact (schema {schema:?})"
+        ));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: missing cells array"))?;
+    let mut rows = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let field = |name: &str| {
+            cell.get(name)
+                .cloned()
+                .ok_or_else(|| format!("{label}: cell {i} missing {name:?}"))
+        };
+        let benchmark = field("benchmark")?
+            .as_str()
+            .ok_or_else(|| format!("{label}: cell {i} benchmark is not a string"))?
+            .to_string();
+        let config = field("config")?
+            .as_str()
+            .ok_or_else(|| format!("{label}: cell {i} config is not a string"))?
+            .to_string();
+        let ns = field("ns_per_cycle")?
+            .as_f64()
+            .ok_or_else(|| format!("{label}: cell {i} ns_per_cycle is not a number"))?;
+        rows.push((benchmark, config, ns));
+    }
+    if rows.is_empty() {
+        return Err(format!("{label}: artifact has no cells"));
+    }
+    Ok(rows)
+}
+
+/// Compares two `tw-bench/v1` artifacts.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem in either
+/// artifact (bad JSON, wrong schema, missing cell fields, no cells, or
+/// zero matching cells).
+pub fn compare_artifacts(
+    old_text: &str,
+    new_text: &str,
+    tolerance_pct: f64,
+) -> Result<Comparison, String> {
+    let old = artifact_cells("old", old_text)?;
+    let new = artifact_cells("new", new_text)?;
+    let mut deltas = Vec::new();
+    let mut only_old = Vec::new();
+    for (benchmark, config, old_ns) in &old {
+        match new
+            .iter()
+            .find(|(b, c, _)| b == benchmark && c == config)
+            .map(|(_, _, ns)| *ns)
+        {
+            Some(new_ns) => deltas.push(CellDelta {
+                benchmark: benchmark.clone(),
+                config: config.clone(),
+                old_ns_per_cycle: *old_ns,
+                new_ns_per_cycle: new_ns,
+            }),
+            None => only_old.push(format!("{benchmark}/{config}")),
+        }
+    }
+    let only_new = new
+        .iter()
+        .filter(|(b, c, _)| !old.iter().any(|(ob, oc, _)| ob == b && oc == c))
+        .map(|(b, c, _)| format!("{b}/{c}"))
+        .collect();
+    if deltas.is_empty() {
+        return Err("no matching cells between the two artifacts".to_string());
+    }
+    Ok(Comparison {
+        tolerance_pct,
+        deltas,
+        only_old,
+        only_new,
+    })
+}
+
+/// Renders the comparison as the table `tw bench --compare` prints.
+#[must_use]
+pub fn render(comparison: &Comparison) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:12} {:12} {:>12} {:>12} {:>9}",
+        "benchmark", "config", "old ns/cyc", "new ns/cyc", "delta"
+    );
+    for d in &comparison.deltas {
+        let flag = if d.delta_pct() > comparison.tolerance_pct {
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:12} {:12} {:>12.1} {:>12.1} {:>+8.1}%{flag}",
+            d.benchmark,
+            d.config,
+            d.old_ns_per_cycle,
+            d.new_ns_per_cycle,
+            d.delta_pct()
+        );
+    }
+    for label in &comparison.only_old {
+        let _ = writeln!(out, "{label}: only in old artifact");
+    }
+    for label in &comparison.only_new {
+        let _ = writeln!(out, "{label}: only in new artifact");
+    }
+    let regressions = comparison.regressions().len();
+    let _ = writeln!(
+        out,
+        "{} cell(s) compared, {regressions} regression(s) beyond {:.0}%",
+        comparison.deltas.len(),
+        comparison.tolerance_pct
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(cells: &[(&str, &str, u64, u64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            format!("{{\"schema\":\"{SCHEMA}\",\"insts_per_cell\":1000,\"samples\":1,\"cells\":[");
+        for (i, (b, c, cycles, wall_ns)) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"benchmark\":\"{b}\",\"config\":\"{c}\",\"instructions\":1000,\
+                 \"cycles\":{cycles},\"wall_ns\":{wall_ns},\"ns_per_cycle\":{},\
+                 \"instrs_per_sec\":1.0}}",
+                *wall_ns as f64 / *cycles as f64
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    #[test]
+    fn detects_an_injected_regression() {
+        let old = artifact(&[
+            ("compress", "icache", 500, 50_000),
+            ("gcc", "headline", 500, 60_000),
+        ]);
+        // Doctored: gcc/headline got twice as slow; compress unchanged.
+        let new = artifact(&[
+            ("compress", "icache", 500, 50_000),
+            ("gcc", "headline", 500, 120_000),
+        ]);
+        let cmp = compare_artifacts(&old, &new, 10.0).unwrap();
+        assert_eq!(cmp.deltas.len(), 2);
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].benchmark, "gcc");
+        assert!((regressions[0].delta_pct() - 100.0).abs() < 1e-9);
+        assert!(render(&cmp).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvement_and_within_tolerance_pass() {
+        let old = artifact(&[("compress", "icache", 500, 50_000)]);
+        let faster = artifact(&[("compress", "icache", 500, 40_000)]);
+        assert!(compare_artifacts(&old, &faster, 10.0)
+            .unwrap()
+            .regressions()
+            .is_empty());
+        let slightly_slower = artifact(&[("compress", "icache", 500, 52_000)]);
+        assert!(compare_artifacts(&old, &slightly_slower, 10.0)
+            .unwrap()
+            .regressions()
+            .is_empty());
+    }
+
+    #[test]
+    fn unmatched_cells_are_reported_not_failed() {
+        let old = artifact(&[
+            ("compress", "icache", 500, 50_000),
+            ("go", "baseline", 500, 50_000),
+        ]);
+        let new = artifact(&[
+            ("compress", "icache", 500, 50_000),
+            ("perl", "headline", 500, 50_000),
+        ]);
+        let cmp = compare_artifacts(&old, &new, 10.0).unwrap();
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.only_old, ["go/baseline"]);
+        assert_eq!(cmp.only_new, ["perl/headline"]);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_or_disjoint_artifacts() {
+        let good = artifact(&[("compress", "icache", 500, 50_000)]);
+        assert!(compare_artifacts("{\"schema\":\"other/v1\"}", &good, 10.0).is_err());
+        assert!(compare_artifacts(&good, "not json", 10.0).is_err());
+        let disjoint = artifact(&[("go", "baseline", 500, 50_000)]);
+        assert!(compare_artifacts(&good, &disjoint, 10.0).is_err());
+    }
+}

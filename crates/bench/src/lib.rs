@@ -18,5 +18,6 @@
 
 pub use tc_sim::harness::{f2, mean, pct, percent_change, MatrixRunner as Runner, Table};
 
+pub mod compare;
 pub mod micro;
 pub mod suite;

@@ -7,6 +7,7 @@ use tc_predict::{
     BiasTable, GlobalHistory, HybridPrediction, HybridPredictor, IndirectPredictor, MultiPredictor,
     ReturnStack, SplitMultiPredictor,
 };
+use tc_trace::{NoopTracer, TraceEvent, Tracer};
 
 use crate::config::{FrontEndConfig, PredictorChoice};
 use crate::fill::FillUnit;
@@ -155,7 +156,7 @@ enum Predictor {
 /// * [`FrontEnd::retire`] for every retired instruction (fill path),
 /// * history / RAS snapshot-and-restore around misprediction recovery.
 #[derive(Debug, Clone)]
-pub struct FrontEnd {
+pub struct FrontEnd<T: Tracer = NoopTracer> {
     config: FrontEndConfig,
     trace_cache: Option<TraceCache>,
     fill: Option<FillUnit>,
@@ -165,17 +166,14 @@ pub struct FrontEnd {
     indirect: IndirectPredictor,
     stats: FetchStats,
     sanitizer: Sanitizer,
+    tracer: T,
 }
 
 impl FrontEnd {
     /// Builds a front end from a configuration.
     #[must_use]
     pub fn new(config: FrontEndConfig) -> FrontEnd {
-        let fill = config.trace_cache.map(|_| {
-            let bias = config.promotion.map(|p| BiasTable::new(p.bias));
-            FillUnit::new(config.packing, bias)
-        });
-        FrontEnd::with_fill(config, fill)
+        FrontEnd::with_tracer(config, NoopTracer)
     }
 
     /// Builds a front end whose fill unit promotes branches *statically*
@@ -186,13 +184,35 @@ impl FrontEnd {
         config: FrontEndConfig,
         table: crate::promote::StaticPromotionTable,
     ) -> FrontEnd {
+        FrontEnd::with_static_promotion_and_tracer(config, table, NoopTracer)
+    }
+}
+
+impl<T: Tracer> FrontEnd<T> {
+    /// Builds a front end that reports events to `tracer`.
+    #[must_use]
+    pub fn with_tracer(config: FrontEndConfig, tracer: T) -> FrontEnd<T> {
+        let fill = config.trace_cache.map(|_| {
+            let bias = config.promotion.map(|p| BiasTable::new(p.bias));
+            FillUnit::new(config.packing, bias)
+        });
+        FrontEnd::with_fill(config, fill, tracer)
+    }
+
+    /// [`FrontEnd::with_static_promotion`] with an attached tracer.
+    #[must_use]
+    pub fn with_static_promotion_and_tracer(
+        config: FrontEndConfig,
+        table: crate::promote::StaticPromotionTable,
+        tracer: T,
+    ) -> FrontEnd<T> {
         let fill = config
             .trace_cache
             .map(|_| FillUnit::new_static(config.packing, table.clone()));
-        FrontEnd::with_fill(config, fill)
+        FrontEnd::with_fill(config, fill, tracer)
     }
 
-    fn with_fill(config: FrontEndConfig, fill: Option<FillUnit>) -> FrontEnd {
+    fn with_fill(config: FrontEndConfig, fill: Option<FillUnit>, tracer: T) -> FrontEnd<T> {
         assert!(
             config.fetch_width <= MAX_FETCH,
             "fetch_width exceeds the bundle's inline capacity"
@@ -216,7 +236,19 @@ impl FrontEnd {
             indirect: IndirectPredictor::new(config.indirect_entries),
             stats: FetchStats::new(),
             sanitizer: Sanitizer::new(config.sanitize),
+            tracer,
         }
+    }
+
+    /// The attached tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the attached tracer.
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
     }
 
     /// The configuration in force.
@@ -255,10 +287,13 @@ impl FrontEnd {
         &self.sanitizer
     }
 
-    /// Advances the sanitizer's cycle clock so violations carry the
-    /// cycle they were observed at.
+    /// Advances the sanitizer's and tracer's cycle clocks so violations
+    /// and events carry the cycle they were observed at.
     pub fn set_cycle(&mut self, cycle: u64) {
         self.sanitizer.set_now(cycle);
+        if T::ENABLED {
+            self.tracer.set_cycle(cycle);
+        }
     }
 
     /// Audits every segment resident in the trace cache against the
@@ -308,14 +343,26 @@ impl FrontEnd {
     /// Feeds a retired (correct-path) instruction to the fill unit and
     /// drains finalized segments into the trace cache.
     pub fn retire(&mut self, rec: &ExecRecord) {
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::Retire { pc: rec.pc });
+        }
         if let (Some(fill), Some(tc)) = (self.fill.as_mut(), self.trace_cache.as_mut()) {
-            fill.retire(rec);
+            fill.retire_traced(rec, &mut self.tracer);
             for kind in fill.take_violations() {
                 self.sanitizer.record(CheckSite::Fill, None, kind);
             }
             while let Some(seg) = fill.pop_segment() {
                 self.sanitizer.check_fill(&seg, fill.bias_table());
-                tc.fill(seg);
+                let (start, len) = (seg.start(), seg.len());
+                let outcome = tc.fill(seg);
+                if T::ENABLED {
+                    self.tracer.emit(TraceEvent::TcFill {
+                        start,
+                        len: len as u8,
+                        evicted: outcome.evicted,
+                        duplicate: outcome.duplicate,
+                    });
+                }
             }
         }
     }
@@ -398,11 +445,28 @@ impl FrontEnd {
             };
             let bundle = hit.map(|seg| {
                 self.sanitizer.check_hit(seg.insts());
-                self.fetch_from_segment(pc, seg.insts(), seg.end_reason(), &dirs, pred_ctx)
+                let total = seg.insts().len();
+                let bundle =
+                    self.fetch_from_segment(pc, seg.insts(), seg.end_reason(), &dirs, pred_ctx);
+                if T::ENABLED {
+                    self.tracer.emit(TraceEvent::TcHit {
+                        pc,
+                        active: bundle.active_len as u8,
+                        total: total as u8,
+                        full: !matches!(
+                            bundle.base_reason,
+                            TerminationReason::PartialMatch | TerminationReason::MaximumBrs
+                        ),
+                    });
+                }
+                bundle
             });
             self.trace_cache = Some(tc);
             if let Some(bundle) = bundle {
                 return bundle;
+            }
+            if T::ENABLED {
+                self.tracer.emit(TraceEvent::TcMiss { pc });
             }
         }
         self.fetch_from_icache(pc, program, mem, &dirs, &mut pred_ctx)
@@ -603,6 +667,12 @@ impl FrontEnd {
         let line_bytes = mem.config().icache.line_bytes;
         let first = mem.instruction_fetch(pc.byte_addr());
         let latency = first.cycles.saturating_sub(mem.config().l1_latency);
+        if T::ENABLED && !first.l1_hit {
+            self.tracer.emit(TraceEvent::IcacheMiss { pc, latency });
+            if !first.l2_hit {
+                self.tracer.emit(TraceEvent::L2Miss { pc });
+            }
+        }
 
         let mut out: InlineVec<FetchedInst, MAX_FETCH> = InlineVec::new();
         let mut cur = pc;

@@ -3,8 +3,9 @@
 
 use std::collections::VecDeque;
 
-use tc_isa::{ControlKind, ExecRecord};
-use tc_predict::{BiasDecision, BiasTable};
+use tc_isa::{Addr, ControlKind, ExecRecord};
+use tc_predict::{BiasDecision, BiasTable, BiasUpdate};
+use tc_trace::{DemotionCause, NoopTracer, PackVerdict, TraceEvent, Tracer};
 
 use crate::inline_vec::InlineVec;
 use crate::promote::StaticPromotionTable;
@@ -190,6 +191,12 @@ impl FillUnit {
 
     /// Feeds one retired instruction (correct path, program order).
     pub fn retire(&mut self, rec: &ExecRecord) {
+        self.retire_traced(rec, &mut NoopTracer);
+    }
+
+    /// [`FillUnit::retire`] with an attached [`Tracer`]. With the
+    /// [`NoopTracer`] this monomorphizes to exactly the untraced path.
+    pub fn retire_traced<T: Tracer>(&mut self, rec: &ExecRecord, tracer: &mut T) {
         let kind = rec.control_kind();
         let mut promoted = None;
         if kind == ControlKind::CondBranch {
@@ -198,7 +205,10 @@ impl FillUnit {
                 Promoter::Dynamic(bias) => {
                     // Bias table updates at retire; the promotion query
                     // for this instance sees the update (Figure 5).
-                    bias.update(rec.pc.byte_addr(), rec.taken);
+                    let transition = bias.update(rec.pc.byte_addr(), rec.taken);
+                    if T::ENABLED {
+                        emit_bias_transition(tracer, rec.pc, transition);
+                    }
                     match bias.decision(rec.pc.byte_addr()) {
                         BiasDecision::Promote(dir) => Some(dir),
                         BiasDecision::Normal => None,
@@ -229,7 +239,7 @@ impl FillUnit {
             // Move the block out by (inline) copy so `merge_block` can
             // borrow it alongside `&mut self` — no heap traffic.
             let block = std::mem::take(&mut self.current_block);
-            self.merge_block(&block, ends_segment);
+            self.merge_block(&block, ends_segment, tracer);
         }
     }
 
@@ -243,23 +253,38 @@ impl FillUnit {
         self.pending.iter().filter(|i| i.needs_prediction()).count()
     }
 
-    fn finalize(&mut self, reason: SegEndReason) {
+    fn finalize<T: Tracer>(&mut self, reason: SegEndReason, tracer: &mut T) {
         if self.pending.is_empty() {
             return;
         }
         let insts = self.pending.as_slice();
         self.stats.segments += 1;
         self.stats.segment_insts += insts.len() as u64;
-        self.stats.promoted_embedded +=
-            insts.iter().filter(|i| i.promoted.is_some()).count() as u64;
-        self.stats.dynamic_embedded += insts.iter().filter(|i| i.needs_prediction()).count() as u64;
+        let promoted = insts.iter().filter(|i| i.promoted.is_some()).count();
+        let dynamic = insts.iter().filter(|i| i.needs_prediction()).count();
+        self.stats.promoted_embedded += promoted as u64;
+        self.stats.dynamic_embedded += dynamic as u64;
+        if T::ENABLED {
+            tracer.emit(TraceEvent::FillFinalize {
+                start: insts[0].pc,
+                len: insts.len() as u8,
+                dynamic_branches: dynamic as u8,
+                promoted: promoted as u8,
+                reason: reason.into(),
+            });
+        }
         let segment = TraceSegment::new(insts, reason);
         self.pending.clear();
         self.finalized.push_back(segment);
     }
 
     /// Appends a whole block that fits, applying the finalize rules.
-    fn append_fitting(&mut self, mut block: &[SegmentInst], ends_segment: bool) {
+    fn append_fitting<T: Tracer>(
+        &mut self,
+        mut block: &[SegmentInst],
+        ends_segment: bool,
+        tracer: &mut T,
+    ) {
         if self.pending.len() + block.len() > MAX_SEGMENT_INSTS {
             // A broken merge decision. Record the violation for the
             // sanitizer and clamp so the segment stays well-formed.
@@ -271,31 +296,45 @@ impl FillUnit {
         }
         self.pending.extend_from_slice(block);
         if ends_segment {
-            self.finalize(SegEndReason::RetIndTrap);
+            self.finalize(SegEndReason::RetIndTrap, tracer);
         } else if self.pending.len() == MAX_SEGMENT_INSTS {
-            self.finalize(SegEndReason::MaxSize);
+            self.finalize(SegEndReason::MaxSize, tracer);
         } else if self.pending_branches() == MAX_SEGMENT_BRANCHES {
-            self.finalize(SegEndReason::MaxBranches);
+            self.finalize(SegEndReason::MaxBranches, tracer);
         }
     }
 
-    fn merge_block(&mut self, block: &[SegmentInst], ends_segment: bool) {
+    fn merge_block<T: Tracer>(
+        &mut self,
+        block: &[SegmentInst],
+        ends_segment: bool,
+        tracer: &mut T,
+    ) {
         let space = MAX_SEGMENT_INSTS - self.pending.len();
         if block.len() <= space {
-            self.append_fitting(block, ends_segment);
+            self.append_fitting(block, ends_segment, tracer);
             return;
         }
-        // The block does not fit: the policy decides.
-        let take = match self.policy {
-            PackingPolicy::Atomic => 0,
-            PackingPolicy::Unregulated => space,
-            PackingPolicy::Chunk(n) => (space / n) * n,
-            PackingPolicy::CostRegulated => {
-                let unused_ge_half = 2 * space >= self.pending.len();
-                if unused_ge_half || has_short_backward_branch(&self.pending, 32) {
-                    space
+        // The block does not fit: the policy decides (the verdict names
+        // the rule that fired, for the event stream).
+        let (take, verdict) = match self.policy {
+            PackingPolicy::Atomic => (0, PackVerdict::AtomicPolicy),
+            PackingPolicy::Unregulated => (space, PackVerdict::Unregulated),
+            PackingPolicy::Chunk(n) => {
+                let take = (space / n) * n;
+                if take == 0 {
+                    (0, PackVerdict::ChunkTooSmall)
                 } else {
-                    0
+                    (take, PackVerdict::ChunkFit)
+                }
+            }
+            PackingPolicy::CostRegulated => {
+                if 2 * space >= self.pending.len() {
+                    (space, PackVerdict::SpareCapacity)
+                } else if has_short_backward_branch(&self.pending, 32) {
+                    (space, PackVerdict::TightLoop)
+                } else {
+                    (0, PackVerdict::CostRefused)
                 }
             }
         };
@@ -310,13 +349,27 @@ impl FillUnit {
         if take == 0 {
             // Atomic treatment: finalize pending; the block starts fresh.
             self.stats.splits_refused += 1;
-            self.finalize(SegEndReason::AtomicBlock);
-            self.append_fitting(block, ends_segment);
+            if T::ENABLED {
+                tracer.emit(TraceEvent::PackRefused {
+                    pending: self.pending.len() as u8,
+                    block: block.len() as u8,
+                    verdict,
+                });
+            }
+            self.finalize(SegEndReason::AtomicBlock, tracer);
+            self.append_fitting(block, ends_segment, tracer);
             return;
         }
         // Packing: head finishes the pending segment, tail starts the
         // next one.
         self.stats.blocks_split += 1;
+        if T::ENABLED {
+            tracer.emit(TraceEvent::PackPerformed {
+                head: take as u8,
+                tail: (block.len() - take) as u8,
+                verdict,
+            });
+        }
         let (head, tail) = block.split_at(take);
         self.pending.extend_from_slice(head);
         // A performed split that still leaves the line non-full (chunk
@@ -327,8 +380,36 @@ impl FillUnit {
         } else {
             SegEndReason::Packed
         };
-        self.finalize(reason);
-        self.append_fitting(tail, ends_segment);
+        self.finalize(reason, tracer);
+        self.append_fitting(tail, ends_segment, tracer);
+    }
+}
+
+/// Maps a [`BiasUpdate`] transition onto Promotion/Demotion events.
+fn emit_bias_transition<T: Tracer>(tracer: &mut T, pc: Addr, transition: BiasUpdate) {
+    match transition {
+        BiasUpdate::None => {}
+        BiasUpdate::Promoted(dir) => tracer.emit(TraceEvent::Promotion { pc, dir }),
+        BiasUpdate::Demoted => tracer.emit(TraceEvent::Demotion {
+            pc,
+            cause: DemotionCause::ConsecutiveOpposite,
+        }),
+        BiasUpdate::EvictedPromoted(victim) => {
+            // The bias table is indexed by byte address; recover the
+            // victim's instruction address.
+            let victim = Addr::new((victim / Addr::INSTR_BYTES) as u32);
+            tracer.emit(TraceEvent::Demotion {
+                pc: victim,
+                cause: DemotionCause::Evicted,
+            });
+        }
+        BiasUpdate::DemotedThenPromoted(dir) => {
+            tracer.emit(TraceEvent::Demotion {
+                pc,
+                cause: DemotionCause::ConsecutiveOpposite,
+            });
+            tracer.emit(TraceEvent::Promotion { pc, dir });
+        }
     }
 }
 

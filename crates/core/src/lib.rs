@@ -52,4 +52,4 @@ pub use segment::{
     SegEndReason, SegmentInst, TraceSegment, MAX_SEGMENT_BRANCHES, MAX_SEGMENT_INSTS,
 };
 pub use stats::{FetchStats, TerminationReason};
-pub use trace_cache::{TraceCache, TraceCacheConfig, TraceCacheStats};
+pub use trace_cache::{FillOutcome, TraceCache, TraceCacheConfig, TraceCacheStats};

@@ -28,6 +28,18 @@ pub enum SegEndReason {
     RetIndTrap,
 }
 
+impl From<SegEndReason> for tc_trace::FillEnd {
+    fn from(reason: SegEndReason) -> tc_trace::FillEnd {
+        match reason {
+            SegEndReason::MaxSize => tc_trace::FillEnd::MaxSize,
+            SegEndReason::MaxBranches => tc_trace::FillEnd::MaxBranches,
+            SegEndReason::AtomicBlock => tc_trace::FillEnd::AtomicBlock,
+            SegEndReason::Packed => tc_trace::FillEnd::Packed,
+            SegEndReason::RetIndTrap => tc_trace::FillEnd::RetIndTrap,
+        }
+    }
+}
+
 /// One instruction within a trace segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentInst {

@@ -107,6 +107,29 @@ impl TraceCacheStats {
     }
 }
 
+/// What a [`TraceCache::fill`] did to the resident contents — what a
+/// tracer wants to know. Callers that only write may ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// A valid segment was displaced (LRU eviction, or a same-start
+    /// replacement in the non-path-associative cache).
+    pub evicted: bool,
+    /// An identical resident segment absorbed the write (its recency
+    /// was refreshed; nothing was rewritten).
+    pub duplicate: bool,
+}
+
+impl FillOutcome {
+    const DUPLICATE: FillOutcome = FillOutcome {
+        evicted: false,
+        duplicate: true,
+    };
+    const REPLACED: FillOutcome = FillOutcome {
+        evicted: true,
+        duplicate: false,
+    };
+}
+
 #[derive(Debug, Clone)]
 struct Way {
     segment: TraceSegment,
@@ -270,7 +293,7 @@ impl TraceCache {
     /// with it, distinct paths from the same start coexist. An
     /// *identical* resident segment is refreshed rather than rewritten
     /// in both modes.
-    pub fn fill(&mut self, segment: TraceSegment) {
+    pub fn fill(&mut self, segment: TraceSegment) -> FillOutcome {
         let si = self.set_index(segment.start());
         let ways = self.config.ways;
         let path_assoc = self.config.path_assoc;
@@ -283,7 +306,7 @@ impl TraceCache {
                 let way = set.remove(pos);
                 set.insert(0, way);
                 self.stats.duplicate_fills += 1;
-                return;
+                return FillOutcome::DUPLICATE;
             }
             if path_assoc {
                 // A different path: check the whole set for an identical
@@ -292,21 +315,26 @@ impl TraceCache {
                     let way = set.remove(dup);
                     set.insert(0, way);
                     self.stats.duplicate_fills += 1;
-                    return;
+                    return FillOutcome::DUPLICATE;
                 }
             } else {
                 set.remove(pos);
                 set.insert(0, Way { segment });
                 self.stats.fills += 1;
-                return;
+                return FillOutcome::REPLACED;
             }
         }
-        if set.len() == ways {
+        let evicted = set.len() == ways;
+        if evicted {
             set.pop();
             self.stats.evictions += 1;
         }
         set.insert(0, Way { segment });
         self.stats.fills += 1;
+        FillOutcome {
+            evicted,
+            duplicate: false,
+        }
     }
 
     /// Audits every resident segment against the structural invariants,

@@ -1,0 +1,186 @@
+//! Bias-table demotion edge cases, observed through the trace-event
+//! stream: the fill unit retires conditional branches through
+//! [`FillUnit::retire_traced`] with a recording tracer attached, and
+//! the emitted promotion/demotion events must match the bias table's
+//! counter state exactly (§4's rules: promote after `threshold`
+//! consecutive identical outcomes, demote on two consecutive opposite
+//! outcomes or on entry eviction — the latter without bumping the
+//! demotion counter).
+
+use tc_core::{FillUnit, PackingPolicy};
+use tc_isa::{Addr, Cond, ExecRecord, Instr, Reg};
+use tc_predict::{BiasConfig, BiasTable};
+use tc_trace::{DemotionCause, RingTracer, TraceEvent};
+
+/// A small tagged table: 64 entries, promote after 4 consecutive
+/// identical outcomes. Addresses 64 instruction-slots apart alias.
+fn small_table() -> BiasTable {
+    BiasTable::new(BiasConfig {
+        entries: 64,
+        threshold: 4,
+        counter_bits: 10,
+        tagged: true,
+    })
+}
+
+fn traced_fill() -> (FillUnit, RingTracer) {
+    (
+        FillUnit::new(PackingPolicy::Atomic, Some(small_table())),
+        RingTracer::new(1024),
+    )
+}
+
+/// Retires one conditional branch at `pc` with outcome `taken`.
+fn retire_branch(fill: &mut FillUnit, tracer: &mut RingTracer, pc: u32, taken: bool) {
+    let rec = ExecRecord {
+        pc: Addr::new(pc),
+        instr: Instr::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            target: Addr::new(pc + 100),
+        },
+        next_pc: Addr::new(if taken { pc + 100 } else { pc + 1 }),
+        taken,
+        mem_addr: None,
+    };
+    fill.retire_traced(&rec, tracer);
+}
+
+/// The recorded promotion-category events, in emit order.
+fn promote_events(tracer: &RingTracer) -> Vec<TraceEvent> {
+    tracer
+        .records()
+        .iter()
+        .map(|r| r.event)
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Promotion { .. }
+                    | TraceEvent::Demotion { .. }
+                    | TraceEvent::PromotedFault { .. }
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn single_opposite_outcome_does_not_demote() {
+    let (mut fill, mut tracer) = traced_fill();
+    for _ in 0..4 {
+        retire_branch(&mut fill, &mut tracer, 16, true);
+    }
+    // One outcome against the promoted direction: §4 tolerates it.
+    retire_branch(&mut fill, &mut tracer, 16, false);
+    retire_branch(&mut fill, &mut tracer, 16, true);
+
+    let events = promote_events(&tracer);
+    assert_eq!(
+        events,
+        [TraceEvent::Promotion {
+            pc: Addr::new(16),
+            dir: true
+        }],
+        "exactly one promotion, no demotion"
+    );
+    let bias = fill.bias_table().expect("promotion configured");
+    assert_eq!(bias.promotions(), 1);
+    assert_eq!(bias.demotions(), 0);
+}
+
+#[test]
+fn two_consecutive_opposite_outcomes_demote() {
+    let (mut fill, mut tracer) = traced_fill();
+    for _ in 0..4 {
+        retire_branch(&mut fill, &mut tracer, 16, true);
+    }
+    retire_branch(&mut fill, &mut tracer, 16, false);
+    retire_branch(&mut fill, &mut tracer, 16, false);
+
+    let events = promote_events(&tracer);
+    assert_eq!(
+        events,
+        [
+            TraceEvent::Promotion {
+                pc: Addr::new(16),
+                dir: true
+            },
+            TraceEvent::Demotion {
+                pc: Addr::new(16),
+                cause: DemotionCause::ConsecutiveOpposite
+            },
+        ],
+        "the second consecutive opposite outcome demotes"
+    );
+    let bias = fill.bias_table().expect("promotion configured");
+    assert_eq!(bias.demotions(), 1, "counted demotion");
+}
+
+#[test]
+fn bias_table_miss_demotes_without_counting() {
+    let (mut fill, mut tracer) = traced_fill();
+    for _ in 0..4 {
+        retire_branch(&mut fill, &mut tracer, 16, true);
+    }
+    // Addr 16 and 16 + 64 share a bias-table entry (64-entry table,
+    // byte addresses 64 and 320 both index slot 0 modulo tags). The
+    // conflicting branch displaces the promoted entry: a miss demotes,
+    // but the demotion *counter* stays untouched (it tracks only
+    // consecutive-opposite demotions).
+    retire_branch(&mut fill, &mut tracer, 16 + 64, true);
+
+    let events = promote_events(&tracer);
+    assert_eq!(
+        events,
+        [
+            TraceEvent::Promotion {
+                pc: Addr::new(16),
+                dir: true
+            },
+            TraceEvent::Demotion {
+                pc: Addr::new(16),
+                cause: DemotionCause::Evicted
+            },
+        ],
+        "eviction demotes the displaced branch"
+    );
+    let bias = fill.bias_table().expect("promotion configured");
+    assert_eq!(bias.promotions(), 1);
+    assert_eq!(bias.demotions(), 0, "eviction is not a counted demotion");
+}
+
+#[test]
+fn repromotion_after_demotion_is_a_fresh_event_pair() {
+    let (mut fill, mut tracer) = traced_fill();
+    for _ in 0..4 {
+        retire_branch(&mut fill, &mut tracer, 16, true);
+    }
+    retire_branch(&mut fill, &mut tracer, 16, false);
+    retire_branch(&mut fill, &mut tracer, 16, false);
+    // Four more not-taken outcomes re-promote in the other direction
+    // (the two demoting outcomes already count toward the streak).
+    retire_branch(&mut fill, &mut tracer, 16, false);
+    retire_branch(&mut fill, &mut tracer, 16, false);
+
+    let events = promote_events(&tracer);
+    assert_eq!(
+        events,
+        [
+            TraceEvent::Promotion {
+                pc: Addr::new(16),
+                dir: true
+            },
+            TraceEvent::Demotion {
+                pc: Addr::new(16),
+                cause: DemotionCause::ConsecutiveOpposite
+            },
+            TraceEvent::Promotion {
+                pc: Addr::new(16),
+                dir: false
+            },
+        ]
+    );
+    let bias = fill.bias_table().expect("promotion configured");
+    assert_eq!(bias.promotions(), 2);
+    assert_eq!(bias.demotions(), 1);
+}

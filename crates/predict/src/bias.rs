@@ -63,6 +63,32 @@ pub enum BiasDecision {
     Promote(bool),
 }
 
+/// The state transition performed by one [`BiasTable::update`] call —
+/// what a tracer wants to know, reported without changing any counter
+/// semantics. Callers that only train the table can ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasUpdate {
+    /// No promotion state changed.
+    None,
+    /// The branch crossed the threshold and is now promoted with the
+    /// given static direction.
+    Promoted(bool),
+    /// Two or more consecutive opposite outcomes demoted the branch
+    /// (counted by [`BiasTable::demotions`]).
+    Demoted,
+    /// The update missed and displaced a *promoted* entry, whose branch
+    /// (at the returned address) silently loses its status — the §4
+    /// miss-demotes rule, which the demotion counter does not count.
+    ///
+    /// For a tagged table the address is exact; untagged tables alias,
+    /// so only the table index is recoverable and is returned as-is.
+    EvictedPromoted(u64),
+    /// Degenerate low-threshold corner: the demoting outcome itself
+    /// reached the threshold, so the branch was demoted and immediately
+    /// re-promoted in the opposite direction.
+    DemotedThenPromoted(bool),
+}
+
 #[derive(Debug, Clone, Copy)]
 struct BiasEntry {
     tag: u64,
@@ -145,8 +171,9 @@ impl BiasTable {
     }
 
     /// Records the retirement of the conditional branch at `pc` with
-    /// outcome `taken`, applying promotion/demotion rules.
-    pub fn update(&mut self, pc: u64, taken: bool) {
+    /// outcome `taken`, applying promotion/demotion rules. Returns the
+    /// promotion-state transition this update performed.
+    pub fn update(&mut self, pc: u64, taken: bool) -> BiasUpdate {
         let idx = self.index(pc);
         let tag = self.tag(pc);
         let counter_max = self.config.counter_max();
@@ -154,16 +181,25 @@ impl BiasTable {
         let slot = &mut self.entries[idx];
         let entry = match slot {
             Some(e) if e.tag == tag => e,
-            _ => {
+            displaced => {
                 // Miss: (re)allocate. The displaced branch loses any
                 // promoted status with its entry.
-                *slot = Some(BiasEntry {
+                let evicted_promoted = match &displaced {
+                    Some(e) if e.promoted.is_some() => {
+                        Some(e.tag * self.config.entries as u64 + idx as u64)
+                    }
+                    _ => None,
+                };
+                *displaced = Some(BiasEntry {
                     tag,
                     dir: taken,
                     count: 1,
                     promoted: None,
                 });
-                return;
+                return match evicted_promoted {
+                    Some(victim) => BiasUpdate::EvictedPromoted(victim),
+                    None => BiasUpdate::None,
+                };
             }
         };
         if entry.dir == taken {
@@ -172,17 +208,29 @@ impl BiasTable {
             entry.dir = taken;
             entry.count = 1;
         }
+        let mut demoted = false;
         if let Some(p) = entry.promoted {
             // Two or more consecutive outcomes against the promoted
             // direction demote the branch.
             if entry.dir != p && entry.count >= 2 {
                 entry.promoted = None;
                 self.demotions += 1;
+                demoted = true;
             }
         }
         if entry.promoted.is_none() && entry.count >= threshold {
             entry.promoted = Some(entry.dir);
             self.promotions += 1;
+            return if demoted {
+                BiasUpdate::DemotedThenPromoted(entry.dir)
+            } else {
+                BiasUpdate::Promoted(entry.dir)
+            };
+        }
+        if demoted {
+            BiasUpdate::Demoted
+        } else {
+            BiasUpdate::None
         }
     }
 
@@ -309,6 +357,50 @@ mod tests {
         assert_eq!(t.decision(0x10), BiasDecision::Normal);
         t.update(0x10, true);
         assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+    }
+
+    #[test]
+    fn update_reports_transitions() {
+        let mut t = table(4);
+        for _ in 0..3 {
+            assert_eq!(t.update(0x10, true), BiasUpdate::None);
+        }
+        assert_eq!(t.update(0x10, true), BiasUpdate::Promoted(true));
+        assert_eq!(t.update(0x10, false), BiasUpdate::None, "single opposite");
+        assert_eq!(t.update(0x10, false), BiasUpdate::Demoted);
+        assert_eq!(t.demotions(), 1);
+    }
+
+    #[test]
+    fn update_reports_evicted_promoted_victim() {
+        let mut t = table(2);
+        t.update(0x10, true);
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+        // Same index (entries=64), different tag: the miss displaces the
+        // promoted entry and reports its reconstructed address, without
+        // touching the demotion counter.
+        assert_eq!(t.update(0x10 + 64, true), BiasUpdate::EvictedPromoted(0x10));
+        assert_eq!(t.demotions(), 0);
+        // Displacing a *normal* entry is not a reportable transition.
+        assert_eq!(t.update(0x10 + 128, true), BiasUpdate::None);
+    }
+
+    #[test]
+    fn update_reports_demoted_then_repromoted_at_threshold_two() {
+        let mut t = table(2);
+        t.update(0x10, true);
+        t.update(0x10, true);
+        t.update(0x10, false);
+        // The second opposite outcome both demotes and re-crosses the
+        // threshold in the new direction.
+        assert_eq!(
+            t.update(0x10, false),
+            BiasUpdate::DemotedThenPromoted(false)
+        );
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(false));
+        assert_eq!(t.demotions(), 1);
+        assert_eq!(t.promotions(), 2);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod pas;
 mod ras;
 mod split;
 
-pub use bias::{BiasConfig, BiasDecision, BiasTable};
+pub use bias::{BiasConfig, BiasDecision, BiasTable, BiasUpdate};
 pub use counter::Counter2;
 pub use gshare::Gshare;
 pub use history::GlobalHistory;

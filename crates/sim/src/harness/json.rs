@@ -191,7 +191,7 @@ pub fn report_to_json(r: &SimReport) -> Json {
             ("miss_ratio", Json::Float(s.miss_ratio())),
         ])
     };
-    Json::Object(vec![
+    let mut fields = vec![
         ("benchmark", Json::Str(r.benchmark.clone())),
         ("config", Json::Str(r.config.clone())),
         ("instructions", Json::UInt(r.instructions)),
@@ -275,6 +275,30 @@ pub fn report_to_json(r: &SimReport) -> Json {
                 ("warnings", Json::UInt(r.sanitizer.warnings)),
             ]),
         ),
+    ];
+    // Appended only for traced runs: untraced reports — and the 30
+    // golden fixtures — keep the exact pre-tracing key set.
+    if let Some(t) = &r.trace {
+        fields.push(("trace", trace_summary_to_json(t)));
+    }
+    Json::Object(fields)
+}
+
+/// The structured form of a [`tc_trace::TraceSummary`]: overall ring
+/// accounting plus non-zero per-kind event counts.
+#[must_use]
+pub fn trace_summary_to_json(t: &tc_trace::TraceSummary) -> Json {
+    let counts = tc_trace::EventKind::ALL
+        .iter()
+        .filter(|k| t.count(**k) > 0)
+        .map(|k| (k.name(), Json::UInt(t.count(*k))))
+        .collect();
+    Json::Object(vec![
+        ("emitted", Json::UInt(t.emitted)),
+        ("recorded", Json::UInt(t.recorded)),
+        ("dropped", Json::UInt(t.dropped)),
+        ("filtered", Json::UInt(t.filtered)),
+        ("counts", Json::Object(counts)),
     ])
 }
 

@@ -17,6 +17,11 @@
 //!   (see [`default_jobs`]).
 //! * [`json`] — a hand-rolled JSON report emitter (the workspace builds
 //!   offline with no external crates) for [`SimReport`] and friends.
+//! * [`parse`] — the matching reader: a small recursive-descent JSON
+//!   parser for artifact comparison (`tw bench --compare`).
+//! * [`trace`] — the event-trace sink behind `tw trace`: traced runs,
+//!   the Chrome/Perfetto `trace_event` export, and the interval-timeline
+//!   renderers (`--timeline`).
 //! * [`table`] — the plain-text table renderer and the small statistics
 //!   helpers (`mean`, `percent_change`) every experiment shares.
 //! * `lint` — static verification of workload programs (`tw lint`):
@@ -32,14 +37,21 @@
 
 mod json;
 mod lint;
+mod parse;
 mod registry;
 mod runner;
 mod table;
+mod trace;
 
-pub use json::{check_well_formed, report_to_json, reports_to_json, Json};
+pub use json::{check_well_formed, report_to_json, reports_to_json, trace_summary_to_json, Json};
 pub use lint::{
     lint_all, lint_benchmark, lint_entry_to_json, lint_errors, lint_table, lint_to_json, LintEntry,
 };
+pub use parse::{parse_json, Value};
 pub use registry::{lookup, preset, presets, standard_five, ConfigPreset, STANDARD_FIVE};
 pub use runner::{default_jobs, run_matrix, MatrixRunner};
 pub use table::{f2, mean, pct, percent_change, Table};
+pub use trace::{
+    chrome_trace_json, run_traced, timeline_table, timeline_to_json, TraceOptions, TracedRun,
+    DEFAULT_TRACE_INTERVAL, DEFAULT_TRACE_LIMIT,
+};

@@ -10,6 +10,7 @@ use tc_core::{
 use tc_engine::{ExecutionEngine, IssueTimes};
 use tc_isa::{Addr, ControlKind, ExecRecord, Interpreter, Program};
 use tc_predict::ReturnStack;
+use tc_trace::{FetchOrigin, NoopTracer, TraceEvent, Tracer};
 use tc_workloads::Workload;
 
 use crate::config::SimConfig;
@@ -72,9 +73,9 @@ enum FetchUpshot {
 /// The simulated processor: front end + engine + memory, driven by a
 /// workload's oracle instruction stream.
 #[derive(Debug)]
-pub struct Processor {
+pub struct Processor<T: Tracer = NoopTracer> {
     config: SimConfig,
-    front_end: FrontEnd,
+    front_end: FrontEnd<T>,
     engine: ExecutionEngine,
     mem: MemoryHierarchy,
 }
@@ -83,9 +84,19 @@ impl Processor {
     /// Builds a processor from a configuration.
     #[must_use]
     pub fn new(config: SimConfig) -> Processor {
+        Processor::with_tracer(config, NoopTracer)
+    }
+}
+
+impl<T: Tracer> Processor<T> {
+    /// Builds a processor whose front end reports events to `tracer`.
+    #[must_use]
+    pub fn with_tracer(config: SimConfig, tracer: T) -> Processor<T> {
         let front_end = match &config.static_promotion {
-            Some(table) => FrontEnd::with_static_promotion(config.front_end, table.clone()),
-            None => FrontEnd::new(config.front_end),
+            Some(table) => {
+                FrontEnd::with_static_promotion_and_tracer(config.front_end, table.clone(), tracer)
+            }
+            None => FrontEnd::with_tracer(config.front_end, tracer),
         };
         Processor {
             front_end,
@@ -93,6 +104,12 @@ impl Processor {
             mem: MemoryHierarchy::new(config.hierarchy),
             config,
         }
+    }
+
+    /// The attached tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &T {
+        self.front_end.tracer()
     }
 
     /// Runs the workload to its dynamic-instruction budget (or
@@ -138,6 +155,12 @@ impl Processor {
                     .earliest_retire()
                     .expect("full window is non-empty");
                 let wait = t.saturating_sub(cycle).max(1);
+                if T::ENABLED {
+                    self.front_end.tracer_mut().emit(TraceEvent::WindowStall {
+                        wait: wait as u32,
+                        occupancy: self.engine.occupancy() as u32,
+                    });
+                }
                 acct.full_window += wait;
                 cycle += wait;
                 continue;
@@ -199,6 +222,11 @@ impl Processor {
                             c.promoted_executed += 1;
                         } else {
                             c.promoted_faults += 1;
+                            if T::ENABLED {
+                                self.front_end
+                                    .tracer_mut()
+                                    .emit(TraceEvent::PromotedFault { pc: rec.pc });
+                            }
                             upshot = FetchUpshot::Mispredict { done: times.done };
                             break;
                         }
@@ -207,6 +235,14 @@ impl Processor {
                         outcomes.push(rec.taken);
                         if predicted != rec.taken {
                             c.cond_mispredicts += 1;
+                            if T::ENABLED {
+                                self.front_end
+                                    .tracer_mut()
+                                    .emit(TraceEvent::CondMispredict {
+                                        pc: rec.pc,
+                                        taken: rec.taken,
+                                    });
+                            }
                             upshot = FetchUpshot::Mispredict { done: times.done };
                             break;
                         }
@@ -230,6 +266,13 @@ impl Processor {
                                 Some(p) if p == actual => {}
                                 Some(_) => {
                                     c.return_mispredicts += 1;
+                                    if T::ENABLED {
+                                        self.front_end.tracer_mut().emit(
+                                            TraceEvent::ReturnMispredict {
+                                                pc: bundle.fetch_pc,
+                                            },
+                                        );
+                                    }
                                     let done = last_times.map_or(fetch_cycle + 1, |t| t.done);
                                     upshot = FetchUpshot::Mispredict { done };
                                 }
@@ -249,6 +292,11 @@ impl Processor {
                                 Some(p) if p == actual => resolved_next = Some(actual),
                                 Some(_) => {
                                     c.indirect_mispredicts += 1;
+                                    if T::ENABLED {
+                                        self.front_end
+                                            .tracer_mut()
+                                            .emit(TraceEvent::IndirectMispredict { pc: ind_pc });
+                                    }
                                     let done = last_times.map_or(fetch_cycle + 1, |t| t.done);
                                     upshot = FetchUpshot::Mispredict { done };
                                     resolved_next = Some(actual);
@@ -321,6 +369,19 @@ impl Processor {
                 }
                 stats.promoted_fetched += promoted_in_fetch;
             }
+            if T::ENABLED {
+                self.front_end.tracer_mut().emit(TraceEvent::Fetch {
+                    pc: bundle.fetch_pc,
+                    size: size as u8,
+                    source: match bundle.source {
+                        FetchSource::TraceCache => FetchOrigin::TraceCache,
+                        FetchSource::ICache => FetchOrigin::ICache,
+                    },
+                    cond_branches: outcomes.len() as u8,
+                    promoted: promoted_in_fetch as u8,
+                    mispredicted: matches!(upshot, FetchUpshot::Mispredict { .. }),
+                });
+            }
             self.front_end.train(&bundle.pred, &outcomes);
 
             // --- Advance ---
@@ -343,6 +404,11 @@ impl Processor {
                     }
                 }
                 FetchUpshot::Misfetch => {
+                    if T::ENABLED {
+                        self.front_end.tracer_mut().emit(TraceEvent::Misfetch {
+                            pc: bundle.fetch_pc,
+                        });
+                    }
                     acct.useful_fetch += 1;
                     acct.misfetches += MISFETCH_PENALTY;
                     cycle += 1 + MISFETCH_PENALTY;
@@ -376,7 +442,15 @@ impl Processor {
 
                     cycle = redirect.max(fetch_cycle + 1);
                     match oracle.front().map(|r| r.pc) {
-                        Some(next) => pc = next,
+                        Some(next) => {
+                            if T::ENABLED {
+                                self.front_end.tracer_mut().emit(TraceEvent::Repair {
+                                    redirect_pc: next,
+                                    lost: lost as u32,
+                                });
+                            }
+                            pc = next;
+                        }
                         None => break,
                     }
                 }
@@ -470,6 +544,7 @@ impl Processor {
             engine: *self.engine.stats(),
             salvaged: c.salvaged,
             sanitizer: self.front_end.sanitizer().stats(),
+            trace: self.front_end.tracer().summary(),
         }
     }
 }

@@ -3,6 +3,7 @@
 use tc_cache::CacheStats;
 use tc_core::{FetchStats, SanitizerStats, TraceCacheStats};
 use tc_engine::EngineStats;
+use tc_trace::TraceSummary;
 
 /// Where every fetch cycle went — the six categories of the paper's
 /// Figure 12.
@@ -102,6 +103,10 @@ pub struct SimReport {
     /// Runtime invariant-sanitizer activity (all-zero counters when the
     /// sanitizer is disabled).
     pub sanitizer: SanitizerStats,
+    /// Event-tracing summary; `None` when the run was untraced (the
+    /// default), so untraced reports — and their JSON — are bit-
+    /// identical to pre-tracing builds.
+    pub trace: Option<TraceSummary>,
 }
 
 impl SimReport {
@@ -206,6 +211,7 @@ mod tests {
             engine: EngineStats::default(),
             salvaged: 0,
             sanitizer: SanitizerStats::default(),
+            trace: None,
         }
     }
 

@@ -1,0 +1,195 @@
+//! Interval timeline: front-end metrics folded per N-cycle window.
+
+use crate::event::{FetchOrigin, TraceEvent};
+
+/// Raw per-window tallies. Derived rates are computed on demand so the
+/// fold stays a handful of integer adds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Validated fetch cycles in the window.
+    pub fetches: u64,
+    /// Correct-path instructions delivered.
+    pub insts: u64,
+    /// Fetches serviced by the trace cache.
+    pub tc_fetches: u64,
+    /// Trace-cache lookups (hits + misses, including wrong-path).
+    pub tc_lookups: u64,
+    /// Trace-cache hits.
+    pub tc_hits: u64,
+    /// Non-promoted conditional branches executed.
+    pub cond_branches: u64,
+    /// Promoted branches executed.
+    pub promoted: u64,
+    /// Fetches that ended in a misprediction.
+    pub mispredicts: u64,
+}
+
+impl IntervalStats {
+    /// Correct-path instructions per fetch cycle in this window.
+    #[must_use]
+    pub fn fetch_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.fetches as f64
+        }
+    }
+
+    /// Trace-cache hit rate over the window's lookups.
+    #[must_use]
+    pub fn tc_hit_rate(&self) -> f64 {
+        if self.tc_lookups == 0 {
+            0.0
+        } else {
+            self.tc_hits as f64 / self.tc_lookups as f64
+        }
+    }
+
+    /// Mispredicting fetches per executed conditional branch
+    /// (promoted branches included — a promoted fault mispredicts too).
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        let branches = self.cond_branches + self.promoted;
+        if branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / branches as f64
+        }
+    }
+
+    /// Fraction of executed conditional branches that were promoted —
+    /// the predictor bandwidth the promotion mechanism reclaimed.
+    #[must_use]
+    pub fn promotion_coverage(&self) -> f64 {
+        let branches = self.cond_branches + self.promoted;
+        if branches == 0 {
+            0.0
+        } else {
+            self.promoted as f64 / branches as f64
+        }
+    }
+}
+
+/// A sequence of [`IntervalStats`] windows, folded at emit time so the
+/// timeline is exact even when the event ring drops records.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    interval: u64,
+    windows: Vec<IntervalStats>,
+}
+
+impl Timeline {
+    /// Creates a timeline with `interval`-cycle windows (minimum 1).
+    #[must_use]
+    pub fn new(interval: u64) -> Timeline {
+        Timeline {
+            interval: interval.max(1),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window width in cycles.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The windows, in time order. Window `i` covers cycles
+    /// `[i * interval, (i + 1) * interval)`.
+    #[must_use]
+    pub fn windows(&self) -> &[IntervalStats] {
+        &self.windows
+    }
+
+    /// Folds one event into the window covering `cycle`.
+    pub fn fold(&mut self, cycle: u64, event: &TraceEvent) {
+        let index = (cycle / self.interval) as usize;
+        match event {
+            TraceEvent::Fetch {
+                size,
+                source,
+                cond_branches,
+                promoted,
+                mispredicted,
+                ..
+            } => {
+                let w = self.window_mut(index);
+                w.fetches += 1;
+                w.insts += u64::from(*size);
+                if *source == FetchOrigin::TraceCache {
+                    w.tc_fetches += 1;
+                }
+                w.cond_branches += u64::from(*cond_branches);
+                w.promoted += u64::from(*promoted);
+                w.mispredicts += u64::from(*mispredicted);
+            }
+            TraceEvent::TcHit { .. } => {
+                let w = self.window_mut(index);
+                w.tc_lookups += 1;
+                w.tc_hits += 1;
+            }
+            TraceEvent::TcMiss { .. } => {
+                self.window_mut(index).tc_lookups += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn window_mut(&mut self, index: usize) -> &mut IntervalStats {
+        if index >= self.windows.len() {
+            self.windows.resize(index + 1, IntervalStats::default());
+        }
+        &mut self.windows[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_isa::Addr;
+
+    fn fetch(size: u8, cond: u8, promoted: u8, miss: bool) -> TraceEvent {
+        TraceEvent::Fetch {
+            pc: Addr::new(0),
+            size,
+            source: FetchOrigin::TraceCache,
+            cond_branches: cond,
+            promoted,
+            mispredicted: miss,
+        }
+    }
+
+    #[test]
+    fn folds_into_the_right_window() {
+        let mut t = Timeline::new(100);
+        t.fold(5, &fetch(12, 2, 1, false));
+        t.fold(
+            99,
+            &TraceEvent::TcHit {
+                pc: Addr::new(0),
+                active: 12,
+                total: 16,
+                full: false,
+            },
+        );
+        t.fold(250, &fetch(4, 1, 0, true));
+        t.fold(250, &TraceEvent::TcMiss { pc: Addr::new(0) });
+
+        assert_eq!(t.windows().len(), 3);
+        let w0 = t.windows()[0];
+        assert_eq!(w0.fetches, 1);
+        assert_eq!(w0.insts, 12);
+        assert_eq!(w0.tc_hits, 1);
+        assert_eq!(w0.tc_lookups, 1);
+        assert!((w0.fetch_rate() - 12.0).abs() < 1e-12);
+        assert!((w0.promotion_coverage() - 1.0 / 3.0).abs() < 1e-12);
+
+        // The empty middle window exists so plots keep their x-axis.
+        assert_eq!(t.windows()[1], IntervalStats::default());
+
+        let w2 = t.windows()[2];
+        assert_eq!(w2.mispredicts, 1);
+        assert!((w2.mispredict_rate() - 1.0).abs() < 1e-12);
+        assert!((w2.tc_hit_rate()).abs() < 1e-12);
+    }
+}

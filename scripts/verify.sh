@@ -22,11 +22,21 @@ target/release/tw lint --all
 
 echo "==> tw bench --smoke"
 bench_artifact="$(mktemp -t tw-bench-smoke.XXXXXX.json)"
-trap 'rm -f "$bench_artifact"' EXIT
+trace_artifact="$(mktemp -t tw-trace-smoke.XXXXXX.json)"
+trap 'rm -f "$bench_artifact" "$trace_artifact"' EXIT
 target/release/tw bench --smoke --out "$bench_artifact"
 target/release/tw bench --check "$bench_artifact"
+
+echo "==> tw bench --compare (self)"
+# An artifact compared against itself has zero deltas; any exit other
+# than success means the compare path itself broke.
+target/release/tw bench --compare "$bench_artifact" "$bench_artifact"
+
+echo "==> tw trace (smoke)"
+target/release/tw trace --workload compress --preset headline \
+  --insts 20000 --limit 10000 --out "$trace_artifact"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + formatting all clean"

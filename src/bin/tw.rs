@@ -2,32 +2,42 @@
 //!
 //! ```text
 //! tw list
-//! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json]
-//! tw compare --bench gcc [--insts N] [--jobs N] [--json]
+//! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json] [--timeline]
+//! tw compare --bench gcc [--insts N] [--jobs N] [--json] [--timeline]
+//! tw trace --workload gcc --preset headline [--events F] [--interval N] [--limit N] [--out FILE]
 //! tw lint [--bench gcc] [--json]
 //! tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
 //! tw bench --check FILE
+//! tw bench --compare OLD.json NEW.json [--tolerance PCT]
 //! ```
 //!
 //! Configuration names come from the experiment harness's registry
 //! (`tc_sim::harness`); `tw list` prints it. `compare` runs Figure 10's
 //! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
-//! environment variable, caps the worker threads). `lint` runs
+//! environment variable, caps the worker threads). `trace` runs one
+//! cell with the event tracer attached and writes a Chrome/Perfetto
+//! `trace_event` JSON file; `--timeline` on `sim`/`compare` prints the
+//! interval timeline (effective fetch rate, trace-cache hit rate,
+//! mispredict rate, and promotion coverage per window). `lint` runs
 //! `tc-analyze`'s five-pass static verifier over the workload programs
 //! and exits non-zero on any error-severity finding. `bench` times the
 //! simulator itself over the benchmark × preset matrix and writes the
 //! `tw-bench/v1` JSON artifact (`BENCH_frontend.json` by default);
-//! `--smoke` runs a two-cell subset for CI, and `--check` validates a
-//! previously emitted artifact without running anything.
+//! `--smoke` runs a two-cell subset for CI, `--check` validates a
+//! previously emitted artifact without running anything, and
+//! `--compare` diffs two artifacts cell-by-cell, exiting non-zero when
+//! any cell's ns/cycle regressed past the tolerance (default 10%).
 
 use std::env;
 use std::process::ExitCode;
 
-use trace_weave::bench::suite;
+use trace_weave::bench::{compare, suite};
 use trace_weave::sim::harness::{
-    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix,
+    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix, run_traced,
+    timeline_table, TraceOptions,
 };
 use trace_weave::sim::{SimConfig, SimReport};
+use trace_weave::trace::EventFilter;
 use trace_weave::workloads::Benchmark;
 
 fn usage() -> ExitCode {
@@ -36,9 +46,16 @@ fn usage() -> ExitCode {
   tw list
       list benchmarks and configurations
   tw sim --bench <name> --config <name> [--insts N] [--perfect-mem] [--json]
+         [--timeline] [--interval N]
       simulate one benchmark under one configuration
-  tw compare --bench <name> [--insts N] [--jobs N] [--json]
+  tw compare --bench <name> [--insts N] [--jobs N] [--json] [--timeline]
       compare the five standard configurations on one benchmark
+  tw trace --workload <name> --preset <name> [--insts N] [--events <filter>]
+           [--interval N] [--limit N] [--out FILE]
+      run one cell with the event tracer attached and write a
+      Chrome/Perfetto trace_event JSON file (default trace.json);
+      <filter> is a comma list of event kinds or categories (tc, fill,
+      promote, mispredict, cache, machine, retire, or all)
   tw lint [--workload <name> | --all] [--json]
       statically verify workload programs (all benchmarks by default);
       exits 1 on error-severity findings
@@ -47,6 +64,9 @@ fn usage() -> ExitCode {
       write a tw-bench/v1 JSON artifact (default BENCH_frontend.json)
   tw bench --check FILE
       validate a previously emitted tw-bench artifact
+  tw bench --compare OLD.json NEW.json [--tolerance PCT]
+      diff two tw-bench artifacts cell-by-cell; exits 1 when any cell's
+      ns/cycle regressed more than PCT percent (default 10)
 
 configurations: {}",
         harness::STANDARD_FIVE.join(", ")
@@ -103,6 +123,12 @@ fn main() -> ExitCode {
     let mut samples: u32 = 3;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut tolerance: f64 = 10.0;
+    let mut events: Option<String> = None;
+    let mut interval: Option<u64> = None;
+    let mut limit: usize = harness::DEFAULT_TRACE_LIMIT;
+    let mut timeline = false;
     let mut jobs = default_jobs();
     let mut i = 1;
     while i < args.len() {
@@ -111,7 +137,7 @@ fn main() -> ExitCode {
                 i += 1;
                 bench = args.get(i).cloned();
             }
-            "--config" => {
+            "--config" | "--preset" => {
                 i += 1;
                 config_name = args.get(i).cloned();
             }
@@ -153,10 +179,46 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--compare" => {
+                let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return usage();
+                };
+                compare_paths = Some((old.clone(), new.clone()));
+                i += 2;
+            }
+            "--tolerance" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(t) if t >= 0.0 => tolerance = t,
+                    _ => return usage(),
+                }
+            }
+            "--events" => {
+                i += 1;
+                match args.get(i) {
+                    Some(spec) => events = Some(spec.clone()),
+                    None => return usage(),
+                }
+            }
+            "--interval" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => interval = Some(n),
+                    _ => return usage(),
+                }
+            }
+            "--limit" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => limit = n,
+                    None => return usage(),
+                }
+            }
             "--perfect-mem" => perfect = true,
             "--json" => json = true,
             "--all" => all = true,
             "--smoke" => smoke = true,
+            "--timeline" => timeline = true,
             _ => return usage(),
         }
         i += 1;
@@ -192,13 +254,87 @@ fn main() -> ExitCode {
                 config = config.with_perfect_disambiguation();
             }
             let workload = bench.build();
-            let report =
-                trace_weave::sim::Processor::new(config.with_max_insts(insts)).run(&workload);
+            let config = config.with_max_insts(insts);
+            if timeline {
+                // Timeline-only instrumentation: aggregates fold at emit
+                // time, so no events need to be stored.
+                let options = TraceOptions {
+                    filter: EventFilter::none(),
+                    interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                    limit: 0,
+                };
+                let run = run_traced(config, &workload, &options);
+                let tl = run.timeline.as_ref().expect("interval was requested");
+                if json {
+                    println!(
+                        "{}",
+                        harness::Json::Object(vec![
+                            ("report", report_to_json(&run.report)),
+                            ("timeline", harness::timeline_to_json(tl)),
+                        ])
+                        .pretty()
+                    );
+                } else {
+                    print_report(&run.report);
+                    println!("\ninterval timeline ({} cycles/window):", tl.interval());
+                    print!("{}", timeline_table(tl));
+                }
+                return ExitCode::SUCCESS;
+            }
+            let report = trace_weave::sim::Processor::new(config).run(&workload);
             if json {
                 println!("{}", report_to_json(&report).pretty());
             } else {
                 print_report(&report);
             }
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
+                eprintln!("missing or unknown --workload");
+                return usage();
+            };
+            let Some(config) = config_name.as_deref().and_then(harness::lookup) else {
+                eprintln!("missing or unknown --preset");
+                return usage();
+            };
+            let filter = match events.as_deref().map(EventFilter::parse) {
+                Some(Ok(filter)) => filter,
+                Some(Err(e)) => {
+                    eprintln!("--events: {e}");
+                    return usage();
+                }
+                None => EventFilter::all(),
+            };
+            let options = TraceOptions {
+                filter,
+                interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                limit,
+            };
+            let workload = bench.build();
+            let run = run_traced(config.with_max_insts(insts), &workload, &options);
+            let text = harness::chrome_trace_json(&run).pretty();
+            if let Err(e) = harness::check_well_formed(&text) {
+                eprintln!("internal error: emitted trace is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let out = out.unwrap_or_else(|| "trace.json".to_string());
+            if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
+                eprintln!("{out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{}: {} events emitted, {} recorded, {} dropped, {} filtered",
+                out,
+                run.summary.emitted,
+                run.summary.recorded,
+                run.summary.dropped,
+                run.summary.filtered
+            );
+            println!(
+                "load it in chrome://tracing or https://ui.perfetto.dev ({} cycles simulated)",
+                run.report.cycles
+            );
             ExitCode::SUCCESS
         }
         "compare" => {
@@ -217,9 +353,44 @@ fn main() -> ExitCode {
                     (bench, config.with_max_insts(insts))
                 })
                 .collect();
-            let reports = run_matrix(&cells, jobs);
+            let mut timelines = Vec::new();
+            let reports = if timeline {
+                // Traced runs are serial; the timeline rides on the same
+                // simulation that produces the report.
+                let options = TraceOptions {
+                    filter: EventFilter::none(),
+                    interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                    limit: 0,
+                };
+                cells
+                    .iter()
+                    .map(|(bench, config)| {
+                        let run = run_traced(config.clone(), &bench.build(), &options);
+                        timelines.push(run.timeline.expect("interval was requested"));
+                        run.report
+                    })
+                    .collect()
+            } else {
+                run_matrix(&cells, jobs)
+            };
             if json {
-                println!("{}", reports_to_json(&reports).pretty());
+                if timeline {
+                    println!(
+                        "{}",
+                        harness::Json::Object(vec![
+                            ("reports", reports_to_json(&reports)),
+                            (
+                                "timelines",
+                                harness::Json::Array(
+                                    timelines.iter().map(harness::timeline_to_json).collect()
+                                )
+                            ),
+                        ])
+                        .pretty()
+                    );
+                } else {
+                    println!("{}", reports_to_json(&reports).pretty());
+                }
                 return ExitCode::SUCCESS;
             }
             println!(
@@ -235,6 +406,13 @@ fn main() -> ExitCode {
                     r.cond_mispredict_rate() * 100.0,
                     r.avg_resolution_time()
                 );
+            }
+            for (name, tl) in harness::STANDARD_FIVE.iter().zip(&timelines) {
+                println!(
+                    "\n{name} interval timeline ({} cycles/window):",
+                    tl.interval()
+                );
+                print!("{}", timeline_table(tl));
             }
             ExitCode::SUCCESS
         }
@@ -276,6 +454,32 @@ fn main() -> ExitCode {
             }
         }
         "bench" => {
+            if let Some((old_path, new_path)) = compare_paths {
+                let read = |path: &str| match std::fs::read_to_string(path) {
+                    Ok(text) => Some(text),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        None
+                    }
+                };
+                let (Some(old_text), Some(new_text)) = (read(&old_path), read(&new_path)) else {
+                    return ExitCode::FAILURE;
+                };
+                return match compare::compare_artifacts(&old_text, &new_text, tolerance) {
+                    Ok(cmp) => {
+                        print!("{}", compare::render(&cmp));
+                        if cmp.regressions().is_empty() {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             if let Some(path) = check {
                 let text = match std::fs::read_to_string(&path) {
                     Ok(text) => text,

@@ -10,6 +10,7 @@
 //! * [`predict`] — branch predictors and the branch bias table
 //! * [`core`] — trace cache, fill unit, branch promotion, trace packing
 //! * [`engine`] — the out-of-order execution engine model
+//! * [`trace`] — the cycle-level event-tracing layer (`tw trace`)
 //! * [`sim`] — whole-processor simulation driver and reports
 //! * [`bench`] — timing harnesses: the `tw bench` wall-clock suite and
 //!   the microbenchmark runner behind `benches/`
@@ -22,4 +23,5 @@ pub use tc_engine as engine;
 pub use tc_isa as isa;
 pub use tc_predict as predict;
 pub use tc_sim as sim;
+pub use tc_trace as trace;
 pub use tc_workloads as workloads;
