@@ -16,6 +16,8 @@
 //! cargo run --release -p tc-bench --bin paper -- fig10 --insts 2000000 --jobs 8
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub use tc_sim::harness::{f2, mean, pct, percent_change, MatrixRunner as Runner, Table};
 
 pub mod compare;

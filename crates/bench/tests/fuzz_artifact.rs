@@ -1,0 +1,120 @@
+//! Seeded never-panic fuzzing of the artifact readers.
+//!
+//! `tw bench --compare` and `--check` consume artifacts from disk, so
+//! the JSON parser and both artifact validators must return `Err`
+//! (never panic) on arbitrary bytes. This feeds 1 000 deterministic
+//! mutations of a valid `tw-bench/v1` artifact through all three; a
+//! panic anywhere fails the test — no `catch_unwind`.
+
+use tc_bench::compare::compare_artifacts;
+use tc_bench::suite::check_artifact;
+use tc_sim::harness::parse_json;
+
+/// xoshiro256** seeded via SplitMix64 (Blackman & Vigna). Local copy:
+/// the workspace builds offline with no external crates.
+struct Xoshiro([u64; 4]);
+
+impl Xoshiro {
+    fn seeded(seed: u64) -> Xoshiro {
+        let mut s = seed;
+        let mut split = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro([split(), split(), split(), split()])
+    }
+
+    fn next(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.0;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.0 = [n0, n1, n2, n3];
+        result
+    }
+}
+
+const VALID: &str = r#"{
+  "schema": "tw-bench/v1",
+  "insts_per_cell": 50000,
+  "samples": 2,
+  "cells": [
+    {
+      "benchmark": "compress",
+      "config": "icache",
+      "instructions": 50000,
+      "cycles": 23456,
+      "wall_ns": 1200000,
+      "ns_per_cycle": 51.2,
+      "instrs_per_sec": 41666666.7
+    },
+    {
+      "benchmark": "gcc",
+      "config": "headline",
+      "instructions": 50000,
+      "cycles": 19876,
+      "wall_ns": 1500000,
+      "ns_per_cycle": 75.5,
+      "instrs_per_sec": 33333333.3
+    }
+  ]
+}
+"#;
+
+fn mutate(rng: &mut Xoshiro, input: &[u8]) -> Vec<u8> {
+    let mut bytes = input.to_vec();
+    let edits = 1 + (rng.next() as usize % 8);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.push(rng.next() as u8);
+            continue;
+        }
+        let at = rng.next() as usize % bytes.len();
+        match rng.next() % 4 {
+            0 => bytes[at] = rng.next() as u8,
+            1 => bytes.insert(at, rng.next() as u8),
+            2 => {
+                bytes.remove(at);
+            }
+            _ => bytes.truncate(at),
+        }
+    }
+    bytes
+}
+
+#[test]
+fn artifact_readers_never_panic_on_mutated_input() {
+    let mut rng = Xoshiro::seeded(0x00b5_11fe_2u64);
+    assert!(
+        check_artifact(VALID).is_ok(),
+        "fuzz corpus must start valid"
+    );
+    assert!(compare_artifacts(VALID, VALID, 10.0).is_ok());
+    let (mut parse_ok, mut parse_err) = (0u32, 0u32);
+    for _ in 0..1_000 {
+        let mutated = mutate(&mut rng, VALID.as_bytes());
+        let text = String::from_utf8_lossy(&mutated);
+        match parse_json(&text) {
+            Ok(_) => parse_ok += 1,
+            Err(e) => {
+                parse_err += 1;
+                assert_eq!(e.lines().count(), 1, "multi-line parse error: {e:?}");
+            }
+        }
+        // The higher-level validators must be equally panic-free, both
+        // as the old and the new side of a comparison.
+        let _ = check_artifact(&text);
+        let _ = compare_artifacts(&text, VALID, 10.0);
+        let _ = compare_artifacts(VALID, &text, 10.0);
+    }
+    assert_eq!(parse_ok + parse_err, 1_000);
+    assert!(parse_err > 0, "mutations never produced a parse error");
+    assert!(parse_ok > 0, "every mutation was rejected");
+}

@@ -7,7 +7,7 @@ use tc_predict::{
     BiasTable, GlobalHistory, HybridPrediction, HybridPredictor, IndirectPredictor, MultiPredictor,
     ReturnStack, SplitMultiPredictor,
 };
-use tc_trace::{NoopTracer, TraceEvent, Tracer};
+use tc_trace::{FaultLocus, NoopTracer, TraceEvent, Tracer};
 
 use crate::config::{FrontEndConfig, PredictorChoice};
 use crate::fill::FillUnit;
@@ -144,6 +144,27 @@ enum Predictor {
     Hybrid(HybridPredictor),
 }
 
+/// Counters for the detect → quarantine → recover pipeline that guards
+/// the trace cache against corrupted segments (injected faults or
+/// genuine fill bugs). A corrupted line found by the sanitizer at hit
+/// time is *quarantined* (invalidated) and the fetch *recovers* by
+/// falling back to the instruction cache; a corrupted segment caught at
+/// fill time is dropped before it reaches the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Sanitizer error-severity detections attributed to corruption
+    /// (hit-time, fill-time, and end-of-run audit).
+    pub detected: u64,
+    /// Corrupted lines invalidated (hit time) or dropped (fill time).
+    pub quarantined: u64,
+    /// Fetches that completed from the instruction cache after a
+    /// quarantine, plus fill-time drops (recovery is immediate there).
+    pub recovered: u64,
+    /// Extra stall cycles paid by recovery fetches (i-cache miss
+    /// latency on the fallback path).
+    pub recovery_cycles: u64,
+}
+
 /// The complete fetch mechanism.
 ///
 /// Owns the trace cache, fill unit (with optional branch promotion),
@@ -166,6 +187,7 @@ pub struct FrontEnd<T: Tracer = NoopTracer> {
     indirect: IndirectPredictor,
     stats: FetchStats,
     sanitizer: Sanitizer,
+    quarantine: QuarantineStats,
     tracer: T,
 }
 
@@ -236,6 +258,7 @@ impl<T: Tracer> FrontEnd<T> {
             indirect: IndirectPredictor::new(config.indirect_entries),
             stats: FetchStats::new(),
             sanitizer: Sanitizer::new(config.sanitize),
+            quarantine: QuarantineStats::default(),
             tracer,
         }
     }
@@ -287,6 +310,13 @@ impl<T: Tracer> FrontEnd<T> {
         &self.sanitizer
     }
 
+    /// Quarantine/recovery counters (all zero unless the sanitizer
+    /// detected corrupted segments).
+    #[must_use]
+    pub fn quarantine_stats(&self) -> QuarantineStats {
+        self.quarantine
+    }
+
     /// Advances the sanitizer's and tracer's cycle clocks so violations
     /// and events carry the cycle they were observed at.
     pub fn set_cycle(&mut self, cycle: u64) {
@@ -300,7 +330,12 @@ impl<T: Tracer> FrontEnd<T> {
     /// structural invariants (typically once, at the end of a run).
     pub fn audit(&mut self) {
         if let Some(tc) = self.trace_cache.as_ref() {
+            let errors_before = self.sanitizer.stats().errors;
             tc.audit(&mut self.sanitizer);
+            // Corrupted lines that were never fetched again surface
+            // here; count them detected so no fault disappears from the
+            // books.
+            self.quarantine.detected += self.sanitizer.stats().errors - errors_before;
         }
     }
 
@@ -352,7 +387,25 @@ impl<T: Tracer> FrontEnd<T> {
                 self.sanitizer.record(CheckSite::Fill, None, kind);
             }
             while let Some(seg) = fill.pop_segment() {
+                let errors_before = self.sanitizer.stats().errors;
                 self.sanitizer.check_fill(&seg, fill.bias_table());
+                if self.sanitizer.stats().errors > errors_before {
+                    // The segment is structurally invalid: drop it
+                    // instead of caching it. Recovery is immediate —
+                    // the next fetch at its start simply misses.
+                    self.quarantine.detected += 1;
+                    self.quarantine.quarantined += 1;
+                    self.quarantine.recovered += 1;
+                    if T::ENABLED {
+                        self.tracer
+                            .emit(TraceEvent::FaultDetected { pc: seg.start() });
+                        self.tracer
+                            .emit(TraceEvent::FaultQuarantined { pc: seg.start() });
+                        self.tracer
+                            .emit(TraceEvent::FaultRecovered { pc: seg.start() });
+                    }
+                    continue;
+                }
                 let (start, len) = (seg.start(), seg.len());
                 let outcome = tc.fill(seg);
                 if T::ENABLED {
@@ -443,8 +496,17 @@ impl<T: Tracer> FrontEnd<T> {
             } else {
                 tc.lookup_best(pc, &dirs)
             };
-            let bundle = hit.map(|seg| {
+            // A hit whose segment fails the sanitizer's structural
+            // checks is quarantined: the bundle is discarded, the line
+            // invalidated, and the fetch recovers through the i-cache.
+            let mut quarantined: Option<Addr> = None;
+            let bundle = hit.and_then(|seg| {
+                let errors_before = self.sanitizer.stats().errors;
                 self.sanitizer.check_hit(seg.insts());
+                if self.sanitizer.stats().errors > errors_before {
+                    quarantined = Some(seg.start());
+                    return None;
+                }
                 let total = seg.insts().len();
                 let bundle =
                     self.fetch_from_segment(pc, seg.insts(), seg.end_reason(), &dirs, pred_ctx);
@@ -459,14 +521,32 @@ impl<T: Tracer> FrontEnd<T> {
                         ),
                     });
                 }
-                bundle
+                Some(bundle)
             });
+            if let Some(bad) = quarantined {
+                tc.invalidate(bad);
+                self.quarantine.detected += 1;
+                self.quarantine.quarantined += 1;
+                if T::ENABLED {
+                    self.tracer.emit(TraceEvent::FaultDetected { pc: bad });
+                    self.tracer.emit(TraceEvent::FaultQuarantined { pc: bad });
+                }
+            }
             self.trace_cache = Some(tc);
             if let Some(bundle) = bundle {
                 return bundle;
             }
             if T::ENABLED {
                 self.tracer.emit(TraceEvent::TcMiss { pc });
+            }
+            if quarantined.is_some() {
+                let bundle = self.fetch_from_icache(pc, program, mem, &dirs, &mut pred_ctx);
+                self.quarantine.recovered += 1;
+                self.quarantine.recovery_cycles += u64::from(bundle.icache_latency);
+                if T::ENABLED {
+                    self.tracer.emit(TraceEvent::FaultRecovered { pc });
+                }
+                return bundle;
             }
         }
         self.fetch_from_icache(pc, program, mem, &dirs, &mut pred_ctx)
@@ -608,7 +688,12 @@ impl<T: Tracer> FrontEnd<T> {
             // The active portion ends at a conditional branch (the
             // divergent one, or the first block's under no partial
             // matching): follow the *predicted* direction.
-            let pred = out[active_len - 1].pred_taken.expect("cut is at a branch");
+            // A non-full match always ends at a conditional branch for
+            // well-formed segments; a corrupted segment that escaped
+            // the sanitizer can break that, so degrade to sequential
+            // fetch instead of panicking (the driver's dispatch check
+            // catches the divergence).
+            let pred = out[active_len - 1].pred_taken.unwrap_or(false);
             match last_active.instr {
                 Instr::Branch { target, .. } => {
                     if pred {
@@ -617,7 +702,7 @@ impl<T: Tracer> FrontEnd<T> {
                         NextPc::Known(last_active.pc.next())
                     }
                 }
-                _ => unreachable!("a non-full match always ends at a conditional branch"),
+                _ => NextPc::Known(last_active.pc.next()),
             }
         } else {
             match last_active.instr.control_kind() {
@@ -820,6 +905,101 @@ impl<T: Tracer> FrontEnd<T> {
             next_pc,
             pred: *pred_ctx,
         }
+    }
+
+    // ---- Fault-application hooks ------------------------------------
+    //
+    // Driven by the tc-sim fault injector: each applies one fault to a
+    // live front-end structure, emits a `FaultInjected` event when it
+    // lands, and reports whether it landed (a target can be empty or
+    // unconfigured). The front end itself stays fault-agnostic — it
+    // holds no injection policy, only these entropy-driven mutators.
+
+    /// Corrupts one resident trace-cache segment in place. Returns the
+    /// corrupted line's start address when a line was resident.
+    pub fn fault_corrupt_segment(&mut self, entropy: u64) -> Option<Addr> {
+        let corrupted = self.trace_cache.as_mut()?.fault_corrupt(entropy)?;
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::TcSegment,
+                pc: corrupted,
+            });
+        }
+        Some(corrupted)
+    }
+
+    /// Silently evicts one resident trace-cache line (state loss
+    /// without corruption). Returns the evicted start address.
+    pub fn fault_evict_line(&mut self, entropy: u64) -> Option<Addr> {
+        let evicted = self.trace_cache.as_mut()?.fault_evict(entropy)?;
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::TcEvict,
+                pc: evicted,
+            });
+        }
+        Some(evicted)
+    }
+
+    /// Flips one bias-table entry's direction (or its promoted
+    /// direction). Returns `false` when no dynamic bias table is
+    /// configured or the table is empty.
+    pub fn fault_flip_bias(&mut self, entropy: u64) -> bool {
+        let landed = self
+            .fill
+            .as_mut()
+            .and_then(FillUnit::bias_table_mut)
+            .is_some_and(|b| b.fault_flip(entropy));
+        if landed && T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::Bias,
+                pc: Addr::new(0),
+            });
+        }
+        landed
+    }
+
+    /// Flips one two-bit counter in the configured direction predictor.
+    /// Always lands (the tables are fixed-size).
+    pub fn fault_flip_predictor(&mut self, entropy: u64) -> bool {
+        match &mut self.predictor {
+            Predictor::Multi(p) => p.fault_flip(entropy),
+            Predictor::Split(p) => p.fault_flip(entropy),
+            Predictor::Hybrid(p) => p.fault_flip(entropy),
+        }
+        if T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::Predictor,
+                pc: Addr::new(0),
+            });
+        }
+        true
+    }
+
+    /// Clobbers one stacked return address. Returns `false` when the
+    /// stack is empty.
+    pub fn fault_clobber_ras(&mut self, entropy: u64) -> bool {
+        let landed = self.ras.fault_clobber(entropy);
+        if landed && T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::Ras,
+                pc: Addr::new(0),
+            });
+        }
+        landed
+    }
+
+    /// Drops the fill unit's in-flight segment and current block (a
+    /// stalled-fill fault). Returns `false` when nothing was pending.
+    pub fn fault_drop_fill(&mut self) -> bool {
+        let landed = self.fill.as_mut().is_some_and(FillUnit::fault_drop_pending);
+        if landed && T::ENABLED {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                locus: FaultLocus::FillStall,
+                pc: Addr::new(0),
+            });
+        }
+        landed
     }
 }
 

@@ -170,6 +170,27 @@ impl FillUnit {
         }
     }
 
+    /// Mutable bias-table access (fault-injection hook).
+    pub fn bias_table_mut(&mut self) -> Option<&mut BiasTable> {
+        match &mut self.promoter {
+            Promoter::Dynamic(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Drops the in-flight (pending) segment state — the stalled-fill
+    /// fault: retired instructions accumulated toward the next trace
+    /// segment are lost, as if the fill pipeline was flushed. Finalized
+    /// segments already queued are untouched. Returns `false` when
+    /// nothing was pending. Architecturally invisible; only fill-rate
+    /// statistics feel it.
+    pub fn fault_drop_pending(&mut self) -> bool {
+        let had = !self.pending.is_empty() || !self.current_block.is_empty();
+        self.pending.clear();
+        self.current_block.clear();
+        had
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> &FillStats {

@@ -174,6 +174,14 @@ impl TraceSegment {
         self.insts.as_slice()
     }
 
+    /// Mutable access to the stored instructions, for the in-crate
+    /// fault-injection hooks only: mutations may break the structural
+    /// invariants [`TraceSegment::new`] enforces — that is the point —
+    /// and the sanitizer is the detector.
+    pub(crate) fn insts_mut(&mut self) -> &mut [SegmentInst] {
+        self.insts.as_mut_slice()
+    }
+
     /// Why the fill unit finalized this segment.
     #[must_use]
     pub fn end_reason(&self) -> SegEndReason {

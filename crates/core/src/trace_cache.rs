@@ -380,6 +380,68 @@ impl TraceCache {
             .flat_map(|s| s.iter().map(|w| w.segment.len()))
             .sum()
     }
+
+    /// Invalidates the resident line(s) starting at `start` — the
+    /// quarantine action: a corrupted segment is removed so the next
+    /// fetch at `start` misses to the instruction cache. Touches no
+    /// statistics (quarantine is accounted separately).
+    pub fn invalidate(&mut self, start: Addr) -> bool {
+        let si = self.set_index(start);
+        let before = self.sets[si].len();
+        self.sets[si].retain(|w| w.segment.start() != start);
+        self.sets[si].len() != before
+    }
+
+    /// Picks the `entropy`-th resident way, if any (deterministic given
+    /// the cache contents and `entropy`).
+    fn pick_resident(&self, entropy: u64) -> Option<(usize, usize)> {
+        let resident = self.resident();
+        if resident == 0 {
+            return None;
+        }
+        let mut nth = (entropy % resident as u64) as usize;
+        for (si, set) in self.sets.iter().enumerate() {
+            if nth < set.len() {
+                return Some((si, nth));
+            }
+            nth -= set.len();
+        }
+        None
+    }
+
+    /// Corrupts one resident segment in place (fault-injection hook):
+    /// flips an embedded branch direction, a promoted flag, or an
+    /// instruction address, chosen by `entropy`. Returns the corrupted
+    /// segment's start address, or `None` when the cache is empty. The
+    /// sanitizer's hit/fill/audit checks are the intended detector.
+    pub fn fault_corrupt(&mut self, entropy: u64) -> Option<Addr> {
+        let (si, wi) = self.pick_resident(entropy)?;
+        let segment = &mut self.sets[si][wi].segment;
+        let start = segment.start();
+        let insts = segment.insts_mut();
+        let i = ((entropy >> 8) % insts.len() as u64) as usize;
+        match (entropy >> 16) % 3 {
+            0 => insts[i].taken = !insts[i].taken,
+            1 => {
+                insts[i].promoted = match insts[i].promoted {
+                    Some(dir) => Some(!dir),
+                    None => Some(true),
+                };
+            }
+            _ => insts[i].pc = Addr::new(insts[i].pc.raw() ^ 1 ^ ((entropy >> 24) as u32 & 0xff)),
+        }
+        Some(start)
+    }
+
+    /// Silently drops one resident line (fault-injection hook): models
+    /// state loss without corruption. Architecturally invisible — the
+    /// next fetch simply misses. Returns the evicted start address.
+    /// Touches no statistics.
+    pub fn fault_evict(&mut self, entropy: u64) -> Option<Addr> {
+        let (si, wi) = self.pick_resident(entropy)?;
+        let way = self.sets[si].remove(wi);
+        Some(way.segment.start())
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! Patt) drove its experiments with SimpleScalar binaries of SPECint95. This
 //! crate provides the from-scratch equivalent substrate: a fixed-width
 //! RISC-like ISA, a [`Program`] container, an assembler-style
-//! [`ProgramBuilder`] with labels, and a functional [`Interpreter`] that
+//! [`ProgramBuilder`] with labels, a text-format assembler ([`assemble`])
+//! with positioned diagnostics, and a functional [`Interpreter`] that
 //! executes programs to produce the *dynamic instruction stream* consumed by
 //! the timing simulator.
 //!
@@ -40,12 +41,15 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod asm;
 mod instr;
 mod interp;
 mod program;
 mod reg;
 mod stream;
+mod text;
 
 pub use asm::{AsmError, Label, ProgramBuilder};
 pub use instr::{AluOp, Cond, ControlKind, Instr};
@@ -53,3 +57,4 @@ pub use interp::{ExecError, Interpreter, Machine, StepOutcome};
 pub use program::{Addr, Program, ProgramError};
 pub use reg::Reg;
 pub use stream::{ExecRecord, StreamStats};
+pub use text::{assemble, AsmDiagnostic};

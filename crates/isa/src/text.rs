@@ -1,0 +1,787 @@
+//! A text-format assembler for the `tc-isa` instruction set.
+//!
+//! [`assemble`] turns human-readable assembly source into a validated
+//! [`Program`], reporting the first error with a line/column position.
+//! The accepted syntax mirrors the [`Instr`] `Display` forms, so a
+//! program printed instruction-by-instruction can be read back (with
+//! labels in place of `@addr` targets):
+//!
+//! ```text
+//! # sum the integers 0..10
+//! .entry main
+//! main:
+//!     li   t0, 0          ; i
+//!     li   t1, 10         ; n
+//!     li   t2, 0          ; acc
+//! loop:
+//!     bge  t0, t1, done
+//!     add  t2, t2, t0
+//!     addi t0, t0, 1
+//!     j    loop
+//! done:
+//!     halt
+//! ```
+//!
+//! * one instruction per line; `label:` prefixes may share the line;
+//! * comments start with `#` or `;` and run to end of line;
+//! * registers use the conventional names (`zero ra sp gp a0-a5 s0-s9
+//!   t0-t11`);
+//! * immediates are decimal or `0x` hex, optionally negative;
+//! * control-transfer targets are labels or absolute instruction
+//!   indices;
+//! * `.entry <label>` sets the program entry point.
+//!
+//! The assembler never panics on any input: every malformed construct —
+//! unknown mnemonic, bad register, missing operand, unbound label —
+//! comes back as an [`AsmDiagnostic`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::asm::{AsmError, Label, ProgramBuilder};
+use crate::instr::{AluOp, Cond, Instr};
+use crate::program::{Addr, Program};
+use crate::reg::Reg;
+
+/// A positioned assembly error: the first problem found in the source.
+///
+/// `line` and `col` are 1-based; a diagnostic at `0:0` refers to the
+/// program as a whole (e.g. an empty source file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmDiagnostic {
+    /// 1-based source line of the error (0 = whole program).
+    pub line: u32,
+    /// 1-based column of the offending token (0 = whole program).
+    pub col: u32,
+    /// One-line description of the problem.
+    pub message: String,
+}
+
+impl AsmDiagnostic {
+    fn new(line: u32, col: u32, message: impl Into<String>) -> AsmDiagnostic {
+        AsmDiagnostic {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for AsmDiagnostic {}
+
+/// Assembles text-format source into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmDiagnostic`] describing the first syntax, operand,
+/// label, or validation error, with its source position.
+pub fn assemble(source: &str) -> Result<Program, AsmDiagnostic> {
+    let mut asm = Assembler {
+        builder: ProgramBuilder::new(),
+        labels: HashMap::new(),
+        refs: HashMap::new(),
+        bound: HashMap::new(),
+    };
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        asm.line(line_no, raw)?;
+    }
+    asm.builder.build().map_err(|e| match e {
+        AsmError::UnboundLabel { name } => {
+            let (line, col) = asm.refs.get(&name).copied().unwrap_or((0, 0));
+            AsmDiagnostic::new(line, col, format!("label `{name}` is never defined"))
+        }
+        // Duplicate binds are caught with a position at bind time.
+        AsmError::DuplicateBind { name } => {
+            AsmDiagnostic::new(0, 0, format!("label `{name}` bound twice"))
+        }
+        AsmError::Invalid(e) => AsmDiagnostic::new(0, 0, format!("invalid program: {e}")),
+    })
+}
+
+struct Assembler {
+    builder: ProgramBuilder,
+    /// Name → builder label, created on first reference or definition.
+    labels: HashMap<String, Label>,
+    /// Name → position of the first *reference* (for unbound-label
+    /// diagnostics).
+    refs: HashMap<String, (u32, u32)>,
+    /// Name → line where the label was defined (for duplicate-label
+    /// diagnostics).
+    bound: HashMap<String, u32>,
+}
+
+impl Assembler {
+    fn line(&mut self, line_no: u32, raw: &str) -> Result<(), AsmDiagnostic> {
+        // Comments run to end of line; the syntax has no string
+        // literals, so a bare byte scan is safe.
+        let code = match raw.find(['#', ';']) {
+            Some(at) => &raw[..at],
+            None => raw,
+        };
+        let mut cur = Cursor {
+            line: line_no,
+            text: code,
+            pos: 0,
+        };
+        cur.skip_ws();
+        // `label:` prefixes; several may share a line.
+        while let Some(end) = cur.label_def_end() {
+            let col = cur.col();
+            let name = cur.text[cur.pos..end].to_string();
+            cur.pos = end + 1; // past the ':'
+            cur.skip_ws();
+            self.define_label(&name, line_no, col)?;
+        }
+        if cur.at_end() {
+            return Ok(());
+        }
+        let col = cur.col();
+        let mnemonic = cur.ident().ok_or_else(|| {
+            AsmDiagnostic::new(
+                line_no,
+                col,
+                format!("expected mnemonic, found {:?}", cur.rest()),
+            )
+        })?;
+        self.instruction(&mut cur, &mnemonic, col)?;
+        cur.skip_ws();
+        if !cur.at_end() {
+            return Err(AsmDiagnostic::new(
+                line_no,
+                cur.col(),
+                format!("trailing operands: {:?}", cur.rest()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn define_label(&mut self, name: &str, line: u32, col: u32) -> Result<(), AsmDiagnostic> {
+        if let Some(first) = self.bound.get(name) {
+            return Err(AsmDiagnostic::new(
+                line,
+                col,
+                format!("label `{name}` already defined on line {first}"),
+            ));
+        }
+        let label = self.label(name);
+        self.bound.insert(name.to_string(), line);
+        self.builder.bind(label).map_err(|_| {
+            AsmDiagnostic::new(line, col, format!("label `{name}` already defined"))
+        })?;
+        Ok(())
+    }
+
+    /// Gets or creates the builder label for `name`.
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.builder.new_label(name);
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+
+    /// Resolves a control-transfer target operand: a label name or an
+    /// absolute instruction index. Label targets return `Err(label)` for
+    /// the caller to route through the builder's fixup machinery.
+    fn target(&mut self, cur: &mut Cursor<'_>) -> Result<Result<Addr, Label>, AsmDiagnostic> {
+        cur.skip_ws();
+        let (line, col) = (cur.line, cur.col());
+        if matches!(cur.peek(), Some(c) if c.is_ascii_digit()) {
+            let value = cur.imm()?;
+            let addr = u32::try_from(value)
+                .map_err(|_| AsmDiagnostic::new(line, col, "negative target address"))?;
+            return Ok(Ok(Addr::new(addr)));
+        }
+        let name = cur
+            .ident()
+            .ok_or_else(|| AsmDiagnostic::new(line, col, "expected a label or address"))?;
+        self.refs.entry(name.clone()).or_insert((line, col));
+        Ok(Err(self.label(&name)))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn instruction(
+        &mut self,
+        cur: &mut Cursor<'_>,
+        mnemonic: &str,
+        col: u32,
+    ) -> Result<(), AsmDiagnostic> {
+        // Register-register ALU ops and their `-i` immediate forms.
+        if let Some(op) = alu_op(mnemonic) {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let rs1 = cur.reg()?;
+            cur.comma()?;
+            let rs2 = cur.reg()?;
+            self.builder.alu(op, rd, rs1, rs2);
+            return Ok(());
+        }
+        if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
+            let rd = cur.reg()?;
+            cur.comma()?;
+            let rs1 = cur.reg()?;
+            cur.comma()?;
+            let imm = cur.imm()?;
+            self.builder.alui(op, rd, rs1, imm);
+            return Ok(());
+        }
+        if let Some(cond) = branch_cond(mnemonic) {
+            let rs1 = cur.reg()?;
+            cur.comma()?;
+            let rs2 = cur.reg()?;
+            cur.comma()?;
+            match self.target(cur)? {
+                Ok(addr) => {
+                    self.builder.push(Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target: addr,
+                    });
+                }
+                Err(label) => {
+                    self.builder.branch(cond, rs1, rs2, label);
+                }
+            }
+            return Ok(());
+        }
+        match mnemonic {
+            "li" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                let imm = cur.imm()?;
+                self.builder.li(rd, imm);
+            }
+            "la" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                match self.target(cur)? {
+                    Ok(addr) => {
+                        self.builder.li(rd, addr.raw() as i32);
+                    }
+                    Err(label) => {
+                        self.builder.la(rd, label);
+                    }
+                }
+            }
+            "mv" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                let rs = cur.reg()?;
+                self.builder.mv(rd, rs);
+            }
+            "ld" => {
+                let rd = cur.reg()?;
+                cur.comma()?;
+                let (offset, base) = cur.mem_operand()?;
+                self.builder.load(rd, base, offset);
+            }
+            "st" => {
+                let src = cur.reg()?;
+                cur.comma()?;
+                let (offset, base) = cur.mem_operand()?;
+                self.builder.store(src, base, offset);
+            }
+            "beqz" | "bnez" => {
+                let cond = if mnemonic == "beqz" {
+                    Cond::Eq
+                } else {
+                    Cond::Ne
+                };
+                let rs = cur.reg()?;
+                cur.comma()?;
+                match self.target(cur)? {
+                    Ok(addr) => {
+                        self.builder.push(Instr::Branch {
+                            cond,
+                            rs1: rs,
+                            rs2: Reg::ZERO,
+                            target: addr,
+                        });
+                    }
+                    Err(label) => {
+                        self.builder.branch(cond, rs, Reg::ZERO, label);
+                    }
+                }
+            }
+            "j" => match self.target(cur)? {
+                Ok(addr) => {
+                    self.builder.push(Instr::Jump { target: addr });
+                }
+                Err(label) => {
+                    self.builder.jump(label);
+                }
+            },
+            "call" => match self.target(cur)? {
+                Ok(addr) => {
+                    self.builder.push(Instr::Call { target: addr });
+                }
+                Err(label) => {
+                    self.builder.call(label);
+                }
+            },
+            "jr" => {
+                let base = cur.reg()?;
+                self.builder.jr(base);
+            }
+            "callr" => {
+                let base = cur.reg()?;
+                self.builder.callr(base);
+            }
+            "ret" => {
+                self.builder.ret();
+            }
+            "trap" => {
+                let (line, tcol) = (cur.line, cur.col());
+                let code = cur.imm()?;
+                let code = u16::try_from(code).map_err(|_| {
+                    AsmDiagnostic::new(line, tcol, format!("trap code {code} out of range"))
+                })?;
+                self.builder.trap(code);
+            }
+            "nop" => {
+                self.builder.nop();
+            }
+            "halt" => {
+                self.builder.halt();
+            }
+            ".entry" => {
+                cur.skip_ws();
+                let (line, tcol) = (cur.line, cur.col());
+                let name = cur
+                    .ident()
+                    .ok_or_else(|| AsmDiagnostic::new(line, tcol, "expected a label"))?;
+                self.refs.entry(name.clone()).or_insert((line, tcol));
+                let label = self.label(&name);
+                self.builder.entry(label);
+            }
+            other => {
+                return Err(AsmDiagnostic::new(
+                    cur.line,
+                    col,
+                    format!("unknown mnemonic `{other}`"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond(name: &str) -> Option<Cond> {
+    Some(match name {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "bltu" => Cond::Ltu,
+        "bgeu" => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn reg_named(name: &str) -> Option<Reg> {
+    let family = |prefix: &str, base: u8, count: u8| -> Option<Reg> {
+        let n: u8 = name.strip_prefix(prefix)?.parse().ok()?;
+        // Reject leading zeros / wide forms like `a01`.
+        if n < count && name.len() == prefix.len() + n.to_string().len() {
+            Some(Reg::new(base + n))
+        } else {
+            None
+        }
+    };
+    match name {
+        "zero" => Some(Reg::ZERO),
+        "ra" => Some(Reg::RA),
+        "sp" => Some(Reg::SP),
+        "gp" => Some(Reg::GP),
+        _ => family("a", 4, 6)
+            .or_else(|| family("s", 10, 10))
+            .or_else(|| family("t", 20, 12)),
+    }
+}
+
+/// A character cursor over one source line, tracking the column for
+/// diagnostics.
+struct Cursor<'a> {
+    line: u32,
+    text: &'a str,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn col(&self) -> u32 {
+        (self.text[..self.pos].chars().count() + 1) as u32
+    }
+
+    fn rest(&self) -> &str {
+        self.text[self.pos..].trim_end()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.text[self.pos..].trim().is_empty()
+    }
+
+    /// If the cursor sits on `ident:`, returns the byte offset of the
+    /// `:`; the cursor itself is not advanced.
+    fn label_def_end(&self) -> Option<usize> {
+        let rest = &self.text[self.pos..];
+        let mut len = 0;
+        for c in rest.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' || (len == 0 && c == '.') {
+                len += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len > 0 && rest[len..].starts_with(':') {
+            Some(self.pos + len)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes an identifier (`[A-Za-z_.][A-Za-z0-9_.]*`).
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let mut len = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_ascii_alphabetic() || c == '_' || c == '.'
+            } else {
+                c.is_ascii_alphanumeric() || c == '_' || c == '.'
+            };
+            if !ok {
+                break;
+            }
+            len = i + c.len_utf8();
+        }
+        if len == 0 {
+            return None;
+        }
+        let word = rest[..len].to_string();
+        self.pos += len;
+        Some(word)
+    }
+
+    fn comma(&mut self) -> Result<(), AsmDiagnostic> {
+        self.skip_ws();
+        if self.peek() == Some(',') {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(AsmDiagnostic::new(self.line, self.col(), "expected `,`"))
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, AsmDiagnostic> {
+        self.skip_ws();
+        let col = self.col();
+        let name = self
+            .ident()
+            .ok_or_else(|| AsmDiagnostic::new(self.line, col, "expected a register"))?;
+        reg_named(&name)
+            .ok_or_else(|| AsmDiagnostic::new(self.line, col, format!("unknown register `{name}`")))
+    }
+
+    fn imm(&mut self) -> Result<i32, AsmDiagnostic> {
+        self.skip_ws();
+        let col = self.col();
+        let rest = &self.text[self.pos..];
+        let mut len = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = c.is_ascii_alphanumeric() || (i == 0 && c == '-');
+            if !ok {
+                break;
+            }
+            len = i + c.len_utf8();
+        }
+        let word = &rest[..len];
+        if word.is_empty() {
+            return Err(AsmDiagnostic::new(self.line, col, "expected an immediate"));
+        }
+        let (digits, neg) = match word.strip_prefix('-') {
+            Some(d) => (d, true),
+            None => (word, false),
+        };
+        let parsed = match digits
+            .strip_prefix("0x")
+            .or_else(|| digits.strip_prefix("0X"))
+        {
+            Some(hex) => i64::from_str_radix(hex, 16),
+            None => digits.parse::<i64>(),
+        };
+        let value = parsed
+            .ok()
+            .map(|v| if neg { -v } else { v })
+            .and_then(|v| i32::try_from(v).ok())
+            .ok_or_else(|| AsmDiagnostic::new(self.line, col, format!("bad immediate `{word}`")))?;
+        self.pos += len;
+        Ok(value)
+    }
+
+    /// Parses `offset(base)` — the memory-operand form `ld`/`st` print.
+    fn mem_operand(&mut self) -> Result<(i32, Reg), AsmDiagnostic> {
+        let offset = self.imm()?;
+        self.skip_ws();
+        if self.peek() != Some('(') {
+            return Err(AsmDiagnostic::new(self.line, self.col(), "expected `(`"));
+        }
+        self.pos += 1;
+        let base = self.reg()?;
+        self.skip_ws();
+        if self.peek() != Some(')') {
+            return Err(AsmDiagnostic::new(self.line, self.col(), "expected `)`"));
+        }
+        self.pos += 1;
+        Ok((offset, base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+
+    const SUM_LOOP: &str = "\
+# sum 0..10
+.entry main
+main:
+    li   t0, 0
+    li   t1, 10
+    li   t2, 0
+loop:
+    bge  t0, t1, done   ; exit check
+    add  t2, t2, t0
+    addi t0, t0, 1
+    j    loop
+done:
+    halt
+";
+
+    #[test]
+    fn assembles_and_runs_the_sum_loop() {
+        let program = assemble(SUM_LOOP).unwrap();
+        let mut interp = Interpreter::new(&program, 1 << 16);
+        let _trace: Vec<_> = interp.by_ref().collect();
+        assert_eq!(interp.machine().reg(Reg::T2), 45);
+    }
+
+    #[test]
+    fn text_matches_builder_output() {
+        let program = assemble(SUM_LOOP).unwrap();
+        let mut b = ProgramBuilder::new();
+        let main = b.new_label("main");
+        let loop_top = b.new_label("loop");
+        let done = b.new_label("done");
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.li(Reg::T0, 0).li(Reg::T1, 10).li(Reg::T2, 0);
+        b.bind(loop_top).unwrap();
+        b.branch(Cond::Ge, Reg::T0, Reg::T1, done);
+        b.add(Reg::T2, Reg::T2, Reg::T0);
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.jump(loop_top);
+        b.bind(done).unwrap();
+        b.halt();
+        let reference = b.build().unwrap();
+        assert_eq!(program.len(), reference.len());
+        for i in 0..program.len() as u32 {
+            assert_eq!(
+                program.fetch(Addr::new(i)),
+                reference.fetch(Addr::new(i)),
+                "instruction {i}"
+            );
+        }
+        assert_eq!(program.entry(), reference.entry());
+    }
+
+    #[test]
+    fn full_mnemonic_surface_assembles() {
+        let src = "\
+start:
+    add  t0, t1, t2
+    subi t0, t0, -3
+    sltu t3, t0, t1
+    li   a0, 0x10
+    la   a1, start
+    mv   a2, a0
+    ld   s0, 4(sp)
+    st   s0, -1(sp)
+    beqz s0, start
+    bltu t0, t1, 0
+    call start
+    callr a1
+    jr   a1
+    trap 7
+    nop
+    ret
+    halt
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.len(), 17);
+        assert_eq!(
+            p.fetch(Addr::new(1)),
+            Some(Instr::AluImm {
+                op: AluOp::Sub,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: -3
+            })
+        );
+        assert_eq!(
+            p.fetch(Addr::new(6)),
+            Some(Instr::Load {
+                rd: Reg::S0,
+                base: Reg::SP,
+                offset: 4
+            })
+        );
+        // `la start` records the label as address-taken.
+        assert_eq!(p.address_taken(), &[Addr::new(0)]);
+    }
+
+    #[test]
+    fn diagnostics_carry_positions() {
+        let err = assemble("  frobnicate t0, t1\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+        assert!(err.message.contains("frobnicate"));
+
+        let err = assemble("nop\n  add t0, t1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(
+            err.message.contains('`') || err.message.contains(','),
+            "{}",
+            err.message
+        );
+
+        let err = assemble("add t0, t1, bogus\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 13));
+        assert!(err.message.contains("bogus"));
+
+        let err = assemble("li t0, zzz\n").unwrap_err();
+        assert!(err.message.contains("immediate"), "{}", err.message);
+    }
+
+    #[test]
+    fn unbound_label_points_at_first_reference() {
+        let err = assemble("nop\n    j nowhere\nhalt\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_points_at_redefinition() {
+        let err = assemble("x:\n nop\nx:\n halt\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("line 1"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_target_is_a_whole_program_error() {
+        let err = assemble("j 99\nhalt\n").unwrap_err();
+        assert_eq!((err.line, err.col), (0, 0));
+        assert!(err.message.contains("out-of-range"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_source_is_an_error_not_a_panic() {
+        assert!(assemble("").is_err());
+        assert!(assemble("# only comments\n\n  ; here\n").is_err());
+    }
+
+    #[test]
+    fn trailing_operands_are_rejected() {
+        let err = assemble("nop nop\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_leading_zero_register_forms() {
+        assert!(assemble("add a01, t0, t1\n").is_err());
+        assert!(assemble("add a9, t0, t1\n").is_err());
+        assert!(assemble("add t12, t0, t1\n").is_err());
+    }
+
+    #[test]
+    fn display_forms_reassemble() {
+        // Every non-control Display form must parse back to itself.
+        let instrs = [
+            Instr::Alu {
+                op: AluOp::Sra,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            Instr::AluImm {
+                op: AluOp::Xor,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: -7,
+            },
+            Instr::Li {
+                rd: Reg::S3,
+                imm: 123,
+            },
+            Instr::Load {
+                rd: Reg::T0,
+                base: Reg::SP,
+                offset: 2,
+            },
+            Instr::Store {
+                src: Reg::T0,
+                base: Reg::GP,
+                offset: -2,
+            },
+            Instr::JumpInd { base: Reg::T3 },
+            Instr::CallInd { base: Reg::T4 },
+            Instr::Trap { code: 9 },
+            Instr::Ret,
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        for i in instrs {
+            let src = format!("{i}\nhalt\n");
+            let p = assemble(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+            assert_eq!(p.fetch(Addr::new(0)), Some(i), "{src:?}");
+        }
+    }
+}

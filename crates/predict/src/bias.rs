@@ -263,6 +263,28 @@ impl BiasTable {
     pub fn demotions(&self) -> u64 {
         self.demotions
     }
+
+    /// Perturbs one occupied entry (fault-injection hook): flips the
+    /// running direction, or the promoted direction when the entry is
+    /// promoted. Returns `false` when the table has no occupied entry.
+    /// Self-heals: the paper's demote-on-opposite rule walks a wrong
+    /// promoted direction back out through normal training.
+    pub fn fault_flip(&mut self, entropy: u64) -> bool {
+        let len = self.entries.len() as u64;
+        let start = (entropy % len) as usize;
+        for off in 0..self.entries.len() {
+            let i = (start + off) % self.entries.len();
+            if let Some(entry) = &mut self.entries[i] {
+                if let Some(dir) = &mut entry.promoted {
+                    *dir = !*dir;
+                } else {
+                    entry.dir = !entry.dir;
+                }
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

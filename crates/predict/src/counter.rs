@@ -49,6 +49,13 @@ impl Counter2 {
     pub fn state(self) -> u8 {
         self.0
     }
+
+    /// Flips the counter's predicted direction (fault-injection hook):
+    /// the direction bit inverts while the confidence bit is kept, so
+    /// normal training walks the counter back — the fault self-heals.
+    pub fn flip(&mut self) {
+        self.0 ^= 2;
+    }
 }
 
 impl Default for Counter2 {

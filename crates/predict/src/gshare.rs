@@ -64,6 +64,13 @@ impl Gshare {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// Flips one counter's predicted direction (fault-injection hook);
+    /// `entropy` picks the entry. Self-heals through normal training.
+    pub fn fault_flip(&mut self, entropy: u64) {
+        let i = (entropy % self.table.len() as u64) as usize;
+        self.table[i].flip();
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,17 @@ impl HybridPredictor {
             self.chooser[i].update(g_ok);
         }
     }
+
+    /// Flips one counter's predicted direction in the gshare component
+    /// or the chooser (fault-injection hook); `entropy` picks which.
+    pub fn fault_flip(&mut self, entropy: u64) {
+        if entropy & 1 == 0 {
+            self.gshare.fault_flip(entropy >> 8);
+        } else {
+            let i = ((entropy >> 8) % self.chooser.len() as u64) as usize;
+            self.chooser[i].flip();
+        }
+    }
 }
 
 #[cfg(test)]

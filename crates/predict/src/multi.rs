@@ -121,6 +121,14 @@ impl MultiPredictor {
     pub fn storage_bytes(&self) -> usize {
         self.counters.len() / 4
     }
+
+    /// Flips one pattern-history counter's predicted direction
+    /// (fault-injection hook); `entropy` picks the counter. Self-heals
+    /// through normal training.
+    pub fn fault_flip(&mut self, entropy: u64) {
+        let i = (entropy % self.counters.len() as u64) as usize;
+        self.counters[i].flip();
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,19 @@ impl ReturnStack {
     pub fn overflows(&self) -> u64 {
         self.overflows
     }
+
+    /// Clobbers one stacked return address (fault-injection hook);
+    /// `entropy` picks the entry and the new bogus value. Returns
+    /// `false` when the stack is empty. Architecturally harmless: a
+    /// wrong RAS prediction is caught like any return mispredict.
+    pub fn fault_clobber(&mut self, entropy: u64) -> bool {
+        if self.stack.is_empty() {
+            return false;
+        }
+        let i = (entropy % self.stack.len() as u64) as usize;
+        self.stack[i] ^= (entropy >> 8) | 1;
+        true
+    }
 }
 
 #[cfg(test)]

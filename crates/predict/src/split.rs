@@ -81,6 +81,14 @@ impl SplitMultiPredictor {
     pub fn storage_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.len() / 4).sum()
     }
+
+    /// Flips one counter's predicted direction across the three tables
+    /// (fault-injection hook); `entropy` picks table and entry.
+    pub fn fault_flip(&mut self, entropy: u64) {
+        let slot = (entropy % MAX_PREDICTIONS as u64) as usize;
+        let i = ((entropy >> 8) % self.tables[slot].len() as u64) as usize;
+        self.tables[slot][i].flip();
+    }
 }
 
 #[cfg(test)]

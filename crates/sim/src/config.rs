@@ -4,6 +4,7 @@
 use tc_cache::HierarchyConfig;
 use tc_core::{FrontEndConfig, PackingPolicy, StaticPromotionTable};
 use tc_engine::EngineConfig;
+use tc_fault::FaultPlan;
 
 /// Complete machine + run configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +28,10 @@ pub struct SimConfig {
     /// Disabled, returns predict through the finite/ideal RAS and can
     /// mispredict.
     pub ideal_returns: bool,
+    /// Deterministic fault-injection plan; `None` (the default) leaves
+    /// every fault path untouched and keeps reports bit-identical to a
+    /// plain run.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Default dynamic-instruction budget.
@@ -42,6 +47,7 @@ impl SimConfig {
             model_wrong_path: true,
             static_promotion: None,
             ideal_returns: true,
+            fault_plan: None,
         }
     }
 
@@ -178,6 +184,22 @@ impl SimConfig {
         self
     }
 
+    /// Attaches a fault-injection plan. The sanitizer is forced on —
+    /// it is the detection half of the quarantine/recovery machinery —
+    /// so fault runs behave identically in debug and release builds.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> SimConfig {
+        // A no-fault plan must leave the configuration (label, sanitizer
+        // setting, report shape) bit-identical to never attaching one.
+        if plan.is_none() {
+            self.fault_plan = None;
+            return self;
+        }
+        self.front_end.sanitize = true;
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// A short label for tables ("icache", "tc", "tc+promo64+unreg", …).
     ///
     /// The label uniquely identifies the configuration (non-default
@@ -217,6 +239,10 @@ impl SimConfig {
         }
         if self.engine.perfect_disambiguation {
             label.push_str("+perfmem");
+        }
+        if let Some(plan) = &self.fault_plan {
+            label.push('+');
+            label.push_str(&plan.label());
         }
         label
     }

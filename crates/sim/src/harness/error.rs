@@ -1,0 +1,87 @@
+//! The structured error type behind the `tw` binary.
+//!
+//! Every fallible driver path — flag parsing, artifact reading, text
+//! assembly — funnels into [`TwError`], which carries a one-line
+//! message and the conventional process exit code: `2` for a usage
+//! error (bad flags, unknown preset), `1` for a runtime failure (a
+//! malformed artifact, an unreadable file). The binary prints
+//! `tw: <message>` to stderr and exits; no error path panics or prints
+//! a backtrace.
+
+/// A `tw` failure: a one-line diagnostic plus the exit-code class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwError {
+    /// The command line itself is wrong (unknown flag, missing value,
+    /// unparseable number). Exit code 2, matching `usage()`.
+    Usage(String),
+    /// The command was well-formed but failed at runtime (unreadable
+    /// file, malformed artifact, failed check). Exit code 1.
+    Runtime(String),
+}
+
+impl TwError {
+    /// A usage error (exit 2).
+    pub fn usage(msg: impl Into<String>) -> TwError {
+        TwError::Usage(msg.into())
+    }
+
+    /// A runtime error (exit 1).
+    pub fn runtime(msg: impl Into<String>) -> TwError {
+        TwError::Runtime(msg.into())
+    }
+
+    /// The conventional process exit code for this class.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            TwError::Usage(_) => 2,
+            TwError::Runtime(_) => 1,
+        }
+    }
+
+    /// The diagnostic line, without the `tw:` prefix.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            TwError::Usage(msg) | TwError::Runtime(msg) => msg,
+        }
+    }
+}
+
+impl std::fmt::Display for TwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for TwError {}
+
+impl From<std::io::Error> for TwError {
+    fn from(e: std::io::Error) -> TwError {
+        TwError::Runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_convention() {
+        assert_eq!(TwError::usage("bad flag").exit_code(), 2);
+        assert_eq!(TwError::runtime("bad file").exit_code(), 1);
+    }
+
+    #[test]
+    fn messages_are_one_line() {
+        let e = TwError::runtime("artifact truncated at byte 12");
+        assert_eq!(e.to_string(), "artifact truncated at byte 12");
+        assert_eq!(e.message().lines().count(), 1);
+    }
+
+    #[test]
+    fn io_errors_map_to_runtime() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        assert_eq!(TwError::from(io).exit_code(), 1);
+    }
+}

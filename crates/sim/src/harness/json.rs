@@ -278,6 +278,20 @@ pub fn report_to_json(r: &SimReport) -> Json {
     ];
     // Appended only for traced runs: untraced reports — and the 30
     // golden fixtures — keep the exact pre-tracing key set.
+    // Likewise for fault runs: without a fault plan the key set is
+    // unchanged.
+    if let Some(f) = &r.fault {
+        fields.push((
+            "fault",
+            Json::Object(vec![
+                ("injected", Json::UInt(f.injected)),
+                ("detected", Json::UInt(f.detected)),
+                ("recovered", Json::UInt(f.recovered)),
+                ("escaped", Json::UInt(f.escaped)),
+                ("recovery_cycles", Json::UInt(f.recovery_cycles)),
+            ]),
+        ));
+    }
     if let Some(t) = &r.trace {
         fields.push(("trace", trace_summary_to_json(t)));
     }

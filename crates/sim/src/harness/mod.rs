@@ -19,6 +19,9 @@
 //!   offline with no external crates) for [`SimReport`] and friends.
 //! * [`parse`] — the matching reader: a small recursive-descent JSON
 //!   parser for artifact comparison (`tw bench --compare`).
+//! * [`error`] — [`TwError`], the structured error every fallible `tw`
+//!   path returns: a one-line diagnostic plus the exit-code class
+//!   (usage → 2, runtime → 1).
 //! * [`trace`] — the event-trace sink behind `tw trace`: traced runs,
 //!   the Chrome/Perfetto `trace_event` export, and the interval-timeline
 //!   renderers (`--timeline`).
@@ -35,6 +38,7 @@
 //!
 //! [`SimReport`]: crate::SimReport
 
+mod error;
 mod json;
 mod lint;
 mod parse;
@@ -43,13 +47,14 @@ mod runner;
 mod table;
 mod trace;
 
+pub use error::TwError;
 pub use json::{check_well_formed, report_to_json, reports_to_json, trace_summary_to_json, Json};
 pub use lint::{
     lint_all, lint_benchmark, lint_entry_to_json, lint_errors, lint_table, lint_to_json, LintEntry,
 };
 pub use parse::{parse_json, Value};
 pub use registry::{lookup, preset, presets, standard_five, ConfigPreset, STANDARD_FIVE};
-pub use runner::{default_jobs, run_matrix, MatrixRunner};
+pub use runner::{default_jobs, run_matrix, run_matrix_watchdog, MatrixRunner};
 pub use table::{f2, mean, pct, percent_change, Table};
 pub use trace::{
     chrome_trace_json, run_traced, timeline_table, timeline_to_json, TraceOptions, TracedRun,

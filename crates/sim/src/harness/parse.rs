@@ -148,7 +148,11 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned range contains only ASCII digit/sign/exponent
+        // bytes, but fail soft rather than trusting that invariant on
+        // arbitrary input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -195,7 +199,9 @@ impl Parser<'_> {
                     // advance by whole characters, not bytes.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8 in string".to_string())?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err("unterminated string".to_string());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

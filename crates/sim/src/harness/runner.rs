@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use tc_workloads::{Benchmark, Workload};
 
@@ -71,18 +72,84 @@ fn run_matrix_shared(
                 }
                 let workload = &workloads[bench.name()];
                 let report = Processor::new(config.clone()).run(workload);
-                *slots[i].lock().expect("result slot") = Some(report);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(report);
+                }
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("cell completed")
+        .map(|slot| match slot.into_inner() {
+            Ok(Some(report)) => report,
+            // Scoped workers fill every slot or propagate their panic
+            // before the scope returns.
+            _ => unreachable!("scoped worker left its result slot empty"),
         })
         .collect()
+}
+
+/// [`run_matrix`] with a progress watchdog.
+///
+/// With `timeout == None` this is exactly `run_matrix` (same threads,
+/// same order, bit-identical reports), each cell wrapped in `Some`.
+/// With a timeout, cells run on *detached* workers and completed
+/// reports stream back over a channel; whenever no cell completes for
+/// `timeout`, the remaining cells are declared hung and returned as
+/// `None` — a wedged simulation can no longer pin the whole matrix
+/// (the stuck threads are abandoned; they die with the process).
+#[must_use]
+pub fn run_matrix_watchdog(
+    cells: &[(Benchmark, SimConfig)],
+    jobs: usize,
+    timeout: Option<Duration>,
+) -> Vec<Option<SimReport>> {
+    let Some(timeout) = timeout else {
+        return run_matrix(cells, jobs).into_iter().map(Some).collect();
+    };
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
+    for (bench, _) in cells {
+        workloads
+            .entry(bench.name())
+            .or_insert_with(|| bench.build());
+    }
+    let cells: Arc<Vec<(Benchmark, SimConfig)>> = Arc::new(cells.to_vec());
+    let workloads = Arc::new(workloads);
+    let next = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, SimReport)>();
+    for _ in 0..jobs {
+        let cells = Arc::clone(&cells);
+        let workloads = Arc::clone(&workloads);
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some((bench, config)) = cells.get(i) else {
+                break;
+            };
+            let report = Processor::new(config.clone()).run(&workloads[bench.name()]);
+            if tx.send((i, report)).is_err() {
+                break;
+            }
+        });
+    }
+    drop(tx);
+    let mut out: Vec<Option<SimReport>> = cells.iter().map(|_| None).collect();
+    let mut received = 0usize;
+    while received < out.len() {
+        match rx.recv_timeout(timeout) {
+            Ok((i, report)) => {
+                out[i] = Some(report);
+                received += 1;
+            }
+            // Timed out with cells outstanding, or every worker exited
+            // without delivering them (a worker panic closes its
+            // sender): the missing cells stay `None`.
+            Err(_) => break,
+        }
+    }
+    out
 }
 
 /// The memoizing experiment runner: many figures share configurations,

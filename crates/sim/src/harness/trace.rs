@@ -263,6 +263,13 @@ fn event_args(event: &TraceEvent) -> Vec<(&'static str, Json)> {
             ("wait", Json::UInt(u64::from(wait))),
             ("occupancy", Json::UInt(u64::from(occupancy))),
         ],
+        TraceEvent::FaultInjected { locus, pc } => vec![
+            ("locus", Json::Str(locus.name().to_string())),
+            ("pc", hex(pc)),
+        ],
+        TraceEvent::FaultDetected { pc }
+        | TraceEvent::FaultQuarantined { pc }
+        | TraceEvent::FaultRecovered { pc } => vec![("pc", hex(pc))],
     }
 }
 

@@ -18,7 +18,10 @@
 //!   misses, cache misses, full window, traps, misfetches.
 //!
 //! Entry point: [`Processor::run`] (or the [`simulate`] convenience
-//! wrapper), producing a [`SimReport`].
+//! wrapper), producing a [`SimReport`]. Attaching a
+//! `tc_fault::FaultPlan` via [`SimConfig::with_fault_plan`] turns a run
+//! into a deterministic fault-injection experiment (see the `fault`
+//! counters in the report).
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 //! assert!(report.ipc() > 0.5);
 //! assert!(report.effective_fetch_rate() > 1.0);
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod processor;
@@ -43,6 +47,7 @@ pub use config::SimConfig;
 pub use harness::MatrixRunner;
 pub use processor::Processor;
 pub use report::{CycleAccounting, SimReport};
+pub use tc_fault::{FaultLocus, FaultPlan, FaultStats};
 
 use tc_workloads::Benchmark;
 

@@ -8,6 +8,7 @@ use tc_core::{
     MAX_SEGMENT_INSTS,
 };
 use tc_engine::{ExecutionEngine, IssueTimes};
+use tc_fault::{FaultDraw, FaultInjector, FaultLocus, FaultStats};
 use tc_isa::{Addr, ControlKind, ExecRecord, Interpreter, Program};
 use tc_predict::ReturnStack;
 use tc_trace::{FetchOrigin, NoopTracer, TraceEvent, Tracer};
@@ -78,6 +79,8 @@ pub struct Processor<T: Tracer = NoopTracer> {
     front_end: FrontEnd<T>,
     engine: ExecutionEngine,
     mem: MemoryHierarchy,
+    injector: Option<FaultInjector>,
+    fault: FaultStats,
 }
 
 impl Processor {
@@ -102,6 +105,8 @@ impl<T: Tracer> Processor<T> {
             front_end,
             engine: ExecutionEngine::new(config.engine),
             mem: MemoryHierarchy::new(config.hierarchy),
+            injector: config.fault_plan.clone().map(FaultInjector::new),
+            fault: FaultStats::default(),
             config,
         }
     }
@@ -143,6 +148,11 @@ impl<T: Tracer> Processor<T> {
                 break;
             }
             self.front_end.set_cycle(cycle);
+            // Scheduled fault injection for this cycle.
+            let draw = self.injector.as_mut().and_then(|inj| inj.poll(cycle));
+            if let Some(draw) = draw {
+                self.apply_fault(draw);
+            }
             // Retire-side work reaching the current cycle.
             while retire_q.front().is_some_and(|(t, _)| *t <= cycle) {
                 let (_, rec) = retire_q.pop_front().expect("checked");
@@ -190,9 +200,15 @@ impl<T: Tracer> Processor<T> {
                 let Some(front) = oracle.front() else { break };
                 if front.pc != fi.pc {
                     // The predicted path silently left the correct path —
-                    // cannot happen with consistent segments; resync
-                    // defensively as a misfetch.
-                    debug_assert!(false, "active path diverged without a branch mispredict");
+                    // impossible with consistent segments, so under fault
+                    // injection this is a corruption that escaped the
+                    // sanitizer; count it and resync as a misfetch.
+                    if self.injector.is_some() {
+                        self.fault.escaped += 1;
+                        self.fault.detected += 1;
+                    } else {
+                        debug_assert!(false, "active path diverged without a branch mispredict");
+                    }
                     upshot = FetchUpshot::Misfetch;
                     break;
                 }
@@ -215,7 +231,11 @@ impl<T: Tracer> Processor<T> {
                 }
                 if rec.is_cond_branch() {
                     history_replay.push(rec.taken);
-                    let predicted = fi.pred_taken.expect("cond branches carry a direction");
+                    // Well-formed bundles always attach a direction to a
+                    // conditional branch; a missing one is possible only
+                    // downstream of an escaped corruption — treat it as
+                    // a mispredict rather than panicking.
+                    let predicted = fi.pred_taken.unwrap_or(!rec.taken);
                     if fi.promoted {
                         promoted_in_fetch += 1;
                         if predicted == rec.taken {
@@ -509,6 +529,32 @@ impl<T: Tracer> Processor<T> {
         }
     }
 
+    /// Applies one scheduled fault to the live front end. Faults that
+    /// find nothing to perturb (empty RAS, cold trace cache) are
+    /// dropped without counting. Self-healing loci — silent eviction,
+    /// bias/predictor counter flips, RAS clobbers, dropped fills — are
+    /// counted recovered immediately: their effect is confined to
+    /// prediction quality and is repaired by ordinary training and
+    /// misprediction recovery. Segment corruption is accounted by the
+    /// front end's quarantine counters (or `escaped` at dispatch).
+    fn apply_fault(&mut self, draw: FaultDraw) {
+        let fe = &mut self.front_end;
+        let (landed, self_healing) = match draw.locus {
+            FaultLocus::TcSegment => (fe.fault_corrupt_segment(draw.entropy).is_some(), false),
+            FaultLocus::TcEvict => (fe.fault_evict_line(draw.entropy).is_some(), true),
+            FaultLocus::Bias => (fe.fault_flip_bias(draw.entropy), true),
+            FaultLocus::Predictor => (fe.fault_flip_predictor(draw.entropy), true),
+            FaultLocus::Ras => (fe.fault_clobber_ras(draw.entropy), true),
+            FaultLocus::FillStall => (fe.fault_drop_fill(), true),
+        };
+        if landed {
+            self.fault.injected += 1;
+            if self_healing {
+                self.fault.recovered += 1;
+            }
+        }
+    }
+
     fn report(
         &self,
         workload: &Workload,
@@ -544,6 +590,16 @@ impl<T: Tracer> Processor<T> {
             engine: *self.engine.stats(),
             salvaged: c.salvaged,
             sanitizer: self.front_end.sanitizer().stats(),
+            fault: self.injector.as_ref().map(|_| {
+                let q = self.front_end.quarantine_stats();
+                FaultStats {
+                    injected: self.fault.injected,
+                    detected: self.fault.detected + q.detected,
+                    recovered: self.fault.recovered + q.recovered,
+                    escaped: self.fault.escaped,
+                    recovery_cycles: q.recovery_cycles,
+                }
+            }),
             trace: self.front_end.tracer().summary(),
         }
     }

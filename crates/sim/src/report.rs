@@ -3,6 +3,7 @@
 use tc_cache::CacheStats;
 use tc_core::{FetchStats, SanitizerStats, TraceCacheStats};
 use tc_engine::EngineStats;
+use tc_fault::FaultStats;
 use tc_trace::TraceSummary;
 
 /// Where every fetch cycle went — the six categories of the paper's
@@ -103,6 +104,10 @@ pub struct SimReport {
     /// Runtime invariant-sanitizer activity (all-zero counters when the
     /// sanitizer is disabled).
     pub sanitizer: SanitizerStats,
+    /// Fault-injection outcome counters; `None` when no fault plan was
+    /// attached, so plain reports — and their JSON — stay bit-identical
+    /// to pre-fault builds.
+    pub fault: Option<FaultStats>,
     /// Event-tracing summary; `None` when the run was untraced (the
     /// default), so untraced reports — and their JSON — are bit-
     /// identical to pre-tracing builds.
@@ -211,6 +216,7 @@ mod tests {
             engine: EngineStats::default(),
             salvaged: 0,
             sanitizer: SanitizerStats::default(),
+            fault: None,
             trace: None,
         }
     }

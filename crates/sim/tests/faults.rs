@@ -1,0 +1,144 @@
+//! Fault-injection integration tests: the headline invariant is that a
+//! fault plan can corrupt live front-end structures at any rate without
+//! a panic or architectural divergence — the quarantine-and-recover
+//! path turns every detected corruption into an i-cache refetch, and
+//! self-healing loci (predictor state) converge back on their own.
+
+use tc_sim::harness::{report_to_json, run_matrix};
+use tc_sim::{simulate, FaultLocus, FaultPlan, SimConfig};
+use tc_workloads::Benchmark;
+
+fn headline() -> SimConfig {
+    tc_sim::harness::lookup("headline").expect("headline preset exists")
+}
+
+/// Satellite regression: corrupted trace segments are detected at the
+/// hit/fill sanitizer checks, quarantined (invalidated), and recovered
+/// through the i-cache — the run ends in the same architectural state
+/// as the fault-free run.
+#[test]
+fn segment_corruption_is_detected_quarantined_and_recovered() {
+    let insts = 200_000;
+    let clean = simulate(Benchmark::Gcc, &headline().with_max_insts(insts));
+    assert!(clean.fault.is_none(), "clean run must not report faults");
+
+    let plan = FaultPlan::with_rate(5, 1e-3).targeting(&[FaultLocus::TcSegment]);
+    let faulty = simulate(
+        Benchmark::Gcc,
+        &headline().with_max_insts(insts).with_fault_plan(plan),
+    );
+    let stats = faulty.fault.expect("fault plan must report stats");
+    assert!(stats.injected > 0, "campaign landed no faults: {stats:?}");
+    assert!(stats.detected > 0, "no corruption detected: {stats:?}");
+    assert!(stats.recovered > 0, "no quarantine recovery: {stats:?}");
+    assert!(stats.recovery_cycles > 0, "recovery was free: {stats:?}");
+    // Recovery is by refetch, so the architectural instruction stream is
+    // untouched: both runs retire exactly the same instructions.
+    assert_eq!(faulty.instructions, clean.instructions);
+    assert_eq!(faulty.benchmark, clean.benchmark);
+    // Quarantine costs cycles; it must never *save* them.
+    assert!(faulty.cycles >= clean.cycles - clean.cycles / 100);
+}
+
+/// The full-rate sweep of the acceptance checklist: every workload,
+/// every locus enabled, 1e-3 faults/cycle — no panics, and the stats
+/// always balance (`escaped` is reported, detected ≥ escaped).
+#[test]
+fn full_rate_sweep_over_all_workloads_never_panics() {
+    let mut total_injected = 0;
+    for (i, bench) in Benchmark::ALL.into_iter().enumerate() {
+        let plan = FaultPlan::with_rate(0xFA17 + i as u64, 1e-3);
+        let config = headline().with_max_insts(20_000).with_fault_plan(plan);
+        let report = simulate(bench, &config);
+        let stats = report.fault.expect("fault stats must be reported");
+        assert!(
+            stats.detected >= stats.escaped,
+            "{}: escapes not counted as detected: {stats:?}",
+            bench.name()
+        );
+        assert!(
+            stats.injected >= stats.escaped,
+            "{}: more escapes than injections: {stats:?}",
+            bench.name()
+        );
+        assert!(report.instructions > 0);
+        total_injected += stats.injected;
+    }
+    assert!(total_injected > 0, "sweep injected nothing anywhere");
+}
+
+/// Same seed + same plan ⇒ identical fault stats and identical reports,
+/// whether the matrix runs serially or on worker threads.
+#[test]
+fn fault_campaigns_are_deterministic_serial_or_parallel() {
+    let plan = FaultPlan::with_rate(77, 5e-4);
+    let cells: Vec<(Benchmark, SimConfig)> = [
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Compress,
+        Benchmark::Perl,
+    ]
+    .into_iter()
+    .map(|b| {
+        (
+            b,
+            headline()
+                .with_max_insts(50_000)
+                .with_fault_plan(plan.clone()),
+        )
+    })
+    .collect();
+    let serial = run_matrix(&cells, 1);
+    let parallel = run_matrix(&cells, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.fault, p.fault, "{}", s.benchmark);
+        assert_eq!(
+            report_to_json(s).pretty(),
+            report_to_json(p).pretty(),
+            "{} diverged between serial and parallel",
+            s.benchmark
+        );
+    }
+    // The label carries the plan, so cached experiment cells can never
+    // collide with their fault-free counterparts.
+    assert!(
+        cells[0].1.label().contains("+faults["),
+        "{}",
+        cells[0].1.label()
+    );
+}
+
+/// `FaultPlan::none()` must be indistinguishable from never attaching a
+/// plan: same label, same report, bit-identical JSON (no `fault` key).
+#[test]
+fn none_plan_is_bit_identical_to_no_plan() {
+    let base = headline().with_max_insts(50_000);
+    let with_none = base.clone().with_fault_plan(FaultPlan::none());
+    assert_eq!(base.label(), with_none.label());
+    let plain = simulate(Benchmark::Compress, &base);
+    let none = simulate(Benchmark::Compress, &with_none);
+    assert!(none.fault.is_none());
+    let plain_json = report_to_json(&plain).pretty();
+    assert_eq!(plain_json, report_to_json(&none).pretty());
+    assert!(!plain_json.contains("\"fault\""));
+}
+
+/// Scheduled (`--at-cycles`) plans fire exactly once per listed cycle
+/// even when the simulator's cycle counter jumps past them, and the
+/// whole run stays panic-free with every locus in play.
+#[test]
+fn scheduled_plans_fire_and_stay_panic_free() {
+    for locus in FaultLocus::ALL {
+        let plan = FaultPlan::at_cycles(9, vec![50, 500, 5_000]).targeting(&[locus]);
+        let config = headline().with_max_insts(30_000).with_fault_plan(plan);
+        let report = simulate(Benchmark::Go, &config);
+        let stats = report.fault.expect("fault stats must be reported");
+        assert!(
+            stats.injected <= 3,
+            "{}: more firings than scheduled cycles: {stats:?}",
+            locus.name()
+        );
+        assert!(report.instructions > 0);
+    }
+}

@@ -105,6 +105,65 @@ pub enum FetchOrigin {
     ICache,
 }
 
+/// The front-end structure an injected fault perturbed.
+///
+/// Defined here (the bottom of the dependency graph) so `tc-fault`,
+/// `tc-core`, and `tc-sim` all speak the same vocabulary without a
+/// layering cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultLocus {
+    /// A resident trace-cache segment was corrupted in place (flag,
+    /// target, or length bit flip).
+    TcSegment,
+    /// A resident trace-cache line was silently evicted.
+    TcEvict,
+    /// A bias-table entry's direction / promoted state was flipped.
+    Bias,
+    /// A branch-predictor pattern-history counter was flipped.
+    Predictor,
+    /// A return-address-stack entry was clobbered.
+    Ras,
+    /// The fill unit's pending block was dropped (stalled fill).
+    FillStall,
+}
+
+impl FaultLocus {
+    /// Every locus, in a stable order (CLI `--targets` order).
+    pub const ALL: [FaultLocus; 6] = [
+        FaultLocus::TcSegment,
+        FaultLocus::TcEvict,
+        FaultLocus::Bias,
+        FaultLocus::Predictor,
+        FaultLocus::Ras,
+        FaultLocus::FillStall,
+    ];
+
+    /// Stable kebab-case name (CLI `--targets` token, Chrome export).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultLocus::TcSegment => "tc-segment",
+            FaultLocus::TcEvict => "tc-evict",
+            FaultLocus::Bias => "bias",
+            FaultLocus::Predictor => "predictor",
+            FaultLocus::Ras => "ras",
+            FaultLocus::FillStall => "fill-stall",
+        }
+    }
+
+    /// Parses one CLI token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it names no locus.
+    pub fn parse(token: &str) -> Result<FaultLocus, String> {
+        FaultLocus::ALL
+            .into_iter()
+            .find(|l| l.name() == token)
+            .ok_or_else(|| format!("unknown fault target `{token}`"))
+    }
+}
+
 /// One structured event. Every variant is `Copy` and pointer-sized-ish,
 /// so constructing one costs a handful of register moves — and with the
 /// [`crate::NoopTracer`] it is never constructed at all.
@@ -259,10 +318,34 @@ pub enum TraceEvent {
         /// Instruction address.
         pc: Addr,
     },
+    /// The fault injector perturbed a live front-end structure.
+    FaultInjected {
+        /// Which structure was perturbed.
+        locus: FaultLocus,
+        /// The affected address (segment start, branch PC, or 0 when
+        /// the locus has no natural address).
+        pc: Addr,
+    },
+    /// The sanitizer caught a corrupted segment at fill or hit time.
+    FaultDetected {
+        /// Start address of the corrupted segment.
+        pc: Addr,
+    },
+    /// A corrupted trace-cache line was invalidated (quarantined).
+    FaultQuarantined {
+        /// Start address of the quarantined line.
+        pc: Addr,
+    },
+    /// A quarantined fetch was re-serviced from the instruction cache —
+    /// the recovery path completed.
+    FaultRecovered {
+        /// The refetched address.
+        pc: Addr,
+    },
 }
 
 /// Number of [`EventKind`] variants (sizes the per-kind count arrays).
-pub const EVENT_KIND_COUNT: usize = 19;
+pub const EVENT_KIND_COUNT: usize = 23;
 
 /// The discriminant of a [`TraceEvent`], used for filtering and
 /// per-kind counting.
@@ -307,6 +390,14 @@ pub enum EventKind {
     WindowStall = 17,
     /// [`TraceEvent::Retire`].
     Retire = 18,
+    /// [`TraceEvent::FaultInjected`].
+    FaultInjected = 19,
+    /// [`TraceEvent::FaultDetected`].
+    FaultDetected = 20,
+    /// [`TraceEvent::FaultQuarantined`].
+    FaultQuarantined = 21,
+    /// [`TraceEvent::FaultRecovered`].
+    FaultRecovered = 22,
 }
 
 impl EventKind {
@@ -331,6 +422,10 @@ impl EventKind {
         EventKind::Fetch,
         EventKind::WindowStall,
         EventKind::Retire,
+        EventKind::FaultInjected,
+        EventKind::FaultDetected,
+        EventKind::FaultQuarantined,
+        EventKind::FaultRecovered,
     ];
 
     /// Stable snake-case name (CLI filter token, Chrome event name).
@@ -356,6 +451,10 @@ impl EventKind {
             EventKind::Fetch => "fetch",
             EventKind::WindowStall => "window_stall",
             EventKind::Retire => "retire",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::FaultDetected => "fault_detected",
+            EventKind::FaultQuarantined => "fault_quarantined",
+            EventKind::FaultRecovered => "fault_recovered",
         }
     }
 
@@ -374,6 +473,10 @@ impl EventKind {
             EventKind::IcacheMiss | EventKind::L2Miss => "cache",
             EventKind::Fetch | EventKind::WindowStall => "machine",
             EventKind::Retire => "retire",
+            EventKind::FaultInjected
+            | EventKind::FaultDetected
+            | EventKind::FaultQuarantined
+            | EventKind::FaultRecovered => "fault",
         }
     }
 
@@ -408,6 +511,10 @@ impl TraceEvent {
             TraceEvent::Fetch { .. } => EventKind::Fetch,
             TraceEvent::WindowStall { .. } => EventKind::WindowStall,
             TraceEvent::Retire { .. } => EventKind::Retire,
+            TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TraceEvent::FaultDetected { .. } => EventKind::FaultDetected,
+            TraceEvent::FaultQuarantined { .. } => EventKind::FaultQuarantined,
+            TraceEvent::FaultRecovered { .. } => EventKind::FaultRecovered,
         }
     }
 }

@@ -34,7 +34,8 @@ mod timeline;
 mod tracer;
 
 pub use event::{
-    DemotionCause, EventKind, FetchOrigin, FillEnd, PackVerdict, TraceEvent, EVENT_KIND_COUNT,
+    DemotionCause, EventKind, FaultLocus, FetchOrigin, FillEnd, PackVerdict, TraceEvent,
+    EVENT_KIND_COUNT,
 };
 pub use timeline::{IntervalStats, Timeline};
 pub use tracer::{EventFilter, NoopTracer, RingTracer, TraceRecord, TraceSummary, Tracer};

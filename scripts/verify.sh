@@ -36,7 +36,33 @@ echo "==> tw trace (smoke)"
 target/release/tw trace --workload compress --preset headline \
   --insts 20000 --limit 10000 --out "$trace_artifact"
 
+echo "==> tw faults (smoke)"
+target/release/tw faults --workload compress --preset headline \
+  --seed 1 --rate 1e-3 --insts 20000 --json >/dev/null
+
+echo "==> error layer exit codes"
+# Malformed inputs must fail with the conventional codes (2 usage,
+# 1 runtime) and a one-line diagnostic — never a panic (code 101).
+expect_exit() {
+  local want="$1"; shift
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want" >&2
+    exit 1
+  fi
+}
+expect_exit 2 target/release/tw frobnicate
+expect_exit 2 target/release/tw sim --bench gcc --config no-such-preset
+expect_exit 2 target/release/tw faults --workload gcc --rate -1
+bad_asm="$(mktemp -t tw-bad-asm.XXXXXX.s)"
+printf 'li t0, 0\nfrobnicate t1\n' > "$bad_asm"
+expect_exit 1 target/release/tw lint --asm "$bad_asm"
+printf '{"schema":"tw-bench/v1","cells":[' > "$bench_artifact.trunc"
+expect_exit 1 target/release/tw bench --check "$bench_artifact.trunc"
+rm -f "$bad_asm" "$bench_artifact.trunc"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + error layer + formatting all clean"

@@ -4,8 +4,11 @@
 //! tw list
 //! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json] [--timeline]
 //! tw compare --bench gcc [--insts N] [--jobs N] [--json] [--timeline]
+//!            [--fault-rate R --fault-seed S] [--timeout-secs N]
+//! tw faults --workload gcc --preset headline --seed 1 --rate 1e-4
+//!           [--at-cycles LIST] [--targets LIST] [--insts N] [--json]
 //! tw trace --workload gcc --preset headline [--events F] [--interval N] [--limit N] [--out FILE]
-//! tw lint [--bench gcc] [--json]
+//! tw lint [--bench gcc] [--asm FILE] [--json]
 //! tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
 //! tw bench --check FILE
 //! tw bench --compare OLD.json NEW.json [--tolerance PCT]
@@ -14,27 +17,36 @@
 //! Configuration names come from the experiment harness's registry
 //! (`tc_sim::harness`); `tw list` prints it. `compare` runs Figure 10's
 //! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
-//! environment variable, caps the worker threads). `trace` runs one
-//! cell with the event tracer attached and writes a Chrome/Perfetto
-//! `trace_event` JSON file; `--timeline` on `sim`/`compare` prints the
-//! interval timeline (effective fetch rate, trace-cache hit rate,
-//! mispredict rate, and promotion coverage per window). `lint` runs
+//! environment variable, caps the worker threads; `--timeout-secs`
+//! arms a progress watchdog that reports wedged cells instead of
+//! hanging). `faults` runs one cell with a deterministic fault plan
+//! attached and reports the injected/detected/recovered/escaped
+//! counters. `trace` runs one cell with the event tracer attached and
+//! writes a Chrome/Perfetto `trace_event` JSON file; `--timeline` on
+//! `sim`/`compare` prints the interval timeline. `lint` runs
 //! `tc-analyze`'s five-pass static verifier over the workload programs
-//! and exits non-zero on any error-severity finding. `bench` times the
-//! simulator itself over the benchmark × preset matrix and writes the
-//! `tw-bench/v1` JSON artifact (`BENCH_frontend.json` by default);
-//! `--smoke` runs a two-cell subset for CI, `--check` validates a
-//! previously emitted artifact without running anything, and
-//! `--compare` diffs two artifacts cell-by-cell, exiting non-zero when
-//! any cell's ns/cycle regressed past the tolerance (default 10%).
+//! (or, with `--asm`, over a text-assembly file) and exits non-zero on
+//! any error-severity finding. `bench` times the simulator itself over
+//! the benchmark × preset matrix and writes the `tw-bench/v1` JSON
+//! artifact (`BENCH_frontend.json` by default); `--smoke` runs a
+//! two-cell subset for CI, `--check` validates a previously emitted
+//! artifact without running anything, and `--compare` diffs two
+//! artifacts cell-by-cell, exiting non-zero when any cell's ns/cycle
+//! regressed past the tolerance (default 10%).
+//!
+//! Every failure path returns a [`TwError`]: one `tw: <message>` line
+//! on stderr, exit code 2 for usage errors and 1 for runtime errors.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use trace_weave::bench::{compare, suite};
+use trace_weave::fault::{FaultLocus, FaultPlan};
 use trace_weave::sim::harness::{
-    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix, run_traced,
-    timeline_table, TraceOptions,
+    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix, run_matrix_watchdog,
+    run_traced, timeline_table, TraceOptions, TwError,
 };
 use trace_weave::sim::{SimConfig, SimReport};
 use trace_weave::trace::EventFilter;
@@ -49,16 +61,27 @@ fn usage() -> ExitCode {
          [--timeline] [--interval N]
       simulate one benchmark under one configuration
   tw compare --bench <name> [--insts N] [--jobs N] [--json] [--timeline]
-      compare the five standard configurations on one benchmark
+             [--fault-rate R] [--fault-seed S] [--timeout-secs N]
+      compare the five standard configurations on one benchmark;
+      --fault-rate attaches a per-cycle fault plan to every cell and
+      adds the injected/escaped column; --timeout-secs abandons cells
+      that stop making progress instead of hanging
+  tw faults --workload <name> [--preset <name>] [--seed S]
+            (--rate R | --at-cycles C1,C2,...) [--targets LIST]
+            [--insts N] [--json]
+      simulate one cell under a deterministic fault-injection plan and
+      report the fault counters; <LIST> is a comma list of loci
+      (tc-segment, tc-evict, bias, predictor, ras, fill-stall)
   tw trace --workload <name> --preset <name> [--insts N] [--events <filter>]
            [--interval N] [--limit N] [--out FILE]
       run one cell with the event tracer attached and write a
       Chrome/Perfetto trace_event JSON file (default trace.json);
       <filter> is a comma list of event kinds or categories (tc, fill,
-      promote, mispredict, cache, machine, retire, or all)
-  tw lint [--workload <name> | --all] [--json]
-      statically verify workload programs (all benchmarks by default);
-      exits 1 on error-severity findings
+      promote, mispredict, cache, machine, retire, fault, or all)
+  tw lint [--workload <name> | --all | --asm FILE] [--json]
+      statically verify workload programs (all benchmarks by default)
+      or assemble and verify a text-assembly file; exits 1 on
+      error-severity findings
   tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
       time the simulator over the benchmark x configuration matrix and
       write a tw-bench/v1 JSON artifact (default BENCH_frontend.json)
@@ -97,6 +120,14 @@ fn print_report(r: &SimReport) {
     if let Some(tc) = &r.trace_cache {
         println!("trace cache        {:.1}% miss", tc.miss_ratio() * 100.0);
     }
+    if let Some(f) = &r.fault {
+        println!("fault injection:");
+        println!("  injected         {}", f.injected);
+        println!("  detected         {}", f.detected);
+        println!("  recovered        {}", f.recovered);
+        println!("  escaped          {}", f.escaped);
+        println!("  recovery cycles  {}", f.recovery_cycles);
+    }
     println!("cycle accounting:");
     for (label, cycles) in r.accounting.categories() {
         println!(
@@ -106,123 +137,231 @@ fn print_report(r: &SimReport) {
     }
 }
 
+/// Parses a comma-separated `--targets` list into fault loci.
+fn parse_targets(spec: &str) -> Result<Vec<FaultLocus>, TwError> {
+    let mut loci = Vec::new();
+    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        loci.push(FaultLocus::parse(token).map_err(TwError::usage)?);
+    }
+    if loci.is_empty() {
+        return Err(TwError::usage("--targets: empty locus list"));
+    }
+    Ok(loci)
+}
+
+/// All parsed command-line state; one instance per invocation.
+#[derive(Default)]
+struct Flags {
+    bench: Option<String>,
+    config_name: Option<String>,
+    insts: Option<u64>,
+    perfect: bool,
+    json: bool,
+    all: bool,
+    smoke: bool,
+    samples: u32,
+    out: Option<String>,
+    check: Option<String>,
+    compare_paths: Option<(String, String)>,
+    tolerance: f64,
+    events: Option<String>,
+    interval: Option<u64>,
+    limit: usize,
+    timeline: bool,
+    jobs: usize,
+    fault_seed: u64,
+    fault_rate: Option<f64>,
+    at_cycles: Option<Vec<u64>>,
+    targets: Option<String>,
+    timeout_secs: Option<u64>,
+    asm: Option<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, TwError> {
+        let mut f = Flags {
+            samples: 3,
+            tolerance: 10.0,
+            limit: harness::DEFAULT_TRACE_LIMIT,
+            jobs: default_jobs(),
+            fault_seed: 1,
+            ..Flags::default()
+        };
+        let mut i = 1;
+        // One value-bearing flag: `--flag <value>` with a typed parse.
+        fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, TwError> {
+            *i += 1;
+            args.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| TwError::usage(format!("{flag}: missing value")))
+        }
+        fn number<T: std::str::FromStr>(
+            args: &[String],
+            i: &mut usize,
+            flag: &str,
+        ) -> Result<T, TwError> {
+            let raw = value(args, i, flag)?;
+            raw.parse()
+                .map_err(|_| TwError::usage(format!("{flag}: bad value {raw:?}")))
+        }
+        while i < args.len() {
+            match args[i].as_str() {
+                "--bench" | "--workload" => {
+                    f.bench = Some(value(args, &mut i, "--bench")?.to_string());
+                }
+                "--config" | "--preset" => {
+                    f.config_name = Some(value(args, &mut i, "--config")?.to_string());
+                }
+                "--insts" => f.insts = Some(number(args, &mut i, "--insts")?),
+                "--jobs" => {
+                    let n: usize = number(args, &mut i, "--jobs")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--jobs: must be at least 1"));
+                    }
+                    f.jobs = n;
+                }
+                "--samples" => {
+                    let n: u32 = number(args, &mut i, "--samples")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--samples: must be at least 1"));
+                    }
+                    f.samples = n;
+                }
+                "--out" => f.out = Some(value(args, &mut i, "--out")?.to_string()),
+                "--check" => f.check = Some(value(args, &mut i, "--check")?.to_string()),
+                "--compare" => {
+                    let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+                        return Err(TwError::usage("--compare: needs OLD.json and NEW.json"));
+                    };
+                    f.compare_paths = Some((old.clone(), new.clone()));
+                    i += 2;
+                }
+                "--tolerance" => {
+                    let t: f64 = number(args, &mut i, "--tolerance")?;
+                    if t.is_nan() || t < 0.0 {
+                        return Err(TwError::usage("--tolerance: must be non-negative"));
+                    }
+                    f.tolerance = t;
+                }
+                "--events" => f.events = Some(value(args, &mut i, "--events")?.to_string()),
+                "--interval" => {
+                    let n: u64 = number(args, &mut i, "--interval")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--interval: must be at least 1"));
+                    }
+                    f.interval = Some(n);
+                }
+                "--limit" => f.limit = number(args, &mut i, "--limit")?,
+                "--seed" | "--fault-seed" => f.fault_seed = number(args, &mut i, "--seed")?,
+                "--rate" | "--fault-rate" => {
+                    let r: f64 = number(args, &mut i, "--rate")?;
+                    if r.is_nan() || r <= 0.0 {
+                        return Err(TwError::usage("--rate: must be positive"));
+                    }
+                    f.fault_rate = Some(r);
+                }
+                "--at-cycles" => {
+                    let spec = value(args, &mut i, "--at-cycles")?;
+                    let mut cycles = Vec::new();
+                    for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                        cycles.push(token.parse().map_err(|_| {
+                            TwError::usage(format!("--at-cycles: bad cycle {token:?}"))
+                        })?);
+                    }
+                    if cycles.is_empty() {
+                        return Err(TwError::usage("--at-cycles: empty cycle list"));
+                    }
+                    f.at_cycles = Some(cycles);
+                }
+                "--targets" => f.targets = Some(value(args, &mut i, "--targets")?.to_string()),
+                "--timeout-secs" => {
+                    let n: u64 = number(args, &mut i, "--timeout-secs")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--timeout-secs: must be at least 1"));
+                    }
+                    f.timeout_secs = Some(n);
+                }
+                "--asm" => f.asm = Some(value(args, &mut i, "--asm")?.to_string()),
+                "--perfect-mem" => f.perfect = true,
+                "--json" => f.json = true,
+                "--all" => f.all = true,
+                "--smoke" => f.smoke = true,
+                "--timeline" => f.timeline = true,
+                other => return Err(TwError::usage(format!("unknown flag `{other}`"))),
+            }
+            i += 1;
+        }
+        Ok(f)
+    }
+
+    fn insts_or(&self, default: u64) -> u64 {
+        self.insts.unwrap_or(default)
+    }
+
+    fn bench_required(&self, flag: &str) -> Result<Benchmark, TwError> {
+        let name = self
+            .bench
+            .as_deref()
+            .ok_or_else(|| TwError::usage(format!("missing {flag}")))?;
+        parse_bench(name).ok_or_else(|| TwError::usage(format!("unknown workload {name:?}")))
+    }
+
+    fn config_required(&self, flag: &str) -> Result<SimConfig, TwError> {
+        let name = self
+            .config_name
+            .as_deref()
+            .ok_or_else(|| TwError::usage(format!("missing {flag}")))?;
+        harness::lookup(name)
+            .ok_or_else(|| TwError::usage(format!("unknown configuration {name:?}")))
+    }
+
+    /// The fault plan requested by `--rate`/`--at-cycles`/`--targets`,
+    /// or an error if the combination is inconsistent.
+    fn fault_plan(&self) -> Result<FaultPlan, TwError> {
+        let plan = match (self.fault_rate, &self.at_cycles) {
+            (Some(rate), None) => FaultPlan::with_rate(self.fault_seed, rate),
+            (None, Some(cycles)) => FaultPlan::at_cycles(self.fault_seed, cycles.clone()),
+            (None, None) => {
+                return Err(TwError::usage(
+                    "faults: one of --rate or --at-cycles is required",
+                ))
+            }
+            (Some(_), Some(_)) => {
+                return Err(TwError::usage(
+                    "--rate and --at-cycles are mutually exclusive",
+                ))
+            }
+        };
+        match &self.targets {
+            Some(spec) => Ok(plan.targeting(&parse_targets(spec)?)),
+            None => Ok(plan),
+        }
+    }
+}
+
+const DEFAULT_INSTS: u64 = 2_000_000;
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        return usage();
-    };
-
-    let mut bench = None;
-    let mut config_name = None;
-    let mut insts: u64 = 2_000_000;
-    let mut insts_set = false;
-    let mut perfect = false;
-    let mut json = false;
-    let mut all = false;
-    let mut smoke = false;
-    let mut samples: u32 = 3;
-    let mut out: Option<String> = None;
-    let mut check: Option<String> = None;
-    let mut compare_paths: Option<(String, String)> = None;
-    let mut tolerance: f64 = 10.0;
-    let mut events: Option<String> = None;
-    let mut interval: Option<u64> = None;
-    let mut limit: usize = harness::DEFAULT_TRACE_LIMIT;
-    let mut timeline = false;
-    let mut jobs = default_jobs();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--bench" | "--workload" => {
-                i += 1;
-                bench = args.get(i).cloned();
-            }
-            "--config" | "--preset" => {
-                i += 1;
-                config_name = args.get(i).cloned();
-            }
-            "--insts" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) => {
-                        insts = n;
-                        insts_set = true;
-                    }
-                    None => return usage(),
-                }
-            }
-            "--jobs" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => jobs = n,
-                    _ => return usage(),
-                }
-            }
-            "--samples" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => samples = n,
-                    _ => return usage(),
-                }
-            }
-            "--out" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => out = Some(path.clone()),
-                    None => return usage(),
-                }
-            }
-            "--check" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => check = Some(path.clone()),
-                    None => return usage(),
-                }
-            }
-            "--compare" => {
-                let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
-                    return usage();
-                };
-                compare_paths = Some((old.clone(), new.clone()));
-                i += 2;
-            }
-            "--tolerance" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(t) if t >= 0.0 => tolerance = t,
-                    _ => return usage(),
-                }
-            }
-            "--events" => {
-                i += 1;
-                match args.get(i) {
-                    Some(spec) => events = Some(spec.clone()),
-                    None => return usage(),
-                }
-            }
-            "--interval" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => interval = Some(n),
-                    _ => return usage(),
-                }
-            }
-            "--limit" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(n) => limit = n,
-                    None => return usage(),
-                }
-            }
-            "--perfect-mem" => perfect = true,
-            "--json" => json = true,
-            "--all" => all = true,
-            "--smoke" => smoke = true,
-            "--timeline" => timeline = true,
-            _ => return usage(),
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tw: {e}");
+            ExitCode::from(e.exit_code())
         }
-        i += 1;
     }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(args: &[String]) -> Result<ExitCode, TwError> {
+    let Some(cmd) = args.first() else {
+        return Ok(usage());
+    };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        let _ = usage();
+        return Ok(ExitCode::SUCCESS);
+    }
+    let f = Flags::parse(args)?;
 
     match cmd.as_str() {
         "list" => {
@@ -239,33 +378,31 @@ fn main() -> ExitCode {
                 };
                 println!("  {:12} {}{aliases}", p.name, p.summary);
             }
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         "sim" => {
-            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
-                eprintln!("missing or unknown --bench");
-                return usage();
-            };
-            let Some(mut config) = config_name.as_deref().and_then(harness::lookup) else {
-                eprintln!("missing or unknown --config");
-                return usage();
-            };
-            if perfect {
+            let bench = f.bench_required("--bench")?;
+            let mut config = f.config_required("--config")?;
+            if f.perfect {
                 config = config.with_perfect_disambiguation();
             }
             let workload = bench.build();
-            let config = config.with_max_insts(insts);
-            if timeline {
+            let config = config.with_max_insts(f.insts_or(DEFAULT_INSTS));
+            if f.timeline {
                 // Timeline-only instrumentation: aggregates fold at emit
                 // time, so no events need to be stored.
                 let options = TraceOptions {
                     filter: EventFilter::none(),
-                    interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                    interval: Some(f.interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
                     limit: 0,
                 };
                 let run = run_traced(config, &workload, &options);
-                let tl = run.timeline.as_ref().expect("interval was requested");
-                if json {
+                let Some(tl) = run.timeline.as_ref() else {
+                    return Err(TwError::runtime(
+                        "internal error: traced run produced no timeline",
+                    ));
+                };
+                if f.json {
                     println!(
                         "{}",
                         harness::Json::Object(vec![
@@ -279,50 +416,66 @@ fn main() -> ExitCode {
                     println!("\ninterval timeline ({} cycles/window):", tl.interval());
                     print!("{}", timeline_table(tl));
                 }
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
             let report = trace_weave::sim::Processor::new(config).run(&workload);
-            if json {
+            if f.json {
                 println!("{}", report_to_json(&report).pretty());
             } else {
                 print_report(&report);
             }
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
+        }
+        "faults" => {
+            let bench = f.bench_required("--workload")?;
+            // Fault campaigns default to the paper's headline front end.
+            let config = match f.config_name.as_deref() {
+                Some(name) => harness::lookup(name)
+                    .ok_or_else(|| TwError::usage(format!("unknown configuration {name:?}")))?,
+                None => harness::lookup("headline")
+                    .ok_or_else(|| TwError::runtime("registry is missing `headline`"))?,
+            };
+            let plan = f.fault_plan()?;
+            let config = config
+                .with_max_insts(f.insts_or(DEFAULT_INSTS))
+                .with_fault_plan(plan);
+            let workload = bench.build();
+            let report = trace_weave::sim::Processor::new(config).run(&workload);
+            if f.json {
+                println!("{}", report_to_json(&report).pretty());
+            } else {
+                print_report(&report);
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "trace" => {
-            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
-                eprintln!("missing or unknown --workload");
-                return usage();
-            };
-            let Some(config) = config_name.as_deref().and_then(harness::lookup) else {
-                eprintln!("missing or unknown --preset");
-                return usage();
-            };
-            let filter = match events.as_deref().map(EventFilter::parse) {
+            let bench = f.bench_required("--workload")?;
+            let config = f.config_required("--preset")?;
+            let filter = match f.events.as_deref().map(EventFilter::parse) {
                 Some(Ok(filter)) => filter,
-                Some(Err(e)) => {
-                    eprintln!("--events: {e}");
-                    return usage();
-                }
+                Some(Err(e)) => return Err(TwError::usage(format!("--events: {e}"))),
                 None => EventFilter::all(),
             };
             let options = TraceOptions {
                 filter,
-                interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
-                limit,
+                interval: Some(f.interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                limit: f.limit,
             };
             let workload = bench.build();
-            let run = run_traced(config.with_max_insts(insts), &workload, &options);
+            let run = run_traced(
+                config.with_max_insts(f.insts_or(DEFAULT_INSTS)),
+                &workload,
+                &options,
+            );
             let text = harness::chrome_trace_json(&run).pretty();
             if let Err(e) = harness::check_well_formed(&text) {
-                eprintln!("internal error: emitted trace is malformed: {e}");
-                return ExitCode::FAILURE;
+                return Err(TwError::runtime(format!(
+                    "internal error: emitted trace is malformed: {e}"
+                )));
             }
-            let out = out.unwrap_or_else(|| "trace.json".to_string());
-            if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
-                eprintln!("{out}: {e}");
-                return ExitCode::FAILURE;
-            }
+            let out = f.out.unwrap_or_else(|| "trace.json".to_string());
+            std::fs::write(&out, format!("{text}\n"))
+                .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
             println!(
                 "{}: {} events emitted, {} recorded, {} dropped, {} filtered",
                 out,
@@ -335,50 +488,76 @@ fn main() -> ExitCode {
                 "load it in chrome://tracing or https://ui.perfetto.dev ({} cycles simulated)",
                 run.report.cycles
             );
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         "compare" => {
-            let Some(bench) = bench.as_deref().and_then(parse_bench) else {
-                eprintln!("missing or unknown --bench");
-                return usage();
+            let bench = f.bench_required("--bench")?;
+            let fault_plan = match (f.fault_rate, &f.at_cycles) {
+                (None, None) => None,
+                _ => Some(f.fault_plan()?),
             };
+            let insts = f.insts_or(DEFAULT_INSTS);
             let cells: Vec<(Benchmark, SimConfig)> = harness::standard_five()
                 .into_iter()
                 .map(|(_, config)| {
-                    let config = if perfect {
+                    let config = if f.perfect {
                         config.with_perfect_disambiguation()
                     } else {
                         config
+                    };
+                    let config = match &fault_plan {
+                        Some(plan) => config.with_fault_plan(plan.clone()),
+                        None => config,
                     };
                     (bench, config.with_max_insts(insts))
                 })
                 .collect();
             let mut timelines = Vec::new();
-            let reports = if timeline {
+            let reports: Vec<Option<SimReport>> = if f.timeline {
                 // Traced runs are serial; the timeline rides on the same
                 // simulation that produces the report.
                 let options = TraceOptions {
                     filter: EventFilter::none(),
-                    interval: Some(interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
+                    interval: Some(f.interval.unwrap_or(harness::DEFAULT_TRACE_INTERVAL)),
                     limit: 0,
                 };
-                cells
-                    .iter()
-                    .map(|(bench, config)| {
-                        let run = run_traced(config.clone(), &bench.build(), &options);
-                        timelines.push(run.timeline.expect("interval was requested"));
-                        run.report
-                    })
-                    .collect()
+                let mut reports = Vec::new();
+                for (bench, config) in &cells {
+                    let run = run_traced(config.clone(), &bench.build(), &options);
+                    let Some(tl) = run.timeline else {
+                        return Err(TwError::runtime(
+                            "internal error: traced run produced no timeline",
+                        ));
+                    };
+                    timelines.push(tl);
+                    reports.push(Some(run.report));
+                }
+                reports
+            } else if f.timeout_secs.is_some() {
+                run_matrix_watchdog(&cells, f.jobs, f.timeout_secs.map(Duration::from_secs))
             } else {
-                run_matrix(&cells, jobs)
+                run_matrix(&cells, f.jobs).into_iter().map(Some).collect()
             };
-            if json {
-                if timeline {
+            let hung: Vec<&str> = harness::STANDARD_FIVE
+                .iter()
+                .zip(&reports)
+                .filter(|(_, r)| r.is_none())
+                .map(|(name, _)| *name)
+                .collect();
+            if f.json {
+                if !hung.is_empty() {
+                    return Err(TwError::runtime(format!(
+                        "{} cell(s) timed out: {}",
+                        hung.len(),
+                        hung.join(", ")
+                    )));
+                }
+                let completed: Vec<SimReport> = reports.into_iter().flatten().collect();
+                if f.timeline {
                     println!(
                         "{}",
                         harness::Json::Object(vec![
-                            ("reports", reports_to_json(&reports)),
+                            ("reports", reports_to_json(&completed)),
                             (
                                 "timelines",
                                 harness::Json::Array(
@@ -389,17 +568,33 @@ fn main() -> ExitCode {
                         .pretty()
                     );
                 } else {
-                    println!("{}", reports_to_json(&reports).pretty());
+                    println!("{}", reports_to_json(&completed).pretty());
                 }
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
-            println!(
-                "{:12} {:>10} {:>8} {:>10} {:>12}",
-                "config", "eff fetch", "IPC", "mispred%", "resolution"
-            );
-            for (name, r) in harness::STANDARD_FIVE.iter().zip(&reports) {
+            let with_faults = fault_plan.is_some();
+            if with_faults {
                 println!(
-                    "{:12} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c",
+                    "{:12} {:>10} {:>8} {:>10} {:>12} {:>10}",
+                    "config", "eff fetch", "IPC", "mispred%", "resolution", "inj/esc"
+                );
+            } else {
+                println!(
+                    "{:12} {:>10} {:>8} {:>10} {:>12}",
+                    "config", "eff fetch", "IPC", "mispred%", "resolution"
+                );
+            }
+            for (name, r) in harness::STANDARD_FIVE.iter().zip(&reports) {
+                let Some(r) = r else {
+                    println!("{name:12} {:>10}", "timed out");
+                    continue;
+                };
+                let faults = match &r.fault {
+                    Some(fs) if with_faults => format!(" {:>6}/{:<3}", fs.injected, fs.escaped),
+                    _ => String::new(),
+                };
+                println!(
+                    "{:12} {:>10.2} {:>8.2} {:>9.2}% {:>11.1}c{faults}",
                     name,
                     r.effective_fetch_rate(),
                     r.ipc(),
@@ -414,25 +609,72 @@ fn main() -> ExitCode {
                 );
                 print!("{}", timeline_table(tl));
             }
-            ExitCode::SUCCESS
+            if hung.is_empty() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Err(TwError::runtime(format!(
+                    "{} cell(s) timed out: {}",
+                    hung.len(),
+                    hung.join(", ")
+                )))
+            }
         }
         "lint" => {
-            if all && bench.is_some() {
-                eprintln!("--all and --workload are mutually exclusive");
-                return usage();
+            if let Some(path) = &f.asm {
+                if f.all || f.bench.is_some() {
+                    return Err(TwError::usage(
+                        "--asm is mutually exclusive with --workload/--all",
+                    ));
+                }
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                let program = trace_weave::isa::assemble(&source)
+                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                let report = trace_weave::analyze::analyze(&program);
+                if f.json {
+                    println!(
+                        "{}",
+                        harness::Json::Object(vec![
+                            ("file", harness::Json::Str(path.clone())),
+                            ("instructions", harness::Json::UInt(program.len() as u64)),
+                            ("errors", harness::Json::UInt(report.errors() as u64)),
+                            ("warnings", harness::Json::UInt(report.warnings() as u64)),
+                        ])
+                        .pretty()
+                    );
+                } else {
+                    for finding in &report.findings {
+                        println!("{path}: {finding}");
+                    }
+                    println!(
+                        "{path}: {} instruction(s), {} error(s), {} warning(s)",
+                        program.len(),
+                        report.errors(),
+                        report.warnings()
+                    );
+                }
+                return Ok(if report.errors() > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                });
             }
-            let entries = match bench.as_deref() {
+            if f.all && f.bench.is_some() {
+                return Err(TwError::usage(
+                    "--all and --workload are mutually exclusive",
+                ));
+            }
+            let entries = match f.bench.as_deref() {
                 Some(name) => {
                     let Some(bench) = parse_bench(name) else {
-                        eprintln!("unknown workload {name:?}");
-                        return usage();
+                        return Err(TwError::usage(format!("unknown workload {name:?}")));
                     };
                     vec![harness::lint_benchmark(bench)]
                 }
                 None => harness::lint_all(),
             };
             let errors = harness::lint_errors(&entries);
-            if json {
+            if f.json {
                 println!("{}", harness::lint_to_json(&entries).pretty());
             } else {
                 print!("{}", harness::lint_table(&entries));
@@ -448,72 +690,50 @@ fn main() -> ExitCode {
                 );
             }
             if errors > 0 {
-                ExitCode::FAILURE
+                Ok(ExitCode::FAILURE)
             } else {
-                ExitCode::SUCCESS
+                Ok(ExitCode::SUCCESS)
             }
         }
         "bench" => {
-            if let Some((old_path, new_path)) = compare_paths {
-                let read = |path: &str| match std::fs::read_to_string(path) {
-                    Ok(text) => Some(text),
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        None
-                    }
+            if let Some((old_path, new_path)) = &f.compare_paths {
+                let read = |path: &str| {
+                    std::fs::read_to_string(path)
+                        .map_err(|e| TwError::runtime(format!("{path}: {e}")))
                 };
-                let (Some(old_text), Some(new_text)) = (read(&old_path), read(&new_path)) else {
-                    return ExitCode::FAILURE;
-                };
-                return match compare::compare_artifacts(&old_text, &new_text, tolerance) {
-                    Ok(cmp) => {
-                        print!("{}", compare::render(&cmp));
-                        if cmp.regressions().is_empty() {
-                            ExitCode::SUCCESS
-                        } else {
-                            ExitCode::FAILURE
-                        }
-                    }
-                    Err(e) => {
-                        eprintln!("{e}");
-                        ExitCode::FAILURE
-                    }
-                };
+                let old_text = read(old_path)?;
+                let new_text = read(new_path)?;
+                let cmp = compare::compare_artifacts(&old_text, &new_text, f.tolerance)
+                    .map_err(TwError::runtime)?;
+                print!("{}", compare::render(&cmp));
+                return Ok(if cmp.regressions().is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
             }
-            if let Some(path) = check {
-                let text = match std::fs::read_to_string(&path) {
-                    Ok(text) => text,
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                return match suite::check_artifact(&text) {
-                    Ok(()) => {
-                        println!("{path}: valid {} artifact", suite::SCHEMA);
-                        ExitCode::SUCCESS
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        ExitCode::FAILURE
-                    }
-                };
+            if let Some(path) = &f.check {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                suite::check_artifact(&text)
+                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                println!("{path}: valid {} artifact", suite::SCHEMA);
+                return Ok(ExitCode::SUCCESS);
             }
-            let matrix = if smoke {
+            let matrix = if f.smoke {
                 suite::smoke_matrix()
             } else {
                 suite::full_matrix()
             };
-            if !insts_set {
-                insts = if smoke { 20_000 } else { 200_000 };
-            }
-            if !json {
+            let insts = f.insts_or(if f.smoke { 20_000 } else { 200_000 });
+            if !f.json {
                 println!(
                     "{:12} {:12} {:>12} {:>12} {:>14}",
                     "benchmark", "config", "wall", "ns/cycle", "instrs/sec"
                 );
             }
-            let suite = suite::run_suite(&matrix, insts, samples, |cell, done, total| {
+            let json = f.json;
+            let suite = suite::run_suite(&matrix, insts, f.samples, |cell, done, total| {
                 if !json {
                     println!(
                         "{:12} {:12} {:>10.1}ms {:>12.1} {:>14.0}   [{done}/{total}]",
@@ -529,16 +749,14 @@ fn main() -> ExitCode {
             if json {
                 println!("{artifact}");
             }
-            let out = out.unwrap_or_else(|| "BENCH_frontend.json".to_string());
-            if let Err(e) = std::fs::write(&out, format!("{artifact}\n")) {
-                eprintln!("{out}: {e}");
-                return ExitCode::FAILURE;
-            }
+            let out = f.out.unwrap_or_else(|| "BENCH_frontend.json".to_string());
+            std::fs::write(&out, format!("{artifact}\n"))
+                .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
             if !json {
                 println!("wrote {out}");
             }
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
-        _ => usage(),
+        other => Err(TwError::usage(format!("unknown command `{other}`"))),
     }
 }

@@ -11,6 +11,7 @@
 //! * [`core`] — trace cache, fill unit, branch promotion, trace packing
 //! * [`engine`] — the out-of-order execution engine model
 //! * [`trace`] — the cycle-level event-tracing layer (`tw trace`)
+//! * [`fault`] — deterministic fault plans and the injector (`tw faults`)
 //! * [`sim`] — whole-processor simulation driver and reports
 //! * [`bench`] — timing harnesses: the `tw bench` wall-clock suite and
 //!   the microbenchmark runner behind `benches/`
@@ -20,6 +21,7 @@ pub use tc_bench as bench;
 pub use tc_cache as cache;
 pub use tc_core as core;
 pub use tc_engine as engine;
+pub use tc_fault as fault;
 pub use tc_isa as isa;
 pub use tc_predict as predict;
 pub use tc_sim as sim;

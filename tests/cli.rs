@@ -1,0 +1,147 @@
+//! End-to-end CLI error-layer tests: every malformed input must exit
+//! non-zero with a single `tw: <message>` diagnostic on stderr — no
+//! panic, no backtrace, and the conventional exit-code split (2 for
+//! usage errors, 1 for runtime failures).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tw(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tw"))
+        .args(args)
+        .output()
+        .expect("tw binary runs")
+}
+
+fn stderr_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).trim_end().to_string()
+}
+
+/// Asserts the failure contract: given exit code, one-line `tw:`
+/// diagnostic, no panic artifacts.
+fn assert_diagnostic(out: &Output, code: i32) {
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "stderr: {}",
+        stderr_line(out)
+    );
+    let err = stderr_line(out);
+    assert_eq!(err.lines().count(), 1, "not a one-line diagnostic: {err:?}");
+    assert!(err.starts_with("tw: "), "missing tw: prefix: {err:?}");
+    assert!(!err.contains("panicked"), "panic leaked: {err:?}");
+    assert!(!err.contains("RUST_BACKTRACE"), "backtrace leaked: {err:?}");
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tw-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writes");
+    path
+}
+
+#[test]
+fn unknown_command_and_flags_are_usage_errors() {
+    assert_diagnostic(&tw(&["frobnicate"]), 2);
+    assert_diagnostic(&tw(&["sim", "--bogus-flag"]), 2);
+    assert_diagnostic(&tw(&["sim", "--bench"]), 2); // missing value
+    assert_diagnostic(&tw(&["sim", "--bench", "gcc", "--config", "nope"]), 2);
+    assert_diagnostic(
+        &tw(&[
+            "sim", "--bench", "gcc", "--config", "headline", "--insts", "lots",
+        ]),
+        2,
+    );
+    assert_diagnostic(&tw(&["faults", "--workload", "gcc"]), 2); // no rate/cycles
+    assert_diagnostic(
+        &tw(&[
+            "faults",
+            "--workload",
+            "gcc",
+            "--rate",
+            "1e-4",
+            "--targets",
+            "bogus",
+        ]),
+        2,
+    );
+    assert_diagnostic(
+        &tw(&["compare", "--bench", "gcc", "--timeout-secs", "0"]),
+        2,
+    );
+}
+
+#[test]
+fn malformed_asm_is_a_runtime_error_with_position() {
+    let path = temp_file("bad.s", "li t0, 0\nfrobnicate t1\n");
+    let out = tw(&["lint", "--asm", path.to_str().expect("utf-8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_diagnostic(&out, 1);
+    let err = stderr_line(&out);
+    assert!(
+        err.contains("line 2:1"),
+        "no position in diagnostic: {err:?}"
+    );
+    assert!(err.contains("frobnicate"), "no offending token: {err:?}");
+}
+
+#[test]
+fn valid_asm_lints_clean() {
+    let path = temp_file("good.s", ".entry main\nmain:\n  li t0, 3\n  halt\n");
+    let out = tw(&["lint", "--asm", path.to_str().expect("utf-8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 instruction(s)"), "{stdout}");
+}
+
+#[test]
+fn truncated_bench_artifact_is_a_runtime_error() {
+    let good = r#"{"schema":"tw-bench/v1","cells":[{"benchmark":"gcc","config":"icache","ns_per_cycle":1.0}]}"#;
+    let truncated = &good[..good.len() / 2];
+    let good_path = temp_file("good.json", good);
+    let bad_path = temp_file("trunc.json", truncated);
+    let check = tw(&["bench", "--check", bad_path.to_str().expect("utf-8 path")]);
+    let cmp = tw(&[
+        "bench",
+        "--compare",
+        good_path.to_str().expect("utf-8 path"),
+        bad_path.to_str().expect("utf-8 path"),
+    ]);
+    let missing = tw(&["bench", "--check", "/nonexistent/definitely-missing.json"]);
+    let _ = std::fs::remove_file(&good_path);
+    let _ = std::fs::remove_file(&bad_path);
+    assert_diagnostic(&check, 1);
+    assert_diagnostic(&cmp, 1);
+    assert_diagnostic(&missing, 1);
+}
+
+#[test]
+fn faults_subcommand_reports_deterministic_counters() {
+    let run = |seed: &str| {
+        let out = tw(&[
+            "faults",
+            "--workload",
+            "compress",
+            "--preset",
+            "headline",
+            "--seed",
+            seed,
+            "--rate",
+            "1e-3",
+            "--insts",
+            "20000",
+            "--json",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains("\"fault\""), "no fault stats: {stdout}");
+        assert!(stdout.contains("\"injected\""), "{stdout}");
+        assert!(stdout.contains("\"escaped\""), "{stdout}");
+        stdout
+    };
+    // Same seed twice: bit-identical output. Different seed: same shape.
+    let a = run("11");
+    let b = run("11");
+    assert_eq!(a, b, "same seed+plan must reproduce exactly");
+    let _ = run("12");
+}
