@@ -24,6 +24,10 @@ pub struct CellDelta {
     pub old_ns_per_cycle: f64,
     /// New artifact's ns/cycle.
     pub new_ns_per_cycle: f64,
+    /// Old artifact's effective MIPS (absent in pre-MIPS artifacts).
+    pub old_mips: Option<f64>,
+    /// New artifact's effective MIPS (absent in pre-MIPS artifacts).
+    pub new_mips: Option<f64>,
 }
 
 impl CellDelta {
@@ -38,6 +42,24 @@ impl CellDelta {
     }
 }
 
+/// One preset's sampled-vs-full accuracy summary, read from an
+/// artifact's `sampling_probes` section (empty for pre-probe artifacts).
+#[derive(Debug, Clone)]
+pub struct ProbeSummary {
+    /// Configuration preset name.
+    pub config: String,
+    /// Wall-clock speedup of sampling over full timing.
+    pub speedup: f64,
+    /// Sampled effective MIPS.
+    pub sampled_mips: f64,
+    /// Sampled-vs-full effective-fetch-rate delta, percent.
+    pub fetch_rate_delta_pct: f64,
+    /// Sampled-vs-full misprediction-rate delta, percentage points.
+    pub mispredict_delta_pp: f64,
+    /// Sampled-vs-full promotion-coverage delta, percentage points.
+    pub promo_coverage_delta_pp: f64,
+}
+
 /// A completed artifact comparison.
 #[derive(Debug, Clone)]
 pub struct Comparison {
@@ -49,6 +71,8 @@ pub struct Comparison {
     pub only_old: Vec<String>,
     /// `benchmark/config` labels present only in the new artifact.
     pub only_new: Vec<String>,
+    /// The new artifact's per-preset sampling probes, if it has any.
+    pub probes: Vec<ProbeSummary>,
 }
 
 impl Comparison {
@@ -62,8 +86,16 @@ impl Comparison {
     }
 }
 
-/// One artifact's cells as `(benchmark, config, ns_per_cycle)` rows.
-fn artifact_cells(label: &str, text: &str) -> Result<Vec<(String, String, f64)>, String> {
+/// One parsed artifact cell row.
+struct CellRow {
+    benchmark: String,
+    config: String,
+    ns_per_cycle: f64,
+    /// Absent in artifacts written before the MIPS column existed.
+    effective_mips: Option<f64>,
+}
+
+fn artifact_cells(label: &str, text: &str) -> Result<Vec<CellRow>, String> {
     let doc = parse_json(text).map_err(|e| format!("{label}: {e}"))?;
     let schema = doc.get("schema").and_then(Value::as_str);
     if schema != Some(SCHEMA) {
@@ -93,12 +125,40 @@ fn artifact_cells(label: &str, text: &str) -> Result<Vec<(String, String, f64)>,
         let ns = field("ns_per_cycle")?
             .as_f64()
             .ok_or_else(|| format!("{label}: cell {i} ns_per_cycle is not a number"))?;
-        rows.push((benchmark, config, ns));
+        rows.push(CellRow {
+            benchmark,
+            config,
+            ns_per_cycle: ns,
+            effective_mips: cell.get("effective_mips").and_then(Value::as_f64),
+        });
     }
     if rows.is_empty() {
         return Err(format!("{label}: artifact has no cells"));
     }
     Ok(rows)
+}
+
+/// Reads an artifact's `sampling_probes` section; artifacts written
+/// before the section existed yield an empty list, and individually
+/// malformed probe entries are skipped rather than failing the compare.
+fn artifact_probes(doc: &Value) -> Vec<ProbeSummary> {
+    let Some(probes) = doc.get("sampling_probes").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    probes
+        .iter()
+        .filter_map(|p| {
+            let num = |name: &str| p.get(name).and_then(Value::as_f64);
+            Some(ProbeSummary {
+                config: p.get("config")?.as_str()?.to_string(),
+                speedup: num("speedup")?,
+                sampled_mips: num("sampled_mips")?,
+                fetch_rate_delta_pct: num("fetch_rate_delta_pct")?,
+                mispredict_delta_pp: num("mispredict_delta_pp")?,
+                promo_coverage_delta_pp: num("promo_coverage_delta_pp")?,
+            })
+        })
+        .collect()
 }
 
 /// Compares two `tw-bench/v1` artifacts.
@@ -115,27 +175,32 @@ pub fn compare_artifacts(
 ) -> Result<Comparison, String> {
     let old = artifact_cells("old", old_text)?;
     let new = artifact_cells("new", new_text)?;
+    let probes = parse_json(new_text).map_or_else(|_| Vec::new(), |doc| artifact_probes(&doc));
     let mut deltas = Vec::new();
     let mut only_old = Vec::new();
-    for (benchmark, config, old_ns) in &old {
+    for o in &old {
         match new
             .iter()
-            .find(|(b, c, _)| b == benchmark && c == config)
-            .map(|(_, _, ns)| *ns)
+            .find(|n| n.benchmark == o.benchmark && n.config == o.config)
         {
-            Some(new_ns) => deltas.push(CellDelta {
-                benchmark: benchmark.clone(),
-                config: config.clone(),
-                old_ns_per_cycle: *old_ns,
-                new_ns_per_cycle: new_ns,
+            Some(n) => deltas.push(CellDelta {
+                benchmark: o.benchmark.clone(),
+                config: o.config.clone(),
+                old_ns_per_cycle: o.ns_per_cycle,
+                new_ns_per_cycle: n.ns_per_cycle,
+                old_mips: o.effective_mips,
+                new_mips: n.effective_mips,
             }),
-            None => only_old.push(format!("{benchmark}/{config}")),
+            None => only_old.push(format!("{}/{}", o.benchmark, o.config)),
         }
     }
     let only_new = new
         .iter()
-        .filter(|(b, c, _)| !old.iter().any(|(ob, oc, _)| ob == b && oc == c))
-        .map(|(b, c, _)| format!("{b}/{c}"))
+        .filter(|n| {
+            !old.iter()
+                .any(|o| o.benchmark == n.benchmark && o.config == n.config)
+        })
+        .map(|n| format!("{}/{}", n.benchmark, n.config))
         .collect();
     if deltas.is_empty() {
         return Err("no matching cells between the two artifacts".to_string());
@@ -145,6 +210,7 @@ pub fn compare_artifacts(
         deltas,
         only_old,
         only_new,
+        probes,
     })
 }
 
@@ -155,8 +221,8 @@ pub fn render(comparison: &Comparison) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:12} {:12} {:>12} {:>12} {:>9}",
-        "benchmark", "config", "old ns/cyc", "new ns/cyc", "delta"
+        "{:12} {:12} {:>12} {:>12} {:>9} {:>16}",
+        "benchmark", "config", "old ns/cyc", "new ns/cyc", "delta", "eff MIPS o->n"
     );
     for d in &comparison.deltas {
         let flag = if d.delta_pct() > comparison.tolerance_pct {
@@ -164,9 +230,15 @@ pub fn render(comparison: &Comparison) -> String {
         } else {
             ""
         };
+        let mips = match (d.old_mips, d.new_mips) {
+            (Some(o), Some(n)) => format!("{o:.1}->{n:.1}"),
+            (None, Some(n)) => format!("-->{n:.1}"),
+            (Some(o), None) => format!("{o:.1}->-"),
+            (None, None) => "-".to_string(),
+        };
         let _ = writeln!(
             out,
-            "{:12} {:12} {:>12.1} {:>12.1} {:>+8.1}%{flag}",
+            "{:12} {:12} {:>12.1} {:>12.1} {:>+8.1}% {mips:>16}{flag}",
             d.benchmark,
             d.config,
             d.old_ns_per_cycle,
@@ -179,6 +251,26 @@ pub fn render(comparison: &Comparison) -> String {
     }
     for label in &comparison.only_new {
         let _ = writeln!(out, "{label}: only in new artifact");
+    }
+    if !comparison.probes.is_empty() {
+        let _ = writeln!(out, "\nsampling accuracy (new artifact):");
+        let _ = writeln!(
+            out,
+            "{:12} {:>8} {:>10} {:>11} {:>11} {:>11}",
+            "config", "speedup", "eff MIPS", "fetch d%", "mispred dpp", "promo dpp"
+        );
+        for p in &comparison.probes {
+            let _ = writeln!(
+                out,
+                "{:12} {:>7.1}x {:>10.1} {:>+10.2}% {:>+11.3} {:>+11.3}",
+                p.config,
+                p.speedup,
+                p.sampled_mips,
+                p.fetch_rate_delta_pct,
+                p.mispredict_delta_pp,
+                p.promo_coverage_delta_pp
+            );
+        }
     }
     let regressions = comparison.regressions().len();
     let _ = writeln!(
@@ -264,6 +356,38 @@ mod tests {
         assert_eq!(cmp.only_old, ["go/baseline"]);
         assert_eq!(cmp.only_new, ["perl/headline"]);
         assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn old_artifacts_without_mips_or_probes_still_compare() {
+        let old = artifact(&[("compress", "icache", 500, 50_000)]);
+        let cmp = compare_artifacts(&old, &old, 10.0).unwrap();
+        assert_eq!(cmp.deltas[0].old_mips, None);
+        assert_eq!(cmp.deltas[0].new_mips, None);
+        assert!(cmp.probes.is_empty());
+        assert!(!render(&cmp).contains("sampling accuracy"));
+    }
+
+    #[test]
+    fn mips_and_probes_are_parsed_and_rendered_when_present() {
+        let old = artifact(&[("compress", "icache", 500, 50_000)]);
+        let new = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"insts_per_cell\":1000,\"samples\":1,\"cells\":[\
+             {{\"benchmark\":\"compress\",\"config\":\"icache\",\"instructions\":1000,\
+             \"cycles\":500,\"wall_ns\":50000,\"ns_per_cycle\":100.0,\
+             \"instrs_per_sec\":1.0,\"stream_insts\":1000,\"effective_mips\":20.0}}],\
+             \"sampling_probes\":[{{\"config\":\"icache\",\"speedup\":12.5,\
+             \"sampled_mips\":250.0,\"fetch_rate_delta_pct\":1.6,\
+             \"mispredict_delta_pp\":-0.12,\"promo_coverage_delta_pp\":0.0}}]}}"
+        );
+        let cmp = compare_artifacts(&old, &new, 10.0).unwrap();
+        assert_eq!(cmp.deltas[0].old_mips, None);
+        assert_eq!(cmp.deltas[0].new_mips, Some(20.0));
+        assert_eq!(cmp.probes.len(), 1);
+        assert!((cmp.probes[0].speedup - 12.5).abs() < 1e-9);
+        let rendered = render(&cmp);
+        assert!(rendered.contains("sampling accuracy"));
+        assert!(rendered.contains("12.5x"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use tc_sim::harness::{presets, Json};
-use tc_sim::{Processor, SimConfig};
+use tc_sim::{Processor, SimConfig, SimReport};
 use tc_workloads::Benchmark;
 
 /// Schema identifier stamped into every emitted suite artifact.
@@ -34,6 +34,9 @@ pub struct BenchCell {
     pub cycles: u64,
     /// Fastest sample's wall-clock time, in nanoseconds.
     pub wall_ns: u64,
+    /// Total dynamic instructions traversed (equals `instructions` for
+    /// full-timing cells; larger when the cell fast-forwards/samples).
+    pub stream_insts: u64,
 }
 
 impl BenchCell {
@@ -48,6 +51,105 @@ impl BenchCell {
     pub fn instrs_per_sec(&self) -> f64 {
         self.instructions as f64 * 1e9 / self.wall_ns.max(1) as f64
     }
+
+    /// Effective millions of instructions per host second — counts the
+    /// whole traversed stream, which is what fast-forward and sampling
+    /// accelerate.
+    #[must_use]
+    pub fn effective_mips(&self) -> f64 {
+        self.stream_insts as f64 * 1e3 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// One preset's sampled-vs-full accuracy and throughput probe: the same
+/// benchmark and stream budget run once in full timing and once under
+/// the derived sampling spec ([`probe_spec`]), so the artifact records
+/// what sampling costs in fidelity and buys in wall-clock per preset.
+#[derive(Debug, Clone)]
+pub struct SamplingProbe {
+    /// Configuration preset name.
+    pub config: &'static str,
+    /// Benchmark probed.
+    pub benchmark: &'static str,
+    /// Full-timing wall time, nanoseconds.
+    pub full_wall_ns: u64,
+    /// Sampled-run wall time, nanoseconds.
+    pub sampled_wall_ns: u64,
+    /// Instructions the full run retired.
+    pub full_insts: u64,
+    /// Total stream the sampled run traversed.
+    pub sampled_stream: u64,
+    /// Full-timing effective fetch rate.
+    pub full_fetch_rate: f64,
+    /// Sampled effective fetch rate.
+    pub sampled_fetch_rate: f64,
+    /// Full-timing conditional misprediction rate, in `[0, 1]`.
+    pub full_mispredict_rate: f64,
+    /// Sampled conditional misprediction rate, in `[0, 1]`.
+    pub sampled_mispredict_rate: f64,
+    /// Promoted branches fetched per issued instruction, full timing.
+    pub full_promo_coverage: f64,
+    /// Promoted branches fetched per issued instruction, sampled.
+    pub sampled_promo_coverage: f64,
+}
+
+impl SamplingProbe {
+    /// Wall-clock speedup of the sampled run over full timing at a
+    /// matched stream budget (this is the effective-throughput ratio).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.full_wall_ns as f64 / self.sampled_wall_ns.max(1) as f64
+    }
+
+    /// Full-timing effective MIPS.
+    #[must_use]
+    pub fn full_mips(&self) -> f64 {
+        self.full_insts as f64 * 1e3 / self.full_wall_ns.max(1) as f64
+    }
+
+    /// Sampled effective MIPS (whole traversed stream over wall time).
+    #[must_use]
+    pub fn sampled_mips(&self) -> f64 {
+        self.sampled_stream as f64 * 1e3 / self.sampled_wall_ns.max(1) as f64
+    }
+
+    /// Sampled-vs-full effective-fetch-rate delta, percent.
+    #[must_use]
+    pub fn fetch_rate_delta_pct(&self) -> f64 {
+        if self.full_fetch_rate == 0.0 {
+            0.0
+        } else {
+            (self.sampled_fetch_rate - self.full_fetch_rate) / self.full_fetch_rate * 100.0
+        }
+    }
+
+    /// Sampled-vs-full misprediction-rate delta, percentage points.
+    #[must_use]
+    pub fn mispredict_delta_pp(&self) -> f64 {
+        (self.sampled_mispredict_rate - self.full_mispredict_rate) * 100.0
+    }
+
+    /// Sampled-vs-full promotion-coverage delta, percentage points.
+    #[must_use]
+    pub fn promo_coverage_delta_pp(&self) -> f64 {
+        (self.sampled_promo_coverage - self.full_promo_coverage) * 100.0
+    }
+}
+
+/// The sampling spec the probes use for a given stream budget: 2%
+/// measured, 4% functional warm-up ahead of each window, the rest
+/// fast-forwarded (the SMARTS-style regime where sampling pays off;
+/// warming runs at only ~2x timing speed, so denser specs cap the
+/// speedup well below the >=10x the fast-forward interpreter affords).
+/// The period is clamped to the stream budget so short (smoke) runs
+/// still land at least one measure window instead of fast-forwarding
+/// the whole stream.
+#[must_use]
+pub fn probe_spec(insts: u64) -> (u64, u64, u64) {
+    let measure = (insts / 200).max(500);
+    let warmup = 2 * measure;
+    let period = (64 * measure).min(insts).max(warmup + measure);
+    (warmup, measure, period)
 }
 
 /// A completed suite run.
@@ -59,6 +161,8 @@ pub struct BenchSuite {
     pub samples: u32,
     /// All cells, in benchmark-major order.
     pub cells: Vec<BenchCell>,
+    /// One sampled-vs-full probe per preset in the matrix.
+    pub probes: Vec<SamplingProbe>,
 }
 
 /// The full matrix: every registry benchmark × every registry preset.
@@ -115,7 +219,98 @@ pub fn run_cell(
         instructions: report.instructions,
         cycles: report.cycles,
         wall_ns: best_ns,
+        stream_insts: report
+            .sampling
+            .as_ref()
+            .map_or(report.instructions, |s| s.total_stream),
     }
+}
+
+fn timed_run(
+    config: &SimConfig,
+    workload: &tc_workloads::Workload,
+    samples: u32,
+) -> (SimReport, u64) {
+    let mut best_ns = u64::MAX;
+    let mut report = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let r = Processor::new(config.clone()).run(workload);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        best_ns = best_ns.min(elapsed.max(1));
+        report = Some(r);
+    }
+    (report.expect("samples >= 1"), best_ns)
+}
+
+fn promo_coverage(r: &SimReport) -> f64 {
+    let total = r.cond_branches + r.promoted_executed + r.promoted_faults;
+    if total == 0 {
+        0.0
+    } else {
+        r.promoted_executed as f64 / total as f64
+    }
+}
+
+/// Runs one preset's sampled-vs-full probe on [`Benchmark::Compress`]
+/// with a `insts`-instruction stream budget, timing `samples`
+/// repetitions of each side and keeping the fastest.
+///
+/// # Panics
+///
+/// Panics if `config_name` is not in the preset registry.
+#[must_use]
+pub fn run_probe(config_name: &'static str, insts: u64, samples: u32) -> SamplingProbe {
+    let base: SimConfig = tc_sim::harness::lookup(config_name)
+        .unwrap_or_else(|| panic!("unknown configuration preset {config_name:?}"))
+        .with_max_insts(insts);
+    let (warmup, measure, period) = probe_spec(insts);
+    let workload = Benchmark::Compress.build();
+    let (full, full_wall_ns) = timed_run(&base, &workload, samples);
+    let sampled_config = base.with_sampling(warmup, measure, period);
+    let (sampled, sampled_wall_ns) = timed_run(&sampled_config, &workload, samples);
+    let sampled_stream = sampled
+        .sampling
+        .as_ref()
+        .map_or(sampled.instructions, |s| s.total_stream);
+    SamplingProbe {
+        config: config_name,
+        benchmark: Benchmark::Compress.name(),
+        full_wall_ns,
+        sampled_wall_ns,
+        full_insts: full.instructions,
+        sampled_stream,
+        full_fetch_rate: full.effective_fetch_rate(),
+        sampled_fetch_rate: sampled.effective_fetch_rate(),
+        full_mispredict_rate: full.cond_mispredict_rate(),
+        sampled_mispredict_rate: sampled.cond_mispredict_rate(),
+        full_promo_coverage: promo_coverage(&full),
+        sampled_promo_coverage: promo_coverage(&sampled),
+    }
+}
+
+/// Runs one probe per distinct preset in `matrix`, preserving first-seen
+/// order, invoking `progress` after each finished probe.
+pub fn run_sampling_probes(
+    matrix: &[(Benchmark, &'static str)],
+    insts: u64,
+    samples: u32,
+    mut progress: impl FnMut(&SamplingProbe, usize, usize),
+) -> Vec<SamplingProbe> {
+    let mut configs: Vec<&'static str> = Vec::new();
+    for &(_, config) in matrix {
+        if !configs.contains(&config) {
+            configs.push(config);
+        }
+    }
+    let total = configs.len();
+    let mut probes = Vec::with_capacity(total);
+    for (i, config) in configs.into_iter().enumerate() {
+        let probe = run_probe(config, insts, samples);
+        progress(&probe, i + 1, total);
+        probes.push(probe);
+    }
+    probes
 }
 
 /// Runs a whole matrix, invoking `progress` after each finished cell.
@@ -135,6 +330,7 @@ pub fn run_suite(
         insts_per_cell: insts,
         samples,
         cells,
+        probes: Vec::new(),
     }
 }
 
@@ -160,6 +356,51 @@ pub fn suite_to_json(suite: &BenchSuite) -> Json {
                             ("wall_ns", Json::UInt(c.wall_ns)),
                             ("ns_per_cycle", Json::Float(c.ns_per_cycle())),
                             ("instrs_per_sec", Json::Float(c.instrs_per_sec())),
+                            ("stream_insts", Json::UInt(c.stream_insts)),
+                            ("effective_mips", Json::Float(c.effective_mips())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sampling_probes",
+            Json::Array(
+                suite
+                    .probes
+                    .iter()
+                    .map(|p| {
+                        Json::Object(vec![
+                            ("config", Json::Str(p.config.to_string())),
+                            ("benchmark", Json::Str(p.benchmark.to_string())),
+                            ("full_wall_ns", Json::UInt(p.full_wall_ns)),
+                            ("sampled_wall_ns", Json::UInt(p.sampled_wall_ns)),
+                            ("full_insts", Json::UInt(p.full_insts)),
+                            ("sampled_stream", Json::UInt(p.sampled_stream)),
+                            ("full_mips", Json::Float(p.full_mips())),
+                            ("sampled_mips", Json::Float(p.sampled_mips())),
+                            ("speedup", Json::Float(p.speedup())),
+                            ("full_fetch_rate", Json::Float(p.full_fetch_rate)),
+                            ("sampled_fetch_rate", Json::Float(p.sampled_fetch_rate)),
+                            (
+                                "fetch_rate_delta_pct",
+                                Json::Float(p.fetch_rate_delta_pct()),
+                            ),
+                            ("full_mispredict_rate", Json::Float(p.full_mispredict_rate)),
+                            (
+                                "sampled_mispredict_rate",
+                                Json::Float(p.sampled_mispredict_rate),
+                            ),
+                            ("mispredict_delta_pp", Json::Float(p.mispredict_delta_pp())),
+                            ("full_promo_coverage", Json::Float(p.full_promo_coverage)),
+                            (
+                                "sampled_promo_coverage",
+                                Json::Float(p.sampled_promo_coverage),
+                            ),
+                            (
+                                "promo_coverage_delta_pp",
+                                Json::Float(p.promo_coverage_delta_pp()),
+                            ),
                         ])
                     })
                     .collect(),
@@ -192,7 +433,8 @@ mod tests {
 
     #[test]
     fn smoke_suite_produces_populated_well_formed_artifact() {
-        let suite = run_suite(&smoke_matrix(), 5_000, 1, |_, _, _| {});
+        let mut suite = run_suite(&smoke_matrix(), 5_000, 1, |_, _, _| {});
+        suite.probes = run_sampling_probes(&smoke_matrix(), 100_000, 1, |_, _, _| {});
         assert_eq!(suite.cells.len(), 2);
         for cell in &suite.cells {
             assert!(cell.instructions > 0);
@@ -200,9 +442,27 @@ mod tests {
             assert!(cell.wall_ns > 0);
             assert!(cell.ns_per_cycle() > 0.0);
             assert!(cell.instrs_per_sec() > 0.0);
+            assert_eq!(
+                cell.stream_insts, cell.instructions,
+                "cells run full timing"
+            );
+            assert!(cell.effective_mips() > 0.0);
+        }
+        assert_eq!(suite.probes.len(), 2, "one probe per distinct preset");
+        for probe in &suite.probes {
+            assert!(probe.full_insts >= 100_000);
+            assert!(
+                probe.sampled_stream >= 100_000,
+                "sampling traverses the whole stream budget"
+            );
+            assert!(probe.speedup() > 1.0, "sampling must beat full timing");
+            assert!(probe.full_fetch_rate > 0.0);
+            assert!(probe.sampled_fetch_rate > 0.0);
         }
         let text = suite_to_json(&suite).pretty();
         check_artifact(&text).expect("smoke artifact is valid");
+        assert!(text.contains("\"effective_mips\""));
+        assert!(text.contains("\"sampling_probes\""));
     }
 
     #[test]

@@ -439,6 +439,46 @@ impl<T: Tracer> FrontEnd<T> {
         }
     }
 
+    /// Functionally warms the front end from one retired instruction of
+    /// a sampled-simulation warm-up window (no fetch, no timing).
+    ///
+    /// Warming rules (see DESIGN.md §13):
+    ///
+    /// * conditional branches train the direction predictor at the
+    ///   branch's own PC under the current global history, then push the
+    ///   outcome into the history — a single-branch approximation of the
+    ///   fetch-indexed multiple-branch training the timing path performs;
+    /// * indirect jumps and calls train the indirect-target predictor
+    ///   with their architectural target (returns are excluded — they
+    ///   resolve through the RAS, which the driver re-seeds from its
+    ///   committed mirror at the measure boundary);
+    /// * every instruction feeds the fill path via [`FrontEnd::retire`],
+    ///   which warms the bias table (promotion state), trace packing,
+    ///   and the trace cache itself.
+    pub fn warm(&mut self, rec: &ExecRecord) {
+        if rec.is_cond_branch() {
+            match &mut self.predictor {
+                Predictor::Multi(p) => {
+                    let mp = p.predict(rec.pc.byte_addr(), self.history);
+                    p.update(mp.entry, &[rec.taken]);
+                }
+                Predictor::Split(p) => p.update(rec.pc.byte_addr(), self.history, &[rec.taken]),
+                Predictor::Hybrid(p) => {
+                    let hp = p.predict(rec.pc.byte_addr(), self.history);
+                    p.update(rec.pc.byte_addr(), self.history, hp, rec.taken);
+                }
+            }
+            self.history.push(rec.taken);
+        }
+        if matches!(
+            rec.control_kind(),
+            ControlKind::IndirectJump | ControlKind::IndirectCall
+        ) {
+            self.train_indirect(rec.pc, rec.next_pc);
+        }
+        self.retire(rec);
+    }
+
     /// Performs one fetch at `pc`.
     ///
     /// Touches the trace cache and instruction cache (so wrong-path

@@ -135,7 +135,7 @@ impl ExecutionEngine {
             }
         }
         self.fus.advance(cycle.saturating_sub(64));
-        if cycle > self.prune_clock + 4096 {
+        if cycle > self.prune_clock.saturating_add(4096) {
             self.memdep.prune(cycle.saturating_sub(256));
             self.prune_clock = cycle;
         }

@@ -150,7 +150,53 @@ impl Machine {
         self.halted
     }
 
-    fn data_addr(&self, pc: Addr, base: Reg, offset: i32) -> Result<u64, ExecError> {
+    /// Reconstructs a machine from fully explicit state, as captured by
+    /// [`Machine::regs`] / [`Machine::memory`] and the scalar accessors.
+    /// This is the checkpoint-restore constructor: no implicit
+    /// initialisation (stack pointer, zeroing) is applied, so a machine
+    /// rebuilt from another machine's state is bit-identical to it.
+    #[must_use]
+    pub fn from_parts(
+        regs: [u64; Reg::COUNT],
+        mem: Vec<u64>,
+        pc: Addr,
+        retired: u64,
+        halted: bool,
+    ) -> Machine {
+        Machine {
+            regs,
+            mem,
+            pc,
+            retired,
+            halted,
+        }
+    }
+
+    /// The full register file, indexed by [`Reg::index`].
+    #[must_use]
+    pub fn regs(&self) -> &[u64; Reg::COUNT] {
+        &self.regs
+    }
+
+    /// The full data memory image.
+    #[must_use]
+    pub fn memory(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Marks the machine halted (fast-path executor helper).
+    pub(crate) fn set_halted(&mut self) {
+        self.halted = true;
+    }
+
+    /// Batched PC/retired commit for the fast-path executor: jumps the PC
+    /// to `pc` and credits `count` retired instructions.
+    pub(crate) fn commit_straight(&mut self, pc: Addr, count: u64) {
+        self.pc = pc;
+        self.retired += count;
+    }
+
+    pub(crate) fn data_addr(&self, pc: Addr, base: Reg, offset: i32) -> Result<u64, ExecError> {
         let addr = self.reg(base).wrapping_add(offset as i64 as u64);
         if (addr as usize) < self.mem.len() {
             Ok(addr)
@@ -303,6 +349,26 @@ impl<'p> Interpreter<'p> {
     #[must_use]
     pub fn program(&self) -> &'p Program {
         self.program
+    }
+
+    /// Fast-forwards up to `max_insts` instructions through the
+    /// predecoded block cache without yielding records, returning how
+    /// many retired. Architecturally bit-identical to draining the same
+    /// count through [`Iterator::next`]; on a fault the error is latched
+    /// (see [`Interpreter::error`]) and iteration stops, exactly as for
+    /// stepped execution.
+    pub fn fast_forward(&mut self, blocks: &crate::fastpath::BlockCache, max_insts: u64) -> u64 {
+        if self.error.is_some() {
+            return 0;
+        }
+        let before = self.machine.retired();
+        match self.machine.fast_forward(self.program, blocks, max_insts) {
+            Ok(n) => n,
+            Err(e) => {
+                self.error = Some(e);
+                self.machine.retired() - before
+            }
+        }
     }
 }
 

@@ -44,6 +44,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod asm;
+mod fastpath;
 mod instr;
 mod interp;
 mod program;
@@ -52,6 +53,7 @@ mod stream;
 mod text;
 
 pub use asm::{AsmError, Label, ProgramBuilder};
+pub use fastpath::BlockCache;
 pub use instr::{AluOp, Cond, ControlKind, Instr};
 pub use interp::{ExecError, Interpreter, Machine, StepOutcome};
 pub use program::{Addr, Program, ProgramError};

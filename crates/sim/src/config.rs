@@ -6,6 +6,51 @@ use tc_core::{FrontEndConfig, PackingPolicy, StaticPromotionTable};
 use tc_engine::EngineConfig;
 use tc_fault::FaultPlan;
 
+/// How a run divides the dynamic instruction stream between the
+/// functional interpreter and the timing model.
+///
+/// The functional interpreter alone runs orders of magnitude faster
+/// than the timing front end; these modes let long streams be traversed
+/// at interpreter speed while timing only the regions of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Every instruction runs through the timing front end (default;
+    /// bit-identical to the pre-mode simulator).
+    FullTiming,
+    /// Fast-forward the first `skip` instructions functionally
+    /// (predecoded block dispatch, no timing, no warming), then time up
+    /// to the configured `max_insts` budget. Resuming from a checkpoint
+    /// taken at instruction `skip` is bit-identical to this mode.
+    FastForward {
+        /// Instructions to execute functionally before timing attaches.
+        skip: u64,
+    },
+    /// SMARTS-style sampled simulation. The stream is traversed in
+    /// repeating `period`-instruction windows: each window fast-forwards
+    /// `period - warmup - measure` instructions, functionally warms the
+    /// front end (bias table, predictors, trace cache) for `warmup`
+    /// instructions, then times `measure` instructions. `max_insts`
+    /// bounds the *total* stream traversed, so a sampled run covers the
+    /// same dynamic region as a full-timing run with the same budget.
+    Sample {
+        /// Functional-warming instructions per window.
+        warmup: u64,
+        /// Timed instructions per window.
+        measure: u64,
+        /// Total window length (`warmup + measure <= period`).
+        period: u64,
+    },
+}
+
+impl ExecutionMode {
+    /// Whether this mode times every instruction (the golden-fixture
+    /// configuration).
+    #[must_use]
+    pub fn is_full_timing(self) -> bool {
+        self == ExecutionMode::FullTiming
+    }
+}
+
 /// Complete machine + run configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -32,6 +77,10 @@ pub struct SimConfig {
     /// every fault path untouched and keeps reports bit-identical to a
     /// plain run.
     pub fault_plan: Option<FaultPlan>,
+    /// How functional execution and timing divide the stream
+    /// ([`ExecutionMode::FullTiming`] by default, which is bit-identical
+    /// to the pre-mode simulator).
+    pub mode: ExecutionMode,
 }
 
 /// Default dynamic-instruction budget.
@@ -48,6 +97,7 @@ impl SimConfig {
             static_promotion: None,
             ideal_returns: true,
             fault_plan: None,
+            mode: ExecutionMode::FullTiming,
         }
     }
 
@@ -200,6 +250,37 @@ impl SimConfig {
         self
     }
 
+    /// Fast-forwards `skip` instructions functionally before timing
+    /// attaches (see [`ExecutionMode::FastForward`]).
+    #[must_use]
+    pub fn with_fast_forward(mut self, skip: u64) -> SimConfig {
+        self.mode = ExecutionMode::FastForward { skip };
+        self
+    }
+
+    /// Enables SMARTS-style sampling (see [`ExecutionMode::Sample`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero or `warmup + measure` exceeds
+    /// `period`; the CLI validates user input before calling this.
+    #[must_use]
+    pub fn with_sampling(mut self, warmup: u64, measure: u64, period: u64) -> SimConfig {
+        assert!(measure > 0, "sampling measure window must be non-zero");
+        assert!(
+            warmup
+                .checked_add(measure)
+                .is_some_and(|used| used <= period),
+            "sampling window overflows the period: warmup {warmup} + measure {measure} > period {period}"
+        );
+        self.mode = ExecutionMode::Sample {
+            warmup,
+            measure,
+            period,
+        };
+        self
+    }
+
     /// A short label for tables ("icache", "tc", "tc+promo64+unreg", …).
     ///
     /// The label uniquely identifies the configuration (non-default
@@ -243,6 +324,19 @@ impl SimConfig {
         if let Some(plan) = &self.fault_plan {
             label.push('+');
             label.push_str(&plan.label());
+        }
+        match self.mode {
+            ExecutionMode::FullTiming => {}
+            ExecutionMode::FastForward { skip } => {
+                label.push_str(&format!("+ff{skip}"));
+            }
+            ExecutionMode::Sample {
+                warmup,
+                measure,
+                period,
+            } => {
+                label.push_str(&format!("+sample{measure}/{period}w{warmup}"));
+            }
         }
         label
     }

@@ -295,6 +295,21 @@ pub fn report_to_json(r: &SimReport) -> Json {
     if let Some(t) = &r.trace {
         fields.push(("trace", trace_summary_to_json(t)));
     }
+    // Appended only for fast-forward/sampled runs: full-timing reports
+    // keep the exact pre-mode key set.
+    if let Some(s) = &r.sampling {
+        fields.push((
+            "sampling",
+            Json::Object(vec![
+                ("fast_forwarded", Json::UInt(s.fast_forwarded)),
+                ("warmed", Json::UInt(s.warmed)),
+                ("measured", Json::UInt(s.measured)),
+                ("windows", Json::UInt(s.windows)),
+                ("total_stream", Json::UInt(s.total_stream)),
+                ("timed_fraction", Json::Float(s.timed_fraction())),
+            ]),
+        ));
+    }
     Json::Object(fields)
 }
 

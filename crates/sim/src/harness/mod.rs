@@ -38,6 +38,7 @@
 //!
 //! [`SimReport`]: crate::SimReport
 
+mod checkpoint;
 mod error;
 mod json;
 mod lint;
@@ -47,6 +48,7 @@ mod runner;
 mod table;
 mod trace;
 
+pub use checkpoint::{parse_checkpoint, Checkpoint, CHECKPOINT_FORMAT};
 pub use error::TwError;
 pub use json::{check_well_formed, report_to_json, reports_to_json, trace_summary_to_json, Json};
 pub use lint::{

@@ -270,6 +270,10 @@ fn event_args(event: &TraceEvent) -> Vec<(&'static str, Json)> {
         TraceEvent::FaultDetected { pc }
         | TraceEvent::FaultQuarantined { pc }
         | TraceEvent::FaultRecovered { pc } => vec![("pc", hex(pc))],
+        TraceEvent::ModeBoundary { phase, insts } => vec![
+            ("phase", Json::Str(phase.label().to_string())),
+            ("insts", Json::UInt(insts)),
+        ],
     }
 }
 

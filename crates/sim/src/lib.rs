@@ -43,10 +43,10 @@ mod report;
 pub mod experiments;
 pub mod harness;
 
-pub use config::SimConfig;
+pub use config::{ExecutionMode, SimConfig};
 pub use harness::MatrixRunner;
 pub use processor::Processor;
-pub use report::{CycleAccounting, SimReport};
+pub use report::{CycleAccounting, SamplingStats, SimReport};
 pub use tc_fault::{FaultLocus, FaultPlan, FaultStats};
 
 use tc_workloads::Benchmark;

@@ -9,13 +9,13 @@ use tc_core::{
 };
 use tc_engine::{ExecutionEngine, IssueTimes};
 use tc_fault::{FaultDraw, FaultInjector, FaultLocus, FaultStats};
-use tc_isa::{Addr, ControlKind, ExecRecord, Interpreter, Program};
+use tc_isa::{Addr, BlockCache, ControlKind, ExecRecord, Interpreter, Machine, Program};
 use tc_predict::ReturnStack;
-use tc_trace::{FetchOrigin, NoopTracer, TraceEvent, Tracer};
+use tc_trace::{ExecPhase, FetchOrigin, NoopTracer, TraceEvent, Tracer};
 use tc_workloads::Workload;
 
-use crate::config::SimConfig;
-use crate::report::{CycleAccounting, SimReport};
+use crate::config::{ExecutionMode, SimConfig};
+use crate::report::{CycleAccounting, SamplingStats, SimReport};
 
 /// Bubble charged when an indirect branch has no predicted target (the
 /// address is produced at decode rather than fetch).
@@ -71,6 +71,23 @@ enum FetchUpshot {
     Misfetch,
 }
 
+/// Per-run mutable state threaded through the timing loop, so the loop
+/// can be entered repeatedly (once per measurement window in sampled
+/// mode) without resetting counters or the committed-RAS mirror.
+#[derive(Debug)]
+struct RunState {
+    c: Counters,
+    acct: CycleAccounting,
+    /// Committed return-stack mirror for recovery — same geometry as
+    /// the front end's speculative RAS.
+    ras_mirror: ReturnStack,
+    cycle: u64,
+    last_retire: u64,
+    /// The oracle stream ran out (program completed): no further
+    /// windows can execute.
+    ended: bool,
+}
+
 /// The simulated processor: front end + engine + memory, driven by a
 /// workload's oracle instruction stream.
 #[derive(Debug)]
@@ -81,6 +98,13 @@ pub struct Processor<T: Tracer = NoopTracer> {
     mem: MemoryHierarchy,
     injector: Option<FaultInjector>,
     fault: FaultStats,
+    /// Oracle look-ahead buffer, held as a field so repeated runs (and
+    /// repeated measurement windows) reuse the allocation instead of
+    /// rebuilding it per call.
+    oracle: VecDeque<ExecRecord>,
+    /// In-flight instructions awaiting retirement; reused like
+    /// `oracle`.
+    retire_q: VecDeque<(u64, ExecRecord)>,
 }
 
 impl Processor {
@@ -107,6 +131,8 @@ impl<T: Tracer> Processor<T> {
             mem: MemoryHierarchy::new(config.hierarchy),
             injector: config.fault_plan.clone().map(FaultInjector::new),
             fault: FaultStats::default(),
+            oracle: VecDeque::with_capacity(128),
+            retire_q: VecDeque::new(),
             config,
         }
     }
@@ -118,71 +144,300 @@ impl<T: Tracer> Processor<T> {
     }
 
     /// Runs the workload to its dynamic-instruction budget (or
-    /// completion) and reports.
+    /// completion) and reports, honoring the configured
+    /// [`ExecutionMode`].
     pub fn run(&mut self, workload: &Workload) -> SimReport {
+        self.run_from(workload, workload.machine())
+    }
+
+    /// Runs the workload starting from an explicit architectural
+    /// `machine` state (typically restored from a checkpoint).
+    ///
+    /// A machine checkpointed at instruction `n` and resumed under
+    /// [`ExecutionMode::FastForward`]`{ skip: n }` produces a report
+    /// bit-identical to an unresumed `--fast-forward n` run: the mode's
+    /// `skip` counts stream *position*, so instructions the restored
+    /// machine has already retired count toward it.
+    pub fn run_from(&mut self, workload: &Workload, machine: Machine) -> SimReport {
         let program = workload.program();
-        let mut interp = workload.interpreter();
-        let mut oracle: VecDeque<ExecRecord> = VecDeque::with_capacity(128);
-        let mut c = Counters::new();
-        let mut acct = CycleAccounting::default();
-        let mut retire_q: VecDeque<(u64, ExecRecord)> = VecDeque::new();
-        // Committed return-stack mirror for recovery — same geometry as
-        // the front end's speculative RAS.
-        let mut ras_mirror = match self.config.front_end.ras_depth {
-            Some(depth) => ReturnStack::with_depth(depth),
-            None => ReturnStack::ideal(),
+        let mut interp = Interpreter::with_machine(program, machine);
+        self.oracle.clear();
+        self.retire_q.clear();
+        let mut rs = RunState {
+            c: Counters::new(),
+            acct: CycleAccounting::default(),
+            ras_mirror: match self.config.front_end.ras_depth {
+                Some(depth) => ReturnStack::with_depth(depth),
+                None => ReturnStack::ideal(),
+            },
+            cycle: 0,
+            last_retire: 0,
+            ended: false,
         };
 
-        let mut cycle: u64 = 0;
-        let mut last_retire: u64 = 0;
-
-        refill(&mut oracle, &mut interp);
-        let Some(first) = oracle.front() else {
-            return self.report(workload, &c, acct, 0);
+        let sampling = match self.config.mode {
+            ExecutionMode::FullTiming => {
+                self.run_timing(program, &mut interp, &mut rs, self.config.max_insts);
+                None
+            }
+            ExecutionMode::FastForward { skip } => {
+                Some(self.run_fast_forward(program, &mut interp, &mut rs, skip))
+            }
+            ExecutionMode::Sample {
+                warmup,
+                measure,
+                period,
+            } => Some(self.run_sampled(program, &mut interp, &mut rs, warmup, measure, period)),
         };
-        let mut pc = first.pc;
 
-        while c.issued < self.config.max_insts {
-            refill(&mut oracle, &mut interp);
-            if oracle.is_empty() {
+        // Let the machine drain. `total_cycles` bounds every pending
+        // retire time, so draining to it empties the window without
+        // advancing the engine clocks past the run (which would poison
+        // a later run on the same processor).
+        let total_cycles = rs.cycle.max(rs.last_retire);
+        self.front_end.set_cycle(total_cycles);
+        while let Some((_, rec)) = self.retire_q.pop_front() {
+            self.front_end.retire(&rec);
+        }
+        self.engine.drain_retired(total_cycles);
+        // Final sweep: audit every segment still resident in the cache.
+        self.front_end.audit();
+
+        assert!(
+            interp.error().is_none(),
+            "workload faulted: {:?}",
+            interp.error()
+        );
+        self.report(workload, &rs.c, rs.acct, total_cycles, sampling)
+    }
+
+    /// Fast-forwards to stream position `skip` (counting instructions
+    /// the machine has already retired), then times up to the
+    /// configured budget.
+    fn run_fast_forward(
+        &mut self,
+        program: &Program,
+        interp: &mut Interpreter<'_>,
+        rs: &mut RunState,
+        skip: u64,
+    ) -> SamplingStats {
+        let mut stats = SamplingStats::default();
+        let already = interp.machine().retired();
+        let want = skip.saturating_sub(already);
+        let mut skipped = 0;
+        if want > 0 {
+            let blocks = BlockCache::new(program);
+            skipped = skip_ahead(&mut self.oracle, interp, &blocks, want);
+            if skipped < want {
+                rs.ended = true;
+            }
+        }
+        stats.fast_forwarded = already + skipped;
+        if T::ENABLED {
+            self.front_end.tracer_mut().emit(TraceEvent::ModeBoundary {
+                phase: ExecPhase::FastForward,
+                insts: stats.fast_forwarded,
+            });
+        }
+        if !rs.ended {
+            self.run_timing(program, interp, rs, self.config.max_insts);
+        }
+        stats.measured = rs.c.issued;
+        stats.windows = u64::from(rs.c.issued > 0);
+        stats.total_stream = stats.fast_forwarded + stats.warmed + stats.measured;
+        stats
+    }
+
+    /// SMARTS-style sampling: repeat (fast-forward, functional warm-up,
+    /// timed measure) windows until the stream or the total budget runs
+    /// out. `max_insts` bounds the *total* stream traversed, so a
+    /// sampled run covers the same dynamic region as a full-timing run
+    /// with the same budget.
+    fn run_sampled(
+        &mut self,
+        program: &Program,
+        interp: &mut Interpreter<'_>,
+        rs: &mut RunState,
+        warmup: u64,
+        measure: u64,
+        period: u64,
+    ) -> SamplingStats {
+        let mut stats = SamplingStats::default();
+        let blocks = BlockCache::new(program);
+        let skip_per_window = period - warmup - measure;
+        let total = self.config.max_insts;
+        let mut consumed = 0u64;
+
+        while !rs.ended && consumed < total {
+            // --- Fast-forward portion ---
+            let want = skip_per_window.min(total - consumed);
+            if want > 0 {
+                let skipped = skip_ahead(&mut self.oracle, interp, &blocks, want);
+                consumed += skipped;
+                stats.fast_forwarded += skipped;
+                if T::ENABLED {
+                    self.front_end.tracer_mut().emit(TraceEvent::ModeBoundary {
+                        phase: ExecPhase::FastForward,
+                        insts: skipped,
+                    });
+                }
+                if skipped < want {
+                    break;
+                }
+            }
+            // --- Functional warm-up ---
+            let want = warmup.min(total - consumed);
+            if want > 0 {
+                let warmed = self.warm_up(interp, &mut rs.ras_mirror, want);
+                consumed += warmed;
+                stats.warmed += warmed;
+                if T::ENABLED {
+                    self.front_end.tracer_mut().emit(TraceEvent::ModeBoundary {
+                        phase: ExecPhase::Warmup,
+                        insts: warmed,
+                    });
+                }
+                if warmed < want {
+                    break;
+                }
+            }
+            // --- Timed measurement window ---
+            let want = measure.min(total - consumed);
+            if want == 0 {
                 break;
             }
-            self.front_end.set_cycle(cycle);
+            self.front_end.restore_ras(&rs.ras_mirror);
+            let before = rs.c.issued;
+            self.run_timing(program, interp, rs, want);
+            let measured = rs.c.issued - before;
+            consumed += measured;
+            stats.windows += 1;
+            if T::ENABLED {
+                self.front_end.tracer_mut().emit(TraceEvent::ModeBoundary {
+                    phase: ExecPhase::Measure,
+                    insts: measured,
+                });
+            }
+            if !rs.ended {
+                // The pipeline drains across the (long) skipped region
+                // before the next window attaches. `rs.cycle` has been
+                // advanced past every pending retire time, so draining
+                // to it empties the window.
+                rs.cycle = rs.cycle.max(rs.last_retire);
+                self.front_end.set_cycle(rs.cycle);
+                while let Some((_, rec)) = self.retire_q.pop_front() {
+                    self.front_end.retire(&rec);
+                }
+                self.engine.drain_retired(rs.cycle);
+            }
+        }
+        stats.measured = rs.c.issued;
+        stats.total_stream = stats.fast_forwarded + stats.warmed + stats.measured;
+        stats
+    }
+
+    /// Functionally warms the front end for up to `want` instructions:
+    /// trains the conditional predictor and history, the indirect
+    /// predictor, and (via retirement) the bias table, fill unit, and
+    /// trace cache — without advancing timing. Loads and stores also
+    /// touch the data-side hierarchy, so measurement windows do not
+    /// start against a cold dcache/L2. Returns the number of
+    /// instructions consumed (short only when the stream ends).
+    fn warm_up(
+        &mut self,
+        interp: &mut Interpreter<'_>,
+        ras_mirror: &mut ReturnStack,
+        want: u64,
+    ) -> u64 {
+        let mut done = 0u64;
+        while done < want {
+            let rec = match self.oracle.pop_front() {
+                Some(rec) => rec,
+                None => match interp.next() {
+                    Some(rec) => rec,
+                    None => break,
+                },
+            };
+            match rec.control_kind() {
+                ControlKind::Call | ControlKind::IndirectCall => {
+                    ras_mirror.push(u64::from(rec.pc.next()));
+                }
+                ControlKind::Return => {
+                    let _ = ras_mirror.pop();
+                }
+                _ => {}
+            }
+            if let Some(addr) = rec.mem_addr {
+                let _ = self.mem.data_access(addr * 8); // word -> byte address
+            }
+            self.front_end.warm(&rec);
+            done += 1;
+        }
+        done
+    }
+
+    /// The timing loop: issues up to `budget` correct-path instructions
+    /// through the full front-end + engine model, starting from the
+    /// oracle's current stream position. Sets `rs.ended` when the
+    /// stream runs out. With `budget == max_insts` on a fresh
+    /// [`RunState`] this is bit-identical to the pre-mode simulator.
+    fn run_timing(
+        &mut self,
+        program: &Program,
+        interp: &mut Interpreter<'_>,
+        rs: &mut RunState,
+        budget: u64,
+    ) {
+        refill(&mut self.oracle, interp);
+        let Some(first) = self.oracle.front() else {
+            rs.ended = true;
+            return;
+        };
+        let mut pc = first.pc;
+        let start = rs.c.issued;
+
+        while rs.c.issued - start < budget {
+            refill(&mut self.oracle, interp);
+            if self.oracle.is_empty() {
+                rs.ended = true;
+                break;
+            }
+            self.front_end.set_cycle(rs.cycle);
             // Scheduled fault injection for this cycle.
-            let draw = self.injector.as_mut().and_then(|inj| inj.poll(cycle));
+            let draw = self.injector.as_mut().and_then(|inj| inj.poll(rs.cycle));
             if let Some(draw) = draw {
                 self.apply_fault(draw);
             }
             // Retire-side work reaching the current cycle.
-            while retire_q.front().is_some_and(|(t, _)| *t <= cycle) {
-                let (_, rec) = retire_q.pop_front().expect("checked");
+            while self.retire_q.front().is_some_and(|(t, _)| *t <= rs.cycle) {
+                let (_, rec) = self.retire_q.pop_front().expect("checked");
                 self.front_end.retire(&rec);
             }
-            self.engine.drain_retired(cycle);
+            self.engine.drain_retired(rs.cycle);
             if !self.engine.has_room() {
                 let t = self
                     .engine
                     .earliest_retire()
                     .expect("full window is non-empty");
-                let wait = t.saturating_sub(cycle).max(1);
+                let wait = t.saturating_sub(rs.cycle).max(1);
                 if T::ENABLED {
                     self.front_end.tracer_mut().emit(TraceEvent::WindowStall {
                         wait: wait as u32,
                         occupancy: self.engine.occupancy() as u32,
                     });
                 }
-                acct.full_window += wait;
-                cycle += wait;
+                rs.acct.full_window += wait;
+                rs.cycle += wait;
                 continue;
             }
 
             // --- Fetch ---
             let bundle = self.front_end.fetch(pc, program, &mut self.mem);
             if bundle.icache_latency > 0 {
-                acct.cache_misses += u64::from(bundle.icache_latency);
-                cycle += u64::from(bundle.icache_latency);
+                rs.acct.cache_misses += u64::from(bundle.icache_latency);
+                rs.cycle += u64::from(bundle.icache_latency);
             }
-            let fetch_cycle = cycle;
+            let fetch_cycle = rs.cycle;
 
             // --- Validate the active portion against the oracle ---
             // A fetch carries at most three non-promoted conditional
@@ -197,7 +452,9 @@ impl<T: Tracer> Processor<T> {
             let mut trap_fetched = false;
 
             for fi in bundle.active() {
-                let Some(front) = oracle.front() else { break };
+                let Some(front) = self.oracle.front() else {
+                    break;
+                };
                 if front.pc != fi.pc {
                     // The predicted path silently left the correct path —
                     // impossible with consistent segments, so under fault
@@ -212,19 +469,19 @@ impl<T: Tracer> Processor<T> {
                     upshot = FetchUpshot::Misfetch;
                     break;
                 }
-                let rec = oracle.pop_front().expect("checked");
+                let rec = self.oracle.pop_front().expect("checked");
                 let times = self.engine.issue(&rec, fetch_cycle, &mut self.mem);
-                retire_q.push_back((times.retire, rec));
-                last_retire = last_retire.max(times.retire);
+                self.retire_q.push_back((times.retire, rec));
+                rs.last_retire = rs.last_retire.max(times.retire);
                 last_times = Some(times);
-                c.issued += 1;
+                rs.c.issued += 1;
                 validated += 1;
                 match rec.control_kind() {
                     ControlKind::Call | ControlKind::IndirectCall => {
-                        ras_mirror.push(u64::from(rec.pc.next()));
+                        rs.ras_mirror.push(u64::from(rec.pc.next()));
                     }
                     ControlKind::Return => {
-                        let _ = ras_mirror.pop();
+                        let _ = rs.ras_mirror.pop();
                     }
                     ControlKind::Trap => trap_fetched = true,
                     _ => {}
@@ -239,9 +496,9 @@ impl<T: Tracer> Processor<T> {
                     if fi.promoted {
                         promoted_in_fetch += 1;
                         if predicted == rec.taken {
-                            c.promoted_executed += 1;
+                            rs.c.promoted_executed += 1;
                         } else {
-                            c.promoted_faults += 1;
+                            rs.c.promoted_faults += 1;
                             if T::ENABLED {
                                 self.front_end
                                     .tracer_mut()
@@ -251,10 +508,10 @@ impl<T: Tracer> Processor<T> {
                             break;
                         }
                     } else {
-                        c.cond_branches += 1;
+                        rs.c.cond_branches += 1;
                         outcomes.push(rec.taken);
                         if predicted != rec.taken {
-                            c.cond_mispredicts += 1;
+                            rs.c.cond_mispredicts += 1;
                             if T::ENABLED {
                                 self.front_end
                                     .tracer_mut()
@@ -276,7 +533,7 @@ impl<T: Tracer> Processor<T> {
                 match bundle.next_pc {
                     NextPc::Known(a) => resolved_next = Some(a),
                     NextPc::Return { predicted } => {
-                        let actual = oracle.front().map(|r| r.pc);
+                        let actual = self.oracle.front().map(|r| r.pc);
                         if self.config.ideal_returns {
                             // Ideal RAS: the architectural target.
                             resolved_next = actual;
@@ -285,7 +542,7 @@ impl<T: Tracer> Processor<T> {
                             match predicted {
                                 Some(p) if p == actual => {}
                                 Some(_) => {
-                                    c.return_mispredicts += 1;
+                                    rs.c.return_mispredicts += 1;
                                     if T::ENABLED {
                                         self.front_end.tracer_mut().emit(
                                             TraceEvent::ReturnMispredict {
@@ -304,14 +561,14 @@ impl<T: Tracer> Processor<T> {
                         pc: ind_pc,
                         predicted,
                     } => {
-                        c.indirect_executed += 1;
-                        let actual = oracle.front().map(|r| r.pc);
+                        rs.c.indirect_executed += 1;
+                        let actual = self.oracle.front().map(|r| r.pc);
                         if let Some(actual) = actual {
                             self.front_end.train_indirect(ind_pc, actual);
                             match predicted {
                                 Some(p) if p == actual => resolved_next = Some(actual),
                                 Some(_) => {
-                                    c.indirect_mispredicts += 1;
+                                    rs.c.indirect_mispredicts += 1;
                                     if T::ENABLED {
                                         self.front_end
                                             .tracer_mut()
@@ -335,7 +592,9 @@ impl<T: Tracer> Processor<T> {
             let mut salvaged = 0usize;
             if matches!(upshot, FetchUpshot::Mispredict { .. }) {
                 for fi in bundle.inactive() {
-                    let Some(front) = oracle.front() else { break };
+                    let Some(front) = self.oracle.front() else {
+                        break;
+                    };
                     if front.pc != fi.pc {
                         break;
                     }
@@ -344,18 +603,18 @@ impl<T: Tracer> Processor<T> {
                             break;
                         }
                     }
-                    let rec = oracle.pop_front().expect("checked");
+                    let rec = self.oracle.pop_front().expect("checked");
                     let times = self.engine.issue(&rec, fetch_cycle, &mut self.mem);
-                    retire_q.push_back((times.retire, rec));
-                    last_retire = last_retire.max(times.retire);
-                    c.issued += 1;
+                    self.retire_q.push_back((times.retire, rec));
+                    rs.last_retire = rs.last_retire.max(times.retire);
+                    rs.c.issued += 1;
                     salvaged += 1;
                     match rec.control_kind() {
                         ControlKind::Call | ControlKind::IndirectCall => {
-                            ras_mirror.push(u64::from(rec.pc.next()));
+                            rs.ras_mirror.push(u64::from(rec.pc.next()));
                         }
                         ControlKind::Return => {
-                            let _ = ras_mirror.pop();
+                            let _ = rs.ras_mirror.pop();
                         }
                         _ => {}
                     }
@@ -363,14 +622,14 @@ impl<T: Tracer> Processor<T> {
                         history_replay.push(rec.taken);
                         if fi.promoted {
                             promoted_in_fetch += 1;
-                            c.promoted_executed += 1;
+                            rs.c.promoted_executed += 1;
                         } else {
-                            c.cond_branches += 1;
+                            rs.c.cond_branches += 1;
                             outcomes.push(rec.taken);
                         }
                     }
                 }
-                c.salvaged += salvaged as u64;
+                rs.c.salvaged += salvaged as u64;
             }
 
             // --- Stats + training ---
@@ -407,20 +666,23 @@ impl<T: Tracer> Processor<T> {
             // --- Advance ---
             match upshot {
                 FetchUpshot::Clean => {
-                    acct.useful_fetch += 1;
-                    cycle += 1;
+                    rs.acct.useful_fetch += 1;
+                    rs.cycle += 1;
                     if trap_fetched {
                         // Serializing: fetch stalls until the trap
                         // retires.
-                        let trap_retire = last_times.map_or(cycle, |t| t.retire);
-                        if trap_retire > cycle {
-                            acct.traps += trap_retire - cycle;
-                            cycle = trap_retire;
+                        let trap_retire = last_times.map_or(rs.cycle, |t| t.retire);
+                        if trap_retire > rs.cycle {
+                            rs.acct.traps += trap_retire - rs.cycle;
+                            rs.cycle = trap_retire;
                         }
                     }
                     match resolved_next {
                         Some(next) => pc = next,
-                        None => break,
+                        None => {
+                            rs.ended = true;
+                            break;
+                        }
                     }
                 }
                 FetchUpshot::Misfetch => {
@@ -429,21 +691,24 @@ impl<T: Tracer> Processor<T> {
                             pc: bundle.fetch_pc,
                         });
                     }
-                    acct.useful_fetch += 1;
-                    acct.misfetches += MISFETCH_PENALTY;
-                    cycle += 1 + MISFETCH_PENALTY;
-                    match resolved_next.or_else(|| oracle.front().map(|r| r.pc)) {
+                    rs.acct.useful_fetch += 1;
+                    rs.acct.misfetches += MISFETCH_PENALTY;
+                    rs.cycle += 1 + MISFETCH_PENALTY;
+                    match resolved_next.or_else(|| self.oracle.front().map(|r| r.pc)) {
                         Some(next) => pc = next,
-                        None => break,
+                        None => {
+                            rs.ended = true;
+                            break;
+                        }
                     }
                 }
                 FetchUpshot::Mispredict { done } => {
-                    acct.useful_fetch += 1;
+                    rs.acct.useful_fetch += 1;
                     let redirect = done + 1;
-                    c.resolution_cycles += done.saturating_sub(fetch_cycle);
-                    c.resolution_events += 1;
+                    rs.c.resolution_cycles += done.saturating_sub(fetch_cycle);
+                    rs.c.resolution_events += 1;
                     let lost = redirect.saturating_sub(fetch_cycle + 1);
-                    acct.branch_misses += lost;
+                    rs.acct.branch_misses += lost;
 
                     // Wrong-path fetching during the shadow: pollutes the
                     // caches and LRU state, then all speculative
@@ -458,10 +723,10 @@ impl<T: Tracer> Processor<T> {
                     for &t in &history_replay {
                         self.front_end.push_history(t);
                     }
-                    self.front_end.restore_ras(&ras_mirror);
+                    self.front_end.restore_ras(&rs.ras_mirror);
 
-                    cycle = redirect.max(fetch_cycle + 1);
-                    match oracle.front().map(|r| r.pc) {
+                    rs.cycle = redirect.max(fetch_cycle + 1);
+                    match self.oracle.front().map(|r| r.pc) {
                         Some(next) => {
                             if T::ENABLED {
                                 self.front_end.tracer_mut().emit(TraceEvent::Repair {
@@ -471,28 +736,14 @@ impl<T: Tracer> Processor<T> {
                             }
                             pc = next;
                         }
-                        None => break,
+                        None => {
+                            rs.ended = true;
+                            break;
+                        }
                     }
                 }
             }
         }
-
-        // Let the machine drain.
-        let total_cycles = cycle.max(last_retire);
-        self.front_end.set_cycle(total_cycles);
-        while let Some((_, rec)) = retire_q.pop_front() {
-            self.front_end.retire(&rec);
-        }
-        self.engine.drain_retired(u64::MAX);
-        // Final sweep: audit every segment still resident in the cache.
-        self.front_end.audit();
-
-        assert!(
-            interp.error().is_none(),
-            "workload faulted: {:?}",
-            interp.error()
-        );
-        self.report(workload, &c, acct, total_cycles)
     }
 
     /// Simulates wrong-path fetching between a misprediction and its
@@ -561,6 +812,7 @@ impl<T: Tracer> Processor<T> {
         c: &Counters,
         acct: CycleAccounting,
         cycles: u64,
+        sampling: Option<SamplingStats>,
     ) -> SimReport {
         SimReport {
             benchmark: workload.name().to_owned(),
@@ -601,6 +853,7 @@ impl<T: Tracer> Processor<T> {
                 }
             }),
             trace: self.front_end.tracer().summary(),
+            sampling,
         }
     }
 }
@@ -612,6 +865,21 @@ fn refill(oracle: &mut VecDeque<ExecRecord>, interp: &mut Interpreter<'_>) {
             None => break,
         }
     }
+}
+
+/// Advances the stream by up to `want` instructions with no timing and
+/// no warming: drains already-materialized oracle records first, then
+/// fast-forwards the interpreter through the predecoded block cache.
+/// Returns the instructions consumed (short only when the stream ends).
+fn skip_ahead(
+    oracle: &mut VecDeque<ExecRecord>,
+    interp: &mut Interpreter<'_>,
+    blocks: &BlockCache,
+    want: u64,
+) -> u64 {
+    let from_buffer = (oracle.len() as u64).min(want);
+    oracle.drain(..from_buffer as usize);
+    from_buffer + interp.fast_forward(blocks, want - from_buffer)
 }
 
 #[cfg(test)]

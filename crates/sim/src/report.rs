@@ -52,6 +52,42 @@ impl CycleAccounting {
     }
 }
 
+/// How a non-full-timing run divided the dynamic instruction stream
+/// between the functional interpreter and the timing model.
+///
+/// All counts are instructions. `total_stream` is the stream position
+/// reached (`fast_forwarded + warmed + measured`); for a fast-forward
+/// run resumed from a checkpoint, `fast_forwarded` includes the
+/// instructions the checkpointed machine had already retired, so the
+/// resumed report is bit-identical to the unresumed one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingStats {
+    /// Instructions executed functionally with no timing and no warming.
+    pub fast_forwarded: u64,
+    /// Instructions that functionally warmed the front end (bias table,
+    /// predictors, trace cache) without being timed.
+    pub warmed: u64,
+    /// Instructions issued through the full timing model.
+    pub measured: u64,
+    /// Timed measurement windows (1 for a plain fast-forward run).
+    pub windows: u64,
+    /// Total dynamic instructions traversed.
+    pub total_stream: u64,
+}
+
+impl SamplingStats {
+    /// Fraction of the traversed stream that ran through the timing
+    /// model (`0.0` for an empty run).
+    #[must_use]
+    pub fn timed_fraction(&self) -> f64 {
+        if self.total_stream == 0 {
+            0.0
+        } else {
+            (self.measured + self.warmed) as f64 / self.total_stream as f64
+        }
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -112,6 +148,10 @@ pub struct SimReport {
     /// default), so untraced reports — and their JSON — are bit-
     /// identical to pre-tracing builds.
     pub trace: Option<TraceSummary>,
+    /// Stream division for fast-forward/sampled runs; `None` in
+    /// full-timing mode, so full-timing reports — and the golden
+    /// fixtures — keep the exact pre-mode key set.
+    pub sampling: Option<SamplingStats>,
 }
 
 impl SimReport {
@@ -218,6 +258,7 @@ mod tests {
             sanitizer: SanitizerStats::default(),
             fault: None,
             trace: None,
+            sampling: None,
         }
     }
 

@@ -164,6 +164,32 @@ impl FaultLocus {
     }
 }
 
+/// Which execution phase a mode boundary opens (decoupled
+/// functional/timing execution: fast-forward, sampled warm-up, timed
+/// measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPhase {
+    /// Functional fast-forward: no timing, no warming.
+    FastForward,
+    /// Functional warming: predictors, bias table, and trace cache are
+    /// trained architecturally without timing.
+    Warmup,
+    /// Timed measurement window.
+    Measure,
+}
+
+impl ExecPhase {
+    /// Short lower-case label (used by the Chrome export).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecPhase::FastForward => "fast_forward",
+            ExecPhase::Warmup => "warmup",
+            ExecPhase::Measure => "measure",
+        }
+    }
+}
+
 /// One structured event. Every variant is `Copy` and pointer-sized-ish,
 /// so constructing one costs a handful of register moves — and with the
 /// [`crate::NoopTracer`] it is never constructed at all.
@@ -342,10 +368,19 @@ pub enum TraceEvent {
         /// The refetched address.
         pc: Addr,
     },
+    /// Execution crossed a mode boundary: a fast-forward, warm-up, or
+    /// measurement phase completed (decoupled functional/timing
+    /// execution).
+    ModeBoundary {
+        /// The phase that just completed.
+        phase: ExecPhase,
+        /// Instructions the phase consumed from the dynamic stream.
+        insts: u64,
+    },
 }
 
 /// Number of [`EventKind`] variants (sizes the per-kind count arrays).
-pub const EVENT_KIND_COUNT: usize = 23;
+pub const EVENT_KIND_COUNT: usize = 24;
 
 /// The discriminant of a [`TraceEvent`], used for filtering and
 /// per-kind counting.
@@ -398,6 +433,8 @@ pub enum EventKind {
     FaultQuarantined = 21,
     /// [`TraceEvent::FaultRecovered`].
     FaultRecovered = 22,
+    /// [`TraceEvent::ModeBoundary`].
+    ModeBoundary = 23,
 }
 
 impl EventKind {
@@ -426,6 +463,7 @@ impl EventKind {
         EventKind::FaultDetected,
         EventKind::FaultQuarantined,
         EventKind::FaultRecovered,
+        EventKind::ModeBoundary,
     ];
 
     /// Stable snake-case name (CLI filter token, Chrome event name).
@@ -455,6 +493,7 @@ impl EventKind {
             EventKind::FaultDetected => "fault_detected",
             EventKind::FaultQuarantined => "fault_quarantined",
             EventKind::FaultRecovered => "fault_recovered",
+            EventKind::ModeBoundary => "mode_boundary",
         }
     }
 
@@ -477,6 +516,7 @@ impl EventKind {
             | EventKind::FaultDetected
             | EventKind::FaultQuarantined
             | EventKind::FaultRecovered => "fault",
+            EventKind::ModeBoundary => "mode",
         }
     }
 
@@ -515,6 +555,7 @@ impl TraceEvent {
             TraceEvent::FaultDetected { .. } => EventKind::FaultDetected,
             TraceEvent::FaultQuarantined { .. } => EventKind::FaultQuarantined,
             TraceEvent::FaultRecovered { .. } => EventKind::FaultRecovered,
+            TraceEvent::ModeBoundary { .. } => EventKind::ModeBoundary,
         }
     }
 }

@@ -34,7 +34,7 @@ mod timeline;
 mod tracer;
 
 pub use event::{
-    DemotionCause, EventKind, FaultLocus, FetchOrigin, FillEnd, PackVerdict, TraceEvent,
+    DemotionCause, EventKind, ExecPhase, FaultLocus, FetchOrigin, FillEnd, PackVerdict, TraceEvent,
     EVENT_KIND_COUNT,
 };
 pub use timeline::{IntervalStats, Timeline};

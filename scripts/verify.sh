@@ -40,6 +40,27 @@ echo "==> tw faults (smoke)"
 target/release/tw faults --workload compress --preset headline \
   --seed 1 --rate 1e-3 --insts 20000 --json >/dev/null
 
+echo "==> tw sim --fast-forward / --sample (smoke)"
+target/release/tw sim --bench compress --config baseline \
+  --fast-forward 100000 --insts 20000 --json >/dev/null
+target/release/tw sim --bench compress --config headline \
+  --insts 200000 --sample 2000/10000 --json >/dev/null
+
+echo "==> tw checkpoint save/restore round trip"
+ckpt="$(mktemp -t tw-ckpt-smoke.XXXXXX.json)"
+direct="$(mktemp -t tw-ff-direct.XXXXXX.json)"
+resumed="$(mktemp -t tw-ff-resumed.XXXXXX.json)"
+target/release/tw checkpoint save --workload compress --insts 100000 \
+  --out "$ckpt" >/dev/null
+target/release/tw sim --bench compress --config baseline \
+  --fast-forward 100000 --insts 20000 --json > "$direct"
+target/release/tw checkpoint restore --from "$ckpt" --config baseline \
+  --insts 20000 --json > "$resumed"
+# Resuming from the checkpoint must reproduce the direct fast-forward
+# run bit-for-bit.
+cmp "$direct" "$resumed"
+rm -f "$ckpt" "$direct" "$resumed"
+
 echo "==> error layer exit codes"
 # Malformed inputs must fail with the conventional codes (2 usage,
 # 1 runtime) and a one-line diagnostic — never a panic (code 101).
@@ -65,4 +86,4 @@ rm -f "$bad_asm" "$bench_artifact.trunc"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + error layer + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + error layer + formatting all clean"

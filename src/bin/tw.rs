@@ -3,6 +3,9 @@
 //! ```text
 //! tw list
 //! tw sim --bench gcc --config promo-pack [--insts 2000000] [--perfect-mem] [--json] [--timeline]
+//!        [--fast-forward N | --sample M/K [--warmup W]]
+//! tw checkpoint save --workload gcc [--insts N] [--out FILE]
+//! tw checkpoint restore --from FILE --config promo-pack [--insts N] [--json]
 //! tw compare --bench gcc [--insts N] [--jobs N] [--json] [--timeline]
 //!            [--fault-rate R --fault-seed S] [--timeout-secs N]
 //! tw faults --workload gcc --preset headline --seed 1 --rate 1e-4
@@ -13,6 +16,16 @@
 //! tw bench --check FILE
 //! tw bench --compare OLD.json NEW.json [--tolerance PCT]
 //! ```
+//!
+//! `sim` honors the execution modes: `--fast-forward N` skips the
+//! first N instructions at functional-interpreter speed before timing
+//! attaches, and `--sample M/K` times M instructions out of every K
+//! (with `--warmup W` functional-warming instructions before each
+//! measured window; default `min(K-M, 2*M)`). `checkpoint save`
+//! fast-forwards a workload and writes its full architectural state as
+//! a `tw-ckpt/v1` JSON file; `checkpoint restore` resumes a saved
+//! state under a configuration and reports — bit-identical to running
+//! `tw sim --fast-forward` to the same position.
 //!
 //! Configuration names come from the experiment harness's registry
 //! (`tc_sim::harness`); `tw list` prints it. `compare` runs Figure 10's
@@ -59,7 +72,18 @@ fn usage() -> ExitCode {
       list benchmarks and configurations
   tw sim --bench <name> --config <name> [--insts N] [--perfect-mem] [--json]
          [--timeline] [--interval N]
-      simulate one benchmark under one configuration
+         [--fast-forward N | --sample M/K [--warmup W]]
+      simulate one benchmark under one configuration;
+      --fast-forward skips N instructions functionally before timing,
+      --sample times M of every K instructions (SMARTS-style), warming
+      the front end for W instructions before each window
+  tw checkpoint save --workload <name> [--insts N] [--out FILE]
+      fast-forward N instructions (default 2000000) functionally and
+      write the machine's architectural state as a tw-ckpt/v1 JSON
+      file (default <name>.ckpt.json)
+  tw checkpoint restore --from FILE --config <name> [--insts N] [--json]
+      resume a saved machine state under a configuration and report;
+      bit-identical to tw sim --fast-forward at the saved position
   tw compare --bench <name> [--insts N] [--jobs N] [--json] [--timeline]
              [--fault-rate R] [--fault-seed S] [--timeout-secs N]
       compare the five standard configurations on one benchmark;
@@ -120,6 +144,15 @@ fn print_report(r: &SimReport) {
     if let Some(tc) = &r.trace_cache {
         println!("trace cache        {:.1}% miss", tc.miss_ratio() * 100.0);
     }
+    if let Some(s) = &r.sampling {
+        println!("stream division:");
+        println!("  fast-forwarded   {}", s.fast_forwarded);
+        println!("  warmed           {}", s.warmed);
+        println!("  measured         {}", s.measured);
+        println!("  windows          {}", s.windows);
+        println!("  total stream     {}", s.total_stream);
+        println!("  timed fraction   {:.2}%", s.timed_fraction() * 100.0);
+    }
     if let Some(f) = &r.fault {
         println!("fault injection:");
         println!("  injected         {}", f.injected);
@@ -175,6 +208,11 @@ struct Flags {
     targets: Option<String>,
     timeout_secs: Option<u64>,
     asm: Option<String>,
+    fast_forward: Option<u64>,
+    /// `--sample M/K`: (measure, period).
+    sample: Option<(u64, u64)>,
+    warmup: Option<u64>,
+    from: Option<String>,
 }
 
 impl Flags {
@@ -282,6 +320,29 @@ impl Flags {
                     f.timeout_secs = Some(n);
                 }
                 "--asm" => f.asm = Some(value(args, &mut i, "--asm")?.to_string()),
+                "--fast-forward" => {
+                    f.fast_forward = Some(number(args, &mut i, "--fast-forward")?);
+                }
+                "--sample" => {
+                    let spec = value(args, &mut i, "--sample")?;
+                    let Some((m, k)) = spec.split_once('/') else {
+                        return Err(TwError::usage(format!(
+                            "--sample: expected MEASURE/PERIOD, got {spec:?}"
+                        )));
+                    };
+                    let parse = |raw: &str| {
+                        raw.trim()
+                            .parse::<u64>()
+                            .map_err(|_| TwError::usage(format!("--sample: bad value {raw:?}")))
+                    };
+                    let (measure, period) = (parse(m)?, parse(k)?);
+                    if measure == 0 || measure > period {
+                        return Err(TwError::usage("--sample: needs 0 < MEASURE <= PERIOD"));
+                    }
+                    f.sample = Some((measure, period));
+                }
+                "--warmup" => f.warmup = Some(number(args, &mut i, "--warmup")?),
+                "--from" => f.from = Some(value(args, &mut i, "--from")?.to_string()),
                 "--perfect-mem" => f.perfect = true,
                 "--json" => f.json = true,
                 "--all" => f.all = true,
@@ -313,6 +374,39 @@ impl Flags {
             .ok_or_else(|| TwError::usage(format!("missing {flag}")))?;
         harness::lookup(name)
             .ok_or_else(|| TwError::usage(format!("unknown configuration {name:?}")))
+    }
+
+    /// Applies `--fast-forward` / `--sample` / `--warmup` to a
+    /// configuration, validating the combination.
+    fn apply_mode(&self, config: SimConfig) -> Result<SimConfig, TwError> {
+        match (self.fast_forward, self.sample) {
+            (Some(_), Some(_)) => Err(TwError::usage(
+                "--fast-forward and --sample are mutually exclusive",
+            )),
+            (Some(skip), None) => {
+                if self.warmup.is_some() {
+                    return Err(TwError::usage("--warmup requires --sample"));
+                }
+                Ok(config.with_fast_forward(skip))
+            }
+            (None, Some((measure, period))) => {
+                let warmup = self
+                    .warmup
+                    .unwrap_or_else(|| (period - measure).min(2 * measure));
+                if warmup.checked_add(measure).is_none_or(|used| used > period) {
+                    return Err(TwError::usage(format!(
+                        "--warmup {warmup} + measure {measure} exceeds the {period}-instruction period"
+                    )));
+                }
+                Ok(config.with_sampling(warmup, measure, period))
+            }
+            (None, None) => {
+                if self.warmup.is_some() {
+                    return Err(TwError::usage("--warmup requires --sample"));
+                }
+                Ok(config)
+            }
+        }
     }
 
     /// The fault plan requested by `--rate`/`--at-cycles`/`--targets`,
@@ -361,7 +455,12 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
         let _ = usage();
         return Ok(ExitCode::SUCCESS);
     }
-    let f = Flags::parse(args)?;
+    // `checkpoint` carries a save/restore subcommand before its flags.
+    let f = if cmd == "checkpoint" {
+        Flags::parse(&args[1..])?
+    } else {
+        Flags::parse(args)?
+    };
 
     match cmd.as_str() {
         "list" => {
@@ -387,7 +486,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 config = config.with_perfect_disambiguation();
             }
             let workload = bench.build();
-            let config = config.with_max_insts(f.insts_or(DEFAULT_INSTS));
+            let config = f.apply_mode(config.with_max_insts(f.insts_or(DEFAULT_INSTS)))?;
             if f.timeline {
                 // Timeline-only instrumentation: aggregates fold at emit
                 // time, so no events need to be stored.
@@ -425,6 +524,77 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 print_report(&report);
             }
             Ok(ExitCode::SUCCESS)
+        }
+        "checkpoint" => {
+            match args.get(1).map(String::as_str) {
+                Some("save") => {
+                    let bench = f.bench_required("--workload")?;
+                    let workload = bench.build();
+                    let at = f.insts_or(DEFAULT_INSTS);
+                    let mut machine = workload.machine();
+                    let blocks = trace_weave::isa::BlockCache::new(workload.program());
+                    let ran = machine
+                        .fast_forward(workload.program(), &blocks, at)
+                        .map_err(|e| {
+                            TwError::runtime(format!(
+                                "{}: workload faulted during fast-forward: {e:?}",
+                                bench.name()
+                            ))
+                        })?;
+                    let ckpt = harness::Checkpoint::capture(&workload, &machine);
+                    let out = f
+                        .out
+                        .unwrap_or_else(|| format!("{}.ckpt.json", bench.name()));
+                    std::fs::write(&out, format!("{}\n", ckpt.to_json().pretty()))
+                        .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
+                    println!(
+                        "wrote {out}: {} at instruction {} ({} memory run(s){})",
+                        bench.name(),
+                        machine.retired(),
+                        ckpt.mem.len(),
+                        if machine.is_halted() { ", halted" } else { "" }
+                    );
+                    if ran < at {
+                        println!("note: workload completed after {ran} instructions");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some("restore") => {
+                    let path = f
+                        .from
+                        .as_deref()
+                        .ok_or_else(|| TwError::usage("checkpoint restore: missing --from"))?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                    let ckpt = harness::parse_checkpoint(&text)?;
+                    let bench = parse_bench(&ckpt.workload).ok_or_else(|| {
+                        TwError::runtime(format!(
+                            "{path}: checkpoint names unknown workload {:?}",
+                            ckpt.workload
+                        ))
+                    })?;
+                    let workload = bench.build();
+                    let machine = ckpt.restore(&workload)?;
+                    // Resuming at position n under FastForward{n} skips
+                    // nothing and reports identically to an unresumed
+                    // `tw sim --fast-forward n` run.
+                    let config = f
+                        .config_required("--config")?
+                        .with_max_insts(f.insts_or(DEFAULT_INSTS))
+                        .with_fast_forward(ckpt.retired);
+                    let report =
+                        trace_weave::sim::Processor::new(config).run_from(&workload, machine);
+                    if f.json {
+                        println!("{}", report_to_json(&report).pretty());
+                    } else {
+                        print_report(&report);
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                _ => Err(TwError::usage(
+                    "checkpoint: expected `save` or `restore` subcommand",
+                )),
+            }
         }
         "faults" => {
             let bench = f.bench_required("--workload")?;
@@ -733,7 +903,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 );
             }
             let json = f.json;
-            let suite = suite::run_suite(&matrix, insts, f.samples, |cell, done, total| {
+            let mut suite = suite::run_suite(&matrix, insts, f.samples, |cell, done, total| {
                 if !json {
                     println!(
                         "{:12} {:12} {:>10.1}ms {:>12.1} {:>14.0}   [{done}/{total}]",
@@ -742,6 +912,29 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                         cell.wall_ns as f64 / 1e6,
                         cell.ns_per_cycle(),
                         cell.instrs_per_sec(),
+                    );
+                }
+            });
+            if !json {
+                println!(
+                    "\nsampling probes ({} insts, compress, full vs sampled):",
+                    insts
+                );
+                println!(
+                    "{:12} {:>8} {:>10} {:>11} {:>11} {:>11}",
+                    "config", "speedup", "eff MIPS", "fetch d%", "mispred dpp", "promo dpp"
+                );
+            }
+            suite.probes = suite::run_sampling_probes(&matrix, insts, f.samples, |p, _, _| {
+                if !json {
+                    println!(
+                        "{:12} {:>7.1}x {:>10.1} {:>+10.2}% {:>+11.3} {:>+11.3}",
+                        p.config,
+                        p.speedup(),
+                        p.sampled_mips(),
+                        p.fetch_rate_delta_pct(),
+                        p.mispredict_delta_pp(),
+                        p.promo_coverage_delta_pp(),
                     );
                 }
             });
