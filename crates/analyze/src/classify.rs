@@ -1,0 +1,224 @@
+//! The four-class branch-predictability classifier.
+//!
+//! Fuses a branch's *static* signal (the trip-count pass's
+//! taken-probability estimate, when the branch closes a countable loop)
+//! with its *dynamic* profile (direction and transition counts plus an
+//! order-2 outcome-history table collected from a functional replay)
+//! and bins the branch into one of [`BranchClass`]'s four classes, each
+//! mapped to a promotion action:
+//!
+//! * **strongly biased** — one direction dominates; promote *earlier*
+//!   than the paper's global 64-outcome threshold (the stronger the
+//!   bias, the lower the threshold).
+//! * **phase biased** — mixed overall but long same-direction runs; the
+//!   default threshold already captures phases, so keep it.
+//! * **history predictable** — poor bias and short runs but an order-2
+//!   history predicts the outcome well; promotion would fault on every
+//!   alternation, so never promote and leave it to the predictor.
+//! * **data dependent** — nothing predicts it; never promote.
+
+use tc_predict::{BiasOverride, BranchClass, PlanAction};
+
+/// Executions below which a dynamic profile is considered too thin and
+/// the classifier falls back to the static signal.
+pub const MIN_PROFILE_EXECS: u64 = 16;
+
+/// Direction bias at or above which a branch is strongly biased.
+pub const STRONG_BIAS: f64 = 0.95;
+
+/// Average same-direction run length at or above which a mixed branch
+/// is phase biased.
+pub const PHASE_RUN_LEN: f64 = 32.0;
+
+/// Order-2 self-prediction accuracy at or above which a branch is
+/// history predictable.
+pub const HISTORY_ACCURACY: f64 = 0.9;
+
+/// Dynamic per-branch profile collected from a functional replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynProfile {
+    /// Times the branch executed.
+    pub executed: u64,
+    /// Times it was taken.
+    pub taken: u64,
+    /// Direction changes between consecutive executions.
+    pub transitions: u64,
+    /// Order-2 outcome-history counts: `markov[ctx][outcome]` where
+    /// `ctx` packs the previous two outcomes (older in bit 1) and
+    /// `outcome` is the next direction. Only executions with two
+    /// predecessors contribute.
+    pub markov: [[u64; 2]; 4],
+}
+
+impl DynProfile {
+    /// Fraction of executions going the dominant direction (≥ 0.5).
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        let not_taken = self.executed - self.taken;
+        self.taken.max(not_taken) as f64 / self.executed as f64
+    }
+
+    /// Mean length of same-direction runs.
+    #[must_use]
+    pub fn avg_run(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        self.executed as f64 / (self.transitions + 1) as f64
+    }
+
+    /// Accuracy of an ideal order-2 history predictor on this branch:
+    /// for each 2-outcome context, predict the majority next outcome.
+    #[must_use]
+    pub fn markov_accuracy(&self) -> f64 {
+        let mut total = 0u64;
+        let mut hit = 0u64;
+        for ctx in self.markov {
+            total += ctx[0] + ctx[1];
+            hit += ctx[0].max(ctx[1]);
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// Classifies one static branch from its static taken-probability
+/// estimate (if any) and dynamic profile (if any), producing the class
+/// and the promotion action a `tw-plan/v1` plan records for it.
+#[must_use]
+pub fn classify(static_prob: Option<f64>, profile: Option<&DynProfile>) -> BiasOverride {
+    if let Some(p) = profile.filter(|p| p.executed >= MIN_PROFILE_EXECS) {
+        let bias = p.bias();
+        if bias >= STRONG_BIAS {
+            let threshold = if bias >= 0.999 {
+                8
+            } else if bias >= 0.99 {
+                16
+            } else {
+                32
+            };
+            return BiasOverride {
+                class: BranchClass::StronglyBiased,
+                action: PlanAction::Threshold(threshold),
+            };
+        }
+        if p.avg_run() >= PHASE_RUN_LEN {
+            return BiasOverride {
+                class: BranchClass::PhaseBiased,
+                action: PlanAction::Threshold(64),
+            };
+        }
+        if p.markov_accuracy() >= HISTORY_ACCURACY {
+            return BiasOverride {
+                class: BranchClass::HistoryPredictable,
+                action: PlanAction::Never,
+            };
+        }
+        return BiasOverride {
+            class: BranchClass::DataDependent,
+            action: PlanAction::Never,
+        };
+    }
+    // No usable profile: trust the static loop analysis alone, and only
+    // when it is decisive.
+    match static_prob {
+        Some(prob) if prob >= STRONG_BIAS => BiasOverride {
+            class: BranchClass::StronglyBiased,
+            action: PlanAction::Threshold(32),
+        },
+        _ => BiasOverride {
+            class: BranchClass::DataDependent,
+            action: PlanAction::Never,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(executed: u64, taken: u64, transitions: u64) -> DynProfile {
+        DynProfile {
+            executed,
+            taken,
+            transitions,
+            markov: [[0; 2]; 4],
+        }
+    }
+
+    #[test]
+    fn heavy_bias_promotes_early() {
+        let p = profile(10_000, 9_995, 10);
+        let c = classify(None, Some(&p));
+        assert_eq!(c.class, BranchClass::StronglyBiased);
+        assert_eq!(c.action, PlanAction::Threshold(8));
+        let p = profile(1_000, 992, 16);
+        assert_eq!(classify(None, Some(&p)).action, PlanAction::Threshold(16));
+        let p = profile(1_000, 960, 80);
+        assert_eq!(classify(None, Some(&p)).action, PlanAction::Threshold(32));
+    }
+
+    #[test]
+    fn long_runs_keep_the_default_threshold() {
+        // 50/50 overall but in two long phases: one transition.
+        let p = profile(1_000, 500, 1);
+        let c = classify(None, Some(&p));
+        assert_eq!(c.class, BranchClass::PhaseBiased);
+        assert_eq!(c.action, PlanAction::Threshold(64));
+    }
+
+    #[test]
+    fn alternating_branch_is_history_predictable_never_promoted() {
+        // Perfect T,N,T,N alternation: bias 0.5, run length 1, but the
+        // order-2 history predicts it exactly.
+        let p = DynProfile {
+            executed: 1_000,
+            taken: 500,
+            transitions: 999,
+            markov: [[0, 499], [0, 0], [0, 0], [499, 0]],
+        };
+        let c = classify(None, Some(&p));
+        assert_eq!(c.class, BranchClass::HistoryPredictable);
+        assert_eq!(c.action, PlanAction::Never);
+    }
+
+    #[test]
+    fn random_branch_is_data_dependent() {
+        let p = DynProfile {
+            executed: 1_000,
+            taken: 500,
+            transitions: 500,
+            markov: [[125, 125], [125, 125], [124, 125], [125, 125]],
+        };
+        let c = classify(None, Some(&p));
+        assert_eq!(c.class, BranchClass::DataDependent);
+        assert_eq!(c.action, PlanAction::Never);
+    }
+
+    #[test]
+    fn thin_profile_falls_back_to_static_loop_bias() {
+        let thin = profile(4, 4, 0);
+        let c = classify(Some(0.99), Some(&thin));
+        assert_eq!(c.class, BranchClass::StronglyBiased);
+        assert_eq!(c.action, PlanAction::Threshold(32));
+        let c = classify(None, Some(&thin));
+        assert_eq!(c.class, BranchClass::DataDependent);
+        assert_eq!(c.action, PlanAction::Never);
+        let c = classify(Some(0.5), None);
+        assert_eq!(c.class, BranchClass::DataDependent);
+    }
+
+    #[test]
+    fn profile_metrics_are_well_defined_when_empty() {
+        let p = DynProfile::default();
+        assert_eq!(p.bias(), 0.0);
+        assert_eq!(p.avg_run(), 0.0);
+        assert_eq!(p.markov_accuracy(), 0.0);
+    }
+}

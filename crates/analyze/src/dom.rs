@@ -1,0 +1,204 @@
+//! Dominator-tree construction over the basic-block CFG.
+//!
+//! Iterative dataflow in reverse postorder (Cooper–Harvey–Kennedy):
+//! simple, allocation-light, and fast enough for the workload-sized
+//! programs this crate analyzes. Only blocks reachable from the entry
+//! participate; unreachable blocks dominate nothing and have no
+//! immediate dominator.
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a CFG's reachable subgraph.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block; `idom[entry] == entry`, `None`
+    /// for unreachable blocks.
+    idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// Computes dominators for every block reachable from the entry.
+    #[must_use]
+    pub fn compute(cfg: &Cfg, reach: &[bool]) -> Dominators {
+        let n = cfg.blocks().len();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        let mut rpo_rank = vec![usize::MAX; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let entry = cfg.entry_block();
+
+        // Reverse postorder over the reachable subgraph (iterative DFS).
+        let mut postorder = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+        visited[entry] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &cfg.blocks()[b].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if reach[s] && !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.into_iter().rev().collect();
+        for (rank, &b) in rpo.iter().enumerate() {
+            rpo_rank[b] = rank;
+        }
+
+        // Predecessor lists restricted to the reachable subgraph.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (b, block) in cfg.blocks().iter().enumerate() {
+            if !reach[b] {
+                continue;
+            }
+            for &s in &block.succs {
+                if reach[s] {
+                    preds[s].push(b);
+                }
+            }
+        }
+
+        idom[entry] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == entry {
+                    continue;
+                }
+                let mut new_idom = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_rank, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry block),
+    /// or `None` when `b` is unreachable.
+    #[must_use]
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom[b]
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Unreachable
+    /// blocks neither dominate nor are dominated.
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[a].is_none() || self.idom[b].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let Some(parent) = self.idom[cur] else {
+                return false;
+            };
+            if parent == cur {
+                return false; // reached the entry without meeting `a`
+            }
+            cur = parent;
+        }
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rank: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rank[a] > rank[b] {
+            a = idom[a].expect("ranked blocks have an idom candidate");
+        }
+        while rank[b] > rank[a] {
+            b = idom[b].expect("ranked blocks have an idom candidate");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisInput;
+    use tc_isa::{ProgramBuilder, Reg};
+
+    fn dominators_of(p: &tc_isa::Program) -> (Cfg, Dominators) {
+        let input = AnalysisInput::from(p);
+        let cfg = Cfg::build(&input);
+        let reach = cfg.reachable();
+        let dom = Dominators::compute(&cfg, &reach);
+        (cfg, dom)
+    }
+
+    #[test]
+    fn diamond_joins_at_the_fork() {
+        let mut b = ProgramBuilder::new();
+        let right = b.new_label("right");
+        let join = b.new_label("join");
+        b.li(Reg::T0, 1);
+        b.beqz(Reg::T0, right);
+        b.nop();
+        b.jump(join);
+        b.bind(right).unwrap();
+        b.nop();
+        b.bind(join).unwrap();
+        b.halt();
+        let (cfg, dom) = dominators_of(&b.build().unwrap());
+        // [li,beqz] [nop,j] [nop] [halt]
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(dom.idom(0), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0), "join is dominated by the fork only");
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(dom.dominates(3, 3), "dominance is reflexive");
+    }
+
+    #[test]
+    fn loop_header_dominates_its_latch() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 4);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let (cfg, dom) = dominators_of(&b.build().unwrap());
+        let header = cfg.block_at(tc_isa::Addr::new(1));
+        let latch = cfg.block_at(tc_isa::Addr::new(2));
+        assert!(dom.dominates(header, latch));
+        assert!(!dom.dominates(latch, header) || header == latch);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label("end");
+        b.jump(end);
+        b.nop(); // dead
+        b.bind(end).unwrap();
+        b.halt();
+        let (_, dom) = dominators_of(&b.build().unwrap());
+        assert_eq!(dom.idom(1), None);
+        assert!(!dom.dominates(1, 1));
+    }
+}

@@ -39,6 +39,13 @@ pub enum PassKind {
     DefUse,
     /// Call/return balance.
     CallReturn,
+    /// Dominator-tree construction (structural; emits no findings).
+    Dominators,
+    /// Natural-loop detection (flags backward branches that close no
+    /// natural loop).
+    Loops,
+    /// Loop trip-count and static branch-bias inference.
+    TripCount,
     /// Static branch taxonomy.
     Taxonomy,
 }
@@ -52,6 +59,9 @@ impl PassKind {
             PassKind::Reachability => "reachability",
             PassKind::DefUse => "def-use",
             PassKind::CallReturn => "call-return",
+            PassKind::Dominators => "dominators",
+            PassKind::Loops => "loops",
+            PassKind::TripCount => "trip-count",
             PassKind::Taxonomy => "taxonomy",
         }
     }
@@ -63,12 +73,15 @@ impl fmt::Display for PassKind {
     }
 }
 
-/// Names of the five passes, in pipeline order.
-pub const PASS_NAMES: [&str; 5] = [
+/// Names of the eight passes, in pipeline order.
+pub const PASS_NAMES: [&str; 8] = [
     "well-formed",
     "reachability",
     "def-use",
     "call-return",
+    "dominators",
+    "loops",
+    "trip-count",
     "taxonomy",
 ];
 
@@ -95,7 +108,7 @@ impl fmt::Display for Finding {
 }
 
 /// Classification of one static control instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchInfo {
     /// The instruction's address.
     pub pc: Addr,
@@ -107,13 +120,27 @@ pub struct BranchInfo {
     pub displacement: Option<i64>,
     /// Whether the transfer targets a strictly earlier address.
     pub backward: bool,
-    /// Backward with displacement ≤ 32 instructions: the trigger of the
+    /// Whether the transfer is a back edge of a natural loop (its target
+    /// dominates it). Backward-by-displacement branches that close no
+    /// loop are *not* back edges.
+    pub back_edge: bool,
+    /// Loop-nesting depth of the block holding the instruction
+    /// (0 = not inside any natural loop).
+    pub loop_depth: usize,
+    /// Back edge with displacement ≤ 32 instructions: the trigger of the
     /// paper's cost-regulated packing heuristic (a tight loop whose
     /// segments are worth completing greedily).
     pub short_backward: bool,
-    /// A conditional branch closing a loop: the prime candidate for
-    /// branch promotion (loop latches are overwhelmingly biased taken).
+    /// A conditional branch closing a natural loop: the prime candidate
+    /// for branch promotion (loop latches are overwhelmingly biased
+    /// taken).
     pub promotion_candidate: bool,
+    /// Exact trip count of the countable loop this branch closes, if the
+    /// trip-count pass inferred one.
+    pub trip_count: Option<u64>,
+    /// Static taken-probability estimate for this branch (countable-loop
+    /// latches only).
+    pub static_taken_prob: Option<f64>,
     /// Whether the instruction is reachable from the entry point.
     pub reachable: bool,
 }
@@ -155,6 +182,12 @@ impl Taxonomy {
         self.count(|b| b.promotion_candidate)
     }
 
+    /// Control transfers that are back edges of natural loops.
+    #[must_use]
+    pub fn back_edges(&self) -> usize {
+        self.count(|b| b.back_edge)
+    }
+
     /// Unconditional direct jumps.
     #[must_use]
     pub fn jumps(&self) -> usize {
@@ -192,6 +225,25 @@ impl Taxonomy {
     }
 }
 
+/// One natural loop as reported by the loop and trip-count passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopReport {
+    /// Address of the loop header's first instruction.
+    pub header: Addr,
+    /// Address of the (first) latch branch.
+    pub latch: Addr,
+    /// Blocks in the loop.
+    pub blocks: usize,
+    /// Instructions in the loop.
+    pub instructions: usize,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+    /// Exact trip count, when the loop is countable.
+    pub trip_count: Option<u64>,
+    /// Static taken-probability of the latch branch, when countable.
+    pub static_taken_prob: Option<f64>,
+}
+
 /// The result of running the full pass pipeline over one program.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -203,6 +255,8 @@ pub struct AnalysisReport {
     pub reachable_blocks: usize,
     /// All findings, in pass-pipeline order.
     pub findings: Vec<Finding>,
+    /// Natural loops, in ascending header order.
+    pub loops: Vec<LoopReport>,
     /// The static branch taxonomy.
     pub taxonomy: Taxonomy,
 }

@@ -1,7 +1,8 @@
-//! Static verification of `tc-isa` programs.
+//! Static verification and branch-predictability analysis of `tc-isa`
+//! programs.
 //!
 //! Builds a basic-block control-flow graph over any [`tc_isa::Program`]
-//! and runs a five-pass pipeline:
+//! and runs an eight-pass pipeline:
 //!
 //! 1. **well-formed** — branch/jump/call targets in bounds, no
 //!    fall-through off the end, a reachable `Halt`;
@@ -10,23 +11,45 @@
 //! 3. **def-use** — interprocedural forward dataflow flagging registers
 //!    readable before they are written along some path;
 //! 4. **call-return** — `Ret` reachable with an empty call stack;
-//! 5. **taxonomy** — classifies every control instruction, marking
-//!    backward branches with displacement ≤ 32 instructions (the
-//!    paper's cost-regulated packing trigger) and promotion-eligible
-//!    conditionals.
+//! 5. **dominators** — iterative dominator-tree construction over the
+//!    reachable subgraph (structural; feeds the loop passes);
+//! 6. **loops** — natural-loop detection with nesting depth, flagging
+//!    backward branches that close no natural loop;
+//! 7. **trip-count** — constant-range abstract interpretation plus
+//!    concrete latch replay, giving countable loops exact trip counts
+//!    and static latch taken-probabilities;
+//! 8. **taxonomy** — classifies every control instruction, marking
+//!    short-backward *back edges* (the paper's cost-regulated packing
+//!    trigger) and promotion-eligible conditionals (natural-loop
+//!    latches), annotated with trip counts where inferred.
 //!
 //! The trace-cache fill unit assumes the workloads it consumes are
 //! well-formed; this crate is the static half of that contract (the
 //! runtime half is `tc-core`'s segment sanitizer). Surfaced on the
-//! command line as `tw lint`.
+//! command line as `tw lint`, and as the static half of `tw analyze`'s
+//! promotion-plan classifier ([`classify`]).
+
+#![warn(clippy::missing_panics_doc)]
 
 mod cfg;
+mod classify;
+mod dom;
 mod findings;
+mod loops;
 mod passes;
+mod tripcount;
 
 pub use cfg::{BasicBlock, Cfg, Terminator};
-pub use findings::{AnalysisReport, BranchInfo, Finding, PassKind, Severity, Taxonomy, PASS_NAMES};
+pub use classify::{
+    classify, DynProfile, HISTORY_ACCURACY, MIN_PROFILE_EXECS, PHASE_RUN_LEN, STRONG_BIAS,
+};
+pub use dom::Dominators;
+pub use findings::{
+    AnalysisReport, BranchInfo, Finding, LoopReport, PassKind, Severity, Taxonomy, PASS_NAMES,
+};
+pub use loops::{find_loops, LoopNest, NaturalLoop};
 pub use passes::SHORT_BACKWARD_DISP;
+pub use tripcount::{trip_counts, LoopBound, TRIP_SIM_CAP};
 
 use tc_isa::{Addr, Instr, Program};
 
@@ -67,12 +90,32 @@ pub fn analyze_input(input: &AnalysisInput<'_>) -> AnalysisReport {
     findings.extend(passes::dead_code(&cfg, &reach));
     findings.extend(passes::def_use(input, &cfg));
     findings.extend(passes::call_balance(input, &cfg));
-    let taxonomy = passes::taxonomy(input, &cfg, &reach);
+    let dom = Dominators::compute(&cfg, &reach);
+    let nest = find_loops(&cfg, &dom, &reach);
+    findings.extend(loops::loop_findings(&cfg, &nest, &reach));
+    let bounds = trip_counts(input, &cfg, &dom, &nest, &reach);
+    findings.extend(tripcount::tripcount_findings(&cfg, &nest, &bounds));
+    let taxonomy = passes::taxonomy(input, &cfg, &reach, &nest, &bounds);
+    let loop_reports = nest
+        .loops
+        .iter()
+        .zip(&bounds)
+        .map(|(l, bound)| LoopReport {
+            header: cfg.blocks()[l.header].start_addr(),
+            latch: cfg.blocks()[l.latches[0]].last_addr(),
+            blocks: l.blocks.len(),
+            instructions: l.blocks.iter().map(|&b| cfg.blocks()[b].len()).sum(),
+            depth: l.depth,
+            trip_count: bound.and_then(|b| b.trips),
+            static_taken_prob: bound.map(|b| b.static_taken_prob),
+        })
+        .collect();
     AnalysisReport {
         instructions: input.instrs.len(),
         blocks: cfg.blocks().len(),
         reachable_blocks: reach.iter().filter(|r| **r).count(),
         findings,
+        loops: loop_reports,
         taxonomy,
     }
 }
@@ -101,10 +144,61 @@ mod tests {
         b.halt();
         let r = analyze(&b.build().unwrap());
         assert!(r.is_clean());
-        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.warnings(), 0, "{:?}", r.findings);
         assert_eq!(r.taxonomy.cond_branches(), 1);
         assert_eq!(r.taxonomy.cond_short_backward(), 1);
         assert_eq!(r.taxonomy.promotion_candidates(), 1);
+        // The loop passes see one countable 4-trip loop.
+        assert_eq!(r.loops.len(), 1);
+        assert_eq!(r.loops[0].trip_count, Some(4));
+        assert_eq!(r.loops[0].depth, 1);
+        assert!(r
+            .findings
+            .iter()
+            .all(|f| f.pass == PassKind::TripCount && f.severity == Severity::Info));
+        let latch = r
+            .taxonomy
+            .branches
+            .iter()
+            .find(|bi| bi.promotion_candidate)
+            .unwrap();
+        assert!(latch.back_edge);
+        assert_eq!(latch.loop_depth, 1);
+        assert_eq!(latch.trip_count, Some(4));
+        assert_eq!(latch.static_taken_prob, Some(0.75));
+    }
+
+    #[test]
+    fn address_taken_backward_branch_is_not_a_promotion_candidate() {
+        // Regression: a backward conditional branch to an address-taken
+        // `la` label that control flow enters *around* is backward by
+        // displacement but closes no natural loop (the target does not
+        // dominate it). It must not count as short-backward or as a
+        // promotion candidate, so the static counts agree with the fill
+        // unit's runtime `SegEndReason::Packed` behavior.
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label("L");
+        let after = b.new_label("after");
+        b.la(Reg::T1, l);
+        b.jump(after);
+        b.bind(l).unwrap();
+        b.halt();
+        b.bind(after).unwrap();
+        b.bnez(Reg::T0, l);
+        b.halt();
+        let r = analyze(&b.build().unwrap());
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.loops.len(), 0);
+        let t = &r.taxonomy;
+        assert_eq!(t.cond_branches(), 1);
+        assert_eq!(t.cond_backward(), 1, "still backward by displacement");
+        assert_eq!(t.cond_short_backward(), 0, "but not a packing trigger");
+        assert_eq!(t.promotion_candidates(), 0, "and not promotion-eligible");
+        assert_eq!(t.back_edges(), 0);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.pass == PassKind::Loops && f.message.contains("does not close")));
     }
 
     #[test]

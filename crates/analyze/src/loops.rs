@@ -1,0 +1,270 @@
+//! Natural-loop detection with nesting depth.
+//!
+//! A back edge is a CFG edge `latch → header` whose target dominates its
+//! source; the natural loop of a header is the union, over its back
+//! edges, of the latch-to-header reverse-reachable sets. Loops sharing a
+//! header are merged (the classical definition). Nesting depth is the
+//! number of natural loops a block belongs to.
+//!
+//! The pass also cross-checks the branch-displacement heuristic the rest
+//! of the repo uses: a *reachable backward conditional branch that does
+//! not close a natural loop* (for example a branch to an address-taken
+//! `la` label entered around the "loop" body) looks like a promotion
+//! candidate by displacement alone but never behaves like a loop latch
+//! at run time — it is reported as an info finding and excluded from the
+//! taxonomy's promotion candidates.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dom::Dominators;
+use crate::findings::{Finding, PassKind, Severity};
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Header block id (the back edges' target).
+    pub header: usize,
+    /// Latch block ids (back-edge sources), ascending.
+    pub latches: Vec<usize>,
+    /// Every block in the loop (header included), ascending.
+    pub blocks: Vec<usize>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: usize,
+}
+
+/// All natural loops of a program, with per-block nesting depth.
+#[derive(Debug, Clone, Default)]
+pub struct LoopNest {
+    /// Loops in ascending header order.
+    pub loops: Vec<NaturalLoop>,
+    /// Per-block loop-nesting depth (0 = not in any loop).
+    depth_of: Vec<usize>,
+}
+
+impl LoopNest {
+    /// The loop-nesting depth of block `b` (0 outside any loop).
+    #[must_use]
+    pub fn depth_of(&self, b: usize) -> usize {
+        self.depth_of.get(b).copied().unwrap_or(0)
+    }
+
+    /// Whether the edge `from → to` is a back edge of some natural loop
+    /// (i.e. `from` is a latch of the loop headed at `to`).
+    #[must_use]
+    pub fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.header == to && l.latches.contains(&from))
+    }
+
+    /// The loop headed at block `header`, if any.
+    #[must_use]
+    pub fn loop_at(&self, header: usize) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+}
+
+/// Finds every natural loop of the reachable subgraph.
+#[must_use]
+pub fn find_loops(cfg: &Cfg, dom: &Dominators, reach: &[bool]) -> LoopNest {
+    let n = cfg.blocks().len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        for &s in &block.succs {
+            if reach[s] {
+                preds[s].push(b);
+            }
+        }
+    }
+
+    // Back edges, grouped by header.
+    let mut by_header: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        for &s in &block.succs {
+            if reach[s] && dom.dominates(s, b) {
+                match by_header.iter_mut().find(|(h, _)| *h == s) {
+                    Some((_, latches)) => latches.push(b),
+                    None => by_header.push((s, vec![b])),
+                }
+            }
+        }
+    }
+    by_header.sort_unstable_by_key(|(h, _)| *h);
+
+    let mut loops = Vec::with_capacity(by_header.len());
+    for (header, mut latches) in by_header {
+        latches.sort_unstable();
+        latches.dedup();
+        // Reverse-flood from the latches, stopping at the header.
+        let mut in_loop = vec![false; n];
+        in_loop[header] = true;
+        let mut work: Vec<usize> = Vec::new();
+        for &l in &latches {
+            if !in_loop[l] {
+                in_loop[l] = true;
+                work.push(l);
+            }
+        }
+        while let Some(b) = work.pop() {
+            for &p in &preds[b] {
+                if !in_loop[p] {
+                    in_loop[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+        let blocks: Vec<usize> = (0..n).filter(|&b| in_loop[b]).collect();
+        loops.push(NaturalLoop {
+            header,
+            latches,
+            blocks,
+            depth: 0,
+        });
+    }
+
+    // Nesting depth: how many loops contain each block.
+    let mut depth_of = vec![0usize; n];
+    for l in &loops {
+        for &b in &l.blocks {
+            depth_of[b] += 1;
+        }
+    }
+    for l in &mut loops {
+        l.depth = depth_of[l.header];
+    }
+    LoopNest { loops, depth_of }
+}
+
+/// Cross-checks displacement-classified backward conditional branches
+/// against the loop structure: a reachable backward conditional branch
+/// that is not a back edge of any natural loop is reported (info).
+#[must_use]
+pub fn loop_findings(cfg: &Cfg, nest: &LoopNest, reach: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        let Terminator::CondBranch { target } = block.terminator else {
+            continue;
+        };
+        if target.index() >= cfg.blocks().last().map_or(0, |bl| bl.end) {
+            continue; // out of range: well-formedness reports it
+        }
+        let pc = block.last_addr();
+        if pc.distance_from(target) <= 0 {
+            continue; // forward branch
+        }
+        let target_block = cfg.block_at(target);
+        if !nest.is_back_edge(b, target_block) {
+            out.push(Finding {
+                pass: PassKind::Loops,
+                severity: Severity::Info,
+                at: Some(pc),
+                message: format!(
+                    "backward branch to {target} does not close a natural loop \
+                     (target does not dominate it); excluded from promotion candidates"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisInput;
+    use tc_isa::{ProgramBuilder, Reg};
+
+    fn nest_of(p: &tc_isa::Program) -> (Cfg, LoopNest) {
+        let input = AnalysisInput::from(p);
+        let cfg = Cfg::build(&input);
+        let reach = cfg.reachable();
+        let dom = Dominators::compute(&cfg, &reach);
+        let nest = find_loops(&cfg, &dom, &reach);
+        (cfg, nest)
+    }
+
+    #[test]
+    fn simple_counted_loop_is_found() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 4);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let (cfg, nest) = nest_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 1);
+        let l = &nest.loops[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.latches, vec![l.header], "single-block loop");
+        let header = cfg.block_at(tc_isa::Addr::new(1));
+        assert_eq!(l.header, header);
+        assert!(nest.is_back_edge(header, header));
+        assert_eq!(nest.depth_of(header), 1);
+        assert_eq!(nest.depth_of(cfg.entry_block()), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let mut b = ProgramBuilder::new();
+        let outer = b.new_label("outer");
+        let inner = b.new_label("inner");
+        b.li(Reg::T0, 3);
+        b.bind(outer).unwrap();
+        b.li(Reg::T1, 5);
+        b.bind(inner).unwrap();
+        b.addi(Reg::T1, Reg::T1, -1);
+        b.bnez(Reg::T1, inner);
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, outer);
+        b.halt();
+        let (cfg, nest) = nest_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 2);
+        let inner_header = cfg.block_at(tc_isa::Addr::new(2));
+        let inner_loop = nest.loop_at(inner_header).expect("inner loop");
+        assert_eq!(inner_loop.depth, 2);
+        let outer_loop = nest
+            .loops
+            .iter()
+            .find(|l| l.header != inner_header)
+            .expect("outer loop");
+        assert_eq!(outer_loop.depth, 1);
+        assert!(outer_loop.blocks.len() > inner_loop.blocks.len());
+    }
+
+    #[test]
+    fn non_dominating_backward_branch_is_not_a_loop() {
+        // `la`-taken label L is entered around (not through) the branch:
+        // entry jumps past L straight to the branch, so L does not
+        // dominate it and L←branch is not a back edge.
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label("L");
+        let after = b.new_label("after");
+        b.la(Reg::T1, l);
+        b.jump(after);
+        b.bind(l).unwrap();
+        b.halt();
+        b.bind(after).unwrap();
+        b.bnez(Reg::T0, l);
+        b.halt();
+        let program = b.build().unwrap();
+        let (cfg, nest) = nest_of(&program);
+        assert!(nest.loops.is_empty());
+        let input = AnalysisInput::from(&program);
+        let cfg2 = Cfg::build(&input);
+        let reach = cfg2.reachable();
+        let findings = loop_findings(&cfg, &nest, &reach);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].pass, PassKind::Loops);
+        assert_eq!(findings[0].severity, Severity::Info);
+        assert!(findings[0].message.contains("does not close"));
+    }
+}

@@ -1,4 +1,7 @@
-//! The five analysis passes.
+//! The verification and classification passes that do not need their
+//! own module (well-formedness, reachability, def-use, call balance,
+//! and the final branch taxonomy). The structural passes live in
+//! [`crate::dom`], [`crate::loops`], and [`crate::tripcount`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -6,6 +9,8 @@ use tc_isa::{Addr, ControlKind, Instr, Reg};
 
 use crate::cfg::{Cfg, Terminator};
 use crate::findings::{BranchInfo, Finding, PassKind, Severity, Taxonomy};
+use crate::loops::LoopNest;
+use crate::tripcount::LoopBound;
 use crate::AnalysisInput;
 
 /// Displacement bound (in instructions) under which a backward branch
@@ -404,13 +409,36 @@ pub fn call_balance(input: &AnalysisInput<'_>, cfg: &Cfg) -> Vec<Finding> {
     out
 }
 
-// --- pass 5: static branch taxonomy ----------------------------------
+// --- pass 8: static branch taxonomy ----------------------------------
 
-/// Classifies every static control instruction, marking backward
-/// branches with displacement ≤ 32 (the cost-regulated packing trigger)
-/// and promotion-eligible conditionals (loop latches).
+/// Classifies every static control instruction, fusing the loop pass in:
+/// only branches that are *back edges of natural loops* (target
+/// dominates the branch) count as short-backward packing triggers or
+/// promotion candidates. Classifying by displacement alone — as this
+/// pass once did — overcounts: a backward branch to an address-taken
+/// `la` label that control enters around never behaves like a loop
+/// latch, so the fill unit never finishes its segments via
+/// `SegEndReason::Packed` and the bias table never promotes it.
+/// Countable-loop latches additionally carry the trip-count pass's
+/// exact iteration count and static taken-probability.
 #[must_use]
-pub fn taxonomy(input: &AnalysisInput<'_>, cfg: &Cfg, reach: &[bool]) -> Taxonomy {
+pub fn taxonomy(
+    input: &AnalysisInput<'_>,
+    cfg: &Cfg,
+    reach: &[bool],
+    nest: &LoopNest,
+    bounds: &[Option<LoopBound>],
+) -> Taxonomy {
+    let n = input.instrs.len();
+    // Latch-branch pc → inferred bound, for countable loops.
+    let mut latch_bounds: BTreeMap<usize, LoopBound> = BTreeMap::new();
+    for (l, bound) in nest.loops.iter().zip(bounds) {
+        if let Some(b) = bound {
+            let latch_pc = cfg.blocks()[l.latches[0]].last_addr();
+            latch_bounds.insert(latch_pc.index(), *b);
+        }
+    }
+
     let mut branches = Vec::new();
     for (i, instr) in input.instrs.iter().enumerate() {
         let kind = instr.control_kind();
@@ -418,17 +446,28 @@ pub fn taxonomy(input: &AnalysisInput<'_>, cfg: &Cfg, reach: &[bool]) -> Taxonom
             continue;
         }
         let pc = Addr::new(i as u32);
+        let block = cfg.block_at(pc);
         let displacement = instr.direct_target().map(|t| pc.distance_from(t));
         let backward = displacement.is_some_and(|d| d > 0);
-        let short_backward = displacement.is_some_and(|d| d > 0 && d <= SHORT_BACKWARD_DISP);
+        let back_edge = backward
+            && instr.direct_target().is_some_and(|t| {
+                t.index() < n && reach[block] && nest.is_back_edge(block, cfg.block_at(t))
+            });
+        let short_backward =
+            back_edge && displacement.is_some_and(|d| d > 0 && d <= SHORT_BACKWARD_DISP);
+        let bound = latch_bounds.get(&i).copied();
         branches.push(BranchInfo {
             pc,
             kind,
             displacement,
             backward,
+            back_edge,
+            loop_depth: nest.depth_of(block),
             short_backward,
-            promotion_candidate: kind == ControlKind::CondBranch && backward,
-            reachable: reach[cfg.block_at(pc)],
+            promotion_candidate: kind == ControlKind::CondBranch && back_edge,
+            trip_count: bound.and_then(|b| b.trips),
+            static_taken_prob: bound.map(|b| b.static_taken_prob),
+            reachable: reach[block],
         });
     }
     Taxonomy { branches }

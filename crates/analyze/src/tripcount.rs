@@ -1,0 +1,542 @@
+//! Loop trip-count and static branch-bias inference.
+//!
+//! A small abstract interpreter propagates constant *ranges* through the
+//! register file over the CFG (join = interval hull, with widening to
+//! ⊤ after a visit cap, so the fixpoint always terminates). On top of
+//! that, loops of a recognizable shape — single latch ending in a
+//! conditional branch back to the header, one induction register stepped
+//! exactly once per iteration by an `addi`/`subi` that dominates the
+//! latch, and a loop-invariant constant bound — get their latch branch
+//! *executed concretely*: the induction update and branch condition are
+//! replayed until the loop exits (or a cap is hit), yielding an exact
+//! trip count and a static taken-probability for the latch branch. A
+//! 100-trip countable loop's backward branch is statically ≥99% taken,
+//! which is exactly the signal the promotion classifier wants when no
+//! dynamic profile is available.
+
+use tc_isa::{Addr, AluOp, Instr, Reg};
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dom::Dominators;
+use crate::findings::{Finding, PassKind, Severity};
+use crate::loops::LoopNest;
+use crate::AnalysisInput;
+
+/// Registers in the architectural file (matches `Reg::index` range).
+const NUM_REGS: usize = 32;
+
+/// Per-block widening cap: after this many worklist visits a block's
+/// still-changing registers are forced to ⊤.
+const WIDEN_AFTER: u32 = 16;
+
+/// Concrete-replay cap on latch-branch executions. Loops that do not
+/// exit within this many iterations get no exact trip count, only the
+/// asymptotic taken-probability estimate.
+pub const TRIP_SIM_CAP: u64 = 100_000;
+
+/// An abstract register value: ⊤ or a signed interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// Unknown.
+    Top,
+    /// All values in `lo..=hi` (signed, as `i64` bit patterns).
+    Range(i64, i64),
+}
+
+impl Val {
+    fn singleton(self) -> Option<i64> {
+        match self {
+            Val::Range(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Range(a, b), Val::Range(c, d)) => Val::Range(a.min(c), b.max(d)),
+            _ => Val::Top,
+        }
+    }
+
+    fn shift(self, delta: i64) -> Val {
+        match self {
+            Val::Range(lo, hi) => match (lo.checked_add(delta), hi.checked_add(delta)) {
+                (Some(l), Some(h)) => Val::Range(l, h),
+                _ => Val::Top,
+            },
+            Val::Top => Val::Top,
+        }
+    }
+}
+
+/// One abstract register-file state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State([Val; NUM_REGS]);
+
+impl State {
+    fn top() -> State {
+        let mut s = [Val::Top; NUM_REGS];
+        s[Reg::ZERO.index()] = Val::Range(0, 0);
+        State(s)
+    }
+
+    fn entry() -> State {
+        // Registers architecturally reset to zero.
+        State([Val::Range(0, 0); NUM_REGS])
+    }
+
+    fn get(&self, r: Reg) -> Val {
+        self.0[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: Val) {
+        if !r.is_zero() {
+            self.0[r.index()] = v;
+        }
+    }
+
+    fn join(&self, other: &State) -> State {
+        let mut out = [Val::Top; NUM_REGS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.0[i].join(other.0[i]);
+        }
+        State(out)
+    }
+
+    fn widen_against(&mut self, previous: &State) {
+        for (i, slot) in self.0.iter_mut().enumerate() {
+            if *slot != previous.0[i] {
+                *slot = Val::Top;
+            }
+        }
+        self.0[Reg::ZERO.index()] = Val::Range(0, 0);
+    }
+}
+
+fn transfer(instr: &Instr, s: &mut State) {
+    match *instr {
+        Instr::Li { rd, imm } => s.set(rd, Val::Range(i64::from(imm), i64::from(imm))),
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let a = s.get(rs1);
+            let v = match op {
+                AluOp::Add => a.shift(i64::from(imm)),
+                AluOp::Sub => a.shift(-i64::from(imm)),
+                _ => match a.singleton() {
+                    Some(av) => {
+                        let r = op.eval(av as u64, i64::from(imm) as u64) as i64;
+                        Val::Range(r, r)
+                    }
+                    None => Val::Top,
+                },
+            };
+            s.set(rd, v);
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let (a, b) = (s.get(rs1), s.get(rs2));
+            let v = match (op, a, b) {
+                (AluOp::Add, Val::Range(..), Val::Range(..)) => match b.singleton() {
+                    Some(bv) => a.shift(bv),
+                    None => match a.singleton() {
+                        Some(av) => b.shift(av),
+                        None => Val::Top,
+                    },
+                },
+                (AluOp::Sub, Val::Range(..), Val::Range(..)) => match b.singleton() {
+                    Some(bv) => a.shift(bv.checked_neg().unwrap_or(i64::MIN)),
+                    None => Val::Top,
+                },
+                _ => match (a.singleton(), b.singleton()) {
+                    (Some(av), Some(bv)) => {
+                        let r = op.eval(av as u64, bv as u64) as i64;
+                        Val::Range(r, r)
+                    }
+                    _ => Val::Top,
+                },
+            };
+            s.set(rd, v);
+        }
+        Instr::Load { rd, .. } => s.set(rd, Val::Top),
+        Instr::Call { .. } | Instr::CallInd { .. } => *s = State::top(),
+        Instr::Store { .. }
+        | Instr::Branch { .. }
+        | Instr::Jump { .. }
+        | Instr::Ret
+        | Instr::JumpInd { .. }
+        | Instr::Trap { .. }
+        | Instr::Nop
+        | Instr::Halt => {}
+    }
+}
+
+/// Per-block abstract in-states at the fixpoint.
+struct Interp {
+    in_states: Vec<Option<State>>,
+}
+
+impl Interp {
+    fn run(input: &AnalysisInput<'_>, cfg: &Cfg, reach: &[bool]) -> Interp {
+        let n = cfg.blocks().len();
+        let mut in_states: Vec<Option<State>> = vec![None; n];
+        let mut visits = vec![0u32; n];
+        if n == 0 {
+            return Interp { in_states };
+        }
+        let entry = cfg.entry_block();
+        in_states[entry] = Some(State::entry());
+        let mut work = vec![entry];
+        while let Some(b) = work.pop() {
+            visits[b] += 1;
+            let Some(in_state) = in_states[b].clone() else {
+                continue;
+            };
+            let mut s = in_state;
+            let block = &cfg.blocks()[b];
+            for instr in &input.instrs[block.start..block.end] {
+                transfer(instr, &mut s);
+            }
+            for &succ in &block.succs {
+                if !reach[succ] {
+                    continue;
+                }
+                let joined = match &in_states[succ] {
+                    Some(old) => {
+                        let mut j = old.join(&s);
+                        if visits[succ] >= WIDEN_AFTER {
+                            j.widen_against(old);
+                        }
+                        j
+                    }
+                    None => s.clone(),
+                };
+                if in_states[succ].as_ref() != Some(&joined) {
+                    in_states[succ] = Some(joined);
+                    work.push(succ);
+                }
+            }
+        }
+        Interp { in_states }
+    }
+
+    /// The abstract state *after* executing block `b`.
+    fn out_state(&self, input: &AnalysisInput<'_>, cfg: &Cfg, b: usize) -> Option<State> {
+        let mut s = self.in_states[b].clone()?;
+        let block = &cfg.blocks()[b];
+        for instr in &input.instrs[block.start..block.end] {
+            transfer(instr, &mut s);
+        }
+        Some(s)
+    }
+}
+
+/// The inferred bound of one countable loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopBound {
+    /// Exact iteration count, when the replay exits under the cap.
+    pub trips: Option<u64>,
+    /// Static probability that the latch branch is taken (loops back).
+    pub static_taken_prob: f64,
+}
+
+/// Infers trip counts for every countable loop. The result is parallel
+/// to `nest.loops`; `None` marks loops whose shape the pass does not
+/// recognize.
+#[must_use]
+pub fn trip_counts(
+    input: &AnalysisInput<'_>,
+    cfg: &Cfg,
+    dom: &Dominators,
+    nest: &LoopNest,
+    reach: &[bool],
+) -> Vec<Option<LoopBound>> {
+    let interp = Interp::run(input, cfg, reach);
+    nest.loops
+        .iter()
+        .map(|l| bound_loop(input, cfg, dom, l, &interp, reach))
+        .collect()
+}
+
+fn bound_loop(
+    input: &AnalysisInput<'_>,
+    cfg: &Cfg,
+    dom: &Dominators,
+    l: &crate::loops::NaturalLoop,
+    interp: &Interp,
+    reach: &[bool],
+) -> Option<LoopBound> {
+    let n = input.instrs.len();
+    let [latch] = l.latches[..] else { return None };
+    let latch_block = &cfg.blocks()[latch];
+    let Terminator::CondBranch { target } = latch_block.terminator else {
+        return None;
+    };
+    if target.index() >= n || cfg.block_at(target) != l.header {
+        return None;
+    }
+    let Instr::Branch { cond, rs1, rs2, .. } = input.instrs[latch_block.end - 1] else {
+        return None;
+    };
+
+    // Only straight-line control inside the loop: calls and indirect
+    // transfers clobber too much to reason about.
+    for &b in &l.blocks {
+        match cfg.blocks()[b].terminator {
+            Terminator::Fallthrough | Terminator::CondBranch { .. } | Terminator::Jump { .. } => {}
+            _ => return None,
+        }
+    }
+
+    // Count writes of each register inside the loop and find the single
+    // induction step.
+    let mut writes = [0u32; NUM_REGS];
+    let mut step: Option<(Reg, AluOp, i32, usize)> = None;
+    for &b in &l.blocks {
+        let block = &cfg.blocks()[b];
+        for i in block.start..block.end {
+            let instr = &input.instrs[i];
+            if let Some(d) = instr.dest() {
+                writes[d.index()] += 1;
+                if let Instr::AluImm { op, rd, rs1, imm } = *instr {
+                    if rd == rs1 && matches!(op, AluOp::Add | AluOp::Sub) {
+                        step = Some((rd, op, imm, b));
+                    }
+                }
+            }
+        }
+    }
+
+    // One branch operand is the induction register (stepped in the
+    // loop); the other is the loop-invariant bound.
+    let (ind, bound_reg) = match (writes[rs1.index()], writes[rs2.index()]) {
+        (w, 0) if w > 0 => (rs1, rs2),
+        (0, w) if w > 0 => (rs2, rs1),
+        _ => return None,
+    };
+    let (step_reg, step_op, step_imm, step_block) = step?;
+    if step_reg != ind || writes[ind.index()] != 1 || !dom.dominates(step_block, latch) {
+        return None;
+    }
+
+    // Initial induction value and the bound, joined over every non-loop
+    // predecessor of the header: both must be single constants.
+    let mut init: Option<Val> = None;
+    let mut bound: Option<Val> = if bound_reg.is_zero() {
+        Some(Val::Range(0, 0))
+    } else {
+        None
+    };
+    let mut entering_preds = 0usize;
+    for (p, block) in cfg.blocks().iter().enumerate() {
+        if !reach[p] || l.blocks.contains(&p) || !block.succs.contains(&l.header) {
+            continue;
+        }
+        entering_preds += 1;
+        let out = interp.out_state(input, cfg, p)?;
+        init = Some(match init {
+            Some(v) => v.join(out.get(ind)),
+            None => out.get(ind),
+        });
+        if !bound_reg.is_zero() {
+            bound = Some(match bound {
+                Some(v) => v.join(out.get(bound_reg)),
+                None => out.get(bound_reg),
+            });
+        }
+    }
+    if entering_preds == 0 {
+        return None;
+    }
+    let init = init?.singleton()?;
+    let bound = bound?.singleton()?;
+
+    // Concrete replay of the induction update and latch condition.
+    let delta = match step_op {
+        AluOp::Add => i64::from(step_imm),
+        AluOp::Sub => -i64::from(step_imm),
+        _ => unreachable!("step ops are add/sub by construction"),
+    };
+    let mut x = init;
+    let mut exec: u64 = 0;
+    let mut capped = false;
+    loop {
+        x = x.wrapping_add(delta);
+        exec += 1;
+        let (a, b) = if ind == rs1 {
+            (x as u64, bound as u64)
+        } else {
+            (bound as u64, x as u64)
+        };
+        if !cond.eval(a, b) {
+            break;
+        }
+        if exec >= TRIP_SIM_CAP {
+            capped = true;
+            break;
+        }
+    }
+    if capped {
+        Some(LoopBound {
+            trips: None,
+            static_taken_prob: 1.0 - 1.0 / (TRIP_SIM_CAP as f64),
+        })
+    } else {
+        Some(LoopBound {
+            trips: Some(exec),
+            static_taken_prob: (exec - 1) as f64 / exec as f64,
+        })
+    }
+}
+
+/// Info findings describing every loop whose trip count was inferred.
+#[must_use]
+pub fn tripcount_findings(
+    cfg: &Cfg,
+    nest: &LoopNest,
+    bounds: &[Option<LoopBound>],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (l, bound) in nest.loops.iter().zip(bounds) {
+        let Some(b) = bound else { continue };
+        let latch_pc = cfg.blocks()[l.latches[0]].last_addr();
+        let header_addr: Addr = cfg.blocks()[l.header].start_addr();
+        let message = match b.trips {
+            Some(t) => format!(
+                "countable loop at {header_addr}: {t} iteration{}, latch branch \
+                 statically {:.1}% taken",
+                if t == 1 { "" } else { "s" },
+                b.static_taken_prob * 100.0,
+            ),
+            None => format!(
+                "countable loop at {header_addr} runs beyond {TRIP_SIM_CAP} iterations; \
+                 latch branch statically ~100% taken"
+            ),
+        };
+        out.push(Finding {
+            pass: PassKind::TripCount,
+            severity: Severity::Info,
+            at: Some(latch_pc),
+            message,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::find_loops;
+    use tc_isa::{ProgramBuilder, Reg};
+
+    fn bounds_of(p: &tc_isa::Program) -> (Cfg, LoopNest, Vec<Option<LoopBound>>) {
+        let input = AnalysisInput::from(p);
+        let cfg = Cfg::build(&input);
+        let reach = cfg.reachable();
+        let dom = Dominators::compute(&cfg, &reach);
+        let nest = find_loops(&cfg, &dom, &reach);
+        let bounds = trip_counts(&input, &cfg, &dom, &nest, &reach);
+        (cfg, nest, bounds)
+    }
+
+    #[test]
+    fn countdown_loop_has_exact_trip_count() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 100);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let (_, nest, bounds) = bounds_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 1);
+        let bound = bounds[0].expect("countable");
+        assert_eq!(bound.trips, Some(100));
+        assert!(
+            bound.static_taken_prob >= 0.99,
+            "{}",
+            bound.static_taken_prob
+        );
+    }
+
+    #[test]
+    fn count_up_to_register_bound() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 0);
+        b.li(Reg::T1, 8);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.halt();
+        let (_, nest, bounds) = bounds_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 1);
+        let bound = bounds[0].expect("countable");
+        assert_eq!(bound.trips, Some(8));
+        assert!((bound.static_taken_prob - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_dependent_bound_is_not_countable() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 0);
+        b.load(Reg::T1, Reg::GP, 0); // bound comes from memory
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.blt(Reg::T0, Reg::T1, top);
+        b.halt();
+        let (_, nest, bounds) = bounds_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 1);
+        assert!(bounds[0].is_none());
+    }
+
+    #[test]
+    fn loop_with_call_is_not_countable() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label("f");
+        let main = b.new_label("main");
+        let top = b.new_label("top");
+        b.bind(f).unwrap();
+        b.ret();
+        b.bind(main).unwrap();
+        b.entry(main);
+        b.li(Reg::T0, 4);
+        b.bind(top).unwrap();
+        b.call(f);
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let (_, nest, bounds) = bounds_of(&b.build().unwrap());
+        assert_eq!(nest.loops.len(), 1);
+        assert!(bounds[0].is_none());
+    }
+
+    #[test]
+    fn runaway_loop_is_capped_with_high_bias() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 0);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, 1);
+        b.bnez(Reg::T0, top); // exits only after wrapping to zero
+        b.halt();
+        let (_, _, bounds) = bounds_of(&b.build().unwrap());
+        let bound = bounds[0].expect("shape is countable");
+        assert_eq!(bound.trips, None);
+        assert!(bound.static_taken_prob > 0.999);
+    }
+
+    #[test]
+    fn tripcount_findings_describe_countable_loops() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label("top");
+        b.li(Reg::T0, 3);
+        b.bind(top).unwrap();
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bnez(Reg::T0, top);
+        b.halt();
+        let (cfg, nest, bounds) = bounds_of(&b.build().unwrap());
+        let findings = tripcount_findings(&cfg, &nest, &bounds);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].pass, PassKind::TripCount);
+        assert!(findings[0].message.contains("3 iterations"));
+    }
+}

@@ -8,6 +8,13 @@
 //! gate simulator performance. Cells present in only one artifact are
 //! reported but never fail the comparison — matrices legitimately grow
 //! when presets are added.
+//!
+//! When both artifacts carry the fidelity columns (`fetch_rate`,
+//! `mispredict_rate`, `promo_coverage`), the comparison additionally
+//! gates on effective fetch rate: a cell whose fetch rate *dropped* by
+//! more than the tolerance is a fidelity regression. This is the gate
+//! the promotion-plan ablation runs under — a plan is only accepted if
+//! promotion coverage improves without costing fetch bandwidth.
 
 use tc_sim::harness::{parse_json, Value};
 
@@ -28,6 +35,18 @@ pub struct CellDelta {
     pub old_mips: Option<f64>,
     /// New artifact's effective MIPS (absent in pre-MIPS artifacts).
     pub new_mips: Option<f64>,
+    /// Old effective fetch rate (absent in pre-fidelity artifacts).
+    pub old_fetch_rate: Option<f64>,
+    /// New effective fetch rate (absent in pre-fidelity artifacts).
+    pub new_fetch_rate: Option<f64>,
+    /// Old conditional misprediction rate, `[0, 1]`.
+    pub old_mispredict_rate: Option<f64>,
+    /// New conditional misprediction rate, `[0, 1]`.
+    pub new_mispredict_rate: Option<f64>,
+    /// Old promoted fraction of conditional-branch executions.
+    pub old_promo_coverage: Option<f64>,
+    /// New promoted fraction of conditional-branch executions.
+    pub new_promo_coverage: Option<f64>,
 }
 
 impl CellDelta {
@@ -38,6 +57,37 @@ impl CellDelta {
             0.0
         } else {
             (self.new_ns_per_cycle - self.old_ns_per_cycle) / self.old_ns_per_cycle * 100.0
+        }
+    }
+
+    /// Fetch-rate percent change, negative = lost fetch bandwidth (a
+    /// potential fidelity regression). `None` when either artifact
+    /// predates the fidelity columns.
+    #[must_use]
+    pub fn fetch_delta_pct(&self) -> Option<f64> {
+        match (self.old_fetch_rate, self.new_fetch_rate) {
+            (Some(old), Some(new)) if old != 0.0 => Some((new - old) / old * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Promotion-coverage change in percentage points, positive = more
+    /// branch executions ran promoted.
+    #[must_use]
+    pub fn promo_delta_pp(&self) -> Option<f64> {
+        match (self.old_promo_coverage, self.new_promo_coverage) {
+            (Some(old), Some(new)) => Some((new - old) * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Misprediction-rate change in percentage points, negative = fewer
+    /// mispredicts.
+    #[must_use]
+    pub fn mispredict_delta_pp(&self) -> Option<f64> {
+        match (self.old_mispredict_rate, self.new_mispredict_rate) {
+            (Some(old), Some(new)) => Some((new - old) * 100.0),
+            _ => None,
         }
     }
 }
@@ -84,6 +134,19 @@ impl Comparison {
             .filter(|d| d.delta_pct() > self.tolerance_pct)
             .collect()
     }
+
+    /// The cells whose effective fetch rate dropped by more than the
+    /// tolerance (cells without fidelity columns never qualify).
+    #[must_use]
+    pub fn fetch_regressions(&self) -> Vec<&CellDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                d.fetch_delta_pct()
+                    .is_some_and(|pct| -pct > self.tolerance_pct)
+            })
+            .collect()
+    }
 }
 
 /// One parsed artifact cell row.
@@ -93,6 +156,10 @@ struct CellRow {
     ns_per_cycle: f64,
     /// Absent in artifacts written before the MIPS column existed.
     effective_mips: Option<f64>,
+    /// Absent in artifacts written before the fidelity columns existed.
+    fetch_rate: Option<f64>,
+    mispredict_rate: Option<f64>,
+    promo_coverage: Option<f64>,
 }
 
 fn artifact_cells(label: &str, text: &str) -> Result<Vec<CellRow>, String> {
@@ -130,6 +197,9 @@ fn artifact_cells(label: &str, text: &str) -> Result<Vec<CellRow>, String> {
             config,
             ns_per_cycle: ns,
             effective_mips: cell.get("effective_mips").and_then(Value::as_f64),
+            fetch_rate: cell.get("fetch_rate").and_then(Value::as_f64),
+            mispredict_rate: cell.get("mispredict_rate").and_then(Value::as_f64),
+            promo_coverage: cell.get("promo_coverage").and_then(Value::as_f64),
         });
     }
     if rows.is_empty() {
@@ -190,6 +260,12 @@ pub fn compare_artifacts(
                 new_ns_per_cycle: n.ns_per_cycle,
                 old_mips: o.effective_mips,
                 new_mips: n.effective_mips,
+                old_fetch_rate: o.fetch_rate,
+                new_fetch_rate: n.fetch_rate,
+                old_mispredict_rate: o.mispredict_rate,
+                new_mispredict_rate: n.mispredict_rate,
+                old_promo_coverage: o.promo_coverage,
+                new_promo_coverage: n.promo_coverage,
             }),
             None => only_old.push(format!("{}/{}", o.benchmark, o.config)),
         }
@@ -221,12 +297,24 @@ pub fn render(comparison: &Comparison) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:12} {:12} {:>12} {:>12} {:>9} {:>16}",
-        "benchmark", "config", "old ns/cyc", "new ns/cyc", "delta", "eff MIPS o->n"
+        "{:12} {:12} {:>12} {:>12} {:>9} {:>16} {:>9} {:>10}",
+        "benchmark",
+        "config",
+        "old ns/cyc",
+        "new ns/cyc",
+        "delta",
+        "eff MIPS o->n",
+        "fetch d%",
+        "promo dpp"
     );
     for d in &comparison.deltas {
+        let fetch_regressed = d
+            .fetch_delta_pct()
+            .is_some_and(|pct| -pct > comparison.tolerance_pct);
         let flag = if d.delta_pct() > comparison.tolerance_pct {
             "  REGRESSION"
+        } else if fetch_regressed {
+            "  FETCH REGRESSION"
         } else {
             ""
         };
@@ -236,9 +324,15 @@ pub fn render(comparison: &Comparison) -> String {
             (Some(o), None) => format!("{o:.1}->-"),
             (None, None) => "-".to_string(),
         };
+        let fetch = d
+            .fetch_delta_pct()
+            .map_or_else(|| "-".to_string(), |pct| format!("{pct:+.2}%"));
+        let promo = d
+            .promo_delta_pp()
+            .map_or_else(|| "-".to_string(), |pp| format!("{pp:+.2}"));
         let _ = writeln!(
             out,
-            "{:12} {:12} {:>12.1} {:>12.1} {:>+8.1}% {mips:>16}{flag}",
+            "{:12} {:12} {:>12.1} {:>12.1} {:>+8.1}% {mips:>16} {fetch:>9} {promo:>10}{flag}",
             d.benchmark,
             d.config,
             d.old_ns_per_cycle,
@@ -273,9 +367,11 @@ pub fn render(comparison: &Comparison) -> String {
         }
     }
     let regressions = comparison.regressions().len();
+    let fetch_regressions = comparison.fetch_regressions().len();
     let _ = writeln!(
         out,
-        "{} cell(s) compared, {regressions} regression(s) beyond {:.0}%",
+        "{} cell(s) compared, {regressions} throughput + {fetch_regressions} fetch-rate \
+         regression(s) beyond {:.0}%",
         comparison.deltas.len(),
         comparison.tolerance_pct
     );
@@ -388,6 +484,60 @@ mod tests {
         let rendered = render(&cmp);
         assert!(rendered.contains("sampling accuracy"));
         assert!(rendered.contains("12.5x"));
+    }
+
+    fn fidelity_artifact(cells: &[(&str, &str, f64, f64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            format!("{{\"schema\":\"{SCHEMA}\",\"insts_per_cell\":1000,\"samples\":1,\"cells\":[");
+        for (i, (b, c, fetch, promo)) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"benchmark\":\"{b}\",\"config\":\"{c}\",\"instructions\":1000,\
+                 \"cycles\":500,\"wall_ns\":50000,\"ns_per_cycle\":100.0,\
+                 \"instrs_per_sec\":1.0,\"fetch_rate\":{fetch},\
+                 \"mispredict_rate\":0.05,\"promo_coverage\":{promo}}}"
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    #[test]
+    fn fetch_rate_drops_beyond_tolerance_are_fidelity_regressions() {
+        let old = fidelity_artifact(&[
+            ("compress", "headline", 10.0, 0.50),
+            ("gcc", "headline", 8.0, 0.40),
+        ]);
+        // Doctored: gcc lost 25% of its fetch rate; compress's promotion
+        // coverage improved with fetch bandwidth intact.
+        let new = fidelity_artifact(&[
+            ("compress", "headline", 10.1, 0.70),
+            ("gcc", "headline", 6.0, 0.40),
+        ]);
+        let cmp = compare_artifacts(&old, &new, 10.0).unwrap();
+        assert!(cmp.regressions().is_empty(), "throughput is unchanged");
+        let fetch = cmp.fetch_regressions();
+        assert_eq!(fetch.len(), 1);
+        assert_eq!(fetch[0].benchmark, "gcc");
+        assert!((fetch[0].fetch_delta_pct().unwrap() + 25.0).abs() < 1e-9);
+        assert!((cmp.deltas[0].promo_delta_pp().unwrap() - 20.0).abs() < 1e-9);
+        let rendered = render(&cmp);
+        assert!(rendered.contains("FETCH REGRESSION"));
+        assert!(rendered.contains("fetch-rate"));
+    }
+
+    #[test]
+    fn artifacts_without_fidelity_columns_never_fetch_regress() {
+        let old = artifact(&[("compress", "icache", 500, 50_000)]);
+        let cmp = compare_artifacts(&old, &old, 10.0).unwrap();
+        assert_eq!(cmp.deltas[0].fetch_delta_pct(), None);
+        assert_eq!(cmp.deltas[0].promo_delta_pp(), None);
+        assert_eq!(cmp.deltas[0].mispredict_delta_pp(), None);
+        assert!(cmp.fetch_regressions().is_empty());
     }
 
     #[test]

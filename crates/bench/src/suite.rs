@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use tc_sim::harness::{presets, Json};
-use tc_sim::{Processor, SimConfig, SimReport};
+use tc_sim::{Processor, PromotionPlan, SimConfig, SimReport};
 use tc_workloads::Benchmark;
 
 /// Schema identifier stamped into every emitted suite artifact.
@@ -37,6 +37,13 @@ pub struct BenchCell {
     /// Total dynamic instructions traversed (equals `instructions` for
     /// full-timing cells; larger when the cell fast-forwards/samples).
     pub stream_insts: u64,
+    /// Effective fetch rate of the simulated run — the fidelity metric
+    /// `tw bench --compare` gates alongside throughput.
+    pub fetch_rate: f64,
+    /// Conditional misprediction rate of the run, in `[0, 1]`.
+    pub mispredict_rate: f64,
+    /// Fraction of conditional-branch executions that ran promoted.
+    pub promo_coverage: f64,
 }
 
 impl BenchCell {
@@ -198,10 +205,31 @@ pub fn run_cell(
     insts: u64,
     samples: u32,
 ) -> BenchCell {
+    run_cell_planned(benchmark, config_name, insts, samples, None)
+}
+
+/// [`run_cell`] with an optional promotion plan attached to the
+/// configuration (the `tw bench --plan auto` path).
+///
+/// # Panics
+///
+/// Panics if `config_name` is not in the preset registry or `samples`
+/// is zero.
+#[must_use]
+pub fn run_cell_planned(
+    benchmark: Benchmark,
+    config_name: &'static str,
+    insts: u64,
+    samples: u32,
+    plan: Option<&PromotionPlan>,
+) -> BenchCell {
     assert!(samples > 0, "at least one timed sample is required");
-    let config: SimConfig = tc_sim::harness::lookup(config_name)
+    let mut config: SimConfig = tc_sim::harness::lookup(config_name)
         .unwrap_or_else(|| panic!("unknown configuration preset {config_name:?}"))
         .with_max_insts(insts);
+    if let Some(plan) = plan {
+        config = config.with_promotion_plan(plan.clone());
+    }
     let workload = benchmark.build();
     let mut best_ns = u64::MAX;
     let mut report = None;
@@ -223,6 +251,9 @@ pub fn run_cell(
             .sampling
             .as_ref()
             .map_or(report.instructions, |s| s.total_stream),
+        fetch_rate: report.effective_fetch_rate(),
+        mispredict_rate: report.cond_mispredict_rate(),
+        promo_coverage: promo_coverage(&report),
     }
 }
 
@@ -318,11 +349,26 @@ pub fn run_suite(
     matrix: &[(Benchmark, &'static str)],
     insts: u64,
     samples: u32,
+    progress: impl FnMut(&BenchCell, usize, usize),
+) -> BenchSuite {
+    run_suite_planned(matrix, insts, samples, |_| None, progress)
+}
+
+/// [`run_suite`] with a per-benchmark promotion-plan provider: each
+/// cell's configuration gets `plan_for(benchmark)` attached (`None` runs
+/// the cell plain). The provider is called once per cell, so memoize
+/// expensive plan construction per benchmark.
+pub fn run_suite_planned(
+    matrix: &[(Benchmark, &'static str)],
+    insts: u64,
+    samples: u32,
+    mut plan_for: impl FnMut(Benchmark) -> Option<PromotionPlan>,
     mut progress: impl FnMut(&BenchCell, usize, usize),
 ) -> BenchSuite {
     let mut cells = Vec::with_capacity(matrix.len());
     for (i, &(benchmark, config_name)) in matrix.iter().enumerate() {
-        let cell = run_cell(benchmark, config_name, insts, samples);
+        let plan = plan_for(benchmark);
+        let cell = run_cell_planned(benchmark, config_name, insts, samples, plan.as_ref());
         progress(&cell, i + 1, matrix.len());
         cells.push(cell);
     }
@@ -358,6 +404,9 @@ pub fn suite_to_json(suite: &BenchSuite) -> Json {
                             ("instrs_per_sec", Json::Float(c.instrs_per_sec())),
                             ("stream_insts", Json::UInt(c.stream_insts)),
                             ("effective_mips", Json::Float(c.effective_mips())),
+                            ("fetch_rate", Json::Float(c.fetch_rate)),
+                            ("mispredict_rate", Json::Float(c.mispredict_rate)),
+                            ("promo_coverage", Json::Float(c.promo_coverage)),
                         ])
                     })
                     .collect(),
@@ -447,6 +496,9 @@ mod tests {
                 "cells run full timing"
             );
             assert!(cell.effective_mips() > 0.0);
+            assert!(cell.fetch_rate > 0.0);
+            assert!(cell.mispredict_rate >= 0.0 && cell.mispredict_rate <= 1.0);
+            assert!(cell.promo_coverage >= 0.0 && cell.promo_coverage <= 1.0);
         }
         assert_eq!(suite.probes.len(), 2, "one probe per distinct preset");
         for probe in &suite.probes {

@@ -303,6 +303,23 @@ impl<T: Tracer> FrontEnd<T> {
         self.fill.as_ref()
     }
 
+    /// Installs per-branch promotion overrides (a `tw-plan/v1` promotion
+    /// plan) into the bias table. Returns `false` — and installs
+    /// nothing — when the front end has no dynamic promotion configured
+    /// (no fill unit, or a fill unit without a bias table).
+    pub fn set_bias_overrides(
+        &mut self,
+        overrides: std::collections::HashMap<u64, tc_predict::BiasOverride>,
+    ) -> bool {
+        match self.fill.as_mut().and_then(FillUnit::bias_table_mut) {
+            Some(bias) => {
+                bias.set_overrides(overrides);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The invariant sanitizer (inert unless
     /// [`FrontEndConfig::sanitize`] is set).
     #[must_use]

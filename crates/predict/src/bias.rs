@@ -1,5 +1,9 @@
 //! The branch bias table (Figure 5) driving branch promotion.
 
+use std::collections::HashMap;
+
+use crate::plan::{BiasOverride, PlanAction};
+
 /// Configuration of the [`BiasTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BiasConfig {
@@ -132,6 +136,12 @@ pub struct BiasTable {
     config: BiasConfig,
     promotions: u64,
     demotions: u64,
+    /// Per-branch plan overrides (byte address → action); empty unless a
+    /// promotion plan was attached.
+    overrides: HashMap<u64, BiasOverride>,
+    /// Promotions attributed to plan-classified branches, indexed by
+    /// [`crate::BranchClass::index`]. All zero without a plan.
+    class_promotions: [u64; 4],
 }
 
 impl BiasTable {
@@ -149,7 +159,31 @@ impl BiasTable {
             config,
             promotions: 0,
             demotions: 0,
+            overrides: HashMap::new(),
+            class_promotions: [0; 4],
         }
+    }
+
+    /// Attaches per-branch promotion overrides (a parsed `tw-plan/v1`
+    /// plan). A branch with a [`PlanAction::Never`] override is never
+    /// promoted; a [`PlanAction::Threshold`] override replaces the
+    /// table-wide threshold for that branch. Unlisted branches keep the
+    /// default behaviour. Replaces any previously attached overrides.
+    pub fn set_overrides(&mut self, overrides: HashMap<u64, BiasOverride>) {
+        self.overrides = overrides;
+    }
+
+    /// Number of attached per-branch overrides.
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Promotions attributed to each plan class (see
+    /// [`crate::BranchClass::index`]); all zero without overrides.
+    #[must_use]
+    pub fn class_promotions(&self) -> [u64; 4] {
+        self.class_promotions
     }
 
     /// The table configuration.
@@ -177,7 +211,12 @@ impl BiasTable {
         let idx = self.index(pc);
         let tag = self.tag(pc);
         let counter_max = self.config.counter_max();
-        let threshold = self.config.threshold;
+        let over = self.overrides.get(&pc).copied();
+        let (threshold, never) = match over.map(|o| o.action) {
+            Some(PlanAction::Never) => (0, true),
+            Some(PlanAction::Threshold(t)) => (t, false),
+            None => (self.config.threshold, false),
+        };
         let slot = &mut self.entries[idx];
         let entry = match slot {
             Some(e) if e.tag == tag => e,
@@ -218,9 +257,12 @@ impl BiasTable {
                 demoted = true;
             }
         }
-        if entry.promoted.is_none() && entry.count >= threshold {
+        if !never && entry.promoted.is_none() && entry.count >= threshold {
             entry.promoted = Some(entry.dir);
             self.promotions += 1;
+            if let Some(o) = over {
+                self.class_promotions[o.class.index()] += 1;
+            }
             return if demoted {
                 BiasUpdate::DemotedThenPromoted(entry.dir)
             } else {
@@ -423,6 +465,50 @@ mod tests {
         assert_eq!(t.decision(0x10), BiasDecision::Promote(false));
         assert_eq!(t.demotions(), 1);
         assert_eq!(t.promotions(), 2);
+    }
+
+    #[test]
+    fn never_override_blocks_promotion() {
+        use crate::plan::{BiasOverride, BranchClass, PlanAction};
+        let mut t = table(4);
+        t.set_overrides(HashMap::from([(
+            0x10,
+            BiasOverride {
+                class: BranchClass::DataDependent,
+                action: PlanAction::Never,
+            },
+        )]));
+        for _ in 0..100 {
+            t.update(0x10, true);
+        }
+        assert_eq!(t.decision(0x10), BiasDecision::Normal);
+        assert_eq!(t.promotions(), 0);
+        // An unlisted branch at the same table index still promotes.
+        for _ in 0..4 {
+            t.update(0x10 + 64, true);
+        }
+        assert_eq!(t.decision(0x10 + 64), BiasDecision::Promote(true));
+        assert_eq!(t.class_promotions(), [0; 4], "unlisted branch has no class");
+    }
+
+    #[test]
+    fn threshold_override_promotes_early_and_attributes_class() {
+        use crate::plan::{BiasOverride, BranchClass, PlanAction};
+        let mut t = table(64);
+        t.set_overrides(HashMap::from([(
+            0x10,
+            BiasOverride {
+                class: BranchClass::StronglyBiased,
+                action: PlanAction::Threshold(2),
+            },
+        )]));
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Normal);
+        t.update(0x10, true);
+        assert_eq!(t.decision(0x10), BiasDecision::Promote(true));
+        assert_eq!(t.promotions(), 1);
+        assert_eq!(t.class_promotions(), [1, 0, 0, 0]);
+        assert_eq!(t.override_count(), 1);
     }
 
     #[test]

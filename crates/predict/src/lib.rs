@@ -34,6 +34,7 @@ mod hybrid;
 mod indirect;
 mod multi;
 mod pas;
+mod plan;
 mod ras;
 mod split;
 
@@ -45,5 +46,6 @@ pub use hybrid::{HybridPrediction, HybridPredictor};
 pub use indirect::IndirectPredictor;
 pub use multi::{MultiPredictions, MultiPredictor, MAX_PREDICTIONS};
 pub use pas::PasPredictor;
+pub use plan::{BiasOverride, BranchClass, PlanAction};
 pub use ras::ReturnStack;
 pub use split::SplitMultiPredictor;

@@ -1,0 +1,104 @@
+//! Per-branch promotion-plan vocabulary shared by the analysis pipeline
+//! (`tc-analyze`), the bias table ([`crate::BiasTable`]), and the
+//! simulator's `tw-plan/v1` plumbing.
+//!
+//! The paper promotes with one global bias threshold (64 consecutive
+//! identical outcomes) for every static branch. "Workload
+//! Characterization for Branch Predictability"-style studies show static
+//! branches fall into distinct predictability classes that deserve
+//! different treatment; these types name the classes and the per-branch
+//! override actions a promotion plan can prescribe.
+
+/// The four-class branch-predictability taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BranchClass {
+    /// One direction dominates (>= ~95% of executions): promote early.
+    StronglyBiased,
+    /// Mixed overall bias but long same-direction runs (phases): the
+    /// default consecutive-outcome threshold already captures phases.
+    PhaseBiased,
+    /// Poor bias and short runs, but a short outcome history predicts
+    /// the next outcome well: leave it to the dynamic predictor.
+    HistoryPredictable,
+    /// None of the above — promotion would only generate faults.
+    DataDependent,
+}
+
+impl BranchClass {
+    /// Every class, in taxonomy (and serialization) order.
+    pub const ALL: [BranchClass; 4] = [
+        BranchClass::StronglyBiased,
+        BranchClass::PhaseBiased,
+        BranchClass::HistoryPredictable,
+        BranchClass::DataDependent,
+    ];
+
+    /// The `tw-plan/v1` wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BranchClass::StronglyBiased => "strongly_biased",
+            BranchClass::PhaseBiased => "phase_biased",
+            BranchClass::HistoryPredictable => "history_predictable",
+            BranchClass::DataDependent => "data_dependent",
+        }
+    }
+
+    /// Dense index into per-class counter arrays (`0..4`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            BranchClass::StronglyBiased => 0,
+            BranchClass::PhaseBiased => 1,
+            BranchClass::HistoryPredictable => 2,
+            BranchClass::DataDependent => 3,
+        }
+    }
+
+    /// Parses a `tw-plan/v1` wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<BranchClass> {
+        BranchClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// What a promotion plan prescribes for one static branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanAction {
+    /// Never promote this branch, whatever the bias table observes.
+    Never,
+    /// Promote at this consecutive-outcome threshold instead of the
+    /// table-wide default.
+    Threshold(u32),
+}
+
+/// One branch's plan entry as consumed by the [`crate::BiasTable`]:
+/// the override action plus the class it was derived from (so promotion
+/// events can be attributed per class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiasOverride {
+    /// The predictability class the classifier assigned.
+    pub class: BranchClass,
+    /// The promotion action for this branch.
+    pub action: PlanAction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for class in BranchClass::ALL {
+            assert_eq!(BranchClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(BranchClass::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, class) in BranchClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+}

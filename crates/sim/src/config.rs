@@ -6,6 +6,8 @@ use tc_core::{FrontEndConfig, PackingPolicy, StaticPromotionTable};
 use tc_engine::EngineConfig;
 use tc_fault::FaultPlan;
 
+use crate::plan::PromotionPlan;
+
 /// How a run divides the dynamic instruction stream between the
 /// functional interpreter and the timing model.
 ///
@@ -81,6 +83,10 @@ pub struct SimConfig {
     /// ([`ExecutionMode::FullTiming`] by default, which is bit-identical
     /// to the pre-mode simulator).
     pub mode: ExecutionMode,
+    /// Per-branch promotion plan (`tw analyze` output); `None` (the
+    /// default) keeps the table-wide bias threshold for every branch
+    /// and reports bit-identical to pre-plan builds.
+    pub promotion_plan: Option<PromotionPlan>,
 }
 
 /// Default dynamic-instruction budget.
@@ -98,6 +104,7 @@ impl SimConfig {
             ideal_returns: true,
             fault_plan: None,
             mode: ExecutionMode::FullTiming,
+            promotion_plan: None,
         }
     }
 
@@ -250,6 +257,19 @@ impl SimConfig {
         self
     }
 
+    /// Attaches a per-branch promotion plan (`tw analyze` output). The
+    /// plan's threshold overrides and never-promote verdicts are
+    /// installed into the bias table at run start; configurations
+    /// without dynamic promotion ignore the plan (the report still
+    /// records its provenance). The label gains a `+plan` suffix so
+    /// result caches keyed on labels never conflate planned and
+    /// unplanned runs.
+    #[must_use]
+    pub fn with_promotion_plan(mut self, plan: PromotionPlan) -> SimConfig {
+        self.promotion_plan = Some(plan);
+        self
+    }
+
     /// Fast-forwards `skip` instructions functionally before timing
     /// attaches (see [`ExecutionMode::FastForward`]).
     #[must_use]
@@ -324,6 +344,9 @@ impl SimConfig {
         if let Some(plan) = &self.fault_plan {
             label.push('+');
             label.push_str(&plan.label());
+        }
+        if self.promotion_plan.is_some() {
+            label.push_str("+plan");
         }
         match self.mode {
             ExecutionMode::FullTiming => {}

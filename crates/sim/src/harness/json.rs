@@ -310,6 +310,32 @@ pub fn report_to_json(r: &SimReport) -> Json {
             ]),
         ));
     }
+    // Appended only when a promotion plan was attached: plan-free
+    // reports keep the exact pre-plan key set.
+    if let Some(p) = &r.plan {
+        let class = |counts: &[u64; 4]| {
+            Json::Object(
+                tc_predict::BranchClass::ALL
+                    .into_iter()
+                    .map(|c| (c.name(), Json::UInt(counts[c.index()])))
+                    .collect(),
+            )
+        };
+        fields.push((
+            "plan",
+            Json::Object(vec![
+                ("workload", Json::Str(p.workload.clone())),
+                ("profiled_instructions", Json::UInt(p.profiled_insts)),
+                ("entries", Json::UInt(p.entries)),
+                ("never_promote", Json::UInt(p.never_promote)),
+                ("class_branches", class(&p.class_branches)),
+                ("class_execs", class(&p.class_execs)),
+                ("class_promoted", class(&p.class_promoted)),
+                ("class_faults", class(&p.class_faults)),
+                ("class_promotions", class(&p.class_promotions)),
+            ]),
+        ));
+    }
     Json::Object(fields)
 }
 

@@ -1,7 +1,7 @@
 //! Static lint runs over the workload suite (`tw lint`).
 //!
 //! Thin glue between `tc-analyze` and the harness's report machinery:
-//! runs the five-pass pipeline over registered benchmarks and renders
+//! runs the eight-pass pipeline over registered benchmarks and renders
 //! the results through [`Table`] and [`Json`] like every other driver.
 
 use tc_analyze::{analyze, AnalysisReport, Severity, PASS_NAMES};
@@ -95,7 +95,30 @@ pub fn lint_entry_to_json(entry: &LintEntry) -> Json {
                 ("indirect_jumps", Json::UInt(t.indirect_jumps() as u64)),
                 ("indirect_calls", Json::UInt(t.indirect_calls() as u64)),
                 ("traps", Json::UInt(t.traps() as u64)),
+                ("back_edges", Json::UInt(t.back_edges() as u64)),
             ]),
+        ),
+        (
+            "loops",
+            Json::Array(
+                r.loops
+                    .iter()
+                    .map(|l| {
+                        Json::Object(vec![
+                            ("header", Json::UInt(l.header.byte_addr())),
+                            ("latch", Json::UInt(l.latch.byte_addr())),
+                            ("blocks", Json::UInt(l.blocks as u64)),
+                            ("instructions", Json::UInt(l.instructions as u64)),
+                            ("depth", Json::UInt(l.depth as u64)),
+                            ("trip_count", l.trip_count.map_or(Json::Null, Json::UInt)),
+                            (
+                                "static_taken_prob",
+                                l.static_taken_prob.map_or(Json::Null, Json::Float),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         ("findings", Json::Array(findings)),
     ])
@@ -116,6 +139,7 @@ pub fn lint_table(entries: &[LintEntry]) -> String {
         "blocks",
         "dead",
         "cond",
+        "loops",
         "back<=32",
         "promo",
         "errors",
@@ -129,6 +153,7 @@ pub fn lint_table(entries: &[LintEntry]) -> String {
             r.blocks.to_string(),
             (r.blocks - r.reachable_blocks).to_string(),
             r.taxonomy.cond_branches().to_string(),
+            r.loops.len().to_string(),
             r.taxonomy.cond_short_backward().to_string(),
             r.taxonomy.promotion_candidates().to_string(),
             r.errors().to_string(),

@@ -22,6 +22,10 @@
 //! * [`error`] — [`TwError`], the structured error every fallible `tw`
 //!   path returns: a one-line diagnostic plus the exit-code class
 //!   (usage → 2, runtime → 1).
+//! * [`analyze`] — the `tw analyze` driver: a chunked deterministic
+//!   functional branch profiler, the four-class predictability
+//!   classifier, and the `tw-plan/v1` promotion-plan artifact
+//!   (emit + validating parse).
 //! * [`trace`] — the event-trace sink behind `tw trace`: traced runs,
 //!   the Chrome/Perfetto `trace_event` export, and the interval-timeline
 //!   renderers (`--timeline`).
@@ -38,6 +42,7 @@
 //!
 //! [`SimReport`]: crate::SimReport
 
+mod analyze;
 mod checkpoint;
 mod error;
 mod json;
@@ -48,6 +53,9 @@ mod runner;
 mod table;
 mod trace;
 
+pub use analyze::{
+    build_plan, parse_plan, plan_table, plan_to_json, profile_branches, PLAN_SCHEMA, PROFILE_CHUNK,
+};
 pub use checkpoint::{parse_checkpoint, Checkpoint, CHECKPOINT_FORMAT};
 pub use error::TwError;
 pub use json::{check_well_formed, report_to_json, reports_to_json, trace_summary_to_json, Json};

@@ -37,6 +37,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
+mod plan;
 mod processor;
 mod report;
 
@@ -45,6 +46,7 @@ pub mod harness;
 
 pub use config::{ExecutionMode, SimConfig};
 pub use harness::MatrixRunner;
+pub use plan::{PlanEntry, PlanStats, PromotionPlan};
 pub use processor::Processor;
 pub use report::{CycleAccounting, SamplingStats, SimReport};
 pub use tc_fault::{FaultLocus, FaultPlan, FaultStats};

@@ -1,0 +1,208 @@
+//! Promotion plans: the consumed form of `tw-plan/v1`.
+//!
+//! `tw analyze` classifies every static conditional branch of a
+//! workload into the four-class predictability taxonomy and emits a
+//! *promotion plan*: per-branch bias-threshold overrides (promote
+//! earlier than the paper's global 64-outcome threshold, keep the
+//! default, or never promote). [`PromotionPlan`] is that plan as the
+//! simulator consumes it — attach one with
+//! [`crate::SimConfig::with_promotion_plan`] and the processor installs
+//! the overrides into the bias table and attributes promotion activity
+//! per class in the report's [`PlanStats`] section.
+
+use std::collections::HashMap;
+
+use tc_predict::{BiasOverride, BranchClass, PlanAction};
+
+/// One branch's plan entry: the override plus the profile evidence it
+/// was derived from (carried through to the plan JSON for audit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// Byte address of the branch (matches bias-table indexing).
+    pub pc: u64,
+    /// The classifier's verdict: class + promotion action.
+    pub over: BiasOverride,
+    /// Dynamic executions observed while profiling (0 = static-only).
+    pub executed: u64,
+    /// Taken executions.
+    pub taken: u64,
+    /// Direction transitions between consecutive executions.
+    pub transitions: u64,
+    /// Dominant-direction fraction of executions.
+    pub bias: f64,
+    /// Mean same-direction run length.
+    pub avg_run: f64,
+    /// Ideal order-2 history self-prediction accuracy.
+    pub markov_accuracy: f64,
+    /// Static loop-nesting depth of the branch.
+    pub loop_depth: usize,
+    /// Static taken-probability from the trip-count pass, if inferred.
+    pub static_taken_prob: Option<f64>,
+}
+
+/// A complete per-workload promotion plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromotionPlan {
+    /// Workload the plan was derived for.
+    pub workload: String,
+    /// Instructions functionally profiled to build it.
+    pub profiled_insts: u64,
+    /// Per-branch entries, in ascending `pc` order.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl PromotionPlan {
+    /// Number of branch entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The override map the bias table consumes.
+    #[must_use]
+    pub fn overrides(&self) -> HashMap<u64, BiasOverride> {
+        self.entries.iter().map(|e| (e.pc, e.over)).collect()
+    }
+
+    /// Branch pc → dense class index, for per-class attribution.
+    #[must_use]
+    pub fn class_indices(&self) -> HashMap<u64, usize> {
+        self.entries
+            .iter()
+            .map(|e| (e.pc, e.over.class.index()))
+            .collect()
+    }
+
+    /// Static branches per class, indexed by [`BranchClass::index`].
+    #[must_use]
+    pub fn class_counts(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for e in &self.entries {
+            counts[e.over.class.index()] += 1;
+        }
+        counts
+    }
+
+    /// Entries whose action is never-promote.
+    #[must_use]
+    pub fn never_promote(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.over.action == PlanAction::Never)
+            .count() as u64
+    }
+}
+
+/// Plan provenance and per-class promotion activity, reported by a run
+/// that consumed a promotion plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Workload the attached plan was derived for.
+    pub workload: String,
+    /// Instructions the plan's profile covered.
+    pub profiled_insts: u64,
+    /// Branch entries in the plan.
+    pub entries: u64,
+    /// Entries prescribing never-promote.
+    pub never_promote: u64,
+    /// Static branches per class.
+    pub class_branches: [u64; 4],
+    /// Dynamic executions of plan-covered conditional branches,
+    /// per class (promoted or not, faults included).
+    pub class_execs: [u64; 4],
+    /// Executions of those branches while promoted (correct-path).
+    pub class_promoted: [u64; 4],
+    /// Promoted-branch faults per class.
+    pub class_faults: [u64; 4],
+    /// Bias-table promotion events attributed per class.
+    pub class_promotions: [u64; 4],
+}
+
+impl PlanStats {
+    /// Promotion coverage of one class: the fraction of its dynamic
+    /// executions that ran promoted (faults count as executions).
+    #[must_use]
+    pub fn coverage(&self, class: BranchClass) -> f64 {
+        let i = class.index();
+        if self.class_execs[i] == 0 {
+            0.0
+        } else {
+            (self.class_promoted[i] + self.class_faults[i]) as f64 / self.class_execs[i] as f64
+        }
+    }
+
+    /// Total dynamic executions of plan-covered branches.
+    #[must_use]
+    pub fn total_execs(&self) -> u64 {
+        self.class_execs.iter().sum()
+    }
+
+    /// Total promoted executions (faults included) of covered branches.
+    #[must_use]
+    pub fn total_promoted(&self) -> u64 {
+        self.class_promoted.iter().sum::<u64>() + self.class_faults.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u64, class: BranchClass, action: PlanAction) -> PlanEntry {
+        PlanEntry {
+            pc,
+            over: BiasOverride { class, action },
+            executed: 100,
+            taken: 90,
+            transitions: 10,
+            bias: 0.9,
+            avg_run: 9.0,
+            markov_accuracy: 0.5,
+            loop_depth: 1,
+            static_taken_prob: None,
+        }
+    }
+
+    #[test]
+    fn plan_aggregates_count_classes_and_actions() {
+        let plan = PromotionPlan {
+            workload: "w".into(),
+            profiled_insts: 1000,
+            entries: vec![
+                entry(8, BranchClass::StronglyBiased, PlanAction::Threshold(8)),
+                entry(16, BranchClass::DataDependent, PlanAction::Never),
+                entry(24, BranchClass::DataDependent, PlanAction::Never),
+            ],
+        };
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.class_counts(), [1, 0, 0, 2]);
+        assert_eq!(plan.never_promote(), 2);
+        assert_eq!(plan.overrides().len(), 3);
+        assert_eq!(plan.class_indices()[&16], 3);
+    }
+
+    #[test]
+    fn coverage_is_promoted_fraction_per_class() {
+        let stats = PlanStats {
+            workload: "w".into(),
+            profiled_insts: 0,
+            entries: 1,
+            never_promote: 0,
+            class_branches: [1, 0, 0, 0],
+            class_execs: [100, 0, 0, 0],
+            class_promoted: [70, 0, 0, 0],
+            class_faults: [10, 0, 0, 0],
+            class_promotions: [1, 0, 0, 0],
+        };
+        assert!((stats.coverage(BranchClass::StronglyBiased) - 0.8).abs() < 1e-12);
+        assert_eq!(stats.coverage(BranchClass::PhaseBiased), 0.0);
+        assert_eq!(stats.total_execs(), 100);
+        assert_eq!(stats.total_promoted(), 80);
+    }
+}

@@ -15,6 +15,7 @@ use tc_trace::{ExecPhase, FetchOrigin, NoopTracer, TraceEvent, Tracer};
 use tc_workloads::Workload;
 
 use crate::config::{ExecutionMode, SimConfig};
+use crate::plan::PlanStats;
 use crate::report::{CycleAccounting, SamplingStats, SimReport};
 
 /// Bubble charged when an indirect branch has no predicted target (the
@@ -39,6 +40,11 @@ struct Counters {
     resolution_cycles: u64,
     resolution_events: u64,
     salvaged: u64,
+    /// Per-class activity of plan-covered branches (all zero when no
+    /// promotion plan is attached), indexed by `BranchClass::index`.
+    class_execs: [u64; 4],
+    class_promoted: [u64; 4],
+    class_faults: [u64; 4],
 }
 
 impl Counters {
@@ -55,6 +61,28 @@ impl Counters {
             resolution_cycles: 0,
             resolution_events: 0,
             salvaged: 0,
+            class_execs: [0; 4],
+            class_promoted: [0; 4],
+            class_faults: [0; 4],
+        }
+    }
+
+    /// Attributes one conditional-branch execution to its plan class.
+    fn record_class(
+        &mut self,
+        classes: Option<&std::collections::HashMap<u64, usize>>,
+        pc: Addr,
+        promoted: bool,
+        faulted: bool,
+    ) {
+        let Some(&ci) = classes.and_then(|m| m.get(&pc.byte_addr())) else {
+            return;
+        };
+        self.class_execs[ci] += 1;
+        if faulted {
+            self.class_faults[ci] += 1;
+        } else if promoted {
+            self.class_promoted[ci] += 1;
         }
     }
 }
@@ -105,6 +133,9 @@ pub struct Processor<T: Tracer = NoopTracer> {
     /// In-flight instructions awaiting retirement; reused like
     /// `oracle`.
     retire_q: VecDeque<(u64, ExecRecord)>,
+    /// Byte address → plan class index, present when a promotion plan
+    /// is attached; used to attribute branch activity per class.
+    plan_classes: Option<std::collections::HashMap<u64, usize>>,
 }
 
 impl Processor {
@@ -119,12 +150,16 @@ impl<T: Tracer> Processor<T> {
     /// Builds a processor whose front end reports events to `tracer`.
     #[must_use]
     pub fn with_tracer(config: SimConfig, tracer: T) -> Processor<T> {
-        let front_end = match &config.static_promotion {
+        let mut front_end = match &config.static_promotion {
             Some(table) => {
                 FrontEnd::with_static_promotion_and_tracer(config.front_end, table.clone(), tracer)
             }
             None => FrontEnd::with_tracer(config.front_end, tracer),
         };
+        let plan_classes = config.promotion_plan.as_ref().map(|plan| {
+            front_end.set_bias_overrides(plan.overrides());
+            plan.class_indices()
+        });
         Processor {
             front_end,
             engine: ExecutionEngine::new(config.engine),
@@ -133,6 +168,7 @@ impl<T: Tracer> Processor<T> {
             fault: FaultStats::default(),
             oracle: VecDeque::with_capacity(128),
             retire_q: VecDeque::new(),
+            plan_classes,
             config,
         }
     }
@@ -493,6 +529,12 @@ impl<T: Tracer> Processor<T> {
                     // downstream of an escaped corruption — treat it as
                     // a mispredict rather than panicking.
                     let predicted = fi.pred_taken.unwrap_or(!rec.taken);
+                    rs.c.record_class(
+                        self.plan_classes.as_ref(),
+                        rec.pc,
+                        fi.promoted,
+                        fi.promoted && predicted != rec.taken,
+                    );
                     if fi.promoted {
                         promoted_in_fetch += 1;
                         if predicted == rec.taken {
@@ -620,6 +662,7 @@ impl<T: Tracer> Processor<T> {
                     }
                     if rec.is_cond_branch() {
                         history_replay.push(rec.taken);
+                        rs.c.record_class(self.plan_classes.as_ref(), rec.pc, fi.promoted, false);
                         if fi.promoted {
                             promoted_in_fetch += 1;
                             rs.c.promoted_executed += 1;
@@ -854,6 +897,21 @@ impl<T: Tracer> Processor<T> {
             }),
             trace: self.front_end.tracer().summary(),
             sampling,
+            plan: self.config.promotion_plan.as_ref().map(|p| PlanStats {
+                workload: p.workload.clone(),
+                profiled_insts: p.profiled_insts,
+                entries: p.len() as u64,
+                never_promote: p.never_promote(),
+                class_branches: p.class_counts(),
+                class_execs: c.class_execs,
+                class_promoted: c.class_promoted,
+                class_faults: c.class_faults,
+                class_promotions: self
+                    .front_end
+                    .fill_unit()
+                    .and_then(|f| f.bias_table())
+                    .map_or([0; 4], tc_predict::BiasTable::class_promotions),
+            }),
         }
     }
 }

@@ -152,6 +152,10 @@ pub struct SimReport {
     /// full-timing mode, so full-timing reports — and the golden
     /// fixtures — keep the exact pre-mode key set.
     pub sampling: Option<SamplingStats>,
+    /// Promotion-plan provenance and per-class coverage; `None` when no
+    /// plan was attached, so plan-free reports — and their JSON — stay
+    /// bit-identical to pre-plan builds.
+    pub plan: Option<crate::plan::PlanStats>,
 }
 
 impl SimReport {
@@ -259,6 +263,7 @@ mod tests {
             fault: None,
             trace: None,
             sampling: None,
+            plan: None,
         }
     }
 

@@ -82,6 +82,42 @@ fn parallel_matrix_is_bit_identical_to_serial() {
     }
 }
 
+/// Determinism survives an attached promotion plan: a plan-carrying
+/// matrix (per-branch bias overrides + per-class attribution) is
+/// bit-identical between serial and parallel runs, and the plan itself
+/// is byte-identical whether profiled with one worker or many.
+#[test]
+fn planned_matrix_is_bit_identical_to_serial() {
+    let bench = Benchmark::Compress;
+    let plan = tc_sim::harness::build_plan(&bench.build(), 100_000, 1).unwrap();
+    assert_eq!(
+        plan,
+        tc_sim::harness::build_plan(&bench.build(), 100_000, 4).unwrap()
+    );
+    let cells: Vec<(Benchmark, SimConfig)> = standard_five()
+        .into_iter()
+        .map(|(_, config)| {
+            (
+                bench,
+                config
+                    .with_max_insts(30_000)
+                    .with_promotion_plan(plan.clone()),
+            )
+        })
+        .collect();
+    let serial = run_matrix(&cells, 1);
+    let parallel = run_matrix(&cells, 4);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert!(s.plan.is_some(), "plan stats attached");
+        assert_eq!(
+            report_to_json(s).render(),
+            report_to_json(p).render(),
+            "planned cell {i} ({}) differs between serial and parallel runs",
+            cells[i].1.label()
+        );
+    }
+}
+
 /// The matrix runner's worker threads really run the cells (results are
 /// collected in caller order regardless of completion order).
 #[test]

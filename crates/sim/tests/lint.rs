@@ -33,6 +33,7 @@ fn lint_json_schema_is_stable() {
             "warnings",
             "infos",
             "taxonomy",
+            "loops",
             "findings",
         ]
     );
@@ -49,9 +50,30 @@ fn lint_json_schema_is_stable() {
             "indirect_jumps",
             "indirect_calls",
             "traps",
+            "back_edges",
         ]
     );
-    // The pass list names the five-pass pipeline, in execution order.
+    match json.get("loops").expect("loops array") {
+        Json::Array(loops) => {
+            assert!(!loops.is_empty(), "compress has natural loops");
+            for l in loops {
+                assert_eq!(
+                    keys(l),
+                    [
+                        "header",
+                        "latch",
+                        "blocks",
+                        "instructions",
+                        "depth",
+                        "trip_count",
+                        "static_taken_prob",
+                    ]
+                );
+            }
+        }
+        _ => panic!("expected array"),
+    }
+    // The pass list names the eight-pass pipeline, in execution order.
     match json.get("passes").expect("passes array") {
         Json::Array(passes) => {
             let names: Vec<&str> = passes
@@ -68,6 +90,9 @@ fn lint_json_schema_is_stable() {
                     "reachability",
                     "def-use",
                     "call-return",
+                    "dominators",
+                    "loops",
+                    "trip-count",
                     "taxonomy"
                 ]
             );

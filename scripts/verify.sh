@@ -46,6 +46,15 @@ target/release/tw sim --bench compress --config baseline \
 target/release/tw sim --bench compress --config headline \
   --insts 200000 --sample 2000/10000 --json >/dev/null
 
+echo "==> tw analyze smoke + plan round trip"
+plan="$(mktemp -t tw-plan-smoke.XXXXXX.json)"
+target/release/tw analyze --workload compress --insts 100000 \
+  --out "$plan" >/dev/null
+target/release/tw analyze --check "$plan"
+target/release/tw sim --bench compress --config promo-pack \
+  --insts 20000 --plan "$plan" --json >/dev/null
+rm -f "$plan"
+
 echo "==> tw checkpoint save/restore round trip"
 ckpt="$(mktemp -t tw-ckpt-smoke.XXXXXX.json)"
 direct="$(mktemp -t tw-ff-direct.XXXXXX.json)"
@@ -81,9 +90,11 @@ printf 'li t0, 0\nfrobnicate t1\n' > "$bad_asm"
 expect_exit 1 target/release/tw lint --asm "$bad_asm"
 printf '{"schema":"tw-bench/v1","cells":[' > "$bench_artifact.trunc"
 expect_exit 1 target/release/tw bench --check "$bench_artifact.trunc"
-rm -f "$bad_asm" "$bench_artifact.trunc"
+printf '{"schema":"tw-plan/v9"}' > "$bench_artifact.plan"
+expect_exit 1 target/release/tw analyze --check "$bench_artifact.plan"
+rm -f "$bad_asm" "$bench_artifact.trunc" "$bench_artifact.plan"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + error layer + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + analyze/plan smoke + error layer + formatting all clean"

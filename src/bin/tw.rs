@@ -12,7 +12,9 @@
 //!           [--at-cycles LIST] [--targets LIST] [--insts N] [--json]
 //! tw trace --workload gcc --preset headline [--events F] [--interval N] [--limit N] [--out FILE]
 //! tw lint [--bench gcc] [--asm FILE] [--json]
-//! tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
+//! tw analyze --workload gcc [--insts N] [--jobs N] [--json] [--out FILE]
+//! tw analyze --check PLAN.json
+//! tw bench [--smoke] [--insts N] [--samples N] [--out FILE] [--plan auto]
 //! tw bench --check FILE
 //! tw bench --compare OLD.json NEW.json [--tolerance PCT]
 //! ```
@@ -32,7 +34,12 @@
 //! five standard front ends in parallel (`--jobs`, or the `TW_JOBS`
 //! environment variable, caps the worker threads; `--timeout-secs`
 //! arms a progress watchdog that reports wedged cells instead of
-//! hanging). `faults` runs one cell with a deterministic fault plan
+//! hanging). `analyze` profiles a workload functionally, classifies
+//! every static conditional branch into the four-class predictability
+//! taxonomy, and emits a `tw-plan/v1` promotion plan; `--plan FILE` on
+//! `sim`/`compare` (or `--plan auto`, which builds the plan on the
+//! fly — the only form `bench` accepts) attaches the plan's per-branch
+//! promotion overrides to the run. `faults` runs one cell with a deterministic fault plan
 //! attached and reports the injected/detected/recovered/escaped
 //! counters. `trace` runs one cell with the event tracer attached and
 //! writes a Chrome/Perfetto `trace_event` JSON file; `--timeline` on
@@ -71,12 +78,13 @@ fn usage() -> ExitCode {
   tw list
       list benchmarks and configurations
   tw sim --bench <name> --config <name> [--insts N] [--perfect-mem] [--json]
-         [--timeline] [--interval N]
+         [--timeline] [--interval N] [--plan FILE|auto]
          [--fast-forward N | --sample M/K [--warmup W]]
       simulate one benchmark under one configuration;
       --fast-forward skips N instructions functionally before timing,
       --sample times M of every K instructions (SMARTS-style), warming
-      the front end for W instructions before each window
+      the front end for W instructions before each window;
+      --plan attaches a tw-plan/v1 promotion plan (auto = build it now)
   tw checkpoint save --workload <name> [--insts N] [--out FILE]
       fast-forward N instructions (default 2000000) functionally and
       write the machine's architectural state as a tw-ckpt/v1 JSON
@@ -85,11 +93,20 @@ fn usage() -> ExitCode {
       resume a saved machine state under a configuration and report;
       bit-identical to tw sim --fast-forward at the saved position
   tw compare --bench <name> [--insts N] [--jobs N] [--json] [--timeline]
-             [--fault-rate R] [--fault-seed S] [--timeout-secs N]
+             [--plan FILE|auto] [--fault-rate R] [--fault-seed S]
+             [--timeout-secs N]
       compare the five standard configurations on one benchmark;
-      --fault-rate attaches a per-cycle fault plan to every cell and
-      adds the injected/escaped column; --timeout-secs abandons cells
-      that stop making progress instead of hanging
+      --plan attaches a promotion plan to every cell; --fault-rate
+      attaches a per-cycle fault plan to every cell and adds the
+      injected/escaped column; --timeout-secs abandons cells that stop
+      making progress instead of hanging
+  tw analyze --workload <name> [--insts N] [--jobs N] [--json] [--out FILE]
+      functionally profile a workload, classify every static
+      conditional branch (strongly-biased / phase-biased /
+      history-predictable / data-dependent), and emit a tw-plan/v1
+      promotion plan consumable via --plan
+  tw analyze --check FILE
+      parse and validate a tw-plan/v1 file without running anything
   tw faults --workload <name> [--preset <name>] [--seed S]
             (--rate R | --at-cycles C1,C2,...) [--targets LIST]
             [--insts N] [--json]
@@ -106,9 +123,10 @@ fn usage() -> ExitCode {
       statically verify workload programs (all benchmarks by default)
       or assemble and verify a text-assembly file; exits 1 on
       error-severity findings
-  tw bench [--smoke] [--insts N] [--samples N] [--out FILE]
+  tw bench [--smoke] [--insts N] [--samples N] [--out FILE] [--plan auto]
       time the simulator over the benchmark x configuration matrix and
-      write a tw-bench/v1 JSON artifact (default BENCH_frontend.json)
+      write a tw-bench/v1 JSON artifact (default BENCH_frontend.json);
+      --plan auto attaches an auto-built promotion plan to every cell
   tw bench --check FILE
       validate a previously emitted tw-bench artifact
   tw bench --compare OLD.json NEW.json [--tolerance PCT]
@@ -161,6 +179,25 @@ fn print_report(r: &SimReport) {
         println!("  escaped          {}", f.escaped);
         println!("  recovery cycles  {}", f.recovery_cycles);
     }
+    if let Some(p) = &r.plan {
+        println!(
+            "promotion plan     {} ({} branches, {} never-promote, {} insts profiled)",
+            p.workload, p.entries, p.never_promote, p.profiled_insts
+        );
+        for class in trace_weave::predict::BranchClass::ALL {
+            let i = class.index();
+            if p.class_branches[i] == 0 {
+                continue;
+            }
+            println!(
+                "  {:19} {:3} branches, {:9} execs, {:5.1}% promoted",
+                class.name(),
+                p.class_branches[i],
+                p.class_execs[i],
+                p.coverage(class) * 100.0
+            );
+        }
+    }
     println!("cycle accounting:");
     for (label, cycles) in r.accounting.categories() {
         println!(
@@ -180,6 +217,39 @@ fn parse_targets(spec: &str) -> Result<Vec<FaultLocus>, TwError> {
         return Err(TwError::usage("--targets: empty locus list"));
     }
     Ok(loci)
+}
+
+/// Resolves `--plan FILE|auto` for one benchmark: `auto` builds the
+/// plan by profiling the benchmark now; a path loads and validates a
+/// `tw-plan/v1` file, insisting it was derived for the same workload.
+fn load_plan(
+    f: &Flags,
+    bench: Benchmark,
+) -> Result<Option<trace_weave::sim::PromotionPlan>, TwError> {
+    match f.plan.as_deref() {
+        None => Ok(None),
+        Some("auto") => {
+            let workload = bench.build();
+            Ok(Some(harness::build_plan(
+                &workload,
+                f.insts_or(DEFAULT_INSTS),
+                f.jobs,
+            )?))
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+            let plan = harness::parse_plan(&text)?;
+            if plan.workload != bench.name() {
+                return Err(TwError::runtime(format!(
+                    "{path}: plan was derived for {:?}, not {:?}",
+                    plan.workload,
+                    bench.name()
+                )));
+            }
+            Ok(Some(plan))
+        }
+    }
 }
 
 /// All parsed command-line state; one instance per invocation.
@@ -213,6 +283,8 @@ struct Flags {
     sample: Option<(u64, u64)>,
     warmup: Option<u64>,
     from: Option<String>,
+    /// `--plan FILE|auto`: promotion plan to attach.
+    plan: Option<String>,
 }
 
 impl Flags {
@@ -343,6 +415,7 @@ impl Flags {
                 }
                 "--warmup" => f.warmup = Some(number(args, &mut i, "--warmup")?),
                 "--from" => f.from = Some(value(args, &mut i, "--from")?.to_string()),
+                "--plan" => f.plan = Some(value(args, &mut i, "--plan")?.to_string()),
                 "--perfect-mem" => f.perfect = true,
                 "--json" => f.json = true,
                 "--all" => f.all = true,
@@ -486,7 +559,10 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 config = config.with_perfect_disambiguation();
             }
             let workload = bench.build();
-            let config = f.apply_mode(config.with_max_insts(f.insts_or(DEFAULT_INSTS)))?;
+            let mut config = f.apply_mode(config.with_max_insts(f.insts_or(DEFAULT_INSTS)))?;
+            if let Some(plan) = load_plan(&f, bench)? {
+                config = config.with_promotion_plan(plan);
+            }
             if f.timeline {
                 // Timeline-only instrumentation: aggregates fold at emit
                 // time, so no events need to be stored.
@@ -667,6 +743,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 _ => Some(f.fault_plan()?),
             };
             let insts = f.insts_or(DEFAULT_INSTS);
+            let promotion_plan = load_plan(&f, bench)?;
             let cells: Vec<(Benchmark, SimConfig)> = harness::standard_five()
                 .into_iter()
                 .map(|(_, config)| {
@@ -677,6 +754,10 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                     };
                     let config = match &fault_plan {
                         Some(plan) => config.with_fault_plan(plan.clone()),
+                        None => config,
+                    };
+                    let config = match &promotion_plan {
+                        Some(plan) => config.with_promotion_plan(plan.clone()),
                         None => config,
                     };
                     (bench, config.with_max_insts(insts))
@@ -865,6 +946,54 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 Ok(ExitCode::SUCCESS)
             }
         }
+        "analyze" => {
+            if let Some(path) = &f.check {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                let plan = harness::parse_plan(&text)?;
+                println!(
+                    "{path}: valid {} plan for {} ({} branches, {} never-promote)",
+                    harness::PLAN_SCHEMA,
+                    plan.workload,
+                    plan.len(),
+                    plan.never_promote()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            let bench = f.bench_required("--workload")?;
+            let workload = bench.build();
+            let plan = harness::build_plan(&workload, f.insts_or(DEFAULT_INSTS), f.jobs)?;
+            let text = harness::plan_to_json(&plan).pretty();
+            if let Err(e) = harness::check_well_formed(&text) {
+                return Err(TwError::runtime(format!(
+                    "internal error: emitted plan is malformed: {e}"
+                )));
+            }
+            if let Some(out) = &f.out {
+                std::fs::write(out, format!("{text}\n"))
+                    .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
+            }
+            if f.json {
+                println!("{text}");
+            } else {
+                println!(
+                    "{}: {} static conditional branches, {} instructions profiled",
+                    plan.workload,
+                    plan.len(),
+                    plan.profiled_insts
+                );
+                let counts = plan.class_counts();
+                for class in trace_weave::predict::BranchClass::ALL {
+                    println!("  {:19} {}", class.name(), counts[class.index()]);
+                }
+                println!("  {:19} {}", "never-promote", plan.never_promote());
+                print!("{}", harness::plan_table(&plan));
+                if let Some(out) = &f.out {
+                    println!("wrote {out}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         "bench" => {
             if let Some((old_path, new_path)) = &f.compare_paths {
                 let read = |path: &str| {
@@ -896,6 +1025,22 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 suite::full_matrix()
             };
             let insts = f.insts_or(if f.smoke { 20_000 } else { 200_000 });
+            let mut plans = std::collections::HashMap::new();
+            match f.plan.as_deref() {
+                None => {}
+                Some("auto") => {
+                    for &(b, _) in &matrix {
+                        if !plans.contains_key(b.name()) {
+                            plans.insert(b.name(), harness::build_plan(&b.build(), insts, f.jobs)?);
+                        }
+                    }
+                }
+                Some(other) => {
+                    return Err(TwError::usage(format!(
+                        "bench --plan: only `auto` is supported (one plan per benchmark), got {other:?}"
+                    )));
+                }
+            }
             if !f.json {
                 println!(
                     "{:12} {:12} {:>12} {:>12} {:>14}",
@@ -903,23 +1048,26 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 );
             }
             let json = f.json;
-            let mut suite = suite::run_suite(&matrix, insts, f.samples, |cell, done, total| {
-                if !json {
-                    println!(
-                        "{:12} {:12} {:>10.1}ms {:>12.1} {:>14.0}   [{done}/{total}]",
-                        cell.benchmark,
-                        cell.config,
-                        cell.wall_ns as f64 / 1e6,
-                        cell.ns_per_cycle(),
-                        cell.instrs_per_sec(),
-                    );
-                }
-            });
+            let mut suite = suite::run_suite_planned(
+                &matrix,
+                insts,
+                f.samples,
+                |b| plans.get(b.name()).cloned(),
+                |cell, done, total| {
+                    if !json {
+                        println!(
+                            "{:12} {:12} {:>10.1}ms {:>12.1} {:>14.0}   [{done}/{total}]",
+                            cell.benchmark,
+                            cell.config,
+                            cell.wall_ns as f64 / 1e6,
+                            cell.ns_per_cycle(),
+                            cell.instrs_per_sec(),
+                        );
+                    }
+                },
+            );
             if !json {
-                println!(
-                    "\nsampling probes ({} insts, compress, full vs sampled):",
-                    insts
-                );
+                println!("\nsampling probes ({insts} insts, compress, full vs sampled):");
                 println!(
                     "{:12} {:>8} {:>10} {:>11} {:>11} {:>11}",
                     "config", "speedup", "eff MIPS", "fetch d%", "mispred dpp", "promo dpp"

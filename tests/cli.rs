@@ -116,6 +116,87 @@ fn truncated_bench_artifact_is_a_runtime_error() {
 }
 
 #[test]
+fn analyze_emits_a_valid_plan_and_sim_consumes_it() {
+    // analyze → plan file → analyze --check → sim --plan, end to end.
+    let out = tw(&[
+        "analyze",
+        "--workload",
+        "compress",
+        "--insts",
+        "100000",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"tw-plan/v1\""), "{stdout}");
+    assert!(stdout.contains("\"branches\""), "{stdout}");
+
+    let path = temp_file("plan.json", &stdout);
+    let p = path.to_str().expect("utf-8 path");
+    let check = tw(&["analyze", "--check", p]);
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&check)
+    );
+    let sim = tw(&[
+        "sim",
+        "--bench",
+        "compress",
+        "--config",
+        "promo-pack",
+        "--insts",
+        "30000",
+        "--plan",
+        p,
+        "--json",
+    ]);
+    let wrong = tw(&[
+        "sim",
+        "--bench",
+        "gcc",
+        "--config",
+        "promo-pack",
+        "--insts",
+        "30000",
+        "--plan",
+        p,
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(sim.status.code(), Some(0), "stderr: {}", stderr_line(&sim));
+    let sim_out = String::from_utf8_lossy(&sim.stdout);
+    assert!(sim_out.contains("\"plan\""), "no plan stats: {sim_out}");
+    // A plan profiled for compress must be rejected on gcc.
+    assert_diagnostic(&wrong, 1);
+}
+
+#[test]
+fn malformed_plans_are_runtime_errors() {
+    let bad = temp_file("bad-plan.json", "{\"schema\": \"tw-plan/v9\"}");
+    let p = bad.to_str().expect("utf-8 path");
+    let check = tw(&["analyze", "--check", p]);
+    let sim = tw(&[
+        "sim",
+        "--bench",
+        "compress",
+        "--config",
+        "promotion",
+        "--plan",
+        p,
+    ]);
+    let _ = std::fs::remove_file(&bad);
+    assert_diagnostic(&check, 1);
+    assert_diagnostic(&sim, 1);
+    let missing = tw(&["analyze", "--check", "/nonexistent/definitely-missing.json"]);
+    assert_diagnostic(&missing, 1);
+    // bench only accepts `--plan auto` (one plan per benchmark).
+    assert_diagnostic(&tw(&["bench", "--smoke", "--plan", "plan.json"]), 2);
+    // analyze without a workload is a usage error.
+    assert_diagnostic(&tw(&["analyze"]), 2);
+}
+
+#[test]
 fn faults_subcommand_reports_deterministic_counters() {
     let run = |seed: &str| {
         let out = tw(&[
