@@ -419,7 +419,14 @@ pub fn parse_plan(text: &str) -> Result<PromotionPlan, TwError> {
                         "plan: branch {i}: threshold {t} outside 1..={MAX_THRESHOLD}"
                     )));
                 }
-                PlanAction::Threshold(t as u32)
+                // The range check above caps `t` at MAX_THRESHOLD, but
+                // convert checked anyway: a lossy cast here would turn a
+                // future range-check regression into silent truncation.
+                PlanAction::Threshold(u32::try_from(t).map_err(|_| {
+                    TwError::runtime(format!(
+                        "plan: branch {i}: threshold {t} does not fit in u32"
+                    ))
+                })?)
             }
             other => {
                 return Err(TwError::runtime(format!(
@@ -446,7 +453,9 @@ pub fn parse_plan(text: &str) -> Result<PromotionPlan, TwError> {
                 .get("markov_accuracy")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
-            loop_depth: opt_u64(b, "loop_depth", "loop_depth")? as usize,
+            loop_depth: usize::try_from(opt_u64(b, "loop_depth", "loop_depth")?).map_err(|_| {
+                TwError::runtime(format!("plan: branch {i}: loop_depth does not fit"))
+            })?,
             static_taken_prob: b.get("static_taken_prob").and_then(Value::as_f64),
         });
     }
@@ -581,6 +590,43 @@ mod tests {
             );
             assert!(!err.message().contains('\n'), "one-line diagnostic");
             assert_eq!(err.exit_code(), 1);
+        }
+    }
+
+    #[test]
+    fn counters_past_u32_round_trip_without_truncation() {
+        // A >4G-execution counter must survive emit → parse exactly; a
+        // stray `as u32` anywhere on the path would fold 2^32+1 to 1.
+        for executed in [
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+        ] {
+            let plan = PromotionPlan {
+                workload: "compress".to_owned(),
+                profiled_insts: executed,
+                entries: vec![PlanEntry {
+                    pc: 8,
+                    over: BiasOverride {
+                        class: BranchClass::StronglyBiased,
+                        action: PlanAction::Threshold(8),
+                    },
+                    executed,
+                    taken: executed - 1,
+                    transitions: 2,
+                    bias: 0.999,
+                    avg_run: 12.0,
+                    markov_accuracy: 0.98,
+                    loop_depth: 1,
+                    static_taken_prob: None,
+                }],
+            };
+            let back = parse_plan(&plan_to_json(&plan).pretty()).unwrap();
+            assert_eq!(
+                back.entries[0].executed, executed,
+                "truncated at {executed}"
+            );
+            assert_eq!(back.profiled_insts, executed);
         }
     }
 }

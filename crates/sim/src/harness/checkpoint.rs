@@ -361,6 +361,25 @@ mod tests {
     }
 
     #[test]
+    fn pc_boundary_values_convert_checked_not_truncated() {
+        // `pc` crosses the document's only u64→u32 conversion: u32::MAX
+        // must parse exactly and u32::MAX + 1 must error — a lossy cast
+        // would silently fold it to 0.
+        let doc = |pc: u64| {
+            format!(
+                r#"{{"format":"tw-ckpt/v1","workload":"x","pc":{pc},"retired":"0x0",
+                    "halted":false,"mem_words":0,"regs":[{regs}],"mem":[]}}"#,
+                regs = vec!["\"0x0\""; Reg::COUNT].join(",")
+            )
+        };
+        let max = parse_checkpoint(&doc(u64::from(u32::MAX))).unwrap();
+        assert_eq!(max.pc, u32::MAX);
+        let over = parse_checkpoint(&doc(u64::from(u32::MAX) + 1)).unwrap_err();
+        assert!(over.message().contains("address space"), "{over}");
+        assert!(parse_checkpoint(&doc(u64::from(u32::MAX) - 1)).is_ok());
+    }
+
+    #[test]
     fn oversized_memory_run_is_rejected_at_restore() {
         let workload = Benchmark::Compress.build_scaled(2);
         let mut ckpt = Checkpoint::capture(&workload, &workload.machine());

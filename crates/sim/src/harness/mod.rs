@@ -29,6 +29,9 @@
 //! * [`trace`] — the event-trace sink behind `tw trace`: traced runs,
 //!   the Chrome/Perfetto `trace_event` export, and the interval-timeline
 //!   renderers (`--timeline`).
+//! * [`serve`] — the `tw serve` daemon: a hardened HTTP/JSON service
+//!   over the same job kinds, with a single-flight content-addressed
+//!   result cache and a bounded work-stealing job queue.
 //! * [`table`] — the plain-text table renderer and the small statistics
 //!   helpers (`mean`, `percent_change`) every experiment shares.
 //! * `lint` — static verification of workload programs (`tw lint`):
@@ -50,6 +53,7 @@ mod lint;
 mod parse;
 mod registry;
 mod runner;
+pub mod serve;
 mod table;
 mod trace;
 
@@ -64,7 +68,11 @@ pub use lint::{
 };
 pub use parse::{parse_json, Value};
 pub use registry::{lookup, preset, presets, standard_five, ConfigPreset, STANDARD_FIVE};
-pub use runner::{default_jobs, run_matrix, run_matrix_watchdog, MatrixRunner};
+pub use runner::{
+    default_jobs, run_matrix, run_matrix_watchdog, try_default_jobs, validate_jobs, MatrixRunner,
+    MAX_JOBS,
+};
+pub use serve::{ServeConfig, ServeSummary, Server};
 pub use table::{f2, mean, pct, percent_change, Table};
 pub use trace::{
     chrome_trace_json, run_traced, timeline_table, timeline_to_json, TraceOptions, TracedRun,

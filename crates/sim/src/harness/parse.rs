@@ -61,6 +61,31 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this is `true` or `false`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: a number that is whole,
+    /// non-negative, and small enough (≤ 2^53) that the `f64` carrier
+    /// still represents it exactly. Anything else — including counters
+    /// large enough to have been silently rounded by the parser —
+    /// returns `None` rather than a truncated value.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let f = self.as_f64()?;
+        if f.is_finite() && f >= 0.0 && f.fract() == 0.0 && f <= 9_007_199_254_740_992.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(f as u64)
+        } else {
+            None
+        }
+    }
 }
 
 /// Parses a complete JSON document.
@@ -73,6 +98,7 @@ pub fn parse_json(text: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -83,9 +109,20 @@ pub fn parse_json(text: &str) -> Result<Value, String> {
     Ok(value)
 }
 
+/// Maximum container nesting accepted by [`parse_json`].
+///
+/// The parser is recursive-descent, so unbounded nesting is unbounded
+/// stack: a document of a few hundred thousand `[` characters would
+/// overflow the stack and *abort* the process — an uncatchable crash,
+/// remotely triggerable once a network API feeds this parser. Every
+/// artifact this repo emits nests a handful of levels; 128 is far past
+/// any legitimate document.
+pub const MAX_JSON_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -209,12 +246,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_JSON_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -225,6 +275,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -234,10 +285,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -253,6 +306,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -297,6 +351,38 @@ mod tests {
         assert!(parse_json("\"unterminated").is_err());
         assert!(parse_json("{} trailing").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // A recursive-descent parser fed 200k open brackets would blow
+        // the stack and abort the process if nesting were unbounded;
+        // the depth limit must turn that into an ordinary error.
+        let bomb = "[".repeat(200_000);
+        let err = parse_json(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(200_000);
+        assert!(parse_json(&obj_bomb).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses_and_siblings_do_not_accumulate() {
+        // Depth is the *current* nesting, not a running total: a long
+        // flat array of shallow objects must not trip the limit.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(parse_json(&deep).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        assert!(parse_json(&over).is_err());
+        let flat = format!("[{}{{}}]", "{},".repeat(10_000));
+        assert!(parse_json(&flat).is_ok());
     }
 
     #[test]

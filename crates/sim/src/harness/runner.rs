@@ -17,18 +17,61 @@ use crate::config::SimConfig;
 use crate::processor::Processor;
 use crate::report::SimReport;
 
+/// Upper bound on any requested worker-thread count. Values past this
+/// are typos or hostile input, not machines: spawning a million scoped
+/// threads aborts the process long before it simulates anything.
+pub const MAX_JOBS: usize = 1024;
+
 /// The worker-thread count: an explicit request, else the `TW_JOBS`
 /// environment variable, else the machine's available parallelism.
+///
+/// Library fallback form: a malformed `TW_JOBS` is ignored. Drivers
+/// that own a user-facing contract (the `tw` binary) should call
+/// [`try_default_jobs`] instead, which reports the malformation.
 #[must_use]
 pub fn default_jobs() -> usize {
-    if let Some(n) = std::env::var("TW_JOBS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-    {
-        if n >= 1 {
-            return n;
+    try_default_jobs().unwrap_or_else(|_| available_jobs())
+}
+
+/// Strict form of [`default_jobs`]: a `TW_JOBS` that is set but
+/// malformed — unparseable, zero, or past [`MAX_JOBS`] — is an error
+/// instead of a silent fallback.
+///
+/// # Errors
+///
+/// Returns a one-line description of the malformed `TW_JOBS` value.
+pub fn try_default_jobs() -> Result<usize, String> {
+    match std::env::var("TW_JOBS") {
+        Err(std::env::VarError::NotPresent) => Ok(available_jobs()),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("TW_JOBS: value is not valid UTF-8".to_string())
+        }
+        Ok(raw) => {
+            validate_jobs(raw.trim().parse().map_err(|_| {
+                format!("TW_JOBS: bad value {:?} (want a thread count)", raw.trim())
+            })?)
+            .map_err(|e| format!("TW_JOBS: {e}"))
         }
     }
+}
+
+/// Validates a requested worker count against the `1..=MAX_JOBS`
+/// contract shared by `--jobs` and `TW_JOBS`.
+///
+/// # Errors
+///
+/// Returns the reason the count is outside the accepted range.
+pub fn validate_jobs(jobs: usize) -> Result<usize, String> {
+    if jobs == 0 {
+        Err("must be at least 1".to_string())
+    } else if jobs > MAX_JOBS {
+        Err(format!("{jobs} exceeds the {MAX_JOBS}-thread cap"))
+    } else {
+        Ok(jobs)
+    }
+}
+
+fn available_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -254,4 +297,22 @@ impl MatrixRunner {
             .collect();
         self.run_cells(&cells)
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_validation_enforces_the_range_contract() {
+        assert!(validate_jobs(0).is_err());
+        assert_eq!(validate_jobs(1), Ok(1));
+        assert_eq!(validate_jobs(MAX_JOBS), Ok(MAX_JOBS));
+        let over = validate_jobs(MAX_JOBS + 1).unwrap_err();
+        assert!(over.contains("cap"), "{over}");
+    }
+
+    // `TW_JOBS` environment handling is contract-tested end-to-end in
+    // the root `tests/cli.rs` (subprocess isolation); mutating the
+    // process environment here would race the other harness tests.
 }

@@ -1,0 +1,326 @@
+//! The content-addressed, single-flight result cache.
+//!
+//! Results are keyed by the canonical job string
+//! ([`super::wire::JobSpec::cache_key`]). The cache is **single
+//! flight**: the first request for a key becomes the *owner* and
+//! computes; concurrent requests for the same key *join* — they block
+//! on the slot's condvar and receive the very same `Arc<String>` body,
+//! so a hundred identical requests cost one simulation and every
+//! response is bit-identical. Failed computations are delivered to the
+//! joiners that were already waiting, then forgotten, so a transient
+//! failure doesn't poison the key forever.
+//!
+//! Capacity is bounded: `Ready` entries are evicted FIFO (insertion
+//! order) once the cache is full. In-flight (`Pending`) slots are never
+//! evicted — the single-flight handoff must complete.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use super::wire::StoredError;
+
+/// What a slot currently holds.
+#[derive(Debug, Clone)]
+enum SlotState {
+    /// The owner is computing; joiners wait on the condvar.
+    Pending,
+    /// The finished body, shared by every response for this key.
+    Ready(Arc<String>),
+    /// The owner failed; joiners get the stored error, then the slot
+    /// is removed so a later request retries.
+    Failed(StoredError),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// What [`ResultCache::lookup`] tells the caller to do.
+pub enum Lookup {
+    /// The body is already cached — respond immediately.
+    Hit(Arc<String>),
+    /// Another request owns the computation — call
+    /// [`ResultCache::wait`] to join it.
+    Join,
+    /// This caller owns the computation: run the job, then
+    /// [`ResultCache::fulfill`] or [`ResultCache::fail`].
+    Owner,
+}
+
+/// Counters exported via `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a `Ready` slot.
+    pub hits: u64,
+    /// Lookups that joined an in-flight computation.
+    pub joined: u64,
+    /// Lookups that became owners (distinct computations started).
+    pub computed: u64,
+    /// `Ready` entries evicted to make room.
+    pub evicted: u64,
+    /// Entries currently resident (ready + pending).
+    pub entries: usize,
+}
+
+/// The cache.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    joined: AtomicU64,
+    computed: AtomicU64,
+    evicted: AtomicU64,
+}
+
+struct CacheInner {
+    slots: HashMap<String, Arc<Slot>>,
+    /// Keys in insertion order; the eviction scan walks from the front.
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up `key`, registering this caller as the owner on a miss.
+    pub fn lookup(&self, key: &str) -> Lookup {
+        let mut inner = self.lock_inner();
+        if let Some(slot) = inner.slots.get(key) {
+            let state = match slot.state.lock() {
+                Ok(g) => g.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            match state {
+                SlotState::Ready(body) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit(body);
+                }
+                // Pending, or Failed mid-teardown: join and let wait()
+                // sort it out.
+                SlotState::Pending | SlotState::Failed(_) => {
+                    self.joined.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Join;
+                }
+            }
+        }
+        // Miss: evict the oldest Ready entry if full, then install a
+        // Pending slot owned by this caller.
+        if inner.slots.len() >= self.capacity {
+            let mut scanned = 0;
+            while scanned < inner.order.len() {
+                let Some(old) = inner.order.pop_front() else {
+                    break;
+                };
+                scanned += 1;
+                let ready = inner.slots.get(&old).is_some_and(|slot| {
+                    matches!(slot.state.lock().as_deref(), Ok(SlotState::Ready(_)))
+                });
+                if ready {
+                    inner.slots.remove(&old);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                // Pending (or already removed): keep it, try the next.
+                if inner.slots.contains_key(&old) {
+                    inner.order.push_back(old);
+                }
+            }
+        }
+        inner.slots.insert(
+            key.to_string(),
+            Arc::new(Slot {
+                state: Mutex::new(SlotState::Pending),
+                ready: Condvar::new(),
+            }),
+        );
+        inner.order.push_back(key.to_string());
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        Lookup::Owner
+    }
+
+    /// Publishes the owner's finished body and wakes every joiner.
+    pub fn fulfill(&self, key: &str, body: Arc<String>) {
+        let slot = self.lock_inner().slots.get(key).cloned();
+        if let Some(slot) = slot {
+            match slot.state.lock() {
+                Ok(mut state) => *state = SlotState::Ready(Arc::clone(&body)),
+                Err(poisoned) => *poisoned.into_inner() = SlotState::Ready(Arc::clone(&body)),
+            }
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Publishes the owner's failure to current joiners and removes the
+    /// entry so the next request retries.
+    pub fn fail(&self, key: &str, error: StoredError) {
+        let slot = {
+            let mut inner = self.lock_inner();
+            let slot = inner.slots.remove(key);
+            inner.order.retain(|k| k != key);
+            slot
+        };
+        if let Some(slot) = slot {
+            match slot.state.lock() {
+                Ok(mut state) => *state = SlotState::Failed(error),
+                Err(poisoned) => *poisoned.into_inner() = SlotState::Failed(error),
+            }
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Blocks until the slot a `Join` pointed at resolves.
+    ///
+    /// # Errors
+    ///
+    /// The owner's stored failure, replayed to every joiner.
+    pub fn wait(&self, key: &str) -> Result<Arc<String>, StoredError> {
+        let slot = self.lock_inner().slots.get(key).cloned();
+        let Some(slot) = slot else {
+            // The slot resolved to Failed and was torn down between our
+            // Join and this wait; report the retryable condition.
+            return Err(StoredError {
+                status: 503,
+                message: "computation failed; retry the request".to_string(),
+            });
+        };
+        let mut state = match slot.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            match &*state {
+                SlotState::Ready(body) => return Ok(Arc::clone(body)),
+                SlotState::Failed(e) => return Err(e.clone()),
+                SlotState::Pending => {
+                    state = match slot.ready.wait(state) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            joined: self.joined.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries: self.lock_inner().slots.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn first_lookup_owns_later_lookups_hit() {
+        let cache = ResultCache::new(8);
+        assert!(matches!(cache.lookup("k"), Lookup::Owner));
+        assert!(matches!(cache.lookup("k"), Lookup::Join));
+        cache.fulfill("k", body("result"));
+        match cache.lookup("k") {
+            Lookup::Hit(b) => assert_eq!(*b, "result"),
+            _ => panic!("expected hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.computed, stats.joined, stats.hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn joiners_receive_the_owners_exact_body() {
+        let cache = Arc::new(ResultCache::new(8));
+        assert!(matches!(cache.lookup("k"), Lookup::Owner));
+        let joiners: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    assert!(matches!(cache.lookup("k"), Lookup::Join));
+                    cache.wait("k").unwrap()
+                })
+            })
+            .collect();
+        // Give the joiners a moment to actually park on the condvar.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let published = body("the one result");
+        cache.fulfill("k", Arc::clone(&published));
+        for j in joiners {
+            let got = j.join().unwrap();
+            assert!(Arc::ptr_eq(&got, &published), "joiner got a different Arc");
+        }
+        assert_eq!(cache.stats().computed, 1, "exactly one computation");
+    }
+
+    #[test]
+    fn failures_reach_joiners_then_clear_the_key() {
+        let cache = Arc::new(ResultCache::new(8));
+        assert!(matches!(cache.lookup("k"), Lookup::Owner));
+        assert!(matches!(cache.lookup("k"), Lookup::Join));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.wait("k"))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.fail(
+            "k",
+            StoredError {
+                status: 500,
+                message: "boom".to_string(),
+            },
+        );
+        let err = waiter.join().unwrap().unwrap_err();
+        assert_eq!((err.status, err.message.as_str()), (500, "boom"));
+        // The key is clear: the next request computes afresh.
+        assert!(matches!(cache.lookup("k"), Lookup::Owner));
+        assert_eq!(cache.stats().computed, 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_skips_pending_slots() {
+        let cache = ResultCache::new(2);
+        assert!(matches!(cache.lookup("a"), Lookup::Owner));
+        cache.fulfill("a", body("A"));
+        assert!(matches!(cache.lookup("b"), Lookup::Owner));
+        // "b" is still Pending; inserting "c" must evict "a", not "b".
+        assert!(matches!(cache.lookup("c"), Lookup::Owner));
+        cache.fulfill("b", body("B"));
+        cache.fulfill("c", body("C"));
+        match cache.lookup("b") {
+            Lookup::Hit(v) => assert_eq!(*v, "B"),
+            _ => panic!("pending slot must survive eviction"),
+        }
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(matches!(cache.lookup("a"), Lookup::Owner), "a was evicted");
+    }
+}

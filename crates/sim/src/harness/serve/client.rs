@@ -1,0 +1,147 @@
+//! A minimal blocking HTTP/1.1 client, just enough to talk to
+//! [`super::server::Server`] — shared by the integration tests and the
+//! `serve_load` load-test helper so neither needs an external crate.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked transfer encoding reassembled).
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lower-case name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Any socket failure, or a response the decoder cannot make sense of
+/// (reported as `InvalidData`).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    let sent = (|| {
+        writer.write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: tw\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )?;
+        writer.write_all(body.as_bytes())?;
+        writer.flush()
+    })();
+    if let Err(e) = sent {
+        // A server that rejects mid-upload (413 on an oversized body)
+        // closes its read side; the response is still coming.
+        match e.kind() {
+            std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted => {}
+            _ => return Err(e),
+        }
+    }
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"));
+    let mut raw = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("malformed chunk size {size_line:?}")))?;
+            if size == 0 {
+                let _ = read_line(&mut reader); // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            raw.extend_from_slice(&chunk);
+            let _ = read_line(&mut reader); // chunk-terminating CRLF
+        }
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        raw = vec![0u8; len];
+        reader.read_exact(&mut raw)?;
+    } else {
+        reader.read_to_end(&mut raw)?;
+    }
+    let body = String::from_utf8(raw).map_err(|_| bad("response body is not UTF-8".to_string()))?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Sends raw bytes (possibly violating HTTP) and returns the raw
+/// response text — for protocol-abuse tests.
+///
+/// # Errors
+///
+/// Any socket failure.
+pub fn raw_request(addr: SocketAddr, payload: &[u8]) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}

@@ -1,0 +1,384 @@
+//! A minimal, hardened HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace builds offline with no external crates, so the wire
+//! protocol is hand-rolled: just enough HTTP/1.1 to serve JSON — one
+//! request per connection (every response carries `Connection: close`),
+//! `Content-Length` bodies on the way in, `Content-Length` or chunked
+//! transfer encoding on the way out.
+//!
+//! Everything read from the socket is untrusted. Every field is
+//! length-limited ([`HttpLimits`]), malformations come back as
+//! [`HttpError`] values carrying the HTTP status the server should
+//! answer with, and no input — truncated, oversized, non-UTF-8, or
+//! hostile — panics.
+
+use std::io::{BufRead, Write};
+
+/// Hard limits on inbound requests; everything past them is rejected
+/// with the corresponding 4xx before any further work happens.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Longest accepted request line or header line, in bytes.
+    pub max_line: usize,
+    /// Most header lines accepted.
+    pub max_headers: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed inbound request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served, and how to answer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request; there
+    /// is nobody to answer.
+    Closed,
+    /// A socket-level failure (including read timeouts) mid-request;
+    /// the connection is unusable.
+    Io(std::io::Error),
+    /// The request violates the protocol or the limits: answer with
+    /// `status` and the one-line reason, then close.
+    Malformed {
+        /// HTTP status to answer with (400/405/413/431).
+        status: u16,
+        /// One-line diagnostic for the response body.
+        reason: String,
+    },
+}
+
+impl HttpError {
+    fn bad(reason: impl Into<String>) -> HttpError {
+        HttpError::Malformed {
+            status: 400,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Reads one line (through `\n`), enforcing the line-length cap.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    max_line: usize,
+    what: &str,
+) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(HttpError::Io)?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::bad(format!("{what}: truncated request")));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if line.len() + take > max_line {
+            reader.consume(take);
+            return Err(HttpError::Malformed {
+                status: 431,
+                reason: format!("{what}: line exceeds {max_line} bytes"),
+            });
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::bad(format!("{what}: not valid UTF-8")))
+}
+
+/// Reads and validates one full request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean pre-request disconnect,
+/// [`HttpError::Io`] on socket failures, and [`HttpError::Malformed`]
+/// (with the status to answer) on protocol or limit violations.
+pub fn read_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let request_line = read_line_limited(reader, limits.max_line, "request line")?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::bad(format!("malformed method {method:?}")));
+    }
+    // Strip the query string; no endpoint takes query parameters.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::bad(format!(
+            "malformed request target {target:?}"
+        )));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line_limited(reader, limits.max_line, "header")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::Malformed {
+                status: 431,
+                reason: format!("more than {} header lines", limits.max_headers),
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::bad(format!("malformed header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Chunked request bodies are not supported; insisting on
+    // Content-Length keeps body handling a single bounded read.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Malformed {
+            status: 411,
+            reason: "chunked request bodies are not supported; send Content-Length".to_string(),
+        });
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| HttpError::bad(format!("malformed Content-Length {v:?}")))?;
+            usize::try_from(n)
+                .ok()
+                .filter(|&n| n <= limits.max_body)
+                .ok_or(HttpError::Malformed {
+                    status: 413,
+                    reason: format!(
+                        "body of {n} bytes exceeds the {}-byte limit",
+                        limits.max_body
+                    ),
+                })?
+        }
+    };
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// An outbound response: status, extra headers, JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra `(name, value)` headers (e.g. `X-Cache`).
+    pub headers: Vec<(&'static str, String)>,
+    /// The body; always `application/json` in this server.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with no extra headers.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an extra response header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+/// Chunk size for streamed (chunked transfer-encoding) bodies.
+pub const STREAM_CHUNK: usize = 64 * 1024;
+
+/// Writes `response`, streaming bodies larger than [`STREAM_CHUNK`]
+/// with chunked transfer encoding so multi-megabyte trace exports go
+/// out incrementally instead of being buffered behind one write.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the connection is then dropped).
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\nconnection: close\r\n",
+        response.status,
+        reason_phrase(response.status)
+    );
+    for (name, value) in &response.headers {
+        // Defensive: a header value with CR/LF would let a bug inject
+        // response lines; none of ours ever carry them.
+        debug_assert!(!value.contains(['\r', '\n']));
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    let body = response.body.as_bytes();
+    if body.len() <= STREAM_CHUNK {
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+    } else {
+        head.push_str("transfer-encoding: chunked\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        for chunk in body.chunks(STREAM_CHUNK) {
+            stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            stream.write_all(chunk)?;
+            stream.write_all(b"\r\n")?;
+        }
+        stream.write_all(b"0\r\n\r\n")?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let req =
+            parse("POST /v1/sim?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"rest")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sim");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn malformed_requests_map_to_statuses() {
+        let status = |text: &str| match parse(text) {
+            Err(HttpError::Malformed { status, .. }) => status,
+            other => panic!("expected Malformed, got {other:?}"),
+        };
+        assert_eq!(status("nonsense\r\n\r\n"), 400);
+        assert_eq!(status("GET /x HTTP/2\r\n\r\n"), 400);
+        assert_eq!(status("get /x HTTP/1.1\r\n\r\n"), 400, "lower-case method");
+        assert_eq!(status("GET x HTTP/1.1\r\n\r\n"), 400, "relative target");
+        assert_eq!(status("POST / HTTP/1.1\r\nbroken header\r\n\r\n"), 400);
+        assert_eq!(status("POST / HTTP/1.1\r\nContent-Length: zz\r\n\r\n"), 400);
+        assert_eq!(
+            status("POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            413
+        );
+        assert_eq!(
+            status("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            411
+        );
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert_eq!(status(&long), 431);
+        let many = format!("GET / HTTP/1.1\r\n{}\r\n", "h: v\r\n".repeat(100));
+        assert_eq!(status(&many), 431);
+    }
+
+    #[test]
+    fn closed_and_truncated_are_distinguished() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse("GET / HT"),
+            Err(HttpError::Malformed { status: 400, .. })
+        ));
+        // Truncated body: read_exact fails with Io.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_write_content_length_or_chunked() {
+        let mut out = Vec::new();
+        let small = Response::json(200, "{}".to_string()).with_header("X-Cache", "hit");
+        write_response(&mut out, &small).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.contains("X-Cache: hit\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+
+        let mut out = Vec::new();
+        let big = Response::json(200, "x".repeat(STREAM_CHUNK + 10));
+        write_response(&mut out, &big).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"), "chunked");
+        assert!(text.ends_with("0\r\n\r\n"), "chunk terminator");
+        assert!(
+            text.contains(&format!("{STREAM_CHUNK:x}\r\n")),
+            "chunk size"
+        );
+    }
+}

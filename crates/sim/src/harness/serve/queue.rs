@@ -1,0 +1,252 @@
+//! A sharded, bounded, work-stealing job queue.
+//!
+//! Connection handlers push; worker threads pop. Jobs land on shards
+//! round-robin (spreading lock contention), and an idle worker that
+//! finds its home shard empty steals from the others before parking.
+//! The queue is *bounded*: when every slot is full, [`JobQueue::push`]
+//! refuses immediately so the server can shed load with a 503 instead
+//! of buffering unboundedly.
+//!
+//! Parking uses a single gate (`Mutex` + `Condvar`) rather than
+//! per-shard condvars: workers re-check the global length *under the
+//! gate lock* before sleeping, so a push that lands between the empty
+//! scan and the park cannot be missed.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Counters exported via `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted by [`JobQueue::push`].
+    pub pushed: u64,
+    /// Pushes refused because the queue was full.
+    pub shed: u64,
+    /// Pops served from a shard other than the worker's home shard.
+    pub stolen: u64,
+    /// Jobs currently enqueued.
+    pub depth: usize,
+}
+
+/// The queue. `T` is the job payload (the server uses a boxed job).
+pub struct JobQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Total enqueued across shards; incremented *before* the shard
+    /// push (with rollback on full) so `pop` never under-counts.
+    len: AtomicUsize,
+    capacity: usize,
+    next_shard: AtomicUsize,
+    gate: Mutex<bool>, // true once closed
+    wake: Condvar,
+    pushed: AtomicU64,
+    shed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue with `shards` lock shards holding at most `capacity`
+    /// jobs in total. Both are clamped to at least 1.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            len: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            next_shard: AtomicUsize::new(0),
+            gate: Mutex::new(false),
+            wake: Condvar::new(),
+            pushed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Jobs currently enqueued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job, or hands it back when the queue is full or
+    /// closed (the caller sheds the request with a 503).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected job.
+    pub fn push(&self, job: T) -> Result<(), T> {
+        // Reserve a slot first; roll back if over capacity. This keeps
+        // the bound exact without a global lock on the happy path.
+        let prior = self.len.fetch_add(1, Ordering::AcqRel);
+        if prior >= self.capacity {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(job);
+        }
+        if self.is_closed() {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(job);
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        match self.shards[shard].lock() {
+            Ok(mut q) => q.push_back(job),
+            Err(poisoned) => poisoned.into_inner().push_back(job),
+        }
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        // Taking the gate lock orders this wake against any worker
+        // between its empty scan and its park.
+        drop(self.gate.lock());
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    fn try_pop(&self, home: usize) -> Option<T> {
+        let n = self.shards.len();
+        for offset in 0..n {
+            let shard = (home + offset) % n;
+            let job = match self.shards[shard].lock() {
+                Ok(mut q) => q.pop_front(),
+                Err(poisoned) => poisoned.into_inner().pop_front(),
+            };
+            if let Some(job) = job {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                if offset != 0 {
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocks until a job is available (scanning the home shard first,
+    /// then stealing) or the queue is closed *and* drained — `None`
+    /// means the worker should exit.
+    pub fn pop(&self, home: usize) -> Option<T> {
+        loop {
+            if let Some(job) = self.try_pop(home) {
+                return Some(job);
+            }
+            let guard = match self.gate.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Re-check under the gate: a push between try_pop and here
+            // already took this lock, so its job is visible now.
+            if !self.is_empty() {
+                continue;
+            }
+            if *guard {
+                return None;
+            }
+            // Spurious wakeups loop back around to try_pop.
+            drop(self.wake.wait(guard));
+        }
+    }
+
+    /// Closes the queue: further pushes are refused, workers drain the
+    /// backlog and then see `None`.
+    pub fn close(&self) {
+        match self.gate.lock() {
+            Ok(mut g) => *g = true,
+            Err(poisoned) => *poisoned.into_inner() = true,
+        }
+        self.wake.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        match self.gate.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            depth: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_pushes_shed_at_capacity() {
+        let q: JobQueue<u32> = JobQueue::new(4, 3);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.stats().shed, 1);
+        assert_eq!(q.stats().depth, 3);
+        // Draining frees capacity again.
+        assert!(q.pop(0).is_some());
+        assert!(q.push(5).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_terminates_workers() {
+        let q: JobQueue<u32> = JobQueue::new(2, 10);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "closed queue refuses pushes");
+        let mut drained = vec![q.pop(0), q.pop(1), q.pop(0)];
+        drained.sort();
+        assert_eq!(drained, [None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealing_consumers_lose_nothing() {
+        let q: Arc<JobQueue<u64>> = Arc::new(JobQueue::new(4, 100_000));
+        let sum = Arc::new(AtomicU64::new(0));
+        let producers = 8u64;
+        let per = 500u64;
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                scope.spawn(move || {
+                    while let Some(v) = q.pop(w) {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                std::thread::scope(|inner| {
+                    for p in 0..producers {
+                        let q = &q;
+                        inner.spawn(move || {
+                            for i in 0..per {
+                                q.push(p * per + i + 1).unwrap();
+                            }
+                        });
+                    }
+                });
+                q.close();
+            });
+        });
+        let n = producers * per;
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        assert_eq!(q.stats().pushed, n);
+        assert!(q.is_empty());
+    }
+}

@@ -60,7 +60,7 @@ pub struct TraceRecord {
 
 /// Aggregate trace statistics, folded at emit time and therefore exact
 /// even when the ring buffer dropped events.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Total events emitted by the instrumented machine.
     pub emitted: u64,

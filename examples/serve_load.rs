@@ -1,0 +1,294 @@
+//! `serve_load`: a load-test client for `tw serve`.
+//!
+//! Fires a configurable storm of concurrent requests — a mix of
+//! identical jobs (which must coalesce into one computation), distinct
+//! jobs, and deliberately malformed bodies — at a running daemon, then
+//! checks the invariants the service promises:
+//!
+//! * every request is answered (zero dropped connections, zero panics);
+//! * valid jobs answer 200 (or 503 under explicit load-shedding),
+//!   malformed jobs answer 4xx;
+//! * responses for one cache key are bit-identical;
+//! * the number of *computed* jobs never exceeds the number of distinct
+//!   keys (the single-flight cache holds under concurrency);
+//! * repeated queries come back as cache hits.
+//!
+//! ```text
+//! tw serve --port 7878 &
+//! cargo run --release --example serve_load -- \
+//!     --addr 127.0.0.1:7878 --total 1200 --concurrency 100 [--shutdown]
+//! ```
+//!
+//! Exits non-zero (with a one-line reason) if any invariant fails, so
+//! `verify.sh` and CI can gate on it.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use trace_weave::sim::harness::serve::http_request;
+use trace_weave::sim::harness::{parse_json, Value};
+
+struct Options {
+    addr: SocketAddr,
+    total: usize,
+    concurrency: usize,
+    insts: u64,
+    shutdown: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut total = 1200usize;
+    let mut concurrency = 100usize;
+    let mut insts = 20_000u64;
+    let mut shutdown = false;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{}: missing value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                let raw = value(&mut i)?;
+                addr = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--addr: bad address {raw:?}"))?,
+                );
+            }
+            "--total" => {
+                total = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--total: want a count".to_string())?;
+            }
+            "--concurrency" => {
+                concurrency = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--concurrency: want a count".to_string())?;
+            }
+            "--insts" => {
+                insts = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--insts: want a count".to_string())?;
+            }
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or_else(|| "missing --addr HOST:PORT".to_string())?;
+    if total == 0 || concurrency == 0 {
+        return Err("--total and --concurrency must be at least 1".to_string());
+    }
+    Ok(Options {
+        addr,
+        total,
+        concurrency,
+        insts,
+        shutdown,
+    })
+}
+
+/// The request mix, deterministic in the request index.
+enum Shot {
+    /// A valid sim job with one of a small set of cache keys.
+    Sim {
+        bench: &'static str,
+        preset: &'static str,
+    },
+    /// A malformed body; must answer 4xx.
+    Malformed(&'static str),
+    /// An unknown route; must answer 404.
+    BadRoute,
+}
+
+fn shot(i: usize) -> Shot {
+    const BENCHES: [&str; 4] = ["compress", "li", "go", "perl"];
+    const PRESETS: [&str; 2] = ["baseline", "promo-pack"];
+    const MALFORMED: [&str; 4] = [
+        "",
+        "{\"bench\": \"compress\", \"bogus\": 1}",
+        "{\"bench\": \"no-such-bench\"}",
+        "[[[[[[[[",
+    ];
+    match i % 10 {
+        8 => Shot::Malformed(MALFORMED[(i / 10) % MALFORMED.len()]),
+        9 => Shot::BadRoute,
+        slot => Shot::Sim {
+            bench: BENCHES[slot % BENCHES.len()],
+            preset: PRESETS[(slot / BENCHES.len()) % PRESETS.len()],
+        },
+    }
+}
+
+struct Tally {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    hits: AtomicU64,
+    failures: Mutex<Vec<String>>,
+    bodies: Mutex<HashMap<String, Arc<String>>>,
+}
+
+fn run_one(options: &Options, i: usize, tally: &Tally) {
+    let fail = |msg: String| {
+        if let Ok(mut failures) = tally.failures.lock() {
+            if failures.len() < 20 {
+                failures.push(msg);
+            }
+        }
+    };
+    match shot(i) {
+        Shot::Sim { bench, preset } => {
+            let body = format!(
+                "{{\"bench\": \"{bench}\", \"preset\": \"{preset}\", \"insts\": {}}}",
+                options.insts
+            );
+            match http_request(options.addr, "POST", "/v1/sim", &body) {
+                Err(e) => fail(format!("request {i}: transport error {e}")),
+                Ok(resp) if resp.status == 503 => {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(resp) if resp.status != 200 => {
+                    fail(format!("request {i}: status {} for valid job", resp.status));
+                }
+                Ok(resp) => {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                    if resp.header("x-cache") == Some("hit") {
+                        tally.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let key = format!("{bench}|{preset}");
+                    if let Ok(mut bodies) = tally.bodies.lock() {
+                        match bodies.get(&key) {
+                            None => {
+                                bodies.insert(key, Arc::new(resp.body));
+                            }
+                            Some(prior) if **prior != resp.body => {
+                                fail(format!("request {i}: body differs for key {key}"));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+        Shot::Malformed(body) => match http_request(options.addr, "POST", "/v1/sim", body) {
+            Err(e) => fail(format!("request {i}: transport error {e}")),
+            Ok(resp) if (400..500).contains(&resp.status) => {
+                tally.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(resp) => fail(format!(
+                "request {i}: malformed body answered {}",
+                resp.status
+            )),
+        },
+        Shot::BadRoute => match http_request(options.addr, "GET", "/v1/no-such-route", "") {
+            Err(e) => fail(format!("request {i}: transport error {e}")),
+            Ok(resp) if resp.status == 404 => {
+                tally.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(resp) => fail(format!("request {i}: bad route answered {}", resp.status)),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tally = Tally {
+        ok: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        failures: Mutex::new(Vec::new()),
+        bodies: Mutex::new(HashMap::new()),
+    };
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..options.concurrency {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= options.total {
+                    break;
+                }
+                run_one(&options, i, &tally);
+            });
+        }
+    });
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let shed = tally.shed.load(Ordering::Relaxed);
+    let rejected = tally.rejected.load(Ordering::Relaxed);
+    let hits = tally.hits.load(Ordering::Relaxed);
+    let distinct = tally.bodies.lock().map_or(0, |b| b.len());
+    println!(
+        "serve_load: {} request(s): {ok} ok ({hits} cache hit(s)), {shed} shed, \
+         {rejected} rejected, {distinct} distinct key(s)",
+        options.total
+    );
+
+    // Single-flight check against the server's own accounting.
+    let computed = http_request(options.addr, "GET", "/v1/stats", "")
+        .ok()
+        .and_then(|resp| parse_json(&resp.body).ok())
+        .and_then(|doc| {
+            doc.get("cache")
+                .and_then(|c| c.get("computed"))
+                .and_then(Value::as_u64)
+        });
+    match computed {
+        None => {
+            eprintln!("serve_load: could not read cache.computed from /v1/stats");
+            return ExitCode::FAILURE;
+        }
+        Some(computed) => {
+            println!("serve_load: server computed {computed} job(s) for {distinct} key(s)");
+            if computed > distinct as u64 {
+                eprintln!(
+                    "serve_load: single-flight violated: {computed} computations for {distinct} keys"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ok + shed == 0 || hits == 0 {
+        eprintln!("serve_load: expected at least one ok response and one cache hit");
+        return ExitCode::FAILURE;
+    }
+
+    let failures = tally.failures.lock().map(|f| f.clone()).unwrap_or_default();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("serve_load: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if options.shutdown {
+        match http_request(options.addr, "POST", "/v1/shutdown", "") {
+            Ok(resp) if resp.status == 200 => println!("serve_load: shutdown acknowledged"),
+            Ok(resp) => {
+                eprintln!("serve_load: shutdown answered {}", resp.status);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("serve_load: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("serve_load: all invariants held");
+    ExitCode::SUCCESS
+}

@@ -70,6 +70,35 @@ target/release/tw checkpoint restore --from "$ckpt" --config baseline \
 cmp "$direct" "$resumed"
 rm -f "$ckpt" "$direct" "$resumed"
 
+echo "==> tw serve load smoke"
+# Start the daemon on an ephemeral port, storm it with mixed
+# valid/malformed/unknown-route requests, and drain it cleanly. The
+# serve_load client exits non-zero if any status code, cache, or
+# single-flight invariant breaks; the daemon exits non-zero on panics.
+serve_log="$(mktemp -t tw-serve-smoke.XXXXXX.log)"
+target/release/tw serve --jobs 4 --insts 20000 > "$serve_log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$serve_log" | head -n 1)"
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+  echo "FAIL: tw serve never reported a listening address" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+target/release/examples/serve_load \
+  --addr "$serve_addr" --total 1200 --concurrency 100 --shutdown
+if ! wait "$serve_pid"; then
+  echo "FAIL: tw serve exited non-zero after drain" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+rm -f "$serve_log"
+
 echo "==> error layer exit codes"
 # Malformed inputs must fail with the conventional codes (2 usage,
 # 1 runtime) and a one-line diagnostic — never a panic (code 101).
@@ -85,6 +114,8 @@ expect_exit() {
 expect_exit 2 target/release/tw frobnicate
 expect_exit 2 target/release/tw sim --bench gcc --config no-such-preset
 expect_exit 2 target/release/tw faults --workload gcc --rate -1
+expect_exit 2 target/release/tw serve --jobs 0
+expect_exit 2 env TW_JOBS=banana target/release/tw list
 bad_asm="$(mktemp -t tw-bad-asm.XXXXXX.s)"
 printf 'li t0, 0\nfrobnicate t1\n' > "$bad_asm"
 expect_exit 1 target/release/tw lint --asm "$bad_asm"
@@ -97,4 +128,4 @@ rm -f "$bad_asm" "$bench_artifact.trunc" "$bench_artifact.plan"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + analyze/plan smoke + error layer + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + analyze/plan smoke + serve load smoke + error layer + formatting all clean"

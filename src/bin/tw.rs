@@ -17,6 +17,9 @@
 //! tw bench [--smoke] [--insts N] [--samples N] [--out FILE] [--plan auto]
 //! tw bench --check FILE
 //! tw bench --compare OLD.json NEW.json [--tolerance PCT]
+//! tw serve [--addr HOST:PORT | --port N] [--jobs N] [--queue-depth N]
+//!          [--cache-entries N] [--max-conns N] [--max-body BYTES]
+//!          [--max-insts N] [--insts N]
 //! ```
 //!
 //! `sim` honors the execution modes: `--fast-forward N` skips the
@@ -54,6 +57,11 @@
 //! artifacts cell-by-cell, exiting non-zero when any cell's ns/cycle
 //! regressed past the tolerance (default 10%).
 //!
+//! `serve` runs the same job kinds as a long-lived HTTP/JSON service
+//! with a content-addressed result cache (see
+//! `tc_sim::harness::serve`); repeated queries are answered from the
+//! cache without re-simulating.
+//!
 //! Every failure path returns a [`TwError`]: one `tw: <message>` line
 //! on stderr, exit code 2 for usage errors and 1 for runtime errors.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
@@ -65,8 +73,8 @@ use std::time::Duration;
 use trace_weave::bench::{compare, suite};
 use trace_weave::fault::{FaultLocus, FaultPlan};
 use trace_weave::sim::harness::{
-    self, default_jobs, presets, report_to_json, reports_to_json, run_matrix, run_matrix_watchdog,
-    run_traced, timeline_table, TraceOptions, TwError,
+    self, presets, report_to_json, reports_to_json, run_matrix, run_matrix_watchdog, run_traced,
+    timeline_table, TraceOptions, TwError,
 };
 use trace_weave::sim::{SimConfig, SimReport};
 use trace_weave::trace::EventFilter;
@@ -132,6 +140,14 @@ fn usage() -> ExitCode {
   tw bench --compare OLD.json NEW.json [--tolerance PCT]
       diff two tw-bench artifacts cell-by-cell; exits 1 when any cell's
       ns/cycle regressed more than PCT percent (default 10)
+  tw serve [--addr HOST:PORT | --port N] [--jobs N] [--queue-depth N]
+           [--cache-entries N] [--max-conns N] [--max-body BYTES]
+           [--max-insts N] [--insts N]
+      run the simulation service: POST /v1/{{sim,compare,faults,trace,
+      analyze}} with JSON bodies, GET /healthz /v1/stats /v1/presets
+      /v1/workloads, POST /v1/shutdown; results are cached by content
+      address, repeated queries answer without re-simulating
+      (default 127.0.0.1:0 - the chosen port is printed at startup)
 
 configurations: {}",
         harness::STANDARD_FIVE.join(", ")
@@ -285,6 +301,13 @@ struct Flags {
     from: Option<String>,
     /// `--plan FILE|auto`: promotion plan to attach.
     plan: Option<String>,
+    addr: Option<String>,
+    port: Option<u16>,
+    queue_depth: Option<usize>,
+    cache_entries: Option<usize>,
+    max_conns: Option<usize>,
+    max_body: Option<usize>,
+    max_insts: Option<u64>,
 }
 
 impl Flags {
@@ -293,7 +316,9 @@ impl Flags {
             samples: 3,
             tolerance: 10.0,
             limit: harness::DEFAULT_TRACE_LIMIT,
-            jobs: default_jobs(),
+            // Strict: a set-but-malformed TW_JOBS is a usage error, not
+            // a silent fallback.
+            jobs: harness::try_default_jobs().map_err(TwError::usage)?,
             fault_seed: 1,
             ..Flags::default()
         };
@@ -325,10 +350,8 @@ impl Flags {
                 "--insts" => f.insts = Some(number(args, &mut i, "--insts")?),
                 "--jobs" => {
                     let n: usize = number(args, &mut i, "--jobs")?;
-                    if n == 0 {
-                        return Err(TwError::usage("--jobs: must be at least 1"));
-                    }
-                    f.jobs = n;
+                    f.jobs = harness::validate_jobs(n)
+                        .map_err(|e| TwError::usage(format!("--jobs: {e}")))?;
                 }
                 "--samples" => {
                     let n: u32 = number(args, &mut i, "--samples")?;
@@ -416,6 +439,43 @@ impl Flags {
                 "--warmup" => f.warmup = Some(number(args, &mut i, "--warmup")?),
                 "--from" => f.from = Some(value(args, &mut i, "--from")?.to_string()),
                 "--plan" => f.plan = Some(value(args, &mut i, "--plan")?.to_string()),
+                "--addr" => f.addr = Some(value(args, &mut i, "--addr")?.to_string()),
+                "--port" => f.port = Some(number(args, &mut i, "--port")?),
+                "--queue-depth" => {
+                    let n: usize = number(args, &mut i, "--queue-depth")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--queue-depth: must be at least 1"));
+                    }
+                    f.queue_depth = Some(n);
+                }
+                "--cache-entries" => {
+                    let n: usize = number(args, &mut i, "--cache-entries")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--cache-entries: must be at least 1"));
+                    }
+                    f.cache_entries = Some(n);
+                }
+                "--max-conns" => {
+                    let n: usize = number(args, &mut i, "--max-conns")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--max-conns: must be at least 1"));
+                    }
+                    f.max_conns = Some(n);
+                }
+                "--max-body" => {
+                    let n: usize = number(args, &mut i, "--max-body")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--max-body: must be at least 1"));
+                    }
+                    f.max_body = Some(n);
+                }
+                "--max-insts" => {
+                    let n: u64 = number(args, &mut i, "--max-insts")?;
+                    if n == 0 {
+                        return Err(TwError::usage("--max-insts: must be at least 1"));
+                    }
+                    f.max_insts = Some(n);
+                }
                 "--perfect-mem" => f.perfect = true,
                 "--json" => f.json = true,
                 "--all" => f.all = true,
@@ -549,6 +609,69 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                     format!("  (aliases: {})", p.aliases.join(", "))
                 };
                 println!("  {:12} {}{aliases}", p.name, p.summary);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "serve" => {
+            let mut config = harness::ServeConfig {
+                workers: f.jobs,
+                default_insts: f.insts_or(DEFAULT_INSTS),
+                ..harness::ServeConfig::default()
+            };
+            match (&f.addr, f.port) {
+                (Some(_), Some(_)) => {
+                    return Err(TwError::usage("--addr and --port are mutually exclusive"))
+                }
+                (Some(addr), None) => config.addr = addr.clone(),
+                (None, Some(port)) => config.addr = format!("127.0.0.1:{port}"),
+                (None, None) => {}
+            }
+            if let Some(n) = f.queue_depth {
+                config.queue_depth = n;
+            }
+            if let Some(n) = f.cache_entries {
+                config.cache_entries = n;
+            }
+            if let Some(n) = f.max_conns {
+                config.max_conns = n;
+            }
+            if let Some(n) = f.max_body {
+                config.max_body = n;
+            }
+            if let Some(n) = f.max_insts {
+                config.max_insts = n;
+            }
+            if config.default_insts > config.max_insts {
+                return Err(TwError::usage(format!(
+                    "--insts {} exceeds --max-insts {}",
+                    config.default_insts, config.max_insts
+                )));
+            }
+            let bind_addr = config.addr.clone();
+            let workers = config.workers;
+            let server = harness::Server::bind(config)
+                .map_err(|e| TwError::runtime(format!("bind {bind_addr}: {e}")))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| TwError::runtime(format!("local_addr: {e}")))?;
+            // Scripts (verify.sh, the load helper) parse this line for
+            // the resolved address; keep its shape stable.
+            println!("tw serve listening on http://{addr} ({workers} worker(s))");
+            let summary = server.run();
+            println!(
+                "tw serve: {} request(s) ({} client error(s), {} server error(s)), \
+                 {} job panic(s), {} connection(s) shed",
+                summary.requests,
+                summary.client_errors,
+                summary.server_errors,
+                summary.job_panics,
+                summary.conns_shed
+            );
+            if summary.job_panics > 0 {
+                return Err(TwError::runtime(format!(
+                    "{} job(s) panicked during this run",
+                    summary.job_panics
+                )));
             }
             Ok(ExitCode::SUCCESS)
         }

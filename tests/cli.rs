@@ -226,3 +226,56 @@ fn faults_subcommand_reports_deterministic_counters() {
     assert_eq!(a, b, "same seed+plan must reproduce exactly");
     let _ = run("12");
 }
+
+/// `tw` with an overridden `TW_JOBS` environment value.
+fn tw_env(args: &[&str], key: &str, value: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tw"))
+        .args(args)
+        .env(key, value)
+        .output()
+        .expect("tw binary runs")
+}
+
+#[test]
+fn jobs_flag_enforces_the_range_contract() {
+    assert_diagnostic(&tw(&["compare", "--bench", "gcc", "--jobs", "0"]), 2);
+    assert_diagnostic(&tw(&["compare", "--bench", "gcc", "--jobs", "1000000"]), 2);
+    assert_diagnostic(&tw(&["compare", "--bench", "gcc", "--jobs", "-3"]), 2);
+    assert_diagnostic(&tw(&["compare", "--bench", "gcc", "--jobs", "many"]), 2);
+    let err = stderr_line(&tw(&["compare", "--bench", "gcc", "--jobs", "1000000"]));
+    assert!(err.contains("cap"), "names the cap: {err}");
+}
+
+#[test]
+fn malformed_tw_jobs_is_a_usage_error_not_a_silent_fallback() {
+    // `list` exercises flag parsing without simulating anything.
+    assert_diagnostic(&tw_env(&["list"], "TW_JOBS", "abc"), 2);
+    assert_diagnostic(&tw_env(&["list"], "TW_JOBS", "0"), 2);
+    assert_diagnostic(&tw_env(&["list"], "TW_JOBS", "1000000"), 2);
+    let err = stderr_line(&tw_env(&["list"], "TW_JOBS", "abc"));
+    assert!(err.contains("TW_JOBS"), "names the variable: {err}");
+
+    // Benign spellings still work: unset, empty-trimmed digits, spaces.
+    let ok = tw_env(&["list"], "TW_JOBS", " 8 ");
+    assert_eq!(ok.status.code(), Some(0), "stderr: {}", stderr_line(&ok));
+}
+
+#[test]
+fn serve_flags_are_validated_before_binding() {
+    assert_diagnostic(&tw(&["serve", "--queue-depth", "0"]), 2);
+    assert_diagnostic(&tw(&["serve", "--cache-entries", "0"]), 2);
+    assert_diagnostic(&tw(&["serve", "--max-conns", "0"]), 2);
+    assert_diagnostic(&tw(&["serve", "--max-body", "0"]), 2);
+    assert_diagnostic(&tw(&["serve", "--max-insts", "0"]), 2);
+    assert_diagnostic(&tw(&["serve", "--port", "99999"]), 2);
+    assert_diagnostic(
+        &tw(&["serve", "--addr", "127.0.0.1:0", "--port", "8080"]),
+        2,
+    );
+    assert_diagnostic(
+        &tw(&["serve", "--insts", "2000000", "--max-insts", "1000"]),
+        2,
+    );
+    // An unbindable address is a runtime error (exit 1), not a panic.
+    assert_diagnostic(&tw(&["serve", "--addr", "999.999.999.999:1"]), 1);
+}
