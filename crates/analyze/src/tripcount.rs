@@ -155,9 +155,10 @@ fn transfer(instr: &Instr, s: &mut State) {
             };
             s.set(rd, v);
         }
-        Instr::Load { rd, .. } => s.set(rd, Val::Top),
+        Instr::Load { rd, .. } | Instr::LoadN { rd, .. } => s.set(rd, Val::Top),
         Instr::Call { .. } | Instr::CallInd { .. } => *s = State::top(),
         Instr::Store { .. }
+        | Instr::StoreN { .. }
         | Instr::Branch { .. }
         | Instr::Jump { .. }
         | Instr::Ret

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use tc_sim::harness::{presets, Json};
 use tc_sim::{Processor, PromotionPlan, SimConfig, SimReport};
-use tc_workloads::Benchmark;
+use tc_workloads::{Benchmark, RvBench, WorkloadId};
 
 /// Schema identifier stamped into every emitted suite artifact.
 pub const SCHEMA: &str = "tw-bench/v1";
@@ -172,23 +172,26 @@ pub struct BenchSuite {
     pub probes: Vec<SamplingProbe>,
 }
 
-/// The full matrix: every registry benchmark × every registry preset.
+/// The full matrix: every workload of both families × every registry
+/// preset.
 #[must_use]
-pub fn full_matrix() -> Vec<(Benchmark, &'static str)> {
-    Benchmark::ALL
+pub fn full_matrix() -> Vec<(WorkloadId, &'static str)> {
+    WorkloadId::all()
         .into_iter()
         .flat_map(|b| presets().iter().map(move |p| (b, p.name)))
         .collect()
 }
 
-/// The smoke matrix: one small benchmark under the instruction-cache
-/// baseline and the headline trace-cache front end. Exercises both fetch
-/// paths in seconds; used by `tw bench --smoke` and CI.
+/// The smoke matrix: one small benchmark per family under the
+/// instruction-cache baseline and the headline trace-cache front end.
+/// Exercises both fetch paths and both workload families in seconds;
+/// used by `tw bench --smoke` and CI.
 #[must_use]
-pub fn smoke_matrix() -> Vec<(Benchmark, &'static str)> {
+pub fn smoke_matrix() -> Vec<(WorkloadId, &'static str)> {
     vec![
-        (Benchmark::Compress, "icache"),
-        (Benchmark::Compress, "headline"),
+        (WorkloadId::Synth(Benchmark::Compress), "icache"),
+        (WorkloadId::Synth(Benchmark::Compress), "headline"),
+        (WorkloadId::Rv(RvBench::Crc), "headline"),
     ]
 }
 
@@ -199,8 +202,8 @@ pub fn smoke_matrix() -> Vec<(Benchmark, &'static str)> {
 /// Panics if `config_name` is not in the preset registry or `samples`
 /// is zero.
 #[must_use]
-pub fn run_cell(
-    benchmark: Benchmark,
+pub fn run_cell<W: Into<WorkloadId>>(
+    benchmark: W,
     config_name: &'static str,
     insts: u64,
     samples: u32,
@@ -216,14 +219,15 @@ pub fn run_cell(
 /// Panics if `config_name` is not in the preset registry or `samples`
 /// is zero.
 #[must_use]
-pub fn run_cell_planned(
-    benchmark: Benchmark,
+pub fn run_cell_planned<W: Into<WorkloadId>>(
+    benchmark: W,
     config_name: &'static str,
     insts: u64,
     samples: u32,
     plan: Option<&PromotionPlan>,
 ) -> BenchCell {
     assert!(samples > 0, "at least one timed sample is required");
+    let benchmark: WorkloadId = benchmark.into();
     let mut config: SimConfig = tc_sim::harness::lookup(config_name)
         .unwrap_or_else(|| panic!("unknown configuration preset {config_name:?}"))
         .with_max_insts(insts);
@@ -323,7 +327,7 @@ pub fn run_probe(config_name: &'static str, insts: u64, samples: u32) -> Samplin
 /// Runs one probe per distinct preset in `matrix`, preserving first-seen
 /// order, invoking `progress` after each finished probe.
 pub fn run_sampling_probes(
-    matrix: &[(Benchmark, &'static str)],
+    matrix: &[(WorkloadId, &'static str)],
     insts: u64,
     samples: u32,
     mut progress: impl FnMut(&SamplingProbe, usize, usize),
@@ -346,7 +350,7 @@ pub fn run_sampling_probes(
 
 /// Runs a whole matrix, invoking `progress` after each finished cell.
 pub fn run_suite(
-    matrix: &[(Benchmark, &'static str)],
+    matrix: &[(WorkloadId, &'static str)],
     insts: u64,
     samples: u32,
     progress: impl FnMut(&BenchCell, usize, usize),
@@ -359,10 +363,10 @@ pub fn run_suite(
 /// the cell plain). The provider is called once per cell, so memoize
 /// expensive plan construction per benchmark.
 pub fn run_suite_planned(
-    matrix: &[(Benchmark, &'static str)],
+    matrix: &[(WorkloadId, &'static str)],
     insts: u64,
     samples: u32,
-    mut plan_for: impl FnMut(Benchmark) -> Option<PromotionPlan>,
+    mut plan_for: impl FnMut(WorkloadId) -> Option<PromotionPlan>,
     mut progress: impl FnMut(&BenchCell, usize, usize),
 ) -> BenchSuite {
     let mut cells = Vec::with_capacity(matrix.len());
@@ -484,7 +488,7 @@ mod tests {
     fn smoke_suite_produces_populated_well_formed_artifact() {
         let mut suite = run_suite(&smoke_matrix(), 5_000, 1, |_, _, _| {});
         suite.probes = run_sampling_probes(&smoke_matrix(), 100_000, 1, |_, _, _| {});
-        assert_eq!(suite.cells.len(), 2);
+        assert_eq!(suite.cells.len(), smoke_matrix().len());
         for cell in &suite.cells {
             assert!(cell.instructions > 0);
             assert!(cell.cycles > 0);
@@ -518,12 +522,22 @@ mod tests {
     }
 
     #[test]
-    fn full_matrix_covers_every_benchmark_and_preset() {
+    fn full_matrix_covers_every_workload_and_preset() {
         let matrix = full_matrix();
         assert_eq!(
             matrix.len(),
-            Benchmark::ALL.len() * tc_sim::harness::presets().len()
+            WorkloadId::COUNT * tc_sim::harness::presets().len()
         );
+        assert!(matrix.iter().any(|(w, _)| w.family() == "rv32i"));
+    }
+
+    #[test]
+    fn smoke_matrix_spans_both_families_and_fetch_paths() {
+        let matrix = smoke_matrix();
+        assert!(matrix.iter().any(|(w, _)| w.family() == "synthetic"));
+        assert!(matrix.iter().any(|(w, _)| w.family() == "rv32i"));
+        assert!(matrix.iter().any(|(_, c)| *c == "icache"));
+        assert!(matrix.iter().any(|(_, c)| *c == "headline"));
     }
 
     #[test]

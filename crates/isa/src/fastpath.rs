@@ -189,6 +189,27 @@ impl Machine {
                 let v = self.reg(src);
                 self.set_mem(addr, v);
             }
+            Instr::LoadN {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let addr = self.narrow_addr(pc, base, offset, width)?;
+                let v = self.narrow_load(addr, width, signed);
+                self.set_reg(rd, v);
+            }
+            Instr::StoreN {
+                src,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = self.narrow_addr(pc, base, offset, width)?;
+                let v = self.reg(src);
+                self.narrow_store(addr, width, v);
+            }
             Instr::Trap { .. } | Instr::Nop => {}
             // `BlockCache` construction guarantees straight-line windows
             // contain no control transfers or halts.

@@ -38,6 +38,26 @@ pub enum AluOp {
     Slt,
     /// Set if less-than, unsigned.
     Sltu,
+    /// 32-bit wrapping addition, result sign-extended to 64 bits.
+    ///
+    /// The `*w` operations give the RV32I translation (`tc-rv`) exact
+    /// 32-bit wrap semantics while keeping every register value in the
+    /// sign-extended-32-bit canonical form the translator guarantees.
+    Addw,
+    /// 32-bit wrapping subtraction, sign-extended.
+    Subw,
+    /// 32-bit logical shift left (amount masked to 5 bits), sign-extended.
+    Sllw,
+    /// 32-bit logical shift right, sign-extended.
+    Srlw,
+    /// 32-bit arithmetic shift right, sign-extended.
+    Sraw,
+}
+
+/// Sign-extends the low 32 bits of a value to 64 bits.
+#[inline]
+fn sext32(x: u64) -> u64 {
+    x as u32 as i32 as i64 as u64
 }
 
 impl AluOp {
@@ -70,6 +90,11 @@ impl AluOp {
             AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
             AluOp::Slt => u64::from((a as i64) < (b as i64)),
             AluOp::Sltu => u64::from(a < b),
+            AluOp::Addw => sext32(a.wrapping_add(b)),
+            AluOp::Subw => sext32(a.wrapping_sub(b)),
+            AluOp::Sllw => sext32(u64::from((a as u32).wrapping_shl((b & 31) as u32))),
+            AluOp::Srlw => sext32(u64::from((a as u32).wrapping_shr((b & 31) as u32))),
+            AluOp::Sraw => ((a as u32 as i32).wrapping_shr((b & 31) as u32)) as i64 as u64,
         }
     }
 
@@ -101,6 +126,11 @@ impl fmt::Display for AluOp {
             AluOp::Sra => "sra",
             AluOp::Slt => "slt",
             AluOp::Sltu => "sltu",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
         };
         f.write_str(s)
     }
@@ -227,6 +257,29 @@ impl ControlKind {
     }
 }
 
+/// Access width of a narrow (byte-addressed) memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl MemWidth {
+    /// The access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
 /// One fixed-width (4-byte) instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
@@ -276,6 +329,36 @@ pub enum Instr {
         base: Reg,
         /// Word offset (sign-extended).
         offset: i32,
+    },
+    /// Narrow load, *byte*-addressed: `rd = mem_bytes[rs1 + offset ..][..width]`.
+    ///
+    /// Data memory is viewed as little-endian bytes packed eight to a
+    /// `u64` word; the effective byte address must be naturally aligned
+    /// for `width`, so an access never spans two backing words. Used by
+    /// the RV32I translation (`tc-rv`); the synthetic workloads use the
+    /// word-addressed [`Instr::Load`].
+    LoadN {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register (byte address).
+        base: Reg,
+        /// Byte offset (sign-extended).
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend (`true`) or zero-extend the loaded value.
+        signed: bool,
+    },
+    /// Narrow store, byte-addressed: `mem_bytes[rs1 + offset ..][..width] = src`.
+    StoreN {
+        /// Register holding the value to store (low `width` bytes used).
+        src: Reg,
+        /// Base address register (byte address).
+        base: Reg,
+        /// Byte offset (sign-extended).
+        offset: i32,
+        /// Access width.
+        width: MemWidth,
     },
     /// Conditional direct branch: `if cond(rs1, rs2) goto target`.
     Branch {
@@ -347,19 +430,19 @@ impl Instr {
     /// Whether this instruction accesses data memory.
     #[must_use]
     pub fn is_mem(&self) -> bool {
-        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+        self.is_load() || self.is_store()
     }
 
     /// Whether this instruction is a load.
     #[must_use]
     pub fn is_load(&self) -> bool {
-        matches!(self, Instr::Load { .. })
+        matches!(self, Instr::Load { .. } | Instr::LoadN { .. })
     }
 
     /// Whether this instruction is a store.
     #[must_use]
     pub fn is_store(&self) -> bool {
-        matches!(self, Instr::Store { .. })
+        matches!(self, Instr::Store { .. } | Instr::StoreN { .. })
     }
 
     /// The destination register written by this instruction, if any.
@@ -369,7 +452,7 @@ impl Instr {
     pub fn dest(&self) -> Option<Reg> {
         let rd = match self {
             Instr::Alu { rd, .. } | Instr::AluImm { rd, .. } | Instr::Li { rd, .. } => *rd,
-            Instr::Load { rd, .. } => *rd,
+            Instr::Load { rd, .. } | Instr::LoadN { rd, .. } => *rd,
             Instr::Call { .. } | Instr::CallInd { .. } => Reg::RA,
             _ => return None,
         };
@@ -389,8 +472,10 @@ impl Instr {
             Instr::Alu { rs1, rs2, .. } => [keep(*rs1), keep(*rs2)],
             Instr::AluImm { rs1, .. } => [keep(*rs1), None],
             Instr::Li { .. } => [None, None],
-            Instr::Load { base, .. } => [keep(*base), None],
-            Instr::Store { src, base, .. } => [keep(*src), keep(*base)],
+            Instr::Load { base, .. } | Instr::LoadN { base, .. } => [keep(*base), None],
+            Instr::Store { src, base, .. } | Instr::StoreN { src, base, .. } => {
+                [keep(*src), keep(*base)]
+            }
             Instr::Branch { rs1, rs2, .. } => [keep(*rs1), keep(*rs2)],
             Instr::Ret => [keep(Reg::RA), None],
             Instr::JumpInd { base } | Instr::CallInd { base } => [keep(*base), None],
@@ -428,6 +513,35 @@ impl fmt::Display for Instr {
             Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
             Instr::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Instr::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Instr::LoadN {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let m = match (width, signed) {
+                    (MemWidth::Byte, true) => "lb",
+                    (MemWidth::Byte, false) => "lbu",
+                    (MemWidth::Half, true) => "lh",
+                    (MemWidth::Half, false) => "lhu",
+                    (MemWidth::Word, _) => "lw",
+                };
+                write!(f, "{m} {rd}, {offset}({base})")
+            }
+            Instr::StoreN {
+                src,
+                base,
+                offset,
+                width,
+            } => {
+                let m = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Half => "sh",
+                    MemWidth::Word => "sw",
+                };
+                write!(f, "{m} {src}, {offset}({base})")
+            }
             Instr::Branch {
                 cond,
                 rs1,
@@ -464,6 +578,57 @@ mod tests {
         assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1); // -1 < 0 signed
         assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
         assert_eq!(AluOp::Sra.eval((-8i64) as u64, 1), (-4i64) as u64);
+    }
+
+    #[test]
+    fn word_ops_wrap_at_32_bits_and_sign_extend() {
+        // 0x7fff_ffff + 1 overflows the 32-bit range and sign-extends.
+        assert_eq!(AluOp::Addw.eval(0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(AluOp::Subw.eval(0, 1), u64::MAX);
+        // Bits above 31 in the operands are ignored.
+        assert_eq!(AluOp::Addw.eval(0xdead_0000_0000_0003, 4), 7);
+        assert_eq!(AluOp::Sllw.eval(1, 31), 0xffff_ffff_8000_0000);
+        assert_eq!(AluOp::Sllw.eval(1, 32), 1); // amount masked to 5 bits
+        assert_eq!(AluOp::Srlw.eval(0xffff_ffff_8000_0000, 31), 1);
+        assert_eq!(AluOp::Sraw.eval(0xffff_ffff_8000_0000, 31), u64::MAX);
+        for op in [
+            AluOp::Addw,
+            AluOp::Subw,
+            AluOp::Sllw,
+            AluOp::Srlw,
+            AluOp::Sraw,
+        ] {
+            assert_eq!(op.latency(), 1);
+        }
+    }
+
+    #[test]
+    fn narrow_memory_ops_classify_as_memory_accesses() {
+        let load = Instr::LoadN {
+            rd: Reg::T0,
+            base: Reg::SP,
+            offset: -2,
+            width: MemWidth::Word,
+            signed: true,
+        };
+        let store = Instr::StoreN {
+            src: Reg::T1,
+            base: Reg::SP,
+            offset: 6,
+            width: MemWidth::Half,
+        };
+        assert!(load.is_mem() && load.is_load() && !load.is_store());
+        assert!(store.is_mem() && store.is_store() && !store.is_load());
+        assert_eq!(load.dest(), Some(Reg::T0));
+        assert_eq!(store.dest(), None);
+        assert_eq!(load.sources(), [Some(Reg::SP), None]);
+        assert_eq!(store.sources(), [Some(Reg::T1), Some(Reg::SP)]);
+        assert_eq!(load.control_kind(), ControlKind::None);
+        assert_eq!(load.to_string(), "lw t0, -2(sp)");
+        assert_eq!(store.to_string(), "sh t1, 6(sp)");
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
     }
 
     #[test]
@@ -578,6 +743,19 @@ mod tests {
                 src: Reg::T0,
                 base: Reg::SP,
                 offset: -1,
+            },
+            Instr::LoadN {
+                rd: Reg::T0,
+                base: Reg::SP,
+                offset: 2,
+                width: MemWidth::Half,
+                signed: false,
+            },
+            Instr::StoreN {
+                src: Reg::T0,
+                base: Reg::SP,
+                offset: 3,
+                width: MemWidth::Byte,
             },
             Instr::Branch {
                 cond: Cond::Ne,

@@ -2,10 +2,20 @@
 
 use std::fmt;
 
-use crate::instr::Instr;
+use crate::instr::{Instr, MemWidth};
 use crate::program::{Addr, Program};
 use crate::reg::Reg;
 use crate::stream::ExecRecord;
+
+/// The in-word bit mask (before shifting) of a narrow access lane.
+#[inline]
+fn lane_mask(width: MemWidth) -> u64 {
+    match width {
+        MemWidth::Byte => 0xff,
+        MemWidth::Half => 0xffff,
+        MemWidth::Word => 0xffff_ffff,
+    }
+}
 
 /// Errors raised during functional execution. These indicate a *workload*
 /// bug (the synthetic benchmarks are expected to be well-formed), so the
@@ -27,6 +37,15 @@ pub enum ExecError {
         /// Size of data memory in words.
         mem_words: u64,
     },
+    /// A narrow (byte-addressed) access was not naturally aligned.
+    MemUnaligned {
+        /// Address of the faulting instruction.
+        pc: Addr,
+        /// The faulting byte address.
+        addr: u64,
+        /// Required alignment in bytes (the access width).
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -40,6 +59,10 @@ impl fmt::Display for ExecError {
             } => write!(
                 f,
                 "memory access at {pc} touches word {addr:#x} outside {mem_words:#x}-word memory"
+            ),
+            ExecError::MemUnaligned { pc, addr, bytes } => write!(
+                f,
+                "misaligned {bytes}-byte access at {pc} to byte address {addr:#x}"
             ),
         }
     }
@@ -209,6 +232,55 @@ impl Machine {
         }
     }
 
+    /// Resolves the *byte* address of a narrow access and checks natural
+    /// alignment and bounds. Data memory is viewed as little-endian
+    /// bytes packed eight to a word, so a naturally-aligned access never
+    /// spans two backing words.
+    pub(crate) fn narrow_addr(
+        &self,
+        pc: Addr,
+        base: Reg,
+        offset: i32,
+        width: MemWidth,
+    ) -> Result<u64, ExecError> {
+        let addr = self.reg(base).wrapping_add(offset as i64 as u64);
+        let bytes = width.bytes();
+        if addr % bytes != 0 {
+            return Err(ExecError::MemUnaligned { pc, addr, bytes });
+        }
+        let mem_bytes = (self.mem.len() as u64).saturating_mul(8);
+        if addr.checked_add(bytes).map_or(true, |end| end > mem_bytes) {
+            return Err(ExecError::MemOutOfBounds {
+                pc,
+                addr: addr >> 3,
+                mem_words: self.mem.len() as u64,
+            });
+        }
+        Ok(addr)
+    }
+
+    /// Reads a naturally-aligned narrow value at byte address `addr`.
+    pub(crate) fn narrow_load(&self, addr: u64, width: MemWidth, signed: bool) -> u64 {
+        let word = self.mem[(addr >> 3) as usize];
+        let lane = (word >> ((addr & 7) * 8)) & lane_mask(width);
+        match (width, signed) {
+            (MemWidth::Byte, true) => lane as u8 as i8 as i64 as u64,
+            (MemWidth::Half, true) => lane as u16 as i16 as i64 as u64,
+            // Full words always land in the canonical sign-extended-32
+            // register form regardless of `signed`.
+            (MemWidth::Word, _) => lane as u32 as i32 as i64 as u64,
+            (MemWidth::Byte | MemWidth::Half, false) => lane,
+        }
+    }
+
+    /// Writes the low `width` bytes of `value` at byte address `addr`.
+    pub(crate) fn narrow_store(&mut self, addr: u64, width: MemWidth, value: u64) {
+        let shift = (addr & 7) * 8;
+        let mask = lane_mask(width) << shift;
+        let slot = &mut self.mem[(addr >> 3) as usize];
+        *slot = (*slot & !mask) | ((value << shift) & mask);
+    }
+
     /// Executes one instruction of `program`.
     ///
     /// # Errors
@@ -246,6 +318,29 @@ impl Machine {
                 let addr = self.data_addr(pc, base, offset)?;
                 mem_addr = Some(addr);
                 self.mem[addr as usize] = self.reg(src);
+            }
+            Instr::LoadN {
+                rd,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let addr = self.narrow_addr(pc, base, offset, width)?;
+                mem_addr = Some(addr >> 3);
+                let v = self.narrow_load(addr, width, signed);
+                self.set_reg(rd, v);
+            }
+            Instr::StoreN {
+                src,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = self.narrow_addr(pc, base, offset, width)?;
+                mem_addr = Some(addr >> 3);
+                let v = self.reg(src);
+                self.narrow_store(addr, width, v);
             }
             Instr::Branch {
                 cond,

@@ -54,7 +54,7 @@ mod text;
 
 pub use asm::{AsmError, Label, ProgramBuilder};
 pub use fastpath::BlockCache;
-pub use instr::{AluOp, Cond, ControlKind, Instr};
+pub use instr::{AluOp, Cond, ControlKind, Instr, MemWidth};
 pub use interp::{ExecError, Interpreter, Machine, StepOutcome};
 pub use program::{Addr, Program, ProgramError};
 pub use reg::Reg;

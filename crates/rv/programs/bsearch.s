@@ -1,0 +1,53 @@
+# Binary search over a sorted 64-word array with xorshift-generated keys:
+# hard-to-predict data-dependent branches.
+.data
+sarr:
+    .zero 256               # 64 words
+.text
+.entry main
+main:
+    li   sp, 65520
+    la   t0, sarr           # fill sorted: arr[i] = 5i + 3
+    li   t1, 64
+    li   t2, 3
+bfill:
+    sw   t2, 0(t0)
+    addi t2, t2, 5
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, bfill
+    li   s11, 100000        # rounds
+    li   s1, 0x9E3779B9     # key-generator state
+    li   s10, 0             # hit counter
+bround:
+    slli t2, s1, 13         # xorshift32
+    xor  s1, s1, t2
+    srli t2, s1, 17
+    xor  s1, s1, t2
+    slli t2, s1, 5
+    xor  s1, s1, t2
+    andi a0, s1, 511        # key in 0..511
+    li   t0, 0              # lo
+    li   t1, 64             # hi (exclusive)
+bloop:
+    bge  t0, t1, bmiss
+    add  t2, t0, t1
+    srli t2, t2, 1          # mid
+    slli t3, t2, 2
+    la   t4, sarr
+    add  t3, t3, t4
+    lw   t5, 0(t3)
+    beq  t5, a0, bhit
+    blt  t5, a0, bright
+    mv   t1, t2             # hi = mid
+    j    bloop
+bright:
+    addi t0, t2, 1          # lo = mid + 1
+    j    bloop
+bhit:
+    addi s10, s10, 1
+bmiss:
+    addi s11, s11, -1
+    bnez s11, bround
+    mv   a0, s10
+    ebreak

@@ -1,0 +1,46 @@
+# Bubble sort over a 16-word array, xorshift-reseeded every round.
+.data
+arr:
+    .zero 64                # 16 words
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 200000        # rounds
+round:
+    la   t0, arr
+    li   t1, 16
+    li   s1, 0x1234567
+    add  s1, s1, s11
+fill:
+    slli t2, s1, 13         # xorshift32
+    xor  s1, s1, t2
+    srli t2, s1, 17
+    xor  s1, s1, t2
+    slli t2, s1, 5
+    xor  s1, s1, t2
+    sw   s1, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, fill
+    li   t3, 15             # sort passes
+pass:
+    la   t0, arr
+    li   t1, 15             # comparisons per pass
+inner:
+    lw   t4, 0(t0)
+    lw   t5, 4(t0)
+    bge  t5, t4, noswap
+    sw   t5, 0(t0)
+    sw   t4, 4(t0)
+noswap:
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, inner
+    addi t3, t3, -1
+    bnez t3, pass
+    addi s11, s11, -1
+    bnez s11, round
+    la   t0, arr
+    lw   a0, 0(t0)          # checksum: smallest element
+    ebreak

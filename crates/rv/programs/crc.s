@@ -1,0 +1,41 @@
+# Bitwise CRC-32 (reflected, polynomial 0xEDB88320) over a 64-byte buffer.
+.data
+cbuf:
+    .zero 64
+.text
+.entry main
+main:
+    li   sp, 65520
+    la   t0, cbuf           # fill buffer once
+    li   t1, 64
+    li   t2, 7
+cfill:
+    sb   t2, 0(t0)
+    addi t2, t2, 31
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, cfill
+    li   s11, 8000          # rounds
+cround:
+    li   a0, -1             # crc = 0xffffffff
+    la   t0, cbuf
+    li   t1, 64
+cbyte:
+    lbu  t2, 0(t0)
+    xor  a0, a0, t2
+    li   t3, 8
+cbit:
+    andi t4, a0, 1
+    srli a0, a0, 1
+    beqz t4, cnoxor
+    li   t5, 0xEDB88320
+    xor  a0, a0, t5
+cnoxor:
+    addi t3, t3, -1
+    bnez t3, cbit
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, cbyte
+    addi s11, s11, -1
+    bnez s11, cround
+    ebreak

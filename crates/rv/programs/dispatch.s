@@ -1,0 +1,46 @@
+# Interpreter-style dispatch loop: a data-resident jump table of handler
+# addresses driven through an indirect jump. The .word entries hold
+# translated-index code pointers and mark the handlers address-taken.
+.data
+jtab:
+    .word op_add
+    .word op_xor
+    .word op_shift
+    .word op_sub
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 400000        # rounds
+    li   s1, 0xBEEF         # opcode-generator state
+    li   s2, 0              # accumulator
+dround:
+    slli t2, s1, 13         # xorshift32
+    xor  s1, s1, t2
+    srli t2, s1, 17
+    xor  s1, s1, t2
+    slli t2, s1, 5
+    xor  s1, s1, t2
+    andi t0, s1, 3          # opcode
+    slli t0, t0, 2
+    la   t1, jtab
+    add  t0, t0, t1
+    lw   t1, 0(t0)
+    jr   t1
+op_add:
+    add  s2, s2, s1
+    j    dnext
+op_xor:
+    xor  s2, s2, s1
+    j    dnext
+op_shift:
+    srli t3, s2, 3
+    xor  s2, s2, t3
+    j    dnext
+op_sub:
+    sub  s2, s2, s1
+dnext:
+    addi s11, s11, -1
+    bnez s11, dround
+    mv   a0, s2
+    ebreak

@@ -1,0 +1,34 @@
+# Naively recursive fibonacci: a deep call tree stressing call/return.
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 3000          # rounds
+fround:
+    li   a0, 16
+    call fib
+    addi s11, s11, -1
+    bnez s11, fround
+    ebreak
+
+# fib(a0) -> a0.
+fib:
+    li   t0, 2
+    blt  a0, t0, fdone
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+    addi a0, a0, -1
+    call fib
+    mv   s1, a0
+    addi a0, s0, -2
+    call fib
+    add  a0, a0, s1
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+fdone:
+    ret

@@ -1,0 +1,37 @@
+# Pointer chasing: 256 nodes of (value, next byte-pointer), linked with
+# a coprime stride so the chase visits every node.
+.data
+nodes:
+    .zero 2048              # 256 nodes x 8 bytes
+.text
+.entry main
+main:
+    li   sp, 65520
+    la   s0, nodes
+    li   t0, 0              # build node i -> node (i+67)&255
+build:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    sw   t0, 0(t1)          # value = i
+    addi t2, t0, 67
+    andi t2, t2, 255
+    slli t2, t2, 3
+    add  t2, t2, s0
+    sw   t2, 4(t1)          # next = byte address of successor
+    addi t0, t0, 1
+    li   t3, 256
+    blt  t0, t3, build
+    li   s11, 40000         # rounds
+lround:
+    mv   t0, s0
+    li   t1, 256            # steps per round
+    li   a0, 0
+chase:
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    lw   t0, 4(t0)
+    addi t1, t1, -1
+    bnez t1, chase
+    addi s11, s11, -1
+    bnez s11, lround
+    ebreak

@@ -1,0 +1,86 @@
+# 8x8 integer matrix multiply; products via shift-add (no M extension).
+.data
+mata:
+    .zero 256
+matb:
+    .zero 256
+matc:
+    .zero 256
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 2000          # rounds
+around:
+    la   t0, mata           # fill A and B with small varying values
+    la   t1, matb
+    li   t2, 64
+    mv   t3, s11
+afill:
+    andi t4, t3, 63
+    sw   t4, 0(t0)
+    addi t5, t4, 17
+    andi t5, t5, 63
+    sw   t5, 0(t1)
+    addi t3, t3, 3
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, afill
+    li   s0, 0              # i
+irow:
+    li   s1, 0              # j
+jcol:
+    li   s2, 0              # acc
+    li   s3, 0              # k
+kdot:
+    slli t0, s0, 3          # a0 = A[i*8+k]
+    add  t0, t0, s3
+    slli t0, t0, 2
+    la   t1, mata
+    add  t0, t0, t1
+    lw   a0, 0(t0)
+    slli t0, s3, 3          # a1 = B[k*8+j]
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, matb
+    add  t0, t0, t1
+    lw   a1, 0(t0)
+    call mul32
+    add  s2, s2, a0
+    addi s3, s3, 1
+    li   t0, 8
+    blt  s3, t0, kdot
+    slli t0, s0, 3          # C[i*8+j] = acc
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, matc
+    add  t0, t0, t1
+    sw   s2, 0(t0)
+    addi s1, s1, 1
+    li   t0, 8
+    blt  s1, t0, jcol
+    addi s0, s0, 1
+    li   t0, 8
+    blt  s0, t0, irow
+    addi s11, s11, -1
+    bnez s11, around
+    la   t0, matc
+    lw   a0, 0(t0)
+    ebreak
+
+# mul32: a0 * a1 -> a0, shift-add with early exit. Clobbers t0, t2.
+mul32:
+    li   t0, 0
+mloop:
+    beqz a1, mdone
+    andi t2, a1, 1
+    beqz t2, mskip
+    add  t0, t0, a0
+mskip:
+    slli a0, a0, 1
+    srli a1, a1, 1
+    j    mloop
+mdone:
+    mv   a0, t0
+    ret

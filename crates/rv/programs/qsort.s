@@ -1,0 +1,73 @@
+# Recursive quicksort (Lomuto partition) over a 32-word array.
+.data
+arr:
+    .zero 128               # 32 words
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 30000         # rounds
+qround:
+    la   t0, arr
+    li   t1, 32
+    mv   s2, s11
+    addi s2, s2, 291
+qfill:
+    slli t2, s2, 13         # xorshift32
+    xor  s2, s2, t2
+    srli t2, s2, 17
+    xor  s2, s2, t2
+    slli t2, s2, 5
+    xor  s2, s2, t2
+    sw   s2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, qfill
+    la   a0, arr
+    addi a1, a0, 124        # pointer to last element
+    call qsort
+    addi s11, s11, -1
+    bnez s11, qround
+    la   t0, arr
+    lw   a0, 0(t0)
+    ebreak
+
+# qsort(a0 = lo ptr, a1 = hi ptr), inclusive word pointers.
+qsort:
+    bge  a0, a1, qdone
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    lw   t0, 0(a1)          # pivot = *hi
+    mv   t1, a0             # i
+    mv   t2, a0             # j
+part:
+    bge  t2, a1, partdone
+    lw   t3, 0(t2)
+    bge  t3, t0, nosw
+    lw   t4, 0(t1)          # swap *i, *j
+    sw   t3, 0(t1)
+    sw   t4, 0(t2)
+    addi t1, t1, 4
+nosw:
+    addi t2, t2, 4
+    j    part
+partdone:
+    lw   t4, 0(t1)          # swap *i, *hi
+    lw   t3, 0(a1)
+    sw   t3, 0(t1)
+    sw   t4, 0(a1)
+    mv   s0, t1             # pivot position
+    mv   s1, a1             # hi
+    addi a1, s0, -4
+    call qsort              # left half (a0 still lo)
+    addi a0, s0, 4
+    mv   a1, s1
+    call qsort              # right half
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 12
+qdone:
+    ret

@@ -1,0 +1,52 @@
+# Sieve of Eratosthenes over a 2048-entry byte array, then a prime count.
+.data
+flags:
+    .zero 2048
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 3000          # rounds
+vround:
+    la   t0, flags          # clear flags
+    li   t1, 2048
+vclr:
+    sb   zero, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, vclr
+    li   s0, 2              # p
+vp:
+    la   t0, flags
+    add  t0, t0, s0
+    lbu  t1, 0(t0)
+    bnez t1, vnext          # composite, skip
+    add  t2, s0, s0         # mark multiples from 2p
+vmark:
+    li   t3, 2048
+    bge  t2, t3, vnext
+    la   t0, flags
+    add  t0, t0, t2
+    li   t4, 1
+    sb   t4, 0(t0)
+    add  t2, t2, s0
+    j    vmark
+vnext:
+    addi s0, s0, 1
+    li   t3, 2048
+    blt  s0, t3, vp
+    addi s11, s11, -1
+    bnez s11, vround
+    la   t0, flags          # count primes < 2048
+    addi t0, t0, 2
+    li   t1, 2046
+    li   a0, 0
+vcount:
+    lbu  t2, 0(t0)
+    bnez t2, vskip
+    addi a0, a0, 1
+vskip:
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, vcount
+    ebreak

@@ -1,0 +1,45 @@
+# Byte-wise string kernels: strlen, strcpy, memset, plus halfword traffic.
+.data
+src:
+    .byte 104, 101, 108, 108, 111                   # "hello"
+    .byte 44, 32, 119, 111, 114, 108, 100, 33       # ", world!"
+    .byte 0
+dst:
+    .zero 32
+.text
+.entry main
+main:
+    li   sp, 65520
+    li   s11, 150000        # rounds
+sround:
+    la   t0, src            # strlen(src) -> a0
+    li   a0, 0
+slen:
+    lbu  t1, 0(t0)
+    beqz t1, slend
+    addi t0, t0, 1
+    addi a0, a0, 1
+    j    slen
+slend:
+    la   t0, src            # strcpy(dst, src)
+    la   t1, dst
+scpy:
+    lbu  t2, 0(t0)
+    sb   t2, 0(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    bnez t2, scpy
+    la   t1, dst            # memset(dst, 0x5a, 16)
+    li   t2, 16
+    li   t3, 0x5a
+smem:
+    sb   t3, 0(t1)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    bnez t2, smem
+    la   t1, dst            # halfword round trip
+    lhu  t4, 0(t1)
+    sh   t4, 16(t1)
+    addi s11, s11, -1
+    bnez s11, sround
+    ebreak

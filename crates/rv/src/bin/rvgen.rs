@@ -1,0 +1,74 @@
+//! Regenerates the committed `.rv.bin` images from their `.s` sources.
+//!
+//! Run after editing any program in `crates/rv/programs/`:
+//!
+//! ```text
+//! cargo run -p tc-rv --bin rvgen
+//! ```
+//!
+//! The suite test `committed_images_match_their_sources` fails until
+//! regenerated images are committed, so source and image cannot drift.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tc_rv::assemble_rv;
+
+fn main() -> ExitCode {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "s"))
+            .collect(),
+        Err(e) => {
+            eprintln!("rvgen: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    let mut failed = false;
+    for src_path in entries {
+        let name = src_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("<?>")
+            .to_string();
+        let source = match std::fs::read_to_string(&src_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rvgen: {name}: read failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let image = match assemble_rv(&source) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("rvgen: {name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let out = src_path.with_extension("rv.bin");
+        let bytes = image.to_bytes();
+        if let Err(e) = std::fs::write(&out, &bytes) {
+            eprintln!("rvgen: {name}: write failed: {e}");
+            failed = true;
+            continue;
+        }
+        println!(
+            "rvgen: {name}: {} instructions, {} data bytes, entry {:#x} -> {}",
+            image.text.len(),
+            image.data.len(),
+            image.entry,
+            out.display()
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

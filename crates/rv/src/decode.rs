@@ -1,0 +1,574 @@
+//! The RV32I instruction decoder.
+//!
+//! Decodes one raw little-endian 32-bit word into an [`RvInstr`],
+//! covering every base-ISA encoding (RV32I v2.1): `LUI`, `AUIPC`,
+//! `JAL`, `JALR`, the six conditional branches, the five loads, the
+//! three stores, the nine OP-IMM and ten OP arithmetic forms, `FENCE`,
+//! `ECALL`, and `EBREAK`. Anything else — compressed encodings, the
+//! all-zeros word, reserved funct fields, CSR/Zifencei extensions — is
+//! a structured [`DecodeError`], never a panic.
+//!
+//! The decoded form borrows the substrate's operation vocabulary
+//! ([`AluOp`], [`Cond`], [`MemWidth`]) so translation is mostly a
+//! relabeling: RV32 arithmetic maps onto the 32-bit `addw` family,
+//! which wraps at 32 bits and sign-extends, exactly matching RV32
+//! register semantics on the 64-bit substrate.
+
+use std::fmt;
+
+use tc_isa::{AluOp, Cond, MemWidth};
+
+/// A decoded RV32I instruction. Register fields are raw 5-bit numbers
+/// (`x0`–`x31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RvInstr {
+    /// `lui rd, imm20`: `rd = imm20 << 12`.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Upper-immediate value (already shifted: bits 31:12, low 12 zero).
+        imm: i32,
+    },
+    /// `auipc rd, imm20`: `rd = pc + (imm20 << 12)` (byte-domain PC).
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Upper-immediate value (already shifted).
+        imm: i32,
+    },
+    /// `jal rd, offset`: link then jump PC-relative.
+    Jal {
+        /// Link register (x0 = plain jump).
+        rd: u8,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, rs1, imm`: link then jump indirect.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset added to `rs1`.
+        imm: i32,
+    },
+    /// The six conditional branches, mapped onto substrate conditions.
+    Branch {
+        /// Comparison.
+        cond: Cond,
+        /// First comparison register.
+        rs1: u8,
+        /// Second comparison register.
+        rs2: u8,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// `lb`/`lh`/`lw`/`lbu`/`lhu`.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value.
+        signed: bool,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        imm: i32,
+    },
+    /// `sb`/`sh`/`sw`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Source register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        imm: i32,
+    },
+    /// Register-immediate arithmetic (`addi`, `slti`, shifts, …), with
+    /// the operation already mapped onto the 32-bit substrate op.
+    OpImm {
+        /// Substrate operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// Register-register arithmetic (`add`, `sub`, `sltu`, …).
+    Op {
+        /// Substrate operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// First source register.
+        rs1: u8,
+        /// Second source register.
+        rs2: u8,
+    },
+    /// `fence` (any fm/pred/succ): a no-op on the in-order substrate.
+    Fence,
+    /// `ecall`: lowers to a serializing trap.
+    Ecall,
+    /// `ebreak`: terminates the program (lowers to `halt`).
+    Ebreak,
+}
+
+/// A word that does not encode an RV32I base-ISA instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The low two bits are not `11`: a compressed (RVC) or custom
+    /// 16-bit encoding, which the base-ISA front end does not support.
+    Compressed {
+        /// The raw word.
+        word: u32,
+    },
+    /// A 32-bit encoding outside the RV32I base ISA.
+    Illegal {
+        /// The raw word.
+        word: u32,
+        /// What made it illegal (unknown opcode, reserved funct, …).
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Compressed { word } => {
+                write!(f, "compressed/non-32-bit encoding {word:#010x}")
+            }
+            DecodeError::Illegal { word, reason } => {
+                write!(f, "illegal instruction {word:#010x}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 31) as u8
+}
+
+#[inline]
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 31) as u8
+}
+
+#[inline]
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 31) as u8
+}
+
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 7
+}
+
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// I-type immediate: bits 31:20, sign-extended.
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// S-type immediate: bits 31:25 ++ 11:7, sign-extended.
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w & 0xfe00_0000) as i32) >> 20) | (((w >> 7) & 0x1f) as i32)
+}
+
+/// B-type immediate: the branch byte offset (even, 13-bit range).
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    (((w as i32) >> 31) << 12)
+        | ((((w >> 7) & 1) as i32) << 11)
+        | ((((w >> 25) & 0x3f) as i32) << 5)
+        | ((((w >> 8) & 0xf) as i32) << 1)
+}
+
+/// U-type immediate: bits 31:12 in place, low 12 bits zero.
+#[inline]
+fn imm_u(w: u32) -> i32 {
+    (w & 0xffff_f000) as i32
+}
+
+/// J-type immediate: the jump byte offset (even, 21-bit range).
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    (((w as i32) >> 31) << 20)
+        | ((((w >> 12) & 0xff) as i32) << 12)
+        | ((((w >> 20) & 1) as i32) << 11)
+        | ((((w >> 21) & 0x3ff) as i32) << 1)
+}
+
+fn illegal(word: u32, reason: &'static str) -> DecodeError {
+    DecodeError::Illegal { word, reason }
+}
+
+/// Decodes one raw little-endian instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for anything outside the RV32I base ISA.
+pub fn decode(word: u32) -> Result<RvInstr, DecodeError> {
+    if word & 3 != 3 {
+        return Err(DecodeError::Compressed { word });
+    }
+    // The all-ones word is the other architecturally-defined illegal
+    // pattern; it falls out of the opcode match below.
+    if word == 0xffff_ffff {
+        return Err(illegal(word, "defined-illegal all-ones word"));
+    }
+    match word & 0x7f {
+        0b011_0111 => Ok(RvInstr::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        }),
+        0b001_0111 => Ok(RvInstr::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        }),
+        0b110_1111 => Ok(RvInstr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
+        0b110_0111 => match funct3(word) {
+            0 => Ok(RvInstr::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            }),
+            _ => Err(illegal(word, "jalr requires funct3=0")),
+        },
+        0b110_0011 => {
+            let cond = match funct3(word) {
+                0b000 => Cond::Eq,
+                0b001 => Cond::Ne,
+                0b100 => Cond::Lt,
+                0b101 => Cond::Ge,
+                0b110 => Cond::Ltu,
+                0b111 => Cond::Geu,
+                _ => return Err(illegal(word, "reserved branch funct3")),
+            };
+            Ok(RvInstr::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            })
+        }
+        0b000_0011 => {
+            let (width, signed) = match funct3(word) {
+                0b000 => (MemWidth::Byte, true),
+                0b001 => (MemWidth::Half, true),
+                0b010 => (MemWidth::Word, true),
+                0b100 => (MemWidth::Byte, false),
+                0b101 => (MemWidth::Half, false),
+                _ => return Err(illegal(word, "reserved load funct3")),
+            };
+            Ok(RvInstr::Load {
+                width,
+                signed,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm: imm_i(word),
+            })
+        }
+        0b010_0011 => {
+            let width = match funct3(word) {
+                0b000 => MemWidth::Byte,
+                0b001 => MemWidth::Half,
+                0b010 => MemWidth::Word,
+                _ => return Err(illegal(word, "reserved store funct3")),
+            };
+            Ok(RvInstr::Store {
+                width,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                imm: imm_s(word),
+            })
+        }
+        0b001_0011 => {
+            let (op, imm) = match funct3(word) {
+                0b000 => (AluOp::Addw, imm_i(word)),
+                0b010 => (AluOp::Slt, imm_i(word)),
+                0b011 => (AluOp::Sltu, imm_i(word)),
+                0b100 => (AluOp::Xor, imm_i(word)),
+                0b110 => (AluOp::Or, imm_i(word)),
+                0b111 => (AluOp::And, imm_i(word)),
+                0b001 => match funct7(word) {
+                    0 => (AluOp::Sllw, (rs2(word)) as i32),
+                    _ => return Err(illegal(word, "slli requires funct7=0")),
+                },
+                0b101 => match funct7(word) {
+                    0b000_0000 => (AluOp::Srlw, (rs2(word)) as i32),
+                    0b010_0000 => (AluOp::Sraw, (rs2(word)) as i32),
+                    _ => return Err(illegal(word, "reserved shift funct7")),
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(RvInstr::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            })
+        }
+        0b011_0011 => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b000_0000, 0b000) => AluOp::Addw,
+                (0b010_0000, 0b000) => AluOp::Subw,
+                (0b000_0000, 0b001) => AluOp::Sllw,
+                (0b000_0000, 0b010) => AluOp::Slt,
+                (0b000_0000, 0b011) => AluOp::Sltu,
+                (0b000_0000, 0b100) => AluOp::Xor,
+                (0b000_0000, 0b101) => AluOp::Srlw,
+                (0b010_0000, 0b101) => AluOp::Sraw,
+                (0b000_0000, 0b110) => AluOp::Or,
+                (0b000_0000, 0b111) => AluOp::And,
+                (0b000_0001, _) => {
+                    return Err(illegal(word, "M-extension (mul/div) not in the base ISA"))
+                }
+                _ => return Err(illegal(word, "reserved OP funct7/funct3")),
+            };
+            Ok(RvInstr::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        0b000_1111 => match funct3(word) {
+            // Any fm/pred/succ combination (including fence.tso and
+            // pause hints) is an ordering no-op on the in-order model.
+            0 => Ok(RvInstr::Fence),
+            _ => Err(illegal(word, "fence.i (Zifencei) not in the base ISA")),
+        },
+        0b111_0011 => {
+            if funct3(word) != 0 {
+                return Err(illegal(
+                    word,
+                    "CSR instructions (Zicsr) not in the base ISA",
+                ));
+            }
+            if rd(word) != 0 || rs1(word) != 0 {
+                return Err(illegal(word, "ecall/ebreak require rd=rs1=0"));
+            }
+            match word >> 20 {
+                0 => Ok(RvInstr::Ecall),
+                1 => Ok(RvInstr::Ebreak),
+                _ => Err(illegal(word, "reserved SYSTEM function")),
+            }
+        }
+        _ => Err(illegal(word, "unknown opcode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_every_base_isa_shape() {
+        // addi x5, x6, -1
+        assert_eq!(
+            decode(0xfff3_0293),
+            Ok(RvInstr::OpImm {
+                op: AluOp::Addw,
+                rd: 5,
+                rs1: 6,
+                imm: -1
+            })
+        );
+        // lui x7, 0x12345
+        assert_eq!(
+            decode(0x1234_53b7),
+            Ok(RvInstr::Lui {
+                rd: 7,
+                imm: 0x1234_5000
+            })
+        );
+        // auipc x3, 0x1
+        assert_eq!(
+            decode(0x0000_1197),
+            Ok(RvInstr::Auipc { rd: 3, imm: 0x1000 })
+        );
+        // jal x1, +8
+        assert_eq!(decode(0x0080_00ef), Ok(RvInstr::Jal { rd: 1, offset: 8 }));
+        // jal x0, -4
+        assert_eq!(decode(0xffdf_f06f), Ok(RvInstr::Jal { rd: 0, offset: -4 }));
+        // jalr x0, 0(x1)  (ret)
+        assert_eq!(
+            decode(0x0000_8067),
+            Ok(RvInstr::Jalr {
+                rd: 0,
+                rs1: 1,
+                imm: 0
+            })
+        );
+        // beq x10, x11, +16
+        assert_eq!(
+            decode(0x00b5_0863),
+            Ok(RvInstr::Branch {
+                cond: Cond::Eq,
+                rs1: 10,
+                rs2: 11,
+                offset: 16
+            })
+        );
+        // bltu x12, x13, -8
+        assert_eq!(
+            decode(0xfed6_6ce3),
+            Ok(RvInstr::Branch {
+                cond: Cond::Ltu,
+                rs1: 12,
+                rs2: 13,
+                offset: -8
+            })
+        );
+        // lw x14, 12(x2)
+        assert_eq!(
+            decode(0x00c1_2703),
+            Ok(RvInstr::Load {
+                width: MemWidth::Word,
+                signed: true,
+                rd: 14,
+                rs1: 2,
+                imm: 12
+            })
+        );
+        // lbu x15, -1(x8)
+        assert_eq!(
+            decode(0xfff4_4783),
+            Ok(RvInstr::Load {
+                width: MemWidth::Byte,
+                signed: false,
+                rd: 15,
+                rs1: 8,
+                imm: -1
+            })
+        );
+        // sh x16, 6(x17)
+        assert_eq!(
+            decode(0x0108_9323),
+            Ok(RvInstr::Store {
+                width: MemWidth::Half,
+                rs2: 16,
+                rs1: 17,
+                imm: 6
+            })
+        );
+        // srai x18, x19, 4
+        assert_eq!(
+            decode(0x4049_d913),
+            Ok(RvInstr::OpImm {
+                op: AluOp::Sraw,
+                rd: 18,
+                rs1: 19,
+                imm: 4
+            })
+        );
+        // sub x20, x21, x22
+        assert_eq!(
+            decode(0x416a_8a33),
+            Ok(RvInstr::Op {
+                op: AluOp::Subw,
+                rd: 20,
+                rs1: 21,
+                rs2: 22
+            })
+        );
+        // sltu x1, x2, x3
+        assert_eq!(
+            decode(0x0031_30b3),
+            Ok(RvInstr::Op {
+                op: AluOp::Sltu,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            })
+        );
+        assert_eq!(decode(0x0000_000f), Ok(RvInstr::Fence));
+        assert_eq!(decode(0x0000_0073), Ok(RvInstr::Ecall));
+        assert_eq!(decode(0x0010_0073), Ok(RvInstr::Ebreak));
+    }
+
+    #[test]
+    fn rejects_non_base_encodings_structurally() {
+        // All-zeros and all-ones are the defined illegal patterns.
+        assert!(matches!(decode(0), Err(DecodeError::Compressed { .. })));
+        assert!(matches!(
+            decode(0xffff_ffff),
+            Err(DecodeError::Illegal { .. })
+        ));
+        // Compressed-quadrant low bits.
+        assert!(matches!(
+            decode(0x0000_4501),
+            Err(DecodeError::Compressed { .. })
+        ));
+        // mul x5, x6, x7 (M extension).
+        let e = decode(0x0273_02b3).unwrap_err();
+        assert!(e.to_string().contains("M-extension"), "{e}");
+        // csrrw (Zicsr).
+        assert!(decode(0x3000_9073).is_err());
+        // fence.i (Zifencei).
+        assert!(decode(0x0000_100f).is_err());
+        // Branch funct3 = 010 is reserved.
+        assert!(decode(0x00b5_2863).is_err());
+        // slli with funct7 != 0.
+        assert!(decode(0x4021_1093).is_err());
+        // Unknown major opcode (e.g. FP load, 0000111).
+        assert!(decode(0x0000_2007).is_err());
+        // Every error Display is one line.
+        for w in [0u32, 0xffff_ffff, 0x0273_02b3, 0x3000_9073] {
+            if let Err(e) = decode(w) {
+                let msg = e.to_string();
+                assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn immediates_cover_their_signed_ranges() {
+        // addi x1, x1, 2047 / -2048: the I-type extremes.
+        assert_eq!(
+            decode(0x7ff0_8093),
+            Ok(RvInstr::OpImm {
+                op: AluOp::Addw,
+                rd: 1,
+                rs1: 1,
+                imm: 2047
+            })
+        );
+        assert_eq!(
+            decode(0x8000_8093),
+            Ok(RvInstr::OpImm {
+                op: AluOp::Addw,
+                rd: 1,
+                rs1: 1,
+                imm: -2048
+            })
+        );
+        // sw x1, -4(x2): S-type negative offset reassembles the split field.
+        assert_eq!(
+            decode(0xfe11_2e23),
+            Ok(RvInstr::Store {
+                width: MemWidth::Word,
+                rs2: 1,
+                rs1: 2,
+                imm: -4
+            })
+        );
+    }
+}

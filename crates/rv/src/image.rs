@@ -1,0 +1,376 @@
+//! The `.rv.bin` flat-image container.
+//!
+//! A deliberately small, fully-validated format for committed RV32I
+//! workloads — close in spirit to a stripped flat binary, plus the
+//! three pieces of metadata the translator needs (entry point, memory
+//! size, and the address-taken table for indirect-branch targets):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "RV32"
+//!      4     4  version (LE u32, currently 1)
+//!      8     4  entry        — byte address into text, 4-aligned
+//!     12     4  text_len     — bytes of code, multiple of 4
+//!     16     4  data_base    — byte address of the data segment, 8-aligned
+//!     20     4  data_len     — bytes of initialized data
+//!     24     4  mem_bytes    — total data-memory size, 8-aligned
+//!     28     4  n_indirect   — count of address-taken entries
+//!     32     …  n_indirect × LE u32 byte addresses into text
+//!      …     …  text bytes, then data bytes; nothing may follow
+//! ```
+//!
+//! All multi-byte fields are explicit little-endian reads
+//! (`from_le_bytes`); sizes go through `try_from`, never lossy `as`
+//! casts; every malformation is a one-line structured [`ImageError`].
+
+use std::fmt;
+
+/// Upper bound on the text segment (16 MiB) — large enough for any
+/// committed workload, small enough that a corrupt length field cannot
+/// drive a pathological allocation.
+pub const MAX_TEXT_BYTES: u32 = 16 << 20;
+
+/// Upper bound on simulated data memory (1 GiB).
+pub const MAX_MEM_BYTES: u32 = 1 << 30;
+
+const MAGIC: [u8; 4] = *b"RV32";
+const VERSION: u32 = 1;
+
+/// A parsed (structurally valid) flat RV32I image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RvImage {
+    /// Entry point as a byte address into the text segment.
+    pub entry: u32,
+    /// The code, as raw little-endian instruction words.
+    pub text: Vec<u32>,
+    /// Byte address where the data segment is loaded (8-aligned).
+    pub data_base: u32,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Total data-memory size in bytes (8-aligned).
+    pub mem_bytes: u32,
+    /// Address-taken byte addresses into text (potential indirect
+    /// targets: function pointers, jump-table entries).
+    pub indirect: Vec<u32>,
+}
+
+/// A malformed or truncated `.rv.bin` image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image ends before a required field or segment.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes needed beyond what is present.
+        missing: usize,
+    },
+    /// The magic bytes are not `RV32`.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion {
+        /// The version found.
+        found: u32,
+    },
+    /// A header field violates its contract.
+    BadField {
+        /// The offending field.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The violated constraint.
+        why: &'static str,
+    },
+    /// Bytes remain after the data segment.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated { what, missing } => {
+                write!(f, "truncated image: {what} needs {missing} more byte(s)")
+            }
+            ImageError::BadMagic => write!(f, "not an RV32 image (bad magic)"),
+            ImageError::BadVersion { found } => {
+                write!(f, "unsupported image version {found} (want {VERSION})")
+            }
+            ImageError::BadField { field, value, why } => {
+                write!(f, "bad image field {field}={value:#x}: {why}")
+            }
+            ImageError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the data segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Cursor over the raw bytes with explicit little-endian reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ImageError> {
+        let remaining = self.bytes.len() - self.pos;
+        if remaining < n {
+            return Err(ImageError::Truncated {
+                what,
+                missing: n - remaining,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32_le(&mut self, what: &'static str) -> Result<u32, ImageError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+fn field(field: &'static str, value: u32, why: &'static str) -> ImageError {
+    ImageError::BadField {
+        field,
+        value: u64::from(value),
+        why,
+    }
+}
+
+impl RvImage {
+    /// Parses and fully validates a `.rv.bin` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on any truncation, bad field, or trailing
+    /// bytes — this function never panics, whatever the input.
+    pub fn parse(bytes: &[u8]) -> Result<RvImage, ImageError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4, "magic")? != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = r.u32_le("version")?;
+        if version != VERSION {
+            return Err(ImageError::BadVersion { found: version });
+        }
+        let entry = r.u32_le("entry")?;
+        let text_len = r.u32_le("text_len")?;
+        let data_base = r.u32_le("data_base")?;
+        let data_len = r.u32_le("data_len")?;
+        let mem_bytes = r.u32_le("mem_bytes")?;
+        let n_indirect = r.u32_le("n_indirect")?;
+
+        if text_len % 4 != 0 {
+            return Err(field("text_len", text_len, "not a multiple of 4"));
+        }
+        if text_len == 0 {
+            return Err(field("text_len", text_len, "empty text segment"));
+        }
+        if text_len > MAX_TEXT_BYTES {
+            return Err(field("text_len", text_len, "exceeds the 16 MiB text cap"));
+        }
+        if entry % 4 != 0 {
+            return Err(field("entry", entry, "not 4-aligned"));
+        }
+        if entry >= text_len {
+            return Err(field("entry", entry, "outside the text segment"));
+        }
+        if mem_bytes % 8 != 0 {
+            return Err(field("mem_bytes", mem_bytes, "not a multiple of 8"));
+        }
+        if mem_bytes == 0 || mem_bytes > MAX_MEM_BYTES {
+            return Err(field("mem_bytes", mem_bytes, "outside (0, 1 GiB]"));
+        }
+        if data_base % 8 != 0 {
+            return Err(field("data_base", data_base, "not 8-aligned"));
+        }
+        let data_end = u64::from(data_base) + u64::from(data_len);
+        if data_end > u64::from(mem_bytes) {
+            return Err(ImageError::BadField {
+                field: "data_len",
+                value: data_end,
+                why: "data segment extends past mem_bytes",
+            });
+        }
+        if n_indirect > text_len / 4 {
+            return Err(field(
+                "n_indirect",
+                n_indirect,
+                "more entries than instructions",
+            ));
+        }
+
+        let mut indirect = Vec::new();
+        for _ in 0..n_indirect {
+            let addr = r.u32_le("indirect entry")?;
+            if addr % 4 != 0 {
+                return Err(field("indirect entry", addr, "not 4-aligned"));
+            }
+            if addr >= text_len {
+                return Err(field("indirect entry", addr, "outside the text segment"));
+            }
+            indirect.push(addr);
+        }
+
+        let n_words = usize::try_from(text_len / 4)
+            .map_err(|_| field("text_len", text_len, "does not fit in memory"))?;
+        let text_bytes = r.take(n_words * 4, "text segment")?;
+        let text: Vec<u32> = text_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+
+        let data_n = usize::try_from(data_len)
+            .map_err(|_| field("data_len", data_len, "does not fit in memory"))?;
+        let data = r.take(data_n, "data segment")?.to_vec();
+
+        let extra = bytes.len() - r.pos;
+        if extra != 0 {
+            return Err(ImageError::TrailingBytes { extra });
+        }
+
+        Ok(RvImage {
+            entry,
+            text,
+            data_base,
+            data,
+            mem_bytes,
+            indirect,
+        })
+    }
+
+    /// Serializes the image back to the on-disk format. Inverse of
+    /// [`RvImage::parse`] for valid images (round-trip tested).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.text.len() * 4 + self.data.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.text.len() as u32 * 4).to_le_bytes());
+        out.extend_from_slice(&self.data_base.to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mem_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.indirect.len() as u32).to_le_bytes());
+        for a in &self.indirect {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for w in &self.text {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// The data segment packed into 64-bit backing words (little-endian
+    /// bytes, eight per word), as `(word_address, words)` for
+    /// `Workload`-style image loading.
+    #[must_use]
+    pub fn data_words(&self) -> Vec<(u64, Vec<u64>)> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        let mut words = Vec::with_capacity(self.data.len().div_ceil(8));
+        for chunk in self.data.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(b));
+        }
+        vec![(u64::from(self.data_base) / 8, words)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RvImage {
+        RvImage {
+            entry: 4,
+            // addi x0,x0,0 (nop); ebreak
+            text: vec![0x0000_0013, 0x0010_0073],
+            data_base: 16,
+            data: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+            mem_bytes: 64,
+            indirect: vec![0],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        assert_eq!(RvImage::parse(&bytes), Ok(img));
+    }
+
+    #[test]
+    fn packs_data_into_le_words() {
+        let img = sample();
+        let packed = img.data_words();
+        assert_eq!(packed.len(), 1);
+        let (base, words) = &packed[0];
+        assert_eq!(*base, 2); // byte 16 → word 2
+        assert_eq!(words[0], u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(words[1], 9); // zero-padded tail
+    }
+
+    #[test]
+    fn every_truncation_point_is_structured() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = RvImage::parse(&bytes[..cut]).unwrap_err();
+            let msg = err.to_string();
+            assert!(!msg.is_empty() && !msg.contains('\n'), "cut {cut}: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_field_violations() {
+        let mut img = sample();
+        img.entry = 3; // misaligned
+        assert!(matches!(
+            RvImage::parse(&img.to_bytes()),
+            Err(ImageError::BadField { field: "entry", .. })
+        ));
+
+        let mut img = sample();
+        img.entry = 8; // == text_len
+        assert!(RvImage::parse(&img.to_bytes()).is_err());
+
+        let mut img = sample();
+        img.mem_bytes = 12; // not 8-aligned
+        assert!(RvImage::parse(&img.to_bytes()).is_err());
+
+        let mut img = sample();
+        img.data_base = 60; // data extends past mem_bytes
+        assert!(RvImage::parse(&img.to_bytes()).is_err());
+
+        let mut img = sample();
+        img.indirect = vec![4, 12]; // 12 is outside text
+        assert!(RvImage::parse(&img.to_bytes()).is_err());
+
+        let mut bytes = sample().to_bytes();
+        bytes.push(0); // trailing byte
+        assert!(matches!(
+            RvImage::parse(&bytes),
+            Err(ImageError::TrailingBytes { extra: 1 })
+        ));
+
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(RvImage::parse(&bytes), Err(ImageError::BadMagic));
+
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 9;
+        assert!(matches!(
+            RvImage::parse(&bytes),
+            Err(ImageError::BadVersion { found: 9 })
+        ));
+    }
+}

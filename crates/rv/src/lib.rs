@@ -1,0 +1,58 @@
+//! RV32I front end for the trace-cache simulator.
+//!
+//! The synthetic workload suite exercises the timing model, but the
+//! paper's results were measured on real compiled binaries. This crate
+//! closes that gap: it decodes flat RV32I images (every base-ISA
+//! encoding, with precise illegal-instruction diagnostics) and
+//! *translates* them onto the `tc-isa` substrate, so the whole stack —
+//! fast-forward, sampling, checkpointing, tracing, fault injection,
+//! analysis plans, `tw serve` — runs real code with zero changes to the
+//! timing model.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! .rv.bin image ──parse──▶ raw words ──decode──▶ RvInstr
+//!                                        │
+//!                                   translate
+//!                                        ▼
+//!                              tc_isa::Program + data image
+//! ```
+//!
+//! # Translation contract
+//!
+//! The substrate is a fixed-width ISA whose program counter is an
+//! *instruction index*, not a byte address, and whose registers are
+//! positionally identical to RISC-V's (`x0` = `zero`, `x1` = `ra`, …).
+//! Translation preserves control-flow *kind* exactly — RV32I calls,
+//! returns, and indirect jumps lower to the substrate's `call`/`ret`/
+//! `jr` — so return-address-stack and branch-classification timing is
+//! bit-faithful. The invariants:
+//!
+//! * **Code pointers live in the translated index domain.** A link
+//!   value or a jump-table entry is the index of the first translated
+//!   instruction of its RV target. The bundled assembler maintains this
+//!   for `la`-materialized and `.word`-stored text labels; `auipc`
+//!   yields byte-domain PC constants for *data* addressing only.
+//! * **Register values are canonically sign-extended 32-bit.** Every
+//!   translated operation preserves this form (`addw`-family ALU ops,
+//!   sign-extending word loads), so signed and unsigned comparisons are
+//!   exact under the 64-bit substrate.
+//! * **Data addresses are RV byte addresses** over little-endian bytes
+//!   packed eight to a backing word; naturally-aligned accesses never
+//!   span words. Misaligned accesses fault.
+//! * **`x4` (`tp`) is reserved as translator scratch**; images that
+//!   touch it are rejected.
+//! * Programs initialize `sp` themselves and terminate via `ebreak`.
+
+pub mod decode;
+pub mod image;
+pub mod rvasm;
+pub mod suite;
+pub mod translate;
+
+pub use decode::{decode, DecodeError, RvInstr};
+pub use image::{ImageError, RvImage};
+pub use rvasm::{assemble_rv, RvAsmError};
+pub use suite::{RvProgram, PROGRAMS};
+pub use translate::{translate, TranslateError, Translated};

@@ -1,0 +1,184 @@
+//! The committed RV32I workload suite.
+//!
+//! Each program ships as assembly source (`programs/<name>.s`) plus the
+//! flat `.rv.bin` image it assembles to, both embedded in the binary.
+//! The image is the artifact the front end actually consumes; the
+//! source is kept alongside so the suite stays auditable and
+//! regenerable (`cargo run -p tc-rv --bin rvgen`). A test asserts the
+//! two never drift apart.
+
+use crate::image::RvImage;
+use crate::translate::{translate, Translated};
+
+/// One committed RV32I workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RvProgram {
+    /// Short name; surfaced to the CLI as `rv/<name>`.
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub short: &'static str,
+    /// The assembly source the image was generated from.
+    pub source: &'static str,
+    /// The committed flat image (`.rv.bin`).
+    pub image: &'static [u8],
+}
+
+macro_rules! programs {
+    ($(($name:literal, $short:literal),)*) => {
+        &[$(RvProgram {
+            name: $name,
+            short: $short,
+            source: include_str!(concat!("../programs/", $name, ".s")),
+            image: include_bytes!(concat!("../programs/", $name, ".rv.bin")),
+        },)*]
+    };
+}
+
+/// Every committed RV32I workload, in listing order.
+pub const PROGRAMS: &[RvProgram] = programs![
+    (
+        "bubble",
+        "bubble sort over a 16-word array, reseeded each round"
+    ),
+    ("qsort", "recursive quicksort with real stack frames"),
+    ("strops", "byte-wise strlen/strcpy/memset string kernels"),
+    ("matmul", "8x8 integer matmul with shift-add multiply"),
+    ("listchase", "pointer chasing over a 256-node linked list"),
+    ("fib", "naively recursive fibonacci, deep call tree"),
+    ("crc", "bitwise crc32 over a 64-byte buffer"),
+    ("sieve", "sieve of eratosthenes over a byte array"),
+    ("bsearch", "binary search with data-dependent branches"),
+    ("dispatch", "jump-table interpreter dispatch loop"),
+];
+
+impl RvProgram {
+    /// Looks a program up by its short name.
+    #[must_use]
+    pub fn find(name: &str) -> Option<&'static RvProgram> {
+        PROGRAMS.iter().find(|p| p.name == name)
+    }
+
+    /// Parses the committed image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committed image is corrupt — a build artifact
+    /// invariant, enforced by the suite tests.
+    #[must_use]
+    pub fn parse(&self) -> RvImage {
+        RvImage::parse(self.image)
+            .unwrap_or_else(|e| panic!("committed image for rv/{} is corrupt: {e}", self.name))
+    }
+
+    /// Translates the committed image onto the substrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committed image fails to translate — same build
+    /// artifact invariant as [`RvProgram::parse`].
+    #[must_use]
+    pub fn build(&self) -> Translated {
+        translate(&self.parse()).unwrap_or_else(|e| {
+            panic!(
+                "committed image for rv/{} does not translate: {e}",
+                self.name
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rvasm::assemble_rv;
+    use tc_isa::{Machine, StepOutcome};
+
+    #[test]
+    fn committed_images_match_their_sources() {
+        for p in PROGRAMS {
+            let image = assemble_rv(p.source)
+                .unwrap_or_else(|e| panic!("rv/{} does not assemble: {e}", p.name));
+            assert_eq!(
+                image.to_bytes(),
+                p.image,
+                "rv/{}: committed .rv.bin is stale; run `cargo run -p tc-rv --bin rvgen`",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_program_parses_and_translates() {
+        for p in PROGRAMS {
+            let t = p.build();
+            assert!(!t.program.is_empty(), "rv/{} is empty", p.name);
+        }
+    }
+
+    #[test]
+    fn every_program_halts_within_its_work_budget() {
+        // Each program's ebreak must be dynamically reachable: run with
+        // a giant budget and require a clean halt. Rounds are sized so
+        // real simulations (2M-instruction default) stop mid-workload,
+        // but the halt path is exercised here end to end.
+        for p in PROGRAMS {
+            let t = p.build();
+            let mut m = Machine::new(t.program.entry(), t.mem_words);
+            for (base, words) in &t.image {
+                m.load_image(*base, words);
+            }
+            let mut halted = false;
+            for _ in 0..2_000_000_000u64 {
+                match m
+                    .step(&t.program)
+                    .unwrap_or_else(|e| panic!("rv/{} faulted: {e}", p.name))
+                {
+                    StepOutcome::Executed(_) => {}
+                    StepOutcome::Halted => {
+                        halted = true;
+                        break;
+                    }
+                }
+            }
+            assert!(halted, "rv/{} did not halt", p.name);
+        }
+    }
+
+    #[test]
+    fn programs_are_busy_enough_for_the_default_budget() {
+        // Simulations default to a 2M-instruction budget; every suite
+        // member must still be mid-workload there so measured windows
+        // are steady-state, not drain-out.
+        for p in PROGRAMS {
+            let t = p.build();
+            let mut m = Machine::new(t.program.entry(), t.mem_words);
+            for (base, words) in &t.image {
+                m.load_image(*base, words);
+            }
+            for _ in 0..2_000_000u64 {
+                match m
+                    .step(&t.program)
+                    .unwrap_or_else(|e| panic!("rv/{} faulted: {e}", p.name))
+                {
+                    StepOutcome::Executed(_) => {}
+                    StepOutcome::Halted => {
+                        panic!("rv/{} halted before the 2M-instruction budget", p.name)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for p in PROGRAMS {
+            assert!(seen.insert(p.name), "duplicate program name {}", p.name);
+            assert!(
+                p.name.chars().all(|c| c.is_ascii_lowercase()),
+                "bad name {}",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Lowering decoded RV32I onto the `tc_isa` substrate.
+//!
+//! The substrate PC is an *instruction index*; RV32I PCs are byte
+//! addresses. Translation is per-instruction with variable expansion
+//! (most instructions lower 1:1; `jal`/`jalr` link forms need up to
+//! three substrate instructions), so a static map from RV instruction
+//! index to translated index is built first and every direct target is
+//! rewritten through it.
+//!
+//! Code-pointer values — link registers, `la`-materialized function
+//! pointers, jump-table words — live in the *translated index domain*:
+//! the substrate's `call` writes `pc + 1` (a translated index), and the
+//! bundled assembler emits translated indices for text-label constants
+//! using the same [`expansion_len`] function, so the two always agree.
+//! Foreign binaries that manufacture byte-address code pointers
+//! arithmetically are outside this contract (and will fault the PC
+//! bounds check rather than corrupt state).
+//!
+//! `x4` (`tp`) is reserved as translator scratch for the `jalr`
+//! expansions; images that touch it are rejected.
+
+use std::fmt;
+
+use tc_isa::{Addr, AluOp, Instr, Program, ProgramError, Reg};
+
+use crate::decode::{decode, DecodeError, RvInstr};
+use crate::image::RvImage;
+
+/// The translator's scratch register: RV `x4` (`tp`), which compiled
+/// code does not use outside thread-local runtimes.
+const SCRATCH: u8 = 4;
+
+/// A fully translated image: the substrate program plus its packed
+/// data-memory description, ready to wrap into a workload.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// The lowered program.
+    pub program: Program,
+    /// Total data-memory size in 64-bit words.
+    pub mem_words: usize,
+    /// Initialized-data image as `(word_address, words)` runs.
+    pub image: Vec<(u64, Vec<u64>)>,
+    /// Map from RV instruction index to translated instruction index
+    /// (one extra entry at the end holding the program length).
+    pub index_map: Vec<u32>,
+}
+
+/// Why an image cannot be lowered onto the substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A text word failed to decode.
+    Decode {
+        /// Byte address of the word.
+        pc: u32,
+        /// The decoder's diagnostic.
+        err: DecodeError,
+    },
+    /// The instruction names the reserved scratch register `x4`.
+    ReservedRegister {
+        /// Byte address of the instruction.
+        pc: u32,
+    },
+    /// A `jalr` offset is not a multiple of 4, so it cannot address an
+    /// instruction boundary in the index domain.
+    MisalignedJalrOffset {
+        /// Byte address of the instruction.
+        pc: u32,
+        /// The offending immediate.
+        imm: i32,
+    },
+    /// A direct branch or jump target leaves the text segment or is
+    /// not 4-aligned.
+    BadTarget {
+        /// Byte address of the instruction.
+        pc: u32,
+        /// The computed target byte address.
+        target: i64,
+    },
+    /// Final program validation failed (should be unreachable for
+    /// targets this module has already checked).
+    Program(ProgramError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Decode { pc, err } => write!(f, "at {pc:#x}: {err}"),
+            TranslateError::ReservedRegister { pc } => {
+                write!(f, "at {pc:#x}: x4 (tp) is reserved as translator scratch")
+            }
+            TranslateError::MisalignedJalrOffset { pc, imm } => {
+                write!(f, "at {pc:#x}: jalr offset {imm} is not a multiple of 4")
+            }
+            TranslateError::BadTarget { pc, target } => {
+                write!(f, "at {pc:#x}: branch target {target:#x} outside text")
+            }
+            TranslateError::Program(e) => write!(f, "translated program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// How many substrate instructions one RV instruction lowers to.
+/// Shared with the assembler, which uses it to compute the translated
+/// index of text labels — the two must agree exactly.
+#[must_use]
+pub fn expansion_len(i: &RvInstr) -> u32 {
+    match i {
+        RvInstr::Jal { rd, .. } => {
+            if *rd <= 1 {
+                1
+            } else {
+                2
+            }
+        }
+        RvInstr::Jalr { rd, imm, .. } => match (*rd, *imm) {
+            (0 | 1, 0) => 1,
+            (0 | 1, _) => 2,
+            _ => 3,
+        },
+        _ => 1,
+    }
+}
+
+/// Whether the instruction reads or writes the reserved scratch `x4`.
+fn uses_scratch(i: &RvInstr) -> bool {
+    let regs: [u8; 3] = match *i {
+        RvInstr::Lui { rd, .. } | RvInstr::Auipc { rd, .. } | RvInstr::Jal { rd, .. } => [rd, 0, 0],
+        RvInstr::Jalr { rd, rs1, .. } => [rd, rs1, 0],
+        RvInstr::Branch { rs1, rs2, .. } => [rs1, rs2, 0],
+        RvInstr::Load { rd, rs1, .. } => [rd, rs1, 0],
+        RvInstr::Store { rs2, rs1, .. } => [rs2, rs1, 0],
+        RvInstr::OpImm { rd, rs1, .. } => [rd, rs1, 0],
+        RvInstr::Op { rd, rs1, rs2, .. } => [rd, rs1, rs2],
+        RvInstr::Fence | RvInstr::Ecall | RvInstr::Ebreak => [0, 0, 0],
+    };
+    regs.contains(&SCRATCH)
+}
+
+fn reg(r: u8) -> Reg {
+    // Decoded register fields are 5 bits, so this cannot panic.
+    Reg::new(r)
+}
+
+/// Translates a parsed image into a substrate program plus its memory
+/// description.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] if any word fails to decode, touches the
+/// reserved scratch register, or targets outside the text segment.
+pub fn translate(image: &RvImage) -> Result<Translated, TranslateError> {
+    let n = image.text.len();
+    let text_bytes = (n as u32) * 4;
+
+    // Pass 1: decode everything, reject scratch-register use, and lay
+    // out the index map.
+    let mut decoded = Vec::with_capacity(n);
+    let mut index_map = Vec::with_capacity(n + 1);
+    let mut at: u32 = 0;
+    for (i, &word) in image.text.iter().enumerate() {
+        let pc = (i as u32) * 4;
+        let instr = decode(word).map_err(|err| TranslateError::Decode { pc, err })?;
+        if uses_scratch(&instr) {
+            return Err(TranslateError::ReservedRegister { pc });
+        }
+        index_map.push(at);
+        at += expansion_len(&instr);
+        decoded.push(instr);
+    }
+    index_map.push(at);
+
+    // Resolves a PC-relative byte target to a translated-index Addr.
+    let resolve = |pc: u32, offset: i32| -> Result<Addr, TranslateError> {
+        let target = i64::from(pc) + i64::from(offset);
+        if target < 0 || target >= i64::from(text_bytes) || target % 4 != 0 {
+            return Err(TranslateError::BadTarget { pc, target });
+        }
+        Ok(Addr::new(index_map[(target / 4) as usize]))
+    };
+
+    // Pass 2: emit.
+    let mut out: Vec<Instr> = Vec::with_capacity(at as usize);
+    for (i, instr) in decoded.iter().enumerate() {
+        let pc = (i as u32) * 4;
+        // The translated index of the *next* RV instruction: what a
+        // link register receives (tail-positioned calls write exactly
+        // this as pc + 1).
+        let next_idx = index_map[i + 1] as i32;
+        match *instr {
+            RvInstr::Lui { rd, imm } => out.push(Instr::Li { rd: reg(rd), imm }),
+            RvInstr::Auipc { rd, imm } => out.push(Instr::Li {
+                rd: reg(rd),
+                imm: (pc as i32).wrapping_add(imm),
+            }),
+            RvInstr::OpImm { op, rd, rs1, imm } => out.push(Instr::AluImm {
+                op,
+                rd: reg(rd),
+                rs1: reg(rs1),
+                imm,
+            }),
+            RvInstr::Op { op, rd, rs1, rs2 } => out.push(Instr::Alu {
+                op,
+                rd: reg(rd),
+                rs1: reg(rs1),
+                rs2: reg(rs2),
+            }),
+            RvInstr::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => out.push(Instr::LoadN {
+                rd: reg(rd),
+                base: reg(rs1),
+                offset: imm,
+                width,
+                signed,
+            }),
+            RvInstr::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => out.push(Instr::StoreN {
+                src: reg(rs2),
+                base: reg(rs1),
+                offset: imm,
+                width,
+            }),
+            RvInstr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => out.push(Instr::Branch {
+                cond,
+                rs1: reg(rs1),
+                rs2: reg(rs2),
+                target: resolve(pc, offset)?,
+            }),
+            RvInstr::Jal { rd, offset } => {
+                let target = resolve(pc, offset)?;
+                match rd {
+                    0 => out.push(Instr::Jump { target }),
+                    1 => out.push(Instr::Call { target }),
+                    _ => {
+                        out.push(Instr::Li {
+                            rd: reg(rd),
+                            imm: next_idx,
+                        });
+                        out.push(Instr::Jump { target });
+                    }
+                }
+            }
+            RvInstr::Jalr { rd, rs1, imm } => {
+                if imm % 4 != 0 {
+                    return Err(TranslateError::MisalignedJalrOffset { pc, imm });
+                }
+                let add_scratch = Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: reg(SCRATCH),
+                    rs1: reg(rs1),
+                    imm: imm / 4,
+                };
+                match (rd, rs1, imm) {
+                    (0, 1, 0) => out.push(Instr::Ret),
+                    (0, _, 0) => out.push(Instr::JumpInd { base: reg(rs1) }),
+                    (1, _, 0) => out.push(Instr::CallInd { base: reg(rs1) }),
+                    (0, _, _) => {
+                        out.push(add_scratch);
+                        out.push(Instr::JumpInd { base: reg(SCRATCH) });
+                    }
+                    (1, _, _) => {
+                        out.push(add_scratch);
+                        out.push(Instr::CallInd { base: reg(SCRATCH) });
+                    }
+                    _ => {
+                        // General link register: snapshot the target
+                        // first so `rd == rs1` cannot clobber it.
+                        out.push(add_scratch);
+                        out.push(Instr::Li {
+                            rd: reg(rd),
+                            imm: next_idx,
+                        });
+                        out.push(Instr::JumpInd { base: reg(SCRATCH) });
+                    }
+                }
+            }
+            RvInstr::Fence => out.push(Instr::Nop),
+            RvInstr::Ecall => out.push(Instr::Trap { code: 0 }),
+            RvInstr::Ebreak => out.push(Instr::Halt),
+        }
+    }
+    debug_assert_eq!(out.len() as u32, at);
+
+    let entry = Addr::new(index_map[(image.entry / 4) as usize]);
+    let taken: Vec<Addr> = image
+        .indirect
+        .iter()
+        .map(|&b| Addr::new(index_map[(b / 4) as usize]))
+        .collect();
+    let program =
+        Program::with_address_taken(out, entry, taken).map_err(TranslateError::Program)?;
+
+    Ok(Translated {
+        program,
+        mem_words: (image.mem_bytes / 8) as usize,
+        image: image.data_words(),
+        index_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_isa::{ControlKind, Machine, StepOutcome};
+
+    fn image_of(text: Vec<u32>) -> RvImage {
+        RvImage {
+            entry: 0,
+            text,
+            data_base: 0,
+            data: Vec::new(),
+            mem_bytes: 1 << 16,
+            indirect: Vec::new(),
+        }
+    }
+
+    fn run(image: &RvImage, max: u64) -> Machine {
+        let t = translate(image).expect("translates");
+        let mut m = Machine::new(t.program.entry(), t.mem_words);
+        for (base, words) in &t.image {
+            m.load_image(*base, words);
+        }
+        for _ in 0..max {
+            match m.step(&t.program).expect("no fault") {
+                StepOutcome::Executed(_) => {}
+                StepOutcome::Halted => break,
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn lowers_arithmetic_loop_with_exact_rv32_wrap() {
+        // x5 = 0; x6 = 10; loop { x5 += x6; x6 -= 1 } until x6 == 0; ebreak
+        let text = vec![
+            0x0000_0293, // addi x5, x0, 0
+            0x00a0_0313, // addi x6, x0, 10
+            0x0062_82b3, // add  x5, x5, x6
+            0xfff3_0313, // addi x6, x6, -1
+            0xfe03_1ce3, // bne  x6, x0, -8
+            0x0010_0073, // ebreak
+        ];
+        let m = run(&image_of(text), 1000);
+        assert!(m.is_halted());
+        assert_eq!(m.reg(Reg::new(5)), 55);
+        assert_eq!(m.reg(Reg::new(6)), 0);
+    }
+
+    #[test]
+    fn call_and_return_use_substrate_control_kinds() {
+        // main: jal ra, f; ebreak.  f: ret.
+        let text = vec![
+            0x0080_00ef, // jal x1, +8
+            0x0010_0073, // ebreak
+            0x0000_8067, // jalr x0, 0(x1) = ret
+        ];
+        let t = translate(&image_of(text)).expect("translates");
+        let kinds: Vec<ControlKind> = (0..t.program.len() as u32)
+            .map(|i| t.program.fetch(Addr::new(i)).unwrap().control_kind())
+            .collect();
+        assert_eq!(
+            kinds,
+            [ControlKind::Call, ControlKind::None, ControlKind::Return]
+        );
+        let m = run(&image_of(vec![0x0080_00ef, 0x0010_0073, 0x0000_8067]), 10);
+        assert!(m.is_halted());
+        // The link value is the translated index of the instruction
+        // after the call.
+        assert_eq!(m.reg(Reg::RA), 1);
+    }
+
+    #[test]
+    fn jal_with_general_link_register_expands() {
+        // jal x6, +8; ebreak; ebreak — x6 gets the *translated* index
+        // of the instruction after the (2-wide) jal expansion.
+        let text = vec![0x0080_036f, 0x0010_0073, 0x0010_0073];
+        let t = translate(&image_of(text)).expect("translates");
+        assert_eq!(t.index_map, vec![0, 2, 3, 4]);
+        let m = run(&image_of(vec![0x0080_036f, 0x0010_0073, 0x0010_0073]), 10);
+        assert!(m.is_halted());
+        assert_eq!(m.reg(Reg::new(6)), 2);
+    }
+
+    #[test]
+    fn subword_memory_round_trips_through_packed_words() {
+        // sb/lb + sh/lhu over sp-relative memory.
+        let text = vec![
+            0x1000_0113, // addi x2, x0, 256      (sp = byte 256)
+            0xf9c0_0293, // addi x5, x0, -100
+            0x0051_0023, // sb   x5, 0(x2)
+            0x0001_0303, // lb   x6, 0(x2)
+            0x0001_4383, // lbu  x7, 0(x2)
+            0x0051_1123, // sh   x5, 2(x2)
+            0x0021_5403, // lhu  x8, 2(x2)
+            0x0010_0073, // ebreak
+        ];
+        let m = run(&image_of(text), 20);
+        assert!(m.is_halted());
+        assert_eq!(m.reg(Reg::new(6)) as i64, -100);
+        assert_eq!(m.reg(Reg::new(7)), 156);
+        assert_eq!(m.reg(Reg::new(8)), 0xff9c);
+    }
+
+    #[test]
+    fn rejects_scratch_register_and_bad_targets() {
+        // addi x4, x0, 1
+        let err = translate(&image_of(vec![0x0010_0213, 0x0010_0073])).unwrap_err();
+        assert!(matches!(err, TranslateError::ReservedRegister { pc: 0 }));
+        // jal x0, +64 (outside a 2-instruction text)
+        let err = translate(&image_of(vec![0x0400_006f, 0x0010_0073])).unwrap_err();
+        assert!(matches!(err, TranslateError::BadTarget { .. }));
+        // jalr x0, 2(x1): misaligned offset
+        let err = translate(&image_of(vec![0x0020_8067, 0x0010_0073])).unwrap_err();
+        assert!(matches!(err, TranslateError::MisalignedJalrOffset { .. }));
+        // Undecodable word surfaces the decode diagnostic with its pc.
+        let err = translate(&image_of(vec![0x0010_0073, 0xffff_ffff])).unwrap_err();
+        assert!(matches!(err, TranslateError::Decode { pc: 4, .. }));
+        assert!(!err.to_string().contains('\n'));
+    }
+}

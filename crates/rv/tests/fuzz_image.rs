@@ -1,0 +1,215 @@
+//! Seeded never-panic fuzzing of the RV32I front end.
+//!
+//! Two attack surfaces, both must return `Ok` or a structured `Err`
+//! (never panic) on arbitrary input — no `catch_unwind`, the property
+//! is that the panic path is unreachable:
+//!
+//! * the decoder: raw instruction words straight out of the RNG, and
+//!   word streams mutated from a valid program's text;
+//! * the loader + translator: mutated `.rv.bin` byte images through
+//!   `RvImage::parse` and, for mutants that still parse, `translate` —
+//!   exactly what `tw rv FILE` and the workload registry feed with
+//!   whatever is on disk.
+
+use tc_rv::{assemble_rv, decode, translate, RvImage};
+
+/// xoshiro256** seeded via SplitMix64 (Blackman & Vigna). Local copy:
+/// the workspace builds offline with no external crates.
+struct Xoshiro([u64; 4]);
+
+impl Xoshiro {
+    fn seeded(seed: u64) -> Xoshiro {
+        let mut s = seed;
+        let mut split = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro([split(), split(), split(), split()])
+    }
+
+    fn next(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.0;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.0 = [n0, n1, n2, n3];
+        result
+    }
+}
+
+fn mutate(rng: &mut Xoshiro, input: &[u8]) -> Vec<u8> {
+    let mut bytes = input.to_vec();
+    let edits = 1 + (rng.next() as usize % 8);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.push(rng.next() as u8);
+            continue;
+        }
+        let at = rng.next() as usize % bytes.len();
+        match rng.next() % 4 {
+            0 => bytes[at] = rng.next() as u8,
+            1 => bytes.insert(at, rng.next() as u8),
+            2 => {
+                bytes.remove(at);
+            }
+            _ => bytes.truncate(at),
+        }
+    }
+    bytes
+}
+
+/// A small but instruction-rich corpus: every major format (R/I/S/B/
+/// U/J), loads and stores of each width, a call, an indirect jump via
+/// a data-resident code pointer, and the trap.
+const VALID: &str = "\
+# fuzz seed corpus
+.mem 4096
+.entry main
+.data
+ptr:  .word back
+buf:  .zero 16
+.text
+main:
+    li   sp, 4080
+    lui  t0, 1
+    auipc t1, 0
+    la   t2, ptr
+    lw   t3, 0(t2)
+    la   a0, buf
+    li   t4, -7
+    sw   t4, 0(a0)
+    sh   t4, 4(a0)
+    sb   t4, 6(a0)
+    lw   t5, 0(a0)
+    lh   t5, 4(a0)
+    lhu  t5, 4(a0)
+    lb   t5, 6(a0)
+    lbu  t5, 6(a0)
+    add  t5, t5, t4
+    sub  t5, t5, t0
+    xor  t5, t5, t1
+    or   t5, t5, t2
+    and  t5, t5, t4
+    sll  t5, t5, t0
+    srl  t5, t5, t0
+    sra  t5, t5, t0
+    slt  t6, t5, t4
+    sltu t6, t5, t4
+    slti t6, t5, 9
+    sltiu t6, t5, 9
+    call sub1
+    jr   t3
+back:
+    beq  t6, zero, off
+    bne  t6, zero, off
+off:
+    blt  t5, t4, off2
+    bge  t5, t4, off2
+off2:
+    bltu t5, t4, done
+    bgeu t5, t4, done
+done:
+    ebreak
+sub1:
+    addi t6, t6, 1
+    ret
+";
+
+/// Raw words straight out of the RNG: decode classifies every 32-bit
+/// pattern as an instruction or a structured illegal-instruction
+/// diagnostic, never panicking.
+#[test]
+fn decoder_never_panics_on_random_words() {
+    let mut rng = Xoshiro::seeded(0x7c3d_91e4u64);
+    let (mut ok, mut err) = (0u32, 0u32);
+    for _ in 0..1_000 {
+        let word = rng.next() as u32;
+        match decode(word) {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                err += 1;
+                let msg = e.to_string();
+                assert!(
+                    !msg.is_empty() && !msg.contains('\n'),
+                    "{word:#010x}: {msg:?}"
+                );
+            }
+        }
+    }
+    assert_eq!(ok + err, 1_000);
+    assert!(ok > 0, "no random word decoded");
+    assert!(err > 0, "no random word was rejected");
+}
+
+/// Word streams mutated from a valid program's text, decoded word by
+/// word — the shape a corrupted text segment presents to the decoder.
+#[test]
+fn decoder_never_panics_on_mutated_text() {
+    let image = assemble_rv(VALID).expect("fuzz corpus must assemble");
+    let text_bytes: Vec<u8> = image.text.iter().flat_map(|w| w.to_le_bytes()).collect();
+    for w in &image.text {
+        decode(*w).expect("corpus words must decode");
+    }
+
+    let mut rng = Xoshiro::seeded(0x2b8f_66a1u64);
+    let (mut ok, mut err) = (0u64, 0u64);
+    for _ in 0..1_000 {
+        let mutated = mutate(&mut rng, &text_bytes);
+        for chunk in mutated.chunks_exact(4) {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            match decode(word) {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    err += 1;
+                    assert!(!e.to_string().contains('\n'), "one-line diagnostic");
+                }
+            }
+        }
+    }
+    assert!(ok > 0 && err > 0, "mutations never exercised both paths");
+}
+
+/// Mutated `.rv.bin` images through the loader, and surviving mutants
+/// through the translator: the full `tw rv FILE` attack surface.
+#[test]
+fn loader_and_translator_never_panic_on_mutated_images() {
+    let image = assemble_rv(VALID).expect("fuzz corpus must assemble");
+    let valid = image.to_bytes();
+    let parsed = RvImage::parse(&valid).expect("fuzz corpus must round-trip");
+    translate(&parsed).expect("fuzz corpus must translate");
+
+    let mut rng = Xoshiro::seeded(0xd4a1_53c9u64);
+    let (mut translated, mut rejected) = (0u32, 0u32);
+    for _ in 0..1_000 {
+        let mutated = mutate(&mut rng, &valid);
+        let Ok(img) = RvImage::parse(&mutated) else {
+            rejected += 1;
+            continue;
+        };
+        // A mutant that still parses must survive translation or be
+        // rejected with a one-line structured diagnostic.
+        match translate(&img) {
+            Ok(t) => {
+                translated += 1;
+                assert!(!t.program.is_empty());
+            }
+            Err(e) => {
+                rejected += 1;
+                let msg = e.to_string();
+                assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
+            }
+        }
+    }
+    assert!(
+        translated > 0,
+        "every mutant was rejected before translation"
+    );
+    assert!(rejected > 0, "mutations never produced an invalid image");
+}

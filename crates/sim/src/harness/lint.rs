@@ -5,7 +5,7 @@
 //! the results through [`Table`] and [`Json`] like every other driver.
 
 use tc_analyze::{analyze, AnalysisReport, Severity, PASS_NAMES};
-use tc_workloads::Benchmark;
+use tc_workloads::WorkloadId;
 
 use crate::harness::json::Json;
 use crate::harness::table::Table;
@@ -19,9 +19,10 @@ pub struct LintEntry {
     pub report: AnalysisReport,
 }
 
-/// Lints one benchmark at its default scale.
+/// Lints one workload (either family) at its default scale.
 #[must_use]
-pub fn lint_benchmark(bench: Benchmark) -> LintEntry {
+pub fn lint_benchmark<W: Into<WorkloadId>>(bench: W) -> LintEntry {
+    let bench: WorkloadId = bench.into();
     let workload = bench.build();
     LintEntry {
         benchmark: bench.name(),
@@ -29,10 +30,11 @@ pub fn lint_benchmark(bench: Benchmark) -> LintEntry {
     }
 }
 
-/// Lints the whole suite, in `Benchmark::ALL` order.
+/// Lints every workload of both families: the synthetic suite in
+/// `Benchmark::ALL` order, then the RV32I programs.
 #[must_use]
 pub fn lint_all() -> Vec<LintEntry> {
-    Benchmark::ALL.into_iter().map(lint_benchmark).collect()
+    WorkloadId::all().into_iter().map(lint_benchmark).collect()
 }
 
 /// Total error-severity findings across entries.
@@ -166,6 +168,7 @@ pub fn lint_table(entries: &[LintEntry]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tc_workloads::Benchmark;
 
     #[test]
     fn lint_table_has_one_row_per_entry() {

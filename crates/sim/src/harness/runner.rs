@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use tc_workloads::{Benchmark, Workload};
+use tc_workloads::{Benchmark, Workload, WorkloadId};
 
 use crate::config::SimConfig;
 use crate::processor::Processor;
@@ -78,24 +78,32 @@ fn available_jobs() -> usize {
 /// Runs every cell on up to `jobs` worker threads and returns the
 /// reports in the order the cells were given.
 ///
-/// Each distinct benchmark's workload is built once and shared
-/// (read-only) across threads. `jobs == 1` degenerates to a serial loop
-/// over the same code path.
+/// Cells name workloads from either family — anything convertible to a
+/// [`WorkloadId`] (a bare [`Benchmark`] still works). Each distinct
+/// workload is built once and shared (read-only) across threads.
+/// `jobs == 1` degenerates to a serial loop over the same code path.
 #[must_use]
-pub fn run_matrix(cells: &[(Benchmark, SimConfig)], jobs: usize) -> Vec<SimReport> {
+pub fn run_matrix<W: Into<WorkloadId> + Copy>(
+    cells: &[(W, SimConfig)],
+    jobs: usize,
+) -> Vec<SimReport> {
+    let cells: Vec<(WorkloadId, SimConfig)> = cells
+        .iter()
+        .map(|(w, c)| ((*w).into(), c.clone()))
+        .collect();
     let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
-    for (bench, _) in cells {
+    for (bench, _) in &cells {
         workloads
             .entry(bench.name())
             .or_insert_with(|| bench.build());
     }
-    run_matrix_shared(cells, &workloads, jobs, false)
+    run_matrix_shared(&cells, &workloads, jobs, false)
 }
 
-/// [`run_matrix`] against pre-built workloads (every cell's benchmark
+/// [`run_matrix`] against pre-built workloads (every cell's workload
 /// must be present in `workloads`).
 fn run_matrix_shared(
-    cells: &[(Benchmark, SimConfig)],
+    cells: &[(WorkloadId, SimConfig)],
     workloads: &HashMap<&'static str, Workload>,
     jobs: usize,
     verbose: bool,
@@ -142,22 +150,26 @@ fn run_matrix_shared(
 /// `None` — a wedged simulation can no longer pin the whole matrix
 /// (the stuck threads are abandoned; they die with the process).
 #[must_use]
-pub fn run_matrix_watchdog(
-    cells: &[(Benchmark, SimConfig)],
+pub fn run_matrix_watchdog<W: Into<WorkloadId> + Copy>(
+    cells: &[(W, SimConfig)],
     jobs: usize,
     timeout: Option<Duration>,
 ) -> Vec<Option<SimReport>> {
     let Some(timeout) = timeout else {
         return run_matrix(cells, jobs).into_iter().map(Some).collect();
     };
+    let cells: Vec<(WorkloadId, SimConfig)> = cells
+        .iter()
+        .map(|(w, c)| ((*w).into(), c.clone()))
+        .collect();
     let jobs = jobs.clamp(1, cells.len().max(1));
     let mut workloads: HashMap<&'static str, Workload> = HashMap::new();
-    for (bench, _) in cells {
+    for (bench, _) in &cells {
         workloads
             .entry(bench.name())
             .or_insert_with(|| bench.build());
     }
-    let cells: Arc<Vec<(Benchmark, SimConfig)>> = Arc::new(cells.to_vec());
+    let cells: Arc<Vec<(WorkloadId, SimConfig)>> = Arc::new(cells);
     let workloads = Arc::new(workloads);
     let next = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = std::sync::mpsc::channel::<(usize, SimReport)>();
@@ -245,14 +257,15 @@ impl MatrixRunner {
     }
 
     /// Ensures every cell is simulated, running the misses in parallel.
-    pub fn prefetch(&mut self, cells: &[(Benchmark, SimConfig)]) {
-        let mut missing: Vec<(Benchmark, SimConfig)> = Vec::new();
+    pub fn prefetch<W: Into<WorkloadId> + Copy>(&mut self, cells: &[(W, SimConfig)]) {
+        let mut missing: Vec<(WorkloadId, SimConfig)> = Vec::new();
         let mut queued: std::collections::HashSet<(&'static str, String)> =
             std::collections::HashSet::new();
         for (bench, config) in cells {
+            let bench: WorkloadId = (*bench).into();
             let key = (bench.name(), config.label());
             if !self.cache.contains_key(&key) && queued.insert(key) {
-                missing.push((*bench, config.clone().with_max_insts(self.insts)));
+                missing.push((bench, config.clone().with_max_insts(self.insts)));
             }
         }
         if missing.is_empty() {
@@ -270,7 +283,8 @@ impl MatrixRunner {
     }
 
     /// Runs (or recalls) one cell.
-    pub fn run(&mut self, bench: Benchmark, config: &SimConfig) -> &SimReport {
+    pub fn run<W: Into<WorkloadId> + Copy>(&mut self, bench: W, config: &SimConfig) -> &SimReport {
+        let bench: WorkloadId = bench.into();
         let key = (bench.name(), config.label());
         if !self.cache.contains_key(&key) {
             self.prefetch(std::slice::from_ref(&(bench, config.clone())));
@@ -280,11 +294,17 @@ impl MatrixRunner {
 
     /// Runs the given cells (in parallel where uncached) and returns
     /// cloned reports in the given order.
-    pub fn run_cells(&mut self, cells: &[(Benchmark, SimConfig)]) -> Vec<SimReport> {
+    pub fn run_cells<W: Into<WorkloadId> + Copy>(
+        &mut self,
+        cells: &[(W, SimConfig)],
+    ) -> Vec<SimReport> {
         self.prefetch(cells);
         cells
             .iter()
-            .map(|(bench, config)| self.cache[&(bench.name(), config.label())].clone())
+            .map(|(bench, config)| {
+                let bench: WorkloadId = (*bench).into();
+                self.cache[&(bench.name(), config.label())].clone()
+            })
             .collect()
     }
 

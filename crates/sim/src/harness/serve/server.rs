@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use tc_workloads::{Benchmark, Workload};
+use tc_workloads::{Workload, WorkloadId};
 
 use crate::config::SimConfig;
 use crate::processor::Processor;
@@ -114,7 +114,7 @@ struct ServeState {
 }
 
 impl ServeState {
-    fn workload(&self, bench: Benchmark) -> Arc<Workload> {
+    fn workload(&self, bench: WorkloadId) -> Arc<Workload> {
         // Build outside the lock would race duplicate builds; builds
         // are fast (program assembly, no simulation), so holding the
         // lock across the miss is the simpler correct choice.
@@ -465,7 +465,7 @@ fn run_job(state: &ServeState, spec: &JobSpec) -> Result<String, TwError> {
             ))
         }
         JobKind::Compare => {
-            let cells: Vec<(Benchmark, SimConfig)> = registry::standard_five()
+            let cells: Vec<(WorkloadId, SimConfig)> = registry::standard_five()
                 .into_iter()
                 .map(|(_, config)| {
                     let config = if spec.perfect {
@@ -633,12 +633,13 @@ fn workloads_body() -> String {
         (
             "workloads",
             Json::Array(
-                Benchmark::ALL
-                    .iter()
+                WorkloadId::all()
+                    .into_iter()
                     .map(|b| {
                         Json::Object(vec![
                             ("name", Json::Str(b.name().to_string())),
                             ("short", Json::Str(b.short_name().to_string())),
+                            ("family", Json::Str(b.family().to_string())),
                         ])
                     })
                     .collect(),

@@ -11,7 +11,7 @@
 
 use tc_fault::{FaultLocus, FaultPlan};
 use tc_trace::EventFilter;
-use tc_workloads::Benchmark;
+use tc_workloads::WorkloadId;
 
 use crate::harness::error::TwError;
 use crate::harness::parse::{parse_json, Value};
@@ -109,8 +109,8 @@ impl TraceSpec {
 pub struct JobSpec {
     /// Which endpoint this came in on.
     pub kind: JobKind,
-    /// The benchmark to simulate.
-    pub bench: Benchmark,
+    /// The workload to simulate (either family).
+    pub bench: WorkloadId,
     /// Canonical preset name (aliases resolved). `compare` ignores it.
     pub preset: &'static str,
     /// Dynamic instruction budget.
@@ -149,10 +149,9 @@ fn allowed_fields(kind: JobKind) -> &'static [&'static str] {
     }
 }
 
-fn find_bench(name: &str) -> Option<Benchmark> {
-    Benchmark::ALL
-        .iter()
-        .copied()
+fn find_bench(name: &str) -> Option<WorkloadId> {
+    WorkloadId::all()
+        .into_iter()
         .find(|b| b.name() == name || b.short_name() == name)
 }
 

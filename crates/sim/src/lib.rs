@@ -51,12 +51,12 @@ pub use processor::Processor;
 pub use report::{CycleAccounting, SamplingStats, SimReport};
 pub use tc_fault::{FaultLocus, FaultPlan, FaultStats};
 
-use tc_workloads::Benchmark;
+use tc_workloads::WorkloadId;
 
-/// Builds the benchmark at its default scale and simulates it under
-/// `config`.
+/// Builds the workload (either family) at its default scale and
+/// simulates it under `config`.
 #[must_use]
-pub fn simulate(benchmark: Benchmark, config: &SimConfig) -> SimReport {
-    let workload = benchmark.build();
+pub fn simulate<W: Into<WorkloadId>>(benchmark: W, config: &SimConfig) -> SimReport {
+    let workload = benchmark.into().build();
     Processor::new(config.clone()).run(&workload)
 }

@@ -18,7 +18,7 @@
 
 use tc_sim::harness::report_to_json;
 use tc_sim::{simulate, SimConfig};
-use tc_workloads::Benchmark;
+use tc_workloads::{Benchmark, RvBench, WorkloadId};
 
 /// Instruction budget the fixtures were captured at.
 const INSTS: u64 = 25_000;
@@ -34,7 +34,8 @@ fn capture_config(base: SimConfig) -> SimConfig {
     config
 }
 
-fn check(bench: Benchmark, config_name: &str, base: SimConfig, fixture: &str) {
+fn check<W: Into<WorkloadId>>(bench: W, config_name: &str, base: SimConfig, fixture: &str) {
+    let bench: WorkloadId = bench.into();
     let report = simulate(bench, &capture_config(base));
     let rendered = format!("{}\n", report_to_json(&report).pretty());
     assert_eq!(
@@ -97,4 +98,33 @@ golden! {
     ss_headline, SimOutorder, "ss-headline.json";
     tex_baseline, Tex, "tex-baseline.json";
     tex_headline, Tex, "tex-headline.json";
+}
+
+/// The compiled `rv/` family goes through the same determinism gate:
+/// the fixtures were captured from the release `tw` binary the same
+/// way as the synthetic ones, one RV workload under both presets.
+macro_rules! golden_rv {
+    ($($name:ident, $bench:ident, $file:literal;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let (config_name, config) = if $file.ends_with("-baseline.json") {
+                    ("baseline", SimConfig::baseline())
+                } else {
+                    ("headline", SimConfig::headline_perf())
+                };
+                check(
+                    RvBench::$bench,
+                    config_name,
+                    config,
+                    include_str!(concat!("golden/", $file)),
+                );
+            }
+        )*
+    };
+}
+
+golden_rv! {
+    rv_crc_baseline, Crc, "rv-crc-baseline.json";
+    rv_crc_headline, Crc, "rv-crc-headline.json";
 }

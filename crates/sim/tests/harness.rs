@@ -7,7 +7,7 @@ use tc_sim::harness::{
     MatrixRunner, STANDARD_FIVE,
 };
 use tc_sim::{simulate, SimConfig};
-use tc_workloads::Benchmark;
+use tc_workloads::{Benchmark, RvBench, WorkloadId};
 
 // --- registry ---------------------------------------------------------
 
@@ -53,13 +53,19 @@ fn standard_five_covers_figure_10() {
 
 // --- matrix runner ----------------------------------------------------
 
-/// Two small benchmarks under the five standard configurations: the
+/// Mixed-family cells (two synthetic benchmarks and one translated
+/// RV32I workload) under the five standard configurations: the
 /// parallel run must be bit-identical to the serial run, in the same
 /// order. Reports are compared through their full JSON rendering, which
 /// covers every exported counter.
 #[test]
 fn parallel_matrix_is_bit_identical_to_serial() {
-    let cells: Vec<(Benchmark, SimConfig)> = [Benchmark::Compress, Benchmark::Li]
+    let workloads = [
+        WorkloadId::Synth(Benchmark::Compress),
+        WorkloadId::Synth(Benchmark::Li),
+        WorkloadId::Rv(RvBench::Crc),
+    ];
+    let cells: Vec<(WorkloadId, SimConfig)> = workloads
         .into_iter()
         .flat_map(|bench| {
             standard_five()

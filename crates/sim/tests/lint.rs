@@ -5,7 +5,7 @@
 use tc_sim::harness::{
     lint_all, lint_benchmark, lint_entry_to_json, lint_errors, lint_table, Json,
 };
-use tc_workloads::Benchmark;
+use tc_workloads::{Benchmark, RvBench, WorkloadId};
 
 fn keys(v: &Json) -> Vec<&'static str> {
     match v {
@@ -121,13 +121,43 @@ fn lint_findings_carry_structured_fields() {
     }
 }
 
-/// The entire workload suite lints clean at error severity: every
-/// target in bounds, no fallthrough off the end, Halt reachable — the
-/// invariant `scripts/verify.sh` gates on.
+/// The RV family goes through the same pinned schema: a translated
+/// program lints like a synthetic one, with the `rv/` name in the
+/// benchmark field.
+#[test]
+fn lint_json_schema_covers_rv_workloads() {
+    let entry = lint_benchmark(RvBench::Crc);
+    assert_eq!(entry.benchmark, "rv/crc");
+    let json = lint_entry_to_json(&entry);
+    assert_eq!(
+        keys(&json),
+        [
+            "benchmark",
+            "passes",
+            "instructions",
+            "blocks",
+            "reachable_blocks",
+            "errors",
+            "warnings",
+            "infos",
+            "taxonomy",
+            "loops",
+            "findings",
+        ]
+    );
+    match json.get("loops").expect("loops array") {
+        Json::Array(loops) => assert!(!loops.is_empty(), "crc is loop-structured"),
+        _ => panic!("expected array"),
+    }
+}
+
+/// The entire workload suite — both families — lints clean at error
+/// severity: every target in bounds, no fallthrough off the end, Halt
+/// reachable — the invariant `scripts/verify.sh` gates on.
 #[test]
 fn whole_suite_is_error_clean() {
     let entries = lint_all();
-    assert_eq!(entries.len(), Benchmark::ALL.len());
+    assert_eq!(entries.len(), WorkloadId::COUNT);
     for e in &entries {
         assert_eq!(
             e.report.errors(),
@@ -146,13 +176,14 @@ fn whole_suite_is_error_clean() {
     assert_eq!(lint_errors(&entries), 0);
 }
 
-/// The summary table renders one row per benchmark plus the header.
+/// The summary table renders one row per workload plus the header,
+/// covering both families.
 #[test]
 fn lint_table_covers_the_suite() {
     let entries = lint_all();
     let text = lint_table(&entries);
     assert_eq!(text.lines().count(), 2 + entries.len());
-    for b in Benchmark::ALL {
-        assert!(text.contains(b.name()), "missing row for {}", b.name());
+    for w in WorkloadId::all() {
+        assert!(text.contains(w.name()), "missing row for {}", w.name());
     }
 }

@@ -120,6 +120,57 @@ fn sim_responses_are_cached_by_content_address() {
     assert_eq!(handle.join().unwrap().job_panics, 0);
 }
 
+/// The compiled `rv/` family is a first-class serve citizen: it shows
+/// up in workload discovery with its family tag, and a sim job on an
+/// RV workload goes through the result cache like a synthetic one.
+#[test]
+fn rv_workloads_are_served_and_cached() {
+    let (addr, handle) = start(test_config());
+
+    let workloads = http_request(addr, "GET", "/v1/workloads", "").unwrap();
+    assert_eq!(workloads.status, 200);
+    let listing = parse_json(&workloads.body).expect("workloads body parses");
+    let entries = listing
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .expect("workloads array");
+    let family_of = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+            .and_then(|e| e.get("family"))
+            .and_then(|f| f.as_str())
+            .map(str::to_owned)
+    };
+    assert_eq!(family_of("compress").as_deref(), Some("synthetic"));
+    assert_eq!(family_of("rv/crc").as_deref(), Some("rv32i"));
+
+    let body = sim_body("rv/crc");
+    let first = http_request(addr, "POST", "/v1/sim", &body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    assert!(
+        first.body.contains("\"benchmark\":\"rv/crc\""),
+        "{}",
+        first.body
+    );
+
+    let second = http_request(addr, "POST", "/v1/sim", &body).unwrap();
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cache hits are bit-identical");
+
+    // The short name is an alias onto the same content address.
+    let alias = format!(r#"{{"bench": "crc", "preset": "baseline", "insts": {TEST_INSTS}}}"#);
+    let third = http_request(addr, "POST", "/v1/sim", &alias).unwrap();
+    assert_eq!(third.header("x-cache"), Some("hit"), "{}", third.body);
+
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    assert_eq!(computed_count(&stats.body), 1, "{}", stats.body);
+
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+}
+
 #[test]
 fn malformed_jobs_answer_400_without_disturbing_the_daemon() {
     let (addr, handle) = start(test_config());

@@ -1,0 +1,254 @@
+//! Workload families: the synthetic suite plus compiled RV32I programs.
+//!
+//! [`Benchmark`] stays the paper's fifteen-entry synthetic suite;
+//! [`RvBench`] enumerates the committed RV32I programs translated by
+//! `tc-rv`; [`WorkloadId`] unifies both behind one buildable, nameable
+//! identifier. Harness APIs accept `impl Into<WorkloadId>` so existing
+//! `Benchmark`-typed call sites keep compiling unchanged.
+
+use std::fmt;
+
+use crate::suite::Benchmark;
+use crate::workload::Workload;
+use tc_rv::RvProgram;
+
+/// One of the committed RV32I workloads (the `rv/` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RvBench {
+    /// Bubble sort over a reseeded 16-word array.
+    Bubble,
+    /// Recursive quicksort with real stack frames.
+    Qsort,
+    /// Byte-wise strlen/strcpy/memset kernels.
+    Strops,
+    /// 8x8 integer matmul with shift-add multiply.
+    Matmul,
+    /// Pointer chasing over a 256-node linked list.
+    Listchase,
+    /// Naively recursive fibonacci.
+    Fib,
+    /// Bitwise CRC-32 over a small buffer.
+    Crc,
+    /// Sieve of Eratosthenes over a byte array.
+    Sieve,
+    /// Binary search with data-dependent branches.
+    Bsearch,
+    /// Jump-table interpreter dispatch loop.
+    Dispatch,
+}
+
+impl RvBench {
+    /// Every RV32I workload, in listing order.
+    pub const ALL: [RvBench; 10] = [
+        RvBench::Bubble,
+        RvBench::Qsort,
+        RvBench::Strops,
+        RvBench::Matmul,
+        RvBench::Listchase,
+        RvBench::Fib,
+        RvBench::Crc,
+        RvBench::Sieve,
+        RvBench::Bsearch,
+        RvBench::Dispatch,
+    ];
+
+    /// The family-qualified name shown by the CLI (`rv/<name>`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RvBench::Bubble => "rv/bubble",
+            RvBench::Qsort => "rv/qsort",
+            RvBench::Strops => "rv/strops",
+            RvBench::Matmul => "rv/matmul",
+            RvBench::Listchase => "rv/listchase",
+            RvBench::Fib => "rv/fib",
+            RvBench::Crc => "rv/crc",
+            RvBench::Sieve => "rv/sieve",
+            RvBench::Bsearch => "rv/bsearch",
+            RvBench::Dispatch => "rv/dispatch",
+        }
+    }
+
+    /// Short column label for tables.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RvBench::Bubble => "bub",
+            RvBench::Qsort => "qs",
+            RvBench::Strops => "str",
+            RvBench::Matmul => "mm",
+            RvBench::Listchase => "list",
+            RvBench::Fib => "fib",
+            RvBench::Crc => "crc",
+            RvBench::Sieve => "sv",
+            RvBench::Bsearch => "bs",
+            RvBench::Dispatch => "disp",
+        }
+    }
+
+    /// The committed program backing this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `tc-rv` suite no longer carries this program — a
+    /// build invariant covered by tests.
+    #[must_use]
+    pub fn program(self) -> &'static RvProgram {
+        let bare = &self.name()["rv/".len()..];
+        RvProgram::find(bare)
+            .unwrap_or_else(|| panic!("rv suite is missing committed program {bare}"))
+    }
+
+    /// Decodes and translates the committed image into a [`Workload`].
+    #[must_use]
+    pub fn build(self) -> Workload {
+        let t = self.program().build();
+        Workload::new(self.name(), t.program, t.mem_words, t.image)
+    }
+}
+
+impl fmt::Display for RvBench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload from either family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadId {
+    /// A synthetic benchmark (the paper's Table 1).
+    Synth(Benchmark),
+    /// A compiled RV32I program run through the `tc-rv` front end.
+    Rv(RvBench),
+}
+
+impl WorkloadId {
+    /// Total workload count across both families.
+    pub const COUNT: usize = Benchmark::ALL.len() + RvBench::ALL.len();
+
+    /// Every workload: the synthetic suite first, then the RV family.
+    #[must_use]
+    pub fn all() -> Vec<WorkloadId> {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| WorkloadId::Synth(b))
+            .chain(RvBench::ALL.iter().map(|&r| WorkloadId::Rv(r)))
+            .collect()
+    }
+
+    /// The CLI-facing name: bare for synthetic, `rv/`-qualified for RV.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Synth(b) => b.name(),
+            WorkloadId::Rv(r) => r.name(),
+        }
+    }
+
+    /// Short column label for tables.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            WorkloadId::Synth(b) => b.short_name(),
+            WorkloadId::Rv(r) => r.short_name(),
+        }
+    }
+
+    /// The family tag surfaced by listings and the HTTP service.
+    #[must_use]
+    pub fn family(self) -> &'static str {
+        match self {
+            WorkloadId::Synth(_) => "synthetic",
+            WorkloadId::Rv(_) => "rv32i",
+        }
+    }
+
+    /// Builds the runnable workload.
+    #[must_use]
+    pub fn build(self) -> Workload {
+        match self {
+            WorkloadId::Synth(b) => b.build(),
+            WorkloadId::Rv(r) => r.build(),
+        }
+    }
+
+    /// Resolves a CLI name from either family.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<WorkloadId> {
+        WorkloadId::all().into_iter().find(|w| w.name() == name)
+    }
+}
+
+impl From<Benchmark> for WorkloadId {
+    fn from(b: Benchmark) -> WorkloadId {
+        WorkloadId::Synth(b)
+    }
+}
+
+impl From<RvBench> for WorkloadId {
+    fn from(r: RvBench) -> WorkloadId {
+        WorkloadId::Rv(r)
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rv_bench_has_a_committed_program() {
+        for r in RvBench::ALL {
+            assert_eq!(format!("rv/{}", r.program().name), r.name());
+        }
+    }
+
+    #[test]
+    fn every_committed_program_has_an_rv_bench() {
+        for p in tc_rv::PROGRAMS {
+            assert!(
+                RvBench::ALL.iter().any(|r| r.program().name == p.name),
+                "committed program {} has no RvBench entry",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_resolve_round_trip_across_families() {
+        let all = WorkloadId::all();
+        assert_eq!(all.len(), WorkloadId::COUNT);
+        for w in all {
+            assert_eq!(WorkloadId::from_name(w.name()), Some(w));
+        }
+        assert_eq!(
+            WorkloadId::from_name("gcc"),
+            Some(WorkloadId::Synth(Benchmark::Gcc))
+        );
+        assert_eq!(
+            WorkloadId::from_name("rv/fib"),
+            Some(WorkloadId::Rv(RvBench::Fib))
+        );
+        assert_eq!(WorkloadId::from_name("fib"), None);
+        assert_eq!(WorkloadId::from_name("rv/gcc"), None);
+    }
+
+    #[test]
+    fn rv_workloads_build_and_run() {
+        let w = RvBench::Fib.build();
+        let stats = w.stream_stats(50_000);
+        assert_eq!(stats.instructions, 50_000);
+        assert!(stats.cond_branch_ratio() > 0.02);
+    }
+
+    #[test]
+    fn families_are_tagged() {
+        assert_eq!(WorkloadId::from(Benchmark::Gcc).family(), "synthetic");
+        assert_eq!(WorkloadId::from(RvBench::Crc).family(), "rv32i");
+    }
+}

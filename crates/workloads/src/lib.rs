@@ -42,6 +42,7 @@
 pub mod data;
 pub mod rng;
 
+mod family;
 mod genfuncs;
 mod kernels;
 mod suite;
@@ -63,5 +64,6 @@ mod ss;
 mod tex;
 mod vortex;
 
+pub use family::{RvBench, WorkloadId};
 pub use suite::Benchmark;
 pub use workload::Workload;

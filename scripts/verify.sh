@@ -46,6 +46,30 @@ target/release/tw sim --bench compress --config baseline \
 target/release/tw sim --bench compress --config headline \
   --insts 200000 --sample 2000/10000 --json >/dev/null
 
+echo "==> rv32i front-end smoke"
+# The compiled workload family: the decoder/translator suite, image
+# inspection, and the harness surfaces on an rv/ workload. The sampled
+# run must agree with the full run on effective fetch rate within the
+# documented sampling accuracy contract (DESIGN.md §13: ±10% at a
+# dense 40%-measured spec).
+cargo test -q --offline -p tc-rv
+target/release/tw rv crates/rv/programs/dispatch.rv.bin >/dev/null
+target/release/tw sim --bench rv/crc --config headline \
+  --insts 100000 --json >/dev/null
+target/release/tw analyze --workload rv/bsearch --insts 100000 >/dev/null
+rv_full="$(target/release/tw sim --bench rv/qsort --config headline \
+  --insts 400000 --json)"
+rv_sampled="$(target/release/tw sim --bench rv/qsort --config headline \
+  --insts 400000 --sample 20000/50000 --json)"
+python3 - "$rv_full" "$rv_sampled" <<'EOF'
+import json, sys
+full = json.loads(sys.argv[1])["effective_fetch_rate"]
+sampled = json.loads(sys.argv[2])["effective_fetch_rate"]
+err = abs(sampled - full) / full
+if err > 0.10:
+    sys.exit(f"FAIL: sampled rv/qsort fetch rate {sampled:.4f} vs full {full:.4f} ({err:.1%} > 10%)")
+EOF
+
 echo "==> tw analyze smoke + plan round trip"
 plan="$(mktemp -t tw-plan-smoke.XXXXXX.json)"
 target/release/tw analyze --workload compress --insts 100000 \
@@ -123,9 +147,13 @@ printf '{"schema":"tw-bench/v1","cells":[' > "$bench_artifact.trunc"
 expect_exit 1 target/release/tw bench --check "$bench_artifact.trunc"
 printf '{"schema":"tw-plan/v9"}' > "$bench_artifact.plan"
 expect_exit 1 target/release/tw analyze --check "$bench_artifact.plan"
-rm -f "$bad_asm" "$bench_artifact.trunc" "$bench_artifact.plan"
+printf 'not an rv image' > "$bench_artifact.rvbin"
+expect_exit 2 target/release/tw rv "$bench_artifact.rvbin"
+expect_exit 2 target/release/tw sim --bench rv/no-such --config headline
+expect_exit 1 target/release/tw rv /nonexistent/missing.rv.bin
+rm -f "$bad_asm" "$bench_artifact.trunc" "$bench_artifact.plan" "$bench_artifact.rvbin"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + analyze/plan smoke + serve load smoke + error layer + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + rv32i smoke + analyze/plan smoke + serve load smoke + error layer + formatting all clean"

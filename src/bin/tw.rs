@@ -78,7 +78,7 @@ use trace_weave::sim::harness::{
 };
 use trace_weave::sim::{SimConfig, SimReport};
 use trace_weave::trace::EventFilter;
-use trace_weave::workloads::Benchmark;
+use trace_weave::workloads::{Benchmark, RvBench, WorkloadId};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -128,9 +128,13 @@ fn usage() -> ExitCode {
       <filter> is a comma list of event kinds or categories (tc, fill,
       promote, mispredict, cache, machine, retire, fault, or all)
   tw lint [--workload <name> | --all | --asm FILE] [--json]
-      statically verify workload programs (all benchmarks by default)
+      statically verify workload programs (both families by default)
       or assemble and verify a text-assembly file; exits 1 on
       error-severity findings
+  tw rv FILE
+      decode and translate a flat RV32I image (.rv.bin) and print a
+      front-end summary; malformed or untranslatable images are
+      reported as one-line usage errors
   tw bench [--smoke] [--insts N] [--samples N] [--out FILE] [--plan auto]
       time the simulator over the benchmark x configuration matrix and
       write a tw-bench/v1 JSON artifact (default BENCH_frontend.json);
@@ -149,14 +153,54 @@ fn usage() -> ExitCode {
       address, repeated queries answer without re-simulating
       (default 127.0.0.1:0 - the chosen port is printed at startup)
 
-configurations: {}",
+configurations: {}
+
+workloads are named bare for the synthetic suite (compress, gcc, ...)
+and rv/<name> for compiled RV32I programs (rv/qsort, rv/dispatch, ...);
+`tw list` prints both families",
         harness::STANDARD_FIVE.join(", ")
     );
     ExitCode::from(2)
 }
 
-fn parse_bench(name: &str) -> Option<Benchmark> {
-    Benchmark::ALL
+/// `tw rv FILE`: parse, decode, and translate a flat RV32I image, then
+/// print what the front end would hand the simulator. Malformed images
+/// are *usage* errors (exit 2): the input contract, not the runtime,
+/// was violated.
+fn cmd_rv(path: &str) -> Result<ExitCode, TwError> {
+    let bytes = std::fs::read(path).map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+    let image = trace_weave::rv::RvImage::parse(&bytes)
+        .map_err(|e| TwError::usage(format!("{path}: {e}")))?;
+    let t =
+        trace_weave::rv::translate(&image).map_err(|e| TwError::usage(format!("{path}: {e}")))?;
+    let expanded = t.program.len();
+    println!("image              {path}");
+    println!("rv instructions    {}", image.text.len());
+    println!("translated instrs  {expanded}");
+    println!(
+        "expansion          {:.3}x",
+        expanded as f64 / image.text.len().max(1) as f64
+    );
+    println!(
+        "entry              rv byte {:#x} -> index {}",
+        image.entry,
+        t.program.entry()
+    );
+    println!(
+        "data bytes         {} at base {:#x}",
+        image.data.len(),
+        image.data_base
+    );
+    println!(
+        "memory             {} bytes ({} words)",
+        image.mem_bytes, t.mem_words
+    );
+    println!("address-taken      {} target(s)", image.indirect.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_bench(name: &str) -> Option<WorkloadId> {
+    WorkloadId::all()
         .into_iter()
         .find(|b| b.name() == name || b.short_name() == name)
 }
@@ -240,7 +284,7 @@ fn parse_targets(spec: &str) -> Result<Vec<FaultLocus>, TwError> {
 /// `tw-plan/v1` file, insisting it was derived for the same workload.
 fn load_plan(
     f: &Flags,
-    bench: Benchmark,
+    bench: WorkloadId,
 ) -> Result<Option<trace_weave::sim::PromotionPlan>, TwError> {
     match f.plan.as_deref() {
         None => Ok(None),
@@ -492,7 +536,7 @@ impl Flags {
         self.insts.unwrap_or(default)
     }
 
-    fn bench_required(&self, flag: &str) -> Result<Benchmark, TwError> {
+    fn bench_required(&self, flag: &str) -> Result<WorkloadId, TwError> {
         let name = self
             .bench
             .as_deref()
@@ -588,6 +632,13 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
         let _ = usage();
         return Ok(ExitCode::SUCCESS);
     }
+    // `rv` takes one positional path, not the shared flag grammar.
+    if cmd == "rv" {
+        let [_, path] = args else {
+            return Err(TwError::usage("rv: expected exactly one image path"));
+        };
+        return cmd_rv(path);
+    }
     // `checkpoint` carries a save/restore subcommand before its flags.
     let f = if cmd == "checkpoint" {
         Flags::parse(&args[1..])?
@@ -599,7 +650,11 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
         "list" => {
             println!("benchmarks (the paper's Table 1):");
             for b in Benchmark::ALL {
-                println!("  {:10} ({})", b.name(), b.short_name());
+                println!("  {:12} ({})", b.name(), b.short_name());
+            }
+            println!("\nrv32i workloads (compiled code via the tc-rv front end):");
+            for r in RvBench::ALL {
+                println!("  {:12} ({})", r.name(), r.short_name());
             }
             println!("\nconfigurations:");
             for p in presets() {
@@ -867,7 +922,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
             };
             let insts = f.insts_or(DEFAULT_INSTS);
             let promotion_plan = load_plan(&f, bench)?;
-            let cells: Vec<(Benchmark, SimConfig)> = harness::standard_five()
+            let cells: Vec<(WorkloadId, SimConfig)> = harness::standard_five()
                 .into_iter()
                 .map(|(_, config)| {
                     let config = if f.perfect {

@@ -5,7 +5,9 @@
 //!
 //! * [`isa`] — the RISC-like ISA, assembler, and functional interpreter
 //! * [`analyze`] — CFG-based static verification passes (`tw lint`)
-//! * [`workloads`] — the 15 synthetic Table-1 benchmarks
+//! * [`rv`] — the RV32I decode/translate front end (`tw rv`, `rv/` suite)
+//! * [`workloads`] — the 15 synthetic Table-1 benchmarks plus the
+//!   compiled `rv/` family
 //! * [`cache`] — set-associative caches and the memory hierarchy
 //! * [`predict`] — branch predictors and the branch bias table
 //! * [`core`] — trace cache, fill unit, branch promotion, trace packing
@@ -24,6 +26,7 @@ pub use tc_engine as engine;
 pub use tc_fault as fault;
 pub use tc_isa as isa;
 pub use tc_predict as predict;
+pub use tc_rv as rv;
 pub use tc_sim as sim;
 pub use tc_trace as trace;
 pub use tc_workloads as workloads;

@@ -260,6 +260,66 @@ fn malformed_tw_jobs_is_a_usage_error_not_a_silent_fallback() {
     assert_eq!(ok.status.code(), Some(0), "stderr: {}", stderr_line(&ok));
 }
 
+fn temp_bytes(name: &str, contents: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tw-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writes");
+    path
+}
+
+#[test]
+fn rv_inspects_a_committed_image() {
+    // Committed workload images live in the source tree; integration
+    // tests run with the package root as the working directory.
+    let out = tw(&["rv", "crates/rv/programs/crc.rv.bin"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rv instructions"), "{stdout}");
+    assert!(stdout.contains("translated"), "{stdout}");
+    assert!(stdout.contains("expansion"), "{stdout}");
+}
+
+#[test]
+fn malformed_rv_images_are_structured_usage_errors() {
+    // Not an image at all.
+    let garbage = temp_bytes("garbage.rv.bin", b"ELF\x7fdefinitely not RV32");
+    let out = tw(&["rv", garbage.to_str().expect("utf-8 path")]);
+    let _ = std::fs::remove_file(&garbage);
+    assert_diagnostic(&out, 2);
+    assert!(stderr_line(&out).contains("magic"), "{}", stderr_line(&out));
+
+    // A valid image truncated mid-segment.
+    let whole = std::fs::read("crates/rv/programs/fib.rv.bin").expect("committed image");
+    let cut = temp_bytes("trunc.rv.bin", &whole[..whole.len() - 5]);
+    let out = tw(&["rv", cut.to_str().expect("utf-8 path")]);
+    let _ = std::fs::remove_file(&cut);
+    assert_diagnostic(&out, 2);
+    assert!(
+        stderr_line(&out).contains("truncated"),
+        "{}",
+        stderr_line(&out)
+    );
+
+    // Missing file is a runtime error; missing operand a usage error.
+    assert_diagnostic(&tw(&["rv", "/nonexistent/definitely-missing.rv.bin"]), 1);
+    assert_diagnostic(&tw(&["rv"]), 2);
+    assert_diagnostic(&tw(&["rv", "a.rv.bin", "b.rv.bin"]), 2);
+}
+
+#[test]
+fn rv_workloads_reach_the_sim_surface_by_family_name() {
+    let out = tw(&[
+        "sim", "--bench", "rv/crc", "--config", "headline", "--insts", "30000", "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_line(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"benchmark\": \"rv/crc\""), "{stdout}");
+    // Unknown rv/ names get the same usage diagnostic as synthetic ones.
+    assert_diagnostic(
+        &tw(&["sim", "--bench", "rv/nope", "--config", "headline"]),
+        2,
+    );
+}
+
 #[test]
 fn serve_flags_are_validated_before_binding() {
     assert_diagnostic(&tw(&["serve", "--queue-depth", "0"]), 2);
