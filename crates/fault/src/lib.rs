@@ -16,6 +16,8 @@
 
 pub use tc_trace::FaultLocus;
 
+pub mod chaos;
+
 /// Aggregate outcome counters for one fault run.
 ///
 /// `injected` counts faults actually applied to live state (a draw that
@@ -243,18 +245,22 @@ impl FaultInjector {
 /// The vendored deterministic generator (Sebastiano Vigna's SplitMix64,
 /// public domain): one u64 of state, passes BigCrush, and is the same
 /// seeding primitive `tc-workloads` uses — kept local so this crate
-/// stays a leaf.
+/// stays a leaf. Public because the [`chaos`] layer and the serve
+/// clients reuse it for connection-fault draws and backoff jitter.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    fn next(&mut self) -> u64 {
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

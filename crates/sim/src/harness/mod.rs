@@ -22,6 +22,9 @@
 //! * [`error`] — [`TwError`], the structured error every fallible `tw`
 //!   path returns: a one-line diagnostic plus the exit-code class
 //!   (usage → 2, runtime → 1).
+//! * [`artifact`] — crash-consistent artifact I/O: atomic
+//!   temp+fsync+rename writes, the additive CRC32 integrity envelope,
+//!   and the verified read every artifact consumer goes through.
 //! * [`analyze`] — the `tw analyze` driver: a chunked deterministic
 //!   functional branch profiler, the four-class predictability
 //!   classifier, and the `tw-plan/v1` promotion-plan artifact
@@ -46,6 +49,7 @@
 //! [`SimReport`]: crate::SimReport
 
 mod analyze;
+pub mod artifact;
 mod checkpoint;
 mod error;
 mod json;
@@ -60,6 +64,7 @@ mod trace;
 pub use analyze::{
     build_plan, parse_plan, plan_table, plan_to_json, profile_branches, PLAN_SCHEMA, PROFILE_CHUNK,
 };
+pub use artifact::{read_verified, stamp, write_atomic, Integrity};
 pub use checkpoint::{parse_checkpoint, Checkpoint, CHECKPOINT_FORMAT};
 pub use error::TwError;
 pub use json::{check_well_formed, report_to_json, reports_to_json, trace_summary_to_json, Json};

@@ -1,10 +1,19 @@
 //! A minimal blocking HTTP/1.1 client, just enough to talk to
 //! [`super::server::Server`] — shared by the integration tests and the
 //! `serve_load` load-test helper so neither needs an external crate.
+//!
+//! [`http_request`] is one attempt with fixed per-attempt deadlines;
+//! [`http_request_retry`] wraps it in a bounded, seeded
+//! jittered-exponential-backoff loop. Retrying blindly is safe here
+//! because every job key is content-addressed and idempotent: a
+//! duplicate attempt can only hit the cache or join the in-flight
+//! computation, never run a job twice with different results.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use tc_fault::SplitMix64;
 
 /// A decoded response.
 #[derive(Debug, Clone)]
@@ -30,7 +39,16 @@ impl ClientResponse {
 
 fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        // EOF before the line is a torn response, not an empty line: a
+        // stream truncated mid-headers must never parse as a complete
+        // response with an empty body.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
@@ -49,10 +67,127 @@ pub fn http_request(
     path: &str,
     body: &str,
 ) -> std::io::Result<ClientResponse> {
+    http_request_timed(addr, method, path, body, &RetryPolicy::default())
+}
+
+/// How [`http_request_retry`] paces its attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (clamped to ≥ 1); `1` means no retry at all.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the backoff jitter (deterministic per policy).
+    pub seed: u64,
+    /// Per-attempt connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-attempt read deadline.
+    pub read_timeout: Duration,
+    /// Per-attempt write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A bounded retrying policy: `attempts` total tries with the
+    /// default deadlines and backoff, jittered from `seed`.
+    #[must_use]
+    pub fn retries(attempts: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered backoff before attempt `attempt` (1-based count of
+    /// failures so far): `base * 2^(attempt-1)`, capped at `max_delay`,
+    /// then scaled by a uniform factor in `[0.5, 1.0)` so a fleet of
+    /// clients never thunders in phase.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_delay);
+        let mut rng = SplitMix64::new(self.seed ^ u64::from(attempt));
+        let frac = 0.5 + (rng.next() >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(frac)
+    }
+}
+
+/// Whether a response status is worth retrying: the server sheds load
+/// with 503 (queue full, connection cap, draining) and every 503 here
+/// is transient by construction.
+fn retryable_status(status: u16) -> bool {
+    status == 503
+}
+
+/// [`http_request`] with bounded retry. Transport errors (reset,
+/// timeout, torn or corrupted response) and 503s retry with jittered
+/// exponential backoff; any other response — success or a clean 4xx/5xx
+/// — returns immediately. The last failure is returned when every
+/// attempt is exhausted.
+///
+/// # Errors
+///
+/// The final attempt's socket/decode failure.
+pub fn http_request_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err: Option<std::io::Error> = None;
+    for attempt in 1..=attempts {
+        match http_request_timed(addr, method, path, body, policy) {
+            Ok(response) if !retryable_status(response.status) => return Ok(response),
+            Ok(response) => {
+                if attempt == attempts {
+                    return Ok(response);
+                }
+            }
+            Err(e) => {
+                if attempt == attempts {
+                    return Err(e);
+                }
+                last_err = Some(e);
+            }
+        }
+        std::thread::sleep(policy.backoff(attempt));
+    }
+    // Unreachable: the loop always returns on its last attempt.
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("retry loop ended without an attempt")))
+}
+
+fn http_request_timed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
     let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
+    stream.set_read_timeout(Some(policy.read_timeout))?;
+    stream.set_write_timeout(Some(policy.write_timeout))?;
     let mut writer = stream.try_clone()?;
     let sent = (|| {
         writer.write_all(

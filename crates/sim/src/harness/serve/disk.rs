@@ -1,0 +1,455 @@
+//! The on-disk tier behind the single-flight result cache.
+//!
+//! With `--cache-dir`, every fulfilled 200 body is persisted as one
+//! entry file, so a restarted daemon — even after `kill -9` — serves
+//! previously computed keys from disk instead of re-simulating, with
+//! bit-identical bodies. The tier is strictly best-effort and
+//! fail-safe:
+//!
+//! * **Writes are atomic** (`harness::artifact::write_atomic`): a crash
+//!   mid-store leaves either no entry or a complete one, never a
+//!   truncated file at a live name.
+//! * **Every read is validated**: a schema/CRC/length/key check guards
+//!   each entry, so bit rot or a torn copy can never reach a client.
+//!   Invalid entries are *quarantined* — renamed to `<name>.corrupt`,
+//!   out of the namespace, kept for post-mortem — and the key is
+//!   recomputed.
+//! * **Disk trouble degrades, never breaks**: the first failed store
+//!   flips the tier into read-only degraded mode (logged once to
+//!   stderr, visible in `/v1/stats`); the daemon keeps serving from
+//!   memory and still *reads* valid disk entries.
+//!
+//! Entry format (filename is the FNV-1a key hash + `.twc`):
+//!
+//! ```text
+//! tw-cache/v1 <crc32 of everything below, 8 hex> <body length>
+//! <canonical cache key, one line>
+//! <body bytes>
+//! ```
+//!
+//! The full cache key is stored and compared on load, so a hash
+//! collision (or a file copied between cache dirs) can never alias a
+//! different job's result.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use tc_fault::chaos::IoFaultPlan;
+
+use crate::harness::artifact::{crc32, write_atomic_with};
+
+use super::wire::fnv1a64;
+
+/// First token of every entry file; bump on layout change.
+pub const DISK_SCHEMA: &str = "tw-cache/v1";
+
+/// Entry-file suffix. Anything else in the directory is ignored.
+const ENTRY_SUFFIX: &str = ".twc";
+
+/// Counters exported via `/v1/stats` under `"disk"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Valid entries found by the startup scan (warm-start inventory).
+    pub scanned: u64,
+    /// Entries currently resident (approximate under concurrency).
+    pub entries: u64,
+    /// Lookups served from a valid disk entry.
+    pub hits: u64,
+    /// Bodies persisted.
+    pub stored: u64,
+    /// Failed stores (each flips or confirms degraded mode).
+    pub store_errors: u64,
+    /// Invalid entries renamed to `.corrupt`.
+    pub quarantined: u64,
+    /// Entries removed by the capacity sweep.
+    pub evicted: u64,
+    /// Whether the tier is read-only after a store failure.
+    pub degraded: bool,
+}
+
+/// The persistent tier. All methods are `&self`; the tier is shared
+/// across connection handlers and workers.
+pub struct DiskTier {
+    dir: PathBuf,
+    /// Most entry files kept on disk; oldest-modified are swept first.
+    capacity: usize,
+    degraded: AtomicBool,
+    entries: AtomicUsize,
+    scanned: u64,
+    hits: AtomicU64,
+    stored: AtomicU64,
+    store_errors: AtomicU64,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+    /// Injected store failures for degraded-mode tests.
+    faults: IoFaultPlan,
+    write_seq: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a cache directory and validates every
+    /// existing entry: valid ones become the warm-start inventory,
+    /// invalid ones are quarantined immediately so a corrupt file can
+    /// never be served later.
+    pub fn open(dir: &Path) -> std::io::Result<DiskTier> {
+        DiskTier::open_with(dir, usize::MAX, IoFaultPlan::none())
+    }
+
+    /// [`DiskTier::open`] with an entry cap and injectable store
+    /// faults (tests).
+    pub fn open_with(
+        dir: &Path,
+        capacity: usize,
+        faults: IoFaultPlan,
+    ) -> std::io::Result<DiskTier> {
+        fs::create_dir_all(dir)?;
+        let mut scanned = 0u64;
+        let mut quarantined = 0u64;
+        for entry in fs::read_dir(dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.ends_with(ENTRY_SUFFIX) {
+                continue;
+            }
+            match fs::read(&path) {
+                Ok(bytes) if parse_entry(&bytes, None).is_some() => scanned += 1,
+                // Unreadable or invalid: out of the namespace, kept
+                // for post-mortem.
+                _ => {
+                    quarantine(&path);
+                    quarantined += 1;
+                }
+            }
+        }
+        let tier = DiskTier {
+            dir: dir.to_path_buf(),
+            capacity: capacity.max(1),
+            degraded: AtomicBool::new(false),
+            entries: AtomicUsize::new(usize::try_from(scanned).unwrap_or(usize::MAX)),
+            scanned,
+            hits: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(quarantined),
+            evicted: AtomicU64::new(0),
+            faults,
+            write_seq: AtomicU64::new(0),
+        };
+        Ok(tier)
+    }
+
+    /// The directory this tier persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether a store failure has made the tier read-only.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}{ENTRY_SUFFIX}", fnv1a64(key.as_bytes())))
+    }
+
+    /// Loads the body stored for `key`, if a valid entry exists. An
+    /// entry that fails validation (CRC, length, schema, or key
+    /// mismatch) is quarantined and reported as a miss, so the caller
+    /// recomputes.
+    pub fn load(&self, key: &str) -> Option<String> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => return None,
+        };
+        match parse_entry(&bytes, Some(key)) {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                quarantine(&path);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a fulfilled body. A failure flips the tier into
+    /// read-only degraded mode (logged once); the in-memory cache is
+    /// unaffected either way.
+    pub fn store(&self, key: &str, body: &str) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let path = self.entry_path(key);
+        let fresh = !path.exists();
+        let entry = render_entry(key, body);
+        let injected = self
+            .faults
+            .draw(self.write_seq.fetch_add(1, Ordering::Relaxed));
+        match write_atomic_with(&path, &entry, injected) {
+            Ok(()) => {
+                self.stored.fetch_add(1, Ordering::Relaxed);
+                if fresh && self.entries.fetch_add(1, Ordering::Relaxed) >= self.capacity {
+                    self.sweep();
+                }
+            }
+            Err(e) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                if !self.degraded.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "tw serve: cache-dir write failed ({e}); \
+                         entering read-only degraded mode: {}",
+                        self.dir.display()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Removes the oldest-modified entries until the count is back
+    /// under capacity. Racing sweeps may both run; removal is
+    /// idempotent and the count self-corrects via `NotFound`.
+    fn sweep(&self) {
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = dir
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(ENTRY_SUFFIX))
+            .filter_map(|e| {
+                let modified = e.metadata().ok()?.modified().ok()?;
+                Some((modified, e.path()))
+            })
+            .collect();
+        if entries.len() <= self.capacity {
+            self.entries.store(entries.len(), Ordering::Relaxed);
+            return;
+        }
+        entries.sort();
+        let excess = entries.len() - self.capacity;
+        for (_, path) in entries.iter().take(excess) {
+            if fs::remove_file(path).is_ok() {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.entries
+            .store(entries.len() - excess, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            scanned: self.scanned,
+            entries: u64::try_from(self.entries.load(Ordering::Relaxed)).unwrap_or(u64::MAX),
+            hits: self.hits.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn quarantine(path: &Path) {
+    let mut corrupt = path.as_os_str().to_os_string();
+    corrupt.push(".corrupt");
+    if fs::rename(path, &corrupt).is_err() {
+        // Rename failed (another handler won the race, or the file
+        // vanished); make sure the bad entry is at least gone.
+        let _ = fs::remove_file(path);
+    }
+}
+
+fn render_entry(key: &str, body: &str) -> String {
+    let payload_crc = entry_crc(key, body);
+    format!(
+        "{DISK_SCHEMA} {payload_crc:08x} {}\n{key}\n{body}",
+        body.len()
+    )
+}
+
+fn entry_crc(key: &str, body: &str) -> u32 {
+    let mut payload = Vec::with_capacity(key.len() + 1 + body.len());
+    payload.extend_from_slice(key.as_bytes());
+    payload.push(b'\n');
+    payload.extend_from_slice(body.as_bytes());
+    crc32(&payload)
+}
+
+/// Validates one entry file; returns the body. `expect_key` of `None`
+/// (the startup scan) accepts any internally consistent entry;
+/// `Some(key)` additionally requires the stored key to match exactly.
+fn parse_entry(bytes: &[u8], expect_key: Option<&str>) -> Option<String> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (header, payload) = text.split_once('\n')?;
+    let mut fields = header.split(' ');
+    if fields.next()? != DISK_SCHEMA {
+        return None;
+    }
+    let stored_crc = u32::from_str_radix(fields.next()?, 16).ok()?;
+    let body_len: usize = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let (key, body) = payload.split_once('\n')?;
+    if body.len() != body_len {
+        return None;
+    }
+    if expect_key.is_some_and(|want| want != key) {
+        return None;
+    }
+    (crc32(&bytes[header.len() + 1..]) == stored_crc).then(|| body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_fault::chaos::IoFaultKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tw-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips_across_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.load("kind=sim|bench=gcc"), None);
+        tier.store("kind=sim|bench=gcc", "{\"report\":1}");
+        assert_eq!(
+            tier.load("kind=sim|bench=gcc").as_deref(),
+            Some("{\"report\":1}")
+        );
+        drop(tier);
+
+        // A fresh tier on the same directory — the kill -9 shape —
+        // serves the identical bytes.
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().scanned, 1);
+        assert_eq!(
+            tier.load("kind=sim|bench=gcc").as_deref(),
+            Some("{\"report\":1}")
+        );
+        // A different key never aliases, even though only the hash is
+        // in the filename.
+        assert_eq!(tier.load("kind=sim|bench=perl"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_served() {
+        let dir = tmp_dir("quarantine");
+        let tier = DiskTier::open(&dir).unwrap();
+        tier.store("key-a", "body-a");
+        let entry = tier.entry_path("key-a");
+        let mut bytes = fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&entry, &bytes).unwrap();
+
+        assert_eq!(tier.load("key-a"), None, "corrupt entry must miss");
+        assert!(!entry.exists(), "corrupt entry must leave the namespace");
+        let corrupt = entry.with_extension("twc.corrupt");
+        assert!(corrupt.exists(), "corrupt entry kept for post-mortem");
+        assert_eq!(tier.stats().quarantined, 1);
+
+        // The startup scan quarantines too.
+        tier.store("key-b", "body-b");
+        let entry_b = tier.entry_path("key-b");
+        fs::write(&entry_b, b"tw-cache/v1 deadbeef 6\nkey-b\nbody-b").unwrap();
+        drop(tier);
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().scanned, 0);
+        assert_eq!(tier.stats().quarantined, 1);
+        assert_eq!(tier.load("key-b"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_mislabeled_entries_are_rejected() {
+        let full = render_entry("the-key", "the-body");
+        assert_eq!(
+            parse_entry(full.as_bytes(), Some("the-key")).as_deref(),
+            Some("the-body")
+        );
+        for keep in 0..full.len() {
+            assert_eq!(
+                parse_entry(full[..keep].as_bytes(), Some("the-key")),
+                None,
+                "truncation to {keep} bytes accepted"
+            );
+        }
+        assert_eq!(
+            parse_entry(full.as_bytes(), Some("another-key")),
+            None,
+            "key mismatch accepted"
+        );
+        let wrong_schema = full.replace(DISK_SCHEMA, "tw-cache/v9");
+        assert_eq!(parse_entry(wrong_schema.as_bytes(), Some("the-key")), None);
+    }
+
+    #[test]
+    fn bodies_with_newlines_survive() {
+        let dir = tmp_dir("newlines");
+        let tier = DiskTier::open(&dir).unwrap();
+        let body = "line one\nline two\n\nline four";
+        tier.store("multiline", body);
+        assert_eq!(tier.load("multiline").as_deref(), Some(body));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failure_enters_read_only_degraded_mode() {
+        let dir = tmp_dir("degraded");
+        let tier = DiskTier::open_with(&dir, usize::MAX, IoFaultPlan::none()).unwrap();
+        tier.store("good", "good-body");
+        drop(tier);
+
+        let tier =
+            DiskTier::open_with(&dir, usize::MAX, IoFaultPlan::always(IoFaultKind::TornTemp))
+                .unwrap();
+        assert!(!tier.is_degraded());
+        tier.store("doomed", "doomed-body");
+        assert!(tier.is_degraded(), "failed store must degrade");
+        assert_eq!(tier.load("doomed"), None, "failed store left no entry");
+        // Degraded is read-only, not dead: valid entries still load,
+        // and further stores are silently skipped.
+        assert_eq!(tier.load("good").as_deref(), Some("good-body"));
+        tier.store("late", "late-body");
+        let stats = tier.stats();
+        assert_eq!((stats.store_errors, stats.stored), (1, 0));
+        assert!(stats.degraded);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_sweep_removes_oldest_entries() {
+        let dir = tmp_dir("sweep");
+        let tier = DiskTier::open_with(&dir, 4, IoFaultPlan::none()).unwrap();
+        for i in 0..8 {
+            tier.store(&format!("key-{i}"), &format!("body-{i}"));
+            // mtime granularity: keep insertion order observable.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let stats = tier.stats();
+        assert!(stats.entries <= 5, "sweep kept {} entries", stats.entries);
+        assert!(stats.evicted >= 3, "sweep evicted {}", stats.evicted);
+        // The newest entry always survives.
+        assert_eq!(tier.load("key-7").as_deref(), Some("body-7"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

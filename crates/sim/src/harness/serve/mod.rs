@@ -21,6 +21,10 @@
 //!   load-shedding and drain-on-close.
 //! * [`cache`] — the single-flight result cache: one computation per
 //!   key, joiners share the owner's exact bytes.
+//! * [`disk`] — the optional persistent tier under the cache
+//!   (`--cache-dir`): CRC-validated entry files written atomically,
+//!   warm-start after any restart (even `kill -9`), corrupt-entry
+//!   quarantine, read-only degraded mode on disk errors.
 //! * [`server`] — the daemon: accept loop, router, worker pool,
 //!   graceful shutdown.
 //! * [`client`] — a matching minimal HTTP client for the integration
@@ -28,13 +32,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod disk;
 pub mod http;
 pub mod queue;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, Lookup, ResultCache};
-pub use client::{http_request, raw_request, ClientResponse};
+pub use client::{http_request, http_request_retry, raw_request, ClientResponse, RetryPolicy};
+pub use disk::{DiskStats, DiskTier, DISK_SCHEMA};
 pub use queue::{JobQueue, QueueStats};
 pub use server::{ServeConfig, ServeSummary, Server};
 pub use wire::{parse_job, JobKind, JobLimits, JobSpec, WIRE_SCHEMA};

@@ -13,10 +13,12 @@ use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use tc_fault::chaos::IoFaultPlan;
 use tc_workloads::{Workload, WorkloadId};
 
 use crate::config::SimConfig;
@@ -30,6 +32,7 @@ use crate::harness::runner::run_matrix;
 use crate::harness::trace::{chrome_trace_json, run_traced, timeline_to_json, TraceOptions};
 
 use super::cache::{Lookup, ResultCache};
+use super::disk::DiskTier;
 use super::http::{read_request, write_response, HttpError, HttpLimits, Request, Response};
 use super::queue::JobQueue;
 use super::wire::{
@@ -55,6 +58,18 @@ pub struct ServeConfig {
     pub max_insts: u64,
     /// `insts` when a job omits it.
     pub default_insts: u64,
+    /// Directory for the persistent cache tier (`--cache-dir`);
+    /// `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Most entry files the persistent tier keeps before sweeping the
+    /// oldest.
+    pub cache_disk_entries: usize,
+    /// Per-connection socket read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// Injected persistent-tier store failures (degraded-mode tests).
+    pub disk_faults: IoFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +83,11 @@ impl Default for ServeConfig {
             max_body: 1024 * 1024,
             max_insts: 100_000_000,
             default_insts: 2_000_000,
+            cache_dir: None,
+            cache_disk_entries: 65_536,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            disk_faults: IoFaultPlan::none(),
         }
     }
 }
@@ -101,6 +121,8 @@ struct ServeState {
     bound: SocketAddr,
     queue: JobQueue<Job>,
     cache: ResultCache,
+    /// The persistent tier, when `--cache-dir` is set.
+    disk: Option<DiskTier>,
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
     requests: AtomicU64,
@@ -108,6 +130,9 @@ struct ServeState {
     server_errors: AtomicU64,
     job_panics: AtomicU64,
     conns_shed: AtomicU64,
+    /// Socket deadline arms that failed (logged once, counted here).
+    deadline_errors: AtomicU64,
+    deadline_logged: AtomicBool,
     /// Workloads are immutable once built; build each at most once and
     /// share it across jobs.
     workloads: Mutex<HashMap<&'static str, Arc<Workload>>>,
@@ -150,12 +175,21 @@ impl Server {
     ///
     /// Propagates the bind failure (address in use, permission).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(DiskTier::open_with(
+                dir,
+                config.cache_disk_entries,
+                config.disk_faults,
+            )?),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let bound = listener.local_addr()?;
         let state = Arc::new(ServeState {
             bound,
             queue: JobQueue::new(config.workers.clamp(1, 16), config.queue_depth),
             cache: ResultCache::new(config.cache_entries),
+            disk,
             shutdown: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
@@ -163,6 +197,8 @@ impl Server {
             server_errors: AtomicU64::new(0),
             job_panics: AtomicU64::new(0),
             conns_shed: AtomicU64::new(0),
+            deadline_errors: AtomicU64::new(0),
+            deadline_logged: AtomicBool::new(false),
             workloads: Mutex::new(HashMap::new()),
             config,
         });
@@ -234,10 +270,30 @@ impl Server {
     }
 }
 
+/// Records a failed socket-deadline arm: logged to stderr once per
+/// process (not per connection), counted in `/v1/stats` every time.
+/// A connection whose deadline did not arm still gets served — but an
+/// operator can see the regression instead of it being swallowed.
+fn note_deadline_failure(state: &ServeState, what: &str, result: std::io::Result<()>) {
+    if let Err(e) = result {
+        state.deadline_errors.fetch_add(1, Ordering::Relaxed);
+        if !state.deadline_logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "tw serve: failed to arm {what} deadline ({e}); \
+                 counting further failures in /v1/stats"
+            );
+        }
+    }
+}
+
 /// Answers an over-capacity connection with a 503 without spawning a
 /// handler for it.
 fn shed_connection(mut stream: TcpStream, state: &ServeState) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    note_deadline_failure(
+        state,
+        "shed-write",
+        stream.set_write_timeout(Some(Duration::from_secs(2))),
+    );
     let response = Response::json(
         503,
         error_body(503, "connection limit reached; retry shortly"),
@@ -257,8 +313,16 @@ fn count_response(state: &ServeState, status: u16) {
 }
 
 fn handle_connection(stream: TcpStream, state: &ServeState) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    note_deadline_failure(
+        state,
+        "read",
+        stream.set_read_timeout(Some(state.config.read_timeout)),
+    );
+    note_deadline_failure(
+        state,
+        "write",
+        stream.set_write_timeout(Some(state.config.write_timeout)),
+    );
     let limits = HttpLimits {
         max_body: state.config.max_body,
         ..HttpLimits::default()
@@ -345,6 +409,17 @@ fn job_response(kind: JobKind, request: &Request, state: &ServeState) -> Respons
                 .with_header("X-Cache", "join"),
         },
         Lookup::Owner => {
+            // The single-flight slot is held; probe the persistent tier
+            // before paying for a simulation. A valid entry fulfills
+            // the slot (joiners get the same bytes) without touching
+            // the queue.
+            if let Some(disk) = &state.disk {
+                if let Some(body) = disk.load(&key) {
+                    let body = Arc::new(body);
+                    state.cache.fulfill(&key, Arc::clone(&body));
+                    return ok_cached(&body, "disk", &hash);
+                }
+            }
             if state.shutdown.load(Ordering::Acquire) {
                 let e = StoredError {
                     status: 503,
@@ -388,7 +463,14 @@ fn worker_loop(state: &ServeState, home: usize) {
     while let Some(job) = state.queue.pop(home) {
         let outcome = catch_unwind(AssertUnwindSafe(|| run_job(state, &job.spec)));
         match outcome {
-            Ok(Ok(body)) => state.cache.fulfill(&job.key, Arc::new(body)),
+            Ok(Ok(body)) => {
+                // Persist before publishing: once a client can see the
+                // body, a crash must not lose it.
+                if let Some(disk) = &state.disk {
+                    disk.store(&job.key, &body);
+                }
+                state.cache.fulfill(&job.key, Arc::new(body));
+            }
             Ok(Err(e)) => state.cache.fail(
                 &job.key,
                 StoredError {
@@ -569,6 +651,10 @@ fn stats_body(state: &ServeState) -> String {
             Json::UInt(state.conns_shed.load(Ordering::Relaxed)),
         ),
         (
+            "deadline_errors",
+            Json::UInt(state.deadline_errors.load(Ordering::Relaxed)),
+        ),
+        (
             "queue",
             Json::Object(vec![
                 ("pushed", Json::UInt(queue.pushed)),
@@ -592,6 +678,25 @@ fn stats_body(state: &ServeState) -> String {
                     Json::UInt(u64::try_from(cache.entries).unwrap_or(u64::MAX)),
                 ),
             ]),
+        ),
+        (
+            "disk",
+            match &state.disk {
+                None => Json::Null,
+                Some(disk) => {
+                    let d = disk.stats();
+                    Json::Object(vec![
+                        ("scanned", Json::UInt(d.scanned)),
+                        ("entries", Json::UInt(d.entries)),
+                        ("hits", Json::UInt(d.hits)),
+                        ("stored", Json::UInt(d.stored)),
+                        ("store_errors", Json::UInt(d.store_errors)),
+                        ("quarantined", Json::UInt(d.quarantined)),
+                        ("evicted", Json::UInt(d.evicted)),
+                        ("degraded", Json::Bool(d.degraded)),
+                    ])
+                }
+            },
         ),
     ])
     .render()

@@ -1,0 +1,424 @@
+//! Crash-consistency and chaos integration tests: the daemon with a
+//! persistent cache tier, under injected network and disk faults.
+//!
+//! The headline invariants, from the ISSUE's acceptance bar:
+//!
+//! * a server restarted on the same `--cache-dir` — even after an
+//!   unclean death — serves bit-identical bodies for previously
+//!   computed keys without recomputing them;
+//! * corrupt cache entries are quarantined and recomputed, never
+//!   served;
+//! * disk-write failures degrade the tier to read-only instead of
+//!   taking the daemon down;
+//! * a seeded chaos proxy injecting resets, throttling, truncation,
+//!   corruption, and accept delays at a 1e-2 rate over ≥1k mixed
+//!   requests produces zero panics and zero hangs — every request ends
+//!   in a valid response, a clean 4xx/5xx, or a client-visible
+//!   transport error, and the fault sequence is deterministic in the
+//!   seed;
+//! * slow-loris and torn-upload connections are bounded by the server's
+//!   read deadline and never wedge the accept loop.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tc_fault::chaos::{ChaosPlan, ChaosProxy, IoFaultKind, IoFaultPlan};
+use tc_sim::harness::serve::{http_request, http_request_retry, RetryPolicy, ServeConfig, Server};
+use tc_sim::harness::{parse_json, Value};
+
+/// Small budgets keep each simulation job ~milliseconds.
+const TEST_INSTS: &str = "20000";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tw-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<tc_sim::harness::ServeSummary>,
+) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("query bound address");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        queue_depth: 4096,
+        max_conns: 4096,
+        ..ServeConfig::default()
+    }
+}
+
+fn shutdown(addr: SocketAddr) {
+    let resp = http_request(addr, "POST", "/v1/shutdown", "").expect("shutdown request");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+}
+
+fn sim_body(bench: &str) -> String {
+    format!(r#"{{"bench": "{bench}", "preset": "baseline", "insts": {TEST_INSTS}}}"#)
+}
+
+fn stat_u64(stats_body: &str, object: &str, field: &str) -> u64 {
+    parse_json(stats_body)
+        .expect("stats body parses")
+        .get(object)
+        .and_then(|o| o.get(field))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("stats carries {object}.{field}: {stats_body}"))
+}
+
+/// The acceptance-criteria restart: compute on server A, end it, start
+/// server B on the same cache dir — the key must come back from disk,
+/// bit-identical, without touching the job queue.
+#[test]
+fn warm_restart_serves_bit_identical_bodies_without_recompute() {
+    let dir = tmp_dir("restart");
+    let config = || ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    let (addr, handle) = start(config());
+    let first = http_request(addr, "POST", "/v1/sim", &sim_body("compress")).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+
+    // Server B: a different process lifetime as far as the cache is
+    // concerned — only the directory carries state across.
+    let (addr, handle) = start(config());
+    let again = http_request(addr, "POST", "/v1/sim", &sim_body("compress")).unwrap();
+    assert_eq!(again.status, 200, "{}", again.body);
+    assert_eq!(
+        again.header("x-cache"),
+        Some("disk"),
+        "a restart must warm-start from the persistent tier"
+    );
+    assert_eq!(first.body, again.body, "disk bodies are bit-identical");
+
+    // The disk hit bypassed the queue entirely: nothing was recomputed.
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    assert_eq!(
+        stat_u64(&stats.body, "queue", "pushed"),
+        0,
+        "{}",
+        stats.body
+    );
+    assert!(stat_u64(&stats.body, "disk", "hits") >= 1, "{}", stats.body);
+
+    // Once promoted into memory, repeats are ordinary hits.
+    let third = http_request(addr, "POST", "/v1/sim", &sim_body("compress")).unwrap();
+    assert_eq!(third.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, third.body);
+
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flip one byte in every on-disk entry: the restarted server must
+/// quarantine them at scan time and recompute on demand — it must never
+/// serve corrupt bytes.
+#[test]
+fn corrupt_disk_entries_are_quarantined_and_recomputed() {
+    let dir = tmp_dir("corrupt");
+    let config = || ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    let (addr, handle) = start(config());
+    let first = http_request(addr, "POST", "/v1/sim", &sim_body("li")).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("twc") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped >= 1, "the first server must have persisted entries");
+
+    let (addr, handle) = start(config());
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    assert_eq!(
+        stat_u64(&stats.body, "disk", "quarantined"),
+        flipped,
+        "{}",
+        stats.body
+    );
+    assert!(
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.path().to_string_lossy().ends_with(".corrupt")),
+        "quarantined entries are kept for post-mortem"
+    );
+
+    let again = http_request(addr, "POST", "/v1/sim", &sim_body("li")).unwrap();
+    assert_eq!(again.status, 200, "{}", again.body);
+    assert_eq!(
+        again.header("x-cache"),
+        Some("miss"),
+        "a quarantined key recomputes instead of serving corrupt bytes"
+    );
+    assert_eq!(first.body, again.body, "recompute reproduces the bytes");
+
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Injected store failures flip the tier to read-only degraded mode;
+/// the daemon itself keeps serving from memory as if nothing happened.
+#[test]
+fn disk_write_failure_degrades_to_read_only_not_fatal() {
+    let dir = tmp_dir("degraded");
+    let (addr, handle) = start(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        disk_faults: IoFaultPlan::always(IoFaultKind::TornTemp),
+        ..test_config()
+    });
+
+    let first = http_request(addr, "POST", "/v1/sim", &sim_body("go")).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    assert!(
+        stat_u64(&stats.body, "disk", "store_errors") >= 1,
+        "{}",
+        stats.body
+    );
+    let degraded = parse_json(&stats.body)
+        .unwrap()
+        .get("disk")
+        .and_then(|d| d.get("degraded"))
+        .and_then(|v| v.as_bool());
+    assert_eq!(degraded, Some(true), "{}", stats.body);
+
+    // Memory cache still serves; the failure stayed contained.
+    let second = http_request(addr, "POST", "/v1/sim", &sim_body("go")).unwrap();
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chaos soak: ≥1k mixed requests through the seeded proxy at a
+/// 1e-2 fault rate, with the retrying client. Zero panics, zero hangs,
+/// every outcome a valid response / clean 4xx / client-visible
+/// transport error, bodies bit-identical per key — and the injected
+/// fault sequence is a pure function of the seed.
+#[test]
+fn chaos_soak_mixed_requests_zero_panics_deterministic_faults() {
+    const TOTAL: usize = 1024;
+    const SEED: u64 = 0xC4A0_5EED;
+    let (addr, handle) = start(test_config());
+    let plan = ChaosPlan::with_rate(SEED, 1e-2);
+    let proxy = ChaosProxy::spawn(addr, plan.clone()).expect("spawn chaos proxy");
+    let target = proxy.addr();
+
+    let benches = ["compress", "li", "go", "perl"];
+    let presets = ["baseline", "promo-pack"];
+    let faulted = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let bodies: Mutex<HashMap<String, String>> = Mutex::new(HashMap::new());
+    let fail = |msg: String| {
+        let mut failures = failures.lock().unwrap();
+        if failures.len() < 10 {
+            failures.push(msg);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= TOTAL {
+                    break;
+                }
+                let policy = RetryPolicy::retries(4, SEED ^ i as u64);
+                match i % 10 {
+                    8 => match http_request_retry(target, "POST", "/v1/sim", "[[[", &policy) {
+                        Err(_) => {
+                            faulted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if (400..500).contains(&resp.status) => {}
+                        Ok(resp) => fail(format!("req {i}: malformed got {}", resp.status)),
+                    },
+                    9 => match http_request_retry(target, "GET", "/v1/nope", "", &policy) {
+                        Err(_) => {
+                            faulted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if resp.status == 404 => {}
+                        Ok(resp) => fail(format!("req {i}: bad route got {}", resp.status)),
+                    },
+                    slot => {
+                        let bench = benches[slot % benches.len()];
+                        let preset = presets[(slot / benches.len()) % presets.len()];
+                        let body = format!(
+                            r#"{{"bench": "{bench}", "preset": "{preset}", "insts": {TEST_INSTS}}}"#
+                        );
+                        match http_request_retry(target, "POST", "/v1/sim", &body, &policy) {
+                            Err(_) => {
+                                faulted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(resp) if resp.status == 503 => {}
+                            Ok(resp) if resp.status != 200 => {
+                                fail(format!("req {i}: valid job got {}", resp.status));
+                            }
+                            Ok(resp) => {
+                                let key = format!("{bench}|{preset}");
+                                let mut bodies = bodies.lock().unwrap();
+                                match bodies.get(&key) {
+                                    None => {
+                                        bodies.insert(key, resp.body);
+                                    }
+                                    Some(prior) if *prior != resp.body => {
+                                        fail(format!("req {i}: body differs for {key}"));
+                                    }
+                                    Some(_) => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let failures = failures.into_inner().unwrap();
+    assert!(failures.is_empty(), "{failures:?}");
+    assert_eq!(bodies.into_inner().unwrap().len(), 8, "all 8 keys answered");
+
+    // Determinism: the proxy's injected faults are exactly what the
+    // plan draws for the accepted connection indices — nothing more,
+    // nothing random.
+    let stats = proxy.stats();
+    assert!(stats.connections >= TOTAL as u64);
+    let expected: u64 = (0..stats.connections)
+        .filter(|i| plan.draw(*i).is_some())
+        .count() as u64;
+    assert_eq!(stats.faulted, expected, "fault count is seed-determined");
+    assert!(stats.faulted > 0, "a 1e-2 rate over 1k+ conns must fire");
+    // Client-visible faults can only come from injected ones (retries
+    // mask most of them).
+    assert!(faulted.load(Ordering::Relaxed) <= stats.faulted);
+
+    proxy.shutdown();
+    shutdown(addr);
+    let summary = handle.join().expect("server thread must not panic");
+    assert_eq!(summary.job_panics, 0, "{summary:?}");
+}
+
+/// A slow-loris client (header bytes trickling in forever) is bounded
+/// by the server's read deadline: the connection dies within the
+/// deadline plus slack, and the daemon keeps serving others.
+#[test]
+fn slow_loris_and_torn_uploads_are_bounded_by_read_deadline() {
+    let (addr, handle) = start(ServeConfig {
+        read_timeout: Duration::from_millis(300),
+        ..test_config()
+    });
+
+    // Send a partial request, then go silent — longer than the server's
+    // 300 ms read deadline. The server must cut the connection rather
+    // than hold a reader thread hostage; our read unblocks promptly.
+    let started = Instant::now();
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    loris.write_all(b"POST /v1/sim HTTP/1.1\r\nhos").unwrap();
+    let mut reply = Vec::new();
+    let outcome = loris.read_to_end(&mut reply);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "slow-loris connection must die within the read deadline, took {elapsed:?} ({outcome:?})"
+    );
+
+    // A torn upload — headers promise a body that never arrives — is
+    // bounded the same way.
+    let started = Instant::now();
+    let mut torn = TcpStream::connect(addr).unwrap();
+    torn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    torn.write_all(b"POST /v1/sim HTTP/1.1\r\ncontent-length: 4096\r\n\r\n{\"be")
+        .unwrap();
+    let mut reply = String::new();
+    let _ = torn.read_to_string(&mut reply);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "torn upload must be bounded by the read deadline"
+    );
+
+    // The daemon is still perfectly healthy.
+    let ok = http_request(addr, "POST", "/v1/sim", &sim_body("compress")).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+}
+
+/// The new observability surface: `deadline_errors` is always present,
+/// `disk` is `null` without a cache dir and a populated object with one.
+#[test]
+fn stats_surface_carries_deadline_and_disk_fields() {
+    let (addr, handle) = start(test_config());
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    let doc = parse_json(&stats.body).unwrap();
+    assert!(
+        doc.get("deadline_errors")
+            .and_then(|v| v.as_u64())
+            .is_some(),
+        "{}",
+        stats.body
+    );
+    assert!(
+        matches!(doc.get("disk"), Some(Value::Null)),
+        "disk must be null without --cache-dir: {}",
+        stats.body
+    );
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+
+    let dir = tmp_dir("stats");
+    let (addr, handle) = start(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config()
+    });
+    let stats = http_request(addr, "GET", "/v1/stats", "").unwrap();
+    let degraded = parse_json(&stats.body)
+        .unwrap()
+        .get("disk")
+        .and_then(|d| d.get("degraded"))
+        .and_then(|v| v.as_bool());
+    assert_eq!(degraded, Some(false), "{}", stats.body);
+    shutdown(addr);
+    assert_eq!(handle.join().unwrap().job_panics, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,18 @@
 //!     --addr 127.0.0.1:7878 --total 1200 --concurrency 100 [--shutdown]
 //! ```
 //!
+//! With `--chaos-rate R` (and `--chaos-seed S`), an in-process
+//! `tc-fault` chaos proxy is spliced between the storm and the daemon:
+//! connections are reset, throttled, truncated, corrupted, or delayed
+//! at rate R, deterministically in the seed. `--retries N` arms the
+//! client's bounded jittered-backoff retry (safe: keys are
+//! content-addressed), and transport failures that survive all retries
+//! are tallied as `faulted` instead of failing the run — but a *wrong*
+//! response (bad status for the request class, mismatched body bytes
+//! for a key) still fails, chaos or not. The single-flight accounting
+//! check is reported but not enforced under chaos: a faulted 503 clears
+//! its cache slot, so a retried key may legitimately compute twice.
+//!
 //! Exits non-zero (with a one-line reason) if any invariant fails, so
 //! `verify.sh` and CI can gate on it.
 
@@ -28,7 +40,8 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use trace_weave::sim::harness::serve::http_request;
+use tc_fault::chaos::{ChaosKind, ChaosPlan, ChaosProxy};
+use trace_weave::sim::harness::serve::{http_request, http_request_retry, RetryPolicy};
 use trace_weave::sim::harness::{parse_json, Value};
 
 struct Options {
@@ -37,6 +50,13 @@ struct Options {
     concurrency: usize,
     insts: u64,
     shutdown: bool,
+    /// Extra attempts per request beyond the first.
+    retries: u32,
+    /// Per-connection chaos-proxy fault probability (0 = no proxy).
+    chaos_rate: f64,
+    chaos_seed: u64,
+    /// Restricts injected kinds (empty = all five).
+    chaos_kinds: Vec<ChaosKind>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -46,6 +66,10 @@ fn parse_options() -> Result<Options, String> {
     let mut concurrency = 100usize;
     let mut insts = 20_000u64;
     let mut shutdown = false;
+    let mut retries = 0u32;
+    let mut chaos_rate = 0.0f64;
+    let mut chaos_seed = 42u64;
+    let mut chaos_kinds: Vec<ChaosKind> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         let value = |i: &mut usize| -> Result<String, String> {
@@ -77,6 +101,29 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--insts: want a count".to_string())?;
             }
+            "--retries" => {
+                retries = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--retries: want a count".to_string())?;
+            }
+            "--chaos-rate" => {
+                chaos_rate = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--chaos-rate: want a probability".to_string())?;
+                if !(0.0..=1.0).contains(&chaos_rate) {
+                    return Err("--chaos-rate: want a probability in [0, 1]".to_string());
+                }
+            }
+            "--chaos-seed" => {
+                chaos_seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "--chaos-seed: want a u64".to_string())?;
+            }
+            "--chaos-kinds" => {
+                for name in value(&mut i)?.split(',') {
+                    chaos_kinds.push(ChaosKind::parse(name.trim())?);
+                }
+            }
             "--shutdown" => shutdown = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -92,6 +139,10 @@ fn parse_options() -> Result<Options, String> {
         concurrency,
         insts,
         shutdown,
+        retries,
+        chaos_rate,
+        chaos_seed,
+        chaos_kinds,
     })
 }
 
@@ -132,15 +183,47 @@ struct Tally {
     shed: AtomicU64,
     rejected: AtomicU64,
     hits: AtomicU64,
+    /// Transport failures surviving all retries (chaos mode only).
+    faulted: AtomicU64,
+    retried: AtomicU64,
     failures: Mutex<Vec<String>>,
     bodies: Mutex<HashMap<String, Arc<String>>>,
 }
 
-fn run_one(options: &Options, i: usize, tally: &Tally) {
+struct Run {
+    /// Where requests go: the chaos proxy when one is spliced in,
+    /// otherwise the daemon itself.
+    target: SocketAddr,
+    /// Whether transport errors are expected (a chaos proxy is live).
+    chaos: bool,
+    retries: u32,
+    seed: u64,
+}
+
+fn run_one(run: &Run, options: &Options, i: usize, tally: &Tally) {
     let fail = |msg: String| {
         if let Ok(mut failures) = tally.failures.lock() {
             if failures.len() < 20 {
                 failures.push(msg);
+            }
+        }
+    };
+    let faulted = |msg: String| {
+        if run.chaos {
+            tally.faulted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            fail(msg);
+        }
+    };
+    let policy = RetryPolicy::retries(run.retries + 1, run.seed ^ i as u64);
+    let request = |method: &str, path: &str, body: &str| {
+        let first = http_request(run.target, method, path, body);
+        match first {
+            Ok(resp) if resp.status != 503 => Ok(resp),
+            _ if run.retries == 0 => first,
+            _ => {
+                tally.retried.fetch_add(1, Ordering::Relaxed);
+                http_request_retry(run.target, method, path, body, &policy)
             }
         }
     };
@@ -150,8 +233,8 @@ fn run_one(options: &Options, i: usize, tally: &Tally) {
                 "{{\"bench\": \"{bench}\", \"preset\": \"{preset}\", \"insts\": {}}}",
                 options.insts
             );
-            match http_request(options.addr, "POST", "/v1/sim", &body) {
-                Err(e) => fail(format!("request {i}: transport error {e}")),
+            match request("POST", "/v1/sim", &body) {
+                Err(e) => faulted(format!("request {i}: transport error {e}")),
                 Ok(resp) if resp.status == 503 => {
                     tally.shed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -160,7 +243,7 @@ fn run_one(options: &Options, i: usize, tally: &Tally) {
                 }
                 Ok(resp) => {
                     tally.ok.fetch_add(1, Ordering::Relaxed);
-                    if resp.header("x-cache") == Some("hit") {
+                    if matches!(resp.header("x-cache"), Some("hit" | "disk")) {
                         tally.hits.fetch_add(1, Ordering::Relaxed);
                     }
                     let key = format!("{bench}|{preset}");
@@ -170,7 +253,11 @@ fn run_one(options: &Options, i: usize, tally: &Tally) {
                                 bodies.insert(key, Arc::new(resp.body));
                             }
                             Some(prior) if **prior != resp.body => {
-                                fail(format!("request {i}: body differs for key {key}"));
+                                fail(format!(
+                                    "request {i}: body differs for key {key} ({} vs {} bytes)",
+                                    prior.len(),
+                                    resp.body.len()
+                                ));
                             }
                             Some(_) => {}
                         }
@@ -178,8 +265,8 @@ fn run_one(options: &Options, i: usize, tally: &Tally) {
                 }
             }
         }
-        Shot::Malformed(body) => match http_request(options.addr, "POST", "/v1/sim", body) {
-            Err(e) => fail(format!("request {i}: transport error {e}")),
+        Shot::Malformed(body) => match request("POST", "/v1/sim", body) {
+            Err(e) => faulted(format!("request {i}: transport error {e}")),
             Ok(resp) if (400..500).contains(&resp.status) => {
                 tally.rejected.fetch_add(1, Ordering::Relaxed);
             }
@@ -188,8 +275,8 @@ fn run_one(options: &Options, i: usize, tally: &Tally) {
                 resp.status
             )),
         },
-        Shot::BadRoute => match http_request(options.addr, "GET", "/v1/no-such-route", "") {
-            Err(e) => fail(format!("request {i}: transport error {e}")),
+        Shot::BadRoute => match request("GET", "/v1/no-such-route", "") {
+            Err(e) => faulted(format!("request {i}: transport error {e}")),
             Ok(resp) if resp.status == 404 => {
                 tally.rejected.fetch_add(1, Ordering::Relaxed);
             }
@@ -207,11 +294,37 @@ fn main() -> ExitCode {
         }
     };
 
+    // With chaos enabled, splice the proxy between the storm and the
+    // daemon. Control-plane traffic (stats, shutdown) keeps talking to
+    // the daemon directly — the experiment is the data plane.
+    let proxy = if options.chaos_rate > 0.0 {
+        match ChaosProxy::spawn(
+            options.addr,
+            ChaosPlan::with_rate(options.chaos_seed, options.chaos_rate).only(&options.chaos_kinds),
+        ) {
+            Ok(proxy) => Some(proxy),
+            Err(e) => {
+                eprintln!("serve_load: cannot spawn chaos proxy: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let run = Run {
+        target: proxy.as_ref().map_or(options.addr, ChaosProxy::addr),
+        chaos: proxy.is_some(),
+        retries: options.retries,
+        seed: options.chaos_seed,
+    };
+
     let tally = Tally {
         ok: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         hits: AtomicU64::new(0),
+        faulted: AtomicU64::new(0),
+        retried: AtomicU64::new(0),
         failures: Mutex::new(Vec::new()),
         bodies: Mutex::new(HashMap::new()),
     };
@@ -223,7 +336,7 @@ fn main() -> ExitCode {
                 if i >= options.total {
                     break;
                 }
-                run_one(&options, i, &tally);
+                run_one(&run, &options, i, &tally);
             });
         }
     });
@@ -232,14 +345,39 @@ fn main() -> ExitCode {
     let shed = tally.shed.load(Ordering::Relaxed);
     let rejected = tally.rejected.load(Ordering::Relaxed);
     let hits = tally.hits.load(Ordering::Relaxed);
+    let faulted = tally.faulted.load(Ordering::Relaxed);
+    let retried = tally.retried.load(Ordering::Relaxed);
     let distinct = tally.bodies.lock().map_or(0, |b| b.len());
     println!(
         "serve_load: {} request(s): {ok} ok ({hits} cache hit(s)), {shed} shed, \
-         {rejected} rejected, {distinct} distinct key(s)",
+         {rejected} rejected, {faulted} faulted, {retried} retried, {distinct} distinct key(s)",
         options.total
     );
+    if let Some(proxy) = &proxy {
+        let stats = proxy.stats();
+        println!(
+            "serve_load: chaos proxy: {} connection(s), {} faulted \
+             (reset {}, throttle {}, partial {}, corrupt {}, delay {})",
+            stats.connections,
+            stats.faulted,
+            stats.by_kind[0],
+            stats.by_kind[1],
+            stats.by_kind[2],
+            stats.by_kind[3],
+            stats.by_kind[4]
+        );
+        if faulted > stats.faulted {
+            eprintln!(
+                "serve_load: {} client-visible fault(s) exceed the {} injected",
+                faulted, stats.faulted
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
-    // Single-flight check against the server's own accounting.
+    // Single-flight check against the server's own accounting. Under
+    // chaos this is advisory (a faulted 503 clears its slot, so a
+    // retried key may compute twice); without chaos it is enforced.
     let computed = http_request(options.addr, "GET", "/v1/stats", "")
         .ok()
         .and_then(|resp| parse_json(&resp.body).ok())
@@ -255,7 +393,7 @@ fn main() -> ExitCode {
         }
         Some(computed) => {
             println!("serve_load: server computed {computed} job(s) for {distinct} key(s)");
-            if computed > distinct as u64 {
+            if computed > distinct as u64 && !run.chaos {
                 eprintln!(
                     "serve_load: single-flight violated: {computed} computations for {distinct} keys"
                 );
@@ -276,6 +414,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(proxy) = proxy {
+        proxy.shutdown();
+    }
     if options.shutdown {
         match http_request(options.addr, "POST", "/v1/shutdown", "") {
             Ok(resp) if resp.status == 200 => println!("serve_load: shutdown acknowledged"),

@@ -123,6 +123,88 @@ if ! wait "$serve_pid"; then
 fi
 rm -f "$serve_log"
 
+echo "==> tw serve chaos + crash recovery smoke"
+# The robustness acceptance bar end to end: storm the daemon through a
+# seeded in-process chaos proxy (resets, throttling, truncation,
+# corruption, accept delays) with the retrying client, then kill -9 the
+# daemon and restart it on the same --cache-dir — a previously computed
+# key must come back from the persistent tier bit-identical, without
+# recomputation.
+cache_dir="$(mktemp -d -t tw-serve-cache.XXXXXX)"
+chaos_log="$(mktemp -t tw-serve-chaos.XXXXXX.log)"
+pre_kill="$(mktemp -t tw-body-prekill.XXXXXX.json)"
+post_kill="$(mktemp -t tw-body-postkill.XXXXXX.json)"
+wait_for_serve_addr() {
+  # Scrapes the listening address from a daemon log, bounded at ~10 s.
+  local log="$1" pid="$2" addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log" | head -n 1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "FAIL: tw serve never reported a listening address" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+  printf '%s' "$addr"
+}
+fetch_sim_body() {
+  # fetch_sim_body ADDR OUT_FILE WANT_X_CACHE: one /v1/sim request with
+  # a hard timeout; checks the cache disposition and saves the body.
+  python3 - "$1" "$2" "$3" <<'EOF'
+import http.client, json, sys
+addr, out_path, want = sys.argv[1], sys.argv[2], sys.argv[3]
+host, port = addr.rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=60)
+conn.request("POST", "/v1/sim",
+             json.dumps({"bench": "compress", "preset": "baseline", "insts": 20000}))
+resp = conn.getresponse()
+data = resp.read()
+if resp.status != 200:
+    sys.exit(f"FAIL: /v1/sim answered {resp.status}")
+got = resp.getheader("x-cache")
+if want != "any" and got != want:
+    sys.exit(f"FAIL: expected x-cache {want}, got {got}")
+with open(out_path, "wb") as f:
+    f.write(data)
+EOF
+}
+serve_shutdown() {
+  python3 - "$1" <<'EOF'
+import http.client, sys
+host, port = sys.argv[1].rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=30)
+conn.request("POST", "/v1/shutdown", "")
+if conn.getresponse().status != 200:
+    sys.exit("FAIL: shutdown refused")
+EOF
+}
+target/release/tw serve --jobs 4 --insts 20000 --cache-dir "$cache_dir" > "$chaos_log" 2>&1 &
+chaos_pid=$!
+chaos_addr="$(wait_for_serve_addr "$chaos_log" "$chaos_pid")"
+target/release/examples/serve_load \
+  --addr "$chaos_addr" --total 1200 --concurrency 100 \
+  --retries 4 --chaos-rate 0.01 --chaos-seed 42
+fetch_sim_body "$chaos_addr" "$pre_kill" any
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+target/release/tw serve --jobs 4 --insts 20000 --cache-dir "$cache_dir" > "$chaos_log" 2>&1 &
+chaos_pid=$!
+chaos_addr="$(wait_for_serve_addr "$chaos_log" "$chaos_pid")"
+# After an unclean death, the same key must be served from the
+# persistent tier — and byte-for-byte identical to the pre-kill body.
+fetch_sim_body "$chaos_addr" "$post_kill" disk
+cmp "$pre_kill" "$post_kill"
+serve_shutdown "$chaos_addr"
+if ! wait "$chaos_pid"; then
+  echo "FAIL: restarted tw serve exited non-zero after drain" >&2
+  cat "$chaos_log" >&2
+  exit 1
+fi
+rm -rf "$chaos_log" "$pre_kill" "$post_kill" "$cache_dir"
+
 echo "==> error layer exit codes"
 # Malformed inputs must fail with the conventional codes (2 usage,
 # 1 runtime) and a one-line diagnostic — never a panic (code 101).
@@ -156,4 +238,4 @@ rm -f "$bad_asm" "$bench_artifact.trunc" "$bench_artifact.plan" "$bench_artifact
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + rv32i smoke + analyze/plan smoke + serve load smoke + error layer + formatting all clean"
+echo "OK: build + tests + lint + bench smoke + compare + trace smoke + faults smoke + fast-forward/checkpoint smoke + rv32i smoke + analyze/plan smoke + serve load smoke + chaos/crash-recovery smoke + error layer + formatting all clean"

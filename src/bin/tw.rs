@@ -18,8 +18,8 @@
 //! tw bench --check FILE
 //! tw bench --compare OLD.json NEW.json [--tolerance PCT]
 //! tw serve [--addr HOST:PORT | --port N] [--jobs N] [--queue-depth N]
-//!          [--cache-entries N] [--max-conns N] [--max-body BYTES]
-//!          [--max-insts N] [--insts N]
+//!          [--cache-entries N] [--cache-dir DIR] [--max-conns N]
+//!          [--max-body BYTES] [--max-insts N] [--insts N]
 //! ```
 //!
 //! `sim` honors the execution modes: `--fast-forward N` skips the
@@ -145,13 +145,16 @@ fn usage() -> ExitCode {
       diff two tw-bench artifacts cell-by-cell; exits 1 when any cell's
       ns/cycle regressed more than PCT percent (default 10)
   tw serve [--addr HOST:PORT | --port N] [--jobs N] [--queue-depth N]
-           [--cache-entries N] [--max-conns N] [--max-body BYTES]
-           [--max-insts N] [--insts N]
+           [--cache-entries N] [--cache-dir DIR] [--max-conns N]
+           [--max-body BYTES] [--max-insts N] [--insts N]
       run the simulation service: POST /v1/{{sim,compare,faults,trace,
       analyze}} with JSON bodies, GET /healthz /v1/stats /v1/presets
       /v1/workloads, POST /v1/shutdown; results are cached by content
       address, repeated queries answer without re-simulating
-      (default 127.0.0.1:0 - the chosen port is printed at startup)
+      (default 127.0.0.1:0 - the chosen port is printed at startup);
+      --cache-dir persists results across restarts (CRC-validated,
+      crash-safe: a killed daemon restarted on the same directory
+      serves previously computed keys bit-identically from disk)
 
 configurations: {}
 
@@ -297,8 +300,7 @@ fn load_plan(
             )?))
         }
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+            let text = harness::read_verified(path)?;
             let plan = harness::parse_plan(&text)?;
             if plan.workload != bench.name() {
                 return Err(TwError::runtime(format!(
@@ -352,6 +354,8 @@ struct Flags {
     max_conns: Option<usize>,
     max_body: Option<usize>,
     max_insts: Option<u64>,
+    /// `--cache-dir DIR`: persistent result-cache tier for `serve`.
+    cache_dir: Option<String>,
 }
 
 impl Flags {
@@ -519,6 +523,9 @@ impl Flags {
                         return Err(TwError::usage("--max-insts: must be at least 1"));
                     }
                     f.max_insts = Some(n);
+                }
+                "--cache-dir" => {
+                    f.cache_dir = Some(value(args, &mut i, "--cache-dir")?.to_string());
                 }
                 "--perfect-mem" => f.perfect = true,
                 "--json" => f.json = true,
@@ -696,6 +703,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
             if let Some(n) = f.max_insts {
                 config.max_insts = n;
             }
+            config.cache_dir = f.cache_dir.as_ref().map(std::path::PathBuf::from);
             if config.default_insts > config.max_insts {
                 return Err(TwError::usage(format!(
                     "--insts {} exceeds --max-insts {}",
@@ -703,9 +711,19 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 )));
             }
             let bind_addr = config.addr.clone();
+            let cache_dir = config.cache_dir.clone();
             let workers = config.workers;
-            let server = harness::Server::bind(config)
-                .map_err(|e| TwError::runtime(format!("bind {bind_addr}: {e}")))?;
+            let server = harness::Server::bind(config).map_err(|e| {
+                // Startup touches two resources: the cache directory
+                // (when configured) opens first, then the socket binds.
+                match &cache_dir {
+                    Some(dir) => TwError::runtime(format!(
+                        "bind {bind_addr} (cache-dir {}): {e}",
+                        dir.display()
+                    )),
+                    None => TwError::runtime(format!("bind {bind_addr}: {e}")),
+                }
+            })?;
             let addr = server
                 .local_addr()
                 .map_err(|e| TwError::runtime(format!("local_addr: {e}")))?;
@@ -799,7 +817,8 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                     let out = f
                         .out
                         .unwrap_or_else(|| format!("{}.ckpt.json", bench.name()));
-                    std::fs::write(&out, format!("{}\n", ckpt.to_json().pretty()))
+                    let text = harness::stamp(&format!("{}\n", ckpt.to_json().pretty()));
+                    harness::write_atomic(std::path::Path::new(&out), &text)
                         .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
                     println!(
                         "wrote {out}: {} at instruction {} ({} memory run(s){})",
@@ -818,8 +837,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                         .from
                         .as_deref()
                         .ok_or_else(|| TwError::usage("checkpoint restore: missing --from"))?;
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                    let text = harness::read_verified(path)?;
                     let ckpt = harness::parse_checkpoint(&text)?;
                     let bench = parse_bench(&ckpt.workload).ok_or_else(|| {
                         TwError::runtime(format!(
@@ -898,7 +916,9 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 )));
             }
             let out = f.out.unwrap_or_else(|| "trace.json".to_string());
-            std::fs::write(&out, format!("{text}\n"))
+            // Chrome/Perfetto consume this file directly, so it gets
+            // the atomic write but not the CRC stamp.
+            harness::write_atomic(std::path::Path::new(&out), &format!("{text}\n"))
                 .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
             println!(
                 "{}: {} events emitted, {} recorded, {} dropped, {} filtered",
@@ -1126,8 +1146,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
         }
         "analyze" => {
             if let Some(path) = &f.check {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                let text = harness::read_verified(path)?;
                 let plan = harness::parse_plan(&text)?;
                 println!(
                     "{path}: valid {} plan for {} ({} branches, {} never-promote)",
@@ -1148,7 +1167,8 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 )));
             }
             if let Some(out) = &f.out {
-                std::fs::write(out, format!("{text}\n"))
+                let stamped = harness::stamp(&format!("{text}\n"));
+                harness::write_atomic(std::path::Path::new(out), &stamped)
                     .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
             }
             if f.json {
@@ -1174,12 +1194,8 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
         }
         "bench" => {
             if let Some((old_path, new_path)) = &f.compare_paths {
-                let read = |path: &str| {
-                    std::fs::read_to_string(path)
-                        .map_err(|e| TwError::runtime(format!("{path}: {e}")))
-                };
-                let old_text = read(old_path)?;
-                let new_text = read(new_path)?;
+                let old_text = harness::read_verified(old_path)?;
+                let new_text = harness::read_verified(new_path)?;
                 let cmp = compare::compare_artifacts(&old_text, &new_text, f.tolerance)
                     .map_err(TwError::runtime)?;
                 print!("{}", compare::render(&cmp));
@@ -1190,8 +1206,7 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 });
             }
             if let Some(path) = &f.check {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
+                let text = harness::read_verified(path)?;
                 suite::check_artifact(&text)
                     .map_err(|e| TwError::runtime(format!("{path}: {e}")))?;
                 println!("{path}: valid {} artifact", suite::SCHEMA);
@@ -1269,7 +1284,8 @@ fn run(args: &[String]) -> Result<ExitCode, TwError> {
                 println!("{artifact}");
             }
             let out = f.out.unwrap_or_else(|| "BENCH_frontend.json".to_string());
-            std::fs::write(&out, format!("{artifact}\n"))
+            let stamped = harness::stamp(&format!("{artifact}\n"));
+            harness::write_atomic(std::path::Path::new(&out), &stamped)
                 .map_err(|e| TwError::runtime(format!("{out}: {e}")))?;
             if !json {
                 println!("wrote {out}");

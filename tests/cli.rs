@@ -339,3 +339,197 @@ fn serve_flags_are_validated_before_binding() {
     // An unbindable address is a runtime error (exit 1), not a panic.
     assert_diagnostic(&tw(&["serve", "--addr", "999.999.999.999:1"]), 1);
 }
+
+/// The durability contract end to end: artifacts written by `tw` are
+/// CRC-stamped, a stamped artifact round-trips, and *any* corruption —
+/// a flipped byte, a truncation — turns into an exit-1 one-liner that
+/// names the crc32 mismatch instead of a confusing parse error (or
+/// worse, silently wrong numbers).
+#[test]
+fn corrupted_checkpoint_fails_with_crc_diagnostic() {
+    let out_path =
+        std::env::temp_dir().join(format!("tw-cli-test-{}-ckpt.json", std::process::id()));
+    let out_str = out_path.to_str().expect("utf-8 path");
+    let save = tw(&[
+        "checkpoint",
+        "save",
+        "--workload",
+        "gcc",
+        "--insts",
+        "30000",
+        "--out",
+        out_str,
+    ]);
+    assert_eq!(
+        save.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&save)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("checkpoint written");
+    assert!(text.contains("\"crc32\""), "artifact is stamped: {text}");
+
+    // The intact artifact restores cleanly.
+    let restore = tw(&[
+        "checkpoint",
+        "restore",
+        "--from",
+        out_str,
+        "--config",
+        "promo-pack",
+        "--insts",
+        "20000",
+    ]);
+    assert_eq!(
+        restore.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&restore)
+    );
+
+    // One flipped byte in the payload: restore must refuse, naming the
+    // CRC mismatch — before any parsing can misfire.
+    let mut flipped = text.clone().into_bytes();
+    let last = flipped.len() - 2;
+    flipped[last] ^= 0x01;
+    std::fs::write(&out_path, &flipped).expect("corrupt rewrite");
+    let out = tw(&[
+        "checkpoint",
+        "restore",
+        "--from",
+        out_str,
+        "--config",
+        "promo-pack",
+    ]);
+    assert_diagnostic(&out, 1);
+    assert!(
+        stderr_line(&out).contains("crc32 mismatch"),
+        "diagnostic names the crc: {}",
+        stderr_line(&out)
+    );
+
+    // Truncation: the stamp leads the artifact, so a half file is still
+    // recognizably stamped and fails the same way.
+    std::fs::write(&out_path, &text.as_bytes()[..text.len() / 2]).expect("truncate");
+    let out = tw(&[
+        "checkpoint",
+        "restore",
+        "--from",
+        out_str,
+        "--config",
+        "promo-pack",
+    ]);
+    let _ = std::fs::remove_file(&out_path);
+    assert_diagnostic(&out, 1);
+    assert!(
+        stderr_line(&out).contains("crc32 mismatch"),
+        "diagnostic names the crc: {}",
+        stderr_line(&out)
+    );
+}
+
+#[test]
+fn corrupted_plan_fails_with_crc_diagnostic() {
+    let out_path =
+        std::env::temp_dir().join(format!("tw-cli-test-{}-plan.json", std::process::id()));
+    let out_str = out_path.to_str().expect("utf-8 path");
+    let analyze = tw(&[
+        "analyze",
+        "--workload",
+        "gcc",
+        "--insts",
+        "30000",
+        "--out",
+        out_str,
+    ]);
+    assert_eq!(
+        analyze.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&analyze)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("plan written");
+    assert!(text.contains("\"crc32\""), "plan is stamped: {text}");
+    let check = tw(&["analyze", "--check", out_str]);
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&check)
+    );
+
+    let mut flipped = text.into_bytes();
+    let last = flipped.len() - 2;
+    flipped[last] ^= 0x01;
+    std::fs::write(&out_path, &flipped).expect("corrupt rewrite");
+    let check = tw(&["analyze", "--check", out_str]);
+    let sim = tw(&[
+        "sim",
+        "--bench",
+        "gcc",
+        "--config",
+        "promo-pack",
+        "--insts",
+        "20000",
+        "--plan",
+        out_str,
+    ]);
+    let _ = std::fs::remove_file(&out_path);
+    assert_diagnostic(&check, 1);
+    assert_diagnostic(&sim, 1);
+    assert!(
+        stderr_line(&check).contains("crc32 mismatch"),
+        "{}",
+        stderr_line(&check)
+    );
+}
+
+/// Artifacts from before the integrity envelope (no `crc32` field) are
+/// still accepted — the stamp is additive, not a format break.
+#[test]
+fn legacy_unstamped_artifacts_are_still_accepted() {
+    let good = r#"{"schema":"tw-bench/v1","cells":[{"benchmark":"gcc","config":"icache","ns_per_cycle":1.0}]}"#;
+    let path = temp_file("legacy.json", good);
+    let path_str = path.to_str().expect("utf-8 path");
+    let check = tw(&["bench", "--check", path_str]);
+    let cmp = tw(&["bench", "--compare", path_str, path_str]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        check.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&check)
+    );
+    assert_eq!(cmp.status.code(), Some(0), "stderr: {}", stderr_line(&cmp));
+}
+
+#[test]
+fn corrupted_bench_artifact_names_the_crc_in_check_and_compare() {
+    // A hand-stamped artifact (the same envelope `tw bench --out`
+    // writes) with one payload byte flipped after stamping.
+    let good = r#"{"schema":"tw-bench/v1","cells":[{"benchmark":"gcc","config":"icache","ns_per_cycle":1.0}]}"#;
+    let stamped = trace_weave::sim::harness::stamp(good);
+    let corrupt = stamped.replace("1.0", "9.0"); // flip payload bytes, keep JSON valid
+    assert_ne!(stamped, corrupt, "corruption applied");
+    let good_path = temp_file("stamped-good.json", &stamped);
+    let bad_path = temp_file("stamped-bad.json", &corrupt);
+    let good_str = good_path.to_str().expect("utf-8 path");
+    let bad_str = bad_path.to_str().expect("utf-8 path");
+
+    let ok = tw(&["bench", "--check", good_str]);
+    assert_eq!(ok.status.code(), Some(0), "stderr: {}", stderr_line(&ok));
+
+    let check = tw(&["bench", "--check", bad_str]);
+    let cmp = tw(&["bench", "--compare", good_str, bad_str]);
+    let _ = std::fs::remove_file(&good_path);
+    let _ = std::fs::remove_file(&bad_path);
+    assert_diagnostic(&check, 1);
+    assert_diagnostic(&cmp, 1);
+    for out in [&check, &cmp] {
+        assert!(
+            stderr_line(out).contains("crc32 mismatch"),
+            "diagnostic names the crc: {}",
+            stderr_line(out)
+        );
+    }
+}
